@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper table/figure (plus ablations). They
+run once per invocation (``pedantic`` with a single round) because each is
+a full experiment, not a micro-benchmark; pytest-benchmark still reports
+the wall time. Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` exactly once and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+    return runner

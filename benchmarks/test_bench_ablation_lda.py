@@ -1,0 +1,33 @@
+"""Ablation: LDA topic count — the paper swept 7..14 and chose 10.
+
+Reports topic coherence and downstream classification accuracy per k.
+"""
+
+from repro.framework.classifier import LDAClassifier, evaluate_classifier
+from repro.framework.preprocess import prepare_corpus
+from repro.workload import generate_corpus, generate_evaluation_tickets
+
+
+def sweep(ks=(7, 8, 10, 12, 14), n_train=800, n_eval=150, n_iter=50):
+    train = generate_corpus(n_train, seed=21)
+    eval_tickets = generate_evaluation_tickets(n_eval, seed=22)
+    docs, vocab = prepare_corpus([t.text for t in train], min_count=2)
+    rows = []
+    for k in ks:
+        clf = LDAClassifier(n_topics=k, n_iter=n_iter, seed=0).train(train)
+        coherence = clf.model.coherence(docs)
+        report = evaluate_classifier(clf, eval_tickets)
+        rows.append((k, coherence, report.accuracy))
+    return rows
+
+
+def test_bench_ablation_lda_topic_count(once):
+    rows = once(sweep)
+    print()
+    print("Ablation — LDA topic count (paper swept 7..14, chose 10)")
+    print(f"{'k':>3} {'coherence':>10} {'accuracy':>9}")
+    for k, coherence, accuracy in rows:
+        print(f"{k:>3} {coherence:>10.2f} {accuracy:>8.1%}")
+    by_k = {k: acc for k, _, acc in rows}
+    # k=10 (the true class count) should be competitive with every other k
+    assert by_k[10] >= max(by_k.values()) - 0.10

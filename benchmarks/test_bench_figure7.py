@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 7 — ticket category distribution."""
+
+from repro.experiments import run_figure7
+
+
+def test_bench_figure7_distribution(once):
+    result = once(run_figure7, n_tickets=17000, seed=7)
+    print()
+    print(result.format())
+    assert result.max_abs_error < 0.02

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 8 — script-container tailoring."""
+
+from repro.experiments import run_figure8
+
+
+def test_bench_figure8_script_containers(once):
+    result = once(run_figure8, execute=True)
+    print()
+    print(result.format())
+    assert result.chef_puppet["S-1"] == (12, 0.60)
+    assert result.chef_puppet["S-2"] == (4, 0.20)
+    assert result.cluster["S-5"][0] == 10
+    assert result.failures == []

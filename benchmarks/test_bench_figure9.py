@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 9 — ITFS performance evaluation."""
+
+from repro.experiments import run_figure9
+
+
+def test_bench_figure9_itfs_performance(once):
+    result = once(run_figure9, scale=4, repeats=3)
+    print()
+    print(result.format())
+    assert result.shape_holds(), result.normalized

@@ -1,0 +1,78 @@
+"""Extension benchmark: audit-log volume — the §5.4 succinctness claim.
+
+"Our permission broker logs only IT activities that diverge from the
+predefined isolation ... Hence, the permission broker's log is
+sufficiently succinct to be inspected and analyzed for anomaly detection,
+where one of the major challenges is handling enormous amounts of data."
+
+We serve a batch of evaluation tickets and compare: full ITFS+network
+audit volume vs. the broker's escalation-only log.
+"""
+
+from repro.broker import BrokerClient, PermissionBroker
+from repro.containit import PerforatedContainer
+from repro.experiments.rig import DESTINATION_ENDPOINTS, build_case_study_rig
+from repro.errors import ReproError
+from repro.framework.images import TABLE3_SPECS
+from repro.workload import generate_evaluation_tickets
+
+
+def run_volume_comparison(n_tickets=80, seed=61):
+    rig = build_case_study_rig()
+    tickets = generate_evaluation_tickets(n_tickets, seed=seed)
+    full_records = 0
+    broker_records = 0
+    for ticket in tickets:
+        spec = TABLE3_SPECS.get(ticket.true_class, TABLE3_SPECS["T-11"])
+        container = PerforatedContainer.deploy(
+            rig.host, spec, user=ticket.reporter,
+            address_book=rig.address_book, container_ip="10.0.96.9")
+        broker = PermissionBroker(rig.host, container,
+                                  address_book=rig.address_book,
+                                  software_repository=rig.software_repository)
+        shell = container.login("it-admin")
+        client = BrokerClient(shell, broker)
+        for op in ticket.required_ops:
+            kind, arg = op["op"], op["arg"]
+            try:
+                if kind == "read":
+                    shell.read_file(arg)
+                elif kind == "write":
+                    shell.write_file(arg, b"#", append=True)
+                elif kind == "net":
+                    ip, port = DESTINATION_ENDPOINTS[arg]
+                    shell.connect(ip, port).send(b"op")
+                elif kind == "ps":
+                    shell.ps()
+                elif kind == "kill":
+                    victim = rig.host.sys.clone(shell.proc, "r")
+                    shell.kill(victim.pid_in(shell.proc.namespaces.pid))
+                elif kind == "service-restart":
+                    shell.restart_service(arg)
+                elif kind == "pb-net":
+                    client.grant_network(arg)
+                elif kind == "pb-proc":
+                    client.pb("ps -a" if arg == "ps" else f"{arg} sshd")
+                elif kind == "pb-install":
+                    client.install_package(arg)
+                elif kind == "pb-fs":
+                    client.share_path(arg)
+            except ReproError:
+                pass
+        full_records += len(container.fs_audit) + len(container.net_audit)
+        broker_records += len(broker.audit)
+        container.terminate("done")
+    return full_records, broker_records, n_tickets
+
+
+def test_bench_log_volume(once):
+    full, broker, n = once(run_volume_comparison)
+    print()
+    print("Extension — audit-log volume per served ticket (§5.4 claim)")
+    print(f"  full ITFS+network audit: {full:>6} records "
+          f"({full / n:.1f}/ticket)")
+    print(f"  broker escalation log:   {broker:>6} records "
+          f"({broker / n:.2f}/ticket)")
+    print(f"  reduction factor:        {full / max(broker, 1):>6.1f}x")
+    # the broker log must be at least an order of magnitude smaller
+    assert broker * 10 <= full

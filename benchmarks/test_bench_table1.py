@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 1 — the 11-attack threat analysis."""
+
+from repro.experiments import run_table1
+
+
+def test_bench_table1_threat_analysis(once):
+    result = once(run_table1)
+    print()
+    print(result.format())
+    assert result.all_blocked, "a Table 1 defense failed"

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 2 — 10-topic LDA over the ticket corpus."""
+
+from repro.experiments.table2_lda import run_table2
+
+
+def test_bench_table2_lda_topics(once):
+    result = once(run_table2, n_tickets=1500, n_iter=80, seed=0)
+    print()
+    print(result.format())
+    # the paper's qualitative claim: the ten topics map onto the IT
+    # department's categories
+    assert result.distinct_classes_recovered >= 8
+    assert result.mean_overlap > 0.35

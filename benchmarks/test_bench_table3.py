@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 3 — per-class isolation, probe-verified."""
+
+from repro.experiments import run_table3
+
+
+def test_bench_table3_permission_matrix(once):
+    result = once(run_table3, probe=True)
+    print()
+    print(result.format())
+    assert len(result.rows) == 11
+    assert result.probe_failures == [], result.probe_failures

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Anomaly detection over WatchIT audit logs (the §1/§5.4 follow-through).
+
+WatchIT's logs exist "for later analysis and anomaly detection". This demo
+runs a batch of admin sessions on the case-study rig — most benign, a few
+rogue — fits the baseline detector on benign traffic, and shows the rogue
+sessions surfacing with their tell-tale features.
+
+Run:  python examples/anomaly_detection.py
+"""
+
+from repro.anomaly import AnomalyDetector, generate_session_corpus
+
+
+def main() -> None:
+    print("running 40 benign + 8 rogue admin sessions on the rig "
+          "(real containers, real audit trails)...")
+    logs = generate_session_corpus(n_benign=40, n_malicious=8, seed=17)
+    benign = [log for log in logs if log.label == "benign"]
+
+    detector = AnomalyDetector(threshold=5.0).fit(benign[:25])
+    report = detector.evaluate(logs)
+    print()
+    print(report.format())
+
+    print("\nwhy the top session was flagged:")
+    top = max(report.scores, key=lambda s: s.score)
+    for feature, contribution in top.top_features:
+        print(f"  {feature:<24} deviation {contribution:.1f}")
+
+    print("\nthreshold sweep (precision / recall):")
+    for threshold in (3.0, 5.0, 7.0, 10.0):
+        d = AnomalyDetector(threshold=threshold).fit(benign[:25])
+        r = d.evaluate(logs)
+        print(f"  t={threshold:>4.1f}: {r.precision:>4.0%} / {r.recall:>4.0%}")
+
+
+if __name__ == "__main__":
+    main()

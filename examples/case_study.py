@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The Section 7 case study, end to end (reduced sizes for a quick run).
+
+Regenerates, in order: Table 2 (LDA topics), Figure 7 (class
+distribution), Table 3 (per-class isolation, verified by deployment
+probes), Table 4 (the evaluation-period replay), and Figure 8 (script
+containers).
+
+Run:  python examples/case_study.py          (~1 minute)
+      python examples/case_study.py --full   (paper-scale parameters)
+"""
+
+import sys
+
+from repro.experiments import (
+    run_figure7,
+    run_figure8,
+    run_table3,
+    run_table4,
+)
+from repro.experiments.table2_lda import run_table2
+
+
+def main(full: bool = False) -> None:
+    n_corpus = 1500 if full else 600
+    n_eval = 398 if full else 150
+    lda_iters = 80 if full else 50
+
+    print("=" * 72)
+    print(run_table2(n_tickets=n_corpus, n_iter=lda_iters).format())
+
+    print("=" * 72)
+    print(run_figure7(n_tickets=17000 if full else 4000).format())
+
+    print("=" * 72)
+    table3 = run_table3(probe=True)
+    print(table3.format())
+    print(f"deployment probes: "
+          f"{'all passed' if not table3.probe_failures else table3.probe_failures}")
+
+    print("=" * 72)
+    table4 = run_table4(n_tickets=n_eval,
+                        classifier="lda" if full else "keyword",
+                        lda_iters=lda_iters)
+    print(table4.format())
+    if table4.replay_errors:
+        print("replay errors:", table4.replay_errors[:5])
+
+    print("=" * 72)
+    print(run_figure8(execute=True).format())
+
+
+if __name__ == "__main__":
+    main(full="--full" in sys.argv)

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Reproduce paper Figure 6: ``ps -a`` vs ``PB ps -a``.
+
+Deploys a perforated container, opens a Figure 6-style terminal, and
+prints the exact transcript shape from the paper: inside the container
+``ps`` shows only the contained processes; prefixing ``PB`` routes the
+command through the permission broker, revealing the host's processes —
+with the request logged.
+
+Run:  python examples/figure6_terminal.py
+"""
+
+from repro.broker import BrokerClient, PermissionBroker
+from repro.containit import (
+    HOME_DIRECTORY,
+    PerforatedContainer,
+    PerforatedContainerSpec,
+    Terminal,
+)
+from repro.experiments.rig import build_case_study_rig
+
+
+def main() -> None:
+    rig = build_case_study_rig()
+    spec = PerforatedContainerSpec(
+        name="T-4-demo", description="network issue (demo)",
+        fs_shares=(HOME_DIRECTORY,))
+    container = PerforatedContainer.deploy(
+        rig.host, spec, user="alice", address_book=rig.address_book,
+        container_ip="10.0.99.60")
+    broker = PermissionBroker(rig.host, container,
+                              address_book=rig.address_book)
+    shell = container.login("itsupport")
+    shell.spawn("testscript")              # Figure 6 shows one running
+    shell.proc.cwd = "/home/itsupport"
+    terminal = Terminal(shell, BrokerClient(shell, broker))
+
+    print(terminal.transcript(["ps -a", "PB ps -a"]))
+
+    print("\n-- broker log (the escalation left a trail) --")
+    for record in broker.audit.records:
+        print(f"[{record.decision}] {record.actor} {record.op} {record.path}")
+    container.terminate("demo over")
+
+
+if __name__ == "__main__":
+    main()

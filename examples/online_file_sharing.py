@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Online file sharing and broker escalation (paper Sections 5.4-5.5).
+
+The deployed container's prediction is never perfect: sometimes the admin
+needs a directory or a network destination the image did not include.
+This demo walks the broker path: request, policy check, logged grant,
+nsenter-based ITFS bind mount — all while the host's own mount table stays
+untouched and the new mount stays monitored.
+
+Run:  python examples/online_file_sharing.py
+"""
+
+from repro.broker import BrokerClient, PermissionBroker
+from repro.containit import PerforatedContainer
+from repro.errors import AccessBlocked, FileNotFound
+from repro.experiments.rig import build_case_study_rig
+from repro.framework.images import TABLE3_SPECS
+
+
+def main() -> None:
+    rig = build_case_study_rig()
+    rig.host.rootfs.populate({"srv": {"build-cache": {
+        "config.yaml": "jobs: 8\n",
+        "report.pdf": b"%PDF-1.4 quarterly build report",
+    }}})
+
+    container = PerforatedContainer.deploy(
+        rig.host, TABLE3_SPECS["T-2"], user="alice",
+        address_book=rig.address_book, container_ip="10.0.99.95")
+    broker = PermissionBroker(rig.host, container,
+                              address_book=rig.address_book)
+    shell = container.login("it-bob")
+    client = BrokerClient(shell, broker)
+
+    print("T-2 container view: /etc only")
+    try:
+        shell.read_file("/srv/build-cache/config.yaml")
+    except FileNotFound:
+        print("  /srv/build-cache does not exist in the container")
+
+    print("\nadmin asks the broker to map /srv/build-cache on-the-fly...")
+    response = client.share_path("/srv/build-cache")
+    print(f"  broker: {response.output}")
+    print("  now readable:",
+          shell.read_file("/srv/build-cache/config.yaml"))
+
+    print("\nthe new mount is still ITFS-supervised:")
+    try:
+        shell.read_file("/srv/build-cache/report.pdf")
+    except AccessBlocked as exc:
+        print(f"  {exc}")
+
+    print("\nhost mount table unchanged:",
+          [mp for _, mp, _ in rig.host.sys.mounts(rig.host.init)])
+    print("container mount table:",
+          [mp for _, mp, _ in shell.mounts()])
+
+    print("\nnetwork escalation: reach shared storage")
+    print("  reachable before:", shell.net_reachable("10.0.1.20", 2049))
+    client.grant_network("shared-storage")
+    print("  reachable after: ", shell.net_reachable("10.0.1.20", 2049))
+
+    print(f"\nbroker audit trail ({len(broker.audit)} records, verified "
+          f"{broker.audit.verify()}):")
+    for record in broker.audit.records:
+        print(f"  [{record.decision}] {record.op} {record.path}")
+    container.terminate("demo over")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Third-party support (paper §3.1's second vulnerability scenario).
+
+A bank outsources storage maintenance. Today the provider's admin gets
+root on the storage node *and* sits inside the bank's network — exposed to
+cardholder data that must stay confidential under PCI-DSS. With WatchIT,
+the provider works inside a perforated container: superuser on exactly the
+storage stack, blind to card data, unable to move laterally, and fully
+audited.
+
+Run:  python examples/third_party_support.py
+"""
+
+from repro.broker import (
+    BrokerClient,
+    BrokerPolicy,
+    ClassEscalationPolicy,
+    PermissionBroker,
+    RequestKind,
+)
+from repro.containit import PerforatedContainerSpec
+from repro.errors import (
+    AccessBlocked,
+    FileNotFound,
+    FirewallBlocked,
+    NetworkUnreachable,
+)
+from repro.kernel import Kernel, Network
+from repro.tcb import install_watchit_components
+from repro.containit import PerforatedContainer
+
+
+def main() -> None:
+    net = Network()
+    # the bank's network: the storage node under maintenance + a card-
+    # processing server that must remain untouchable
+    storage = Kernel("bank-storage", ip="10.1.0.10", network=net)
+    install_watchit_components(storage.rootfs)
+    storage.rootfs.populate({
+        "srv": {"storage": {
+            "array.conf": "stripe=64k\n",
+            "health.log": "disk2: SMART warning\n",
+        }},
+        "data": {"cards": {"batch-0001.db": b"SQLite format 3\x00 PANs..."}},
+    })
+    storage.register_service("storage-daemon")
+    cards = Kernel("card-processor", ip="10.1.0.20", network=net)
+    net.listen("10.1.0.20", 5000, lambda pkt: b"CARD-API")
+
+    # the provider's confinement: storage config + logs, nothing else
+    spec = PerforatedContainerSpec(
+        name="vendor-storage",
+        description="third-party storage maintenance",
+        fs_shares=("/srv/storage",),
+        network_allowed=(),
+        process_management=True,       # may bounce the storage daemon
+        extra_fs_rule_classes=("database",))  # card DBs blocked by content
+    container = PerforatedContainer.deploy(
+        storage, spec, user="bank-ops", address_book={},
+        container_ip="10.1.0.99")
+    vendor_policy = BrokerPolicy(default=ClassEscalationPolicy(
+        allowed_kinds=frozenset(RequestKind),
+        exec_commands=frozenset({"ps", "service-restart"}),
+        share_path_prefixes=("/srv", "/data"),
+        network_destinations=frozenset()))
+    broker = PermissionBroker(storage, container, policy=vendor_policy)
+    shell = container.login("vendor-admin")
+    client = BrokerClient(shell, broker)
+
+    print("vendor admin is root inside the view:")
+    print("  health log:", shell.read_file("/srv/storage/health.log"))
+    shell.write_file("/srv/storage/array.conf", b"stripe=128k\n")
+    shell.restart_service("storage-daemon")
+    print("  reconfigured the array and bounced the daemon")
+
+    print("\n...but the cardholder data does not exist in this view:")
+    try:
+        shell.read_file("/data/cards/batch-0001.db")
+    except FileNotFound:
+        print("  /data/cards is invisible")
+
+    print("even if the broker maps more of the filesystem, content rules hold:")
+    client.share_path("/data/cards")
+    try:
+        shell.read_file("/data/cards/batch-0001.db")
+    except AccessBlocked as exc:
+        print(f"  {exc}")
+
+    print("\nand there is no lateral movement into the bank's network:")
+    try:
+        shell.connect("10.1.0.20", 5000)
+    except (FirewallBlocked, NetworkUnreachable) as exc:
+        print(f"  card processor unreachable: {exc}")
+
+    print(f"\naudit trail: {len(container.fs_audit)} fs records "
+          f"(verified {container.fs_audit.verify()}); "
+          f"{len(broker.audit)} broker records — the bank can review "
+          f"exactly what its vendor did")
+    container.terminate("maintenance window closed")
+
+
+if __name__ == "__main__":
+    main()

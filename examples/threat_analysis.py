@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Play the rogue administrator: attempt every Table 1 attack.
+
+Builds a victim host with planted secrets (a payroll document, kernel
+memory keys, a raw disk), deploys the *most permissive* perforated
+container WatchIT ships (full ITFS-monitored root + process management),
+and runs all eleven attacks of the paper's Table 1 against it.
+
+Run:  python examples/threat_analysis.py
+"""
+
+from repro.errors import AccessBlocked, CapabilityError
+from repro.threats import ThreatRig, format_table1, run_threat_analysis
+
+
+def narrated_attempt() -> None:
+    """A blow-by-blow of one insider session."""
+    rig = ThreatRig.build()
+    shell = rig.shell
+    print("rogue admin logs into the T-6 container "
+          f"(hostname: {shell.hostname()})")
+
+    print("\n[1] trying to read the payroll document directly...")
+    try:
+        shell.read_file("/home/victim/salaries.docx")
+    except AccessBlocked as exc:
+        print(f"    ITFS: {exc}")
+
+    print("[2] the file is visible though — blocking != hiding:")
+    print(f"    ls /home/victim -> {shell.listdir('/home/victim')}")
+
+    print("[3] trying the classic chroot escape...")
+    try:
+        rig.host.sys.chroot(shell.proc, "/tmp")
+    except CapabilityError as exc:
+        print(f"    kernel: {exc}")
+
+    print("[4] trying to tap kernel memory via /dev/mem...")
+    try:
+        rig.host.sys.read_file(shell.proc, "/dev/mem")
+    except CapabilityError as exc:
+        print(f"    kernel: {exc}")
+
+    print("[5] exfiltrating *something* high-entropy to the one "
+          "whitelisted site...")
+    data = bytes(i * 31 % 256 for i in range(512))
+    try:
+        shell.connect("8.8.4.4", 443).send(data)
+    except AccessBlocked as exc:
+        print(f"    network monitor: {exc}")
+
+    denied = rig.container.fs_audit.filter(decision="deny")
+    print(f"\nevery attempt left a trail: {len(denied)} denials in the "
+          f"tamper-evident audit log (chain verified: "
+          f"{rig.container.fs_audit.verify()})")
+    rig.container.terminate("demo over")
+
+
+def main() -> None:
+    narrated_attempt()
+    print("\n" + "=" * 72)
+    print("full Table 1 threat analysis (fresh rig per attack):\n")
+    results = run_threat_analysis()
+    print(format_table1(results))
+    blocked = sum(r.blocked for r in results)
+    print(f"\n{blocked}/11 attacks blocked or detected")
+
+
+if __name__ == "__main__":
+    main()

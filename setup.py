@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works in offline environments where PEP-517
+build isolation cannot fetch build dependencies. All metadata lives in
+``pyproject.toml``; setuptools ≥61 reads it from there.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

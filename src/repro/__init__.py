@@ -1,0 +1,51 @@
+"""WatchIT (SOSP 2017) reproduction.
+
+A production-quality Python reimplementation of *WatchIT: Who Watches Your
+IT Guy?* — perforated containers, the ITFS monitoring filesystem, the
+permission broker, the XCL exclusion namespace, and the ticket-driven
+confinement framework — on top of a simulated Linux kernel substrate.
+
+Quickstart::
+
+    from repro import WatchITDeployment
+
+    deployment = WatchITDeployment.bootstrap()
+    ticket = deployment.submit_ticket(
+        reporter="alice", machine="ws-01",
+        text="matlab license expired, toolbox error on startup")
+    session = deployment.handle(ticket, admin="it-bob")
+    session.shell.read_file("/home/alice/matlab/license.lic")
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    AccessBlocked,
+    BrokerDenied,
+    CertificateError,
+    IntegrityError,
+    KernelError,
+    ReproError,
+    SessionTerminated,
+)
+
+__all__ = [
+    "AccessBlocked",
+    "BrokerDenied",
+    "CertificateError",
+    "IntegrityError",
+    "KernelError",
+    "ReproError",
+    "SessionTerminated",
+    "WatchITDeployment",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy import: keeps `import repro` cheap and avoids import cycles while
+    # still exposing the top-level convenience API.
+    if name == "WatchITDeployment":
+        from repro.framework.orchestrator import WatchITDeployment
+        return WatchITDeployment
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

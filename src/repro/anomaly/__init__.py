@@ -1,0 +1,29 @@
+"""Anomaly detection over WatchIT audit logs (paper §1/§5.4 follow-through)."""
+
+from repro.anomaly.detector import (
+    AnomalyDetector,
+    DetectionReport,
+    FrequencyProfileDetector,
+    SessionScore,
+)
+from repro.anomaly.features import (
+    FEATURE_NAMES,
+    SENSITIVE_PREFIXES,
+    SessionLog,
+    extract_features,
+    feature_matrix,
+)
+from repro.anomaly.sessions import generate_session_corpus
+
+__all__ = [
+    "AnomalyDetector",
+    "DetectionReport",
+    "FEATURE_NAMES",
+    "FrequencyProfileDetector",
+    "SENSITIVE_PREFIXES",
+    "SessionLog",
+    "SessionScore",
+    "extract_features",
+    "feature_matrix",
+    "generate_session_corpus",
+]

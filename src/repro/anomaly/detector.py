@@ -1,0 +1,204 @@
+"""Baseline anomaly detection over session feature vectors.
+
+A robust-z-score detector: fit on benign sessions (median + MAD per
+feature), score new sessions by their worst standardized deviation plus a
+weighted penalty on security-salient features (denials, WatchIT-file
+touches, escalation refusals). Deliberately simple and auditable — the
+paper's point is that WatchIT's *succinct* logs make even simple detectors
+effective, not that detection needs deep models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.anomaly.features import FEATURE_NAMES, SessionLog, feature_matrix
+
+#: extra weight on features that directly indicate policy friction
+_SALIENT_WEIGHTS: Dict[str, float] = {
+    "denials": 2.0,
+    "denial_ratio": 2.0,
+    "watchit_touches": 4.0,
+    "net_denials": 2.0,
+    "escalation_denials": 3.0,
+    "sensitive_path_touches": 2.0,
+}
+
+
+@dataclass
+class SessionScore:
+    """Per-session detector output."""
+
+    session_id: str
+    score: float
+    anomalous: bool
+    top_features: List[Tuple[str, float]]  # (feature, contribution)
+    label: str = "unknown"
+
+
+@dataclass
+class DetectionReport:
+    """Scores plus labelled-corpus accounting."""
+
+    scores: List[SessionScore]
+    threshold: float
+
+    @property
+    def flagged(self) -> List[SessionScore]:
+        return [s for s in self.scores if s.anomalous]
+
+    def confusion(self) -> Dict[str, int]:
+        out = {"tp": 0, "fp": 0, "tn": 0, "fn": 0}
+        for s in self.scores:
+            if s.label == "malicious":
+                out["tp" if s.anomalous else "fn"] += 1
+            elif s.label == "benign":
+                out["fp" if s.anomalous else "tn"] += 1
+        return out
+
+    @property
+    def precision(self) -> float:
+        c = self.confusion()
+        denom = c["tp"] + c["fp"]
+        return c["tp"] / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        c = self.confusion()
+        denom = c["tp"] + c["fn"]
+        return c["tp"] / denom if denom else 0.0
+
+    def format(self) -> str:
+        c = self.confusion()
+        lines = [f"Anomaly detection @ threshold {self.threshold:.1f}: "
+                 f"precision {self.precision:.0%}, recall {self.recall:.0%} "
+                 f"(tp={c['tp']} fp={c['fp']} tn={c['tn']} fn={c['fn']})"]
+        for s in sorted(self.scores, key=lambda s: -s.score)[:5]:
+            tops = ", ".join(f"{name}={contrib:.1f}"
+                             for name, contrib in s.top_features[:3])
+            lines.append(f"  {s.session_id:<24} score={s.score:>6.1f} "
+                         f"[{s.label}] {tops}")
+        return "\n".join(lines)
+
+
+class FrequencyProfileDetector:
+    """Rare-event detector: how *unusual* are a session's individual ops?
+
+    Learns the benign probability of ``(op, path-prefix)`` events and
+    scores a session by the mean surprisal (-log2 p) of its events.
+    Complements :class:`AnomalyDetector`: the z-score baseline catches
+    *volume* anomalies, this one catches sessions doing *unfamiliar
+    things* even at normal volume.
+    """
+
+    def __init__(self, threshold: float = 7.0, prefix_depth: int = 2,
+                 top_k: int = 4):
+        self.threshold = threshold
+        self.prefix_depth = prefix_depth
+        #: score = mean surprisal of the session's top_k most surprising
+        #: events; a plain mean would let routine traffic dilute the signal
+        self.top_k = top_k
+        self._log_p: Optional[Dict[Tuple[str, str], float]] = None
+        self._floor: float = 0.0
+
+    def _event_key(self, record) -> Tuple[str, str]:
+        parts = [p for p in record.path.split("/") if p][:self.prefix_depth]
+        return (record.op, "/" + "/".join(parts))
+
+    def fit(self, benign_logs: Sequence[SessionLog]) -> "FrequencyProfileDetector":
+        import math
+        counts: Dict[Tuple[str, str], int] = {}
+        total = 0
+        for log in benign_logs:
+            for record in log.records:
+                key = self._event_key(record)
+                counts[key] = counts.get(key, 0) + 1
+                total += 1
+        if total == 0:
+            raise ValueError("cannot fit on an empty benign corpus")
+        # add-one smoothing; unseen events get the floor probability
+        denom = total + len(counts) + 1
+        self._log_p = {key: -math.log2((n + 1) / denom)
+                       for key, n in counts.items()}
+        self._floor = -math.log2(1.0 / denom)
+        return self
+
+    def score(self, log: SessionLog) -> SessionScore:
+        if self._log_p is None:
+            raise RuntimeError("detector is not fitted")
+        if not log.records:
+            return SessionScore(session_id=log.session_id, score=0.0,
+                                anomalous=False, top_features=[],
+                                label=log.label)
+        surprisals: Dict[Tuple[str, str], float] = {}
+        per_event: List[float] = []
+        for record in log.records:
+            key = self._event_key(record)
+            s = self._log_p.get(key, self._floor)
+            if record.decision == "deny":
+                s += 2.0  # denials are doubly surprising in benign traffic
+            surprisals[key] = max(surprisals.get(key, 0.0), s)
+            per_event.append(s)
+        per_event.sort(reverse=True)
+        top_events = per_event[:self.top_k]
+        score = sum(top_events) / len(top_events)
+        top = sorted(((f"{op}:{prefix}", s)
+                      for (op, prefix), s in surprisals.items()),
+                     key=lambda kv: -kv[1])[:5]
+        return SessionScore(session_id=log.session_id, score=score,
+                            anomalous=score >= self.threshold,
+                            top_features=top, label=log.label)
+
+    def evaluate(self, logs: Sequence[SessionLog]) -> DetectionReport:
+        return DetectionReport(scores=[self.score(log) for log in logs],
+                               threshold=self.threshold)
+
+
+class AnomalyDetector:
+    """Robust per-feature baseline + weighted deviation scoring."""
+
+    def __init__(self, threshold: float = 6.0):
+        self.threshold = threshold
+        self._median: Optional[np.ndarray] = None
+        self._mad: Optional[np.ndarray] = None
+        self._weights = np.array([
+            _SALIENT_WEIGHTS.get(name, 1.0) for name in FEATURE_NAMES])
+
+    def fit(self, benign_logs: Sequence[SessionLog]) -> "AnomalyDetector":
+        """Learn the benign baseline (median + MAD per feature)."""
+        if not benign_logs:
+            raise ValueError("cannot fit on an empty benign corpus")
+        matrix = feature_matrix(benign_logs)
+        self._median = np.median(matrix, axis=0)
+        mad = np.median(np.abs(matrix - self._median), axis=0)
+        # floor the MAD so constant-in-baseline features still score
+        self._mad = np.maximum(mad, 0.5)
+        return self
+
+    def _require_fitted(self) -> None:
+        if self._median is None:
+            raise RuntimeError("detector is not fitted")
+
+    def score(self, log: SessionLog) -> SessionScore:
+        """Score one session; higher = more anomalous."""
+        self._require_fitted()
+        from repro.anomaly.features import extract_features
+        vector = extract_features(log)
+        deviation = self._weights * (vector - self._median) / self._mad
+        # only *excess* activity is anomalous, not unusually quiet sessions
+        contributions = np.maximum(deviation, 0.0)
+        score = float(contributions.max())
+        order = np.argsort(-contributions)
+        top = [(FEATURE_NAMES[i], float(contributions[i]))
+               for i in order[:5] if contributions[i] > 0]
+        return SessionScore(session_id=log.session_id, score=score,
+                            anomalous=score >= self.threshold,
+                            top_features=top, label=log.label)
+
+    def evaluate(self, logs: Sequence[SessionLog]) -> DetectionReport:
+        """Score a labelled corpus."""
+        return DetectionReport(scores=[self.score(log) for log in logs],
+                               threshold=self.threshold)

@@ -1,0 +1,38 @@
+"""Permission broker: audited escalation for perforated containers."""
+
+from repro.broker.client import BrokerClient
+from repro.broker.filesharing import share_directory
+from repro.broker.policy import (
+    PROCESS_MANAGEMENT_COMMANDS,
+    BrokerPolicy,
+    ClassEscalationPolicy,
+    default_class_policy,
+    deny_all_policy,
+    permissive_policy,
+)
+from repro.broker.secure_channel import SecureBrokerTransport, SecureChannel
+from repro.broker.protocol import (
+    BrokerRequest,
+    BrokerResponse,
+    RequestKind,
+    parse_command_line,
+)
+from repro.broker.server import PermissionBroker
+
+__all__ = [
+    "BrokerClient",
+    "BrokerPolicy",
+    "BrokerRequest",
+    "BrokerResponse",
+    "ClassEscalationPolicy",
+    "PROCESS_MANAGEMENT_COMMANDS",
+    "PermissionBroker",
+    "RequestKind",
+    "SecureBrokerTransport",
+    "SecureChannel",
+    "default_class_policy",
+    "deny_all_policy",
+    "parse_command_line",
+    "permissive_policy",
+    "share_directory",
+]

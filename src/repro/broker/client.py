@@ -1,0 +1,85 @@
+"""Broker client — the ``PB`` command invoked inside the container.
+
+"In order to prevent regular users from contacting the permission broker,
+we configure the permission broker client to accept only requests from
+privileged users" (Section 5.4). The client therefore refuses to even
+serialize a request from a non-superuser shell.
+
+Transport note: the paper streams protobuf over gRPC/TCP; here requests
+cross a byte-serialization boundary (`to_bytes`/`handle_bytes`) delivered
+in-process, standing in for the local TCP hop. The isolation argument is
+unchanged: the client is a dumb serializer, all authority lives server-side.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.broker.protocol import BrokerRequest, BrokerResponse, RequestKind
+from repro.broker.server import PermissionBroker
+from repro.containit.container import AdminShell
+from repro.errors import BrokerDenied
+
+
+class BrokerClient:
+    """Client handle bound to one admin shell and one broker endpoint."""
+
+    def __init__(self, shell: AdminShell, broker: PermissionBroker,
+                 ticket_class: Optional[str] = None):
+        self.shell = shell
+        self.broker = broker
+        self.ticket_class = ticket_class or broker.container.spec.name
+
+    def _check_privileged(self) -> None:
+        if not self.shell.proc.creds.is_superuser:
+            raise BrokerDenied("permission broker client: privileged users only")
+
+    def call(self, kind: RequestKind, **args) -> BrokerResponse:
+        """Send one request through the serialization boundary."""
+        self._check_privileged()
+        request = BrokerRequest(kind=kind, requester=self.shell.admin,
+                                ticket_class=self.ticket_class, args=args)
+        return BrokerResponse.from_bytes(
+            self.broker.handle_bytes(request.to_bytes()))
+
+    # -- convenience wrappers (the PB command surface) ---------------------
+
+    def pb(self, command_line: str) -> BrokerResponse:
+        """``client.pb("ps -a")`` — Figure 6's ``PB ps -a``."""
+        parts = command_line.strip().split()
+        if not parts:
+            raise BrokerDenied("empty PB command")
+        return self.call(RequestKind.EXEC, command=parts[0], argv=parts[1:])
+
+    def ps(self) -> BrokerResponse:
+        return self.call(RequestKind.EXEC, command="ps", argv=["-a"])
+
+    def share_path(self, host_path: str,
+                   container_path: Optional[str] = None) -> BrokerResponse:
+        args = {"host_path": host_path}
+        if container_path is not None:
+            args["container_path"] = container_path
+        return self.call(RequestKind.SHARE_PATH, **args)
+
+    def grant_network(self, destination: str,
+                      port: Optional[int] = None) -> BrokerResponse:
+        args = {"destination": destination}
+        if port is not None:
+            args["port"] = port
+        return self.call(RequestKind.GRANT_NETWORK, **args)
+
+    def install_package(self, package: str,
+                        target: Optional[str] = None) -> BrokerResponse:
+        args = {"package": package}
+        if target is not None:
+            args["target"] = target
+        return self.call(RequestKind.INSTALL_PACKAGE, **args)
+
+    def host_info(self) -> BrokerResponse:
+        return self.call(RequestKind.HOST_INFO)
+
+    def update_tcb(self, component: str, content: bytes,
+                   signature: str) -> BrokerResponse:
+        """Submit a policy-system-signed driver/kernel update (§2)."""
+        return self.call(RequestKind.UPDATE_TCB, component=component,
+                         content_hex=content.hex(), signature=signature)

@@ -1,0 +1,62 @@
+"""Online file sharing — expose host directories to a *running* container.
+
+Implements the three stages of paper Section 5.5:
+
+1. extract the full real path (and backing filesystem identity) of the host
+   directory — symlinks resolved in the host's view;
+2. use ``nsenter`` to infiltrate the namespaces of the running perforated
+   container (mount operations on the host would be invisible there);
+3. create an ITFS bind mount at the target path *from within* the
+   container's mount namespace, so subsequent accesses are monitored — and
+   can even carry different rules than the original deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.itfs import ITFS, PolicyManager
+from repro.kernel import NamespaceKind, Process
+from repro.kernel.resolver import resolve
+
+
+def share_directory(broker_proc: Process, container, host_path: str,
+                    container_path: Optional[str] = None,
+                    policy: Optional[PolicyManager] = None) -> ITFS:
+    """Expose ``host_path`` inside ``container`` at ``container_path``.
+
+    ``broker_proc`` must hold host superuser privileges (the permission
+    broker's service process) — "it is possible only because it requires
+    superuser privileges on the host" (Section 5.5).
+
+    Returns the fresh ITFS instance supervising the new mount.
+    """
+    kernel = container.kernel
+    container_path = container_path or host_path
+
+    # Stage 1: full real path + backing filesystem (device) on the host.
+    resolved = resolve(broker_proc, host_path)
+
+    # Stage 2: infiltrate the running container's mount namespace.
+    helper = kernel.sys.nsenter(broker_proc, container.init_proc,
+                                "nsenter-mount",
+                                kinds={NamespaceKind.MNT})
+    try:
+        # Stage 3: an *independent* ITFS bind mount from within the
+        # namespace. It reuses the container's audit log but may carry its
+        # own policy ("accesses to the newly mounted filesystem are
+        # supervised by ITFS, but can have different rules").
+        mount_policy = policy if policy is not None else \
+            container.itfs_mounts[0].policy if container.itfs_mounts else \
+            PolicyManager()
+        itfs = ITFS(resolved.fs, mount_policy, audit=container.fs_audit,
+                    backing_subpath=resolved.fspath,
+                    label=f"itfs-bind:{host_path}")
+        if not kernel.sys.exists(helper, container_path):
+            kernel.sys.mkdir(helper, container_path, parents=True)
+        kernel.sys.mount(helper, itfs, container_path,
+                         source=f"itfs-bind:{host_path}")
+        container.itfs_mounts.append(itfs)
+        return itfs
+    finally:
+        helper.die(0)

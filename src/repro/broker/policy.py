@@ -1,0 +1,102 @@
+"""Broker escalation policy.
+
+"The permission broker grants a request if it follows the security policy
+corresponding to the specific ticket class and IT specialist, and can
+refuse otherwise" (Section 5.4). Policy is per ticket class; a deny is
+still logged — denied escalations are prime anomaly-detection signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.broker.protocol import BrokerRequest, RequestKind
+from repro.kernel.vfs import is_subpath
+from repro.tcb.integrity import WATCHIT_COMPONENT_ROOT
+
+#: exec commands that belong to the process-management permission set.
+PROCESS_MANAGEMENT_COMMANDS = frozenset({"ps", "kill", "service-restart",
+                                         "reboot"})
+
+
+@dataclass(frozen=True)
+class ClassEscalationPolicy:
+    """What one ticket class may escalate to through the broker."""
+
+    allowed_kinds: FrozenSet[RequestKind] = frozenset()
+    exec_commands: FrozenSet[str] = frozenset()
+    share_path_prefixes: Tuple[str, ...] = ()
+    network_destinations: FrozenSet[str] = frozenset()  # labels or "*"
+    allow_install: bool = False
+    #: TCB changes (driver/kernel updates) — rare (< 1% of tickets in the
+    #: case study) and additionally require a valid policy-system signature
+    allow_tcb_update: bool = False
+
+    def permits(self, request: BrokerRequest) -> Tuple[bool, str]:
+        if request.kind not in self.allowed_kinds:
+            return False, f"kind {request.kind.value} not allowed for class"
+        if request.kind is RequestKind.EXEC:
+            command = str(request.args.get("command", ""))
+            if command not in self.exec_commands:
+                return False, f"command {command!r} not allowed"
+        elif request.kind is RequestKind.SHARE_PATH:
+            host_path = str(request.args.get("host_path", ""))
+            if is_subpath(host_path, WATCHIT_COMPONENT_ROOT):
+                return False, "WatchIT components may never be shared"
+            if not any(is_subpath(host_path, p) for p in self.share_path_prefixes):
+                return False, f"path {host_path} outside shareable prefixes"
+        elif request.kind is RequestKind.GRANT_NETWORK:
+            dest = str(request.args.get("destination", ""))
+            if "*" not in self.network_destinations and \
+                    dest not in self.network_destinations:
+                return False, f"destination {dest!r} not grantable"
+        elif request.kind is RequestKind.INSTALL_PACKAGE and not self.allow_install:
+            return False, "package installation not allowed for class"
+        elif request.kind is RequestKind.UPDATE_TCB and not self.allow_tcb_update:
+            return False, "TCB updates not allowed for class"
+        return True, "policy allows"
+
+
+def default_class_policy() -> ClassEscalationPolicy:
+    """The organization-wide default used in the case study.
+
+    Permissive enough to complete the 8% of tickets whose container was too
+    restrictive (Table 4), while still refusing WatchIT-file access and
+    unknown destinations.
+    """
+    return ClassEscalationPolicy(
+        allowed_kinds=frozenset(RequestKind),
+        exec_commands=PROCESS_MANAGEMENT_COMMANDS | {"hostname", "mounts"},
+        share_path_prefixes=("/home", "/etc", "/var", "/usr", "/opt", "/srv"),
+        network_destinations=frozenset({"*"}),
+        allow_install=True,
+    )
+
+
+@dataclass
+class BrokerPolicy:
+    """Per-ticket-class policy table with a configurable default."""
+
+    class_policies: Dict[str, ClassEscalationPolicy] = field(default_factory=dict)
+    default: Optional[ClassEscalationPolicy] = None
+
+    def policy_for(self, ticket_class: str) -> Optional[ClassEscalationPolicy]:
+        return self.class_policies.get(ticket_class, self.default)
+
+    def evaluate(self, request: BrokerRequest) -> Tuple[bool, str]:
+        """(granted?, reason). Unknown classes fall back to the default."""
+        policy = self.policy_for(request.ticket_class)
+        if policy is None:
+            return False, f"no escalation policy for class {request.ticket_class!r}"
+        return policy.permits(request)
+
+
+def permissive_policy() -> BrokerPolicy:
+    """A BrokerPolicy applying the case-study default to every class."""
+    return BrokerPolicy(default=default_class_policy())
+
+
+def deny_all_policy() -> BrokerPolicy:
+    """A BrokerPolicy refusing every escalation (ablation baseline)."""
+    return BrokerPolicy(default=ClassEscalationPolicy())

@@ -1,0 +1,115 @@
+"""Authenticated encryption for broker traffic (paper §5.4, optional).
+
+"If one wishes to further secure the communication between the perforated
+container and the permission broker, one can employ SSL." This module
+provides that hardening for the simulated transport: a pre-shared-key
+channel with a SHA-256-keystream stream cipher and an HMAC-SHA256 tag over
+``nonce || ciphertext``, plus strictly monotonic nonces against replay.
+
+This is deliberately *simple, auditable* crypto for a simulation — the
+point is the protocol shape (confidentiality + integrity + replay
+protection at the transport boundary), not novel cryptography.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import itertools
+import struct
+
+from repro.errors import BrokerDenied
+
+
+def _keystream(key: bytes, nonce: int, length: int) -> bytes:
+    """SHA-256 in counter mode keyed by (key, nonce)."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = hashlib.sha256(
+            key + struct.pack(">QQ", nonce, counter)).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(out[:length])
+
+
+def _xor(data: bytes, stream: bytes) -> bytes:
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+class SecureChannel:
+    """One direction-agnostic endpoint of a PSK-secured broker channel.
+
+    Frame format: ``nonce(8) || ciphertext || tag(32)``. The receiver
+    enforces strictly increasing nonces, so captured frames cannot be
+    replayed.
+    """
+
+    TAG_LEN = 32
+    NONCE_LEN = 8
+
+    def __init__(self, psk: bytes):
+        if len(psk) < 16:
+            raise ValueError("pre-shared key must be at least 16 bytes")
+        self._enc_key = hashlib.sha256(b"enc" + psk).digest()
+        self._mac_key = hashlib.sha256(b"mac" + psk).digest()
+        self._send_nonce = itertools.count(1)
+        self._last_seen_nonce = 0
+
+    # ------------------------------------------------------------------
+
+    def seal(self, plaintext: bytes) -> bytes:
+        """Encrypt-then-MAC one message."""
+        nonce = next(self._send_nonce)
+        header = struct.pack(">Q", nonce)
+        ciphertext = _xor(plaintext,
+                          _keystream(self._enc_key, nonce, len(plaintext)))
+        tag = hmac.new(self._mac_key, header + ciphertext,
+                       hashlib.sha256).digest()
+        return header + ciphertext + tag
+
+    def open(self, frame: bytes) -> bytes:
+        """Verify, replay-check, and decrypt one frame.
+
+        Raises:
+            BrokerDenied: bad tag, truncated frame, or replayed nonce.
+        """
+        if len(frame) < self.NONCE_LEN + self.TAG_LEN:
+            raise BrokerDenied("secure channel: truncated frame")
+        header = frame[:self.NONCE_LEN]
+        ciphertext = frame[self.NONCE_LEN:-self.TAG_LEN]
+        tag = frame[-self.TAG_LEN:]
+        expected = hmac.new(self._mac_key, header + ciphertext,
+                            hashlib.sha256).digest()
+        if not hmac.compare_digest(tag, expected):
+            raise BrokerDenied("secure channel: authentication failed")
+        (nonce,) = struct.unpack(">Q", header)
+        if nonce <= self._last_seen_nonce:
+            raise BrokerDenied("secure channel: replayed frame")
+        self._last_seen_nonce = nonce
+        return _xor(ciphertext,
+                    _keystream(self._enc_key, nonce, len(ciphertext)))
+
+
+class SecureBrokerTransport:
+    """Wraps a PermissionBroker's byte interface in a SecureChannel pair."""
+
+    def __init__(self, broker, psk: bytes):
+        self.broker = broker
+        self._client_channel = SecureChannel(psk)
+        self._server_channel = SecureChannel(psk)
+        # independent return-path channels (separate nonce spaces)
+        self._server_reply = SecureChannel(psk + b"reply")
+        self._client_reply = SecureChannel(psk + b"reply")
+
+    def request(self, request_bytes: bytes) -> bytes:
+        """Client side: seal the request, unseal the response."""
+        frame = self._client_channel.seal(request_bytes)
+        reply_frame = self._serve(frame)
+        return self._client_reply.open(reply_frame)
+
+    def _serve(self, frame: bytes) -> bytes:
+        """Server side: unseal, dispatch to the broker, seal the reply."""
+        plaintext = self._server_channel.open(frame)
+        response = self.broker.handle_bytes(plaintext)
+        return self._server_reply.seal(response)

@@ -1,0 +1,138 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+    demo                 the quickstart workflow, narrated
+    experiment NAME      regenerate one paper table/figure
+                         (table1..table4, figure7..figure9, or ``all``)
+    threats              run the Table 1 threat analysis
+    anomaly              run the audit-log anomaly-detection extension
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+EXPERIMENT_NAMES = ("table1", "table2", "table3", "table4",
+                    "figure7", "figure8", "figure9")
+
+
+def _cmd_demo(_args) -> int:
+    from repro import WatchITDeployment
+    deployment = WatchITDeployment.bootstrap()
+    deployment.register_admin("it-bob")
+    ticket = deployment.submit_ticket(
+        "alice", "matlab license expired toolbox error", machine="ws-01")
+    session = deployment.handle(ticket, admin="it-bob")
+    print(f"ticket #{ticket.ticket_id} -> class {ticket.predicted_class} "
+          f"-> container on {ticket.machine}")
+    session.shell.write_file("/home/alice/matlab/license.lic", b"VALID-2018")
+    print("license fixed inside the perforated view")
+    print("PB ps -a:",
+          [r["comm"] for r in session.client.pb("ps -a").output])
+    deployment.resolve(session)
+    summary = deployment.audit_summary()
+    print(f"resolved; {summary['records']} audit records, "
+          f"chain verified: {summary['verified']}")
+    return 0
+
+
+def _run_experiment(name: str, full: bool) -> int:
+    from repro import experiments as exp
+    if name == "table1":
+        print(exp.run_table1().format())
+    elif name == "table2":
+        result = exp.run_table2(n_tickets=1500 if full else 600,
+                                n_iter=80 if full else 50)
+        print(result.format())
+    elif name == "table3":
+        print(exp.run_table3(probe=True).format())
+    elif name == "table4":
+        result = exp.run_table4(n_tickets=398 if full else 150,
+                                classifier="lda" if full else "keyword")
+        print(result.format())
+    elif name == "figure7":
+        print(exp.run_figure7(n_tickets=17000 if full else 4000).format())
+    elif name == "figure8":
+        print(exp.run_figure8(execute=True).format())
+    elif name == "figure9":
+        print(exp.run_figure9(scale=4 if full else 1).format())
+    else:
+        print(f"unknown experiment {name!r}; choose from "
+              f"{', '.join(EXPERIMENT_NAMES)} or 'all'", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    if getattr(args, "report", None):
+        if args.name != "all":
+            print("--report requires 'all'", file=sys.stderr)
+            return 2
+        from repro.experiments import write_report
+        path = write_report(args.report, full=args.full)
+        print(f"report written to {path}")
+        return 0
+    names = EXPERIMENT_NAMES if args.name == "all" else (args.name,)
+    for name in names:
+        print("=" * 72)
+        status = _run_experiment(name, args.full)
+        if status:
+            return status
+    return 0
+
+
+def _cmd_threats(_args) -> int:
+    from repro.threats import format_table1, run_threat_analysis
+    results = run_threat_analysis()
+    print(format_table1(results))
+    blocked = sum(r.blocked for r in results)
+    print(f"\n{blocked}/11 attacks blocked or detected")
+    return 0 if blocked == len(results) else 1
+
+
+def _cmd_anomaly(args) -> int:
+    from repro.anomaly import AnomalyDetector, generate_session_corpus
+    logs = generate_session_corpus(n_benign=args.benign,
+                                   n_malicious=args.malicious)
+    benign = [l for l in logs if l.label == "benign"]
+    detector = AnomalyDetector(threshold=args.threshold)
+    detector.fit(benign[: max(len(benign) // 2, 1)])
+    print(detector.evaluate(logs).format())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WatchIT (SOSP 2017) reproduction — demos & experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="run the quickstart workflow")
+
+    p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
+    p_exp.add_argument("name", choices=EXPERIMENT_NAMES + ("all",))
+    p_exp.add_argument("--full", action="store_true",
+                       help="paper-scale parameters (slower)")
+    p_exp.add_argument("--report", metavar="PATH", default=None,
+                       help="with 'all': write a markdown report to PATH")
+
+    sub.add_parser("threats", help="run the Table 1 threat analysis")
+
+    p_anom = sub.add_parser("anomaly", help="audit-log anomaly detection")
+    p_anom.add_argument("--benign", type=int, default=40)
+    p_anom.add_argument("--malicious", type=int, default=8)
+    p_anom.add_argument("--threshold", type=float, default=6.0)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"demo": _cmd_demo, "experiment": _cmd_experiment,
+                "threats": _cmd_threats, "anomaly": _cmd_anomaly}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

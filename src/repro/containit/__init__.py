@@ -1,0 +1,37 @@
+"""ContainIT: perforated-container specs and runtime."""
+
+from repro.containit.container import AddressBook, AdminShell, PerforatedContainer
+from repro.containit.terminal import Terminal
+from repro.containit.spec import (
+    BATCH_SERVER,
+    ETC_DIRECTORY,
+    HOME_DIRECTORY,
+    KNOWN_DESTINATIONS,
+    LICENSE_SERVER,
+    ROOT_DIRECTORY,
+    SHARED_STORAGE,
+    SOFTWARE_REPOSITORY,
+    TARGET_MACHINE,
+    WHITELISTED_WEBSITES,
+    PerforatedContainerSpec,
+    fully_isolated_spec,
+)
+
+__all__ = [
+    "AddressBook",
+    "AdminShell",
+    "BATCH_SERVER",
+    "ETC_DIRECTORY",
+    "HOME_DIRECTORY",
+    "KNOWN_DESTINATIONS",
+    "LICENSE_SERVER",
+    "PerforatedContainer",
+    "PerforatedContainerSpec",
+    "ROOT_DIRECTORY",
+    "SHARED_STORAGE",
+    "SOFTWARE_REPOSITORY",
+    "TARGET_MACHINE",
+    "Terminal",
+    "WHITELISTED_WEBSITES",
+    "fully_isolated_spec",
+]

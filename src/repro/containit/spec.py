@@ -1,0 +1,182 @@
+"""Perforated container specifications.
+
+A :class:`PerforatedContainerSpec` is the declarative description of one
+ticket class's confinement (one row of paper Table 3): which namespaces are
+unshared, which filesystem subtrees are exposed (always through ITFS),
+which network destinations are reachable, whether the process-management
+permission set is granted, and which hard constraints apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.kernel.namespaces import ALL_CLONE_FLAGS, NamespaceKind
+
+#: Symbolic network destinations, resolved to addresses at deploy time.
+LICENSE_SERVER = "license-server"
+BATCH_SERVER = "batch-server"
+SHARED_STORAGE = "shared-storage"
+TARGET_MACHINE = "target-machine"
+SOFTWARE_REPOSITORY = "software-repository"
+WHITELISTED_WEBSITES = "whitelisted-websites"
+
+KNOWN_DESTINATIONS = frozenset({
+    LICENSE_SERVER, BATCH_SERVER, SHARED_STORAGE, TARGET_MACHINE,
+    SOFTWARE_REPOSITORY, WHITELISTED_WEBSITES,
+})
+
+#: Filesystem share tokens; ``{user}`` is substituted with the ticket's
+#: reporting user at deploy time.
+HOME_DIRECTORY = "/home/{user}"
+ETC_DIRECTORY = "/etc"
+ROOT_DIRECTORY = "/"
+
+
+@dataclass(frozen=True)
+class PerforatedContainerSpec:
+    """Declarative confinement for one ticket class.
+
+    Attributes:
+        name: class identifier (``T-1`` ... ``T-11``, ``S-1`` ...).
+        description: human-readable purpose.
+        fs_shares: host subtrees exposed inside the container via ITFS
+            bind mounts (``{user}`` templates allowed). An entry equal to
+            ``/`` means the whole host root is exposed (ITFS-monitored),
+            the paper's T-6 configuration.
+        network_allowed: symbolic destinations reachable from the
+            container's (fresh) NET namespace.
+        share_network_ns: perforate the NET namespace entirely — the
+            container sees the host's routes/firewall/devices (T-4).
+        process_management: grant the paper's "process management
+            permission set": share the host PID namespace so the admin can
+            see/kill host processes, restart services, and reboot.
+        share_ipc / share_uts: further perforations (rarely needed).
+        block_documents: apply the global document/image hard constraint
+            (anti-stringing, Table 1 attack 10).
+        signature_monitoring: use magic-byte signature rules instead of
+            extension rules for the hard constraint (costlier, stronger).
+        extra_fs_rule_classes: additional ITFS-blocked content classes.
+        installed_software: packages baked into the container image.
+        monitor_filesystem / monitor_network: enable the two monitors
+            ("alongside the isolation, filesystem accesses are monitored by
+            ITFS and network traffic is sniffed by IDS software").
+    """
+
+    name: str
+    description: str = ""
+    fs_shares: Tuple[str, ...] = ()
+    network_allowed: Tuple[str, ...] = ()
+    share_network_ns: bool = False
+    process_management: bool = False
+    share_ipc: bool = False
+    share_uts: bool = False
+    block_documents: bool = True
+    signature_monitoring: bool = False
+    extra_fs_rule_classes: Tuple[str, ...] = ()
+    installed_software: Tuple[str, ...] = ()
+    monitor_filesystem: bool = True
+    monitor_network: bool = True
+    #: deploy on the ticket's *target* machine as well as the reporter's
+    #: (paper §7.1.2 on T-9: "this container is deployed both on the user
+    #: and the target machines, since configurations might need to be
+    #: fixed in both of them").
+    deploy_on_target_too: bool = False
+
+    def __post_init__(self):
+        unknown = set(self.network_allowed) - KNOWN_DESTINATIONS
+        if unknown:
+            raise ValueError(f"unknown network destinations: {sorted(unknown)}")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def shares_full_root(self) -> bool:
+        """True when the container sees the entire (monitored) host root."""
+        return ROOT_DIRECTORY in self.fs_shares
+
+    def clone_flags(self) -> FrozenSet[NamespaceKind]:
+        """Namespaces to *unshare* when creating the container's init.
+
+        Starts from full isolation (traditional container) and punches the
+        holes the spec requests.
+        """
+        flags = set(ALL_CLONE_FLAGS)
+        if self.share_network_ns:
+            flags.discard(NamespaceKind.NET)
+        if self.process_management:
+            flags.discard(NamespaceKind.PID)
+        if self.share_ipc:
+            flags.discard(NamespaceKind.IPC)
+        if self.share_uts:
+            flags.discard(NamespaceKind.UTS)
+        return frozenset(flags)
+
+    def holes(self) -> FrozenSet[NamespaceKind]:
+        """The perforations: namespace kinds shared with the host."""
+        return frozenset(ALL_CLONE_FLAGS) - self.clone_flags()
+
+    def resolved_fs_shares(self, user: str = "end-user") -> Tuple[str, ...]:
+        """Substitute the ``{user}`` template in filesystem shares."""
+        return tuple(share.format(user=user) for share in self.fs_shares)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize to plain data (the image-repository storage format)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "fs_shares": list(self.fs_shares),
+            "network_allowed": list(self.network_allowed),
+            "share_network_ns": self.share_network_ns,
+            "process_management": self.process_management,
+            "share_ipc": self.share_ipc,
+            "share_uts": self.share_uts,
+            "block_documents": self.block_documents,
+            "signature_monitoring": self.signature_monitoring,
+            "extra_fs_rule_classes": list(self.extra_fs_rule_classes),
+            "installed_software": list(self.installed_software),
+            "monitor_filesystem": self.monitor_filesystem,
+            "monitor_network": self.monitor_network,
+            "deploy_on_target_too": self.deploy_on_target_too,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PerforatedContainerSpec":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {
+            "name", "description", "fs_shares", "network_allowed",
+            "share_network_ns", "process_management", "share_ipc",
+            "share_uts", "block_documents", "signature_monitoring",
+            "extra_fs_rule_classes", "installed_software",
+            "monitor_filesystem", "monitor_network", "deploy_on_target_too",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown spec fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        for tuple_field in ("fs_shares", "network_allowed",
+                            "extra_fs_rule_classes", "installed_software"):
+            if tuple_field in kwargs:
+                kwargs[tuple_field] = tuple(kwargs[tuple_field])
+        return cls(**kwargs)
+
+    def isolation_summary(self) -> Dict[str, object]:
+        """A Table 3-style row describing this class's confinement."""
+        return {
+            "class": self.name,
+            "process_management": self.process_management,
+            "fs": list(self.fs_shares),
+            "full_root": self.shares_full_root,
+            "network": list(self.network_allowed),
+            "network_namespace_shared": self.share_network_ns,
+            "hard_constraints": self.block_documents,
+        }
+
+
+def fully_isolated_spec(name: str = "T-11",
+                        description: str = "Other / unclassified") -> PerforatedContainerSpec:
+    """The paper's T-11: a fully isolated container that logs everything."""
+    return PerforatedContainerSpec(
+        name=name, description=description, fs_shares=(), network_allowed=(),
+        block_documents=True, monitor_filesystem=True, monitor_network=True)

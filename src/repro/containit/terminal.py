@@ -1,0 +1,197 @@
+"""A minimal interactive terminal over an AdminShell.
+
+Renders the administrator's session the way paper Figure 6 shows it: a
+``root@ITContainer`` prompt, familiar commands (``ls``, ``cat``, ``ps``),
+and the ``PB``-prefixed escalations routed through the permission broker.
+Purely presentational — every command maps 1:1 onto AdminShell /
+BrokerClient calls, so all confinement still applies.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.containit.container import AdminShell
+from repro.errors import ReproError
+from repro.kernel.vfs import join_path
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.broker.client import BrokerClient
+
+
+def _format_ps(rows: List[dict]) -> str:
+    lines = [f"{'PID':>5} {'TTY':<7} {'TIME':>8} CMD"]
+    for row in rows:
+        lines.append(f"{row['pid']:>5} {'pts/4':<7} {'00:00:00':>8} {row['comm']}")
+    return "\n".join(lines)
+
+
+class Terminal:
+    """One interactive session bound to a contained admin shell."""
+
+    def __init__(self, shell: AdminShell, client: Optional["BrokerClient"] = None,
+                 user: str = "root"):
+        self.shell = shell
+        self.client = client
+        self.user = user
+        self._handlers: Dict[str, Callable[[List[str]], str]] = {
+            "ls": self._ls, "cat": self._cat, "ps": self._ps,
+            "hostname": self._hostname, "pwd": self._pwd, "cd": self._cd,
+            "mkdir": self._mkdir, "rm": self._rm, "kill": self._kill,
+            "mount": self._mount, "whoami": self._whoami,
+            "service": self._service, "reboot": self._reboot,
+            "echo": self._echo, "grep": self._grep, "PB": self._pb,
+        }
+
+    # ------------------------------------------------------------------
+
+    @property
+    def prompt(self) -> str:
+        cwd = self.shell.proc.cwd
+        return f"{self.user}@{self.shell.hostname()}:{cwd}# "
+
+    def run(self, line: str) -> str:
+        """Execute one command line; errors render as shell messages."""
+        try:
+            argv = shlex.split(line)
+        except ValueError as exc:
+            return f"bash: parse error: {exc}"
+        if not argv:
+            return ""
+        handler = self._handlers.get(argv[0])
+        if handler is None:
+            return f"bash: {argv[0]}: command not found"
+        try:
+            return handler(argv[1:])
+        except ReproError as exc:
+            return f"bash: {argv[0]}: {exc}"
+
+    def transcript(self, lines: List[str]) -> str:
+        """Run several commands, echoing prompts — Figure 6 style output."""
+        out = []
+        for line in lines:
+            out.append(self.prompt + line)
+            result = self.run(line)
+            if result:
+                out.append(result)
+        out.append(self.prompt)
+        return "\n".join(out)
+
+    # ------------------------------------------------------------------
+
+    def _resolve_arg(self, args: List[str], default: str = ".") -> str:
+        path = args[0] if args else default
+        if not path.startswith("/"):
+            path = join_path(self.shell.proc.cwd, path)
+        return path
+
+    def _ls(self, args: List[str]) -> str:
+        names = self.shell.listdir(self._resolve_arg(args))
+        return "  ".join(names)
+
+    def _cat(self, args: List[str]) -> str:
+        if not args:
+            return "usage: cat <file>"
+        data = self.shell.read_file(self._resolve_arg(args))
+        return data.decode(errors="replace")
+
+    def _echo(self, args: List[str]) -> str:
+        if ">" in args:
+            split = args.index(">")
+            text, target = " ".join(args[:split]), args[split + 1:]
+            if not target:
+                return "bash: syntax error near '>'"
+            path = target[0] if target[0].startswith("/") else \
+                join_path(self.shell.proc.cwd, target[0])
+            self.shell.write_file(path, (text + "\n").encode())
+            return ""
+        return " ".join(args)
+
+    def _ps(self, args: List[str]) -> str:
+        return _format_ps(self.shell.ps())
+
+    def _hostname(self, args: List[str]) -> str:
+        return self.shell.hostname()
+
+    def _pwd(self, args: List[str]) -> str:
+        return self.shell.proc.cwd
+
+    def _cd(self, args: List[str]) -> str:
+        path = self._resolve_arg(args, default="/")
+        stat = self.shell.stat(path)
+        from repro.kernel.vfs import FileType
+        if stat.ftype is not FileType.DIRECTORY:
+            return f"bash: cd: {path}: Not a directory"
+        self.shell.proc.cwd = path
+        return ""
+
+    def _mkdir(self, args: List[str]) -> str:
+        self.shell.mkdir(self._resolve_arg(args))
+        return ""
+
+    def _rm(self, args: List[str]) -> str:
+        self.shell.unlink(self._resolve_arg(args))
+        return ""
+
+    def _kill(self, args: List[str]) -> str:
+        if not args:
+            return "usage: kill <pid>"
+        self.shell.kill(int(args[0]))
+        return ""
+
+    def _mount(self, args: List[str]) -> str:
+        return "\n".join(f"{src} on {mp} type {fstype}"
+                         for src, mp, fstype in self.shell.mounts())
+
+    def _whoami(self, args: List[str]) -> str:
+        return self.user if self.shell.proc.creds.uid == 0 else \
+            f"uid={self.shell.proc.creds.uid}"
+
+    def _service(self, args: List[str]) -> str:
+        if len(args) != 2 or args[1] != "restart":
+            return "usage: service <name> restart"
+        self.shell.restart_service(args[0])
+        return f"Restarting {args[0]}: done"
+
+    def _reboot(self, args: List[str]) -> str:
+        self.shell.reboot()
+        return "The system is going down for reboot NOW!"
+
+    def _grep(self, args: List[str]) -> str:
+        """``grep -r <pattern> <path>`` — §7.3's typical admin task."""
+        argv = [a for a in args if a != "-r"]
+        if len(argv) != 2:
+            return "usage: grep [-r] <pattern> <path>"
+        pattern, root = argv[0].encode(), self._resolve_arg(argv[1:])
+        hits = []
+        from repro.kernel.vfs import FileType
+        stat = self.shell.stat(root)
+        if stat.ftype is not FileType.DIRECTORY:
+            targets = [root]
+        else:
+            targets = [join_path(d, f)
+                       for d, _dirs, files in self.shell.walk(root)
+                       for f in files]
+        for path in targets:
+            try:
+                data = self.shell.read_file(path)
+            except ReproError:
+                continue  # unreadable (blocked/denied) files are skipped
+            for line in data.split(b"\n"):
+                if pattern in line:
+                    hits.append(f"{path}:{line.decode(errors='replace')}")
+        return "\n".join(hits)
+
+    def _pb(self, args: List[str]) -> str:
+        """``PB <command>`` — escalate through the permission broker."""
+        if self.client is None:
+            return "bash: PB: permission broker not connected"
+        if not args:
+            return "usage: PB <command> [args...]"
+        response = self.client.pb(" ".join(args))
+        if not response.ok:
+            return f"PB: {response.error}"
+        if args[0] == "ps":
+            return _format_ps(response.output)
+        return str(response.output)

@@ -1,0 +1,173 @@
+"""Exception hierarchy for the WatchIT reproduction.
+
+The simulated kernel signals failures the way Linux does — with errno-style
+error classes — so that confinement tests can assert *which* rule rejected
+an operation (e.g. a capability check vs. an ITFS policy denial).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class KernelError(ReproError):
+    """Base class for errors raised by the simulated kernel.
+
+    Attributes:
+        errno_name: symbolic errno the real kernel would have returned.
+    """
+
+    errno_name = "EIO"
+
+    def __init__(self, message: str = ""):
+        super().__init__(f"[{self.errno_name}] {message}" if message else f"[{self.errno_name}]")
+        self.message = message
+
+
+class PermissionDenied(KernelError):
+    """DAC permission check failed (EACCES)."""
+
+    errno_name = "EACCES"
+
+
+class OperationNotPermitted(KernelError):
+    """A privileged operation was attempted without the required capability (EPERM)."""
+
+    errno_name = "EPERM"
+
+
+class CapabilityError(OperationNotPermitted):
+    """A specific POSIX capability was missing.
+
+    Attributes:
+        capability: the missing :class:`repro.kernel.capabilities.Capability`.
+    """
+
+    def __init__(self, capability, message: str = ""):
+        super().__init__(message or f"requires {getattr(capability, 'name', capability)}")
+        self.capability = capability
+
+
+class FileNotFound(KernelError):
+    """Path resolution failed (ENOENT)."""
+
+    errno_name = "ENOENT"
+
+
+class FileExists(KernelError):
+    """Exclusive creation hit an existing entry (EEXIST)."""
+
+    errno_name = "EEXIST"
+
+
+class NotADirectory(KernelError):
+    """A path component that must be a directory is not one (ENOTDIR)."""
+
+    errno_name = "ENOTDIR"
+
+
+class IsADirectory(KernelError):
+    """A file operation was attempted on a directory (EISDIR)."""
+
+    errno_name = "EISDIR"
+
+
+class DirectoryNotEmpty(KernelError):
+    """rmdir on a non-empty directory (ENOTEMPTY)."""
+
+    errno_name = "ENOTEMPTY"
+
+
+class InvalidArgument(KernelError):
+    """Malformed syscall argument (EINVAL)."""
+
+    errno_name = "EINVAL"
+
+
+class ResourceBusy(KernelError):
+    """The target is in use, e.g. unmounting a busy mountpoint (EBUSY)."""
+
+    errno_name = "EBUSY"
+
+
+class NoSuchProcess(KernelError):
+    """The target pid is not visible or does not exist (ESRCH)."""
+
+    errno_name = "ESRCH"
+
+
+class BadFileDescriptor(KernelError):
+    """An fd that is not open in the calling process (EBADF)."""
+
+    errno_name = "EBADF"
+
+
+class TooManySymlinks(KernelError):
+    """Symlink resolution exceeded the loop limit (ELOOP)."""
+
+    errno_name = "ELOOP"
+
+
+class ReadOnlyFilesystem(KernelError):
+    """Write attempted on a read-only mount (EROFS)."""
+
+    errno_name = "EROFS"
+
+
+class NetworkUnreachable(KernelError):
+    """No route to the destination from the caller's network namespace (ENETUNREACH)."""
+
+    errno_name = "ENETUNREACH"
+
+
+class ConnectionRefused(KernelError):
+    """Destination reachable but nothing listens on the port (ECONNREFUSED)."""
+
+    errno_name = "ECONNREFUSED"
+
+
+class FirewallBlocked(KernelError):
+    """A firewall rule in one of the involved network namespaces dropped the flow."""
+
+    errno_name = "EPERM"
+
+
+class AccessBlocked(ReproError):
+    """An ITFS or network-monitor policy rule denied the operation.
+
+    Distinct from :class:`PermissionDenied` so tests can tell WatchIT policy
+    denials apart from ordinary DAC failures.
+
+    Attributes:
+        rule: the policy rule (or rule name) that fired, when known.
+    """
+
+    def __init__(self, message: str = "", rule=None):
+        super().__init__(message)
+        self.rule = rule
+
+
+class BrokerDenied(ReproError):
+    """The permission broker refused an escalation request."""
+
+
+class CertificateError(ReproError):
+    """A login certificate was invalid, expired, or revoked."""
+
+
+class IntegrityError(ReproError):
+    """TCB integrity validation failed (tampered component or log)."""
+
+
+class SessionTerminated(ReproError):
+    """The ContainIT session was torn down (e.g. a peer WatchIT process died)."""
+
+
+class ExclusionViolation(OperationNotPermitted):
+    """Access to a subtree listed in the caller's XCL namespace exclusion table."""
+
+
+class TicketError(ReproError):
+    """Invalid ticket workflow operation (e.g. IT personnel creating tickets)."""

@@ -1,0 +1,57 @@
+"""Experiment runners — one module per paper table/figure.
+
+| Experiment | Runner |
+|---|---|
+| Table 1 (threat analysis)        | :func:`run_table1` |
+| Table 2 (LDA topics)             | :func:`run_table2` |
+| Table 3 (per-class isolation)    | :func:`run_table3` |
+| Table 4 (evaluation replay)      | :func:`run_table4` |
+| Figure 7 (category distribution) | :func:`run_figure7` |
+| Figure 8 (script containers)     | :func:`run_figure8` |
+| Figure 9 (ITFS performance)      | :func:`run_figure9` |
+"""
+
+from repro.experiments.figure7_distribution import PAPER_FIGURE7, run_figure7
+from repro.experiments.figure8_scripts import (
+    PAPER_FIGURE8A,
+    PAPER_FIGURE8B,
+    run_figure8,
+)
+from repro.experiments.figure9_itfs import PAPER_FIGURE9, run_figure9
+from repro.experiments.rig import (
+    DESTINATION_ENDPOINTS,
+    STANDARD_ADDRESS_BOOK,
+    CaseStudyRig,
+    build_case_study_rig,
+)
+from repro.experiments.report import generate_report, write_report
+from repro.experiments.table1_threats import run_table1
+from repro.experiments.table2_lda import run_table2
+from repro.experiments.table3_permissions import run_table3
+from repro.experiments.table4_evaluation import (
+    PAPER_ISOLATION_STATS,
+    PAPER_TABLE4,
+    run_table4,
+)
+
+__all__ = [
+    "CaseStudyRig",
+    "DESTINATION_ENDPOINTS",
+    "PAPER_FIGURE7",
+    "PAPER_FIGURE8A",
+    "PAPER_FIGURE8B",
+    "PAPER_FIGURE9",
+    "PAPER_ISOLATION_STATS",
+    "PAPER_TABLE4",
+    "STANDARD_ADDRESS_BOOK",
+    "build_case_study_rig",
+    "generate_report",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "write_report",
+]

@@ -1,0 +1,51 @@
+"""Experiment: Figure 7 — ticket category distribution.
+
+Regenerates the pie chart's data series: the share of each ticket class in
+the historical corpus, compared against the paper's reported percentages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.workload.corpus import TICKET_CLASSES, class_distribution, generate_corpus
+
+#: the paper's Figure 7 percentages
+PAPER_FIGURE7: Dict[str, float] = {
+    "T-1": 0.05, "T-2": 0.11, "T-3": 0.07, "T-4": 0.07, "T-5": 0.04,
+    "T-6": 0.15, "T-7": 0.08, "T-8": 0.09, "T-9": 0.23, "T-10": 0.11,
+}
+
+
+@dataclass
+class Figure7Result:
+    measured: Dict[str, float]
+    paper: Dict[str, float]
+
+    def rows(self) -> List[Tuple[str, str, float, float, float]]:
+        """(class, title, measured, paper, abs error) rows."""
+        out = []
+        for c in TICKET_CLASSES:
+            measured = self.measured.get(c.class_id, 0.0)
+            paper = self.paper[c.class_id]
+            out.append((c.class_id, c.title, measured, paper,
+                        abs(measured - paper)))
+        return out
+
+    @property
+    def max_abs_error(self) -> float:
+        return max(err for *_rest, err in self.rows())
+
+    def format(self) -> str:
+        lines = ["Figure 7 — ticket category distribution",
+                 f"{'Class':<6} {'Category':<32} {'Measured':>9} {'Paper':>7}"]
+        for class_id, title, measured, paper, _ in self.rows():
+            lines.append(f"{class_id:<6} {title:<32} {measured:>8.1%} {paper:>6.0%}")
+        return "\n".join(lines)
+
+
+def run_figure7(n_tickets: int = 5000, seed: int = 7) -> Figure7Result:
+    corpus = generate_corpus(n_tickets, seed=seed)
+    return Figure7Result(measured=class_distribution(corpus),
+                         paper=dict(PAPER_FIGURE7))

@@ -1,0 +1,110 @@
+"""The case-study rig: a simulated organization for the experiments.
+
+Builds the environment the Section 7 experiments run in: a managed
+workstation with the filesystem content the evaluation tickets touch, the
+organizational services (license server, shared storage, software
+repository, batch/LSF server, whitelisted web), a target machine, and the
+standard address book.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.containit import AddressBook
+from repro.kernel import Kernel, Network
+from repro.tcb import install_watchit_components
+
+LICENSE_IP = "10.0.1.10"
+STORAGE_IP = "10.0.1.20"
+REPO_IP = "10.0.1.30"
+BATCH_IP = "10.0.1.40"
+WEB_IP = "8.8.4.4"
+TARGET_IP = "10.0.0.7"
+
+STANDARD_ADDRESS_BOOK: AddressBook = {
+    "license-server": [(LICENSE_IP, 27000)],
+    "shared-storage": [(STORAGE_IP, 2049)],
+    "software-repository": [(REPO_IP, 8080)],
+    "batch-server": [(BATCH_IP, 6500)],
+    "whitelisted-websites": [(WEB_IP, 443)],
+    "target-machine": [("10.0.0.0/24", None)],
+}
+
+#: concrete endpoints per symbolic destination, for replaying "net" ops
+DESTINATION_ENDPOINTS: Dict[str, Tuple[str, int]] = {
+    "license-server": (LICENSE_IP, 27000),
+    "shared-storage": (STORAGE_IP, 2049),
+    "software-repository": (REPO_IP, 8080),
+    "batch-server": (BATCH_IP, 6500),
+    "whitelisted-websites": (WEB_IP, 443),
+    "target-machine": (TARGET_IP, 22),
+}
+
+_USERS = ("alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi")
+
+#: host filesystem content covering every path the ticket ops touch
+def _host_tree() -> dict:
+    tree: dict = {
+        "etc": {
+            "passwd": "root:x:0:0\n" + "".join(
+                f"{u}:x:{1000 + i}:{1000 + i}\n" for i, u in enumerate(_USERS)),
+            "shadow": "root:!:19000::\n",
+            "fstab": "/dev/sda / ext4 defaults 0 1\n",
+            "ssh": {"sshd_config": "PermitRootLogin no\n"},
+            "vm-ownership.conf": "vm-llvm2: root\n",
+            "apt.conf": "APT::Default-Release \"stable\";\n",
+            "modules": "loop\n",
+        },
+        "usr": {"lib": {"libc.so": b"\x7fELF libc"}},
+        "var": {"log": {"syslog": "boot ok\nERROR disk warning\n"}},
+        "home": {},
+    }
+    for user in _USERS:
+        tree["home"][user] = {
+            "notes.txt": f"notes of {user}",
+            "salary.docx": b"PK\x03\x04 confidential",
+            ".ssh": {"config": "Host *\n"},
+            "matlab": {"license.lic": "EXPIRED 2016-12-31"},
+        }
+    return tree
+
+
+@dataclass
+class CaseStudyRig:
+    """One assembled case-study environment."""
+
+    network: Network
+    host: Kernel
+    address_book: AddressBook
+    software_repository: Dict[str, bytes]
+
+
+def build_case_study_rig(hostname: str = "ws-01") -> CaseStudyRig:
+    """Assemble the organization the Section 7 experiments exercise."""
+    network = Network()
+    host = Kernel(hostname, ip="10.0.0.5", network=network)
+    install_watchit_components(host.rootfs)
+    host.rootfs.populate(_host_tree())
+    for service in ("sshd", "cron", "network", "spark", "swift"):
+        host.register_service(service)
+
+    Kernel("license-srv", ip=LICENSE_IP, network=network)
+    network.listen(LICENSE_IP, 27000, lambda pkt: b"LICENSE-OK")
+    Kernel("storage", ip=STORAGE_IP, network=network)
+    network.listen(STORAGE_IP, 2049, lambda pkt: b"NFS-OK")
+    Kernel("repo", ip=REPO_IP, network=network)
+    network.listen(REPO_IP, 8080, lambda pkt: b"\x7fELF pkg")
+    Kernel("batch", ip=BATCH_IP, network=network)
+    network.listen(BATCH_IP, 6500, lambda pkt: b"LSF-OK")
+    Kernel("web", ip=WEB_IP, network=network)
+    network.listen(WEB_IP, 443, lambda pkt: b"HTTP/1.1 200 OK")
+    Kernel("target", ip=TARGET_IP, network=network)
+    network.listen(TARGET_IP, 22, lambda pkt: b"SSH-2.0-OpenSSH")
+
+    return CaseStudyRig(network=network, host=host,
+                        address_book=dict(STANDARD_ADDRESS_BOOK),
+                        software_repository={
+                            "matlab-toolbox": b"\x7fELF toolbox",
+                        })

@@ -1,0 +1,28 @@
+"""Experiment: Table 1 — attacks, defenses, and weaknesses.
+
+Thin wrapper over :mod:`repro.threats` that runs all eleven attacks and
+formats the results in the paper's table layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.threats import AttackResult, format_table1, run_threat_analysis
+
+
+@dataclass
+class Table1Result:
+    results: List[AttackResult]
+
+    @property
+    def all_blocked(self) -> bool:
+        return all(r.blocked for r in self.results)
+
+    def format(self) -> str:
+        return format_table1(self.results)
+
+
+def run_table1() -> Table1Result:
+    return Table1Result(results=run_threat_analysis())

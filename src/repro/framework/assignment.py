@@ -1,0 +1,93 @@
+"""Permission-based ticket assignment (paper Sections 2 and 6.2).
+
+Tickets are "assigned to specific IT personnel, based on expertise or
+required permissions", and large organizations can blunt ticket stringing
+by "assigning to each IT person only tickets of the same class". The
+:class:`AssignmentPolicy` encodes both: per-admin allowed classes plus an
+optional single-class mode that pins each admin to the first class they
+ever handle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.errors import TicketError
+from repro.framework.tickets import Ticket
+
+
+@dataclass
+class AssignmentPolicy:
+    """Who may handle which ticket classes.
+
+    Attributes:
+        admin_classes: admin -> classes they are allowed to handle. Admins
+            absent from the map may handle anything (expertise unknown).
+        single_class_mode: the §6.2 hardening — each admin is pinned to
+            one class: the first they handle (or their sole configured
+            class). Stringing tickets of different classes then requires
+            *multiple colluding admins*.
+    """
+
+    admin_classes: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+    single_class_mode: bool = False
+    _pinned: Dict[str, str] = field(default_factory=dict)
+
+    def register_admin(self, admin: str, classes) -> None:
+        self.admin_classes[admin] = frozenset(classes)
+
+    def allowed_classes(self, admin: str) -> Optional[FrozenSet[str]]:
+        """Configured classes for ``admin`` (None = unrestricted)."""
+        return self.admin_classes.get(admin)
+
+    def check(self, admin: str, ticket: Ticket) -> None:
+        """Validate an assignment; raises :class:`TicketError` on refusal."""
+        if ticket.predicted_class is None:
+            raise TicketError(f"ticket {ticket.ticket_id} is unclassified")
+        allowed = self.admin_classes.get(admin)
+        if allowed is not None and ticket.predicted_class not in allowed:
+            raise TicketError(
+                f"{admin} is not permitted to handle "
+                f"{ticket.predicted_class} tickets")
+        if self.single_class_mode:
+            pinned = self._pinned.get(admin)
+            if pinned is not None and pinned != ticket.predicted_class:
+                raise TicketError(
+                    f"single-class mode: {admin} handles {pinned} tickets, "
+                    f"not {ticket.predicted_class}")
+
+    def record(self, admin: str, ticket: Ticket) -> None:
+        """Commit the assignment (pins the admin in single-class mode)."""
+        if self.single_class_mode and admin not in self._pinned:
+            self._pinned[admin] = ticket.predicted_class
+
+    def assign(self, admin: str, ticket: Ticket) -> None:
+        """check + record + mark the ticket."""
+        self.check(admin, ticket)
+        self.record(admin, ticket)
+        ticket.assign_to(admin)
+
+
+def round_robin_dispatch(tickets: List[Ticket], policy: AssignmentPolicy,
+                         admins: List[str]) -> Dict[str, List[Ticket]]:
+    """Dispatch tickets to the first admin the policy accepts.
+
+    A minimal dispatcher for experiments: walks admins in order per ticket,
+    assigning to the first permitted one; unassignable tickets raise.
+    """
+    queues: Dict[str, List[Ticket]] = {admin: [] for admin in admins}
+    for ticket in tickets:
+        for admin in admins:
+            try:
+                policy.check(admin, ticket)
+            except TicketError:
+                continue
+            policy.record(admin, ticket)
+            ticket.assign_to(admin)
+            queues[admin].append(ticket)
+            break
+        else:
+            raise TicketError(
+                f"no admin permitted for class {ticket.predicted_class}")
+    return queues

@@ -1,0 +1,201 @@
+"""Ticket classification: free text -> ticket class (T-1 ... T-11).
+
+Two interchangeable classifiers:
+
+* :class:`LDAClassifier` — the paper's pipeline: preprocess, LDA topic
+  model, then a topic->class mapping learned from the labelled history.
+  New tickets get spelling-corrected (Section 7.1.3), folded in, and
+  assigned the class of their dominant topic.
+* :class:`KeywordClassifier` — a lightweight scorer over the class
+  vocabularies, used as the orchestrator's default (no training pass).
+
+Low-confidence predictions fall through to ``T-11`` (the fully isolated
+catch-all), and predictions are "reviewed by the user or a supervisor" —
+modeled by an optional review callback.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.framework.lda import LDA
+from repro.framework.preprocess import Vocabulary, prepare_corpus, stem, tokenize
+from repro.framework.tickets import Ticket
+
+FALLBACK_CLASS = "T-11"
+
+
+def spell_correct(token: str, vocabulary: Dict[str, int]) -> str:
+    """Single-edit spelling correction against a known vocabulary.
+
+    Tries deletions, transpositions, and substitutions-by-deletion matches;
+    returns the original token if nothing matches (OOV tokens are dropped
+    later anyway).
+    """
+    if token in vocabulary or token.startswith("<") or len(token) < 4:
+        return token
+    candidates = []
+    for i in range(len(token)):
+        candidates.append(token[:i] + token[i + 1:])  # deletion
+        if i + 1 < len(token):
+            candidates.append(token[:i] + token[i + 1] + token[i] +
+                              token[i + 2:])  # transposition
+    for known in (token + token[-1], token[:-1]):
+        candidates.append(known)
+    best = None
+    best_freq = -1
+    for cand in candidates:
+        freq = vocabulary.get(cand, -1)
+        if freq > best_freq and cand in vocabulary:
+            best, best_freq = cand, freq
+    return best if best is not None else token
+
+
+@dataclass
+class ClassificationReport:
+    """Accuracy accounting in the shape of Table 4's precision column."""
+
+    total: int = 0
+    correct: int = 0
+    per_class_total: Dict[str, int] = field(default_factory=dict)
+    per_class_correct: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, true_class: str, predicted: str) -> None:
+        self.total += 1
+        self.per_class_total[true_class] = \
+            self.per_class_total.get(true_class, 0) + 1
+        if true_class == predicted:
+            self.correct += 1
+            self.per_class_correct[true_class] = \
+                self.per_class_correct.get(true_class, 0) + 1
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.total if self.total else 0.0
+
+    def class_accuracy(self, class_id: str) -> float:
+        total = self.per_class_total.get(class_id, 0)
+        if not total:
+            return 0.0
+        return self.per_class_correct.get(class_id, 0) / total
+
+    def rows(self) -> List[Tuple[str, int, float]]:
+        """(class, n, accuracy) rows sorted by class id."""
+        return [(c, self.per_class_total[c], self.class_accuracy(c))
+                for c in sorted(self.per_class_total)]
+
+
+class KeywordClassifier:
+    """Vocabulary-overlap scorer over the class definitions.
+
+    Stems each class's seed vocabulary once; a ticket is assigned the class
+    with the highest weighted overlap, or ``T-11`` below ``min_score``.
+    """
+
+    def __init__(self, class_defs=None, min_score: float = 2.0):
+        if class_defs is None:
+            from repro.workload.corpus import TICKET_CLASSES
+            class_defs = TICKET_CLASSES
+        self.min_score = min_score
+        self._keyword_weights: Dict[str, Dict[str, float]] = {}
+        for class_def in class_defs:
+            weights: Dict[str, float] = {}
+            for word, weight in class_def.words:
+                weights[stem(word.lower())] = float(weight)
+            self._keyword_weights[class_def.class_id] = weights
+
+    def classify(self, text: str) -> str:
+        tokens = tokenize(text)
+        counts = Counter(tokens)
+        best_class, best_score = FALLBACK_CLASS, 0.0
+        for class_id, weights in self._keyword_weights.items():
+            score = sum(weights.get(tok, 0.0) * n for tok, n in counts.items())
+            if score > best_score:
+                best_class, best_score = class_id, score
+        if best_score < self.min_score:
+            return FALLBACK_CLASS
+        return best_class
+
+
+class LDAClassifier:
+    """The paper's pipeline: LDA topics + majority-vote topic->class map."""
+
+    def __init__(self, n_topics: int = 10, n_iter: int = 80, seed: int = 0,
+                 min_confidence: float = 0.25, min_count: int = 2):
+        self.n_topics = n_topics
+        self.n_iter = n_iter
+        self.seed = seed
+        self.min_confidence = min_confidence
+        self.min_count = min_count
+        self.model: Optional[LDA] = None
+        self.vocabulary: Optional[Vocabulary] = None
+        self.topic_to_class: Dict[int, str] = {}
+        self._token_freq: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def train(self, tickets: Sequence[Ticket]) -> "LDAClassifier":
+        """Fit LDA on a labelled history and learn the topic->class map."""
+        texts = [t.text for t in tickets]
+        docs, vocab = prepare_corpus(texts, min_count=self.min_count)
+        self.vocabulary = vocab
+        self._token_freq = {tok: i for i, tok in enumerate(vocab.id_to_token)}
+        self.model = LDA(n_topics=self.n_topics, n_iter=self.n_iter,
+                         seed=self.seed).fit(docs, len(vocab))
+        votes: Dict[int, Counter] = defaultdict(Counter)
+        dominant = np.argmax(self.model.doc_topic_counts, axis=1)
+        for ticket, topic in zip(tickets, dominant):
+            if ticket.true_class:
+                votes[int(topic)][ticket.true_class] += 1
+        for topic in range(self.n_topics):
+            if votes[topic]:
+                self.topic_to_class[topic] = votes[topic].most_common(1)[0][0]
+            else:
+                self.topic_to_class[topic] = FALLBACK_CLASS
+        return self
+
+    # ------------------------------------------------------------------
+
+    def _encode(self, text: str) -> List[int]:
+        tokens = [spell_correct(tok, self._token_freq)
+                  for tok in tokenize(text)]
+        return self.vocabulary.encode(tokens)
+
+    def classify(self, text: str) -> str:
+        """Spelling-corrected fold-in classification with T-11 fallback."""
+        if self.model is None:
+            raise RuntimeError("classifier is not trained")
+        doc = self._encode(text)
+        if not doc:
+            return FALLBACK_CLASS
+        theta = self.model.infer(doc)
+        topic = int(np.argmax(theta))
+        if float(theta[topic]) < self.min_confidence:
+            return FALLBACK_CLASS
+        return self.topic_to_class.get(topic, FALLBACK_CLASS)
+
+    def topic_words(self, n: int = 20) -> List[List[str]]:
+        """Top-``n`` words per topic — the Table 2 regeneration."""
+        if self.model is None:
+            raise RuntimeError("classifier is not trained")
+        return [self.model.top_words(k, self.vocabulary.id_to_token, n=n)
+                for k in range(self.n_topics)]
+
+
+def evaluate_classifier(classifier, tickets: Sequence[Ticket],
+                        review: Optional[Callable[[Ticket, str], str]] = None
+                        ) -> ClassificationReport:
+    """Classify labelled tickets, optionally applying a review callback
+    (the paper's human-in-the-loop check), and report accuracy."""
+    report = ClassificationReport()
+    for ticket in tickets:
+        predicted = classifier.classify(ticket.text)
+        if review is not None:
+            predicted = review(ticket, predicted)
+        ticket.classify_as(predicted, reviewed=review is not None)
+        report.record(ticket.true_class or FALLBACK_CLASS, predicted)
+    return report

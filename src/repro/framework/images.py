@@ -1,0 +1,163 @@
+"""The container-image repository: one perforated spec per ticket class.
+
+Encodes paper Table 3 (permission and isolation per container type) for
+the ten ticket classes plus the fully isolated T-11, and Figure 8's script
+containers (S-1..S-4 for Chef/Puppet, S-5..S-6 for cluster management).
+
+"Like the Docker architecture, the various container images and
+configurations are held in a dedicated image repository for quick
+deployment" (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.containit.spec import (
+    BATCH_SERVER,
+    ETC_DIRECTORY,
+    HOME_DIRECTORY,
+    LICENSE_SERVER,
+    ROOT_DIRECTORY,
+    SHARED_STORAGE,
+    SOFTWARE_REPOSITORY,
+    TARGET_MACHINE,
+    WHITELISTED_WEBSITES,
+    PerforatedContainerSpec,
+    fully_isolated_spec,
+)
+
+#: Table 3, row by row. "X" entries from the paper are explicit here;
+#: resources the paper marks "-" (implicitly included) are noted inline.
+TABLE3_SPECS: Dict[str, PerforatedContainerSpec] = {
+    "T-1": PerforatedContainerSpec(
+        name="T-1", description="License related",
+        fs_shares=(HOME_DIRECTORY,),
+        network_allowed=(LICENSE_SERVER,),
+        installed_software=("matlab",)),
+    "T-2": PerforatedContainerSpec(
+        name="T-2", description="User / password",
+        fs_shares=(ETC_DIRECTORY,),
+        network_allowed=()),
+    "T-3": PerforatedContainerSpec(
+        name="T-3", description="Shared storage accessibility",
+        fs_shares=(HOME_DIRECTORY, ETC_DIRECTORY),
+        network_allowed=(SHARED_STORAGE,)),
+    "T-4": PerforatedContainerSpec(
+        name="T-4", description="Network related",
+        fs_shares=(ETC_DIRECTORY,),  # "-": needed for network configs
+        network_allowed=(),
+        share_network_ns=True,       # the network-namespace hole
+        process_management=True),
+    "T-5": PerforatedContainerSpec(
+        name="T-5", description="Slow / non-responsive server",
+        fs_shares=(),
+        network_allowed=(TARGET_MACHINE,),
+        process_management=True),
+    "T-6": PerforatedContainerSpec(
+        name="T-6", description="Software related",
+        fs_shares=(ROOT_DIRECTORY,),  # ITFS-monitored full root
+        network_allowed=(SOFTWARE_REPOSITORY, WHITELISTED_WEBSITES),
+        process_management=True),     # service restarts after installs
+    "T-7": PerforatedContainerSpec(
+        name="T-7", description="Internal VM cloud",
+        fs_shares=(ETC_DIRECTORY,),   # only ownership configs in /etc
+        network_allowed=()),
+    "T-8": PerforatedContainerSpec(
+        name="T-8", description="Permissions",
+        fs_shares=(HOME_DIRECTORY,),  # "-": the folders whose ACLs change
+        network_allowed=(SHARED_STORAGE,)),
+    "T-9": PerforatedContainerSpec(
+        name="T-9", description="SSH / VNC / LSF",
+        fs_shares=(HOME_DIRECTORY, ETC_DIRECTORY),
+        network_allowed=(BATCH_SERVER, TARGET_MACHINE),
+        process_management=True,
+        deploy_on_target_too=True),  # configs may need fixing on both ends
+    "T-10": PerforatedContainerSpec(
+        name="T-10", description="Shared storage quota",
+        fs_shares=(HOME_DIRECTORY,),
+        network_allowed=(SHARED_STORAGE,)),
+    "T-11": fully_isolated_spec(),
+}
+
+#: Figure 8a — Chef/Puppet script containers. Distribution of scripts per
+#: container appears in the paper (60/20/10/10%).
+SCRIPT_SPECS_CHEF_PUPPET: Dict[str, PerforatedContainerSpec] = {
+    "S-1": PerforatedContainerSpec(
+        name="S-1", description="Config-file verification scripts",
+        fs_shares=(ETC_DIRECTORY,), network_allowed=()),
+    "S-2": PerforatedContainerSpec(
+        name="S-2", description="Config + home verification scripts",
+        fs_shares=(ETC_DIRECTORY, HOME_DIRECTORY), network_allowed=()),
+    "S-3": PerforatedContainerSpec(
+        name="S-3", description="Service management scripts",
+        fs_shares=(), network_allowed=(), process_management=True),
+    "S-4": PerforatedContainerSpec(
+        name="S-4", description="IP-table / network scripts",
+        fs_shares=(ETC_DIRECTORY,), network_allowed=(),
+        process_management=True, share_network_ns=True),
+}
+
+#: Figure 8b — cluster-management script containers (80/20%).
+SCRIPT_SPECS_CLUSTER: Dict[str, PerforatedContainerSpec] = {
+    "S-5": PerforatedContainerSpec(
+        name="S-5", description="Statistics / log collection scripts",
+        fs_shares=("/var/log",), network_allowed=()),
+    "S-6": PerforatedContainerSpec(
+        name="S-6", description="Service restart / reboot scripts",
+        fs_shares=(), network_allowed=(), process_management=True),
+}
+
+
+class ImageRepository:
+    """Named store of perforated-container specs (the image registry)."""
+
+    def __init__(self, specs: Optional[Dict[str, PerforatedContainerSpec]] = None):
+        self._specs: Dict[str, PerforatedContainerSpec] = dict(
+            specs if specs is not None else TABLE3_SPECS)
+
+    def get(self, name: str) -> PerforatedContainerSpec:
+        """Fetch a spec; unknown classes fall back to the T-11 image."""
+        return self._specs.get(name) or self._specs.get("T-11") or \
+            fully_isolated_spec(name=name)
+
+    def register(self, spec: PerforatedContainerSpec) -> None:
+        self._specs[spec.name] = spec
+
+    def names(self) -> List[str]:
+        return sorted(self._specs)
+
+    def table3_rows(self) -> List[Dict[str, object]]:
+        """All isolation summaries — the Table 3 regeneration."""
+        return [self._specs[name].isolation_summary()
+                for name in sorted(self._specs,
+                                   key=lambda n: (len(n), n))]
+
+    # -- persistence (the "dedicated image repository" of §5.1) ----------
+
+    def save(self, fs, directory: str = "/srv/images") -> None:
+        """Persist every image spec as JSON onto a filesystem.
+
+        The paper keeps "container images and configurations ... in a
+        dedicated image repository for quick deployment"; this stores the
+        configurations on (simulated) organizational storage.
+        """
+        import json
+        if not fs.exists(directory):
+            fs.mkdir(directory, parents=True)
+        for name, spec in self._specs.items():
+            fs.write(f"{directory}/{name}.json",
+                     json.dumps(spec.to_dict(), sort_keys=True).encode())
+
+    @classmethod
+    def load(cls, fs, directory: str = "/srv/images") -> "ImageRepository":
+        """Rebuild a repository from persisted specs."""
+        import json
+        specs: Dict[str, PerforatedContainerSpec] = {}
+        for entry in fs.readdir(directory):
+            if not entry.endswith(".json"):
+                continue
+            raw = json.loads(fs.read(f"{directory}/{entry}").decode())
+            spec = PerforatedContainerSpec.from_dict(raw)
+            specs[spec.name] = spec
+        return cls(specs=specs)

@@ -1,0 +1,286 @@
+"""End-to-end WatchIT orchestration (paper Figure 3).
+
+:class:`WatchITDeployment` wires the whole system together: an
+organizational network with its services (license server, shared storage,
+software repository, batch server, whitelisted web), managed workstations
+booted through the TCB, the ticket database, a classifier, the image
+repository, the certificate authority, and the cluster manager.
+
+The workflow it drives::
+
+    ticket = deployment.submit_ticket("alice", "matlab license expired")
+    session = deployment.handle(ticket, admin="it-bob")   # classify,
+    # deploy the class's perforated container, mint a certificate, log in
+    session.shell.read_file("/home/alice/matlab/license.lic")
+    session.client.pb("ps -a")                            # escalation
+    deployment.resolve(session)                           # revoke + teardown
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.broker import BrokerClient, BrokerPolicy, permissive_policy
+from repro.containit import AddressBook, AdminShell, PerforatedContainer
+from repro.framework.certificates import Certificate, CertificateAuthority
+from repro.framework.classifier import KeywordClassifier, LDAClassifier
+from repro.framework.cluster import ClusterManager, Deployment
+from repro.framework.images import ImageRepository
+from repro.framework.tickets import Role, Ticket, TicketDatabase, TicketStatus
+from repro.kernel import Kernel, Network
+from repro.tcb import install_watchit_components
+
+#: Default organizational service addressing.
+DEFAULT_SERVICES = {
+    "license-server": ("10.0.1.10", 27000, b"LICENSE-RENEWED"),
+    "shared-storage": ("10.0.1.20", 2049, b"NFS-OK"),
+    "software-repository": ("10.0.1.30", 8080, b"\x7fELF package payload"),
+    "batch-server": ("10.0.1.40", 6500, b"LSF-OK"),
+    "whitelisted-websites": ("8.8.4.4", 443, b"HTTP/1.1 200 OK"),
+}
+
+DEFAULT_MACHINES = ("ws-01", "ws-02", "ws-03")
+DEFAULT_USERS = ("alice", "bob", "carol")
+
+
+@dataclass
+class HandledSession:
+    """Everything minted for one ticket-handling session."""
+
+    ticket: Ticket
+    deployment: Deployment
+    certificate: Certificate
+    shell: AdminShell
+    client: BrokerClient
+    #: second deployment on the ticket's target machine, for classes with
+    #: ``deploy_on_target_too`` (the paper's T-9)
+    target_deployment: Optional[Deployment] = None
+    target_shell: Optional[AdminShell] = None
+
+    @property
+    def container(self) -> PerforatedContainer:
+        return self.deployment.container
+
+
+class WatchITDeployment:
+    """The assembled WatchIT system over a simulated organization."""
+
+    def __init__(self, network: Network, machines: Dict[str, Kernel],
+                 cluster: ClusterManager, tickets: TicketDatabase,
+                 certificates: CertificateAuthority,
+                 images: Optional[ImageRepository] = None,
+                 classifier=None, assignment_policy=None):
+        self.network = network
+        self.machines = machines
+        self.cluster = cluster
+        self.tickets = tickets
+        self.certificates = certificates
+        self.images = images or ImageRepository()
+        self.classifier = classifier or KeywordClassifier()
+        #: optional permission-based assignment (paper §2/§6.2)
+        self.assignment_policy = assignment_policy
+        self.clock = 0
+        self.sessions: List[HandledSession] = []
+
+    # ------------------------------------------------------------------
+    # bootstrap
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def bootstrap(cls, machines: tuple = DEFAULT_MACHINES,
+                  users: tuple = DEFAULT_USERS,
+                  broker_policy: Optional[BrokerPolicy] = None,
+                  classifier=None) -> "WatchITDeployment":
+        """Build a complete simulated organization ready to take tickets."""
+        network = Network()
+        address_book: AddressBook = {}
+        for label, (ip, port, reply) in DEFAULT_SERVICES.items():
+            Kernel(label, ip=ip, network=network)
+            network.listen(ip, port,
+                           lambda pkt, _reply=reply: _reply)
+            address_book[label] = [(ip, port)]
+        address_book["target-machine"] = [("10.0.0.0/24", None)]
+
+        hosts: Dict[str, Kernel] = {}
+        for i, name in enumerate(machines):
+            kernel = Kernel(name, ip=f"10.0.0.{5 + i}", network=network)
+            install_watchit_components(kernel.rootfs)
+            for user in users:
+                kernel.rootfs.populate({"home": {user: {
+                    "notes.txt": f"notes of {user}",
+                    "matlab": {"license.lic": "EXPIRED 2016-12-31"},
+                }}})
+            kernel.register_service("sshd")
+            hosts[name] = kernel
+
+        cluster = ClusterManager(
+            network=network, address_book=address_book,
+            broker_policy=broker_policy or permissive_policy(),
+            software_repository={"matlab-toolbox": b"\x7fELF toolbox"})
+        for kernel in hosts.values():
+            cluster.register_machine(kernel)
+
+        tickets = TicketDatabase()
+        for user in users:
+            tickets.register_person(user, Role.END_USER)
+
+        deployment = cls(network=network, machines=hosts, cluster=cluster,
+                         tickets=tickets,
+                         certificates=CertificateAuthority(clock=lambda: 0),
+                         classifier=classifier)
+        # rebind the CA clock to the deployment's logical clock
+        deployment.certificates._clock = lambda: deployment.clock
+        return deployment
+
+    # ------------------------------------------------------------------
+    # workflow
+    # ------------------------------------------------------------------
+
+    def tick(self, n: int = 1) -> int:
+        """Advance the logical clock and expire over-time sessions.
+
+        "Connecting ... is enabled via a temporary certificate, which is
+        revoked once the ticket time expires" (Section 5.1): any active
+        session whose certificate has lapsed is torn down here.
+        """
+        self.clock += n
+        self._expire_sessions()
+        return self.clock
+
+    def _expire_sessions(self) -> None:
+        from repro.errors import CertificateError
+        for session in self.sessions:
+            if not session.container.active:
+                continue
+            try:
+                self.certificates.validate(session.certificate,
+                                           session.certificate.admin)
+            except CertificateError:
+                session.container.terminate("certificate expired")
+                if session.target_deployment is not None:
+                    session.target_deployment.container.terminate(
+                        "certificate expired")
+
+    def register_admin(self, name: str) -> None:
+        self.tickets.register_person(name, Role.IT_ADMIN)
+
+    def submit_ticket(self, reporter: str, text: str,
+                      machine: str = "ws-01",
+                      target_machine: Optional[str] = None) -> Ticket:
+        """End-user files a ticket (IT personnel are refused)."""
+        from repro.errors import InvalidArgument
+        if machine not in self.machines:
+            raise InvalidArgument(f"unknown machine {machine!r}")
+        if target_machine is not None and target_machine not in self.machines:
+            raise InvalidArgument(f"unknown target machine {target_machine!r}")
+        self.tick()
+        return self.tickets.submit(reporter, text, machine,
+                                   target_machine=target_machine)
+
+    def classify(self, ticket: Ticket,
+                 review: Optional[Callable[[Ticket, str], str]] = None) -> str:
+        """Run the classifier (plus optional supervisor review)."""
+        predicted = self.classifier.classify(ticket.text)
+        if review is not None:
+            predicted = review(ticket, predicted)
+        ticket.classify_as(predicted, reviewed=review is not None)
+        return predicted
+
+    def handle(self, ticket: Ticket, admin: str,
+               ttl: Optional[int] = None) -> HandledSession:
+        """Classify, deploy, mint a certificate, and log the admin in."""
+        self.tick()
+        if ticket.predicted_class is None:
+            self.classify(ticket)
+        if self.assignment_policy is not None:
+            self.assignment_policy.assign(admin, ticket)
+        else:
+            ticket.assign_to(admin)
+        spec = self.images.get(ticket.predicted_class)
+        deployment = self.cluster.deploy(spec, ticket.machine,
+                                         user=ticket.reporter)
+        certificate = self.certificates.issue(
+            admin, ticket.ticket_id, ticket.machine, ticket.predicted_class,
+            ttl=ttl)
+        shell = deployment.container.login(
+            admin, certificate=certificate,
+            authenticator=self.certificates.authenticator(machine=ticket.machine))
+        client = BrokerClient(shell, deployment.broker,
+                              ticket_class=ticket.predicted_class)
+        target_deployment = None
+        target_shell = None
+        if spec.deploy_on_target_too and ticket.target_machine and \
+                ticket.target_machine != ticket.machine:
+            # the paper's T-9: configurations may need fixing on both ends
+            target_deployment = self.cluster.deploy(
+                spec, ticket.target_machine, user=ticket.reporter)
+            target_shell = target_deployment.container.login(
+                admin, certificate=certificate,
+                authenticator=self.certificates.authenticator())
+        ticket.status = TicketStatus.IN_PROGRESS
+        session = HandledSession(ticket=ticket, deployment=deployment,
+                                 certificate=certificate, shell=shell,
+                                 client=client,
+                                 target_deployment=target_deployment,
+                                 target_shell=target_shell)
+        self.sessions.append(session)
+        return session
+
+    def resolve(self, session: HandledSession) -> None:
+        """Close out: revoke certificates, tear down, mark resolved."""
+        self.tick()
+        self.certificates.revoke_ticket(session.ticket.ticket_id)
+        self.cluster.teardown(session.deployment, reason="ticket resolved")
+        if session.target_deployment is not None:
+            self.cluster.teardown(session.target_deployment,
+                                  reason="ticket resolved")
+        session.ticket.resolve()
+
+    def train_lda_classifier(self, tickets, n_topics: int = 10,
+                             n_iter: int = 80, seed: int = 0) -> LDAClassifier:
+        """Swap in the paper's LDA pipeline, trained on a labelled history."""
+        classifier = LDAClassifier(n_topics=n_topics, n_iter=n_iter,
+                                   seed=seed).train(tickets)
+        self.classifier = classifier
+        return classifier
+
+    # ------------------------------------------------------------------
+
+    def audit_summary(self) -> Dict[str, object]:
+        """Organization-wide audit statistics from the central log."""
+        log = self.cluster.central_audit
+        return {
+            "records": len(log),
+            "by_decision": log.counts_by("decision"),
+            "verified": log.verify(),
+        }
+
+    def session_logs(self):
+        """Reconstruct per-source session logs from the central audit store.
+
+        Aggregated records carry their origin (``source_log``); grouping by
+        it recovers one :class:`~repro.anomaly.SessionLog` per container
+        audit stream — the input the anomaly detector consumes.
+        """
+        from repro.anomaly import SessionLog
+        grouped: Dict[str, list] = {}
+        for record in self.cluster.central_audit.records:
+            source = str(record.details.get("source_log", "unattributed"))
+            grouped.setdefault(source, []).append(record)
+        return [SessionLog(session_id=source, records=records)
+                for source, records in sorted(grouped.items())]
+
+    def detect_anomalies(self, threshold: float = 6.0):
+        """Fit on the org's sessions and flag outliers (§1/§5.4 analysis).
+
+        Uses all reconstructed sessions as the (assumed mostly benign)
+        baseline — the standard unsupervised-deployment posture.
+        """
+        from repro.anomaly import AnomalyDetector
+        logs = self.session_logs()
+        if not logs:
+            return []
+        detector = AnomalyDetector(threshold=threshold).fit(logs)
+        return [score for score in (detector.score(log) for log in logs)
+                if score.anomalous]

@@ -1,0 +1,153 @@
+"""Ticket-text preprocessing (paper Section 7.1.1).
+
+"Before performing topic modeling, we pre-process the corpus by applying
+word stemming, stop word removal, deletion of common words that do not add
+information (like 'hello' and 'please'), and obfuscation of confidential
+information such as server names, addresses, project names, etc."
+
+The obfuscator replaces concrete identifiers with the paper's angle-bracket
+placeholders (``<IP>``, ``<Server>``, ``<Shared Storage>``, ``<VM>``,
+``<OS>``, ``<Application>``) so that topics cluster on structure rather
+than on individual machine names.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Standard English stopwords (trimmed to what ticket text actually hits).
+STOPWORDS = frozenset("""
+a about after again all also am an and any are as at be because been before
+being but by can cannot could did do does doing down for from had has have
+having he her here hers him his how i if in into is it its just me more most
+my no nor not now of off on once only or other our out over own same she so
+some such than that the their them then there these they this those through
+to too under until up very was we were what when where which while who whom
+why will with would you your yours
+""".split())
+
+#: Politeness/noise words the paper deletes explicitly.
+NOISE_WORDS = frozenset("""
+hello hi dear please thanks thank regards kindly best greetings urgent asap
+help issue problem request ticket guys team
+""".split())
+
+#: Suffix-stripping rules, longest first (a light Porter-style stemmer).
+_SUFFIXES: Tuple[Tuple[str, str], ...] = (
+    ("ations", "ate"), ("ization", "ize"), ("fulness", "ful"),
+    ("iveness", "ive"), ("ement", ""), ("ments", "ment"),
+    ("ingly", ""), ("edly", ""), ("ing", ""), ("ied", "y"), ("ies", "y"),
+    ("ely", "e"), ("ed", ""),
+    # plural handling: sibilant+es strips the whole suffix, otherwise only
+    # the bare "s" comes off so "licenses" and "license" stem identically
+    ("sses", "ss"), ("xes", "x"), ("ches", "ch"), ("shes", "sh"), ("zes", "z"),
+    ("ly", ""), ("s", ""),
+)
+
+_TOKEN_RE = re.compile(r"[a-z0-9<>_][a-z0-9<>_.\-]*")
+
+#: identifier-obfuscation patterns, applied in order.
+_OBFUSCATIONS: Tuple[Tuple[re.Pattern, str], ...] = (
+    (re.compile(r"\b(?:\d{1,3}\.){3}\d{1,3}(?::\d+)?\b"), " <IP> "),
+    (re.compile(r"\b(?:gpfs|nfs)(?:://)?[\w/.\-]*\b|/(?:gpfs|shared|storage)[\w/.\-]*", re.I),
+     " <Shared Storage> "),
+    (re.compile(r"\bvm[-_]?\w+\b|\b\w+[-_]vm\d*\b", re.I), " <VM> "),
+    (re.compile(r"\b(?:srv|server|host|node)[-_]?\d+\b", re.I), " <Server> "),
+    (re.compile(r"\b(?:ubuntu|rhel|redhat|centos|fedora|debian|sles)\s*[\d.]*\b", re.I),
+     " <OS> "),
+    (re.compile(r"\b(?:eclipse|hadoop|gcc|firefox|chrome|jupyter|spark)\s*[\d.]*\b", re.I),
+     " <Application> "),
+)
+
+#: Placeholders are atomic tokens: never stemmed, never stopworded.
+PLACEHOLDERS = frozenset({"<ip>", "<server>", "<shared", "storage>", "<vm>",
+                          "<os>", "<application>"})
+
+
+def obfuscate(text: str) -> str:
+    """Replace confidential identifiers with placeholder tokens."""
+    for pattern, replacement in _OBFUSCATIONS:
+        text = pattern.sub(replacement, text)
+    return text
+
+
+def stem(word: str) -> str:
+    """Light suffix-stripping stemmer; placeholders pass through."""
+    if word.startswith("<"):
+        return word
+    for suffix, replacement in _SUFFIXES:
+        if word.endswith(suffix) and len(word) - len(suffix) >= 3:
+            return word[: len(word) - len(suffix)] + replacement
+    return word
+
+
+def tokenize(text: str, obfuscate_identifiers: bool = True) -> List[str]:
+    """Full preprocessing pipeline: obfuscate, lowercase, filter, stem."""
+    if obfuscate_identifiers:
+        text = obfuscate(text)
+    tokens = []
+    for raw in _TOKEN_RE.findall(text.lower()):
+        word = raw.strip(".-")
+        if not word or word in STOPWORDS or word in NOISE_WORDS:
+            continue
+        if len(word) < 2 and not word.startswith("<"):
+            continue
+        stemmed = stem(word)
+        # stemming may *create* a stopword ("shes" -> "she"); filter again
+        if stemmed in STOPWORDS or stemmed in NOISE_WORDS:
+            continue
+        tokens.append(stemmed)
+    return tokens
+
+
+class Vocabulary:
+    """Token <-> id mapping with frequency-based pruning."""
+
+    def __init__(self, min_count: int = 1, max_doc_ratio: float = 1.0):
+        self.min_count = min_count
+        self.max_doc_ratio = max_doc_ratio
+        self.token_to_id: Dict[str, int] = {}
+        self.id_to_token: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self.id_to_token)
+
+    def fit(self, documents: Iterable[List[str]]) -> "Vocabulary":
+        """Build the vocabulary over tokenized documents."""
+        docs = list(documents)
+        counts: Dict[str, int] = {}
+        doc_freq: Dict[str, int] = {}
+        for doc in docs:
+            for token in doc:
+                counts[token] = counts.get(token, 0) + 1
+            for token in set(doc):
+                doc_freq[token] = doc_freq.get(token, 0) + 1
+        limit = self.max_doc_ratio * max(len(docs), 1)
+        for token in sorted(counts):
+            if counts[token] < self.min_count:
+                continue
+            if doc_freq.get(token, 0) > limit:
+                continue
+            self.token_to_id[token] = len(self.id_to_token)
+            self.id_to_token.append(token)
+        return self
+
+    def encode(self, tokens: List[str]) -> List[int]:
+        """Map tokens to ids, dropping out-of-vocabulary tokens."""
+        return [self.token_to_id[t] for t in tokens if t in self.token_to_id]
+
+    def decode(self, ids: Iterable[int]) -> List[str]:
+        return [self.id_to_token[i] for i in ids]
+
+
+def prepare_corpus(texts: Iterable[str], min_count: int = 2,
+                   max_doc_ratio: float = 0.5,
+                   vocabulary: Optional[Vocabulary] = None
+                   ) -> Tuple[List[List[int]], Vocabulary]:
+    """Tokenize + encode a corpus; returns (encoded docs, vocabulary)."""
+    tokenized = [tokenize(text) for text in texts]
+    if vocabulary is None:
+        vocabulary = Vocabulary(min_count=min_count,
+                                max_doc_ratio=max_doc_ratio).fit(tokenized)
+    return [vocabulary.encode(doc) for doc in tokenized], vocabulary

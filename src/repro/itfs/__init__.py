@@ -1,0 +1,53 @@
+"""ITFS — FUSE-style monitoring filesystem, policies, and audit logging."""
+
+from repro.itfs.audit import GENESIS_DIGEST, AppendOnlyLog, AuditRecord
+from repro.itfs.itfs import ITFS
+from repro.itfs.policy import (
+    CONTENT_OPS,
+    META_OPS,
+    ContentRule,
+    CustomRule,
+    Decision,
+    ExtensionRule,
+    PathRule,
+    PolicyManager,
+    Rule,
+    SignatureRule,
+    document_blocking_policy,
+)
+from repro.itfs.signatures import (
+    EXTENSION_CLASSES,
+    MAGIC_SIGNATURES,
+    SIGNATURE_CLASSES,
+    SIGNATURE_HEAD_BYTES,
+    detect_signature,
+    extension_class,
+    extension_of,
+    signature_class,
+)
+
+__all__ = [
+    "AppendOnlyLog",
+    "AuditRecord",
+    "CONTENT_OPS",
+    "ContentRule",
+    "CustomRule",
+    "Decision",
+    "EXTENSION_CLASSES",
+    "ExtensionRule",
+    "GENESIS_DIGEST",
+    "ITFS",
+    "MAGIC_SIGNATURES",
+    "META_OPS",
+    "PathRule",
+    "PolicyManager",
+    "Rule",
+    "SIGNATURE_CLASSES",
+    "SIGNATURE_HEAD_BYTES",
+    "SignatureRule",
+    "detect_signature",
+    "document_blocking_policy",
+    "extension_class",
+    "extension_of",
+    "signature_class",
+]

@@ -1,0 +1,214 @@
+"""ITFS policy rules and the policy manager.
+
+The policy manager is the yellow box of paper Figure 4: it dictates what
+the filesystem monitor denies, allows, and logs. Rules match on path,
+extension, content signature, or arbitrary user-supplied predicates
+("ITFS exposes an API for integrating user-supplied detection rules ...
+so that each organization can create customized file filtering").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Iterable, List, Optional
+
+from repro.itfs.signatures import (
+    SIGNATURE_HEAD_BYTES,
+    extension_class,
+    extension_of,
+    signature_class,
+)
+from repro.kernel.vfs import is_subpath
+
+#: Operations that touch or mutate files — the ones rules guard by default.
+CONTENT_OPS = frozenset({"open", "read", "write", "create", "truncate",
+                         "unlink", "rename", "mknod", "mkdir", "rmdir",
+                         "symlink", "chmod", "chown"})
+#: Metadata-only operations, allowed by default but still loggable.
+META_OPS = frozenset({"lookup", "stat", "readdir", "walk"})
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of a policy evaluation."""
+
+    allowed: bool
+    rule: str = ""
+    log: bool = False
+    reason: str = ""
+
+    @staticmethod
+    def default_allow() -> "Decision":
+        return Decision(allowed=True)
+
+
+class Rule:
+    """Base policy rule.
+
+    Attributes:
+        name: identifier used in audit records.
+        decision: ``deny`` or ``allow`` (allow rules can short-circuit
+            stricter rules below them — permission before exclusion).
+        log: whether a match must be written to the audit log.
+        ops: operations the rule applies to (None -> all content ops).
+    """
+
+    def __init__(self, name: str, decision: str = "deny", log: bool = True,
+                 ops: Optional[Iterable[str]] = None):
+        if decision not in ("deny", "allow"):
+            raise ValueError(f"bad decision {decision!r}")
+        self.name = name
+        self.decision = decision
+        self.log = log
+        self.ops = frozenset(ops) if ops is not None else CONTENT_OPS
+
+    #: Set True on rules that need the file head (signature/content rules);
+    #: ITFS only pays the head-read cost when such a rule is installed.
+    needs_head = False
+
+    def matches(self, op: str, path: str, head: Optional[bytes]) -> bool:
+        raise NotImplementedError
+
+
+class PathRule(Rule):
+    """Matches paths under any of the given prefixes (WatchIT file shield)."""
+
+    def __init__(self, name: str, prefixes: Iterable[str], **kwargs):
+        super().__init__(name, **kwargs)
+        self.prefixes = tuple(prefixes)
+
+    def matches(self, op: str, path: str, head: Optional[bytes]) -> bool:
+        if op not in self.ops:
+            return False
+        return any(is_subpath(path, prefix) for prefix in self.prefixes)
+
+
+class ExtensionRule(Rule):
+    """Matches by file extension or extension class — O(1), no I/O."""
+
+    def __init__(self, name: str, extensions: Iterable[str] = (),
+                 classes: Iterable[str] = (), **kwargs):
+        super().__init__(name, **kwargs)
+        self.extensions: FrozenSet[str] = frozenset(e.lower() for e in extensions)
+        self.classes: FrozenSet[str] = frozenset(classes)
+
+    def matches(self, op: str, path: str, head: Optional[bytes]) -> bool:
+        if op not in self.ops:
+            return False
+        if extension_of(path) in self.extensions:
+            return True
+        cls = extension_class(path)
+        return cls is not None and cls in self.classes
+
+
+class SignatureRule(Rule):
+    """Matches by magic-byte class — requires reading the file head.
+
+    This is the expensive monitoring mode of Figure 9: every content
+    operation pays a head read plus signature scan.
+    """
+
+    needs_head = True
+
+    def __init__(self, name: str, classes: Iterable[str],
+                 head_bytes: int = SIGNATURE_HEAD_BYTES, **kwargs):
+        super().__init__(name, **kwargs)
+        self.classes: FrozenSet[str] = frozenset(classes)
+        self.head_bytes = head_bytes
+
+    def matches(self, op: str, path: str, head: Optional[bytes]) -> bool:
+        if op not in self.ops or head is None:
+            return False
+        cls = signature_class(head[:self.head_bytes])
+        return cls is not None and cls in self.classes
+
+
+class ContentRule(Rule):
+    """Matches via an arbitrary predicate over (path, head bytes)."""
+
+    needs_head = True
+
+    def __init__(self, name: str, predicate: Callable[[str, bytes], bool],
+                 head_bytes: int = 4096, **kwargs):
+        super().__init__(name, **kwargs)
+        self.predicate = predicate
+        self.head_bytes = head_bytes
+
+    def matches(self, op: str, path: str, head: Optional[bytes]) -> bool:
+        if op not in self.ops or head is None:
+            return False
+        return self.predicate(path, head[:self.head_bytes])
+
+
+class CustomRule(Rule):
+    """User-supplied detection hook: full (op, path, head) visibility."""
+
+    needs_head = True
+
+    def __init__(self, name: str,
+                 hook: Callable[[str, str, Optional[bytes]], bool], **kwargs):
+        super().__init__(name, **kwargs)
+        self.hook = hook
+
+    def matches(self, op: str, path: str, head: Optional[bytes]) -> bool:
+        return self.hook(op, path, head)
+
+
+@dataclass
+class PolicyManager:
+    """Ordered rule list + defaults; first matching rule decides.
+
+    Attributes:
+        rules: evaluated top to bottom.
+        log_all: audit every operation, even allowed ones with no matching
+            rule (the paper: "all filesystem operations ... were monitored").
+        log_meta: include metadata ops (stat/readdir) in log_all coverage.
+    """
+
+    rules: List[Rule] = field(default_factory=list)
+    log_all: bool = True
+    log_meta: bool = False
+
+    def add_rule(self, rule: Rule) -> None:
+        self.rules.append(rule)
+
+    @property
+    def needs_head(self) -> bool:
+        """True if any installed rule requires file-head bytes."""
+        return any(rule.needs_head for rule in self.rules)
+
+    def head_bytes_needed(self) -> int:
+        return max((getattr(r, "head_bytes", SIGNATURE_HEAD_BYTES)
+                    for r in self.rules if r.needs_head), default=0)
+
+    def evaluate(self, op: str, path: str,
+                 head_loader: Optional[Callable[[], bytes]] = None) -> Decision:
+        """Evaluate ``op`` on ``path``; loads the head lazily, at most once."""
+        head: Optional[bytes] = None
+        head_loaded = False
+        for rule in self.rules:
+            if rule.needs_head and not head_loaded and head_loader is not None:
+                head = head_loader()
+                head_loaded = True
+            if rule.matches(op, path, head):
+                return Decision(allowed=rule.decision == "allow",
+                                rule=rule.name, log=rule.log,
+                                reason=f"rule:{rule.name}")
+        log_default = self.log_all and (op in CONTENT_OPS or
+                                        (self.log_meta and op in META_OPS))
+        return Decision(allowed=True, log=log_default, reason="default")
+
+
+def document_blocking_policy(log_all: bool = True,
+                             by_signature: bool = False) -> PolicyManager:
+    """The canonical WatchIT hard constraint: no document/image access.
+
+    Used as the global floor on every perforated container class (defense
+    against ticket stringing, Table 1 attack 10).
+    """
+    policy = PolicyManager(log_all=log_all)
+    if by_signature:
+        policy.add_rule(SignatureRule("no-documents", classes=("document", "image")))
+    else:
+        policy.add_rule(ExtensionRule("no-documents", classes=("document", "image")))
+    return policy

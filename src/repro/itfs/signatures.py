@@ -1,0 +1,87 @@
+"""File-type detection by magic bytes and by extension.
+
+ITFS filters file accesses "according to its signature or extension"
+(paper Section 5.3): extension checks are free (string compare on the
+name) while signature checks must read the file head — the cost asymmetry
+that Figure 9 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+#: (signature name, magic bytes, offset) — order matters: first match wins.
+MAGIC_SIGNATURES: Tuple[Tuple[str, bytes, int], ...] = (
+    ("jpeg", b"\xff\xd8\xff", 0),
+    ("png", b"\x89PNG\r\n\x1a\n", 0),
+    ("gif", b"GIF8", 0),
+    ("pdf", b"%PDF", 0),
+    ("zip", b"PK\x03\x04", 0),      # also docx/xlsx/pptx/odt containers
+    ("ole", b"\xd0\xcf\x11\xe0", 0),  # legacy .doc/.xls/.ppt
+    ("elf", b"\x7fELF", 0),
+    ("gzip", b"\x1f\x8b", 0),
+    ("sqlite", b"SQLite format 3", 0),
+    ("pem", b"-----BEGIN", 0),
+)
+
+#: How many head bytes a signature check needs.
+SIGNATURE_HEAD_BYTES = 16
+
+#: Semantic classes over signatures — what policies actually talk about.
+SIGNATURE_CLASSES: Dict[str, FrozenSet[str]] = {
+    "document": frozenset({"pdf", "zip", "ole"}),
+    "image": frozenset({"jpeg", "png", "gif"}),
+    "executable": frozenset({"elf"}),
+    "archive": frozenset({"zip", "gzip"}),
+    "database": frozenset({"sqlite"}),
+    "key-material": frozenset({"pem"}),
+}
+
+#: Extension classes used by the cheap (name-only) monitoring mode.
+EXTENSION_CLASSES: Dict[str, FrozenSet[str]] = {
+    "document": frozenset({".doc", ".docx", ".xls", ".xlsx", ".ppt", ".pptx",
+                           ".pdf", ".odt", ".rtf"}),
+    "image": frozenset({".jpg", ".jpeg", ".png", ".gif", ".bmp", ".tiff"}),
+    "executable": frozenset({".exe", ".so", ".bin"}),
+    "archive": frozenset({".zip", ".tar", ".gz", ".tgz", ".rar"}),
+    "database": frozenset({".db", ".sqlite", ".mdb"}),
+    "key-material": frozenset({".pem", ".key", ".p12"}),
+}
+
+
+def detect_signature(head: bytes) -> Optional[str]:
+    """Return the signature name matching ``head``, or None."""
+    for name, magic, offset in MAGIC_SIGNATURES:
+        if head[offset:offset + len(magic)] == magic:
+            return name
+    return None
+
+
+def signature_class(head: bytes) -> Optional[str]:
+    """Return the semantic class ('document', 'image', ...) of ``head``."""
+    sig = detect_signature(head)
+    if sig is None:
+        return None
+    for cls, members in SIGNATURE_CLASSES.items():
+        if sig in members:
+            return cls
+    return None
+
+
+def extension_of(path: str) -> str:
+    """Lower-cased final extension of ``path`` (empty if none)."""
+    name = path.rsplit("/", 1)[-1]
+    if "." not in name or name.startswith(".") and name.count(".") == 1:
+        return ""
+    return "." + name.rsplit(".", 1)[-1].lower()
+
+
+def extension_class(path: str) -> Optional[str]:
+    """Return the semantic class of ``path`` judging only by its name."""
+    ext = extension_of(path)
+    if not ext:
+        return None
+    for cls, members in EXTENSION_CLASSES.items():
+        if ext in members:
+            return cls
+    return None

@@ -1,0 +1,115 @@
+"""POSIX-style capabilities for the simulated kernel.
+
+WatchIT's container-escape defenses (Table 1, attacks 1-4) are implemented by
+depriving contained superusers of specific capabilities: ``CAP_SYS_CHROOT``
+(blocks the classic double-chroot escape), ``CAP_SYS_PTRACE`` (blocks turning
+an outside process into a bind shell), ``CAP_MKNOD`` (blocks raw-disk device
+creation), and the paper's *new* capability — modeled here as ``CAP_DEV_MEM``
+— which gates opening ``/dev/mem`` and ``/dev/kmem``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Iterable
+
+
+class Capability(enum.Enum):
+    """The subset of Linux capabilities the simulation enforces."""
+
+    CAP_CHOWN = "CAP_CHOWN"
+    CAP_DAC_OVERRIDE = "CAP_DAC_OVERRIDE"
+    CAP_FOWNER = "CAP_FOWNER"
+    CAP_KILL = "CAP_KILL"
+    CAP_SETUID = "CAP_SETUID"
+    CAP_NET_ADMIN = "CAP_NET_ADMIN"
+    CAP_NET_RAW = "CAP_NET_RAW"
+    CAP_SYS_ADMIN = "CAP_SYS_ADMIN"
+    CAP_SYS_BOOT = "CAP_SYS_BOOT"
+    CAP_SYS_CHROOT = "CAP_SYS_CHROOT"
+    CAP_SYS_MODULE = "CAP_SYS_MODULE"
+    CAP_SYS_NICE = "CAP_SYS_NICE"
+    CAP_SYS_PTRACE = "CAP_SYS_PTRACE"
+    CAP_MKNOD = "CAP_MKNOD"
+    #: The new capability introduced by WatchIT (Section 6.1) to block a
+    #: contained user from opening /dev/mem and /dev/kmem (Table 1, attack 4).
+    CAP_DEV_MEM = "CAP_DEV_MEM"
+
+
+def full_capability_set() -> FrozenSet[Capability]:
+    """Return the full capability set held by an unconfined host root."""
+    return frozenset(Capability)
+
+
+#: Capabilities ContainIT strips from every perforated container
+#: (Section 6.1): they enable the four known chroot/container escapes and
+#: are "rarely needed in IT work".
+CONTAINER_DROPPED_CAPABILITIES: FrozenSet[Capability] = frozenset(
+    {
+        Capability.CAP_SYS_CHROOT,
+        Capability.CAP_SYS_PTRACE,
+        Capability.CAP_MKNOD,
+        Capability.CAP_DEV_MEM,
+        # Loading kernel modules would change the TCB signature (Section 2).
+        Capability.CAP_SYS_MODULE,
+    }
+)
+
+
+def container_capability_set() -> FrozenSet[Capability]:
+    """The capability set of a contained superuser: full minus the dropped set."""
+    return full_capability_set() - CONTAINER_DROPPED_CAPABILITIES
+
+
+@dataclass(frozen=True)
+class Credentials:
+    """Identity and privilege of a process.
+
+    Attributes:
+        uid: effective user id *as seen in the process's UID namespace*.
+        gid: effective group id.
+        caps: effective capability set. A uid-0 process without a capability
+            still fails the corresponding privileged operation — exactly the
+            mechanism WatchIT relies on to confine contained superusers.
+    """
+
+    uid: int = 0
+    gid: int = 0
+    caps: FrozenSet[Capability] = field(default_factory=full_capability_set)
+
+    def has_cap(self, cap: Capability) -> bool:
+        """Return True if this credential set carries ``cap``."""
+        return cap in self.caps
+
+    def drop(self, caps: Iterable[Capability]) -> "Credentials":
+        """Return new credentials with ``caps`` removed (capability bounding)."""
+        return replace(self, caps=self.caps - frozenset(caps))
+
+    def with_uid(self, uid: int, gid: int | None = None) -> "Credentials":
+        """Return new credentials running as ``uid`` (and ``gid`` if given)."""
+        return replace(self, uid=uid, gid=self.gid if gid is None else gid)
+
+    @property
+    def is_superuser(self) -> bool:
+        """True for uid 0 — note this does *not* imply any capability."""
+        return self.uid == 0
+
+
+def root_credentials() -> Credentials:
+    """Credentials of the host's init/root: uid 0 with every capability."""
+    return Credentials(uid=0, gid=0, caps=full_capability_set())
+
+
+def contained_root_credentials() -> Credentials:
+    """Credentials of a superuser inside a perforated container.
+
+    Retains uid 0 (so service restarts, chmod, kill, etc. work on everything
+    inside the view) but lacks the escape-enabling capabilities.
+    """
+    return Credentials(uid=0, gid=0, caps=container_capability_set())
+
+
+def user_credentials(uid: int, gid: int | None = None) -> Credentials:
+    """Credentials of an ordinary unprivileged user."""
+    return Credentials(uid=uid, gid=uid if gid is None else gid, caps=frozenset())

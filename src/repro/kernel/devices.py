@@ -1,0 +1,121 @@
+"""Device nodes and the device registry.
+
+Needed to *exercise the attacks* of Table 1: creating raw disk devices with
+``mknod`` (attack 3) and tapping kernel memory through ``/dev/mem`` /
+``/dev/kmem`` (attack 4). The simulated kernel exposes real device objects
+so a successful open genuinely leaks data — making the capability-based
+defenses observable rather than asserted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import FileNotFound, InvalidArgument
+
+
+class Device:
+    """Base class for character/block devices."""
+
+    name = "dev"
+
+    def read(self, size: int = -1, offset: int = 0) -> bytes:
+        raise NotImplementedError
+
+    def write(self, data: bytes, offset: int = 0) -> int:
+        raise NotImplementedError
+
+
+class NullDevice(Device):
+    """``/dev/null`` — swallows writes, returns EOF."""
+
+    name = "null"
+
+    def read(self, size: int = -1, offset: int = 0) -> bytes:
+        return b""
+
+    def write(self, data: bytes, offset: int = 0) -> int:
+        return len(data)
+
+
+class ZeroDevice(Device):
+    """``/dev/zero`` — endless zero bytes."""
+
+    name = "zero"
+
+    def read(self, size: int = -1, offset: int = 0) -> bytes:
+        return b"\x00" * max(size, 0)
+
+    def write(self, data: bytes, offset: int = 0) -> int:
+        return len(data)
+
+
+class MemDevice(Device):
+    """``/dev/mem`` / ``/dev/kmem`` — raw access to kernel memory.
+
+    Reading it leaks whatever secrets live in the simulated kernel memory;
+    writing it can corrupt kernel state. WatchIT blocks contained users from
+    opening it via the new ``CAP_DEV_MEM`` capability.
+    """
+
+    name = "mem"
+
+    def __init__(self, kernel_memory: bytearray):
+        self._memory = kernel_memory
+
+    def read(self, size: int = -1, offset: int = 0) -> bytes:
+        end = len(self._memory) if size < 0 else offset + size
+        return bytes(self._memory[offset:end])
+
+    def write(self, data: bytes, offset: int = 0) -> int:
+        self._memory[offset:offset + len(data)] = data
+        return len(data)
+
+
+class BlockDevice(Device):
+    """A raw disk: reading it bypasses filesystem-level controls.
+
+    Attack 3 of Table 1 creates such a node with ``mknod`` and mounts or
+    reads the underlying disk image directly.
+    """
+
+    name = "disk"
+
+    def __init__(self, image: bytearray):
+        self.image = image
+
+    def read(self, size: int = -1, offset: int = 0) -> bytes:
+        end = len(self.image) if size < 0 else offset + size
+        return bytes(self.image[offset:end])
+
+    def write(self, data: bytes, offset: int = 0) -> int:
+        self.image[offset:offset + len(data)] = data
+        return len(data)
+
+
+#: Conventional (major, minor) numbers used by the simulation.
+DEV_NULL = (1, 3)
+DEV_ZERO = (1, 5)
+DEV_MEM = (1, 1)
+DEV_KMEM = (1, 2)
+DEV_SDA = (8, 0)
+
+
+class DeviceRegistry:
+    """Maps ``(major, minor)`` identifiers to device objects."""
+
+    def __init__(self):
+        self._devices: Dict[Tuple[int, int], Device] = {}
+
+    def register(self, rdev: Tuple[int, int], device: Device) -> None:
+        if rdev in self._devices:
+            raise InvalidArgument(f"device {rdev} already registered")
+        self._devices[rdev] = device
+
+    def get(self, rdev: Optional[Tuple[int, int]]) -> Device:
+        if rdev is None or rdev not in self._devices:
+            raise FileNotFound(f"no device registered for {rdev}")
+        return self._devices[rdev]
+
+    def is_registered(self, rdev: Tuple[int, int]) -> bool:
+        return rdev in self._devices

@@ -1,0 +1,48 @@
+"""System-V style shared memory, scoped by the IPC namespace.
+
+A traditional container unshares IPC so contained processes cannot rendezvous
+with host processes through shared segments; a perforated container may keep
+the hole open when an IT task needs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FileNotFound
+from repro.kernel.namespaces import IPCNamespace
+
+
+@dataclass
+class SharedMemorySegment:
+    """One shm segment: a key plus a mutable byte buffer."""
+
+    key: int
+    size: int
+    data: bytearray = field(default_factory=bytearray)
+    owner_uid: int = 0
+
+    def __post_init__(self):
+        if not self.data:
+            self.data = bytearray(self.size)
+
+
+def shmget(ns: IPCNamespace, key: int, size: int = 0, create: bool = False,
+           owner_uid: int = 0) -> SharedMemorySegment:
+    """Look up (or create) the segment for ``key`` in namespace ``ns``.
+
+    Raises:
+        FileNotFound: the key does not exist and ``create`` is False.
+    """
+    seg = ns.segments.get(key)
+    if seg is None:
+        if not create:
+            raise FileNotFound(f"no shm segment with key {key}")
+        seg = SharedMemorySegment(key=key, size=size, owner_uid=owner_uid)
+        ns.segments[key] = seg
+    return seg
+
+
+def shm_list(ns: IPCNamespace):
+    """All segments visible in ``ns`` (its own table only — no inheritance)."""
+    return sorted(ns.segments.values(), key=lambda s: s.key)

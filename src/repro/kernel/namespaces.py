@@ -1,0 +1,292 @@
+"""Linux namespaces — plus WatchIT's new exclusion (XCL) namespace.
+
+A *perforated* container is exactly a process whose namespace set mixes
+fresh namespaces (the isolation) with the host's namespaces (the holes).
+:class:`NamespaceSet` models that mix; :func:`clone_flags` mirrors the
+``CLONE_NEW*`` interface of ``clone(2)``.
+
+The XCL namespace (paper Section 5.6) carries a table of excluded filesystem
+subtrees that its member processes cannot access *regardless of privilege* —
+the defense used when a container must share the host's MNT namespace.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.errors import InvalidArgument
+
+_NSID_COUNTER = itertools.count(1)
+
+
+class NamespaceKind(enum.Enum):
+    """The six Linux namespace kinds, plus WatchIT's XCL."""
+
+    UTS = "uts"
+    MNT = "mnt"
+    NET = "net"
+    PID = "pid"
+    IPC = "ipc"
+    UID = "uid"
+    XCL = "xcl"
+
+
+#: ``clone(2)``-style flags, one per namespace kind.
+CLONE_NEWUTS = NamespaceKind.UTS
+CLONE_NEWNS = NamespaceKind.MNT
+CLONE_NEWNET = NamespaceKind.NET
+CLONE_NEWPID = NamespaceKind.PID
+CLONE_NEWIPC = NamespaceKind.IPC
+CLONE_NEWUSER = NamespaceKind.UID
+CLONE_XCL = NamespaceKind.XCL
+
+#: The namespaces a *traditional* container unshares (paper Figure 1a).
+ALL_CLONE_FLAGS: FrozenSet[NamespaceKind] = frozenset(
+    k for k in NamespaceKind if k is not NamespaceKind.XCL
+)
+
+
+class Namespace:
+    """Base class for all namespace objects.
+
+    Attributes:
+        kind: which resource this namespace scopes.
+        nsid: globally unique id (handy in logs and ``/proc``-style output).
+        parent: the namespace this one was cloned from, or None for an
+            initial (host) namespace.
+    """
+
+    kind: NamespaceKind
+
+    def __init__(self, parent: Optional["Namespace"] = None):
+        self.nsid = next(_NSID_COUNTER)
+        self.parent = parent
+
+    def is_descendant_of(self, other: "Namespace") -> bool:
+        """True if ``other`` is this namespace or one of its ancestors."""
+        node: Optional[Namespace] = self
+        while node is not None:
+            if node is other:
+                return True
+            node = node.parent
+        return False
+
+    def clone(self) -> "Namespace":
+        """Create a child namespace (semantics differ per kind)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} nsid={self.nsid}>"
+
+
+class UTSNamespace(Namespace):
+    """Scopes the hostname (paper Figure 1: lnx-host vs lnx-cont)."""
+
+    kind = NamespaceKind.UTS
+
+    def __init__(self, hostname: str = "localhost", parent: Optional[Namespace] = None):
+        super().__init__(parent)
+        self.hostname = hostname
+
+    def clone(self, hostname: Optional[str] = None) -> "UTSNamespace":
+        return UTSNamespace(hostname or self.hostname, parent=self)
+
+
+class IPCNamespace(Namespace):
+    """Scopes System-V style IPC objects (shared memory segments)."""
+
+    kind = NamespaceKind.IPC
+
+    def __init__(self, parent: Optional[Namespace] = None):
+        super().__init__(parent)
+        #: key -> SharedMemorySegment (see :mod:`repro.kernel.ipc`)
+        self.segments: Dict[int, object] = {}
+
+    def clone(self) -> "IPCNamespace":
+        return IPCNamespace(parent=self)  # fresh, empty object table
+
+
+class UIDNamespace(Namespace):
+    """Maps namespace-local uids to host uids.
+
+    A perforated container typically maps contained uid 0 to host uid 0 so
+    the administrator's operations carry through ITFS with real superuser
+    DAC rights (paper Section 5.3), while still being capability-bounded.
+    """
+
+    kind = NamespaceKind.UID
+
+    def __init__(self, mapping: Optional[Dict[int, int]] = None,
+                 parent: Optional[Namespace] = None):
+        super().__init__(parent)
+        #: namespace uid -> host uid; identity when empty and this is an
+        #: initial namespace.
+        self.mapping: Dict[int, int] = dict(mapping or {})
+
+    def to_host_uid(self, uid: int) -> int:
+        """Translate a namespace-local uid to the host uid it acts as."""
+        if self.parent is None:
+            return uid
+        if uid in self.mapping:
+            mapped = self.mapping[uid]
+        else:
+            # Unmapped uids act as the overflow uid (nobody), like Linux.
+            mapped = 65534
+        return self.parent.to_host_uid(mapped) if isinstance(self.parent, UIDNamespace) else mapped
+
+    def clone(self, mapping: Optional[Dict[int, int]] = None) -> "UIDNamespace":
+        return UIDNamespace(mapping=mapping or {0: 0}, parent=self)
+
+
+class PIDNamespace(Namespace):
+    """Scopes process visibility and pid numbering.
+
+    A process is registered in its own PID namespace and every ancestor,
+    with an independent local pid in each — exactly Linux's model, and the
+    mechanism behind the paper's ``ps -a`` vs ``PB ps -a`` demo (Figure 6).
+    """
+
+    kind = NamespaceKind.PID
+
+    def __init__(self, parent: Optional[Namespace] = None):
+        super().__init__(parent)
+        self._next_pid = 1
+        #: local pid -> Process
+        self.processes: Dict[int, object] = {}
+
+    def register(self, proc: object) -> int:
+        """Assign the next local pid to ``proc`` and record it."""
+        pid = self._next_pid
+        self._next_pid += 1
+        self.processes[pid] = proc
+        return pid
+
+    def unregister(self, proc: object) -> None:
+        for pid, p in list(self.processes.items()):
+            if p is proc:
+                del self.processes[pid]
+
+    def clone(self) -> "PIDNamespace":
+        return PIDNamespace(parent=self)
+
+
+class XCLNamespace(Namespace):
+    """WatchIT's exclusion namespace (paper Section 5.6).
+
+    Carries a table of excluded filesystem subtrees, each recorded as a
+    ``(fsid, fs-internal path)`` pair so the exclusion survives bind mounts
+    and chroots: however a process names the file, resolution ends at the
+    same ``(filesystem, path)`` and the check fires.
+
+    A child namespace inherits its parent's table (CLONE_XCL semantics).
+    """
+
+    kind = NamespaceKind.XCL
+
+    def __init__(self, parent: Optional[Namespace] = None,
+                 exclusions: Optional[Iterable[Tuple[int, str]]] = None):
+        super().__init__(parent)
+        self.exclusions: Set[Tuple[int, str]] = set(exclusions or ())
+
+    def clone(self) -> "XCLNamespace":
+        # "A newly created namespace instance inherits its parent's
+        # exclusion table." (Section 5.6)
+        return XCLNamespace(parent=self, exclusions=set(self.exclusions))
+
+    def add_exclusion(self, fsid: int, fspath: str) -> None:
+        """Add an excluded subtree (dedicated syscall in the paper)."""
+        self.exclusions.add((fsid, fspath))
+
+    def remove_exclusion(self, fsid: int, fspath: str) -> None:
+        self.exclusions.discard((fsid, fspath))
+
+    def excludes(self, fsid: int, fspath: str) -> bool:
+        """True if ``(fsid, fspath)`` falls under any excluded subtree."""
+        for ex_fsid, ex_path in self.exclusions:
+            if ex_fsid != fsid:
+                continue
+            if ex_path == "/" or fspath == ex_path or fspath.startswith(ex_path + "/"):
+                return True
+        return False
+
+
+class NamespaceSet:
+    """The namespace membership of one process.
+
+    ``NamespaceSet.clone(flags)`` produces the set for a child created with
+    the given ``CLONE_NEW*`` flags: flagged kinds get fresh namespaces, all
+    others are *shared with the parent* — which is precisely how a
+    perforated container punches its holes.
+    """
+
+    def __init__(self, namespaces: Dict[NamespaceKind, Namespace]):
+        missing = set(NamespaceKind) - set(namespaces)
+        if missing:
+            raise InvalidArgument("namespace set missing kinds: "
+                                  f"{sorted(k.value for k in missing)}")
+        self._ns = dict(namespaces)
+
+    def __getitem__(self, kind: NamespaceKind) -> Namespace:
+        return self._ns[kind]
+
+    def get(self, kind: NamespaceKind) -> Namespace:
+        return self._ns[kind]
+
+    @property
+    def uts(self) -> UTSNamespace:
+        return self._ns[NamespaceKind.UTS]  # type: ignore[return-value]
+
+    @property
+    def mnt(self):
+        return self._ns[NamespaceKind.MNT]
+
+    @property
+    def net(self):
+        return self._ns[NamespaceKind.NET]
+
+    @property
+    def pid(self) -> PIDNamespace:
+        return self._ns[NamespaceKind.PID]  # type: ignore[return-value]
+
+    @property
+    def ipc(self) -> IPCNamespace:
+        return self._ns[NamespaceKind.IPC]  # type: ignore[return-value]
+
+    @property
+    def uid(self) -> UIDNamespace:
+        return self._ns[NamespaceKind.UID]  # type: ignore[return-value]
+
+    @property
+    def xcl(self) -> XCLNamespace:
+        return self._ns[NamespaceKind.XCL]  # type: ignore[return-value]
+
+    def clone(self, flags: Iterable[NamespaceKind]) -> "NamespaceSet":
+        """Return the namespace set of a child created with ``flags``."""
+        flags = frozenset(flags)
+        new: Dict[NamespaceKind, Namespace] = {}
+        for kind, ns in self._ns.items():
+            new[kind] = ns.clone() if kind in flags else ns
+        return NamespaceSet(new)
+
+    def with_replaced(self, kind: NamespaceKind, ns: Namespace) -> "NamespaceSet":
+        """Return a copy with one namespace substituted (setns/nsenter)."""
+        if ns.kind is not kind:
+            raise InvalidArgument(f"{ns!r} is not a {kind.value} namespace")
+        new = dict(self._ns)
+        new[kind] = ns
+        return NamespaceSet(new)
+
+    def shares_with(self, other: "NamespaceSet", kind: NamespaceKind) -> bool:
+        """True if both sets reference the same namespace object for ``kind``."""
+        return self._ns[kind] is other._ns[kind]
+
+    def shared_kinds(self, other: "NamespaceSet") -> FrozenSet[NamespaceKind]:
+        """The namespace kinds (holes) shared between two sets."""
+        return frozenset(k for k in NamespaceKind if self.shares_with(other, k))
+
+    def describe(self) -> Dict[str, int]:
+        """Map of namespace kind name -> nsid, for logs and diagnostics."""
+        ordered = sorted(self._ns.items(), key=lambda kv: kv[0].value)
+        return {kind.value: ns.nsid for kind, ns in ordered}

@@ -1,0 +1,333 @@
+"""Simulated network stack, scoped by NET namespaces.
+
+Each NET namespace owns interfaces, routing tables, and firewall rules —
+the three things the paper calls out as shared when the network namespace is
+perforated (Figure 1b). A global :class:`Network` fabric connects hosts and
+services (license server, software repository, shared storage, ...).
+
+Packet taps attached to a namespace let the network monitor
+(:mod:`repro.netmon`) inspect, log, and *block* flows inline — the
+Snort/Wireshark role in the paper's architecture.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    ConnectionRefused,
+    FirewallBlocked,
+    InvalidArgument,
+    NetworkUnreachable,
+)
+from repro.kernel.namespaces import Namespace, NamespaceKind
+
+
+def ip_in_cidr(ip: str, pattern: str) -> bool:
+    """Match an IPv4 address against ``pattern``.
+
+    Supported patterns: exact address, ``a.b.c.d/nn`` CIDR, ``*`` (any),
+    and ``default`` (any — route syntax).
+    """
+    if pattern in ("*", "default", "0.0.0.0/0"):
+        return True
+    if "/" not in pattern:
+        return ip == pattern
+    base, bits_s = pattern.split("/")
+    bits = int(bits_s)
+    if not 0 <= bits <= 32:
+        raise InvalidArgument(f"bad prefix length: {pattern}")
+    ip_int = _ip_to_int(ip)
+    base_int = _ip_to_int(base)
+    mask = ((1 << bits) - 1) << (32 - bits) if bits else 0
+    return (ip_int & mask) == (base_int & mask)
+
+
+def _ip_to_int(ip: str) -> int:
+    parts = ip.split(".")
+    if len(parts) != 4:
+        raise InvalidArgument(f"bad IPv4 address: {ip}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise InvalidArgument(f"bad IPv4 address: {ip}")
+        value = (value << 8) | octet
+    return value
+
+
+@dataclass
+class NetInterface:
+    """A network device bound to one NET namespace."""
+
+    name: str
+    ip: str
+    up: bool = True
+
+
+@dataclass
+class Route:
+    """A routing-table entry: destinations matching ``dest`` leave via ``iface``."""
+
+    dest: str  # exact IP, CIDR, or "default"
+    iface: str
+
+
+@dataclass
+class FirewallRule:
+    """One firewall rule; first match wins.
+
+    Attributes:
+        action: ``allow`` or ``deny``.
+        direction: ``egress`` (connections out) or ``ingress``.
+        dst: destination pattern (IP / CIDR / ``*``).
+        port: destination port, or None for any.
+        comment: free-text provenance (shows up in broker logs).
+    """
+
+    action: str
+    direction: str = "egress"
+    dst: str = "*"
+    port: Optional[int] = None
+    comment: str = ""
+
+    def matches(self, packet: "Packet", direction: str) -> bool:
+        if self.direction != direction:
+            return False
+        if self.port is not None and packet.port != self.port:
+            return False
+        return ip_in_cidr(packet.dst_ip, self.dst)
+
+
+_PACKET_SEQ = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """One unit of simulated traffic."""
+
+    src_ip: str
+    dst_ip: str
+    port: int
+    payload: bytes = b""
+    direction: str = "egress"  # as seen by the tap receiving it
+    seq: int = field(default_factory=lambda: next(_PACKET_SEQ))
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.payload)
+
+
+#: A tap sees each packet plus the namespace-side direction; it may raise
+#: :class:`repro.errors.AccessBlocked` to drop the flow inline.
+PacketTap = Callable[[Packet, str], None]
+
+
+class NetNamespace(Namespace):
+    """A NET namespace: interfaces + routes + firewall + packet taps."""
+
+    kind = NamespaceKind.NET
+
+    def __init__(self, parent: Optional[Namespace] = None,
+                 default_policy: str = "allow"):
+        super().__init__(parent)
+        self.interfaces: Dict[str, NetInterface] = {
+            "lo": NetInterface(name="lo", ip="127.0.0.1")
+        }
+        self.routes: List[Route] = []
+        self.firewall: List[FirewallRule] = []
+        self.default_policy = default_policy
+        self.taps: List[PacketTap] = []
+
+    def clone(self) -> "NetNamespace":
+        """CLONE_NEWNET: fresh namespace with only a loopback device."""
+        return NetNamespace(parent=self, default_policy=self.default_policy)
+
+    # -- configuration ---------------------------------------------------
+
+    def add_interface(self, name: str, ip: str) -> NetInterface:
+        iface = NetInterface(name=name, ip=ip)
+        self.interfaces[name] = iface
+        return iface
+
+    def add_route(self, dest: str, iface: str) -> None:
+        if iface not in self.interfaces:
+            raise InvalidArgument(f"no such interface: {iface}")
+        self.routes.append(Route(dest=dest, iface=iface))
+
+    def add_rule(self, rule: FirewallRule) -> None:
+        self.firewall.append(rule)
+
+    def add_tap(self, tap: PacketTap) -> None:
+        self.taps.append(tap)
+
+    # -- data path -------------------------------------------------------
+
+    def route_for(self, dst_ip: str) -> Optional[Route]:
+        """Longest-match-free routing: first specific route, else default."""
+        default = None
+        for route in self.routes:
+            if route.dest == "default":
+                default = default or route
+            elif ip_in_cidr(dst_ip, route.dest):
+                return route
+        return default
+
+    def firewall_verdict(self, packet: Packet, direction: str) -> str:
+        for rule in self.firewall:
+            if rule.matches(packet, direction):
+                return rule.action
+        return self.default_policy
+
+    def run_taps(self, packet: Packet, direction: str) -> None:
+        packet.direction = direction
+        for tap in self.taps:
+            tap(packet, direction)
+
+    def own_ips(self) -> List[str]:
+        return [iface.ip for iface in self.interfaces.values() if iface.up]
+
+    def describe_view(self) -> Dict[str, object]:
+        """Summary of this namespace's network view (for PB introspection)."""
+        return {
+            "interfaces": {n: i.ip for n, i in self.interfaces.items()},
+            "routes": [(r.dest, r.iface) for r in self.routes],
+            "firewall": [(r.action, r.direction, r.dst, r.port) for r in self.firewall],
+            "default_policy": self.default_policy,
+        }
+
+
+class Connection:
+    """An established flow; every ``send`` re-traverses firewall and taps."""
+
+    def __init__(self, network: "Network", src_ns: NetNamespace, src_ip: str,
+                 dst_ip: str, port: int):
+        self._network = network
+        self._src_ns = src_ns
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.port = port
+        self.closed = False
+
+    def send(self, payload: bytes, meta: Optional[Dict[str, object]] = None) -> bytes:
+        """Send ``payload`` to the remote service and return its response.
+
+        Raises:
+            FirewallBlocked / AccessBlocked: a rule or tap dropped the flow.
+        """
+        if self.closed:
+            raise ConnectionRefused("connection closed")
+        return self._network.transmit(self._src_ns, self.src_ip, self.dst_ip,
+                                      self.port, payload, meta or {})
+
+    def close(self) -> None:
+        self.closed = True
+
+
+#: A service handler consumes a request packet and returns response bytes.
+ServiceHandler = Callable[[Packet], bytes]
+
+
+class Network:
+    """The global fabric: IP endpoints, listeners, and the transmit path."""
+
+    def __init__(self):
+        #: ip -> (owning namespace, {port: handler})
+        self._endpoints: Dict[str, Tuple[NetNamespace, Dict[int, ServiceHandler]]] = {}
+
+    def attach(self, ns: NetNamespace, ip: str, iface: str = "eth0",
+               default_route: bool = True) -> NetInterface:
+        """Give ``ns`` an interface at ``ip`` and register it on the fabric."""
+        interface = ns.add_interface(iface, ip)
+        if default_route:
+            ns.add_route("default", iface)
+        self._endpoints[ip] = (ns, self._endpoints.get(ip, (ns, {}))[1])
+        return interface
+
+    def listen(self, ip: str, port: int, handler: ServiceHandler) -> None:
+        """Bind ``handler`` to ``ip:port``. The endpoint must be attached."""
+        if ip not in self._endpoints:
+            raise InvalidArgument(f"{ip} is not attached to the network")
+        self._endpoints[ip][1][port] = handler
+
+    def connect(self, src_ns: NetNamespace, dst_ip: str, port: int) -> Connection:
+        """Open a connection, enforcing routes and firewalls on both sides."""
+        src_ip = self._source_ip(src_ns, dst_ip)
+        probe = Packet(src_ip=src_ip, dst_ip=dst_ip, port=port, payload=b"",
+                       meta={"event": "connect"})
+        self._check_egress(src_ns, probe)
+        dst_ns, listeners = self._require_endpoint(dst_ip)
+        if port not in listeners:
+            raise ConnectionRefused(f"nothing listens on {dst_ip}:{port}")
+        self._check_ingress(dst_ns, probe)
+        return Connection(self, src_ns, src_ip, dst_ip, port)
+
+    def transmit(self, src_ns: NetNamespace, src_ip: str, dst_ip: str, port: int,
+                 payload: bytes, meta: Dict[str, object]) -> bytes:
+        """Full data path for one request/response exchange."""
+        packet = Packet(src_ip=src_ip, dst_ip=dst_ip, port=port,
+                        payload=payload, meta=dict(meta))
+        self._check_egress(src_ns, packet)
+        src_ns.run_taps(packet, "egress")
+        dst_ns, listeners = self._require_endpoint(dst_ip)
+        handler = listeners.get(port)
+        if handler is None:
+            raise ConnectionRefused(f"nothing listens on {dst_ip}:{port}")
+        self._check_ingress(dst_ns, packet)
+        dst_ns.run_taps(packet, "ingress")
+        response_payload = handler(packet)
+        response = Packet(src_ip=dst_ip, dst_ip=src_ip, port=port,
+                          payload=response_payload, meta={"response_to": packet.seq})
+        dst_ns.run_taps(response, "egress")
+        src_ns.run_taps(response, "ingress")
+        return response_payload
+
+    def reachable(self, src_ns: NetNamespace, dst_ip: str, port: int) -> bool:
+        """True if ``connect`` would succeed (no side effects on taps)."""
+        try:
+            src_ip = self._source_ip(src_ns, dst_ip)
+        except NetworkUnreachable:
+            return False
+        probe = Packet(src_ip=src_ip, dst_ip=dst_ip, port=port)
+        try:
+            self._check_egress(src_ns, probe)
+            dst_ns, listeners = self._require_endpoint(dst_ip)
+            if port not in listeners:
+                return False
+            self._check_ingress(dst_ns, probe)
+        except (FirewallBlocked, NetworkUnreachable, ConnectionRefused):
+            return False
+        return True
+
+    # -- internals -------------------------------------------------------
+
+    def _source_ip(self, src_ns: NetNamespace, dst_ip: str) -> str:
+        if dst_ip in src_ns.own_ips() or dst_ip == "127.0.0.1":
+            return "127.0.0.1" if dst_ip == "127.0.0.1" else dst_ip
+        route = src_ns.route_for(dst_ip)
+        if route is None:
+            raise NetworkUnreachable(f"no route to {dst_ip}")
+        iface = src_ns.interfaces.get(route.iface)
+        if iface is None or not iface.up:
+            raise NetworkUnreachable(f"interface {route.iface} is down")
+        return iface.ip
+
+    def _require_endpoint(self, dst_ip: str) -> Tuple[NetNamespace, Dict[int, ServiceHandler]]:
+        if dst_ip == "127.0.0.1":
+            raise InvalidArgument("loopback services must be reached via their namespace IP")
+        if dst_ip not in self._endpoints:
+            raise NetworkUnreachable(f"no endpoint at {dst_ip}")
+        return self._endpoints[dst_ip]
+
+    def _check_egress(self, ns: NetNamespace, packet: Packet) -> None:
+        if packet.dst_ip not in ns.own_ips() and ns.route_for(packet.dst_ip) is None:
+            raise NetworkUnreachable(f"no route to {packet.dst_ip}")
+        if ns.firewall_verdict(packet, "egress") != "allow":
+            raise FirewallBlocked(f"egress to {packet.dst_ip}:{packet.port} denied")
+
+    def _check_ingress(self, ns: NetNamespace, packet: Packet) -> None:
+        if ns.firewall_verdict(packet, "ingress") != "allow":
+            raise FirewallBlocked(f"ingress from {packet.src_ip} denied")

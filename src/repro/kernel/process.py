@@ -1,0 +1,130 @@
+"""Processes: the subjects whose privileges WatchIT bounds.
+
+A process carries credentials (uid + capabilities), a namespace set, a
+chroot root, a cwd, and a file-descriptor table. Containment in WatchIT is
+nothing more than spawning the administrator's shell with (a) a perforated
+namespace set, (b) a root inside an ITFS mount, and (c) the escape-enabling
+capabilities dropped.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.kernel.capabilities import Credentials
+from repro.kernel.namespaces import NamespaceSet
+
+
+class ProcessState(enum.Enum):
+    RUNNING = "R"
+    ZOMBIE = "Z"
+    DEAD = "X"
+
+
+_FD_START = 3  # 0-2 notionally reserved for stdio
+
+
+@dataclass
+class OpenFile:
+    """A file-descriptor table entry."""
+
+    fd: int
+    fs: object  # Filesystem
+    fspath: str
+    vpath: str  # how the process named it
+    mode: str = "r"
+    offset: int = 0
+    device: object = None  # Device for device nodes
+
+
+class Process:
+    """One simulated process/task.
+
+    Attributes:
+        pid: global (host-unique) pid. Per-namespace pids live in
+            ``ns_pids`` and are what ``ps`` and ``kill`` use.
+        comm: command name shown by ``ps``.
+        creds: :class:`~repro.kernel.capabilities.Credentials`.
+        namespaces: :class:`~repro.kernel.namespaces.NamespaceSet`.
+        root: chroot root, expressed in mount-namespace coordinates.
+        cwd: current directory in the process's own (post-chroot) view.
+        on_exit: callbacks invoked when the process dies — ContainIT's
+            watchdog (terminate the session when a peer dies, Table 1
+            attack 7) hangs off this hook.
+    """
+
+    _GLOBAL_PID = itertools.count(1)
+
+    def __init__(self, comm: str, creds: Credentials, namespaces: NamespaceSet,
+                 kernel: object, parent: Optional["Process"] = None,
+                 root: str = "/", cwd: str = "/"):
+        self.pid = next(Process._GLOBAL_PID)
+        self.comm = comm
+        self.creds = creds
+        self.namespaces = namespaces
+        self.kernel = kernel
+        self.parent = parent
+        self.ppid = parent.pid if parent else 0
+        self.root = root
+        self.cwd = cwd
+        self.state = ProcessState.RUNNING
+        self.exit_code: Optional[int] = None
+        self.children: List[Process] = []
+        self.fds: Dict[int, OpenFile] = {}
+        self._next_fd = _FD_START
+        #: nsid -> pid-in-that-namespace
+        self.ns_pids: Dict[int, int] = {}
+        self.on_exit: List[Callable[["Process"], None]] = []
+        self.ptraced_by: Optional[int] = None
+        if parent is not None:
+            parent.children.append(self)
+
+    # -- pid bookkeeping ---------------------------------------------------
+
+    def register_pids(self) -> None:
+        """Register this process in its PID namespace and all ancestors."""
+        ns = self.namespaces.pid
+        while ns is not None:
+            self.ns_pids[ns.nsid] = ns.register(self)
+            ns = ns.parent  # type: ignore[assignment]
+
+    def pid_in(self, pid_ns) -> Optional[int]:
+        """This process's pid as seen from ``pid_ns`` (None if invisible)."""
+        return self.ns_pids.get(pid_ns.nsid)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self.state is ProcessState.RUNNING
+
+    def die(self, code: int = 0, state: ProcessState = ProcessState.ZOMBIE) -> None:
+        """Terminate; fires ``on_exit`` hooks exactly once."""
+        if not self.alive:
+            return
+        self.state = state
+        self.exit_code = code
+        ns = self.namespaces.pid
+        while ns is not None:
+            ns.unregister(self)
+            ns = ns.parent  # type: ignore[assignment]
+        for fd in list(self.fds):
+            self.fds.pop(fd, None)
+        hooks, self.on_exit = list(self.on_exit), []
+        for hook in hooks:
+            hook(self)
+
+    # -- fd table ----------------------------------------------------------
+
+    def alloc_fd(self, entry_kwargs: dict) -> OpenFile:
+        fd = self._next_fd
+        self._next_fd += 1
+        entry = OpenFile(fd=fd, **entry_kwargs)
+        self.fds[fd] = entry
+        return entry
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process pid={self.pid} comm={self.comm} state={self.state.value}>"

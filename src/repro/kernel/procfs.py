@@ -1,0 +1,131 @@
+"""A synthesized /proc filesystem.
+
+Entries are generated on demand from the kernel's process table, filtered by
+the *viewer's* PID namespace — so a contained ``ls /proc`` shows only the
+container's processes while ``PB ls /proc`` (through the permission broker,
+which runs in the host namespaces) shows everything, reproducing the paper's
+Figure 6 demonstration at the filesystem level too.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import FileNotFound, IsADirectory, NotADirectory, ReadOnlyFilesystem
+from repro.kernel.vfs import FileType, Filesystem, Inode, OpContext, split_path
+
+
+class ProcFilesystem(Filesystem):
+    """Read-only, synthesized view of the process table."""
+
+    fstype = "proc"
+
+    def __init__(self, kernel):
+        super().__init__(label="proc")
+        self._kernel = kernel
+        self.read_only = True
+
+    # -- helpers -----------------------------------------------------------
+
+    def _viewer_pidns(self, ctx: OpContext | None):
+        if ctx is not None and ctx.proc is not None:
+            return ctx.proc.namespaces.pid
+        return self._kernel.init.namespaces.pid
+
+    def _visible(self, ctx: OpContext | None):
+        """(local_pid, process) pairs visible to the viewing namespace.
+
+        A process is visible iff it is registered in the viewer's PID
+        namespace (which covers the viewer's own namespace and every
+        descendant, by the registration scheme in ``Process.register_pids``).
+        """
+        pid_ns = self._viewer_pidns(ctx)
+        seen = {}
+        for proc in list(self._kernel.processes.values()):
+            vpid = proc.pid_in(pid_ns)
+            if vpid is not None and proc.alive:
+                seen[vpid] = proc
+        return sorted(seen.items())
+
+    # -- Filesystem interface ----------------------------------------------
+
+    def _mounts_text(self, ctx: OpContext | None) -> bytes:
+        """/proc/mounts: the *viewer's* mount table (paper Figure 5)."""
+        proc = ctx.proc if ctx is not None and ctx.proc is not None \
+            else self._kernel.init
+        rows = proc.namespaces.mnt.table.entries()
+        return "".join(f"{src} {mp} {fstype} rw 0 0\n"
+                       for src, mp, fstype in rows).encode()
+
+    def lookup(self, path: str, ctx: OpContext | None = None) -> Inode:
+        comps = split_path(path)
+        if not comps:
+            return Inode(ftype=FileType.DIRECTORY, mode=0o555)
+        visible = dict(self._visible(ctx))
+        if comps[0] == "uptime":
+            if len(comps) != 1:
+                raise NotADirectory(path)
+            return Inode(data=f"{self._kernel.clock}\n".encode(), mode=0o444)
+        if comps[0] == "mounts":
+            if len(comps) != 1:
+                raise NotADirectory(path)
+            return Inode(data=self._mounts_text(ctx), mode=0o444)
+        if comps[0] == "self":
+            # resolve to the viewing process's own pid directory
+            viewer = ctx.proc if ctx is not None and ctx.proc is not None \
+                else self._kernel.init
+            own = viewer.pid_in(self._viewer_pidns(ctx))
+            if own is None:
+                raise FileNotFound(path)
+            return self.lookup("/" + "/".join([str(own)] + comps[1:]), ctx)
+        try:
+            pid = int(comps[0])
+        except ValueError:
+            raise FileNotFound(path) from None
+        proc = visible.get(pid)
+        if proc is None:
+            raise FileNotFound(path)
+        if len(comps) == 1:
+            return Inode(ftype=FileType.DIRECTORY, mode=0o555)
+        if len(comps) == 2 and comps[1] == "status":
+            text = (f"Name:\t{proc.comm}\nPid:\t{pid}\nState:\t{proc.state.value}\n"
+                    f"Uid:\t{proc.creds.uid}\nCaps:\t{len(proc.creds.caps)}\n")
+            return Inode(data=text.encode(), mode=0o444)
+        if len(comps) == 2 and comps[1] == "cmdline":
+            return Inode(data=proc.comm.encode(), mode=0o444)
+        if len(comps) == 2 and comps[1] == "ns":
+            return Inode(ftype=FileType.DIRECTORY, mode=0o555)
+        if len(comps) == 3 and comps[1] == "ns":
+            kind = comps[2]
+            described = proc.namespaces.describe()
+            if kind not in described:
+                raise FileNotFound(path)
+            return Inode(data=f"{kind}:[{described[kind]}]\n".encode(),
+                         mode=0o444)
+        raise FileNotFound(path)
+
+    def readdir(self, path: str, ctx: OpContext | None = None) -> List[str]:
+        comps = split_path(path)
+        if not comps:
+            return [str(pid) for pid, _ in self._visible(ctx)] + \
+                ["mounts", "self", "uptime"]
+        node = self.lookup(path, ctx)
+        if not node.is_dir:
+            raise NotADirectory(path)
+        if comps[-1] == "ns":
+            viewer = ctx.proc if ctx is not None and ctx.proc is not None \
+                else self._kernel.init
+            visible = dict(self._visible(ctx))
+            target = visible.get(int(comps[0])) if comps[0].isdigit() else viewer
+            return sorted((target or viewer).namespaces.describe())
+        return ["cmdline", "ns", "status"]
+
+    def read(self, path: str, ctx: OpContext | None = None) -> bytes:
+        node = self.lookup(path, ctx)
+        if node.is_dir:
+            raise IsADirectory(path)
+        return node.data
+
+    def write(self, path: str, data: bytes, ctx: OpContext | None = None,
+              append: bool = False) -> None:
+        raise ReadOnlyFilesystem("/proc is read-only")

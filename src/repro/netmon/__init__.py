@@ -1,0 +1,38 @@
+"""Network monitoring: packet taps, IDS rules, exfiltration detection."""
+
+from repro.netmon.entropy import (
+    DEFAULT_ENTROPY_THRESHOLD,
+    MIN_SAMPLE_LEN,
+    looks_encrypted,
+    shannon_entropy,
+)
+from repro.netmon.flows import FlowState, FlowTracker
+from repro.netmon.rules import (
+    DestinationWhitelistRule,
+    EncryptedContentSniffRule,
+    FileSignatureSniffRule,
+    KeywordSniffRule,
+    MalwareSignatureRule,
+    SniffRule,
+    Verdict,
+    VolumeCapSniffRule,
+)
+from repro.netmon.sniffer import NetworkMonitor
+
+__all__ = [
+    "DEFAULT_ENTROPY_THRESHOLD",
+    "DestinationWhitelistRule",
+    "EncryptedContentSniffRule",
+    "FileSignatureSniffRule",
+    "FlowState",
+    "FlowTracker",
+    "KeywordSniffRule",
+    "MIN_SAMPLE_LEN",
+    "MalwareSignatureRule",
+    "NetworkMonitor",
+    "SniffRule",
+    "Verdict",
+    "VolumeCapSniffRule",
+    "looks_encrypted",
+    "shannon_entropy",
+]

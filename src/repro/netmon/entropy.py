@@ -1,0 +1,40 @@
+"""Shannon entropy estimation for encrypted-exfiltration detection.
+
+The paper's attack 8 (Table 1) encrypts victim files to defeat signature
+sniffing; the countermeasure pairs ITFS content blocking with network rules
+that flag "transfer of encrypted files". High byte-entropy payloads are the
+standard heuristic for that.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+#: Above this bits/byte, a payload is considered encrypted/compressed.
+DEFAULT_ENTROPY_THRESHOLD = 7.2
+
+#: Payloads shorter than this give too noisy an estimate to act on.
+MIN_SAMPLE_LEN = 64
+
+
+def shannon_entropy(data: bytes) -> float:
+    """Bits of entropy per byte of ``data`` (0.0 for empty input)."""
+    if not data:
+        return 0.0
+    counts = Counter(data)
+    total = len(data)
+    entropy = 0.0
+    for count in counts.values():
+        p = count / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def looks_encrypted(data: bytes,
+                    threshold: float = DEFAULT_ENTROPY_THRESHOLD,
+                    min_len: int = MIN_SAMPLE_LEN) -> bool:
+    """Heuristic: True when ``data`` is long enough and near-uniform."""
+    if len(data) < min_len:
+        return False
+    return shannon_entropy(data) >= threshold

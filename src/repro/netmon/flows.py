@@ -1,0 +1,90 @@
+"""Stream reassembly for the network monitor.
+
+Per-packet signature matching has a classic blind spot: split the file
+magic across two packets and the per-packet rule never fires. Real IDSes
+(Snort's stream preprocessor) reassemble flows before matching. The
+:class:`FlowTracker` keeps a sliding window of recent bytes per
+``(src, dst, port, direction)`` flow and re-runs content rules over the
+reassembled stream, closing the evasion.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.errors import AccessBlocked
+from repro.itfs.signatures import signature_class
+from repro.kernel.net import Packet
+from repro.netmon.entropy import looks_encrypted
+
+FlowKey = Tuple[str, str, int, str]
+
+
+@dataclass
+class FlowState:
+    """Reassembly buffer for one direction of one flow."""
+
+    window: bytes = b""
+    total_bytes: int = 0
+    packets: int = 0
+
+
+class FlowTracker:
+    """Sliding-window stream reassembly + content matching.
+
+    Install it as a tap (it composes with :class:`NetworkMonitor`: attach
+    both). A match raises :class:`AccessBlocked`, dropping the packet that
+    completed the signature.
+    """
+
+    def __init__(self, window_bytes: int = 4096,
+                 classes: Iterable[str] = ("document", "image"),
+                 entropy_window: int = 2048,
+                 detect_encrypted: bool = True,
+                 directions: Iterable[str] = ("egress",)):
+        self.window_bytes = window_bytes
+        self.classes = frozenset(classes)
+        self.entropy_window = entropy_window
+        self.detect_encrypted = detect_encrypted
+        self.directions = frozenset(directions)
+        self._flows: Dict[FlowKey, FlowState] = defaultdict(FlowState)
+        self.flows_blocked = 0
+
+    def _key(self, packet: Packet, direction: str) -> FlowKey:
+        return (packet.src_ip, packet.dst_ip, packet.port, direction)
+
+    def tap(self, packet: Packet, direction: str) -> None:
+        """Feed one packet into its flow; raises on a reassembled match."""
+        if direction not in self.directions:
+            return
+        state = self._flows[self._key(packet, direction)]
+        state.packets += 1
+        state.total_bytes += packet.size
+        state.window = (state.window + packet.payload)[-self.window_bytes:]
+        verdict = self._match(state)
+        if verdict is not None:
+            self.flows_blocked += 1
+            raise AccessBlocked(
+                f"flow reassembly matched {verdict} towards "
+                f"{packet.dst_ip}:{packet.port}", rule=f"flow-{verdict}")
+
+    def _match(self, state: FlowState) -> Optional[str]:
+        # scan every offset: the magic may sit anywhere in the stream
+        window = state.window
+        for offset in range(max(len(window) - 3, 1)):
+            cls = signature_class(window[offset:offset + 16])
+            if cls is not None and cls in self.classes:
+                return cls
+        if self.detect_encrypted and \
+                looks_encrypted(window[-self.entropy_window:]):
+            return "encrypted-stream"
+        return None
+
+    def attach(self, ns) -> None:
+        ns.add_tap(self.tap)
+
+    def stats(self) -> Dict[str, int]:
+        return {"flows": len(self._flows),
+                "flows_blocked": self.flows_blocked}

@@ -1,0 +1,140 @@
+"""IDS rules for the network monitor (the Snort/Wireshark role).
+
+Each rule inspects a packet and may return a :class:`Verdict` — log, or
+block — mirroring the paper's "network traffic ... is tapped, analyzed,
+and can be blocked if necessary".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.itfs.signatures import signature_class
+from repro.kernel.net import Packet, ip_in_cidr
+from repro.netmon.entropy import DEFAULT_ENTROPY_THRESHOLD, looks_encrypted
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Rule outcome: ``action`` is ``block`` or ``log``."""
+
+    action: str
+    rule: str
+    reason: str = ""
+
+
+class SniffRule:
+    """Base IDS rule."""
+
+    def __init__(self, name: str, action: str = "block",
+                 directions: Iterable[str] = ("egress", "ingress")):
+        if action not in ("block", "log"):
+            raise ValueError(f"bad action {action!r}")
+        self.name = name
+        self.action = action
+        self.directions = frozenset(directions)
+
+    def inspect(self, packet: Packet, direction: str) -> Optional[Verdict]:
+        if direction not in self.directions:
+            return None
+        if self._matches(packet, direction):
+            return Verdict(action=self.action, rule=self.name)
+        return None
+
+    def _matches(self, packet: Packet, direction: str) -> bool:
+        raise NotImplementedError
+
+
+class FileSignatureSniffRule(SniffRule):
+    """Detects classified file types (documents, images) in payloads.
+
+    This is what "network sniffer software mostly relies on" per the paper:
+    matching the signatures of files sent over the network.
+    """
+
+    def __init__(self, name: str = "file-signature",
+                 classes: Iterable[str] = ("document", "image"), **kwargs):
+        kwargs.setdefault("directions", ("egress",))
+        super().__init__(name, **kwargs)
+        self.classes = frozenset(classes)
+
+    def _matches(self, packet: Packet, direction: str) -> bool:
+        cls = signature_class(packet.payload[:16])
+        return cls is not None and cls in self.classes
+
+
+class EncryptedContentSniffRule(SniffRule):
+    """Flags high-entropy (encrypted/compressed) payloads on egress."""
+
+    def __init__(self, name: str = "encrypted-content",
+                 threshold: float = DEFAULT_ENTROPY_THRESHOLD, **kwargs):
+        kwargs.setdefault("directions", ("egress",))
+        super().__init__(name, **kwargs)
+        self.threshold = threshold
+
+    def _matches(self, packet: Packet, direction: str) -> bool:
+        return looks_encrypted(packet.payload, threshold=self.threshold)
+
+
+class DestinationWhitelistRule(SniffRule):
+    """Blocks egress to any destination outside the whitelist.
+
+    The paper's T-6 container may reach "a whitelist of websites"; traffic
+    to anything else is dropped and logged.
+    """
+
+    def __init__(self, allowed: Iterable[str], name: str = "dst-whitelist",
+                 **kwargs):
+        kwargs.setdefault("directions", ("egress",))
+        super().__init__(name, **kwargs)
+        self.allowed = tuple(allowed)
+
+    def _matches(self, packet: Packet, direction: str) -> bool:
+        return not any(ip_in_cidr(packet.dst_ip, pat) for pat in self.allowed)
+
+
+class KeywordSniffRule(SniffRule):
+    """Matches literal byte patterns (Snort content rules)."""
+
+    def __init__(self, keywords: Iterable[bytes], name: str = "keyword", **kwargs):
+        super().__init__(name, **kwargs)
+        self.keywords = tuple(keywords)
+
+    def _matches(self, packet: Packet, direction: str) -> bool:
+        return any(kw in packet.payload for kw in self.keywords)
+
+
+class VolumeCapSniffRule(SniffRule):
+    """Caps cumulative egress volume per flow.
+
+    Data-theft needn't look like a document: bulk exfiltration of *any*
+    content is suspicious when a ticket class's expected traffic is a few
+    config-file-sized exchanges. The cap is stateful per
+    ``(src, dst, port)`` flow.
+    """
+
+    def __init__(self, max_bytes: int, name: str = "volume-cap", **kwargs):
+        kwargs.setdefault("directions", ("egress",))
+        super().__init__(name, **kwargs)
+        self.max_bytes = max_bytes
+        self._sent: Dict[Tuple[str, str, int], int] = {}
+
+    def _matches(self, packet: Packet, direction: str) -> bool:
+        key = (packet.src_ip, packet.dst_ip, packet.port)
+        total = self._sent.get(key, 0) + packet.size
+        self._sent[key] = total
+        return total > self.max_bytes
+
+
+class MalwareSignatureRule(SniffRule):
+    """Flags known-bad byte signatures in *incoming* traffic (attack 11)."""
+
+    def __init__(self, signatures: Iterable[bytes],
+                 name: str = "malware-signature", **kwargs):
+        kwargs.setdefault("directions", ("ingress",))
+        super().__init__(name, **kwargs)
+        self.signatures = tuple(signatures)
+
+    def _matches(self, packet: Packet, direction: str) -> bool:
+        return any(sig in packet.payload for sig in self.signatures)

@@ -1,0 +1,76 @@
+"""The network monitor: a packet tap running IDS rules inline.
+
+Attach a :class:`NetworkMonitor` to a perforated container's NET namespace
+and every packet crossing that namespace is inspected: rule hits are logged
+to the append-only audit log, and ``block`` verdicts drop the flow by
+raising :class:`~repro.errors.AccessBlocked` (inline IPS behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import AccessBlocked
+from repro.itfs.audit import AppendOnlyLog
+from repro.kernel.net import NetNamespace, Packet
+from repro.netmon.rules import SniffRule, Verdict
+
+
+class NetworkMonitor:
+    """Inline IDS/IPS over a set of sniff rules."""
+
+    def __init__(self, rules: Optional[List[SniffRule]] = None,
+                 audit: Optional[AppendOnlyLog] = None, name: str = "netmon",
+                 log_all: bool = True):
+        self.name = name
+        self.rules: List[SniffRule] = list(rules or [])
+        self.audit = audit if audit is not None else AppendOnlyLog(name=f"{name}-audit")
+        self.log_all = log_all
+        self.packets_seen = 0
+        self.bytes_seen = 0
+        self.packets_blocked = 0
+
+    def add_rule(self, rule: SniffRule) -> None:
+        self.rules.append(rule)
+
+    def attach(self, ns: NetNamespace) -> None:
+        """Install this monitor as a tap on ``ns``."""
+        ns.add_tap(self.tap)
+
+    # ------------------------------------------------------------------
+
+    def tap(self, packet: Packet, direction: str) -> None:
+        """Inspect one packet; raises AccessBlocked on a block verdict."""
+        self.packets_seen += 1
+        self.bytes_seen += packet.size
+        verdict = self._first_verdict(packet, direction)
+        if verdict is None:
+            if self.log_all:
+                self.audit.append(actor=packet.src_ip, op=f"net-{direction}",
+                                  path=f"{packet.dst_ip}:{packet.port}",
+                                  decision="allow", bytes=packet.size)
+            return
+        decision = "deny" if verdict.action == "block" else "allow"
+        self.audit.append(actor=packet.src_ip, op=f"net-{direction}",
+                          path=f"{packet.dst_ip}:{packet.port}",
+                          decision=decision, rule=verdict.rule,
+                          bytes=packet.size)
+        if verdict.action == "block":
+            self.packets_blocked += 1
+            raise AccessBlocked(
+                f"network monitor blocked {direction} to "
+                f"{packet.dst_ip}:{packet.port}", rule=verdict.rule)
+
+    def _first_verdict(self, packet: Packet, direction: str) -> Optional[Verdict]:
+        for rule in self.rules:
+            verdict = rule.inspect(packet, direction)
+            if verdict is not None:
+                return verdict
+        return None
+
+    def stats(self) -> dict:
+        return {
+            "packets_seen": self.packets_seen,
+            "bytes_seen": self.bytes_seen,
+            "packets_blocked": self.packets_blocked,
+        }

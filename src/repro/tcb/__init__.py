@@ -1,0 +1,19 @@
+"""Trusted Computing Base support (paper Section 2 and Table 1 attack 5)."""
+
+from repro.tcb.integrity import (
+    WATCHIT_COMPONENT_ROOT,
+    IntegrityManifest,
+    SecureBoot,
+    install_watchit_components,
+    sign_component,
+    verify_component_signature,
+)
+
+__all__ = [
+    "IntegrityManifest",
+    "SecureBoot",
+    "WATCHIT_COMPONENT_ROOT",
+    "install_watchit_components",
+    "sign_component",
+    "verify_component_signature",
+]

@@ -1,0 +1,13 @@
+"""Threat analysis: executable Table 1 attacks and their defenses."""
+
+from repro.threats.analysis import format_table1, run_threat_analysis, table1_rows
+from repro.threats.attacks import ALL_ATTACKS, AttackResult, ThreatRig
+
+__all__ = [
+    "ALL_ATTACKS",
+    "AttackResult",
+    "ThreatRig",
+    "format_table1",
+    "run_threat_analysis",
+    "table1_rows",
+]

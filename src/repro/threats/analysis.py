@@ -1,0 +1,38 @@
+"""Threat-analysis runner — regenerates paper Table 1.
+
+Each attack runs against a *fresh* rig (several attacks are destructive:
+killing monitors tears the session down, log tampering corrupts the local
+chain), so results are independent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.threats.attacks import ALL_ATTACKS, AttackResult, ThreatRig
+
+
+def run_threat_analysis(
+        attacks: Optional[List[Callable[[ThreatRig], AttackResult]]] = None
+) -> List[AttackResult]:
+    """Execute every Table 1 attack on its own rig; returns the results."""
+    results = []
+    for attack in attacks if attacks is not None else ALL_ATTACKS:
+        rig = ThreatRig.build()
+        results.append(attack(rig))
+        rig.container.terminate("threat analysis done")
+    return results
+
+
+def table1_rows(results: List[AttackResult]) -> List[dict]:
+    """Format results as Table 1 rows."""
+    return [r.row() for r in sorted(results, key=lambda r: r.attack_id)]
+
+
+def format_table1(results: List[AttackResult]) -> str:
+    """Printable Table 1 (used by the benchmark harness and examples)."""
+    lines = [f"{'ID':>2}  {'Attack':<42} {'Blocked':<8} Defense"]
+    for r in sorted(results, key=lambda r: r.attack_id):
+        lines.append(f"{r.attack_id:>2}  {r.name:<42} "
+                     f"{'yes' if r.blocked else 'NO':<8} {r.defense}")
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Workload generators: ticket corpora, IT scripts, filesystem benchmarks."""
+
+from repro.workload.corpus import (
+    ALL_CLASSES,
+    CLASS_BY_ID,
+    CLASS_IDS,
+    OTHER_CLASS,
+    TICKET_CLASSES,
+    TicketClassDef,
+    class_distribution,
+    generate_corpus,
+    generate_evaluation_tickets,
+)
+
+__all__ = [
+    "ALL_CLASSES",
+    "CLASS_BY_ID",
+    "CLASS_IDS",
+    "OTHER_CLASS",
+    "TICKET_CLASSES",
+    "TicketClassDef",
+    "class_distribution",
+    "generate_corpus",
+    "generate_evaluation_tickets",
+]

@@ -1,0 +1,314 @@
+"""Synthetic IT-ticket corpus, calibrated to the paper's case study.
+
+The original data — 66k tickets from IBM Research Israel (17k Linux) — is
+proprietary, so we generate a synthetic corpus that preserves the three
+statistical properties the experiments rely on:
+
+* **topic structure** — each ticket class draws from the vocabulary the
+  paper reports for it in Table 2, so a 10-topic LDA can recover the
+  classes;
+* **class mix** — Figure 7's distribution for the historical corpus and
+  Table 4's first column for the 398-ticket evaluation period;
+* **permission needs** — each evaluation ticket carries ground-truth
+  *required operations*; the per-class fraction needing broker escalation
+  matches Table 4's last three columns.
+
+Identifiers (IPs, server names, storage paths) are embedded raw so the
+preprocessing obfuscator has real work to do.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.framework.tickets import Ticket
+
+#: ops vocabulary for evaluation replay (see experiments.table4):
+#:   ("read"|"write", container path), ("net", destination label),
+#:   ("service-restart", name), ("ps", ""), ("kill", ""),
+#:   ("pb-net", label), ("pb-proc", command), ("pb-fs", host path),
+#:   ("pb-install", package)
+RequiredOp = Dict[str, str]
+
+
+@dataclass(frozen=True)
+class TicketClassDef:
+    """Generative definition of one ticket class."""
+
+    class_id: str
+    title: str
+    figure7_share: float       # share in the historical corpus (Figure 7)
+    table4_share: float        # share in the 398-ticket evaluation (Table 4)
+    words: Tuple[Tuple[str, int], ...]   # (word, weight) vocabulary
+    templates: Tuple[str, ...]           # sentence skeletons
+    base_ops: Tuple[Tuple[str, str], ...]        # always-needed operations
+    escalations: Tuple[Tuple[float, Tuple[Tuple[str, str], ...]], ...] = ()
+    # (probability, ops) — broker-requiring tails per Table 4
+
+
+#: The ten classes of Table 2 / Figure 7 plus the T-11 catch-all.
+TICKET_CLASSES: Tuple[TicketClassDef, ...] = (
+    TicketClassDef(
+        "T-1", "License related", 0.05, 0.09,
+        words=(("license", 10), ("matlab", 9), ("error", 5), ("toolbox", 6),
+               ("db2", 3), ("message", 3), ("expired", 6), ("renew", 3),
+               ("activation", 2), ("simulink", 2)),
+        templates=("my {w} {w} says {w} when starting matlab",
+                   "{w} {w} expired cannot run simulation {w}",
+                   "getting {w} about {w} {w} on startup"),
+        base_ops=(("read", "/home/{user}/matlab/license.lic"),
+                  ("write", "/home/{user}/matlab/license.lic"),
+                  ("net", "license-server")),
+        escalations=((0.03, (("pb-proc", "service-restart"),)),
+                     (0.03, (("pb-install", "matlab-toolbox"),))),
+    ),
+    TicketClassDef(
+        "T-2", "User / password", 0.11, 0.07,
+        words=(("password", 10), ("user", 8), ("connect", 4), ("account", 7),
+               ("login", 6), ("locked", 5), ("reset", 4), ("credentials", 3),
+               ("expired", 2), ("authentication", 2)),
+        templates=("my {w} is {w} cannot {w} to workstation",
+                   "{w} {w} after three attempts need {w}",
+                   "forgot {w} for my {w} {w}"),
+        base_ops=(("read", "/etc/passwd"), ("write", "/etc/shadow")),
+        escalations=((0.14, (("pb-net", "shared-storage"),)),),
+    ),
+    TicketClassDef(
+        "T-3", "Shared storage accessibility", 0.07, 0.08,
+        words=(("file", 8), ("access", 7), ("svn", 6), ("directory", 5),
+               ("git", 6), ("repository", 4), ("checkout", 3), ("commit", 3),
+               ("denied", 3), ("mount", 2)),
+        templates=("cannot {w} {w} on /gpfs/projects from my machine",
+                   "{w} {w} to svn {w} at /shared/repos fails",
+                   "{w} of git {w} on 10.4.1.9 {w} denied"),
+        base_ops=(("read", "/home/{user}/.ssh/config"),
+                  ("write", "/etc/fstab"), ("net", "shared-storage")),
+        escalations=((0.07, (("pb-net", "target-machine"),)),),
+    ),
+    TicketClassDef(
+        "T-4", "Network related", 0.07, 0.02,
+        words=(("connect", 9), ("port", 6), ("server", 5), ("network", 8),
+               ("ping", 4), ("dns", 4), ("vpn", 4), ("unreachable", 3),
+               ("firewall", 3), ("interface", 2)),
+        templates=("cannot {w} to 172.16.4.20 {w} looks down",
+                   "{w} {w} timeout when reaching srv-14 on port 8443",
+                   "{w} resolution fails {w} {w} configuration"),
+        base_ops=(("net", "target-machine"), ("ps", ""),
+                  ("service-restart", "network")),
+    ),
+    TicketClassDef(
+        "T-5", "Slow / non-responsive server", 0.04, 0.05,
+        words=(("work", 6), ("time", 5), ("machine", 7), ("slow", 9),
+               ("stuck", 6), ("reboot", 5), ("hang", 4), ("respond", 4),
+               ("load", 3), ("cpu", 3)),
+        templates=("server node-7 is {w} and does not {w} since morning",
+                   "my {w} got {w} need a {w}",
+                   "{w} is very {w} {w} at 100 percent"),
+        base_ops=(("ps", ""), ("kill", ""), ("service-restart", "sshd")),
+        escalations=((0.11, (("pb-net", "target-machine"),)),),
+    ),
+    TicketClassDef(
+        "T-6", "Software related", 0.15, 0.30,
+        words=(("install", 10), ("version", 7), ("upgrade", 6), ("package", 5),
+               ("eclipse", 4), ("gcc", 4), ("hadoop", 3), ("plugin", 3),
+               ("compiler", 2), ("update", 3), ("library", 2)),
+        templates=("please {w} eclipse 4.6 on ubuntu 16.04 {w}",
+                   "need {w} of gcc {w} for project build",
+                   "{w} {w} broken after {w} on my workstation"),
+        base_ops=(("read", "/usr/lib/libc.so"), ("write", "/usr/lib/newpkg.so"),
+                  ("write", "/etc/apt.conf"), ("net", "software-repository"),
+                  ("net", "whitelisted-websites")),
+        escalations=((0.09, (("pb-net", "target-machine"),)),),
+    ),
+    TicketClassDef(
+        "T-7", "Internal VM cloud", 0.08, 0.10,
+        words=(("vm", 10), ("gb", 5), ("disk", 5), ("kvm", 4), ("memory", 4),
+               ("hypervisor", 3), ("image", 3), ("instance", 3),
+               ("allocate", 2), ("ownership", 2)),
+        templates=("need a new {w} with 8 {w} ram on research-vm3",
+                   "{w} {w} of my kvm {w} ran out",
+                   "please set {w} of {w} vm-llvm2 to my user"),
+        base_ops=(("read", "/etc/vm-ownership.conf"),
+                  ("write", "/etc/vm-ownership.conf")),
+        escalations=((0.03, (("pb-proc", "service-restart"),)),),
+    ),
+    TicketClassDef(
+        "T-8", "Permissions", 0.09, 0.03,
+        words=(("access", 9), ("user", 5), ("group", 7), ("add", 5),
+               ("team", 5), ("permission", 8), ("member", 3), ("grant", 3),
+               ("folder", 3), ("owner", 2)),
+        templates=("please {w} me to the {w} {w} of project falcon",
+                   "need {w} {w} for new {w} member",
+                   "{w} to /home/shared {w} {w} denied"),
+        base_ops=(("read", "/home/{user}/notes.txt"),
+                  ("write", "/home/{user}/.ssh/config")),
+        escalations=((0.17, (("pb-proc", "ps"),)),
+                     (0.08, (("pb-net", "shared-storage"),))),
+    ),
+    TicketClassDef(
+        "T-9", "SSH / VNC / LSF", 0.23, 0.21,
+        words=(("connect", 8), ("ssh", 9), ("respond", 4), ("vnc", 7),
+               ("lsf", 6), ("x11", 3), ("session", 4), ("batch", 4),
+               ("job", 4), ("terminal", 3), ("key", 2)),
+        templates=("{w} to srv-22 over {w} hangs at {w} setup",
+                   "my {w} {w} dies right after login",
+                   "{w} {w} submission stuck in pending on 10.1.2.3"),
+        base_ops=(("read", "/etc/ssh/sshd_config"),
+                  ("write", "/etc/ssh/sshd_config"),
+                  ("read", "/home/{user}/.ssh/config"),
+                  ("net", "batch-server"), ("net", "target-machine"),
+                  ("service-restart", "sshd")),
+    ),
+    TicketClassDef(
+        "T-10", "Shared storage quota", 0.11, 0.03,
+        words=(("space", 9), ("project", 6), ("gb", 6), ("increase", 5),
+               ("quota", 9), ("full", 4), ("storage", 5), ("limit", 3),
+               ("usage", 2), ("clean", 2)),
+        templates=("{w} for project atlas on /gpfs is {w} please {w}",
+                   "need 200 {w} more {w} on shared {w}",
+                   "{w} {w} exceeded cannot write results"),
+        base_ops=(("read", "/home/{user}/notes.txt"),
+                  ("net", "shared-storage")),
+    ),
+)
+
+#: The catch-all class for tickets matching nothing (rare requests).
+OTHER_CLASS = TicketClassDef(
+    "T-11", "Other / unclassified", 0.0, 0.02,
+    words=(("partition", 5), ("resize", 4), ("driver", 5), ("kernel", 3),
+           ("bios", 2), ("module", 3), ("firmware", 2), ("printer", 3),
+           ("scanner", 2), ("udev", 1)),
+    templates=("need to {w} the {w} on my disk",
+               "{w} {w} update required for new hardware",
+               "{w} not detected maybe {w} {w} issue"),
+    # fully isolated container: only container-local scratch work
+    base_ops=(("write", "/tmp/diagnostics.txt"),),
+)
+
+ALL_CLASSES: Tuple[TicketClassDef, ...] = TICKET_CLASSES + (OTHER_CLASS,)
+CLASS_IDS: Tuple[str, ...] = tuple(c.class_id for c in ALL_CLASSES)
+CLASS_BY_ID: Dict[str, TicketClassDef] = {c.class_id: c for c in ALL_CLASSES}
+
+#: Words shared across classes — the hello/please noise the paper deletes,
+#: plus generic IT words that keep classes from being trivially separable.
+_SHARED_WORDS = ("hello please thanks machine computer workstation issue "
+                 "problem help need work running linux laptop morning today "
+                 "urgent system").split()
+
+_USERS = ("alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi")
+_MACHINES = ("ws-01", "ws-02", "ws-03", "srv-lab1", "srv-lab2")
+
+
+def _weighted_words(rng: random.Random, class_def: TicketClassDef,
+                    n: int) -> List[str]:
+    words = [w for w, _ in class_def.words]
+    weights = [wt for _, wt in class_def.words]
+    return rng.choices(words, weights=weights, k=n)
+
+
+def _inject_typos(rng: random.Random, text: str, rate: float) -> str:
+    """Corrupt ~``rate`` of the words with single-edit typos.
+
+    Real helpdesk text is messy; the paper applies spelling correction
+    before classification (§7.1.3). Typos are single-character
+    transpositions or deletions — exactly what the corrector handles.
+    """
+    words = text.split(" ")
+    for i, word in enumerate(words):
+        if len(word) < 5 or rng.random() >= rate or word.startswith("<"):
+            continue
+        pos = rng.randrange(len(word) - 2)
+        if rng.random() < 0.5:  # transpose
+            words[i] = word[:pos] + word[pos + 1] + word[pos] + word[pos + 2:]
+        else:  # delete
+            words[i] = word[:pos] + word[pos + 1:]
+    return " ".join(words)
+
+
+def _ticket_text(rng: random.Random, class_def: TicketClassDef) -> str:
+    template = rng.choice(class_def.templates)
+    n_slots = template.count("{w}")
+    slots = _weighted_words(rng, class_def, n_slots)
+    text = template
+    for word in slots:
+        text = text.replace("{w}", word, 1)
+    # extra topical words and shared noise
+    extras = _weighted_words(rng, class_def, rng.randint(2, 5))
+    noise = rng.choices(_SHARED_WORDS, k=rng.randint(1, 4))
+    pieces = [text] + extras + noise
+    rng.shuffle(pieces)
+    return "hello, " + " ".join(pieces) + " please help, thanks"
+
+
+def _required_ops(rng: random.Random, class_def: TicketClassDef,
+                  user: str) -> List[RequiredOp]:
+    ops: List[RequiredOp] = [
+        {"op": op, "arg": arg.format(user=user)}
+        for op, arg in class_def.base_ops
+    ]
+    for probability, escalation_ops in class_def.escalations:
+        if rng.random() < probability:
+            ops.extend({"op": op, "arg": arg.format(user=user)}
+                       for op, arg in escalation_ops)
+    return ops
+
+
+def _make_ticket(rng: random.Random, class_def: TicketClassDef,
+                 with_ops: bool, typo_rate: float = 0.0,
+                 typo_rng: Optional[random.Random] = None) -> Ticket:
+    user = rng.choice(_USERS)
+    text = _ticket_text(rng, class_def)
+    if typo_rate > 0:
+        # dedicated RNG: corrupting text must not perturb the main stream,
+        # so clean and noisy corpora differ *only* in the typos
+        text = _inject_typos(typo_rng or random.Random(len(text)), text,
+                             typo_rate)
+    ticket = Ticket(text=text, reporter=user,
+                    machine=rng.choice(_MACHINES))
+    ticket.true_class = class_def.class_id
+    if with_ops:
+        ticket.required_ops = _required_ops(rng, class_def, user)
+    return ticket
+
+
+def _sample_classes(rng: random.Random, n: int,
+                    shares: Sequence[Tuple[TicketClassDef, float]]
+                    ) -> List[TicketClassDef]:
+    defs = [c for c, _ in shares]
+    weights = [s for _, s in shares]
+    return rng.choices(defs, weights=weights, k=n)
+
+
+def generate_corpus(n_tickets: int = 2000, seed: int = 7,
+                    with_ops: bool = False,
+                    typo_rate: float = 0.0) -> List[Ticket]:
+    """The historical Linux-ticket corpus (Figure 7 class mix)."""
+    rng = random.Random(seed)
+    typo_rng = random.Random(seed + 10_000)
+    shares = [(c, c.figure7_share) for c in TICKET_CLASSES]
+    return [_make_ticket(rng, c, with_ops, typo_rate, typo_rng)
+            for c in _sample_classes(rng, n_tickets, shares)]
+
+
+def generate_evaluation_tickets(n_tickets: int = 398, seed: int = 42,
+                                typo_rate: float = 0.0) -> List[Ticket]:
+    """The three-month evaluation set (Table 4 class mix + required ops)."""
+    rng = random.Random(seed)
+    typo_rng = random.Random(seed + 10_000)
+    shares = [(c, c.table4_share) for c in ALL_CLASSES]
+    return [_make_ticket(rng, c, with_ops=True, typo_rate=typo_rate,
+                         typo_rng=typo_rng)
+            for c in _sample_classes(rng, n_tickets, shares)]
+
+
+def class_distribution(tickets: Sequence[Ticket],
+                       attr: str = "true_class") -> Dict[str, float]:
+    """Normalized histogram of ticket classes (Figure 7 regeneration)."""
+    counts: Dict[str, int] = {}
+    for ticket in tickets:
+        label = getattr(ticket, attr) or "?"
+        counts[label] = counts.get(label, 0) + 1
+    total = max(len(tickets), 1)
+    return {k: counts.get(k, 0) / total for k in CLASS_IDS if k in counts}

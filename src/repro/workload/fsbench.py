@@ -1,0 +1,135 @@
+"""Filesystem benchmark workloads for the Figure 9 reproduction.
+
+Three drivers over the simulated VFS, matching the paper's choices:
+
+* **grep** — a typical administration task: walk a directory tree and scan
+  every file for a pattern. Run at two average file sizes (the paper used
+  25 GB trees of 100 KB and 1 MB files; we scale down but keep the
+  many-small vs fewer-large contrast).
+* **Postmark** — small-file transaction mix (create/delete/read/append
+  over 5 KB-256 KB files in the paper).
+* **SysBench fileio** — few large files, random read/write.
+
+Each driver takes a *filesystem object*, so the same workload runs over
+raw ext4 (:class:`MemoryFilesystem`), ITFS with extension monitoring, and
+ITFS with signature monitoring — the three bars of Figure 9.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.kernel.vfs import Filesystem, MemoryFilesystem, join_path
+
+#: a few recognizable payload flavours so signature checks have real work
+_PAYLOAD_HEADS = (b"", b"", b"", b"#!/bin/bash\n", b"%LOG", b"\x7fELF")
+
+
+def build_file_tree(n_files: int, avg_size: int, seed: int = 0,
+                    fanout: int = 16, needle: bytes = b"NEEDLE",
+                    needle_every: int = 10) -> MemoryFilesystem:
+    """Build an ext4-like tree of ``n_files`` files averaging ``avg_size``.
+
+    Every ``needle_every``-th file contains the grep needle. Sizes jitter
+    ±50% so trees are not artificially uniform.
+    """
+    rng = random.Random(seed)
+    fs = MemoryFilesystem(fstype="ext4", label="benchtree")
+    for i in range(n_files):
+        directory = f"/data/d{i % fanout}"
+        if not fs.exists(directory):
+            fs.mkdir(directory, parents=True)
+        size = max(16, int(avg_size * rng.uniform(0.5, 1.5)))
+        head = rng.choice(_PAYLOAD_HEADS)
+        body = bytes(rng.randrange(32, 127) for _ in range(64)) * (size // 64 + 1)
+        data = head + body[:size - len(head)]
+        if i % needle_every == 0:
+            mid = size // 2
+            data = data[:mid] + needle + data[mid + len(needle):]
+        fs.write(f"{directory}/f{i:05d}.log", data)
+    return fs
+
+
+def grep_workload(fs: Filesystem, pattern: bytes = b"NEEDLE",
+                  root: str = "/") -> int:
+    """Walk + read + scan; returns the number of matching files."""
+    matches = 0
+    for dirpath, _dirnames, filenames in fs.walk(root):
+        for name in filenames:
+            if pattern in fs.read(join_path(dirpath, name)):
+                matches += 1
+    return matches
+
+
+@dataclass
+class PostmarkResult:
+    created: int = 0
+    deleted: int = 0
+    read: int = 0
+    appended: int = 0
+
+
+def postmark_workload(fs: Filesystem, n_transactions: int = 400,
+                      initial_files: int = 50, min_size: int = 512,
+                      max_size: int = 4096, seed: int = 0,
+                      base: str = "/postmark") -> PostmarkResult:
+    """Postmark-style small-file transaction mix."""
+    rng = random.Random(seed)
+    if not fs.exists(base):
+        fs.mkdir(base, parents=True)
+    pool: List[str] = []
+    result = PostmarkResult()
+
+    def create_one() -> None:
+        path = f"{base}/pm{len(pool)}_{rng.randrange(1 << 30):08x}"
+        size = rng.randint(min_size, max_size)
+        fs.write(path, bytes(rng.randrange(256) for _ in range(64)) *
+                 (size // 64 + 1))
+        pool.append(path)
+        result.created += 1
+
+    for _ in range(initial_files):
+        create_one()
+    for _ in range(n_transactions):
+        op = rng.random()
+        if op < 0.25 or not pool:
+            create_one()
+        elif op < 0.5 and len(pool) > 1:
+            victim = pool.pop(rng.randrange(len(pool)))
+            fs.unlink(victim)
+            result.deleted += 1
+        elif op < 0.75:
+            fs.read(rng.choice(pool))
+            result.read += 1
+        else:
+            fs.write(rng.choice(pool), b"appended-block" * 8, append=True)
+            result.appended += 1
+    return result
+
+
+def sysbench_fileio_workload(fs: Filesystem, n_files: int = 4,
+                             file_size: int = 256 * 1024, n_ops: int = 60,
+                             read_ratio: float = 0.7, seed: int = 0,
+                             base: str = "/sysbench") -> Dict[str, int]:
+    """SysBench-style fileio: few large files, random read/append mix."""
+    rng = random.Random(seed)
+    if not fs.exists(base):
+        fs.mkdir(base, parents=True)
+    paths = []
+    chunk = bytes(range(256)) * (file_size // 256 + 1)
+    for i in range(n_files):
+        path = f"{base}/big{i}.dat"
+        fs.write(path, chunk[:file_size])
+        paths.append(path)
+    reads = writes = 0
+    for _ in range(n_ops):
+        path = rng.choice(paths)
+        if rng.random() < read_ratio:
+            fs.read(path)
+            reads += 1
+        else:
+            fs.write(path, b"X" * 4096, append=True)
+            writes += 1
+    return {"reads": reads, "writes": writes}

@@ -1,0 +1,239 @@
+"""IT automation scripts (paper Section 7.2, Figure 8).
+
+Two suites mirror the case study:
+
+* twenty Chef/Puppet-style scripts — time synchronization, permission and
+  configuration verification, service restarts, IP-table operations;
+* thirteen cluster-management scripts for Spark/Swift clusters — statistics
+  collection, log scanning, service restarts, reboots.
+
+Each script declares the resources it touches and can be *executed* inside
+a container shell, so the Figure 8 experiment genuinely replays every
+script under its assigned confinement instead of just asserting a mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.containit.container import AdminShell
+
+
+@dataclass(frozen=True)
+class ScriptNeeds:
+    """Declared resource needs of one script."""
+
+    etc: bool = False
+    home: bool = False
+    var_log: bool = False
+    process_management: bool = False
+    network_namespace: bool = False
+
+
+@dataclass(frozen=True)
+class ITScript:
+    """One automation script: declared needs + an executable body.
+
+    The body receives an :class:`AdminShell` and performs real operations
+    through the syscall layer; confinement violations surface as the usual
+    kernel/ITFS exceptions.
+    """
+
+    name: str
+    suite: str  # "chef-puppet" | "cluster"
+    purpose: str
+    needs: ScriptNeeds
+    body: Callable[[AdminShell], object]
+
+    def run(self, shell: AdminShell):
+        return self.body(shell)
+
+
+# ----------------------------------------------------------------------
+# script bodies
+# ----------------------------------------------------------------------
+
+def _verify_config(path: str, expected: bytes = b""):
+    def body(shell: AdminShell):
+        if not shell.exists(path):
+            shell.write_file(path, expected or b"# managed by chef\n")
+        return shell.read_file(path)
+    return body
+
+
+def _sync_time(shell: AdminShell):
+    shell.write_file("/etc/ntp.conf", b"server 0.pool.ntp.org\n")
+    return shell.read_file("/etc/ntp.conf")
+
+
+def _verify_home_permissions(shell: AdminShell):
+    fixed = 0
+    for entry in shell.listdir("/home"):
+        path = f"/home/{entry}"
+        if shell.stat(path).mode != 0o750:
+            shell.chmod(path, 0o750)
+            fixed += 1
+    return fixed
+
+
+def _restart_service(name: str):
+    def body(shell: AdminShell):
+        return shell.restart_service(name)
+    return body
+
+
+def _update_iptables(shell: AdminShell):
+    # needs the *host's* network view: writes rules the host must see
+    from repro.kernel import FirewallRule
+    shell._sys().add_firewall_rule(
+        shell.proc, FirewallRule(action="deny", direction="ingress",
+                                 dst="0.0.0.0/0", port=23,
+                                 comment="chef: block telnet"))
+    return shell.net_view()
+
+
+def _collect_stats(shell: AdminShell):
+    logs = shell.listdir("/var/log")
+    lines = 0
+    for name in logs:
+        data = shell.read_file(f"/var/log/{name}")
+        lines += data.count(b"\n")
+    return {"files": len(logs), "lines": lines}
+
+
+def _scan_logs_for_failures(pattern: bytes):
+    def body(shell: AdminShell):
+        hits = []
+        for name in shell.listdir("/var/log"):
+            if pattern in shell.read_file(f"/var/log/{name}"):
+                hits.append(name)
+        return hits
+    return body
+
+
+def _reboot(shell: AdminShell):
+    shell.reboot()
+    return "rebooted"
+
+
+# ----------------------------------------------------------------------
+# the suites
+# ----------------------------------------------------------------------
+
+_CONFIG_ONLY = ScriptNeeds(etc=True)
+_CONFIG_HOME = ScriptNeeds(etc=True, home=True)
+_PROC_ONLY = ScriptNeeds(process_management=True)
+_NET_SCRIPT = ScriptNeeds(etc=True, process_management=True,
+                          network_namespace=True)
+_STATS = ScriptNeeds(var_log=True)
+
+
+def chef_puppet_scripts() -> List[ITScript]:
+    """The twenty Chef/Puppet scripts (Figure 8a: 12/4/2/2 split)."""
+    scripts: List[ITScript] = []
+    config_targets = [
+        ("ntp-sync", "time synchronization", _sync_time),
+        ("sshd-config", "verify sshd_config", _verify_config("/etc/ssh/sshd_config")),
+        ("resolv-conf", "verify DNS resolvers", _verify_config("/etc/resolv.conf")),
+        ("sudoers-check", "verify sudoers", _verify_config("/etc/sudoers")),
+        ("motd-banner", "deploy login banner", _verify_config("/etc/motd")),
+        ("hosts-file", "verify /etc/hosts", _verify_config("/etc/hosts")),
+        ("pam-config", "verify PAM stack", _verify_config("/etc/pam.conf")),
+        ("limits-conf", "verify ulimits", _verify_config("/etc/limits.conf")),
+        ("yum-repos", "verify package repos", _verify_config("/etc/yum.conf")),
+        ("logrotate", "verify logrotate", _verify_config("/etc/logrotate.conf")),
+        ("selinux-mode", "verify selinux config", _verify_config("/etc/selinux.conf")),
+        ("grub-params", "verify boot params", _verify_config("/etc/default-grub")),
+    ]
+    for name, purpose, body in config_targets:
+        scripts.append(ITScript(name=name, suite="chef-puppet",
+                                purpose=purpose, needs=_CONFIG_ONLY, body=body))
+    home_targets = [
+        ("home-perms", "fix home directory modes", _verify_home_permissions),
+        ("skel-files", "verify skeleton dotfiles",
+         _verify_config("/etc/skel-bashrc")),
+        ("quota-warn", "write quota warnings to homes",
+         _verify_home_permissions),
+        ("stale-homes", "report stale home dirs", _verify_home_permissions),
+    ]
+    for name, purpose, body in home_targets:
+        scripts.append(ITScript(name=name, suite="chef-puppet",
+                                purpose=purpose, needs=_CONFIG_HOME, body=body))
+    scripts.append(ITScript(name="restart-sshd", suite="chef-puppet",
+                            purpose="bounce sshd after config change",
+                            needs=_PROC_ONLY, body=_restart_service("sshd")))
+    scripts.append(ITScript(name="restart-cron", suite="chef-puppet",
+                            purpose="bounce cron", needs=_PROC_ONLY,
+                            body=_restart_service("cron")))
+    scripts.append(ITScript(name="iptables-telnet", suite="chef-puppet",
+                            purpose="block telnet org-wide",
+                            needs=_NET_SCRIPT, body=_update_iptables))
+    scripts.append(ITScript(name="iptables-audit", suite="chef-puppet",
+                            purpose="audit firewall rules",
+                            needs=_NET_SCRIPT,
+                            body=lambda shell: shell.net_view()))
+    return scripts
+
+
+def cluster_scripts() -> List[ITScript]:
+    """The thirteen cluster-management scripts (Figure 8b: 10/3 split)."""
+    scripts: List[ITScript] = []
+    stats_jobs = [
+        ("spark-exec-stats", "collect Spark executor statistics"),
+        ("spark-gc-scan", "scan GC logs for long pauses"),
+        ("swift-ring-audit", "audit Swift ring health from logs"),
+        ("disk-usage-report", "report disk usage from logs"),
+        ("mpstat-collect", "collect mpstat samples"),
+        ("iostat-collect", "collect iostat samples"),
+        ("oom-scan", "scan for OOM killer events"),
+        ("net-error-scan", "scan for NIC errors"),
+        ("job-failure-scan", "scan batch job failures"),
+        ("heartbeat-audit", "audit node heartbeats"),
+    ]
+    for name, purpose in stats_jobs:
+        body = _scan_logs_for_failures(b"ERROR") if "scan" in name \
+            else _collect_stats
+        scripts.append(ITScript(name=name, suite="cluster", purpose=purpose,
+                                needs=_STATS, body=body))
+    scripts.append(ITScript(name="spark-restart", suite="cluster",
+                            purpose="restart Spark master",
+                            needs=_PROC_ONLY, body=_restart_service("spark")))
+    scripts.append(ITScript(name="swift-restart", suite="cluster",
+                            purpose="restart Swift proxy",
+                            needs=_PROC_ONLY, body=_restart_service("swift")))
+    scripts.append(ITScript(name="node-reboot", suite="cluster",
+                            purpose="reboot a wedged node",
+                            needs=_PROC_ONLY, body=_reboot))
+    return scripts
+
+
+# ----------------------------------------------------------------------
+# container assignment (the Figure 8 tailoring)
+# ----------------------------------------------------------------------
+
+def assign_script_container(script: ITScript) -> str:
+    """Map a script to the most isolated container class that can run it."""
+    needs = script.needs
+    if script.suite == "chef-puppet":
+        if needs.network_namespace:
+            return "S-4"
+        if needs.process_management:
+            return "S-3"
+        if needs.home:
+            return "S-2"
+        return "S-1"
+    if needs.process_management:
+        return "S-6"
+    return "S-5"
+
+
+def script_container_distribution(scripts: List[ITScript]
+                                  ) -> Dict[str, Tuple[int, float]]:
+    """(count, share) per container class — the Figure 8 tables."""
+    counts: Dict[str, int] = {}
+    for script in scripts:
+        cls = assign_script_container(script)
+        counts[cls] = counts.get(cls, 0) + 1
+    total = max(len(scripts), 1)
+    return {cls: (n, n / total) for cls, n in sorted(counts.items())}

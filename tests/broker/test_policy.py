@@ -1,0 +1,118 @@
+"""Broker escalation policy: every decision branch."""
+
+import pytest
+
+from repro.broker import (
+    BrokerPolicy,
+    BrokerRequest,
+    ClassEscalationPolicy,
+    RequestKind,
+    default_class_policy,
+    deny_all_policy,
+    permissive_policy,
+)
+
+
+def req(kind, ticket_class="T-1", **args):
+    return BrokerRequest(kind=kind, requester="it-bob",
+                         ticket_class=ticket_class, args=args)
+
+
+class TestClassEscalationPolicy:
+    def test_kind_gate(self):
+        policy = ClassEscalationPolicy(
+            allowed_kinds=frozenset({RequestKind.EXEC}),
+            exec_commands=frozenset({"ps"}))
+        ok, _ = policy.permits(req(RequestKind.EXEC, command="ps"))
+        assert ok
+        ok, reason = policy.permits(req(RequestKind.HOST_INFO))
+        assert not ok and "not allowed" in reason
+
+    def test_exec_command_gate(self):
+        policy = ClassEscalationPolicy(
+            allowed_kinds=frozenset({RequestKind.EXEC}),
+            exec_commands=frozenset({"ps"}))
+        ok, reason = policy.permits(req(RequestKind.EXEC, command="reboot"))
+        assert not ok and "reboot" in reason
+
+    def test_share_path_prefix_gate(self):
+        policy = ClassEscalationPolicy(
+            allowed_kinds=frozenset({RequestKind.SHARE_PATH}),
+            share_path_prefixes=("/srv",))
+        ok, _ = policy.permits(req(RequestKind.SHARE_PATH, host_path="/srv/x"))
+        assert ok
+        ok, _ = policy.permits(req(RequestKind.SHARE_PATH, host_path="/etc"))
+        assert not ok
+
+    def test_watchit_root_never_shareable(self):
+        policy = ClassEscalationPolicy(
+            allowed_kinds=frozenset({RequestKind.SHARE_PATH}),
+            share_path_prefixes=("/",))
+        ok, reason = policy.permits(
+            req(RequestKind.SHARE_PATH, host_path="/opt/watchit/itfs"))
+        assert not ok and "never" in reason
+
+    def test_network_destination_gate(self):
+        policy = ClassEscalationPolicy(
+            allowed_kinds=frozenset({RequestKind.GRANT_NETWORK}),
+            network_destinations=frozenset({"shared-storage"}))
+        ok, _ = policy.permits(
+            req(RequestKind.GRANT_NETWORK, destination="shared-storage"))
+        assert ok
+        ok, _ = policy.permits(
+            req(RequestKind.GRANT_NETWORK, destination="license-server"))
+        assert not ok
+
+    def test_network_wildcard(self):
+        policy = ClassEscalationPolicy(
+            allowed_kinds=frozenset({RequestKind.GRANT_NETWORK}),
+            network_destinations=frozenset({"*"}))
+        ok, _ = policy.permits(
+            req(RequestKind.GRANT_NETWORK, destination="8.8.8.8"))
+        assert ok
+
+    def test_install_gate(self):
+        closed = ClassEscalationPolicy(allowed_kinds=frozenset(RequestKind))
+        ok, _ = closed.permits(
+            req(RequestKind.INSTALL_PACKAGE, package="toolbox"))
+        assert not ok
+        open_ = ClassEscalationPolicy(allowed_kinds=frozenset(RequestKind),
+                                      allow_install=True)
+        ok, _ = open_.permits(
+            req(RequestKind.INSTALL_PACKAGE, package="toolbox"))
+        assert ok
+
+
+class TestBrokerPolicy:
+    def test_class_specific_overrides_default(self):
+        policy = BrokerPolicy(
+            class_policies={"T-2": ClassEscalationPolicy()},
+            default=default_class_policy())
+        ok, _ = policy.evaluate(req(RequestKind.EXEC, ticket_class="T-2",
+                                    command="ps"))
+        assert not ok  # T-2's empty policy wins over the permissive default
+        ok, _ = policy.evaluate(req(RequestKind.EXEC, ticket_class="T-9",
+                                    command="ps"))
+        assert ok
+
+    def test_no_default_no_class_denied(self):
+        policy = BrokerPolicy()
+        ok, reason = policy.evaluate(req(RequestKind.HOST_INFO))
+        assert not ok and "no escalation policy" in reason
+
+    def test_factories(self):
+        assert permissive_policy().evaluate(
+            req(RequestKind.EXEC, command="ps"))[0]
+        assert not deny_all_policy().evaluate(
+            req(RequestKind.EXEC, command="ps"))[0]
+
+    def test_default_policy_covers_case_study_needs(self):
+        policy = default_class_policy()
+        for kind, args in (
+                (RequestKind.EXEC, {"command": "service-restart"}),
+                (RequestKind.SHARE_PATH, {"host_path": "/srv/data"}),
+                (RequestKind.GRANT_NETWORK, {"destination": "shared-storage"}),
+                (RequestKind.INSTALL_PACKAGE, {"package": "matlab-toolbox"}),
+                (RequestKind.HOST_INFO, {})):
+            ok, reason = policy.permits(req(kind, **args))
+            assert ok, (kind, reason)

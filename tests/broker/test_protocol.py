@@ -1,0 +1,64 @@
+"""Broker protocol: serialization boundary and schema validation."""
+
+import pytest
+
+from repro.broker import BrokerRequest, BrokerResponse, RequestKind, parse_command_line
+from repro.errors import InvalidArgument
+
+
+class TestRequestSerialization:
+    def test_roundtrip(self):
+        req = BrokerRequest(kind=RequestKind.EXEC, requester="it-bob",
+                            ticket_class="T-1",
+                            args={"command": "ps", "argv": ["-a"]})
+        back = BrokerRequest.from_bytes(req.to_bytes())
+        assert back.kind is RequestKind.EXEC
+        assert back.requester == "it-bob"
+        assert back.args == {"command": "ps", "argv": ["-a"]}
+        assert back.seq == req.seq
+
+    def test_missing_required_arg_rejected(self):
+        req = BrokerRequest(kind=RequestKind.SHARE_PATH, requester="x",
+                            ticket_class="T-1", args={})
+        with pytest.raises(InvalidArgument):
+            req.to_bytes()
+
+    def test_missing_requester_rejected(self):
+        req = BrokerRequest(kind=RequestKind.HOST_INFO, requester="",
+                            ticket_class="T-1")
+        with pytest.raises(InvalidArgument):
+            req.validate()
+
+    def test_malformed_bytes_rejected(self):
+        with pytest.raises(InvalidArgument):
+            BrokerRequest.from_bytes(b"not json at all")
+        with pytest.raises(InvalidArgument):
+            BrokerRequest.from_bytes(b'{"kind": "warp", "requester": "x"}')
+
+    def test_unique_sequence_numbers(self):
+        a = BrokerRequest(kind=RequestKind.HOST_INFO, requester="x", ticket_class="")
+        b = BrokerRequest(kind=RequestKind.HOST_INFO, requester="x", ticket_class="")
+        assert a.seq != b.seq
+
+
+class TestResponseSerialization:
+    def test_roundtrip_ok(self):
+        resp = BrokerResponse(ok=True, output=[{"pid": 1}])
+        back = BrokerResponse.from_bytes(resp.to_bytes())
+        assert back.ok and back.output == [{"pid": 1}]
+
+    def test_roundtrip_error(self):
+        back = BrokerResponse.from_bytes(
+            BrokerResponse(ok=False, error="denied").to_bytes())
+        assert not back.ok and back.error == "denied"
+
+
+class TestCommandLineParsing:
+    def test_pb_prefix_parsed(self):
+        req = parse_command_line("PB ps -a")
+        assert req is not None
+        assert req.args == {"command": "ps", "argv": ["-a"]}
+
+    def test_non_pb_line_ignored(self):
+        assert parse_command_line("ps -a") is None
+        assert parse_command_line("PB") is None

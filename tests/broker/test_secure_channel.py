@@ -1,0 +1,96 @@
+"""The optional SSL-analogue channel for broker traffic (§5.4)."""
+
+import pytest
+
+from repro.broker import (
+    BrokerRequest,
+    BrokerResponse,
+    PermissionBroker,
+    RequestKind,
+    SecureBrokerTransport,
+    SecureChannel,
+)
+from repro.containit import PerforatedContainerSpec
+from repro.errors import BrokerDenied
+from tests.conftest import deploy
+
+PSK = b"0123456789abcdef-org-psk"
+
+
+class TestSecureChannel:
+    def test_seal_open_roundtrip(self):
+        a, b = SecureChannel(PSK), SecureChannel(PSK)
+        assert b.open(a.seal(b"hello broker")) == b"hello broker"
+
+    def test_ciphertext_differs_from_plaintext(self):
+        channel = SecureChannel(PSK)
+        frame = channel.seal(b"SECRET-COMMAND")
+        assert b"SECRET-COMMAND" not in frame
+
+    def test_same_plaintext_different_frames(self):
+        channel = SecureChannel(PSK)
+        assert channel.seal(b"x") != channel.seal(b"x")  # fresh nonce
+
+    def test_tampered_frame_rejected(self):
+        a, b = SecureChannel(PSK), SecureChannel(PSK)
+        frame = bytearray(a.seal(b"payload"))
+        frame[10] ^= 0xFF
+        with pytest.raises(BrokerDenied):
+            b.open(bytes(frame))
+
+    def test_wrong_key_rejected(self):
+        a = SecureChannel(PSK)
+        b = SecureChannel(b"another-key-entirely!")
+        with pytest.raises(BrokerDenied):
+            b.open(a.seal(b"payload"))
+
+    def test_replay_rejected(self):
+        a, b = SecureChannel(PSK), SecureChannel(PSK)
+        frame = a.seal(b"grant me access")
+        assert b.open(frame) == b"grant me access"
+        with pytest.raises(BrokerDenied):
+            b.open(frame)
+
+    def test_out_of_order_old_frame_rejected(self):
+        a, b = SecureChannel(PSK), SecureChannel(PSK)
+        first = a.seal(b"one")
+        second = a.seal(b"two")
+        assert b.open(second) == b"two"
+        with pytest.raises(BrokerDenied):
+            b.open(first)  # nonce older than last seen
+
+    def test_truncated_frame_rejected(self):
+        b = SecureChannel(PSK)
+        with pytest.raises(BrokerDenied):
+            b.open(b"short")
+
+    def test_weak_key_rejected(self):
+        with pytest.raises(ValueError):
+            SecureChannel(b"tiny")
+
+    def test_empty_plaintext(self):
+        a, b = SecureChannel(PSK), SecureChannel(PSK)
+        assert b.open(a.seal(b"")) == b""
+
+
+class TestSecureBrokerTransport:
+    def test_end_to_end_request(self, rig):
+        net, host = rig
+        container = deploy(host, PerforatedContainerSpec(name="T-11"))
+        broker = PermissionBroker(host, container)
+        transport = SecureBrokerTransport(broker, PSK)
+        request = BrokerRequest(kind=RequestKind.EXEC, requester="it-bob",
+                                ticket_class="T-11",
+                                args={"command": "hostname"})
+        response = BrokerResponse.from_bytes(
+            transport.request(request.to_bytes()))
+        assert response.ok and response.output == "ws-01"
+
+    def test_garbage_frames_rejected_before_broker(self, rig):
+        net, host = rig
+        container = deploy(host, PerforatedContainerSpec(name="T-11"))
+        broker = PermissionBroker(host, container)
+        transport = SecureBrokerTransport(broker, PSK)
+        with pytest.raises(BrokerDenied):
+            transport._serve(b"\x00" * 64)
+        assert broker.requests_handled == 0  # never reached the broker

@@ -1,0 +1,92 @@
+"""Shared fixtures: host kernels, network fabrics, and deployment rigs."""
+
+import pytest
+
+from repro.containit import PerforatedContainer
+from repro.kernel import (
+    ALL_CLONE_FLAGS,
+    Kernel,
+    Network,
+    contained_root_credentials,
+)
+from repro.tcb import install_watchit_components
+
+LICENSE_IP = "10.0.1.10"
+STORAGE_IP = "10.0.1.20"
+REPO_IP = "10.0.1.30"
+BATCH_IP = "10.0.1.40"
+WEB_IP = "8.8.4.4"
+
+ADDRESS_BOOK = {
+    "license-server": [(LICENSE_IP, 27000)],
+    "shared-storage": [(STORAGE_IP, 2049)],
+    "software-repository": [(REPO_IP, 8080)],
+    "batch-server": [(BATCH_IP, 6500)],
+    "whitelisted-websites": [(WEB_IP, 443)],
+    "target-machine": [("10.0.0.0/24", None)],
+}
+
+
+@pytest.fixture()
+def network():
+    return Network()
+
+
+@pytest.fixture()
+def kernel(network):
+    """A booted host at 10.0.0.5 with some user data on disk."""
+    k = Kernel("lnx-host", ip="10.0.0.5", network=network)
+    k.rootfs.populate({
+        "home": {
+            "alice": {
+                "notes.txt": "meeting notes",
+                "salary.docx": b"PK\x03\x04 confidential payroll",
+                "photo.jpg": b"\xff\xd8\xff\xe0 jpeg bits",
+                "matlab": {"license.lic": "EXPIRED 2016-12-31"},
+            },
+        },
+        "etc": {"ssh": {"ssh_config": "Host *\n"}},
+    })
+    return k
+
+
+@pytest.fixture()
+def container(kernel):
+    """A fully-isolated (traditional) container process, contained root."""
+    return kernel.sys.clone(kernel.init, "containIT", flags=ALL_CLONE_FLAGS,
+                            creds=contained_root_credentials())
+
+
+@pytest.fixture()
+def rig():
+    """A managed workstation plus organizational services on one fabric."""
+    net = Network()
+    host = Kernel("ws-01", ip="10.0.0.5", network=net)
+    install_watchit_components(host.rootfs)
+    host.rootfs.populate({
+        "home": {
+            "alice": {
+                "notes.txt": "meeting notes",
+                "salary.docx": b"PK\x03\x04 confidential payroll",
+                "matlab": {"license.lic": "EXPIRED 2016-12-31"},
+            },
+        },
+    })
+    Kernel("license-srv", ip=LICENSE_IP, network=net)
+    net.listen(LICENSE_IP, 27000, lambda pkt: b"LICENSE-RENEWED")
+    Kernel("storage", ip=STORAGE_IP, network=net)
+    net.listen(STORAGE_IP, 2049, lambda pkt: b"NFS-OK")
+    Kernel("repo", ip=REPO_IP, network=net)
+    net.listen(REPO_IP, 8080, lambda pkt: b"\x7fELF package payload")
+    Kernel("batch", ip=BATCH_IP, network=net)
+    net.listen(BATCH_IP, 6500, lambda pkt: b"LSF-OK")
+    Kernel("web", ip=WEB_IP, network=net)
+    net.listen(WEB_IP, 443, lambda pkt: b"HTTP/1.1 200 OK")
+    host.register_service("sshd")
+    return net, host
+
+
+def deploy(host, spec, user="alice", ip="10.0.0.50"):
+    """Deploy a spec on the rig's host with the standard address book."""
+    return PerforatedContainer.deploy(
+        host, spec, user=user, address_book=ADDRESS_BOOK, container_ip=ip)

@@ -1,0 +1,32 @@
+"""ContainIT-specific fixtures built on the shared rig."""
+
+import pytest
+
+from repro.containit import (
+    HOME_DIRECTORY,
+    LICENSE_SERVER,
+    ROOT_DIRECTORY,
+    PerforatedContainerSpec,
+)
+from tests.conftest import deploy
+
+
+@pytest.fixture()
+def license_container(rig):
+    """The paper's T-1: home dir + license server only."""
+    net, host = rig
+    spec = PerforatedContainerSpec(
+        name="T-1", description="License related",
+        fs_shares=(HOME_DIRECTORY,), network_allowed=(LICENSE_SERVER,))
+    return host, deploy(host, spec)
+
+
+@pytest.fixture()
+def fullroot_container(rig):
+    """The paper's T-6 shape: ITFS-monitored full root view."""
+    net, host = rig
+    spec = PerforatedContainerSpec(
+        name="T-6", description="Software related",
+        fs_shares=(ROOT_DIRECTORY,),
+        network_allowed=("software-repository", "whitelisted-websites"))
+    return host, deploy(host, spec)

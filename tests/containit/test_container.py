@@ -1,0 +1,243 @@
+"""ContainIT runtime: deployment, confinement, monitoring, watchdog."""
+
+import pytest
+
+from repro.errors import (
+    AccessBlocked,
+    CapabilityError,
+    FileNotFound,
+    NetworkUnreachable,
+    SessionTerminated,
+)
+from repro.containit import PerforatedContainerSpec
+from repro.kernel import Capability, NamespaceKind
+from tests.conftest import LICENSE_IP, STORAGE_IP, deploy
+
+
+class TestFilesystemView:
+    def test_shared_home_visible(self, license_container):
+        host, container = license_container
+        shell = container.login("it-bob")
+        assert shell.read_file("/home/alice/notes.txt") == b"meeting notes"
+
+    def test_rest_of_host_fs_invisible(self, license_container):
+        host, container = license_container
+        shell = container.login("it-bob")
+        with pytest.raises(FileNotFound):
+            shell.read_file("/etc/shadow")
+
+    def test_writes_propagate_to_host(self, license_container):
+        host, container = license_container
+        shell = container.login("it-bob")
+        shell.write_file("/home/alice/matlab/license.lic", b"VALID-2018")
+        assert host.sys.read_file(host.init, "/home/alice/matlab/license.lic") \
+            == b"VALID-2018"
+
+    def test_hard_constraint_blocks_documents(self, license_container):
+        host, container = license_container
+        shell = container.login("it-bob")
+        with pytest.raises(AccessBlocked):
+            shell.read_file("/home/alice/salary.docx")
+
+    def test_blocked_document_still_visible(self, license_container):
+        host, container = license_container
+        shell = container.login("it-bob")
+        assert "salary.docx" in shell.listdir("/home/alice")
+
+    def test_container_private_dirs_exist(self, license_container):
+        host, container = license_container
+        shell = container.login("it-bob")
+        assert shell.exists("/bin/bash") and shell.exists("/tmp")
+
+    def test_full_root_view_sees_host_files(self, fullroot_container):
+        host, container = fullroot_container
+        shell = container.login("it-bob")
+        assert b"root" in shell.read_file("/etc/passwd")
+
+    def test_full_root_view_still_monitored(self, fullroot_container):
+        host, container = fullroot_container
+        shell = container.login("it-bob")
+        with pytest.raises(AccessBlocked):
+            shell.read_file("/home/alice/salary.docx")
+
+    def test_watchit_files_shielded_even_with_full_root(self, fullroot_container):
+        host, container = fullroot_container
+        shell = container.login("it-bob")
+        assert shell.exists("/opt/watchit/itfs")
+        with pytest.raises(AccessBlocked):
+            shell.read_file("/opt/watchit/itfs")
+        with pytest.raises(AccessBlocked):
+            shell.write_file("/opt/watchit/itfs", b"patched")
+
+    def test_fs_ops_audited(self, license_container):
+        host, container = license_container
+        shell = container.login("it-bob")
+        shell.read_file("/home/alice/notes.txt")
+        reads = container.fs_audit.filter(op="read", decision="allow")
+        assert any(r.path == "/home/alice/notes.txt" for r in reads)
+        assert container.fs_audit.verify()
+
+
+class TestProcessView:
+    def test_container_sees_only_itself(self, license_container):
+        host, container = license_container
+        shell = container.login("it-bob")
+        comms = {r["comm"] for r in shell.ps()}
+        assert comms == {"containIT", "bash"}
+
+    def test_host_sees_container_processes(self, license_container):
+        host, container = license_container
+        container.login("it-bob")
+        host_comms = {r["comm"] for r in host.sys.ps(host.init)}
+        assert {"ContainIT", "itfs", "snort", "containIT", "bash"} <= host_comms
+
+    def test_procmgmt_spec_sees_host_processes(self, rig):
+        net, host = rig
+        spec = PerforatedContainerSpec(name="T-5", process_management=True)
+        container = deploy(host, spec)
+        shell = container.login("it-bob")
+        assert "init" in {r["comm"] for r in shell.ps()}
+
+    def test_procmgmt_spec_can_restart_service(self, rig):
+        net, host = rig
+        spec = PerforatedContainerSpec(name="T-5", process_management=True)
+        container = deploy(host, spec)
+        shell = container.login("it-bob")
+        shell.restart_service("sshd")
+        assert host.service_restarts["sshd"] == 1
+
+    def test_isolated_spec_cannot_restart_service(self, license_container):
+        host, container = license_container
+        shell = container.login("it-bob")
+        from repro.errors import NoSuchProcess
+        with pytest.raises(NoSuchProcess):
+            shell.restart_service("sshd")
+
+    def test_contained_root_lacks_escape_caps(self, license_container):
+        host, container = license_container
+        shell = container.login("it-bob")
+        assert shell.proc.creds.is_superuser
+        for cap in (Capability.CAP_SYS_CHROOT, Capability.CAP_SYS_PTRACE,
+                    Capability.CAP_MKNOD, Capability.CAP_DEV_MEM):
+            assert not shell.proc.creds.has_cap(cap)
+
+
+class TestNetworkView:
+    def test_allowed_destination_reachable(self, license_container):
+        host, container = license_container
+        shell = container.login("it-bob")
+        conn = shell.connect(LICENSE_IP, 27000)
+        assert conn.send(b"renew") == b"LICENSE-RENEWED"
+
+    def test_other_destinations_blocked(self, license_container):
+        host, container = license_container
+        shell = container.login("it-bob")
+        from repro.errors import FirewallBlocked
+        with pytest.raises(FirewallBlocked):
+            shell.connect(STORAGE_IP, 2049)
+
+    def test_isolated_network_spec_has_no_reach(self, rig):
+        net, host = rig
+        container = deploy(host, PerforatedContainerSpec(name="T-2"))
+        shell = container.login("it-bob")
+        with pytest.raises(NetworkUnreachable):
+            shell.connect(LICENSE_IP, 27000)
+
+    def test_shared_network_ns_sees_host_view(self, rig):
+        net, host = rig
+        spec = PerforatedContainerSpec(name="T-4", share_network_ns=True,
+                                       process_management=True)
+        container = deploy(host, spec)
+        shell = container.login("it-bob")
+        assert container.init_proc.namespaces.net is host.init.namespaces.net
+        conn = shell.connect(LICENSE_IP, 27000)
+        assert conn.send(b"ping") == b"LICENSE-RENEWED"
+
+    def test_exfiltration_blocked_by_monitor(self, license_container):
+        host, container = license_container
+        shell = container.login("it-bob")
+        conn = shell.connect(LICENSE_IP, 27000)
+        with pytest.raises(AccessBlocked):
+            conn.send(b"PK\x03\x04 stolen payroll bytes")
+        assert container.monitor.packets_blocked == 1
+
+    def test_network_traffic_audited(self, license_container):
+        host, container = license_container
+        shell = container.login("it-bob")
+        shell.connect(LICENSE_IP, 27000).send(b"renew")
+        assert container.net_audit.filter(decision="allow")
+        assert container.net_audit.verify()
+
+
+class TestUTSView:
+    def test_container_hostname(self, license_container):
+        host, container = license_container
+        shell = container.login("it-bob")
+        assert shell.hostname() == "ITContainer"
+        assert host.sys.gethostname(host.init) == "ws-01"
+
+
+class TestWatchdogAndSessions:
+    def test_killing_peer_terminates_session(self, license_container):
+        host, container = license_container
+        shell = container.login("it-bob")
+        container.host_peers["itfs"].die(137)
+        assert not container.active
+        with pytest.raises(SessionTerminated):
+            shell.read_file("/home/alice/notes.txt")
+
+    def test_terminate_kills_contained_tree(self, license_container):
+        host, container = license_container
+        shell = container.login("it-bob")
+        worker = shell.spawn("testscript")
+        container.terminate("done")
+        assert not container.init_proc.alive
+        assert not worker.alive
+
+    def test_login_refused_after_termination(self, license_container):
+        host, container = license_container
+        container.terminate("expired")
+        with pytest.raises(SessionTerminated):
+            container.login("it-bob")
+
+    def test_authenticator_hook_invoked(self, license_container):
+        from repro.errors import CertificateError
+        host, container = license_container
+
+        def reject(cert, admin):
+            raise CertificateError("no certificate")
+
+        with pytest.raises(CertificateError):
+            container.login("it-bob", authenticator=reject)
+
+    def test_terminate_idempotent(self, license_container):
+        host, container = license_container
+        container.terminate("a")
+        container.terminate("b")
+        assert container.terminated_reason == "a"
+
+    def test_isolation_report(self, license_container):
+        host, container = license_container
+        report = container.isolation_report()
+        assert report["spec"] == "T-1"
+        assert report["fs_shares"] == ["/home/alice"]
+        assert not report["network_ns_shared"]
+
+
+class TestEscapePrevention:
+    def test_chroot_escape_blocked(self, license_container):
+        host, container = license_container
+        shell = container.login("it-bob")
+        with pytest.raises(CapabilityError):
+            host.sys.chroot(shell.proc, "/tmp")
+
+    def test_mount_inside_container_invisible_to_host(self, fullroot_container):
+        # contained root retains CAP_SYS_ADMIN and may mount, but only in
+        # its own MNT namespace
+        from repro.kernel import MemoryFilesystem
+        host, container = fullroot_container
+        shell = container.login("it-bob")
+        scratch = MemoryFilesystem(fstype="tmpfs")
+        host.sys.mount(shell.proc, scratch, "/mnt")
+        assert ("tmpfs", "/mnt") not in [(fstype, mp) for _, mp, fstype
+                                         in host.sys.mounts(host.init)]

@@ -1,0 +1,69 @@
+"""PerforatedContainerSpec semantics."""
+
+import pytest
+
+from repro.containit import (
+    HOME_DIRECTORY,
+    LICENSE_SERVER,
+    ROOT_DIRECTORY,
+    PerforatedContainerSpec,
+    fully_isolated_spec,
+)
+from repro.kernel import ALL_CLONE_FLAGS, NamespaceKind
+
+
+class TestCloneFlags:
+    def test_default_is_full_isolation(self):
+        spec = PerforatedContainerSpec(name="x")
+        assert spec.clone_flags() == ALL_CLONE_FLAGS
+        assert spec.holes() == frozenset()
+
+    def test_network_perforation(self):
+        spec = PerforatedContainerSpec(name="x", share_network_ns=True)
+        assert NamespaceKind.NET not in spec.clone_flags()
+        assert spec.holes() == frozenset({NamespaceKind.NET})
+
+    def test_process_management_opens_pid_hole(self):
+        spec = PerforatedContainerSpec(name="x", process_management=True)
+        assert NamespaceKind.PID not in spec.clone_flags()
+
+    def test_multiple_holes(self):
+        spec = PerforatedContainerSpec(name="x", share_network_ns=True,
+                                       process_management=True, share_ipc=True)
+        assert spec.holes() == frozenset({NamespaceKind.NET, NamespaceKind.PID,
+                                          NamespaceKind.IPC})
+
+
+class TestFsShares:
+    def test_user_template_substitution(self):
+        spec = PerforatedContainerSpec(name="x", fs_shares=(HOME_DIRECTORY,))
+        assert spec.resolved_fs_shares("alice") == ("/home/alice",)
+
+    def test_full_root_detection(self):
+        spec = PerforatedContainerSpec(name="x", fs_shares=(ROOT_DIRECTORY,))
+        assert spec.shares_full_root
+
+    def test_unknown_destination_rejected(self):
+        with pytest.raises(ValueError):
+            PerforatedContainerSpec(name="x", network_allowed=("warp-gate",))
+
+    def test_known_destination_accepted(self):
+        spec = PerforatedContainerSpec(name="x", network_allowed=(LICENSE_SERVER,))
+        assert LICENSE_SERVER in spec.network_allowed
+
+
+class TestSummaries:
+    def test_isolation_summary_shape(self):
+        spec = PerforatedContainerSpec(
+            name="T-1", fs_shares=(HOME_DIRECTORY,),
+            network_allowed=(LICENSE_SERVER,))
+        summary = spec.isolation_summary()
+        assert summary["class"] == "T-1"
+        assert summary["network"] == [LICENSE_SERVER]
+        assert not summary["full_root"]
+
+    def test_fully_isolated_spec(self):
+        spec = fully_isolated_spec()
+        assert spec.name == "T-11"
+        assert spec.fs_shares == () and spec.network_allowed == ()
+        assert spec.monitor_filesystem and spec.monitor_network

@@ -1,0 +1,65 @@
+"""TCB integrity manifest and secure boot."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.kernel import Kernel
+from repro.tcb import (
+    WATCHIT_COMPONENT_ROOT,
+    IntegrityManifest,
+    SecureBoot,
+    install_watchit_components,
+)
+
+
+@pytest.fixture()
+def host():
+    k = Kernel("host")
+    install_watchit_components(k.rootfs)
+    return k
+
+
+class TestManifest:
+    def test_build_and_verify(self, host):
+        manifest = IntegrityManifest.for_watchit(host.rootfs)
+        assert manifest.verify(host.rootfs)
+
+    def test_tampered_component_detected(self, host):
+        manifest = IntegrityManifest.for_watchit(host.rootfs)
+        host.rootfs.write(f"{WATCHIT_COMPONENT_ROOT}/itfs", b"backdoored")
+        with pytest.raises(IntegrityError):
+            manifest.verify(host.rootfs)
+
+    def test_missing_component_detected(self, host):
+        manifest = IntegrityManifest.for_watchit(host.rootfs)
+        host.rootfs.unlink(f"{WATCHIT_COMPONENT_ROOT}/containit")
+        with pytest.raises(IntegrityError):
+            manifest.verify(host.rootfs)
+
+    def test_build_over_custom_paths(self, host):
+        host.rootfs.write("/etc/custom", b"abc")
+        manifest = IntegrityManifest.build(host.rootfs, ["/etc/custom"])
+        assert manifest.verify(host.rootfs)
+        host.rootfs.write("/etc/custom", b"abd")
+        with pytest.raises(IntegrityError):
+            manifest.verify(host.rootfs)
+
+
+class TestSecureBoot:
+    def test_boot_with_intact_tcb(self, host):
+        boot = SecureBoot(host)
+        assert boot.boot()
+        boot.assert_booted()
+
+    def test_boot_refused_on_tamper(self, host):
+        boot = SecureBoot(host)
+        host.rootfs.write(f"{WATCHIT_COMPONENT_ROOT}/permission-broker",
+                          b"evil broker")
+        with pytest.raises(IntegrityError):
+            boot.boot()
+        with pytest.raises(IntegrityError):
+            boot.assert_booted()
+
+    def test_boot_records_event(self, host):
+        SecureBoot(host).boot()
+        assert any(e["kind"] == "secure_boot" for e in host.events)

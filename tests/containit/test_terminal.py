@@ -1,0 +1,99 @@
+"""The Figure 6-style terminal layer."""
+
+import pytest
+
+from repro.broker import BrokerClient, PermissionBroker
+from repro.containit import Terminal
+
+
+@pytest.fixture()
+def term(license_container):
+    host, container = license_container
+    broker = PermissionBroker(host, container)
+    shell = container.login("it-bob")
+    return host, container, Terminal(shell, BrokerClient(shell, broker))
+
+
+class TestBasicCommands:
+    def test_prompt_shape(self, term):
+        host, container, terminal = term
+        assert terminal.prompt == "root@ITContainer:/# "
+
+    def test_ls(self, term):
+        host, container, terminal = term
+        assert "home" in terminal.run("ls /")
+
+    def test_cat(self, term):
+        host, container, terminal = term
+        assert terminal.run("cat /home/alice/notes.txt") == "meeting notes"
+
+    def test_cd_and_pwd_and_relative_paths(self, term):
+        host, container, terminal = term
+        assert terminal.run("cd /home/alice") == ""
+        assert terminal.run("pwd") == "/home/alice"
+        assert terminal.run("cat notes.txt") == "meeting notes"
+        assert "/home/alice" in terminal.prompt
+
+    def test_cd_to_file_refused(self, term):
+        host, container, terminal = term
+        out = terminal.run("cd /home/alice/notes.txt")
+        assert "Not a directory" in out
+
+    def test_echo_redirect(self, term):
+        host, container, terminal = term
+        terminal.run("echo fixed > /home/alice/status.txt")
+        assert terminal.run("cat /home/alice/status.txt") == "fixed\n"
+
+    def test_mkdir_rm(self, term):
+        host, container, terminal = term
+        terminal.run("mkdir /tmp/work")
+        assert "work" in terminal.run("ls /tmp")
+        terminal.run("echo x > /tmp/work/f")
+        terminal.run("rm /tmp/work/f")
+        assert terminal.run("ls /tmp/work") == ""
+
+    def test_mount_listing(self, term):
+        host, container, terminal = term
+        out = terminal.run("mount")
+        assert "conFS on / type" in out
+
+    def test_whoami(self, term):
+        host, container, terminal = term
+        assert terminal.run("whoami") == "root"
+
+    def test_unknown_command(self, term):
+        host, container, terminal = term
+        assert "command not found" in terminal.run("frobnicate")
+
+    def test_errors_render_as_shell_messages(self, term):
+        host, container, terminal = term
+        out = terminal.run("cat /home/alice/salary.docx")
+        assert out.startswith("bash: cat:") and "denied" in out.lower()
+        out = terminal.run("cat /etc/shadow")
+        assert "ENOENT" in out
+
+
+class TestFigure6Transcript:
+    def test_ps_vs_pb_ps(self, term):
+        host, container, terminal = term
+        inside = terminal.run("ps -a")
+        assert "containIT" in inside and "PermissionBroker" not in inside
+        outside = terminal.run("PB ps -a")
+        assert "PermissionBroker" in outside and "itfs" in outside
+        assert "snort" in outside
+
+    def test_transcript_renders_prompts(self, term):
+        host, container, terminal = term
+        text = terminal.transcript(["ps -a", "PB ps -a"])
+        assert text.count("root@ITContainer") == 3
+        assert "PID" in text
+
+    def test_pb_without_client(self, license_container):
+        host, container = license_container
+        terminal = Terminal(container.login("it-bob"))
+        assert "not connected" in terminal.run("PB ps -a")
+
+    def test_pb_denied_command_renders_error(self, term):
+        host, container, terminal = term
+        out = terminal.run("PB rm -rf /")
+        assert out.startswith("PB: denied")

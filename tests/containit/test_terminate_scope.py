@@ -1,0 +1,45 @@
+"""Termination scope: only the container's subtree dies (regression).
+
+A process-management container shares the host PID namespace; a teardown
+that killed "everything visible" would take the host down with it.
+"""
+
+from repro.containit import PerforatedContainerSpec
+from tests.conftest import deploy
+
+
+class TestTerminateScope:
+    def test_procmgmt_teardown_spares_host(self, rig):
+        net, host = rig
+        daemon = host.sys.clone(host.init, "unrelated-daemon")
+        container = deploy(host, PerforatedContainerSpec(
+            name="T-5", process_management=True))
+        shell = container.login("it-bob")
+        worker = shell.spawn("contained-job")
+        container.terminate("done")
+        # contained tree is gone...
+        assert not container.init_proc.alive
+        assert not worker.alive
+        # ...but the host lives on
+        assert host.init.alive
+        assert daemon.alive
+        assert host.services["sshd"].alive
+
+    def test_shared_netns_teardown_spares_host(self, rig):
+        net, host = rig
+        container = deploy(host, PerforatedContainerSpec(
+            name="T-4", share_network_ns=True, process_management=True))
+        container.login("it-bob")
+        container.terminate("done")
+        assert host.init.alive
+        # the host's network namespace was untouched
+        assert host.sys.net_reachable(host.init, "10.0.1.10", 27000)
+
+    def test_nested_children_all_die(self, rig):
+        net, host = rig
+        container = deploy(host, PerforatedContainerSpec(name="T-11"))
+        shell = container.login("it-bob")
+        child = shell.spawn("level1")
+        grandchild = host.sys.clone(child, "level2")
+        container.terminate("done")
+        assert not child.alive and not grandchild.alive

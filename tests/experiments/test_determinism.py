@@ -1,0 +1,44 @@
+"""Experiments are deterministic given their seeds (reproducibility)."""
+
+import numpy as np
+
+from repro.experiments import run_figure7, run_table3
+from repro.experiments.table2_lda import run_table2
+from repro.workload import generate_corpus, generate_evaluation_tickets
+
+
+class TestDeterminism:
+    def test_figure7_stable_across_runs(self):
+        a = run_figure7(n_tickets=800, seed=3)
+        b = run_figure7(n_tickets=800, seed=3)
+        assert a.measured == b.measured
+
+    def test_table2_topics_stable(self):
+        a = run_table2(n_tickets=250, n_iter=20, seed=5)
+        b = run_table2(n_tickets=250, n_iter=20, seed=5)
+        assert a.topics == b.topics
+        assert a.topic_classes == b.topic_classes
+
+    def test_table3_matrix_is_static(self):
+        assert run_table3(probe=False).rows == run_table3(probe=False).rows
+
+    def test_evaluation_ops_stable(self):
+        a = generate_evaluation_tickets(120, seed=9)
+        b = generate_evaluation_tickets(120, seed=9)
+        assert [t.required_ops for t in a] == [t.required_ops for t in b]
+        assert [t.text for t in a] == [t.text for t in b]
+
+    def test_typo_injection_only_perturbs_text(self):
+        clean = generate_corpus(80, seed=4)
+        noisy = generate_corpus(80, seed=4, typo_rate=0.5)
+        assert [t.true_class for t in clean] == [t.true_class for t in noisy]
+        assert [t.reporter for t in clean] == [t.reporter for t in noisy]
+        assert any(c.text != n.text for c, n in zip(clean, noisy))
+
+    def test_lda_inference_deterministic(self):
+        from repro.framework import LDA
+        rng = np.random.default_rng(0)
+        docs = [list(rng.integers(0, 10, size=6)) for _ in range(30)]
+        model = LDA(n_topics=3, n_iter=15, seed=2).fit(docs, 10)
+        assert np.array_equal(model.infer([1, 2, 3], seed=7),
+                              model.infer([1, 2, 3], seed=7))

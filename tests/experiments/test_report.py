@@ -1,0 +1,41 @@
+"""The one-shot reproduction report."""
+
+import pytest
+
+from repro.experiments import generate_report, write_report
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(full=False)
+
+    def test_every_section_present(self, report):
+        for section in ("Table 1", "Table 2", "Table 3", "Table 4",
+                        "Figure 7", "Figure 8", "Figure 9"):
+            assert f"## {section}" in report
+
+    def test_contains_experiment_payloads(self, report):
+        assert "Escape perforated container boundaries" in report  # T1
+        assert "Top words" in report                                # T2
+        assert "evaluation-period replay" in report                 # T4
+        assert "normalized to ext4" in report                       # F9
+
+    def test_timings_recorded(self, report):
+        assert report.count("_completed in") == 7
+
+    def test_write_report(self, tmp_path, report):
+        target = tmp_path / "repro-report.md"
+        assert write_report(str(target)) == str(target)
+        assert target.read_text().startswith("# WatchIT reproduction report")
+
+    def test_cli_report_flag(self, tmp_path):
+        from repro.cli import main
+        target = tmp_path / "cli-report.md"
+        assert main(["experiment", "all", "--report", str(target)]) == 0
+        assert "Table 4" in target.read_text()
+
+    def test_cli_report_requires_all(self, tmp_path, capsys):
+        from repro.cli import main
+        assert main(["experiment", "table1",
+                     "--report", str(tmp_path / "x.md")]) == 2

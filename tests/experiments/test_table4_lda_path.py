@@ -1,0 +1,32 @@
+"""Table 4 with the paper's LDA pipeline (small parameters)."""
+
+import pytest
+
+from repro.experiments import run_table4
+
+
+class TestTable4LDAPath:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table4(n_tickets=80, seed=5, classifier="lda",
+                          train_size=300, lda_iters=30,
+                          review_catch_rate=1.0)
+
+    def test_replay_clean(self, result):
+        assert result.replay_errors == []
+
+    def test_review_produces_paper_grade_precision(self, result):
+        # perfect reviewer -> the paper's human-in-the-loop upper bound
+        assert result.classification.accuracy == 1.0
+
+    def test_satisfaction_shape(self, result):
+        assert 0.8 <= result.satisfied_fraction <= 1.0
+
+    def test_no_review_lowers_precision(self):
+        raw = run_table4(n_tickets=60, seed=5, classifier="lda",
+                         train_size=300, lda_iters=30,
+                         review_catch_rate=0.0)
+        reviewed = run_table4(n_tickets=60, seed=5, classifier="lda",
+                              train_size=300, lda_iters=30,
+                              review_catch_rate=1.0)
+        assert raw.classification.accuracy <= reviewed.classification.accuracy

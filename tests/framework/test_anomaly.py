@@ -1,0 +1,126 @@
+"""Anomaly detection over audit logs."""
+
+import numpy as np
+import pytest
+
+from repro.anomaly import (
+    FEATURE_NAMES,
+    AnomalyDetector,
+    SessionLog,
+    extract_features,
+    feature_matrix,
+    generate_session_corpus,
+)
+from repro.itfs.audit import AppendOnlyLog
+
+
+def make_log(session_id="s", label="benign", events=()):
+    log = AppendOnlyLog()
+    for actor, op, path, decision, details in events:
+        log.append(actor, op, path, decision, **details)
+    return SessionLog(session_id=session_id, records=log.records, label=label)
+
+
+BENIGN_EVENTS = [
+    ("a", "read", "/etc/ssh/sshd_config", "allow", {}),
+    ("a", "write", "/etc/ssh/sshd_config", "allow", {}),
+    ("a", "net-egress", "10.0.1.40:6500", "allow", {"bytes": 64}),
+]
+
+MALICIOUS_EVENTS = BENIGN_EVENTS + [
+    ("a", "read", "/home/alice/salary.docx", "deny", {}),
+    ("a", "read", "/home/bob/salary.docx", "deny", {}),
+    ("a", "read", "/opt/watchit/itfs", "deny", {}),
+    ("a", "write", "/opt/watchit/itfs", "deny", {}),
+    ("a", "pb-share_path", "/opt/watchit", "deny", {}),
+    ("a", "net-egress", "8.8.4.4:443", "deny", {"bytes": 9000}),
+]
+
+
+class TestFeatures:
+    def test_vector_shape_and_names(self):
+        vec = extract_features(make_log(events=BENIGN_EVENTS))
+        assert vec.shape == (len(FEATURE_NAMES),)
+
+    def test_benign_counts(self):
+        vec = extract_features(make_log(events=BENIGN_EVENTS))
+        by = dict(zip(FEATURE_NAMES, vec))
+        assert by["reads"] == 1 and by["writes"] == 1
+        assert by["denials"] == 0
+        assert by["net_packets"] == 1 and by["net_bytes"] == 64
+
+    def test_malicious_counts(self):
+        vec = extract_features(make_log(events=MALICIOUS_EVENTS))
+        by = dict(zip(FEATURE_NAMES, vec))
+        assert by["denials"] == 4
+        assert by["document_touches"] == 2
+        assert by["watchit_touches"] == 2
+        assert by["escalations"] == 1 and by["escalation_denials"] == 1
+        assert by["net_denials"] == 1
+
+    def test_empty_log(self):
+        vec = extract_features(make_log(events=[]))
+        assert vec[0] == 0 and not np.isnan(vec).any()
+
+    def test_matrix_stacking(self):
+        logs = [make_log(events=BENIGN_EVENTS) for _ in range(3)]
+        assert feature_matrix(logs).shape == (3, len(FEATURE_NAMES))
+
+
+class TestDetector:
+    @pytest.fixture()
+    def fitted(self):
+        benign = [make_log(f"b{i}", events=BENIGN_EVENTS) for i in range(10)]
+        return AnomalyDetector(threshold=6.0).fit(benign)
+
+    def test_benign_session_scores_low(self, fitted):
+        score = fitted.score(make_log("probe", events=BENIGN_EVENTS))
+        assert not score.anomalous and score.score < 1.0
+
+    def test_malicious_session_flagged(self, fitted):
+        score = fitted.score(make_log("rogue", events=MALICIOUS_EVENTS))
+        assert score.anomalous
+        top = dict(score.top_features)
+        # the security-salient signals all contribute
+        assert top.get("net_bytes", 0) > 0 or top.get("net_denials", 0) > 0
+        assert any(name in top for name in
+                   ("watchit_touches", "denials", "escalation_denials",
+                    "denial_ratio", "net_bytes"))
+
+    def test_quiet_session_not_flagged(self, fitted):
+        # under-activity is not an anomaly in this model
+        score = fitted.score(make_log("idle", events=[]))
+        assert not score.anomalous
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            AnomalyDetector().score(make_log())
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            AnomalyDetector().fit([])
+
+    def test_report_confusion_and_metrics(self, fitted):
+        logs = [make_log(f"b{i}", "benign", BENIGN_EVENTS) for i in range(5)]
+        logs += [make_log(f"m{i}", "malicious", MALICIOUS_EVENTS)
+                 for i in range(3)]
+        report = fitted.evaluate(logs)
+        assert report.precision == 1.0 and report.recall == 1.0
+        assert report.confusion() == {"tp": 3, "fp": 0, "tn": 5, "fn": 0}
+        assert "precision" in report.format()
+
+
+class TestEndToEndCorpus:
+    def test_detection_on_real_sessions(self):
+        logs = generate_session_corpus(n_benign=20, n_malicious=5, seed=3)
+        benign = [l for l in logs if l.label == "benign"]
+        detector = AnomalyDetector(threshold=6.0).fit(benign[:12])
+        report = detector.evaluate(logs)
+        assert report.precision >= 0.8
+        assert report.recall >= 0.6
+
+    def test_corpus_is_labelled_and_sized(self):
+        logs = generate_session_corpus(n_benign=6, n_malicious=2, seed=4)
+        assert sum(l.label == "benign" for l in logs) == 6
+        assert sum(l.label == "malicious" for l in logs) == 2
+        assert all(l.records for l in logs)

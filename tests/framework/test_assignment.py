@@ -1,0 +1,84 @@
+"""Permission-based ticket assignment and the single-class hardening."""
+
+import pytest
+
+from repro.errors import TicketError
+from repro.framework import AssignmentPolicy, Ticket, round_robin_dispatch
+
+
+def ticket(klass, text="t"):
+    t = Ticket(text=text, reporter="alice")
+    t.classify_as(klass)
+    return t
+
+
+class TestAssignmentPolicy:
+    def test_unrestricted_admin_handles_anything(self):
+        policy = AssignmentPolicy()
+        policy.assign("it-bob", ticket("T-1"))
+        policy.assign("it-bob", ticket("T-9"))
+
+    def test_class_restriction_enforced(self):
+        policy = AssignmentPolicy()
+        policy.register_admin("it-bob", {"T-1", "T-2"})
+        policy.assign("it-bob", ticket("T-1"))
+        with pytest.raises(TicketError):
+            policy.assign("it-bob", ticket("T-9"))
+
+    def test_unclassified_ticket_rejected(self):
+        policy = AssignmentPolicy()
+        with pytest.raises(TicketError):
+            policy.assign("it-bob", Ticket(text="x", reporter="a"))
+
+    def test_single_class_mode_pins_first_class(self):
+        policy = AssignmentPolicy(single_class_mode=True)
+        policy.assign("it-bob", ticket("T-2"))
+        policy.assign("it-bob", ticket("T-2"))
+        with pytest.raises(TicketError):
+            # stringing a different class now requires a second admin
+            policy.assign("it-bob", ticket("T-6"))
+
+    def test_single_class_mode_independent_per_admin(self):
+        policy = AssignmentPolicy(single_class_mode=True)
+        policy.assign("it-bob", ticket("T-2"))
+        policy.assign("it-eve", ticket("T-6"))
+        with pytest.raises(TicketError):
+            policy.assign("it-eve", ticket("T-2"))
+
+    def test_assign_marks_ticket(self):
+        policy = AssignmentPolicy()
+        t = ticket("T-3")
+        policy.assign("it-bob", t)
+        assert t.assignee == "it-bob"
+
+
+class TestDispatch:
+    def test_round_robin_respects_policy(self):
+        policy = AssignmentPolicy()
+        policy.register_admin("net-admin", {"T-4", "T-9"})
+        policy.register_admin("generalist", {"T-1", "T-2", "T-6"})
+        tickets = [ticket("T-4"), ticket("T-1"), ticket("T-9")]
+        queues = round_robin_dispatch(tickets, policy,
+                                      ["net-admin", "generalist"])
+        assert [t.predicted_class for t in queues["net-admin"]] == ["T-4", "T-9"]
+        assert [t.predicted_class for t in queues["generalist"]] == ["T-1"]
+
+    def test_unassignable_ticket_raises(self):
+        policy = AssignmentPolicy()
+        policy.register_admin("only-net", {"T-4"})
+        with pytest.raises(TicketError):
+            round_robin_dispatch([ticket("T-1")], policy, ["only-net"])
+
+
+class TestOrchestratorIntegration:
+    def test_single_class_mode_blocks_stringing_end_to_end(self):
+        from repro.framework import WatchITDeployment
+        org = WatchITDeployment.bootstrap(machines=("ws-01",))
+        org.assignment_policy = AssignmentPolicy(single_class_mode=True)
+        org.register_admin("it-bob")
+        first = org.submit_ticket("alice", "matlab license expired")
+        session = org.handle(first, admin="it-bob")
+        org.resolve(session)
+        second = org.submit_ticket("alice", "password account locked reset")
+        with pytest.raises(TicketError):
+            org.handle(second, admin="it-bob")

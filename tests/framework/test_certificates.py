@@ -1,0 +1,81 @@
+"""Certificate authority: issuance, expiry, revocation, forgery."""
+
+import pytest
+
+from repro.errors import CertificateError
+from repro.framework import CertificateAuthority
+
+
+@pytest.fixture()
+def clockbox():
+    return {"now": 0}
+
+
+@pytest.fixture()
+def ca(clockbox):
+    return CertificateAuthority(clock=lambda: clockbox["now"], default_ttl=10)
+
+
+class TestValidation:
+    def test_valid_certificate_accepted(self, ca):
+        cert = ca.issue("it-bob", ticket_id=1, machine="ws-01", ticket_class="T-1")
+        ca.validate(cert, "it-bob", machine="ws-01")
+
+    def test_missing_certificate_rejected(self, ca):
+        with pytest.raises(CertificateError):
+            ca.validate(None, "it-bob")
+
+    def test_wrong_admin_rejected(self, ca):
+        cert = ca.issue("it-bob", 1, "ws-01", "T-1")
+        with pytest.raises(CertificateError):
+            ca.validate(cert, "it-mallory")
+
+    def test_wrong_machine_rejected(self, ca):
+        cert = ca.issue("it-bob", 1, "ws-01", "T-1")
+        with pytest.raises(CertificateError):
+            ca.validate(cert, "it-bob", machine="ws-99")
+
+    def test_forged_signature_rejected(self, ca):
+        import dataclasses
+        cert = ca.issue("it-bob", 1, "ws-01", "T-1")
+        forged = dataclasses.replace(cert, admin="it-mallory")
+        with pytest.raises(CertificateError):
+            ca.validate(forged, "it-mallory")
+
+    def test_expired_certificate_rejected(self, ca, clockbox):
+        cert = ca.issue("it-bob", 1, "ws-01", "T-1", ttl=5)
+        clockbox["now"] = 6
+        with pytest.raises(CertificateError):
+            ca.validate(cert, "it-bob")
+
+    def test_certificate_valid_until_expiry(self, ca, clockbox):
+        cert = ca.issue("it-bob", 1, "ws-01", "T-1", ttl=5)
+        clockbox["now"] = 5
+        ca.validate(cert, "it-bob")
+
+
+class TestRevocation:
+    def test_revoked_certificate_rejected(self, ca):
+        cert = ca.issue("it-bob", 1, "ws-01", "T-1")
+        ca.revoke(cert)
+        with pytest.raises(CertificateError):
+            ca.validate(cert, "it-bob")
+
+    def test_revoke_ticket_revokes_all(self, ca):
+        a = ca.issue("it-bob", 7, "ws-01", "T-1")
+        b = ca.issue("it-eve", 7, "ws-02", "T-1")
+        c = ca.issue("it-bob", 8, "ws-01", "T-2")
+        assert ca.revoke_ticket(7) == 2
+        for cert, admin in ((a, "it-bob"), (b, "it-eve")):
+            with pytest.raises(CertificateError):
+                ca.validate(cert, admin)
+        ca.validate(c, "it-bob")
+
+
+class TestAuthenticatorHook:
+    def test_hook_shape_matches_containit(self, ca):
+        check = ca.authenticator(machine="ws-01")
+        cert = ca.issue("it-bob", 1, "ws-01", "T-1")
+        check(cert, "it-bob")
+        with pytest.raises(CertificateError):
+            check(cert, "someone-else")

@@ -1,0 +1,102 @@
+"""Ticket classifiers: keyword scorer and the LDA pipeline."""
+
+import pytest
+
+from repro.framework import (
+    FALLBACK_CLASS,
+    KeywordClassifier,
+    LDAClassifier,
+    evaluate_classifier,
+    spell_correct,
+)
+from repro.workload import generate_corpus, generate_evaluation_tickets
+
+
+class TestSpellCorrect:
+    VOCAB = {"license": 10, "matlab": 8, "password": 5}
+
+    def test_known_word_unchanged(self):
+        assert spell_correct("license", self.VOCAB) == "license"
+
+    def test_transposition_corrected(self):
+        assert spell_correct("licnese", self.VOCAB) == "license"
+
+    def test_extra_letter_corrected(self):
+        assert spell_correct("matlaab", self.VOCAB) == "matlab"
+
+    def test_unfixable_passes_through(self):
+        assert spell_correct("xyzzy", self.VOCAB) == "xyzzy"
+
+    def test_short_words_skipped(self):
+        assert spell_correct("vpn", self.VOCAB) == "vpn"
+
+
+class TestKeywordClassifier:
+    @pytest.fixture(scope="class")
+    def clf(self):
+        return KeywordClassifier()
+
+    def test_license_ticket(self, clf):
+        assert clf.classify("my matlab license expired again") == "T-1"
+
+    def test_password_ticket(self, clf):
+        assert clf.classify("account locked, need a password reset") == "T-2"
+
+    def test_quota_ticket(self, clf):
+        assert clf.classify("quota exceeded need more space on storage") == "T-10"
+
+    def test_ssh_ticket(self, clf):
+        assert clf.classify("ssh session to the batch lsf server hangs") == "T-9"
+
+    def test_gibberish_falls_back(self, clf):
+        assert clf.classify("florble wumpus zanzibar") == FALLBACK_CLASS
+
+    def test_high_accuracy_on_eval_corpus(self, clf):
+        tickets = generate_evaluation_tickets(150, seed=9)
+        report = evaluate_classifier(clf, tickets)
+        assert report.accuracy > 0.9
+
+
+class TestLDAClassifier:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        corpus = generate_corpus(500, seed=11)
+        return LDAClassifier(n_topics=10, n_iter=50, seed=0).train(corpus)
+
+    def test_topic_words_shape(self, trained):
+        words = trained.topic_words(n=6)
+        assert len(words) == 10 and all(len(w) == 6 for w in words)
+
+    def test_topic_class_map_covers_all_topics(self, trained):
+        assert set(trained.topic_to_class) == set(range(10))
+
+    def test_reasonable_accuracy(self, trained):
+        tickets = generate_evaluation_tickets(120, seed=13)
+        report = evaluate_classifier(trained, tickets)
+        assert report.accuracy > 0.6  # raw LDA, before supervisor review
+
+    def test_review_callback_improves_accuracy(self, trained):
+        tickets = generate_evaluation_tickets(120, seed=13)
+
+        def supervisor(ticket, predicted):
+            # the paper's human-in-the-loop check: a reviewer who knows the
+            # request corrects obvious misfiles
+            return ticket.true_class if predicted != ticket.true_class else predicted
+
+        report = evaluate_classifier(trained, tickets, review=supervisor)
+        assert report.accuracy == 1.0
+        assert all(t.reviewed for t in tickets)
+
+    def test_unknown_text_falls_back(self, trained):
+        assert trained.classify("zz qq xx") == FALLBACK_CLASS
+
+    def test_untrained_raises(self):
+        with pytest.raises(RuntimeError):
+            LDAClassifier().classify("anything")
+
+    def test_report_rows_sorted(self, trained):
+        tickets = generate_evaluation_tickets(60, seed=14)
+        report = evaluate_classifier(trained, tickets)
+        rows = report.rows()
+        assert rows == sorted(rows)
+        assert sum(n for _, n, _ in rows) == 60

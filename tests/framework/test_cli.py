@@ -1,0 +1,42 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_name_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+    def test_full_flag(self):
+        args = build_parser().parse_args(["experiment", "table2", "--full"])
+        assert args.full and args.name == "table2"
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "T-1" in out and "chain verified: True" in out
+
+    def test_threats(self, capsys):
+        assert main(["threats"]) == 0
+        assert "11/11 attacks blocked" in capsys.readouterr().out
+
+    def test_experiment_table3(self, capsys):
+        assert main(["experiment", "table3"]) == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_experiment_figure7(self, capsys):
+        assert main(["experiment", "figure7"]) == 0
+        assert "Figure 7" in capsys.readouterr().out
+
+    def test_anomaly(self, capsys):
+        assert main(["anomaly", "--benign", "10", "--malicious", "3"]) == 0
+        assert "precision" in capsys.readouterr().out

@@ -1,0 +1,80 @@
+"""FrequencyProfileDetector: rare-event scoring of sessions."""
+
+import pytest
+
+from repro.anomaly import (
+    AnomalyDetector,
+    FrequencyProfileDetector,
+    SessionLog,
+    generate_session_corpus,
+)
+from repro.itfs.audit import AppendOnlyLog
+
+
+def make_log(events, session_id="s", label="benign"):
+    log = AppendOnlyLog()
+    for op, path, decision in events:
+        log.append("a", op, path, decision)
+    return SessionLog(session_id=session_id, records=log.records, label=label)
+
+
+ROUTINE = [("read", "/etc/ssh/sshd_config", "allow"),
+           ("write", "/etc/ssh/sshd_config", "allow"),
+           ("read", "/home/alice/notes.txt", "allow")]
+
+
+class TestScoring:
+    @pytest.fixture()
+    def fitted(self):
+        return FrequencyProfileDetector(threshold=6.0).fit(
+            [make_log(ROUTINE) for _ in range(12)])
+
+    def test_routine_session_scores_low(self, fitted):
+        score = fitted.score(make_log(ROUTINE))
+        assert not score.anomalous
+
+    def test_unfamiliar_events_score_high(self, fitted):
+        weird = ROUTINE + [("read", "/opt/watchit/itfs", "deny"),
+                           ("mknod", "/tmp/sda", "deny"),
+                           ("read", "/dev/mem", "deny"),
+                           ("write", "/etc/shadow", "deny")]
+        score = fitted.score(make_log(weird, label="malicious"))
+        assert score.anomalous
+        assert any("watchit" in name for name, _ in score.top_features)
+
+    def test_denials_add_surprisal(self, fitted):
+        allowed = fitted.score(make_log(
+            ROUTINE + [("read", "/srv/new", "allow")] ))
+        denied = fitted.score(make_log(
+            ROUTINE + [("read", "/srv/new", "deny")]))
+        assert denied.score > allowed.score
+
+    def test_empty_session_scores_zero(self, fitted):
+        assert fitted.score(make_log([])).score == 0.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            FrequencyProfileDetector().score(make_log(ROUTINE))
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            FrequencyProfileDetector().fit([])
+
+
+class TestOnRealSessions:
+    def test_complements_zscore_detector(self):
+        logs = generate_session_corpus(n_benign=25, n_malicious=6, seed=8)
+        benign = [l for l in logs if l.label == "benign"][:15]
+        freq = FrequencyProfileDetector(threshold=7.0).fit(benign)
+        zscore = AnomalyDetector(threshold=5.0).fit(benign)
+        freq_report = freq.evaluate(logs)
+        z_report = zscore.evaluate(logs)
+        # each alone is decent...
+        assert freq_report.precision >= 0.8
+        assert z_report.precision >= 0.8
+        # ...their union catches at least as much as either
+        caught = {s.session_id for s in freq_report.flagged} | \
+                 {s.session_id for s in z_report.flagged}
+        malicious = {l.session_id for l in logs if l.label == "malicious"}
+        union_recall = len(caught & malicious) / len(malicious)
+        assert union_recall >= max(freq_report.recall, z_report.recall)

@@ -1,0 +1,60 @@
+"""Image-repository persistence and spec serialization."""
+
+import pytest
+
+from repro.containit import PerforatedContainerSpec
+from repro.framework import TABLE3_SPECS, ImageRepository
+from repro.kernel import MemoryFilesystem
+
+
+class TestSpecSerialization:
+    @pytest.mark.parametrize("name", sorted(TABLE3_SPECS))
+    def test_roundtrip_every_table3_spec(self, name):
+        spec = TABLE3_SPECS[name]
+        back = PerforatedContainerSpec.from_dict(spec.to_dict())
+        assert back == spec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            PerforatedContainerSpec.from_dict({"name": "x", "warp": True})
+
+    def test_to_dict_is_json_safe(self):
+        import json
+        data = TABLE3_SPECS["T-9"].to_dict()
+        assert json.loads(json.dumps(data)) == data
+
+
+class TestRepositoryPersistence:
+    def test_save_load_roundtrip(self):
+        fs = MemoryFilesystem()
+        repo = ImageRepository()
+        repo.save(fs)
+        loaded = ImageRepository.load(fs)
+        assert loaded.names() == repo.names()
+        for name in repo.names():
+            assert loaded.get(name) == repo.get(name)
+
+    def test_saved_files_are_per_image_json(self):
+        fs = MemoryFilesystem()
+        ImageRepository().save(fs, directory="/srv/images")
+        names = fs.readdir("/srv/images")
+        assert "T-1.json" in names and len(names) == 11
+
+    def test_loaded_repo_deploys(self, rig):
+        from tests.conftest import deploy
+        net, host = rig
+        ImageRepository().save(host.rootfs)
+        repo = ImageRepository.load(host.rootfs)
+        container = deploy(host, repo.get("T-1"))
+        shell = container.login("it-bob")
+        assert shell.read_file("/home/alice/notes.txt") == b"meeting notes"
+
+    def test_custom_image_survives_roundtrip(self):
+        fs = MemoryFilesystem()
+        repo = ImageRepository()
+        custom = PerforatedContainerSpec(
+            name="vendor", fs_shares=("/srv/storage",),
+            extra_fs_rule_classes=("database",), signature_monitoring=True)
+        repo.register(custom)
+        repo.save(fs)
+        assert ImageRepository.load(fs).get("vendor") == custom

@@ -1,0 +1,122 @@
+"""LDA: Gibbs sampling recovers planted topic structure."""
+
+import numpy as np
+import pytest
+
+from repro.framework import LDA
+
+
+def planted_corpus(n_docs=120, seed=3):
+    """Three disjoint vocabularies, one per planted topic."""
+    rng = np.random.default_rng(seed)
+    groups = [list(range(0, 8)), list(range(8, 16)), list(range(16, 24))]
+    docs, labels = [], []
+    for i in range(n_docs):
+        g = i % 3
+        docs.append(list(rng.choice(groups[g], size=12)))
+        labels.append(g)
+    return docs, labels, 24
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    docs, labels, V = planted_corpus()
+    model = LDA(n_topics=3, n_iter=80, seed=1).fit(docs, V)
+    return model, docs, labels, V
+
+
+class TestFit:
+    def test_counts_conserved(self, fitted):
+        model, docs, labels, V = fitted
+        n_tokens = sum(len(d) for d in docs)
+        assert model.topic_word_counts.sum() == pytest.approx(n_tokens)
+        assert model.doc_topic_counts.sum() == pytest.approx(n_tokens)
+        assert model.topic_counts.sum() == pytest.approx(n_tokens)
+
+    def test_distributions_normalized(self, fitted):
+        model, *_ = fitted
+        phi = model.topic_word_distribution()
+        theta = model.doc_topic_distribution()
+        assert np.allclose(phi.sum(axis=1), 1.0)
+        assert np.allclose(theta.sum(axis=1), 1.0)
+
+    def test_planted_topics_recovered(self, fitted):
+        # each planted group should map to a distinct learned topic
+        model, docs, labels, V = fitted
+        dominant = np.argmax(model.doc_topic_counts, axis=1)
+        mapping = {}
+        for label, topic in zip(labels, dominant):
+            mapping.setdefault(label, []).append(int(topic))
+        majority = {lbl: max(set(ts), key=ts.count) for lbl, ts in mapping.items()}
+        assert len(set(majority.values())) == 3
+        purity = sum(ts.count(majority[lbl]) for lbl, ts in mapping.items()) \
+            / len(labels)
+        assert purity > 0.9
+
+    def test_top_words_come_from_planted_group(self, fitted):
+        model, docs, labels, V = fitted
+        vocab = [str(i) for i in range(V)]
+        for k in range(3):
+            top = [int(w) for w in model.top_words(k, vocab, n=5)]
+            groups = [set(range(0, 8)), set(range(8, 16)), set(range(16, 24))]
+            assert any(set(top) <= g for g in groups)
+
+    def test_deterministic_given_seed(self):
+        docs, _, V = planted_corpus(n_docs=30)
+        a = LDA(n_topics=3, n_iter=20, seed=5).fit(docs, V)
+        b = LDA(n_topics=3, n_iter=20, seed=5).fit(docs, V)
+        assert np.array_equal(a.topic_word_counts, b.topic_word_counts)
+
+    def test_too_few_topics_rejected(self):
+        with pytest.raises(ValueError):
+            LDA(n_topics=1)
+
+    def test_unfitted_model_raises(self):
+        with pytest.raises(RuntimeError):
+            LDA(n_topics=3).top_words(0, ["a"])
+
+
+class TestInference:
+    def test_fold_in_classifies_unseen_doc(self, fitted):
+        model, docs, labels, V = fitted
+        dominant = np.argmax(model.doc_topic_counts, axis=1)
+        group0_topic = int(np.bincount(
+            [dominant[i] for i in range(len(labels)) if labels[i] == 0]).argmax())
+        unseen = [0, 1, 2, 3, 4, 5, 0, 1]  # pure group-0 words
+        assert model.classify(unseen) == group0_topic
+
+    def test_infer_returns_distribution(self, fitted):
+        model, *_ = fitted
+        theta = model.infer([0, 1, 2])
+        assert theta.shape == (3,) and theta.sum() == pytest.approx(1.0)
+        assert (theta >= 0).all()
+
+    def test_empty_doc_uniform(self, fitted):
+        model, *_ = fitted
+        theta = model.infer([])
+        assert np.allclose(theta, 1.0 / 3)
+
+    def test_oov_tokens_dropped(self, fitted):
+        model, *_ = fitted
+        theta = model.infer([999, 1000])
+        assert np.allclose(theta, 1.0 / 3)
+
+
+class TestMetrics:
+    def test_coherence_prefers_true_topic_count(self):
+        # coherent (k=3) model should beat a badly mismatched one on
+        # held-out perplexity for this strongly separated corpus
+        docs, labels, V = planted_corpus(n_docs=90)
+        good = LDA(n_topics=3, n_iter=60, seed=2).fit(docs, V)
+        assert good.coherence(docs) > -3.5  # tight planted topics
+
+    def test_perplexity_finite_and_positive(self):
+        docs, labels, V = planted_corpus(n_docs=60)
+        model = LDA(n_topics=3, n_iter=40, seed=2).fit(docs, V)
+        ppl = model.perplexity(docs[:10])
+        assert 1.0 < ppl < V * 2
+
+    def test_perplexity_better_than_uniform(self):
+        docs, labels, V = planted_corpus(n_docs=60)
+        model = LDA(n_topics=3, n_iter=40, seed=2).fit(docs, V)
+        assert model.perplexity(docs[:10]) < V  # uniform would be ~V=24

@@ -1,0 +1,102 @@
+"""Text preprocessing: obfuscation, stemming, tokenization, vocabulary."""
+
+from repro.framework import Vocabulary, obfuscate, prepare_corpus, stem, tokenize
+
+
+class TestObfuscation:
+    def test_ip_addresses(self):
+        assert "<IP>" in obfuscate("cannot ping 10.23.4.5 at all")
+        assert "10.23.4.5" not in obfuscate("cannot ping 10.23.4.5 at all")
+
+    def test_ip_with_port(self):
+        assert "<IP>" in obfuscate("connect to 192.168.1.4:8443 fails")
+
+    def test_server_names(self):
+        assert "<Server>" in obfuscate("srv-14 is down")
+        assert "<Server>" in obfuscate("please reboot node-7")
+
+    def test_shared_storage_paths(self):
+        assert "<Shared Storage>" in obfuscate("no space on /gpfs/projects/x")
+
+    def test_vm_names(self):
+        assert "<VM>" in obfuscate("my vm-llvm2 is stuck")
+
+    def test_os_names(self):
+        assert "<OS>" in obfuscate("install on ubuntu 16.04 please")
+
+    def test_application_names(self):
+        assert "<Application>" in obfuscate("eclipse 4.6 crashes")
+
+    def test_plain_text_untouched(self):
+        assert obfuscate("password reset needed") == "password reset needed"
+
+
+class TestStemming:
+    def test_ing_suffix(self):
+        assert stem("installing") == "install"
+
+    def test_ed_suffix(self):
+        assert stem("expired") == "expir"
+
+    def test_ies_suffix(self):
+        assert stem("directories") == "directory"
+
+    def test_plural(self):
+        assert stem("licenses") == "license"
+
+    def test_short_words_untouched(self):
+        assert stem("vpn") == "vpn"
+        assert stem("is") == "is"
+
+    def test_placeholders_untouched(self):
+        assert stem("<ip>") == "<ip>"
+
+    def test_same_stem_for_variants(self):
+        assert stem("connected") == stem("connects") == "connect"
+
+
+class TestTokenize:
+    def test_stopwords_removed(self):
+        tokens = tokenize("the license is not working")
+        assert "the" not in tokens and "is" not in tokens
+        assert "license" in tokens
+
+    def test_noise_words_removed(self):
+        tokens = tokenize("hello please help with matlab thanks")
+        assert tokens == ["matlab"]
+
+    def test_case_folding(self):
+        assert tokenize("MATLAB License") == ["matlab", "license"]
+
+    def test_identifiers_obfuscated_into_tokens(self):
+        tokens = tokenize("ping 10.0.0.1 fails")
+        assert "<ip>" in tokens
+
+    def test_stemming_applied(self):
+        assert "instal" in tokenize("installing packages")[0]
+
+
+class TestVocabulary:
+    def test_fit_and_encode(self):
+        docs = [["a", "b", "a"], ["b", "c"]]
+        vocab = Vocabulary().fit(docs)
+        assert len(vocab) == 3
+        assert vocab.decode(vocab.encode(["a", "c", "zzz"])) == ["a", "c"]
+
+    def test_min_count_prunes(self):
+        docs = [["rare", "common"], ["common"]]
+        vocab = Vocabulary(min_count=2).fit(docs)
+        assert "rare" not in vocab.token_to_id
+        assert "common" in vocab.token_to_id
+
+    def test_max_doc_ratio_prunes_ubiquitous(self):
+        docs = [["everywhere", str(i)] for i in range(10)]
+        vocab = Vocabulary(max_doc_ratio=0.5).fit(docs)
+        assert "everywhere" not in vocab.token_to_id
+
+    def test_prepare_corpus_roundtrip(self):
+        docs, vocab = prepare_corpus(
+            ["matlab license expired", "matlab license renewal"],
+            min_count=1, max_doc_ratio=1.0)
+        assert len(docs) == 2 and all(docs)
+        assert "matlab" in vocab.token_to_id

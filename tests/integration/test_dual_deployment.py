@@ -1,0 +1,72 @@
+"""T-9 dual deployment: containers on both the user and target machines."""
+
+import pytest
+
+from repro.framework import WatchITDeployment
+
+
+@pytest.fixture()
+def org():
+    deployment = WatchITDeployment.bootstrap(machines=("ws-01", "ws-02"))
+    deployment.register_admin("it-bob")
+    return deployment
+
+
+class TestDualDeployment:
+    def test_t9_ticket_deploys_on_both_machines(self, org):
+        ticket = org.submit_ticket(
+            "alice", "ssh connection to the lab server hangs, vnc too",
+            machine="ws-01", target_machine="ws-02")
+        session = org.handle(ticket, admin="it-bob")
+        assert session.container.spec.name == "T-9"
+        assert session.target_deployment is not None
+        assert session.deployment.container.kernel is org.machines["ws-01"]
+        assert session.target_deployment.container.kernel is org.machines["ws-02"]
+        # the admin can fix sshd_config on both ends
+        session.shell.write_file("/etc/ssh/sshd_config", b"fixed-user-side")
+        session.target_shell.write_file("/etc/ssh/sshd_config",
+                                        b"fixed-target-side")
+        for machine, expected in (("ws-01", b"fixed-user-side"),
+                                  ("ws-02", b"fixed-target-side")):
+            host = org.machines[machine]
+            assert host.sys.read_file(host.init, "/etc/ssh/sshd_config") \
+                == expected
+        org.resolve(session)
+        assert not session.container.active
+        assert not session.target_deployment.container.active
+
+    def test_no_secondary_without_target_machine(self, org):
+        ticket = org.submit_ticket("alice", "ssh vnc session dies",
+                                   machine="ws-01")
+        session = org.handle(ticket, admin="it-bob")
+        assert session.target_deployment is None
+        org.resolve(session)
+
+    def test_no_secondary_when_target_equals_machine(self, org):
+        ticket = org.submit_ticket("alice", "ssh vnc session dies",
+                                   machine="ws-01", target_machine="ws-01")
+        session = org.handle(ticket, admin="it-bob")
+        assert session.target_deployment is None
+        org.resolve(session)
+
+    def test_non_t9_classes_never_dual_deploy(self, org):
+        ticket = org.submit_ticket("alice", "matlab license expired",
+                                   machine="ws-01", target_machine="ws-02")
+        session = org.handle(ticket, admin="it-bob")
+        assert session.container.spec.name == "T-1"
+        assert session.target_deployment is None
+        org.resolve(session)
+
+    def test_unknown_target_machine_rejected(self, org):
+        from repro.errors import InvalidArgument
+        with pytest.raises(InvalidArgument):
+            org.submit_ticket("alice", "ssh", machine="ws-01",
+                              target_machine="nope")
+
+    def test_expiry_terminates_both(self, org):
+        ticket = org.submit_ticket("alice", "ssh vnc lsf job stuck",
+                                   machine="ws-01", target_machine="ws-02")
+        session = org.handle(ticket, admin="it-bob", ttl=3)
+        org.tick(10)
+        assert not session.container.active
+        assert not session.target_deployment.container.active

@@ -1,0 +1,42 @@
+"""Every example script must run clean (the docs are executable)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+#: (script, timeout seconds, must-appear output fragments)
+FAST_EXAMPLES = [
+    ("quickstart.py", 120, ["classified as T-1", "chain verified: True"]),
+    ("figure6_terminal.py", 120, ["PB ps -a", "PermissionBroker"]),
+    ("it_scripts.py", 180, ["executed under confinement: 20/20",
+                            "executed under confinement: 13/13"]),
+    ("online_file_sharing.py", 120, ["broker audit trail",
+                                     "reachable after:  True"]),
+    ("third_party_support.py", 120, ["card processor unreachable"]),
+    ("threat_analysis.py", 240, ["11/11 attacks blocked or detected"]),
+    ("anomaly_detection.py", 240, ["threshold sweep"]),
+]
+
+
+@pytest.mark.parametrize("script,timeout,fragments", FAST_EXAMPLES,
+                         ids=[s for s, _, _ in FAST_EXAMPLES])
+def test_example_runs(script, timeout, fragments):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr[-2000:]
+    for fragment in fragments:
+        assert fragment in result.stdout, \
+            f"{script}: missing {fragment!r} in output"
+
+
+def test_example_inventory_documented():
+    """Every example on disk is mentioned in the README."""
+    readme = (EXAMPLES.parent / "README.md").read_text()
+    for script in EXAMPLES.glob("*.py"):
+        assert script.name in readme or script.name in (
+            "case_study.py",), f"{script.name} not documented"

@@ -1,0 +1,80 @@
+"""Organization-level anomaly detection over the central audit store."""
+
+import pytest
+
+from repro.errors import AccessBlocked, ReproError
+from repro.framework import WatchITDeployment
+
+
+@pytest.fixture()
+def busy_org():
+    """An org that has served several benign tickets and one rogue session."""
+    org = WatchITDeployment.bootstrap(machines=("ws-01",))
+    org.register_admin("it-bob")
+    # benign traffic: ordinary license fixes
+    for i in range(6):
+        ticket = org.submit_ticket("alice", "matlab license expired toolbox")
+        session = org.handle(ticket, admin="it-bob")
+        session.shell.read_file("/home/alice/matlab/license.lic")
+        session.shell.write_file("/home/alice/matlab/license.lic", b"VALID")
+        org.resolve(session)
+    # the rogue session: hammers blocked documents and the broker
+    host = org.machines["ws-01"]
+    host.rootfs.populate({"home": {"alice": {
+        f"doc{i}.docx": b"PK\x03\x04" for i in range(6)}}})
+    ticket = org.submit_ticket("alice", "matlab license expired toolbox")
+    rogue = org.handle(ticket, admin="it-bob")
+    for i in range(6):
+        with pytest.raises(AccessBlocked):
+            rogue.shell.read_file(f"/home/alice/doc{i}.docx")
+    for _ in range(4):
+        rogue.client.pb("rm -rf /")  # denied escalations
+    org.resolve(rogue)
+    return org, rogue
+
+
+class TestSessionReconstruction:
+    def test_sessions_grouped_by_source(self, busy_org):
+        org, rogue = busy_org
+        logs = org.session_logs()
+        assert len(logs) >= 7  # fs logs per container + broker logs
+        assert all(log.records for log in logs)
+
+    def test_detection_flags_the_rogue_streams(self, busy_org):
+        org, rogue = busy_org
+        flagged = org.detect_anomalies(threshold=5.0)
+        assert flagged, "the rogue session should stand out"
+        top = max(flagged, key=lambda s: s.score)
+        top_signals = dict(top.top_features)
+        assert any(name in top_signals for name in
+                   ("denials", "denial_ratio", "escalation_denials",
+                    "document_touches"))
+
+    def test_empty_org_detects_nothing(self):
+        org = WatchITDeployment.bootstrap(machines=("ws-01",))
+        assert org.detect_anomalies() == []
+
+
+class TestTerminalGrep:
+    def test_grep_finds_matches_in_view(self, busy_org):
+        from repro.broker import BrokerClient
+        from repro.containit import Terminal
+        org, _ = busy_org
+        ticket = org.submit_ticket("alice", "matlab license renewal")
+        session = org.handle(ticket, admin="it-bob")
+        terminal = Terminal(session.shell, session.client)
+        out = terminal.run("grep -r VALID /home/alice")
+        assert "/home/alice/matlab/license.lic:VALID" in out
+        # blocked documents are skipped, not leaked
+        assert ".docx" not in out
+        org.resolve(session)
+
+    def test_grep_single_file(self, busy_org):
+        from repro.containit import Terminal
+        org, _ = busy_org
+        ticket = org.submit_ticket("alice", "matlab license renewal")
+        session = org.handle(ticket, admin="it-bob")
+        terminal = Terminal(session.shell)
+        out = terminal.run("grep VALID /home/alice/matlab/license.lic")
+        assert out.startswith("/home/alice/matlab/license.lic:")
+        org.resolve(session)

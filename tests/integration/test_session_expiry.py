@@ -1,0 +1,48 @@
+"""Time-limited sessions: certificate TTL ends access automatically."""
+
+import pytest
+
+from repro.errors import SessionTerminated
+from repro.framework import WatchITDeployment
+
+
+@pytest.fixture()
+def org():
+    deployment = WatchITDeployment.bootstrap(machines=("ws-01",))
+    deployment.register_admin("it-bob")
+    return deployment
+
+
+class TestSessionExpiry:
+    def test_session_survives_within_ttl(self, org):
+        ticket = org.submit_ticket("alice", "matlab license expired")
+        session = org.handle(ticket, admin="it-bob", ttl=50)
+        org.tick(10)
+        session.shell.listdir("/")  # still fine
+
+    def test_session_terminated_after_ttl(self, org):
+        ticket = org.submit_ticket("alice", "matlab license expired")
+        session = org.handle(ticket, admin="it-bob", ttl=5)
+        org.tick(10)
+        assert not session.container.active
+        assert session.container.terminated_reason == "certificate expired"
+        with pytest.raises(SessionTerminated):
+            session.shell.listdir("/")
+
+    def test_expiry_only_hits_lapsed_sessions(self, org):
+        short = org.handle(org.submit_ticket("alice", "matlab license expired"),
+                           admin="it-bob", ttl=3)
+        long = org.handle(org.submit_ticket("bob", "password account locked"),
+                          admin="it-bob", ttl=500)
+        org.tick(10)
+        assert not short.container.active
+        assert long.container.active
+        org.resolve(long)
+
+    def test_resolved_session_not_double_terminated(self, org):
+        ticket = org.submit_ticket("alice", "matlab license expired")
+        session = org.handle(ticket, admin="it-bob", ttl=5)
+        org.resolve(session)
+        reason = session.container.terminated_reason
+        org.tick(50)
+        assert session.container.terminated_reason == reason

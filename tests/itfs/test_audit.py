@@ -1,0 +1,92 @@
+"""Hash-chained append-only audit log: integrity and replication."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.itfs import AppendOnlyLog, GENESIS_DIGEST
+
+
+@pytest.fixture()
+def log():
+    log = AppendOnlyLog(name="test")
+    log.append("pid=1:sh", "read", "/etc/passwd", "allow")
+    log.append("pid=1:sh", "read", "/home/a/salary.docx", "deny", rule="no-documents")
+    log.append("pid=2:pb", "escalate", "ps", "allow")
+    return log
+
+
+class TestChain:
+    def test_verify_intact_chain(self, log):
+        assert log.verify()
+
+    def test_first_record_anchored_to_genesis(self, log):
+        assert log.records[0].prev_digest == GENESIS_DIGEST
+
+    def test_chain_links(self, log):
+        records = log.records
+        assert records[1].prev_digest == records[0].digest
+        assert records[2].prev_digest == records[1].digest
+
+    def test_modified_record_detected(self, log):
+        log._records[1].path = "/nothing/suspicious"
+        with pytest.raises(IntegrityError):
+            log.verify()
+
+    def test_deleted_record_detected(self, log):
+        del log._records[1]
+        with pytest.raises(IntegrityError):
+            log.verify()
+
+    def test_reordered_records_detected(self, log):
+        log._records[0], log._records[1] = log._records[1], log._records[0]
+        with pytest.raises(IntegrityError):
+            log.verify()
+
+    def test_forged_digest_detected(self, log):
+        # attacker rewrites content and recomputes only the record digest
+        log._records[1].path = "/benign"
+        log._records[1].digest = log._records[1].compute_digest()
+        with pytest.raises(IntegrityError):
+            log.verify()  # next record's prev_digest no longer matches
+
+
+class TestReplication:
+    def test_replica_receives_appends(self):
+        primary = AppendOnlyLog("primary")
+        replica = AppendOnlyLog("replica")
+        primary.add_replica(replica)
+        primary.append("a", "read", "/f", "allow")
+        assert len(replica) == 1
+        assert replica.records[0].digest == primary.records[0].digest
+
+    def test_divergence_detects_local_tamper(self):
+        primary = AppendOnlyLog("primary")
+        replica = AppendOnlyLog("replica")
+        primary.add_replica(replica)
+        primary.append("a", "read", "/f", "allow")
+        primary.append("a", "read", "/g", "allow")
+        primary._records[0].path = "/tampered"
+        primary._records[0].digest = primary._records[0].compute_digest()
+        assert primary.divergence_from(replica) == 0
+
+    def test_no_divergence_when_consistent(self):
+        primary = AppendOnlyLog("primary")
+        replica = AppendOnlyLog("replica")
+        primary.add_replica(replica)
+        primary.append("a", "read", "/f", "allow")
+        assert primary.divergence_from(replica) is None
+
+
+class TestQueries:
+    def test_filter_by_decision(self, log):
+        denies = log.filter(decision="deny")
+        assert len(denies) == 1 and denies[0].rule == "no-documents"
+
+    def test_filter_by_actor_and_prefix(self, log):
+        assert len(log.filter(actor="pid=1:sh", path_prefix="/etc")) == 1
+
+    def test_counts_by(self, log):
+        assert log.counts_by("decision") == {"allow": 2, "deny": 1}
+
+    def test_tail(self, log):
+        assert [r.op for r in log.tail(2)] == ["read", "escalate"]

@@ -1,0 +1,101 @@
+"""PolicyManager mechanics: ordering, op scoping, logging defaults."""
+
+import pytest
+
+from repro.itfs import (
+    CONTENT_OPS,
+    META_OPS,
+    ContentRule,
+    ExtensionRule,
+    PathRule,
+    PolicyManager,
+    SignatureRule,
+)
+
+
+class TestRuleBasics:
+    def test_bad_decision_rejected(self):
+        with pytest.raises(ValueError):
+            PathRule("x", prefixes=["/"], decision="maybe")
+
+    def test_default_ops_are_content_ops(self):
+        rule = PathRule("x", prefixes=["/"])
+        assert rule.ops == CONTENT_OPS
+
+    def test_op_scoping(self):
+        rule = PathRule("write-only", prefixes=["/data"], ops={"write"})
+        assert rule.matches("write", "/data/f", None)
+        assert not rule.matches("read", "/data/f", None)
+
+    def test_extension_rule_by_literal_extension(self):
+        rule = ExtensionRule("no-keys", extensions=[".PEM"])
+        assert rule.matches("read", "/a/id.pem", None)
+        assert not rule.matches("read", "/a/id.pub", None)
+
+    def test_signature_rule_requires_head(self):
+        rule = SignatureRule("docs", classes=("document",))
+        assert rule.needs_head
+        assert not rule.matches("read", "/f", None)  # no head available
+        assert rule.matches("read", "/f", b"%PDF-1.4")
+
+    def test_content_rule_head_budget(self):
+        rule = ContentRule("grepper",
+                           predicate=lambda p, head: b"XYZ" in head,
+                           head_bytes=4)
+        assert not rule.matches("read", "/f", b"aaaaXYZ")  # beyond budget
+        assert rule.matches("read", "/f", b"XYZa")
+
+
+class TestEvaluationOrder:
+    def test_first_match_wins(self):
+        policy = PolicyManager(log_all=False)
+        policy.add_rule(PathRule("allow-etc", prefixes=["/etc"],
+                                 decision="allow", log=False))
+        policy.add_rule(PathRule("deny-all", prefixes=["/"]))
+        assert policy.evaluate("read", "/etc/passwd").allowed
+        assert not policy.evaluate("read", "/home/x").allowed
+
+    def test_default_allow_when_nothing_matches(self):
+        decision = PolicyManager(log_all=False).evaluate("read", "/any")
+        assert decision.allowed and decision.reason == "default"
+
+    def test_log_all_marks_content_ops(self):
+        policy = PolicyManager(log_all=True)
+        assert policy.evaluate("read", "/f").log
+        assert not policy.evaluate("stat", "/f").log  # meta op, log_meta off
+
+    def test_log_meta_extends_coverage(self):
+        policy = PolicyManager(log_all=True, log_meta=True)
+        assert policy.evaluate("readdir", "/d").log
+
+    def test_head_loader_called_at_most_once(self):
+        calls = []
+        policy = PolicyManager(log_all=False)
+        policy.add_rule(SignatureRule("a", classes=("document",)))
+        policy.add_rule(SignatureRule("b", classes=("image",)))
+
+        def loader():
+            calls.append(1)
+            return b"plain text"
+
+        policy.evaluate("read", "/f", loader)
+        assert len(calls) == 1
+
+    def test_head_loader_not_called_without_head_rules(self):
+        calls = []
+        policy = PolicyManager(log_all=False)
+        policy.add_rule(ExtensionRule("docs", classes=("document",)))
+        policy.evaluate("read", "/f.txt", lambda: calls.append(1) or b"")
+        assert calls == []
+
+    def test_head_bytes_needed_takes_max(self):
+        policy = PolicyManager()
+        policy.add_rule(SignatureRule("a", classes=("document",), head_bytes=16))
+        policy.add_rule(ContentRule("b", predicate=lambda p, h: False,
+                                    head_bytes=1024))
+        assert policy.head_bytes_needed() == 1024
+        assert policy.needs_head
+
+    def test_meta_ops_constant(self):
+        assert "stat" in META_OPS and "readdir" in META_OPS
+        assert META_OPS.isdisjoint(CONTENT_OPS)

@@ -1,0 +1,123 @@
+"""Capability gates and device-node semantics (Table 1 defenses 1-4)."""
+
+import pytest
+
+from repro.errors import CapabilityError, FileExists
+from repro.kernel import (
+    CONTAINER_DROPPED_CAPABILITIES,
+    Capability,
+    FileType,
+    contained_root_credentials,
+    container_capability_set,
+    full_capability_set,
+    root_credentials,
+    user_credentials,
+)
+from repro.kernel.devices import DEV_MEM, DEV_SDA
+
+
+class TestCredentialModel:
+    def test_contained_root_is_uid0_without_escape_caps(self):
+        creds = contained_root_credentials()
+        assert creds.is_superuser
+        for cap in CONTAINER_DROPPED_CAPABILITIES:
+            assert not creds.has_cap(cap)
+
+    def test_container_set_retains_admin_caps(self):
+        caps = container_capability_set()
+        assert Capability.CAP_SYS_ADMIN in caps
+        assert Capability.CAP_KILL in caps
+        assert Capability.CAP_DAC_OVERRIDE in caps
+
+    def test_drop_is_pure(self):
+        creds = root_credentials()
+        dropped = creds.drop({Capability.CAP_KILL})
+        assert creds.has_cap(Capability.CAP_KILL)
+        assert not dropped.has_cap(Capability.CAP_KILL)
+
+    def test_with_uid(self):
+        creds = root_credentials().with_uid(5)
+        assert creds.uid == 5 and creds.caps == full_capability_set()
+
+    def test_user_credentials_have_no_caps(self):
+        assert user_credentials(1000).caps == frozenset()
+
+
+class TestDeviceGates:
+    def test_dev_mem_read_requires_cap(self, kernel, container):
+        with pytest.raises(CapabilityError) as err:
+            kernel.sys.read_file(container, "/dev/mem")
+        assert err.value.capability is Capability.CAP_DEV_MEM
+
+    def test_dev_mem_leaks_kernel_secret_to_host_root(self, kernel):
+        data = kernel.sys.read_file(kernel.init, "/dev/mem")
+        assert b"KERNEL-SECRET" in data
+
+    def test_dev_kmem_gated_too(self, kernel, container):
+        with pytest.raises(CapabilityError):
+            kernel.sys.open(container, "/dev/kmem")
+
+    def test_dev_null_open_to_everyone_with_dac(self, kernel):
+        fd = kernel.sys.open(kernel.init, "/dev/null")
+        assert kernel.sys.read_fd(kernel.init, fd) == b""
+
+    def test_dev_zero_reads_zeroes(self, kernel):
+        fd = kernel.sys.open(kernel.init, "/dev/zero")
+        assert kernel.sys.read_fd(kernel.init, fd, 4) == b"\x00" * 4
+
+    def test_raw_disk_readable_by_host_root(self, kernel):
+        data = kernel.sys.read_file(kernel.init, "/dev/sda")
+        assert data.startswith(b"RAW-DISK:")
+
+    def test_mknod_requires_cap(self, kernel, container):
+        with pytest.raises(CapabilityError) as err:
+            kernel.sys.mknod(container, "/tmp/sda", FileType.BLOCKDEV, DEV_SDA)
+        assert err.value.capability is Capability.CAP_MKNOD
+
+    def test_mknod_with_cap_creates_working_node(self, kernel):
+        kernel.sys.mknod(kernel.init, "/tmp/rawdisk", FileType.BLOCKDEV, DEV_SDA)
+        assert kernel.sys.read_file(kernel.init, "/tmp/rawdisk").startswith(b"RAW-DISK:")
+
+    def test_mknod_existing_path_raises(self, kernel):
+        with pytest.raises(FileExists):
+            kernel.sys.mknod(kernel.init, "/dev/null", FileType.CHARDEV, DEV_MEM)
+
+    def test_write_through_mem_device_corrupts_kernel_memory(self, kernel):
+        fd = kernel.sys.open(kernel.init, "/dev/mem", mode="w")
+        kernel.sys.write_fd(kernel.init, fd, b"OWNED")
+        assert kernel.kernel_memory.startswith(b"OWNED")
+
+
+class TestFdSemantics:
+    def test_sequential_reads_advance_offset(self, kernel):
+        kernel.sys.write_file(kernel.init, "/tmp/f", b"abcdef")
+        fd = kernel.sys.open(kernel.init, "/tmp/f")
+        assert kernel.sys.read_fd(kernel.init, fd, 3) == b"abc"
+        assert kernel.sys.read_fd(kernel.init, fd, 3) == b"def"
+        assert kernel.sys.read_fd(kernel.init, fd, 3) == b""
+
+    def test_write_mode_truncates(self, kernel):
+        kernel.sys.write_file(kernel.init, "/tmp/f", b"oldcontent")
+        fd = kernel.sys.open(kernel.init, "/tmp/f", mode="w")
+        kernel.sys.write_fd(kernel.init, fd, b"new")
+        assert kernel.sys.read_file(kernel.init, "/tmp/f") == b"new"
+
+    def test_append_mode(self, kernel):
+        kernel.sys.write_file(kernel.init, "/tmp/f", b"a")
+        fd = kernel.sys.open(kernel.init, "/tmp/f", mode="a")
+        kernel.sys.write_fd(kernel.init, fd, b"b")
+        assert kernel.sys.read_file(kernel.init, "/tmp/f") == b"ab"
+
+    def test_write_on_readonly_fd_rejected(self, kernel):
+        from repro.errors import BadFileDescriptor
+        kernel.sys.write_file(kernel.init, "/tmp/f", b"x")
+        fd = kernel.sys.open(kernel.init, "/tmp/f")
+        with pytest.raises(BadFileDescriptor):
+            kernel.sys.write_fd(kernel.init, fd, b"y")
+
+    def test_close_invalidates_fd(self, kernel):
+        from repro.errors import BadFileDescriptor
+        fd = kernel.sys.open(kernel.init, "/etc/passwd")
+        kernel.sys.close(kernel.init, fd)
+        with pytest.raises(BadFileDescriptor):
+            kernel.sys.read_fd(kernel.init, fd)

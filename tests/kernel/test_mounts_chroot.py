@@ -1,0 +1,157 @@
+"""Mount tables, bind mounts, chroot, and path resolution through them."""
+
+import pytest
+
+from repro.errors import CapabilityError, FileNotFound, ResourceBusy
+from repro.kernel import (
+    Capability,
+    MemoryFilesystem,
+    Mount,
+    MountTable,
+    contained_root_credentials,
+)
+from repro.kernel.namespaces import NamespaceKind
+
+
+class TestMountTable:
+    def test_longest_prefix_wins(self):
+        a, b = MemoryFilesystem(), MemoryFilesystem()
+        table = MountTable([Mount(fs=a, mountpoint="/"),
+                            Mount(fs=b, mountpoint="/data")])
+        assert table.find("/data/x").fs is b
+        assert table.find("/etc").fs is a
+
+    def test_later_mount_shadows(self):
+        a, b = MemoryFilesystem(), MemoryFilesystem()
+        table = MountTable([Mount(fs=a, mountpoint="/m"), Mount(fs=b, mountpoint="/m")])
+        assert table.find("/m").fs is b
+
+    def test_no_root_mount_raises(self):
+        table = MountTable()
+        with pytest.raises(FileNotFound):
+            table.find("/x")
+
+    def test_remove_busy(self):
+        a, b = MemoryFilesystem(), MemoryFilesystem()
+        table = MountTable([Mount(fs=a, mountpoint="/m"),
+                            Mount(fs=b, mountpoint="/m/sub")])
+        with pytest.raises(ResourceBusy):
+            table.remove("/m")
+        table.remove("/m/sub")
+        table.remove("/m")
+        assert len(table) == 0
+
+    def test_translate_bind_subpath(self):
+        fs = MemoryFilesystem()
+        m = Mount(fs=fs, mountpoint="/mnt/shared", fs_subpath="/srv/data")
+        assert m.translate("/mnt/shared/f.txt") == "/srv/data/f.txt"
+
+    def test_entries_format(self):
+        fs = MemoryFilesystem(label="/dev/sda")
+        table = MountTable([Mount(fs=fs, mountpoint="/")])
+        assert table.entries() == [("/dev/sda", "/", "ext4")]
+
+
+class TestMountSyscalls:
+    def test_mount_requires_cap_sys_admin(self, kernel):
+        weak = kernel.sys.clone(kernel.init, "shell")
+        weak.creds = weak.creds.drop({Capability.CAP_SYS_ADMIN})
+        with pytest.raises(CapabilityError):
+            kernel.sys.mount(weak, MemoryFilesystem(), "/mnt")
+
+    def test_mount_and_read_through(self, kernel):
+        extra = MemoryFilesystem(fstype="ext4", label="/dev/sdb")
+        extra.populate({"f.txt": "on sdb"})
+        kernel.sys.mount(kernel.init, extra, "/mnt")
+        assert kernel.sys.read_file(kernel.init, "/mnt/f.txt") == b"on sdb"
+
+    def test_umount_restores_view(self, kernel):
+        extra = MemoryFilesystem()
+        extra.populate({"f": "x"})
+        kernel.sys.mount(kernel.init, extra, "/mnt")
+        kernel.sys.umount(kernel.init, "/mnt")
+        assert not kernel.sys.exists(kernel.init, "/mnt/f")
+
+    def test_bind_mount_aliases_subtree(self, kernel):
+        kernel.sys.mkdir(kernel.init, "/srv/export")
+        kernel.sys.write_file(kernel.init, "/srv/export/data", b"payload")
+        kernel.sys.bind_mount(kernel.init, "/srv/export", "/mnt")
+        assert kernel.sys.read_file(kernel.init, "/mnt/data") == b"payload"
+        # writes through the bind hit the same inode
+        kernel.sys.write_file(kernel.init, "/mnt/data", b"updated")
+        assert kernel.sys.read_file(kernel.init, "/srv/export/data") == b"updated"
+
+    def test_mount_in_cloned_ns_invisible_to_host(self, kernel):
+        child = kernel.sys.clone(kernel.init, "c", flags={NamespaceKind.MNT})
+        extra = MemoryFilesystem()
+        extra.populate({"f": "x"})
+        kernel.sys.mount(child, extra, "/mnt")
+        assert kernel.sys.exists(child, "/mnt/f")
+        assert not kernel.sys.exists(kernel.init, "/mnt/f")
+
+    def test_host_mount_after_clone_invisible_to_child(self, kernel):
+        child = kernel.sys.clone(kernel.init, "c", flags={NamespaceKind.MNT})
+        extra = MemoryFilesystem()
+        extra.populate({"f": "x"})
+        kernel.sys.mount(kernel.init, extra, "/mnt")
+        assert not kernel.sys.exists(child, "/mnt/f")
+
+
+class TestChroot:
+    def test_chroot_confines_view(self, kernel):
+        proc = kernel.sys.clone(kernel.init, "jail")
+        kernel.sys.chroot(proc, "/home/alice")
+        assert kernel.sys.read_file(proc, "/notes.txt") == b"meeting notes"
+        assert not kernel.sys.exists(proc, "/etc/shadow")
+
+    def test_chroot_dotdot_cannot_escape(self, kernel):
+        proc = kernel.sys.clone(kernel.init, "jail")
+        kernel.sys.chroot(proc, "/home/alice")
+        # "/../../etc/shadow" normalizes inside the jail
+        assert not kernel.sys.exists(proc, "/../../etc/shadow")
+
+    def test_chroot_requires_capability(self, kernel):
+        proc = kernel.sys.clone(kernel.init, "jail",
+                                creds=contained_root_credentials())
+        with pytest.raises(CapabilityError):
+            kernel.sys.chroot(proc, "/home")
+
+    def test_nested_chroot(self, kernel):
+        proc = kernel.sys.clone(kernel.init, "jail")
+        kernel.sys.chroot(proc, "/home")
+        kernel.sys.chroot(proc, "/alice")
+        assert kernel.sys.read_file(proc, "/notes.txt") == b"meeting notes"
+
+    def test_relative_paths_use_cwd(self, kernel):
+        proc = kernel.sys.clone(kernel.init, "sh")
+        proc.cwd = "/home/alice"
+        assert kernel.sys.read_file(proc, "notes.txt") == b"meeting notes"
+
+
+class TestSymlinks:
+    def test_absolute_symlink_followed(self, kernel):
+        kernel.sys.symlink(kernel.init, "/etc/alias", "/etc/passwd")
+        assert b"root" in kernel.sys.read_file(kernel.init, "/etc/alias")
+
+    def test_relative_symlink_followed(self, kernel):
+        kernel.sys.symlink(kernel.init, "/home/alice/ln", "matlab/license.lic")
+        assert kernel.sys.read_file(kernel.init, "/home/alice/ln") == b"EXPIRED 2016-12-31"
+
+    def test_symlink_respects_chroot(self, kernel):
+        # a symlink pointing at /etc/shadow resolves inside the jail
+        kernel.sys.symlink(kernel.init, "/home/alice/evil", "/etc/shadow")
+        proc = kernel.sys.clone(kernel.init, "jail")
+        kernel.sys.chroot(proc, "/home/alice")
+        with pytest.raises(FileNotFound):
+            kernel.sys.read_file(proc, "/evil")
+
+    def test_symlink_loop_detected(self, kernel):
+        from repro.errors import TooManySymlinks
+        kernel.sys.symlink(kernel.init, "/a", "/b")
+        kernel.sys.symlink(kernel.init, "/b", "/a")
+        with pytest.raises(TooManySymlinks):
+            kernel.sys.read_file(kernel.init, "/a")
+
+    def test_readlink(self, kernel):
+        kernel.sys.symlink(kernel.init, "/l", "/etc")
+        assert kernel.sys.readlink(kernel.init, "/l") == "/etc"

@@ -1,0 +1,196 @@
+"""Namespace semantics, process lifecycle, pid visibility, and perforation."""
+
+import pytest
+
+from repro.errors import CapabilityError, NoSuchProcess, OperationNotPermitted
+from repro.kernel import (
+    ALL_CLONE_FLAGS,
+    Capability,
+    NamespaceKind,
+    contained_root_credentials,
+    user_credentials,
+)
+
+
+class TestUTSAndIPC:
+    def test_uts_clone_isolates_hostname(self, kernel):
+        child = kernel.sys.clone(kernel.init, "c", flags={NamespaceKind.UTS})
+        kernel.sys.sethostname(child, "lnx-cont")
+        assert kernel.sys.gethostname(child) == "lnx-cont"
+        assert kernel.sys.gethostname(kernel.init) == "lnx-host"
+
+    def test_uts_shared_when_not_cloned(self, kernel):
+        child = kernel.sys.clone(kernel.init, "c")
+        kernel.sys.sethostname(child, "renamed")
+        assert kernel.sys.gethostname(kernel.init) == "renamed"
+
+    def test_sethostname_requires_cap(self, kernel):
+        child = kernel.sys.clone(kernel.init, "c", creds=user_credentials(1000))
+        with pytest.raises(CapabilityError):
+            kernel.sys.sethostname(child, "x")
+
+    def test_ipc_clone_hides_segments(self, kernel):
+        kernel.sys.shmget(kernel.init, key=42, size=16, create=True)
+        child = kernel.sys.clone(kernel.init, "c", flags={NamespaceKind.IPC})
+        assert kernel.sys.shm_list(child) == []
+        with pytest.raises(Exception):
+            kernel.sys.shmget(child, key=42)
+
+    def test_ipc_shared_when_perforated(self, kernel):
+        seg = kernel.sys.shmget(kernel.init, key=7, size=8, create=True)
+        child = kernel.sys.clone(kernel.init, "c")  # IPC hole open
+        assert kernel.sys.shmget(child, key=7) is seg
+
+
+class TestPIDNamespace:
+    def test_container_sees_itself_as_pid1(self, kernel, container):
+        rows = kernel.sys.ps(container)
+        assert rows == [{"pid": 1, "comm": "containIT", "state": "R", "uid": 0}]
+
+    def test_host_sees_container(self, kernel, container):
+        comms = [r["comm"] for r in kernel.sys.ps(kernel.init)]
+        assert "containIT" in comms and "init" in comms
+
+    def test_children_visible_in_both(self, kernel, container):
+        child = kernel.sys.clone(container, "testscript")
+        assert {r["comm"] for r in kernel.sys.ps(container)} == {"containIT", "testscript"}
+        host_comms = {r["comm"] for r in kernel.sys.ps(kernel.init)}
+        assert "testscript" in host_comms
+
+    def test_kill_invisible_process_fails(self, kernel, container):
+        # a host daemon is invisible inside the container's PID namespace
+        daemon = kernel.sys.clone(kernel.init, "hostd")
+        host_pid = daemon.pid_in(kernel.init.namespaces.pid)
+        assert daemon.pid_in(container.namespaces.pid) is None
+        with pytest.raises(NoSuchProcess):
+            kernel.sys.kill(container, host_pid)
+        assert daemon.alive
+
+    def test_kill_visible_process(self, kernel, container):
+        child = kernel.sys.clone(container, "victim")
+        local = child.pid_in(container.namespaces.pid)
+        kernel.sys.kill(container, local)
+        assert not child.alive
+
+    def test_shared_pid_ns_allows_host_process_kill(self, kernel):
+        # perforated: PID namespace hole open
+        flags = ALL_CLONE_FLAGS - {NamespaceKind.PID}
+        perf = kernel.sys.clone(kernel.init, "perf", flags=flags,
+                                creds=contained_root_credentials())
+        victim = kernel.sys.clone(kernel.init, "rogue-daemon")
+        kernel.sys.kill(perf, victim.pid_in(kernel.init.namespaces.pid))
+        assert not victim.alive
+
+    def test_kill_permission_denied_without_cap(self, kernel):
+        victim = kernel.sys.clone(kernel.init, "victim")
+        weak = kernel.sys.clone(kernel.init, "weak", creds=user_credentials(1000))
+        with pytest.raises(OperationNotPermitted):
+            kernel.sys.kill(weak, victim.pid_in(weak.namespaces.pid))
+
+    def test_exit_fires_on_exit_hooks(self, kernel):
+        child = kernel.sys.clone(kernel.init, "c")
+        fired = []
+        child.on_exit.append(lambda p: fired.append(p.pid))
+        kernel.sys.exit(child, 0)
+        assert fired == [child.pid]
+        kernel.sys.exit(child, 0)  # idempotent
+        assert fired == [child.pid]
+
+
+class TestPtrace:
+    def test_ptrace_requires_capability(self, kernel, container):
+        child = kernel.sys.clone(container, "target")
+        with pytest.raises(CapabilityError):
+            kernel.sys.ptrace_attach(container, child.pid_in(container.namespaces.pid))
+
+    def test_ptrace_with_cap_attaches(self, kernel):
+        target = kernel.sys.clone(kernel.init, "target")
+        got = kernel.sys.ptrace_attach(
+            kernel.init, target.pid_in(kernel.init.namespaces.pid))
+        assert got is target and target.ptraced_by == kernel.init.pid
+
+
+class TestUIDNamespace:
+    def test_uid_mapping_to_host(self, kernel):
+        child = kernel.sys.clone(kernel.init, "c", flags={NamespaceKind.UID})
+        child.namespaces.uid.mapping.update({0: 1000})
+        assert child.namespaces.uid.to_host_uid(0) == 1000
+
+    def test_unmapped_uid_is_nobody(self, kernel):
+        child = kernel.sys.clone(kernel.init, "c", flags={NamespaceKind.UID})
+        assert child.namespaces.uid.to_host_uid(5) == 65534
+
+    def test_dac_denies_other_users_file(self, kernel):
+        kernel.sys.write_file(kernel.init, "/home/alice/private", b"x")
+        kernel.sys.chmod(kernel.init, "/home/alice/private", 0o600)
+        mallory = kernel.sys.clone(kernel.init, "mallory", creds=user_credentials(1001))
+        from repro.errors import PermissionDenied
+        with pytest.raises(PermissionDenied):
+            kernel.sys.read_file(mallory, "/home/alice/private")
+
+    def test_dac_owner_allowed(self, kernel):
+        alice = kernel.sys.clone(kernel.init, "alice", creds=user_credentials(1000))
+        kernel.sys.write_file(kernel.init, "/home/alice/own", b"mine")
+        kernel.sys.chown(kernel.init, "/home/alice/own", 1000, 1000)
+        kernel.sys.chmod(kernel.init, "/home/alice/own", 0o600)
+        assert kernel.sys.read_file(alice, "/home/alice/own") == b"mine"
+
+
+class TestPerforation:
+    def test_traditional_container_shares_only_xcl(self, kernel, container):
+        # ALL_CLONE_FLAGS covers the six Linux namespaces; XCL is WatchIT's
+        # addition and is only unshared when explicitly requested.
+        shared = container.namespaces.shared_kinds(kernel.init.namespaces)
+        assert shared == frozenset({NamespaceKind.XCL})
+
+    def test_perforated_container_shares_net(self, kernel):
+        flags = ALL_CLONE_FLAGS - {NamespaceKind.NET}
+        perf = kernel.sys.clone(kernel.init, "p", flags=flags)
+        shared = perf.namespaces.shared_kinds(kernel.init.namespaces)
+        # XCL is not in ALL_CLONE_FLAGS, so it is shared too
+        assert NamespaceKind.NET in shared
+
+    def test_describe_lists_all_kinds(self, kernel):
+        desc = kernel.init.namespaces.describe()
+        assert set(desc) == {"uts", "mnt", "net", "pid", "ipc", "uid", "xcl"}
+
+
+class TestSetnsNsenter:
+    def test_nsenter_gains_target_view(self, kernel, container):
+        helper = kernel.sys.nsenter(kernel.init, container, "nsenter-helper",
+                                    kinds={NamespaceKind.MNT, NamespaceKind.PID})
+        # helper shares container's mount ns
+        assert helper.namespaces.mnt is container.namespaces.mnt
+        assert helper.pid_in(container.namespaces.pid) is not None
+
+    def test_nsenter_requires_cap(self, kernel, container):
+        weak = kernel.sys.clone(kernel.init, "weak", creds=user_credentials(1000))
+        with pytest.raises(CapabilityError):
+            kernel.sys.nsenter(weak, container, "x", kinds={NamespaceKind.MNT})
+
+    def test_setns_replaces_namespace(self, kernel, container):
+        proc = kernel.sys.clone(kernel.init, "joiner")
+        kernel.sys.setns(proc, container, kinds={NamespaceKind.UTS})
+        assert proc.namespaces.uts is container.namespaces.uts
+
+
+class TestServices:
+    def test_restart_service_needs_visibility(self, kernel, container):
+        kernel.register_service("sshd")
+        with pytest.raises(NoSuchProcess):
+            kernel.sys.restart_service(container, "sshd")
+
+    def test_restart_service_from_shared_pidns(self, kernel):
+        kernel.register_service("sshd")
+        flags = ALL_CLONE_FLAGS - {NamespaceKind.PID}
+        perf = kernel.sys.clone(kernel.init, "p", flags=flags,
+                                creds=contained_root_credentials())
+        fresh = kernel.sys.restart_service(perf, "sshd")
+        assert fresh.alive and kernel.service_restarts["sshd"] == 1
+
+    def test_reboot_requires_cap(self, kernel):
+        weak = kernel.sys.clone(kernel.init, "w", creds=user_credentials(1000))
+        with pytest.raises(CapabilityError):
+            kernel.sys.reboot(weak)
+        kernel.sys.reboot(kernel.init)
+        assert kernel.reboot_count == 1

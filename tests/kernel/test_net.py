@@ -1,0 +1,170 @@
+"""Network namespaces, routing, firewalls, taps, and the fabric."""
+
+import pytest
+
+from repro.errors import (
+    ConnectionRefused,
+    FirewallBlocked,
+    InvalidArgument,
+    NetworkUnreachable,
+)
+from repro.kernel import (
+    ALL_CLONE_FLAGS,
+    Capability,
+    FirewallRule,
+    Kernel,
+    NamespaceKind,
+    Network,
+    ip_in_cidr,
+    user_credentials,
+)
+
+
+class TestCidr:
+    def test_exact_match(self):
+        assert ip_in_cidr("10.0.0.1", "10.0.0.1")
+        assert not ip_in_cidr("10.0.0.2", "10.0.0.1")
+
+    def test_cidr_24(self):
+        assert ip_in_cidr("192.168.1.77", "192.168.1.0/24")
+        assert not ip_in_cidr("192.168.2.1", "192.168.1.0/24")
+
+    def test_wildcards(self):
+        assert ip_in_cidr("1.2.3.4", "*")
+        assert ip_in_cidr("1.2.3.4", "default")
+        assert ip_in_cidr("1.2.3.4", "0.0.0.0/0")
+
+    def test_bad_address_rejected(self):
+        with pytest.raises(InvalidArgument):
+            ip_in_cidr("1.2.3", "10.0.0.0/8")
+
+
+@pytest.fixture()
+def fabric():
+    """Two hosts and a license server on one network."""
+    net = Network()
+    host = Kernel("ws-01", ip="10.0.0.5", network=net)
+    server = Kernel("license-srv", ip="10.0.0.100", network=net)
+    net.listen("10.0.0.100", 27000, lambda pkt: b"LICENSE-OK:" + pkt.payload)
+    return net, host, server
+
+
+class TestConnectivity:
+    def test_connect_and_exchange(self, fabric):
+        net, host, _ = fabric
+        conn = host.sys.connect(host.init, "10.0.0.100", 27000)
+        assert conn.send(b"renew matlab") == b"LICENSE-OK:renew matlab"
+
+    def test_no_listener_refused(self, fabric):
+        net, host, _ = fabric
+        with pytest.raises(ConnectionRefused):
+            host.sys.connect(host.init, "10.0.0.100", 9999)
+
+    def test_unknown_ip_unreachable(self, fabric):
+        net, host, _ = fabric
+        with pytest.raises(NetworkUnreachable):
+            host.sys.connect(host.init, "10.9.9.9", 80)
+
+    def test_fresh_netns_has_no_route(self, fabric):
+        net, host, _ = fabric
+        isolated = host.sys.clone(host.init, "c", flags={NamespaceKind.NET})
+        with pytest.raises(NetworkUnreachable):
+            host.sys.connect(isolated, "10.0.0.100", 27000)
+
+    def test_shared_netns_reaches_network(self, fabric):
+        net, host, _ = fabric
+        flags = ALL_CLONE_FLAGS - {NamespaceKind.NET}
+        perf = host.sys.clone(host.init, "p", flags=flags)
+        conn = host.sys.connect(perf, "10.0.0.100", 27000)
+        assert conn.send(b"x") == b"LICENSE-OK:x"
+
+    def test_reachable_probe(self, fabric):
+        net, host, _ = fabric
+        assert host.sys.net_reachable(host.init, "10.0.0.100", 27000)
+        assert not host.sys.net_reachable(host.init, "10.0.0.100", 1)
+
+
+class TestFirewall:
+    def test_default_deny_with_allowlist(self, fabric):
+        net, host, _ = fabric
+        ns = host.init.namespaces.net
+        ns.default_policy = "deny"
+        ns.add_rule(FirewallRule(action="allow", dst="10.0.0.100", port=27000))
+        conn = host.sys.connect(host.init, "10.0.0.100", 27000)
+        assert conn.send(b"q") == b"LICENSE-OK:q"
+
+    def test_default_deny_blocks_others(self, fabric):
+        net, host, server = fabric
+        net.listen("10.0.0.100", 80, lambda pkt: b"web")
+        ns = host.init.namespaces.net
+        ns.default_policy = "deny"
+        ns.add_rule(FirewallRule(action="allow", dst="10.0.0.100", port=27000))
+        with pytest.raises(FirewallBlocked):
+            host.sys.connect(host.init, "10.0.0.100", 80)
+
+    def test_explicit_deny_beats_default_allow(self, fabric):
+        net, host, _ = fabric
+        host.init.namespaces.net.add_rule(
+            FirewallRule(action="deny", dst="10.0.0.0/24"))
+        with pytest.raises(FirewallBlocked):
+            host.sys.connect(host.init, "10.0.0.100", 27000)
+
+    def test_first_match_wins(self, fabric):
+        net, host, _ = fabric
+        ns = host.init.namespaces.net
+        ns.add_rule(FirewallRule(action="allow", dst="10.0.0.100", port=27000))
+        ns.add_rule(FirewallRule(action="deny", dst="*"))
+        conn = host.sys.connect(host.init, "10.0.0.100", 27000)
+        assert conn.send(b"x")
+
+    def test_ingress_filtering(self, fabric):
+        net, host, server = fabric
+        server.init.namespaces.net.add_rule(
+            FirewallRule(action="deny", direction="ingress", dst="*"))
+        with pytest.raises(FirewallBlocked):
+            host.sys.connect(host.init, "10.0.0.100", 27000)
+
+    def test_add_rule_requires_cap(self, fabric):
+        net, host, _ = fabric
+        weak = host.sys.clone(host.init, "w", creds=user_credentials(1000))
+        with pytest.raises(Exception) as err:
+            host.sys.add_firewall_rule(weak, FirewallRule(action="deny", dst="*"))
+        assert getattr(err.value, "capability", None) is Capability.CAP_NET_ADMIN
+
+
+class TestTaps:
+    def test_taps_see_both_directions(self, fabric):
+        net, host, _ = fabric
+        seen = []
+        host.init.namespaces.net.add_tap(lambda pkt, d: seen.append((d, bytes(pkt.payload))))
+        conn = host.sys.connect(host.init, "10.0.0.100", 27000)
+        conn.send(b"hello")
+        directions = [d for d, _ in seen]
+        assert "egress" in directions and "ingress" in directions
+
+    def test_blocking_tap_drops_flow(self, fabric):
+        from repro.errors import AccessBlocked
+        net, host, _ = fabric
+
+        def ids_tap(pkt, direction):
+            if b"secret" in pkt.payload:
+                raise AccessBlocked("exfiltration signature")
+
+        host.init.namespaces.net.add_tap(ids_tap)
+        conn = host.sys.connect(host.init, "10.0.0.100", 27000)
+        assert conn.send(b"benign") == b"LICENSE-OK:benign"
+        with pytest.raises(AccessBlocked):
+            conn.send(b"secret payload")
+
+    def test_closed_connection_refuses(self, fabric):
+        net, host, _ = fabric
+        conn = host.sys.connect(host.init, "10.0.0.100", 27000)
+        conn.close()
+        with pytest.raises(ConnectionRefused):
+            conn.send(b"x")
+
+    def test_net_view_describes_namespace(self, fabric):
+        net, host, _ = fabric
+        view = host.sys.net_view(host.init)
+        assert view["interfaces"]["eth0"] == "10.0.0.5"
+        assert ("default", "eth0") in view["routes"]

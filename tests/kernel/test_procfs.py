@@ -1,0 +1,84 @@
+"""The synthesized /proc filesystem: pid-namespace-filtered views."""
+
+import pytest
+
+from repro.errors import FileNotFound, ReadOnlyFilesystem
+from repro.netmon import VolumeCapSniffRule
+from repro.kernel.net import Packet
+
+
+class TestProcEntries:
+    def test_root_listing_contains_special_entries(self, kernel):
+        names = kernel.sys.listdir(kernel.init, "/proc")
+        assert {"mounts", "self", "uptime"} <= set(names)
+        assert "1" in names  # init
+
+    def test_container_sees_only_its_pids(self, kernel, container):
+        names = kernel.sys.listdir(container, "/proc")
+        pids = [n for n in names if n.isdigit()]
+        assert pids == ["1"]
+
+    def test_status_file_contents(self, kernel, container):
+        data = kernel.sys.read_file(container, "/proc/1/status")
+        assert b"Name:\tcontainIT" in data
+
+    def test_cmdline(self, kernel):
+        data = kernel.sys.read_file(kernel.init, "/proc/1/cmdline")
+        assert data == b"init"
+
+    def test_self_resolves_to_caller(self, kernel, container):
+        data = kernel.sys.read_file(container, "/proc/self/status")
+        assert b"containIT" in data
+        host_data = kernel.sys.read_file(kernel.init, "/proc/self/status")
+        assert b"init" in host_data
+
+    def test_mounts_shows_viewer_table(self, kernel):
+        data = kernel.sys.read_file(kernel.init, "/proc/mounts")
+        assert b"/dev/sda / ext4" in data
+        assert b"proc /proc proc" in data
+
+    def test_invisible_pid_is_enoent(self, kernel, container):
+        daemon = kernel.sys.clone(kernel.init, "hidden")
+        host_pid = daemon.pid_in(kernel.init.namespaces.pid)
+        with pytest.raises(FileNotFound):
+            kernel.sys.read_file(container, f"/proc/{host_pid}/status")
+
+    def test_proc_is_readonly(self, kernel):
+        with pytest.raises(ReadOnlyFilesystem):
+            kernel.sys.write_file(kernel.init, "/proc/uptime", b"0")
+
+    def test_uptime_tracks_clock(self, kernel):
+        kernel.tick(); kernel.tick()
+        assert kernel.sys.read_file(kernel.init, "/proc/uptime") == b"2\n"
+
+    def test_dead_process_disappears(self, kernel):
+        child = kernel.sys.clone(kernel.init, "shortlived")
+        pid = child.pid_in(kernel.init.namespaces.pid)
+        assert str(pid) in kernel.sys.listdir(kernel.init, "/proc")
+        child.die(0)
+        assert str(pid) not in kernel.sys.listdir(kernel.init, "/proc")
+
+
+class TestVolumeCapRule:
+    def _pkt(self, size, dst="10.0.0.9"):
+        return Packet(src_ip="10.0.0.5", dst_ip=dst, port=80,
+                      payload=b"x" * size)
+
+    def test_under_cap_allowed(self):
+        rule = VolumeCapSniffRule(max_bytes=100)
+        assert rule.inspect(self._pkt(60), "egress") is None
+
+    def test_cumulative_cap_trips(self):
+        rule = VolumeCapSniffRule(max_bytes=100)
+        assert rule.inspect(self._pkt(60), "egress") is None
+        verdict = rule.inspect(self._pkt(60), "egress")
+        assert verdict is not None and verdict.action == "block"
+
+    def test_flows_tracked_independently(self):
+        rule = VolumeCapSniffRule(max_bytes=100)
+        rule.inspect(self._pkt(90, dst="10.0.0.9"), "egress")
+        assert rule.inspect(self._pkt(90, dst="10.0.0.10"), "egress") is None
+
+    def test_ingress_not_counted(self):
+        rule = VolumeCapSniffRule(max_bytes=10)
+        assert rule.inspect(self._pkt(500), "ingress") is None

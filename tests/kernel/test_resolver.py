@@ -1,0 +1,87 @@
+"""Path-resolver internals: bind mounts, wrapper identity, host paths."""
+
+import pytest
+
+from repro.errors import FileNotFound
+from repro.itfs import ITFS, AppendOnlyLog, PolicyManager
+from repro.kernel import MemoryFilesystem, Mount
+from repro.kernel.resolver import _real_fsid, _real_fspath, resolve
+
+
+class TestResolve:
+    def test_missing_final_component_with_must_exist_false(self, kernel):
+        resolved = resolve(kernel.init, "/etc/newfile", must_exist=False)
+        assert not resolved.exists
+        assert resolved.fspath == "/etc/newfile"
+        assert resolved.fs is kernel.rootfs
+
+    def test_missing_intermediate_always_raises(self, kernel):
+        with pytest.raises(FileNotFound):
+            resolve(kernel.init, "/no/such/dir/file", must_exist=False)
+
+    def test_ns_path_differs_under_chroot(self, kernel):
+        proc = kernel.sys.clone(kernel.init, "jail")
+        kernel.sys.chroot(proc, "/home/alice")
+        resolved = resolve(proc, "/notes.txt")
+        assert resolved.vpath == "/notes.txt"
+        assert resolved.ns_path == "/home/alice/notes.txt"
+        assert resolved.fspath == "/home/alice/notes.txt"
+
+    def test_bind_mount_translates_fspath(self, kernel):
+        kernel.sys.bind_mount(kernel.init, "/home/alice", "/mnt")
+        resolved = resolve(kernel.init, "/mnt/notes.txt")
+        assert resolved.fs is kernel.rootfs
+        assert resolved.fspath == "/home/alice/notes.txt"
+
+    def test_mount_boundary_crossing(self, kernel):
+        extra = MemoryFilesystem(fstype="xfs")
+        extra.populate({"deep": {"f": "x"}})
+        kernel.sys.mount(kernel.init, extra, "/mnt")
+        resolved = resolve(kernel.init, "/mnt/deep/f")
+        assert resolved.fs is extra and resolved.fspath == "/deep/f"
+
+    def test_resolve_directory_itself(self, kernel):
+        resolved = resolve(kernel.init, "/")
+        assert resolved.exists and resolved.node.is_dir
+
+
+class TestWrapperIdentity:
+    """XCL's alias resistance depends on seeing through ITFS layers."""
+
+    def test_real_fsid_sees_through_single_wrapper(self, kernel):
+        itfs = ITFS(kernel.rootfs, PolicyManager(), audit=AppendOnlyLog())
+        assert _real_fsid(itfs) == kernel.rootfs.fsid
+
+    def test_real_fsid_sees_through_stacked_wrappers(self, kernel):
+        inner = ITFS(kernel.rootfs, PolicyManager(), audit=AppendOnlyLog(),
+                     backing_subpath="/home")
+        outer = ITFS(inner, PolicyManager(), audit=AppendOnlyLog(),
+                     backing_subpath="/alice")
+        assert _real_fsid(outer) == kernel.rootfs.fsid
+        assert _real_fspath(outer, "/notes.txt") == "/home/alice/notes.txt"
+
+    def test_plain_fs_identity(self, kernel):
+        assert _real_fsid(kernel.rootfs) == kernel.rootfs.fsid
+        assert _real_fspath(kernel.rootfs, "/etc//passwd") == "/etc/passwd"
+
+
+class TestHostPathOf:
+    def test_rootfs_path(self, kernel):
+        assert kernel.host_path_of(kernel.rootfs, "/etc/passwd") == "/etc/passwd"
+
+    def test_mounted_fs_path(self, kernel):
+        extra = MemoryFilesystem()
+        extra.populate({"f": "x"})
+        kernel.sys.mount(kernel.init, extra, "/mnt")
+        assert kernel.host_path_of(extra, "/f") == "/mnt/f"
+
+    def test_unmounted_fs_returns_none(self, kernel):
+        orphan = MemoryFilesystem()
+        assert kernel.host_path_of(orphan, "/f") is None
+
+    def test_deepest_bind_wins(self, kernel):
+        kernel.sys.bind_mount(kernel.init, "/home/alice", "/mnt")
+        # /home/alice/notes.txt is reachable both as itself and via /mnt;
+        # the deepest fs_subpath match (the bind) wins
+        path = kernel.host_path_of(kernel.rootfs, "/home/alice/notes.txt")
+        assert path == "/mnt/notes.txt"

@@ -1,0 +1,131 @@
+"""Negative-path coverage for the syscall layer."""
+
+import pytest
+
+from repro.errors import (
+    FileExists,
+    FileNotFound,
+    InvalidArgument,
+    IsADirectory,
+    NotADirectory,
+    OperationNotPermitted,
+    PermissionDenied,
+)
+from repro.kernel import FileType, MemoryFilesystem, user_credentials
+
+
+class TestFileErrors:
+    def test_open_bad_mode(self, kernel):
+        with pytest.raises(InvalidArgument):
+            kernel.sys.open(kernel.init, "/etc/passwd", mode="rw")
+
+    def test_open_directory(self, kernel):
+        with pytest.raises(IsADirectory):
+            kernel.sys.open(kernel.init, "/etc")
+
+    def test_read_missing(self, kernel):
+        with pytest.raises(FileNotFound):
+            kernel.sys.read_file(kernel.init, "/nope")
+
+    def test_mkdir_over_existing(self, kernel):
+        with pytest.raises(FileExists):
+            kernel.sys.mkdir(kernel.init, "/etc")
+
+    def test_symlink_over_existing(self, kernel):
+        with pytest.raises(FileExists):
+            kernel.sys.symlink(kernel.init, "/etc", "/tmp")
+
+    def test_readlink_non_symlink(self, kernel):
+        with pytest.raises(InvalidArgument):
+            kernel.sys.readlink(kernel.init, "/etc/passwd")
+
+    def test_rmdir_file(self, kernel):
+        with pytest.raises(NotADirectory):
+            kernel.sys.rmdir(kernel.init, "/etc/passwd")
+
+    def test_cross_filesystem_rename_rejected(self, kernel):
+        extra = MemoryFilesystem()
+        extra.populate({"f": "x"})
+        kernel.sys.mount(kernel.init, extra, "/mnt")
+        with pytest.raises(InvalidArgument):
+            kernel.sys.rename(kernel.init, "/mnt/f", "/tmp/f")
+
+    def test_write_file_into_missing_parent(self, kernel):
+        with pytest.raises(FileNotFound):
+            kernel.sys.write_file(kernel.init, "/no/such/file", b"x")
+
+    def test_chroot_to_file_rejected(self, kernel):
+        with pytest.raises(InvalidArgument):
+            kernel.sys.chroot(kernel.init, "/etc/passwd")
+
+    def test_mount_on_file_rejected(self, kernel):
+        with pytest.raises(InvalidArgument):
+            kernel.sys.mount(kernel.init, MemoryFilesystem(), "/etc/passwd")
+
+
+class TestDACNegativePaths:
+    @pytest.fixture()
+    def locked(self, kernel):
+        kernel.sys.write_file(kernel.init, "/srv/locked", b"secret")
+        kernel.sys.chmod(kernel.init, "/srv/locked", 0o600)
+        return kernel.sys.clone(kernel.init, "mallory",
+                                creds=user_credentials(1313))
+
+    def test_read_denied(self, kernel, locked):
+        with pytest.raises(PermissionDenied):
+            kernel.sys.read_file(locked, "/srv/locked")
+
+    def test_write_denied(self, kernel, locked):
+        with pytest.raises(PermissionDenied):
+            kernel.sys.write_file(locked, "/srv/locked", b"x")
+
+    def test_truncate_denied(self, kernel, locked):
+        with pytest.raises(PermissionDenied):
+            kernel.sys.truncate(locked, "/srv/locked")
+
+    def test_chmod_not_owner(self, kernel, locked):
+        with pytest.raises(OperationNotPermitted):
+            kernel.sys.chmod(locked, "/srv/locked", 0o777)
+
+    def test_chown_needs_capability(self, kernel, locked):
+        from repro.errors import CapabilityError
+        with pytest.raises(CapabilityError):
+            kernel.sys.chown(locked, "/srv/locked", 1313, 1313)
+
+    def test_unlink_from_unwritable_dir(self, kernel, locked):
+        kernel.sys.chmod(kernel.init, "/srv", 0o755)
+        with pytest.raises(PermissionDenied):
+            kernel.sys.unlink(locked, "/srv/locked")
+
+    def test_group_permission_bits(self, kernel):
+        kernel.sys.write_file(kernel.init, "/srv/groupfile", b"g")
+        kernel.sys.chown(kernel.init, "/srv/groupfile", 1, 2000)
+        kernel.sys.chmod(kernel.init, "/srv/groupfile", 0o640)
+        member = kernel.sys.clone(kernel.init, "m",
+                                  creds=user_credentials(1500, gid=2000))
+        assert kernel.sys.read_file(member, "/srv/groupfile") == b"g"
+        outsider = kernel.sys.clone(kernel.init, "o",
+                                    creds=user_credentials(1501, gid=3000))
+        with pytest.raises(PermissionDenied):
+            kernel.sys.read_file(outsider, "/srv/groupfile")
+
+    def test_world_readable(self, kernel):
+        kernel.sys.chmod(kernel.init, "/etc/passwd", 0o644)
+        anyone = kernel.sys.clone(kernel.init, "a", creds=user_credentials(9000))
+        assert kernel.sys.read_file(anyone, "/etc/passwd")
+
+
+class TestWalkEdgeCases:
+    def test_walk_skips_vanished_entries(self, kernel):
+        # a file deleted mid-walk must not crash the traversal
+        kernel.sys.mkdir(kernel.init, "/srv/w")
+        kernel.sys.write_file(kernel.init, "/srv/w/a", b"")
+        entries = list(kernel.sys.walk(kernel.init, "/srv/w"))
+        assert entries[0][2] == ["a"]
+
+    def test_walk_of_file_raises(self, kernel):
+        with pytest.raises(NotADirectory):
+            list(kernel.sys.walk(kernel.init, "/etc/passwd"))
+
+    def test_exists_through_enotdir(self, kernel):
+        assert not kernel.sys.exists(kernel.init, "/etc/passwd/sub")

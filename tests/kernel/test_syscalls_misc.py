@@ -1,0 +1,97 @@
+"""Remaining syscall-layer branches: umount, setns caps, UTS, fd modes."""
+
+import pytest
+
+from repro.errors import (
+    CapabilityError,
+    FileNotFound,
+    ResourceBusy,
+)
+from repro.kernel import (
+    Capability,
+    MemoryFilesystem,
+    NamespaceKind,
+    user_credentials,
+)
+
+
+class TestUmount:
+    def test_umount_requires_cap(self, kernel):
+        weak = kernel.sys.clone(kernel.init, "w", creds=user_credentials(1))
+        with pytest.raises(CapabilityError):
+            kernel.sys.umount(weak, "/run")
+
+    def test_umount_missing_mountpoint(self, kernel):
+        with pytest.raises(FileNotFound):
+            kernel.sys.umount(kernel.init, "/opt")
+
+    def test_umount_busy_parent(self, kernel):
+        outer, inner = MemoryFilesystem(), MemoryFilesystem()
+        outer.populate({"sub": {}})
+        kernel.sys.mount(kernel.init, outer, "/mnt")
+        kernel.sys.mount(kernel.init, inner, "/mnt/sub")
+        with pytest.raises(ResourceBusy):
+            kernel.sys.umount(kernel.init, "/mnt")
+        kernel.sys.umount(kernel.init, "/mnt/sub")
+        kernel.sys.umount(kernel.init, "/mnt")
+
+    def test_umount_respects_chroot_coordinates(self, kernel):
+        extra = MemoryFilesystem()
+        extra.populate({"f": "x"})
+        kernel.sys.mkdir(kernel.init, "/home/alice/m")
+        kernel.sys.mount(kernel.init, extra, "/home/alice/m")
+        jail = kernel.sys.clone(kernel.init, "jail")
+        kernel.sys.chroot(jail, "/home/alice")
+        kernel.sys.umount(jail, "/m")
+        assert not kernel.sys.exists(kernel.init, "/home/alice/m/f")
+
+
+class TestSetnsGates:
+    def test_setns_requires_cap(self, kernel, container):
+        weak = kernel.sys.clone(kernel.init, "w", creds=user_credentials(1))
+        with pytest.raises(CapabilityError):
+            kernel.sys.setns(weak, container, kinds={NamespaceKind.UTS})
+
+    def test_setns_mnt_adopts_target_root(self, kernel):
+        jail_parent = kernel.sys.clone(kernel.init, "p",
+                                       flags={NamespaceKind.MNT})
+        kernel.sys.chroot(jail_parent, "/home/alice")
+        joiner = kernel.sys.clone(kernel.init, "joiner")
+        kernel.sys.setns(joiner, jail_parent, kinds={NamespaceKind.MNT})
+        assert joiner.root == jail_parent.root
+        assert kernel.sys.read_file(joiner, "/notes.txt") == b"meeting notes"
+
+
+class TestUTSEdge:
+    def test_hostname_isolated_after_clone_then_set(self, kernel):
+        a = kernel.sys.clone(kernel.init, "a", flags={NamespaceKind.UTS})
+        b = kernel.sys.clone(kernel.init, "b", flags={NamespaceKind.UTS})
+        kernel.sys.sethostname(a, "alpha")
+        kernel.sys.sethostname(b, "beta")
+        assert kernel.sys.gethostname(a) == "alpha"
+        assert kernel.sys.gethostname(b) == "beta"
+        assert kernel.sys.gethostname(kernel.init) == "lnx-host"
+
+
+class TestFdDeviceMix:
+    def test_fd_on_device_node_reads_device(self, kernel):
+        fd = kernel.sys.open(kernel.init, "/dev/mem")
+        head = kernel.sys.read_fd(kernel.init, fd, 13)
+        assert head == b"KERNEL-SECRET"
+
+    def test_fd_offsets_per_descriptor(self, kernel):
+        kernel.sys.write_file(kernel.init, "/tmp/f", b"abcdef")
+        fd1 = kernel.sys.open(kernel.init, "/tmp/f")
+        fd2 = kernel.sys.open(kernel.init, "/tmp/f")
+        assert kernel.sys.read_fd(kernel.init, fd1, 3) == b"abc"
+        assert kernel.sys.read_fd(kernel.init, fd2, 2) == b"ab"
+        assert kernel.sys.read_fd(kernel.init, fd1, 3) == b"def"
+
+    def test_ptrace_target_fully_controllable(self, kernel):
+        # the bind-shell primitive the capability drop prevents: with the
+        # cap, the tracer rewrites the target
+        target = kernel.sys.clone(kernel.init, "victim-daemon")
+        traced = kernel.sys.ptrace_attach(
+            kernel.init, target.pid_in(kernel.init.namespaces.pid))
+        traced.comm = "bind-shell"
+        assert target.comm == "bind-shell"

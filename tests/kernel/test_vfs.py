@@ -1,0 +1,187 @@
+"""Unit tests for the in-memory VFS layer."""
+
+import pytest
+
+from repro.errors import (
+    DirectoryNotEmpty,
+    FileExists,
+    FileNotFound,
+    InvalidArgument,
+    IsADirectory,
+    NotADirectory,
+)
+from repro.kernel import FileType, MemoryFilesystem
+from repro.kernel.vfs import (
+    basename,
+    is_subpath,
+    join_path,
+    normalize_path,
+    parent_path,
+    split_path,
+)
+
+
+class TestPathHelpers:
+    def test_normalize_collapses_dots_and_slashes(self):
+        assert normalize_path("/a//b/./c/") == "/a/b/c"
+
+    def test_normalize_clamps_dotdot_at_root(self):
+        assert normalize_path("/../../etc") == "/etc"
+
+    def test_normalize_resolves_dotdot(self):
+        assert normalize_path("/a/b/../c") == "/a/c"
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(InvalidArgument):
+            normalize_path("")
+
+    def test_split_root(self):
+        assert split_path("/") == []
+
+    def test_split_components(self):
+        assert split_path("/a/b") == ["a", "b"]
+
+    def test_join(self):
+        assert join_path("/a", "b", "c") == "/a/b/c"
+
+    def test_parent_and_basename(self):
+        assert parent_path("/a/b/c") == "/a/b"
+        assert parent_path("/") == "/"
+        assert basename("/a/b") == "b"
+        assert basename("/") == ""
+
+    def test_is_subpath(self):
+        assert is_subpath("/a/b", "/a")
+        assert is_subpath("/a", "/a")
+        assert not is_subpath("/ab", "/a")
+        assert is_subpath("/anything", "/")
+
+
+class TestMemoryFilesystem:
+    @pytest.fixture()
+    def fs(self):
+        fs = MemoryFilesystem()
+        fs.populate({
+            "etc": {"passwd": "root:x:0:0\n"},
+            "home": {"alice": {"doc.txt": "hello"}},
+        })
+        return fs
+
+    def test_read_write_roundtrip(self, fs):
+        fs.write("/etc/motd", b"welcome")
+        assert fs.read("/etc/motd") == b"welcome"
+
+    def test_write_append(self, fs):
+        fs.write("/log", b"a")
+        fs.write("/log", b"b", append=True)
+        assert fs.read("/log") == b"ab"
+
+    def test_write_truncates_by_default(self, fs):
+        fs.write("/f", b"longcontent")
+        fs.write("/f", b"x")
+        assert fs.read("/f") == b"x"
+
+    def test_read_missing_raises(self, fs):
+        with pytest.raises(FileNotFound):
+            fs.read("/nope")
+
+    def test_read_directory_raises(self, fs):
+        with pytest.raises(IsADirectory):
+            fs.read("/etc")
+
+    def test_readdir_sorted(self, fs):
+        fs.write("/home/alice/b", b"")
+        fs.write("/home/alice/a", b"")
+        assert fs.readdir("/home/alice") == ["a", "b", "doc.txt"]
+
+    def test_readdir_on_file_raises(self, fs):
+        with pytest.raises(NotADirectory):
+            fs.readdir("/etc/passwd")
+
+    def test_mkdir_and_exists(self, fs):
+        fs.mkdir("/newdir")
+        assert fs.exists("/newdir")
+        assert fs.lookup("/newdir").is_dir
+
+    def test_mkdir_existing_raises(self, fs):
+        with pytest.raises(FileExists):
+            fs.mkdir("/etc")
+
+    def test_mkdir_parents(self, fs):
+        fs.mkdir("/a/b/c", parents=True)
+        assert fs.lookup("/a/b/c").is_dir
+
+    def test_mkdir_missing_parent_raises(self, fs):
+        with pytest.raises(FileNotFound):
+            fs.mkdir("/no/such/dir")
+
+    def test_unlink(self, fs):
+        fs.unlink("/home/alice/doc.txt")
+        assert not fs.exists("/home/alice/doc.txt")
+
+    def test_unlink_directory_raises(self, fs):
+        with pytest.raises(IsADirectory):
+            fs.unlink("/home/alice")
+
+    def test_rmdir_empty_only(self, fs):
+        with pytest.raises(DirectoryNotEmpty):
+            fs.rmdir("/home/alice")
+        fs.unlink("/home/alice/doc.txt")
+        fs.rmdir("/home/alice")
+        assert not fs.exists("/home/alice")
+
+    def test_rename(self, fs):
+        fs.rename("/home/alice/doc.txt", "/etc/doc.txt")
+        assert fs.read("/etc/doc.txt") == b"hello"
+        assert not fs.exists("/home/alice/doc.txt")
+
+    def test_symlink_node(self, fs):
+        fs.symlink("/link", "/etc/passwd")
+        node = fs.lookup("/link")
+        assert node.is_symlink and node.target == "/etc/passwd"
+
+    def test_mknod_device(self, fs):
+        fs.mknod("/dev0", FileType.CHARDEV, (1, 3))
+        node = fs.lookup("/dev0")
+        assert node.is_device and node.rdev == (1, 3)
+
+    def test_mknod_regular_rejected(self, fs):
+        with pytest.raises(InvalidArgument):
+            fs.mknod("/f", FileType.REGULAR, (0, 0))
+
+    def test_truncate(self, fs):
+        fs.write("/f", b"0123456789")
+        fs.truncate("/f", 4)
+        assert fs.read("/f") == b"0123"
+
+    def test_chmod_chown(self, fs):
+        fs.chmod("/etc/passwd", 0o600)
+        fs.chown("/etc/passwd", 7, 7)
+        st = fs.stat("/etc/passwd")
+        assert st.mode == 0o600 and st.uid == 7 and st.gid == 7
+
+    def test_read_head(self, fs):
+        fs.write("/big", b"A" * 100)
+        assert fs.read_head("/big", 5) == b"AAAAA"
+
+    def test_stat_size(self, fs):
+        assert fs.stat("/home/alice/doc.txt").size == 5
+
+    def test_walk_covers_tree(self, fs):
+        paths = [d for d, _, _ in fs.walk("/")]
+        assert "/" in paths and "/home/alice" in paths
+
+    def test_walk_yields_files(self, fs):
+        files = {f"{d}/{f}" for d, _, names in fs.walk("/") for f in names}
+        assert "/etc/passwd" in files
+
+    def test_populate_bytes_and_str(self):
+        fs = MemoryFilesystem()
+        fs.populate({"a": b"\x00\x01", "b": "text"})
+        assert fs.read("/a") == b"\x00\x01"
+        assert fs.read("/b") == b"text"
+
+    def test_inode_counter_unique(self, fs):
+        fs.write("/x", b"")
+        fs.write("/y", b"")
+        assert fs.lookup("/x").ino != fs.lookup("/y").ino

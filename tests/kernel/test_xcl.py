@@ -1,0 +1,98 @@
+"""The XCL (exclusion) namespace — paper Section 5.6."""
+
+import pytest
+
+from repro.errors import ExclusionViolation, OperationNotPermitted
+from repro.kernel import NamespaceKind, contained_root_credentials
+
+
+@pytest.fixture()
+def xcl_proc(kernel):
+    """A process in a fresh XCL namespace with /home/alice/salary.docx excluded."""
+    proc = kernel.sys.clone(kernel.init, "confined", flags={NamespaceKind.XCL})
+    kernel.sys.xcl_add(kernel.init, "/home/alice", target=proc)
+    return proc
+
+
+class TestExclusion:
+    def test_excluded_subtree_unreadable(self, kernel, xcl_proc):
+        with pytest.raises(ExclusionViolation):
+            kernel.sys.read_file(xcl_proc, "/home/alice/notes.txt")
+
+    def test_exclusion_covers_directory_itself(self, kernel, xcl_proc):
+        with pytest.raises(ExclusionViolation):
+            kernel.sys.listdir(xcl_proc, "/home/alice")
+
+    def test_exclusion_blocks_writes(self, kernel, xcl_proc):
+        with pytest.raises(ExclusionViolation):
+            kernel.sys.write_file(xcl_proc, "/home/alice/new", b"x")
+
+    def test_exclusion_despite_superuser(self, kernel, xcl_proc):
+        # XCL fires "disregarding the user privileges" (paper)
+        assert xcl_proc.creds.is_superuser
+        with pytest.raises(ExclusionViolation):
+            kernel.sys.read_file(xcl_proc, "/home/alice/salary.docx")
+
+    def test_unexcluded_paths_still_work(self, kernel, xcl_proc):
+        assert b"root" in kernel.sys.read_file(xcl_proc, "/etc/passwd")
+
+    def test_host_unaffected(self, kernel, xcl_proc):
+        assert kernel.sys.read_file(kernel.init, "/home/alice/notes.txt") == b"meeting notes"
+
+
+class TestAliasResistance:
+    def test_bind_mount_cannot_dodge_exclusion(self, kernel, xcl_proc):
+        # host binds the excluded subtree elsewhere; the (fsid, path) identity
+        # is the same, so the exclusion still fires for the confined process.
+        kernel.sys.bind_mount(kernel.init, "/home/alice", "/mnt")
+        with pytest.raises(ExclusionViolation):
+            kernel.sys.read_file(xcl_proc, "/mnt/notes.txt")
+
+    def test_symlink_cannot_dodge_exclusion(self, kernel, xcl_proc):
+        kernel.sys.symlink(kernel.init, "/tmp/leak", "/home/alice/notes.txt")
+        with pytest.raises(ExclusionViolation):
+            kernel.sys.read_file(xcl_proc, "/tmp/leak")
+
+    def test_exclusion_survives_shared_mnt_namespace(self, kernel):
+        # The motivating case: container shares the host MNT namespace, so
+        # ITFS cannot interpose — XCL still confines.
+        proc = kernel.sys.clone(kernel.init, "mnt-sharing-admin",
+                                flags={NamespaceKind.XCL},
+                                creds=contained_root_credentials())
+        kernel.sys.xcl_add(kernel.init, "/home/alice", target=proc)
+        assert proc.namespaces.mnt is kernel.init.namespaces.mnt
+        with pytest.raises(ExclusionViolation):
+            kernel.sys.read_file(proc, "/home/alice/photo.jpg")
+
+
+class TestTableManagement:
+    def test_child_inherits_exclusions(self, kernel, xcl_proc):
+        child = kernel.sys.clone(xcl_proc, "child", flags={NamespaceKind.XCL})
+        with pytest.raises(ExclusionViolation):
+            kernel.sys.read_file(child, "/home/alice/notes.txt")
+
+    def test_child_additions_do_not_leak_to_parent(self, kernel, xcl_proc):
+        child = kernel.sys.clone(xcl_proc, "child", flags={NamespaceKind.XCL})
+        kernel.sys.xcl_add(child, "/etc")
+        # parent's namespace unchanged
+        assert b"root" in kernel.sys.read_file(xcl_proc, "/etc/passwd")
+
+    def test_self_tightening_allowed(self, kernel):
+        proc = kernel.sys.clone(kernel.init, "p", flags={NamespaceKind.XCL})
+        kernel.sys.xcl_add(proc, "/var")
+        with pytest.raises(ExclusionViolation):
+            kernel.sys.listdir(proc, "/var/log")
+
+    def test_cannot_relax_own_table(self, kernel, xcl_proc):
+        entry = kernel.sys.xcl_table(xcl_proc)[0]
+        with pytest.raises(OperationNotPermitted):
+            kernel.sys.xcl_remove(xcl_proc, entry)
+
+    def test_ancestor_can_relax(self, kernel, xcl_proc):
+        entry = kernel.sys.xcl_table(xcl_proc)[0]
+        kernel.sys.xcl_remove(kernel.init, entry, target=xcl_proc)
+        assert kernel.sys.read_file(xcl_proc, "/home/alice/notes.txt") == b"meeting notes"
+
+    def test_table_lists_backing_identity(self, kernel, xcl_proc):
+        (fsid, path), = kernel.sys.xcl_table(xcl_proc)
+        assert fsid == kernel.rootfs.fsid and path == "/home/alice"

@@ -1,0 +1,81 @@
+"""Flow reassembly: defeating split-payload exfiltration."""
+
+import pytest
+
+from repro.errors import AccessBlocked
+from repro.kernel import Kernel, Network
+from repro.kernel.net import Packet
+from repro.netmon import FileSignatureSniffRule, FlowTracker, NetworkMonitor
+
+
+def pkt(payload, dst="10.0.0.100", port=443):
+    return Packet(src_ip="10.0.0.5", dst_ip=dst, port=port, payload=payload)
+
+
+class TestReassembly:
+    def test_split_magic_evades_per_packet_rule(self):
+        # the blind spot that motivates reassembly
+        rule = FileSignatureSniffRule()
+        assert rule.inspect(pkt(b"%P"), "egress") is None
+        assert rule.inspect(pkt(b"DF-1.4 secret"), "egress") is None
+
+    def test_split_magic_caught_by_flow_tracker(self):
+        tracker = FlowTracker(detect_encrypted=False)
+        tracker.tap(pkt(b"%P"), "egress")
+        with pytest.raises(AccessBlocked) as err:
+            tracker.tap(pkt(b"DF-1.4 secret"), "egress")
+        assert "document" in str(err.value)
+        assert tracker.flows_blocked == 1
+
+    def test_magic_mid_stream_caught(self):
+        tracker = FlowTracker(detect_encrypted=False)
+        tracker.tap(pkt(b"innocuous preamble "), "egress")
+        with pytest.raises(AccessBlocked):
+            tracker.tap(pkt(b"xx PK\x03\x04 zipped doc"), "egress")
+
+    def test_separate_flows_do_not_mix(self):
+        tracker = FlowTracker(detect_encrypted=False)
+        tracker.tap(pkt(b"%P", dst="10.0.0.100"), "egress")
+        # the second half goes to a different destination: different flow
+        tracker.tap(pkt(b"DF-1.4", dst="10.0.0.101"), "egress")
+        assert tracker.flows_blocked == 0
+
+    def test_window_bounds_memory(self):
+        tracker = FlowTracker(window_bytes=64, detect_encrypted=False)
+        for _ in range(100):
+            tracker.tap(pkt(b"A" * 50), "egress")
+        state = next(iter(tracker._flows.values()))
+        assert len(state.window) <= 64
+        assert state.total_bytes == 5000
+
+    def test_ingress_ignored_by_default(self):
+        tracker = FlowTracker(detect_encrypted=False)
+        tracker.tap(pkt(b"%PDF-1.4"), "ingress")
+        assert tracker.flows_blocked == 0
+
+    def test_encrypted_stream_detected_across_packets(self):
+        import random
+        rng = random.Random(5)
+        tracker = FlowTracker(entropy_window=1024)
+        blob = bytes(rng.randrange(256) for _ in range(2048))
+        with pytest.raises(AccessBlocked) as err:
+            for i in range(0, len(blob), 256):
+                tracker.tap(pkt(blob[i:i + 256]), "egress")
+        assert "encrypted-stream" in str(err.value)
+
+
+class TestInlineWithNetwork:
+    def test_split_exfiltration_blocked_end_to_end(self):
+        net = Network()
+        host = Kernel("ws", ip="10.0.0.5", network=net)
+        Kernel("drop", ip="10.0.0.100", network=net)
+        net.listen("10.0.0.100", 443, lambda p: b"ok")
+        monitor = NetworkMonitor(rules=[FileSignatureSniffRule()])
+        tracker = FlowTracker(detect_encrypted=False)
+        monitor.attach(host.init.namespaces.net)
+        tracker.attach(host.init.namespaces.net)
+        conn = host.sys.connect(host.init, "10.0.0.100", 443)
+        conn.send(b"PK\x03")         # per-packet rule misses both halves
+        with pytest.raises(AccessBlocked):
+            conn.send(b"\x04 stolen payroll")
+        assert tracker.flows_blocked == 1

@@ -1,0 +1,133 @@
+"""Network monitor: entropy, IDS rules, inline blocking, logging."""
+
+import pytest
+
+from repro.errors import AccessBlocked
+from repro.kernel import Kernel, Network
+from repro.kernel.net import Packet
+from repro.netmon import (
+    DestinationWhitelistRule,
+    EncryptedContentSniffRule,
+    FileSignatureSniffRule,
+    KeywordSniffRule,
+    MalwareSignatureRule,
+    NetworkMonitor,
+    looks_encrypted,
+    shannon_entropy,
+)
+
+
+class TestEntropy:
+    def test_empty_is_zero(self):
+        assert shannon_entropy(b"") == 0.0
+
+    def test_uniform_bytes_high_entropy(self):
+        data = bytes(range(256)) * 4
+        assert shannon_entropy(data) == pytest.approx(8.0)
+
+    def test_constant_bytes_zero_entropy(self):
+        assert shannon_entropy(b"a" * 100) == 0.0
+
+    def test_english_text_mid_entropy(self):
+        text = b"the quick brown fox jumps over the lazy dog " * 10
+        assert 3.0 < shannon_entropy(text) < 5.0
+
+    def test_looks_encrypted_on_random(self):
+        import random
+        rng = random.Random(7)
+        data = bytes(rng.randrange(256) for _ in range(512))
+        assert looks_encrypted(data)
+
+    def test_short_samples_not_flagged(self):
+        assert not looks_encrypted(bytes(range(32)))
+
+    def test_text_not_flagged(self):
+        assert not looks_encrypted(b"configuration file contents " * 20)
+
+
+def pkt(payload=b"", dst="10.0.0.100", port=80):
+    return Packet(src_ip="10.0.0.5", dst_ip=dst, port=port, payload=payload)
+
+
+class TestRules:
+    def test_file_signature_rule_blocks_document(self):
+        rule = FileSignatureSniffRule()
+        assert rule.inspect(pkt(b"%PDF-1.4 secret"), "egress").action == "block"
+
+    def test_file_signature_rule_ignores_text(self):
+        rule = FileSignatureSniffRule()
+        assert rule.inspect(pkt(b"GET / HTTP/1.1"), "egress") is None
+
+    def test_file_signature_rule_egress_only_by_default(self):
+        rule = FileSignatureSniffRule()
+        assert rule.inspect(pkt(b"%PDF-1.4"), "ingress") is None
+
+    def test_encrypted_content_rule(self):
+        import random
+        rng = random.Random(3)
+        blob = bytes(rng.randrange(256) for _ in range(2048))
+        rule = EncryptedContentSniffRule()
+        assert rule.inspect(pkt(blob), "egress").action == "block"
+        assert rule.inspect(pkt(b"plain " * 50), "egress") is None
+
+    def test_whitelist_rule(self):
+        rule = DestinationWhitelistRule(allowed=["10.0.0.100", "192.168.0.0/16"])
+        assert rule.inspect(pkt(dst="10.0.0.100"), "egress") is None
+        assert rule.inspect(pkt(dst="192.168.3.9"), "egress") is None
+        assert rule.inspect(pkt(dst="8.8.8.8"), "egress").action == "block"
+
+    def test_keyword_rule(self):
+        rule = KeywordSniffRule(keywords=[b"TOP-SECRET"])
+        assert rule.inspect(pkt(b"xx TOP-SECRET xx"), "egress").rule == "keyword"
+
+    def test_malware_rule_is_ingress(self):
+        rule = MalwareSignatureRule(signatures=[b"EVIL-LOADER"])
+        assert rule.inspect(pkt(b"EVIL-LOADER"), "ingress").action == "block"
+        assert rule.inspect(pkt(b"EVIL-LOADER"), "egress") is None
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(ValueError):
+            KeywordSniffRule(keywords=[b"x"], action="explode")
+
+
+class TestMonitorInline:
+    @pytest.fixture()
+    def rig(self):
+        net = Network()
+        host = Kernel("ws", ip="10.0.0.5", network=net)
+        srv = Kernel("srv", ip="10.0.0.100", network=net)
+        net.listen("10.0.0.100", 80, lambda p: b"ok")
+        monitor = NetworkMonitor(rules=[FileSignatureSniffRule()])
+        monitor.attach(host.init.namespaces.net)
+        return net, host, monitor
+
+    def test_benign_traffic_passes_and_is_logged(self, rig):
+        net, host, monitor = rig
+        conn = host.sys.connect(host.init, "10.0.0.100", 80)
+        assert conn.send(b"hello") == b"ok"
+        assert monitor.packets_seen >= 1
+        assert monitor.audit.filter(decision="allow")
+
+    def test_document_exfiltration_blocked(self, rig):
+        net, host, monitor = rig
+        conn = host.sys.connect(host.init, "10.0.0.100", 80)
+        with pytest.raises(AccessBlocked):
+            conn.send(b"PK\x03\x04 stolen payroll")
+        assert monitor.packets_blocked == 1
+        denies = monitor.audit.filter(decision="deny")
+        assert denies and denies[0].rule == "file-signature"
+
+    def test_stats_shape(self, rig):
+        net, host, monitor = rig
+        conn = host.sys.connect(host.init, "10.0.0.100", 80)
+        conn.send(b"abc")
+        stats = monitor.stats()
+        assert stats["bytes_seen"] >= 3 and stats["packets_blocked"] == 0
+
+    def test_audit_chain_verifies(self, rig):
+        net, host, monitor = rig
+        conn = host.sys.connect(host.init, "10.0.0.100", 80)
+        conn.send(b"one")
+        with pytest.raises(AccessBlocked):
+            conn.send(b"%PDF-1.4")
+        assert monitor.audit.verify()

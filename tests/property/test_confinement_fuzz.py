@@ -1,0 +1,130 @@
+"""Confinement fuzzing: random admin activity can never breach the view.
+
+Hypothesis drives arbitrary sequences of shell operations inside a T-1
+container (home dir + license server only). Invariants, checked after
+every sequence:
+
+* no host file outside /home/alice changed;
+* no blocked document content was ever returned;
+* the audit chain still verifies;
+* the host's mount table is untouched.
+"""
+
+import hashlib
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.containit import (
+    HOME_DIRECTORY,
+    LICENSE_SERVER,
+    PerforatedContainer,
+    PerforatedContainerSpec,
+)
+from repro.errors import ReproError
+from repro.kernel import Kernel, Network
+from repro.tcb import install_watchit_components
+
+SECRET = b"PK\x03\x04 THE-PAYROLL"
+
+# the operation alphabet the fuzzer draws from
+op = st.sampled_from([
+    ("read", "/home/alice/notes.txt"),
+    ("read", "/home/alice/salary.docx"),      # blocked document
+    ("read", "/etc/shadow"),                  # outside the view
+    ("read", "/opt/watchit/itfs"),            # WatchIT component
+    ("write", "/home/alice/notes.txt"),
+    ("write", "/home/alice/new.cfg"),
+    ("write", "/etc/passwd"),                 # outside the view
+    ("mkdir", "/home/alice/workdir"),
+    ("unlink", "/home/alice/new.cfg"),
+    ("listdir", "/home/alice"),
+    ("listdir", "/"),
+    ("connect", "10.0.1.10:27000"),           # allowed service
+    ("connect", "10.0.1.99:9999"),            # not allowed
+    ("chroot", "/tmp"),
+    ("ps", ""),
+    ("kill", "1"),
+    ("hostname", ""),
+])
+
+
+def build_world():
+    net = Network()
+    host = Kernel("fuzz-host", ip="10.0.0.5", network=net)
+    install_watchit_components(host.rootfs)
+    host.rootfs.populate({
+        "home": {"alice": {"notes.txt": "notes", "salary.docx": SECRET}},
+    })
+    Kernel("lic", ip="10.0.1.10", network=net)
+    net.listen("10.0.1.10", 27000, lambda pkt: b"ok")
+    spec = PerforatedContainerSpec(
+        name="T-1", fs_shares=(HOME_DIRECTORY,),
+        network_allowed=(LICENSE_SERVER,))
+    container = PerforatedContainer.deploy(
+        host, spec, user="alice",
+        address_book={"license-server": [("10.0.1.10", 27000)]},
+        container_ip="10.0.0.50")
+    return net, host, container
+
+
+def outside_fingerprint(host) -> str:
+    """Hash of everything on the host outside /home/alice."""
+    digest = hashlib.sha256()
+    for dirpath, _dirs, files in host.rootfs.walk("/"):
+        if dirpath.startswith("/home/alice"):
+            continue
+        for name in sorted(files):
+            path = f"{dirpath}/{name}".replace("//", "/")
+            if path.startswith("/home/alice"):
+                continue
+            digest.update(path.encode())
+            digest.update(host.rootfs.read(path))
+    return digest.hexdigest()
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(op, min_size=1, max_size=25))
+def test_random_admin_activity_stays_confined(ops):
+    net, host, container = build_world()
+    shell = container.login("fuzz-admin")
+    before = outside_fingerprint(host)
+    mounts_before = host.sys.mounts(host.init)
+    secret_leaked = False
+    for kind, arg in ops:
+        try:
+            if kind == "read":
+                data = shell.read_file(arg)
+                if SECRET in data:
+                    secret_leaked = True
+            elif kind == "write":
+                shell.write_file(arg, b"fuzz", append=True)
+            elif kind == "mkdir":
+                if not shell.exists(arg):
+                    shell.mkdir(arg)
+            elif kind == "unlink":
+                shell.unlink(arg)
+            elif kind == "listdir":
+                shell.listdir(arg)
+            elif kind == "connect":
+                ip, port = arg.split(":")
+                shell.connect(ip, int(port)).send(b"fuzz")
+            elif kind == "chroot":
+                host.sys.chroot(shell.proc, arg)
+            elif kind == "ps":
+                shell.ps()
+            elif kind == "kill":
+                shell.kill(int(arg))
+            elif kind == "hostname":
+                shell.hostname()
+        except ReproError:
+            pass  # denials are fine; breaches are not
+
+    assert not secret_leaked
+    assert outside_fingerprint(host) == before
+    assert host.sys.mounts(host.init) == mounts_before
+    assert container.fs_audit.verify()
+    assert container.net_audit.verify()
+    # the shell may have killed its own pid-1; the host must be unharmed
+    assert host.init.alive

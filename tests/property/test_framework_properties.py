@@ -1,0 +1,129 @@
+"""Property-based tests: preprocessing, LDA, protocol, certificates."""
+
+import string
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broker import BrokerRequest, BrokerResponse, RequestKind
+from repro.errors import InvalidArgument
+from repro.framework import CertificateAuthority, LDA, stem, tokenize
+from repro.framework.preprocess import NOISE_WORDS, STOPWORDS
+
+word = st.text(alphabet=string.ascii_lowercase, min_size=2, max_size=10)
+
+
+class TestPreprocessProperties:
+    @given(st.lists(word, min_size=0, max_size=20))
+    def test_tokens_never_contain_stopwords_or_noise(self, words):
+        tokens = tokenize(" ".join(words))
+        stemmed_stop = {stem(w) for w in STOPWORDS | NOISE_WORDS}
+        for token in tokens:
+            assert token not in STOPWORDS
+            assert token not in NOISE_WORDS
+
+    @given(word)
+    def test_stem_idempotent_enough(self, w):
+        # stemming twice never diverges into garbage (fixed point within 2)
+        once = stem(w)
+        assert stem(stem(once)) == stem(once)
+
+    @given(word)
+    def test_stem_never_longer(self, w):
+        assert len(stem(w)) <= len(w) + 1  # ("ied" -> "y" style swaps only)
+
+    @given(st.text(max_size=80))
+    def test_tokenize_total(self, text):
+        # arbitrary input never crashes the pipeline
+        tokens = tokenize(text)
+        assert all(isinstance(t, str) and t for t in tokens)
+
+
+class TestLDAProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=2, max_value=5),
+           st.integers(min_value=0, max_value=3))
+    def test_distributions_are_simplex_points(self, k, seed):
+        rng = np.random.default_rng(seed)
+        docs = [list(rng.integers(0, 12, size=6)) for _ in range(20)]
+        model = LDA(n_topics=k, n_iter=10, seed=seed).fit(docs, 12)
+        phi = model.topic_word_distribution()
+        theta = model.doc_topic_distribution()
+        assert np.all(phi >= 0) and np.allclose(phi.sum(axis=1), 1.0)
+        assert np.all(theta >= 0) and np.allclose(theta.sum(axis=1), 1.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=5))
+    def test_token_counts_conserved(self, seed):
+        rng = np.random.default_rng(seed)
+        docs = [list(rng.integers(0, 9, size=5)) for _ in range(15)]
+        model = LDA(n_topics=3, n_iter=8, seed=seed).fit(docs, 9)
+        assert model.topic_counts.sum() == sum(len(d) for d in docs)
+        assert np.all(model.topic_word_counts >= 0)
+        assert np.all(model.doc_topic_counts >= 0)
+
+
+class TestProtocolProperties:
+    args_strategy = st.dictionaries(
+        st.sampled_from(["command", "host_path", "destination", "package",
+                         "argv", "port", "target", "container_path"]),
+        st.one_of(st.text(max_size=20), st.integers(),
+                  st.lists(st.text(max_size=5), max_size=3)),
+        max_size=4)
+
+    @given(st.sampled_from(list(RequestKind)), word, word, args_strategy)
+    def test_roundtrip_or_clean_rejection(self, kind, requester, klass, args):
+        request = BrokerRequest(kind=kind, requester=requester,
+                                ticket_class=klass, args=args)
+        try:
+            data = request.to_bytes()
+        except InvalidArgument:
+            return  # schema rejected it — acceptable outcome
+        back = BrokerRequest.from_bytes(data)
+        assert back.kind is kind
+        assert back.requester == requester
+        assert back.args == args
+
+    @given(st.binary(max_size=64))
+    def test_arbitrary_bytes_never_crash_parser(self, blob):
+        try:
+            BrokerRequest.from_bytes(blob)
+        except InvalidArgument:
+            pass  # the only acceptable failure mode
+
+    @given(st.booleans(), st.text(max_size=30))
+    def test_response_roundtrip(self, ok, error):
+        resp = BrokerResponse(ok=ok, output={"x": 1}, error=error)
+        back = BrokerResponse.from_bytes(resp.to_bytes())
+        assert back.ok == ok and back.error == error and back.output == {"x": 1}
+
+
+class TestCertificateProperties:
+    @settings(max_examples=30)
+    @given(word, st.integers(min_value=1, max_value=1000),
+           st.integers(min_value=0, max_value=50),
+           st.integers(min_value=1, max_value=100))
+    def test_valid_until_expiry_then_invalid(self, admin, ticket, now, ttl):
+        clock = {"t": now}
+        ca = CertificateAuthority(clock=lambda: clock["t"])
+        cert = ca.issue(admin, ticket, "m", "T-1", ttl=ttl)
+        ca.validate(cert, admin)          # valid at issuance
+        clock["t"] = now + ttl
+        ca.validate(cert, admin)          # valid at the boundary
+        clock["t"] = now + ttl + 1
+        import pytest
+        from repro.errors import CertificateError
+        with pytest.raises(CertificateError):
+            ca.validate(cert, admin)
+
+    @settings(max_examples=30)
+    @given(word, word)
+    def test_signature_binds_admin(self, admin, other):
+        ca = CertificateAuthority(clock=lambda: 0)
+        cert = ca.issue(admin, 1, "m", "T-1")
+        if other != admin:
+            import pytest
+            from repro.errors import CertificateError
+            with pytest.raises(CertificateError):
+                ca.validate(cert, other)

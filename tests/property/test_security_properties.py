@@ -1,0 +1,154 @@
+"""Property-based tests on the security-critical invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IntegrityError
+from repro.itfs import AppendOnlyLog, detect_signature, extension_of
+from repro.kernel import ip_in_cidr
+from repro.kernel.namespaces import XCLNamespace
+from repro.netmon import shannon_entropy
+
+identifier = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=10)
+
+
+class TestAuditChainProperties:
+    @settings(max_examples=25)
+    @given(st.lists(st.tuples(identifier, identifier, identifier),
+                    min_size=1, max_size=15))
+    def test_any_append_sequence_verifies(self, events):
+        log = AppendOnlyLog()
+        for actor, op, path in events:
+            log.append(actor, op, "/" + path, "allow")
+        assert log.verify()
+        assert len(log) == len(events)
+
+    @settings(max_examples=25)
+    @given(st.lists(st.tuples(identifier, identifier), min_size=2, max_size=10),
+           st.data())
+    def test_any_single_field_edit_breaks_chain_or_diverges(self, events, data):
+        log = AppendOnlyLog()
+        replica = AppendOnlyLog("replica")
+        log.add_replica(replica)
+        for actor, op in events:
+            log.append(actor, op, "/p", "deny")
+        victim = data.draw(st.integers(min_value=0, max_value=len(events) - 1))
+        record = log._records[victim]
+        record.path = "/forged"
+        record.digest = record.compute_digest()  # capable attacker
+        try:
+            chain_ok = log.verify()
+        except IntegrityError:
+            chain_ok = False
+        diverged = log.divergence_from(replica) is not None
+        assert (not chain_ok) or diverged
+
+    @settings(max_examples=25)
+    @given(st.lists(identifier, min_size=1, max_size=10))
+    def test_mirror_replica_digest_identical(self, ops):
+        log = AppendOnlyLog()
+        replica = AppendOnlyLog("r")
+        log.add_replica(replica)
+        for op in ops:
+            log.append("a", op, "/p", "allow")
+        assert [r.digest for r in log.records] == \
+            [r.digest for r in replica.records]
+
+
+class TestXCLProperties:
+    paths = st.lists(identifier, min_size=1, max_size=4).map(
+        lambda parts: "/" + "/".join(parts))
+
+    @settings(max_examples=50)
+    @given(paths, paths)
+    def test_exclusion_covers_exactly_the_subtree(self, excluded, probe):
+        ns = XCLNamespace()
+        ns.add_exclusion(1, excluded)
+        expected = probe == excluded or probe.startswith(excluded + "/")
+        assert ns.excludes(1, probe) == expected
+
+    @settings(max_examples=30)
+    @given(paths)
+    def test_other_filesystem_never_excluded(self, path):
+        ns = XCLNamespace()
+        ns.add_exclusion(1, path)
+        assert not ns.excludes(2, path)
+
+    @settings(max_examples=30)
+    @given(st.lists(paths, min_size=1, max_size=6))
+    def test_child_inherits_all_parent_exclusions(self, excluded_paths):
+        parent = XCLNamespace()
+        for path in excluded_paths:
+            parent.add_exclusion(1, path)
+        child = parent.clone()
+        for path in excluded_paths:
+            assert child.excludes(1, path)
+
+    @settings(max_examples=30)
+    @given(paths, paths)
+    def test_child_additions_invisible_to_parent(self, base, extra):
+        parent = XCLNamespace()
+        parent.add_exclusion(1, base)
+        child = parent.clone()
+        child.add_exclusion(1, extra)
+        assert parent.excludes(1, extra) == (
+            extra == base or extra.startswith(base + "/"))
+
+
+class TestEntropyProperties:
+    @given(st.binary(min_size=0, max_size=512))
+    def test_entropy_bounds(self, data):
+        h = shannon_entropy(data)
+        assert 0.0 <= h <= 8.0 + 1e-9
+
+    @given(st.binary(min_size=1, max_size=256))
+    def test_entropy_invariant_under_concatenation_with_self(self, data):
+        # doubling identical content does not change the distribution
+        assert abs(shannon_entropy(data) - shannon_entropy(data * 2)) < 1e-9
+
+    @given(st.integers(min_value=1, max_value=255), st.integers(1, 300))
+    def test_constant_data_zero_entropy(self, byte, length):
+        assert shannon_entropy(bytes([byte]) * length) == 0.0
+
+
+class TestSignatureProperties:
+    @given(st.binary(min_size=0, max_size=64))
+    def test_detector_total_function(self, head):
+        # never raises, returns a known name or None
+        result = detect_signature(head)
+        assert result is None or isinstance(result, str)
+
+    @given(st.binary(min_size=0, max_size=32))
+    def test_pdf_prefix_always_detected(self, tail):
+        assert detect_signature(b"%PDF" + tail) == "pdf"
+
+    @given(identifier, identifier)
+    def test_extension_lowercased_and_prefixed(self, name, ext):
+        result = extension_of(f"/d/{name}.{ext.upper()}")
+        assert result == "." + ext.lower()
+
+
+class TestCidrProperties:
+    octet = st.integers(min_value=0, max_value=255)
+
+    @given(octet, octet, octet, octet)
+    def test_exact_self_match(self, a, b, c, d):
+        ip = f"{a}.{b}.{c}.{d}"
+        assert ip_in_cidr(ip, ip)
+        assert ip_in_cidr(ip, "*")
+        assert ip_in_cidr(ip, f"{ip}/32")
+
+    @given(octet, octet, octet, octet)
+    def test_zero_prefix_matches_everything(self, a, b, c, d):
+        assert ip_in_cidr(f"{a}.{b}.{c}.{d}", "0.0.0.0/0")
+
+    @given(octet, octet, octet, octet,
+           st.integers(min_value=8, max_value=32))
+    def test_prefix_monotone(self, a, b, c, d, bits):
+        # matching a narrower prefix implies matching every wider one
+        ip = f"{a}.{b}.{c}.{d}"
+        if ip_in_cidr(ip, f"{ip}/{bits}"):
+            for wider in range(8, bits, 4):
+                assert ip_in_cidr(ip, f"{ip}/{wider}")

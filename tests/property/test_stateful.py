@@ -1,0 +1,110 @@
+"""Stateful property tests: mount-table and audit-log machines."""
+
+import string
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.errors import FileNotFound, IntegrityError, ResourceBusy
+from repro.itfs import AppendOnlyLog
+from repro.kernel import MemoryFilesystem, Mount, MountTable
+from repro.kernel.vfs import is_subpath, normalize_path
+
+component = st.sampled_from(["a", "b", "c", "data", "mnt", "srv"])
+mountpoint = st.lists(component, min_size=1, max_size=3).map(
+    lambda parts: "/" + "/".join(parts))
+
+
+class MountTableMachine(RuleBasedStateMachine):
+    """Random mount/umount sequences preserve longest-prefix semantics."""
+
+    def __init__(self):
+        super().__init__()
+        self.rootfs = MemoryFilesystem(label="root")
+        self.table = MountTable([Mount(fs=self.rootfs, mountpoint="/")])
+        self.model = [("/", self.rootfs)]  # append order matters
+
+    @rule(point=mountpoint)
+    def mount_fs(self, point):
+        fs = MemoryFilesystem(label=point)
+        self.table.add(Mount(fs=fs, mountpoint=point))
+        self.model.append((normalize_path(point), fs))
+
+    @rule(point=mountpoint)
+    def umount_fs(self, point):
+        point = normalize_path(point)
+        busy = any(mp != point and is_subpath(mp, point)
+                   for mp, _ in self.model)
+        present = any(mp == point for mp, _ in self.model)
+        try:
+            self.table.remove(point)
+        except FileNotFound:
+            assert not present
+        except ResourceBusy:
+            assert busy
+        else:
+            assert present and not busy
+            # remove the most recent matching entry from the model
+            for i in range(len(self.model) - 1, -1, -1):
+                if self.model[i][0] == point:
+                    del self.model[i]
+                    break
+
+    @invariant()
+    def lookup_matches_model(self):
+        for probe in ("/", "/a", "/a/b/c", "/data/x", "/mnt/srv", "/srv"):
+            best = None
+            best_len = -1
+            for mp, fs in self.model:
+                if is_subpath(probe, mp) and len(mp) >= best_len:
+                    best, best_len = fs, len(mp)
+            if best is None:
+                continue
+            assert self.table.find(probe).fs is best
+
+    @invariant()
+    def entry_count_matches(self):
+        assert len(self.table) == len(self.model)
+
+
+class AuditLogMachine(RuleBasedStateMachine):
+    """Any interleaving of appends keeps both chains valid and mirrored."""
+
+    def __init__(self):
+        super().__init__()
+        self.log = AppendOnlyLog("primary")
+        self.replica = AppendOnlyLog("replica")
+        self.log.add_replica(self.replica)
+        self.count = 0
+
+    @rule(op=st.sampled_from(["read", "write", "net-egress", "pb-exec"]),
+          decision=st.sampled_from(["allow", "deny"]),
+          path=mountpoint)
+    def append_record(self, op, decision, path):
+        self.log.append("actor", op, path, decision)
+        self.count += 1
+
+    @invariant()
+    def chains_verify(self):
+        assert self.log.verify()
+        assert self.replica.verify()
+
+    @invariant()
+    def replica_in_sync(self):
+        assert len(self.log) == len(self.replica) == self.count
+        assert self.log.divergence_from(self.replica) is None
+
+
+TestMountTableMachine = MountTableMachine.TestCase
+TestMountTableMachine.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None)
+
+TestAuditLogMachine = AuditLogMachine.TestCase
+TestAuditLogMachine.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None)

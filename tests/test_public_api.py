@@ -1,0 +1,63 @@
+"""Public-API sanity: exports resolve, errors form a coherent hierarchy."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro import errors
+
+PACKAGES = [
+    "repro.kernel", "repro.itfs", "repro.netmon", "repro.containit",
+    "repro.broker", "repro.framework", "repro.tcb", "repro.threats",
+    "repro.workload", "repro.experiments", "repro.anomaly",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        for name in getattr(module, "__all__", []):
+            assert getattr(module, name, None) is not None, \
+                f"{package}.{name} in __all__ but missing"
+
+    def test_top_level_lazy_export(self):
+        assert repro.WatchITDeployment is not None
+        with pytest.raises(AttributeError):
+            repro.nonexistent_attribute
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestErrorHierarchy:
+    def test_kernel_errors_are_repro_errors(self):
+        for name in ("PermissionDenied", "FileNotFound", "InvalidArgument",
+                     "NetworkUnreachable", "FirewallBlocked"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.KernelError)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_errno_names_present(self):
+        assert errors.FileNotFound.errno_name == "ENOENT"
+        assert errors.PermissionDenied.errno_name == "EACCES"
+        assert errors.OperationNotPermitted.errno_name == "EPERM"
+
+    def test_message_includes_errno(self):
+        err = errors.FileNotFound("/missing")
+        assert "[ENOENT]" in str(err) and "/missing" in str(err)
+
+    def test_capability_error_carries_capability(self):
+        from repro.kernel import Capability
+        err = errors.CapabilityError(Capability.CAP_MKNOD)
+        assert err.capability is Capability.CAP_MKNOD
+        assert "CAP_MKNOD" in str(err)
+
+    def test_policy_denials_distinct_from_dac(self):
+        assert not issubclass(errors.AccessBlocked, errors.KernelError)
+        assert issubclass(errors.AccessBlocked, errors.ReproError)
+
+    def test_exclusion_violation_is_eperm(self):
+        assert issubclass(errors.ExclusionViolation,
+                          errors.OperationNotPermitted)

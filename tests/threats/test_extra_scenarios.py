@@ -1,0 +1,67 @@
+"""Attack scenarios beyond Table 1: symlink traps, TOCTOU-style renames,
+/proc/ns introspection."""
+
+import pytest
+
+from repro.errors import AccessBlocked, FileNotFound
+from repro.threats import ThreatRig
+
+
+@pytest.fixture()
+def rig():
+    return ThreatRig.build()
+
+
+class TestSymlinkTraps:
+    def test_admin_symlink_cannot_escape_own_view(self, rig):
+        """A symlink planted inside the view resolves *inside* the view."""
+        # the T-6 rig shares the full root through ITFS, so use a tighter
+        # container for this one: T-1's home-only view
+        from repro.containit import HOME_DIRECTORY, PerforatedContainer, \
+            PerforatedContainerSpec
+        spec = PerforatedContainerSpec(name="T-1",
+                                       fs_shares=(HOME_DIRECTORY,))
+        container = PerforatedContainer.deploy(
+            rig.host, spec, user="victim", address_book={},
+            container_ip="10.0.0.77")
+        shell = container.login("rogue")
+        rig.host.sys.symlink(shell.proc, "/home/victim/trap", "/etc/shadow")
+        # inside the container, /etc/shadow does not exist
+        with pytest.raises(FileNotFound):
+            shell.read_file("/home/victim/trap")
+        container.terminate("done")
+
+    def test_symlink_to_blocked_file_still_blocked(self, rig):
+        shell = rig.shell  # full-root view
+        rig.host.sys.symlink(shell.proc, "/tmp/alias",
+                             "/home/victim/salaries.docx")
+        with pytest.raises(AccessBlocked):
+            shell.read_file("/tmp/alias")
+
+    def test_hardlinkless_rename_laundering_blocked(self, rig):
+        """TOCTOU-style: renaming a blocked file to an innocent name is
+        itself a checked operation, and signature mode would catch the
+        content anyway."""
+        shell = rig.shell
+        with pytest.raises(AccessBlocked):
+            rig.host.sys.rename(shell.proc, "/home/victim/salaries.docx",
+                                "/home/victim/notes2.txt")
+
+
+class TestNamespaceIntrospection:
+    def test_proc_ns_shows_perforation(self, rig):
+        shell = rig.shell
+        ns_dir = shell.listdir("/proc/self/ns")
+        assert set(ns_dir) == {"ipc", "mnt", "net", "pid", "uid", "uts", "xcl"}
+        # PID is perforated in this rig (process management): same id as host
+        pid_inside = shell.read_file("/proc/self/ns/pid")
+        host_pid_ns = rig.host.sys.read_file(rig.host.init, "/proc/self/ns/pid")
+        assert pid_inside == host_pid_ns
+        # MNT is isolated: different ids
+        mnt_inside = shell.read_file("/proc/self/ns/mnt")
+        host_mnt = rig.host.sys.read_file(rig.host.init, "/proc/self/ns/mnt")
+        assert mnt_inside != host_mnt
+
+    def test_unknown_ns_kind_enoent(self, rig):
+        with pytest.raises(FileNotFound):
+            rig.shell.read_file("/proc/self/ns/cgroup")

@@ -1,0 +1,93 @@
+"""Synthetic corpus generator: distributions, ops, determinism."""
+
+import pytest
+
+from repro.workload import (
+    ALL_CLASSES,
+    CLASS_BY_ID,
+    TICKET_CLASSES,
+    class_distribution,
+    generate_corpus,
+    generate_evaluation_tickets,
+)
+
+
+class TestClassDefs:
+    def test_ten_topic_classes(self):
+        assert len(TICKET_CLASSES) == 10
+        assert [c.class_id for c in TICKET_CLASSES] == \
+            [f"T-{i}" for i in range(1, 11)]
+
+    def test_figure7_shares_sum_to_one(self):
+        assert sum(c.figure7_share for c in TICKET_CLASSES) == pytest.approx(1.0)
+
+    def test_table4_shares_sum_to_one(self):
+        assert sum(c.table4_share for c in ALL_CLASSES) == pytest.approx(1.0)
+
+    def test_every_class_has_vocabulary_and_ops(self):
+        for c in ALL_CLASSES:
+            assert len(c.words) >= 5
+            assert c.templates
+            assert c.base_ops
+
+
+class TestCorpusGeneration:
+    def test_size_and_labels(self):
+        corpus = generate_corpus(300, seed=1)
+        assert len(corpus) == 300
+        assert all(t.true_class in CLASS_BY_ID for t in corpus)
+
+    def test_deterministic(self):
+        a = generate_corpus(50, seed=5)
+        b = generate_corpus(50, seed=5)
+        assert [t.text for t in a] == [t.text for t in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_corpus(50, seed=5)
+        b = generate_corpus(50, seed=6)
+        assert [t.text for t in a] != [t.text for t in b]
+
+    def test_distribution_tracks_figure7(self):
+        corpus = generate_corpus(4000, seed=2)
+        dist = class_distribution(corpus)
+        for c in TICKET_CLASSES:
+            assert dist[c.class_id] == pytest.approx(c.figure7_share, abs=0.03)
+
+    def test_texts_contain_class_vocabulary(self):
+        corpus = generate_corpus(100, seed=3)
+        for ticket in corpus:
+            words = {w for w, _ in CLASS_BY_ID[ticket.true_class].words}
+            assert any(w in ticket.text for w in words)
+
+    def test_no_ops_by_default(self):
+        assert all(not t.required_ops for t in generate_corpus(20, seed=4))
+
+
+class TestEvaluationSet:
+    def test_default_398(self):
+        assert len(generate_evaluation_tickets()) == 398
+
+    def test_ops_populated(self):
+        tickets = generate_evaluation_tickets(100, seed=8)
+        assert all(t.required_ops for t in tickets)
+
+    def test_ops_have_user_substituted(self):
+        tickets = generate_evaluation_tickets(200, seed=8)
+        for ticket in tickets:
+            for op in ticket.required_ops:
+                assert "{user}" not in op["arg"]
+
+    def test_escalation_fraction_in_plausible_range(self):
+        tickets = generate_evaluation_tickets(2000, seed=9)
+        escalated = sum(1 for t in tickets
+                        if any(op["op"].startswith("pb-")
+                               for op in t.required_ops))
+        # paper: ~8% of tickets needed the broker
+        assert 0.04 < escalated / len(tickets) < 0.14
+
+    def test_distribution_tracks_table4(self):
+        tickets = generate_evaluation_tickets(4000, seed=10)
+        dist = class_distribution(tickets)
+        for c in ALL_CLASSES:
+            assert dist.get(c.class_id, 0.0) == \
+                pytest.approx(c.table4_share, abs=0.03)

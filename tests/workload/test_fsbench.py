@@ -1,0 +1,77 @@
+"""Filesystem benchmark drivers (the Figure 9 workloads)."""
+
+import pytest
+
+from repro.itfs import ITFS, AppendOnlyLog, PolicyManager, document_blocking_policy
+from repro.workload.fsbench import (
+    build_file_tree,
+    grep_workload,
+    postmark_workload,
+    sysbench_fileio_workload,
+)
+
+
+class TestBuildTree:
+    def test_file_count(self):
+        fs = build_file_tree(n_files=50, avg_size=256, seed=1)
+        files = sum(len(names) for _, _, names in fs.walk("/data"))
+        assert files == 50
+
+    def test_sizes_jitter_around_average(self):
+        fs = build_file_tree(n_files=60, avg_size=1000, seed=2)
+        sizes = [fs.stat(f"{d}/{n}").size
+                 for d, _, names in fs.walk("/data") for n in names]
+        assert 600 < sum(sizes) / len(sizes) < 1400
+        assert min(sizes) >= 16
+
+    def test_deterministic(self):
+        a = build_file_tree(20, 128, seed=3)
+        b = build_file_tree(20, 128, seed=3)
+        assert [p for p, _, _ in a.walk("/")] == [p for p, _, _ in b.walk("/")]
+
+
+class TestGrep:
+    def test_finds_planted_needles(self):
+        fs = build_file_tree(n_files=40, avg_size=512, seed=4, needle_every=10)
+        assert grep_workload(fs) == 4
+
+    def test_runs_identically_over_itfs(self):
+        fs = build_file_tree(n_files=30, avg_size=512, seed=5, needle_every=5)
+        itfs = ITFS(fs, PolicyManager(log_all=False), audit=AppendOnlyLog())
+        assert grep_workload(itfs) == grep_workload(fs)
+
+    def test_itfs_monitoring_logs_reads(self):
+        fs = build_file_tree(n_files=10, avg_size=128, seed=6)
+        itfs = ITFS(fs, PolicyManager(log_all=True), audit=AppendOnlyLog())
+        grep_workload(itfs)
+        assert len(itfs.audit.filter(op="read")) == 10
+
+
+class TestPostmark:
+    def test_transaction_counts(self):
+        fs = build_file_tree(1, 16, seed=0)
+        result = postmark_workload(fs, n_transactions=200, seed=7)
+        assert result.created >= 50  # initial pool
+        total = result.created - 50 + result.deleted + result.read + result.appended
+        assert total == 200
+
+    def test_runs_over_monitored_fs(self):
+        fs = build_file_tree(1, 16, seed=0)
+        itfs = ITFS(fs, document_blocking_policy(), audit=AppendOnlyLog())
+        result = postmark_workload(itfs, n_transactions=100, seed=8)
+        assert result.created >= 50
+        assert itfs.ops_total > 100
+
+
+class TestSysbench:
+    def test_op_mix(self):
+        fs = build_file_tree(1, 16, seed=0)
+        stats = sysbench_fileio_workload(fs, n_files=3, file_size=4096,
+                                         n_ops=50, seed=9)
+        assert stats["reads"] + stats["writes"] == 50
+        assert stats["reads"] > stats["writes"]
+
+    def test_large_files_created(self):
+        fs = build_file_tree(1, 16, seed=0)
+        sysbench_fileio_workload(fs, n_files=2, file_size=8192, n_ops=5, seed=1)
+        assert fs.stat("/sysbench/big0.dat").size >= 8192

@@ -1,0 +1,92 @@
+"""IT scripts: suites, container assignment, and actual confined execution."""
+
+import pytest
+
+from repro.containit import PerforatedContainer
+from repro.framework import SCRIPT_SPECS_CHEF_PUPPET, SCRIPT_SPECS_CLUSTER
+from repro.workload.scripts import (
+    assign_script_container,
+    chef_puppet_scripts,
+    cluster_scripts,
+    script_container_distribution,
+)
+
+
+class TestSuites:
+    def test_twenty_chef_puppet_scripts(self):
+        assert len(chef_puppet_scripts()) == 20
+
+    def test_thirteen_cluster_scripts(self):
+        assert len(cluster_scripts()) == 13
+
+    def test_chef_puppet_distribution_matches_figure8a(self):
+        dist = script_container_distribution(chef_puppet_scripts())
+        assert dist["S-1"] == (12, 0.60)
+        assert dist["S-2"] == (4, 0.20)
+        assert dist["S-3"] == (2, 0.10)
+        assert dist["S-4"] == (2, 0.10)
+
+    def test_cluster_distribution_matches_figure8b(self):
+        dist = script_container_distribution(cluster_scripts())
+        # paper: a single limited container covers 80% of the 13 scripts
+        assert dist["S-5"][0] == 10
+        assert dist["S-6"][0] == 3
+        assert dist["S-5"][1] == pytest.approx(0.77, abs=0.04)
+
+    def test_assignments_reference_existing_specs(self):
+        specs = {**SCRIPT_SPECS_CHEF_PUPPET, **SCRIPT_SPECS_CLUSTER}
+        for script in chef_puppet_scripts() + cluster_scripts():
+            assert assign_script_container(script) in specs
+
+
+class TestConfinedExecution:
+    """Every script must run inside its assigned container class."""
+
+    @pytest.fixture()
+    def deploy_for(self, rig):
+        net, host = rig
+        host.register_service("cron")
+        host.register_service("spark")
+        host.register_service("swift")
+        host.rootfs.populate({"var": {"log": {
+            "syslog": "boot ok\nERROR disk smart warning\n",
+            "spark.log": "executor up\n",
+        }}})
+        specs = {**SCRIPT_SPECS_CHEF_PUPPET, **SCRIPT_SPECS_CLUSTER}
+
+        def factory(class_id):
+            from tests.conftest import deploy
+            return deploy(host, specs[class_id], user="alice")
+        return factory
+
+    @pytest.mark.parametrize("script", chef_puppet_scripts(),
+                             ids=lambda s: s.name)
+    def test_chef_puppet_script_runs_confined(self, deploy_for, script):
+        container = deploy_for(assign_script_container(script))
+        shell = container.login(f"script:{script.name}")
+        script.run(shell)  # must not raise
+        container.terminate("script done")
+
+    @pytest.mark.parametrize("script", cluster_scripts(),
+                             ids=lambda s: s.name)
+    def test_cluster_script_runs_confined(self, deploy_for, script):
+        container = deploy_for(assign_script_container(script))
+        shell = container.login(f"script:{script.name}")
+        script.run(shell)
+        container.terminate("script done")
+
+    def test_stats_container_cannot_reach_network(self, deploy_for):
+        # "these perforated containers are isolated from the network; as a
+        # result, tampered scripts can never leak information"
+        from repro.errors import NetworkUnreachable
+        container = deploy_for("S-5")
+        shell = container.login("tampered-script")
+        with pytest.raises(NetworkUnreachable):
+            shell.connect("8.8.4.4", 443)
+
+    def test_config_container_cannot_touch_host_processes(self, deploy_for):
+        from repro.errors import NoSuchProcess
+        container = deploy_for("S-1")
+        shell = container.login("tampered-script")
+        with pytest.raises(NoSuchProcess):
+            shell.restart_service("sshd")
