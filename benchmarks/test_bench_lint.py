@@ -1,0 +1,21 @@
+"""Benchmark: static perforation lint + dynamic cross-check harness."""
+
+from repro.analysis import lint_catalog
+from repro.broker.policy import permissive_policy
+from repro.experiments import run_lint_crosscheck
+
+
+def test_bench_lint_catalog(once):
+    result = once(lint_catalog, broker_policy=permissive_policy())
+    print()
+    print(result.format())
+    assert len(result.targets) == 17
+    assert result.errors == []
+
+
+def test_bench_lint_crosscheck(once):
+    result = once(run_lint_crosscheck)
+    print()
+    print(result.format())
+    assert result.clean, result.format()
+    assert result.crosscheck.consistent

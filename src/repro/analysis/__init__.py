@@ -1,0 +1,75 @@
+"""Static analysis of perforated-container configurations.
+
+The *perforation linter* proves least-privilege claims about a
+``(spec, itfs_policy, broker_policy)`` triple **before** any container is
+deployed: it symbolically walks the same capability/namespace gates the
+kernel layer enforces, flags over-privilege and dead policy rules, and
+reports monitoring gaps — each finding keyed by a stable ``WIT*`` rule ID
+(see ``docs/static_analysis.md`` for the catalog).
+
+Quickstart::
+
+    from repro.analysis import LintTarget, PerforationLinter, lint_catalog
+
+    report = lint_catalog()           # lint the shipped Table 3 catalog
+    assert not report.errors          # the tier-1 regression gate
+    print(report.format())
+
+The static verdicts are validated against the *dynamic* Table 1 attack
+suite by :func:`run_crosscheck` — static "reachable" must coincide with
+the attacks not being blocked by namespace/path isolation at runtime.
+"""
+
+from repro.analysis.checkers import (
+    Checker,
+    default_checkers,
+    rule_catalog,
+)
+from repro.analysis.crosscheck import (
+    CrossCheckReport,
+    CrossCheckRow,
+    crosscheck_spec,
+    run_crosscheck,
+)
+from repro.analysis.findings import (
+    Finding,
+    LintReport,
+    RuleInfo,
+    Severity,
+)
+from repro.analysis.linter import (
+    PerforationLinter,
+    builtin_catalog,
+    lint_catalog,
+)
+from repro.analysis.model import (
+    EscapePath,
+    Gate,
+    LintTarget,
+    PrivilegeModel,
+    template_covers,
+    templates_overlap,
+)
+
+__all__ = [
+    "Checker",
+    "CrossCheckReport",
+    "CrossCheckRow",
+    "EscapePath",
+    "Finding",
+    "Gate",
+    "LintReport",
+    "LintTarget",
+    "PerforationLinter",
+    "PrivilegeModel",
+    "RuleInfo",
+    "Severity",
+    "builtin_catalog",
+    "crosscheck_spec",
+    "default_checkers",
+    "lint_catalog",
+    "rule_catalog",
+    "run_crosscheck",
+    "template_covers",
+    "templates_overlap",
+]

@@ -1,0 +1,185 @@
+"""Static/dynamic cross-check: does the linter agree with Table 1?
+
+For every spec in the catalog the harness computes the linter's static
+escape verdicts, then *actually runs* the corresponding Table 1 attacks
+(:mod:`repro.threats.attacks`) against a container deployed with that
+spec, and compares layer by layer:
+
+* static says the route is **blocked by isolation** (a namespace/path
+  gate) ⇔ the dynamic attack must be stopped by exactly that isolation
+  layer (e.g. "PID namespace isolation", a FileNotFound on /dev/mem);
+* static says the route **reaches the capability gate** ⇔ the dynamic
+  attack must be stopped by the capability check, not by isolation.
+
+Any disagreement means either the linter's model or the runtime's
+enforcement drifted — both are regressions this harness turns into a
+failing tier-1 test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.model import EscapePath, PrivilegeModel
+from repro.containit.spec import PerforatedContainerSpec
+from repro.errors import FileNotFound
+from repro.threats.attacks import (
+    AttackResult,
+    ThreatRig,
+    attack_1_chroot_escape,
+    attack_2_bind_shell,
+    attack_3_raw_disk,
+    attack_4_memory_tap,
+)
+
+#: substrings in a dynamic defense string that denote an *isolation* layer
+#: (namespace or filesystem view) rather than a capability check.
+ISOLATION_MARKERS = ("namespace isolation", "filesystem isolation")
+
+_SHM_PROBE_KEY = 0x51DE
+
+
+def _dynamic_attack_4(rig: ThreatRig) -> AttackResult:
+    """Attack 4, tolerant of specs whose view has no /dev/mem at all."""
+    try:
+        return attack_4_memory_tap(rig)
+    except FileNotFound:
+        return AttackResult(4, "Memory tapping", blocked=True,
+                            defense="filesystem isolation",
+                            evidence="/dev/mem not visible in container view")
+
+
+def _dynamic_ipc_probe(rig: ThreatRig) -> AttackResult:
+    """Plant a host shm segment; check whether the shell can see it."""
+    rig.host.sys.shmget(rig.host.init, key=_SHM_PROBE_KEY, size=64,
+                        create=True)
+    visible = any(seg.key == _SHM_PROBE_KEY
+                  for seg in rig.host.sys.shm_list(rig.shell.proc))
+    if visible:
+        return AttackResult(0, "Host shm rendezvous", blocked=False,
+                            defense="none (shared IPC namespace)",
+                            evidence="host segment visible from container")
+    return AttackResult(0, "Host shm rendezvous", blocked=True,
+                        defense="IPC namespace isolation",
+                        evidence="host segment invisible from container")
+
+
+#: escape key -> dynamic attack runner.
+DYNAMIC_ATTACKS: Dict[str, Callable[[ThreatRig], AttackResult]] = {
+    "chroot": attack_1_chroot_escape,
+    "ptrace": attack_2_bind_shell,
+    "mknod": attack_3_raw_disk,
+    "devmem": _dynamic_attack_4,
+    "ipc": _dynamic_ipc_probe,
+}
+
+
+def _blocked_by_isolation(result: AttackResult) -> bool:
+    return result.blocked and any(marker in result.defense
+                                  for marker in ISOLATION_MARKERS)
+
+
+@dataclass(frozen=True)
+class CrossCheckRow:
+    """One (ticket class, escape route) comparison."""
+
+    ticket_class: str
+    escape_key: str
+    attack_id: int
+    static_reachable_past_isolation: bool
+    static_residual_defense: str
+    dynamic_blocked: bool
+    dynamic_defense: str
+    dynamic_blocked_by_isolation: bool
+
+    @property
+    def consistent(self) -> bool:
+        """Static and dynamic agree on *which layer* stops the attack."""
+        return self.static_reachable_past_isolation == \
+            (not self.dynamic_blocked_by_isolation)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "class": self.ticket_class,
+            "escape": self.escape_key,
+            "attack_id": self.attack_id,
+            "static_reachable_past_isolation":
+                self.static_reachable_past_isolation,
+            "static_residual_defense": self.static_residual_defense,
+            "dynamic_blocked": self.dynamic_blocked,
+            "dynamic_defense": self.dynamic_defense,
+            "consistent": self.consistent,
+        }
+
+
+@dataclass
+class CrossCheckReport:
+    """All comparisons over a spec catalog."""
+
+    rows: List[CrossCheckRow]
+
+    @property
+    def consistent(self) -> bool:
+        return all(row.consistent for row in self.rows)
+
+    @property
+    def inconsistencies(self) -> List[CrossCheckRow]:
+        return [row for row in self.rows if not row.consistent]
+
+    def rows_for(self, ticket_class: str) -> List[CrossCheckRow]:
+        return [r for r in self.rows if r.ticket_class == ticket_class]
+
+    def format(self) -> str:
+        lines = [f"{'class':<6} {'escape':<8} {'static':<22} "
+                 f"{'dynamic defense':<40} agree"]
+        for row in self.rows:
+            static = ("reaches capability gate"
+                      if row.static_reachable_past_isolation
+                      else "blocked by isolation")
+            lines.append(f"{row.ticket_class:<6} {row.escape_key:<8} "
+                         f"{static:<22} {row.dynamic_defense:<40} "
+                         f"{'yes' if row.consistent else 'NO'}")
+        verdict = "CONSISTENT" if self.consistent else \
+            f"{len(self.inconsistencies)} INCONSISTENT row(s)"
+        lines.append(f"static/dynamic cross-check: {verdict} "
+                     f"({len(self.rows)} comparisons)")
+        return "\n".join(lines)
+
+
+def crosscheck_spec(spec: PerforatedContainerSpec,
+                    escape_keys: Optional[List[str]] = None
+                    ) -> List[CrossCheckRow]:
+    """Compare static verdicts against live attacks for one spec."""
+    model = PrivilegeModel(spec)
+    static: Dict[str, EscapePath] = {p.key: p for p in model.escape_paths()}
+    rig = ThreatRig.build(spec)
+    rows: List[CrossCheckRow] = []
+    try:
+        for key in escape_keys or list(DYNAMIC_ATTACKS):
+            path = static[key]
+            result = DYNAMIC_ATTACKS[key](rig)
+            rows.append(CrossCheckRow(
+                ticket_class=spec.name,
+                escape_key=key,
+                attack_id=path.attack_id,
+                static_reachable_past_isolation=path.reachable_past_isolation,
+                static_residual_defense=path.residual_defense,
+                dynamic_blocked=result.blocked,
+                dynamic_defense=result.defense,
+                dynamic_blocked_by_isolation=_blocked_by_isolation(result)))
+    finally:
+        rig.container.terminate("cross-check done")
+    return rows
+
+
+def run_crosscheck(specs: Optional[Dict[str, PerforatedContainerSpec]] = None
+                   ) -> CrossCheckReport:
+    """Cross-check a catalog (default: the Table 3 specs)."""
+    if specs is None:
+        from repro.framework.images import TABLE3_SPECS
+        specs = TABLE3_SPECS
+    rows: List[CrossCheckRow] = []
+    for name in sorted(specs, key=lambda n: (len(n), n)):
+        rows.extend(crosscheck_spec(specs[name]))
+    return CrossCheckReport(rows=rows)

@@ -1,0 +1,130 @@
+"""Escape-path reachability checkers (rules WIT001-WIT005).
+
+Each rule corresponds to one escape route of paper Table 1 (plus the IPC
+shm surface). The severity scale encodes how much of the defense-in-depth
+stack survives statically:
+
+* no finding — an isolation layer (namespace or path) blocks the route;
+* ``warning`` — the route reaches its final capability gate (the
+  namespace perforations removed the isolation layers, containment now
+  rests solely on the dropped capability);
+* ``error`` — no gate blocks at all: the attack would succeed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.checkers import Checker, register
+from repro.analysis.findings import Finding, RuleInfo, Severity
+from repro.analysis.model import EscapePath, LintTarget
+
+
+class EscapeChecker(Checker):
+    """Shared logic: lint one escape path against the privilege model."""
+
+    #: set by subclasses
+    escape_key = ""
+
+    def _lint_path(self, target: LintTarget, path: EscapePath
+                   ) -> Iterator[Finding]:
+        rule = self.rules[0]
+        evidence = {
+            "attack_id": path.attack_id,
+            "gates": [{"name": g.name, "layer": g.layer,
+                       "blocked": g.blocked} for g in path.gates],
+            "reachable_past_isolation": path.reachable_past_isolation,
+        }
+        if path.fully_reachable:
+            yield Finding(
+                rule_id=rule.rule_id, severity=Severity.ERROR,
+                subject=target.name, location=self.location(target, path),
+                message=f"{path.name}: statically reachable — no namespace, "
+                        f"path or capability gate blocks this escape",
+                evidence=evidence)
+        elif path.reachable_past_isolation and len(path.gates) > 1:
+            # single-gate routes (chroot/mknod) are capability-gated by
+            # design for every spec; flagging them would tag the entire
+            # catalog. Multi-gate routes losing all isolation layers is a
+            # real reduction the spec opted into — surface it.
+            yield Finding(
+                rule_id=rule.rule_id, severity=Severity.WARNING,
+                subject=target.name, location=self.location(target, path),
+                message=f"{path.name}: perforations remove every isolation "
+                        f"layer; containment rests solely on "
+                        f"{path.residual_defense}",
+                evidence=evidence)
+
+    def location(self, target: LintTarget, path: EscapePath) -> str:
+        return "spec"
+
+    def check(self, target: LintTarget) -> Iterator[Finding]:
+        model = target.model()
+        yield from self._lint_path(target, model.escape_path(self.escape_key))
+
+
+@register
+class ChrootEscapeChecker(EscapeChecker):
+    escape_key = "chroot"
+    rules = (RuleInfo(
+        "WIT001", "chroot escape reachable", Severity.ERROR,
+        "The double-chroot escape (Table 1, attack 1) is capability-gated "
+        "only; if the configured capability set retains CAP_SYS_CHROOT the "
+        "escape is statically reachable."),)
+
+    def location(self, target: LintTarget, path: EscapePath) -> str:
+        return "capabilities.CAP_SYS_CHROOT"
+
+
+@register
+class PtraceEscapeChecker(EscapeChecker):
+    escape_key = "ptrace"
+    rules = (RuleInfo(
+        "WIT002", "ptrace bind-shell path reaches the capability gate",
+        Severity.WARNING,
+        "With process_management the PID namespace is shared, so host "
+        "processes are visible (Table 1, attack 2); only the dropped "
+        "CAP_SYS_PTRACE still blocks turning one into a bind shell."),)
+
+    def location(self, target: LintTarget, path: EscapePath) -> str:
+        return "spec.process_management"
+
+
+@register
+class MknodEscapeChecker(EscapeChecker):
+    escape_key = "mknod"
+    rules = (RuleInfo(
+        "WIT003", "raw-disk mknod escape reachable", Severity.ERROR,
+        "Creating a raw block device (Table 1, attack 3) is gated only on "
+        "CAP_MKNOD; a capability set retaining it re-opens the escape."),)
+
+    def location(self, target: LintTarget, path: EscapePath) -> str:
+        return "capabilities.CAP_MKNOD"
+
+
+@register
+class DevMemEscapeChecker(EscapeChecker):
+    escape_key = "devmem"
+    rules = (RuleInfo(
+        "WIT004", "/dev/mem memory tap reaches the capability gate",
+        Severity.WARNING,
+        "The spec's filesystem shares make /dev/mem visible (Table 1, "
+        "attack 4); only the paper's new CAP_DEV_MEM capability still "
+        "blocks scraping kernel memory."),)
+
+    def location(self, target: LintTarget, path: EscapePath) -> str:
+        return "spec.fs_shares"
+
+
+@register
+class IpcEscapeChecker(EscapeChecker):
+    escape_key = "ipc"
+    rules = (RuleInfo(
+        "WIT005", "shared IPC namespace opens an unguarded shm channel",
+        Severity.ERROR,
+        "share_ipc perforates the IPC namespace; SysV shm carries no "
+        "capability gate in the syscall layer, so a contained process can "
+        "rendezvous with any host process through shared segments."),)
+
+    def location(self, target: LintTarget, path: EscapePath) -> str:
+        return "spec.share_ipc"

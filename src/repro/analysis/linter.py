@@ -1,0 +1,72 @@
+"""The perforation linter: runs every checker over lint targets.
+
+The linter proves least-privilege claims *before* deployment: it computes
+the effective privilege set of each ``(spec, itfs_policy, broker_policy)``
+triple and emits structured findings. ``repro lint`` is the CLI front end;
+:func:`lint_catalog` is the programmatic entry point used by the tier-1
+regression gate (the shipped Table 3 catalog must lint clean at
+severity=error) and the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.checkers import Checker, default_checkers, rule_catalog
+from repro.analysis.findings import Finding, LintReport
+from repro.analysis.model import LintTarget
+from repro.broker.policy import BrokerPolicy
+from repro.containit.spec import PerforatedContainerSpec
+
+
+class PerforationLinter:
+    """Static analysis pass over perforated-container configurations."""
+
+    def __init__(self, checkers: Optional[Iterable[Checker]] = None):
+        self.checkers: List[Checker] = list(
+            checkers if checkers is not None else default_checkers())
+
+    def lint(self, target: LintTarget) -> LintReport:
+        return self.lint_many([target])
+
+    def lint_many(self, targets: Iterable[LintTarget]) -> LintReport:
+        targets = list(targets)
+        findings: List[Finding] = []
+        for target in targets:
+            for checker in self.checkers:
+                findings.extend(checker.check(target))
+        return LintReport.collect(
+            findings, targets=[t.name for t in targets],
+            rule_catalog=rule_catalog().values())
+
+
+def builtin_catalog() -> Dict[str, PerforatedContainerSpec]:
+    """The shipped spec catalog: Table 3 plus the Figure 8 script classes."""
+    from repro.framework.images import (
+        SCRIPT_SPECS_CHEF_PUPPET,
+        SCRIPT_SPECS_CLUSTER,
+        TABLE3_SPECS,
+    )
+    catalog: Dict[str, PerforatedContainerSpec] = dict(TABLE3_SPECS)
+    catalog.update(SCRIPT_SPECS_CHEF_PUPPET)
+    catalog.update(SCRIPT_SPECS_CLUSTER)
+    return catalog
+
+
+def lint_catalog(specs: Optional[Dict[str, PerforatedContainerSpec]] = None,
+                 broker_policy: Optional[BrokerPolicy] = None,
+                 linter: Optional[PerforationLinter] = None) -> LintReport:
+    """Lint a spec catalog (default: the full built-in catalog).
+
+    ``broker_policy`` is a per-class :class:`BrokerPolicy` table; each
+    spec is paired with the class policy it would get at runtime.
+    """
+    specs = builtin_catalog() if specs is None else specs
+    linter = linter or PerforationLinter()
+    targets = []
+    for name in sorted(specs, key=lambda n: (len(n), n)):
+        spec = specs[name]
+        class_policy = broker_policy.policy_for(name) \
+            if broker_policy is not None else None
+        targets.append(LintTarget(spec=spec, broker_policy=class_policy))
+    return linter.lint_many(targets)

@@ -5,6 +5,7 @@ Commands:
     experiment NAME      regenerate one paper table/figure
                          (table1..table4, figure7..figure9, or ``all``)
     threats              run the Table 1 threat analysis
+    lint                 static perforation linter over the spec catalog
     anomaly              run the audit-log anomaly-detection extension
 """
 
@@ -92,6 +93,42 @@ def _cmd_threats(_args) -> int:
     return 0 if blocked == len(results) else 1
 
 
+def _cmd_lint(args) -> int:
+    import json as _json
+
+    from repro.analysis import Severity, lint_catalog, run_crosscheck
+    from repro.analysis.linter import builtin_catalog
+    from repro.broker.policy import permissive_policy
+
+    specs = builtin_catalog()
+    if args.klass is not None:
+        if args.klass not in specs:
+            print(f"unknown ticket class {args.klass!r}; choose from "
+                  f"{', '.join(sorted(specs, key=lambda n: (len(n), n)))}",
+                  file=sys.stderr)
+            return 2
+        specs = {args.klass: specs[args.klass]}
+    report = lint_catalog(specs=specs, broker_policy=permissive_policy())
+    if args.json or args.sarif:
+        print(report.dumps(sarif=args.sarif))
+    else:
+        print(report.format())
+    status = 0
+    if args.fail_on != "never" and report.fails(Severity.parse(args.fail_on)):
+        status = 1
+    if args.crosscheck:
+        crosscheck = run_crosscheck(specs=specs)
+        if args.json:
+            print(_json.dumps([row.to_dict() for row in crosscheck.rows],
+                              indent=2, sort_keys=True))
+        else:
+            print()
+            print(crosscheck.format())
+        if not crosscheck.consistent:
+            status = 1
+    return status
+
+
 def _cmd_anomaly(args) -> int:
     from repro.anomaly import AnomalyDetector, generate_session_corpus
     logs = generate_session_corpus(n_benign=args.benign,
@@ -120,6 +157,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("threats", help="run the Table 1 threat analysis")
 
+    p_lint = sub.add_parser(
+        "lint", help="statically verify least-privilege of the spec catalog")
+    p_lint.add_argument("--class", dest="klass", metavar="NAME", default=None,
+                        help="lint a single ticket class (e.g. T-3)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable findings")
+    p_lint.add_argument("--sarif", action="store_true",
+                        help="SARIF-style findings (implies machine output)")
+    p_lint.add_argument("--fail-on", choices=("error", "warning", "never"),
+                        default="error",
+                        help="severity threshold for a non-zero exit status")
+    p_lint.add_argument("--crosscheck", action="store_true",
+                        help="also run the static/dynamic Table 1 cross-check")
+
     p_anom = sub.add_parser("anomaly", help="audit-log anomaly detection")
     p_anom.add_argument("--benign", type=int, default=40)
     p_anom.add_argument("--malicious", type=int, default=8)
@@ -130,7 +181,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"demo": _cmd_demo, "experiment": _cmd_experiment,
-                "threats": _cmd_threats, "anomaly": _cmd_anomaly}
+                "threats": _cmd_threats, "lint": _cmd_lint,
+                "anomaly": _cmd_anomaly}
     return handlers[args.command](args)
 
 

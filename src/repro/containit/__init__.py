@@ -1,6 +1,11 @@
 """ContainIT: perforated-container specs and runtime."""
 
-from repro.containit.container import AddressBook, AdminShell, PerforatedContainer
+from repro.containit.container import (
+    AddressBook,
+    AdminShell,
+    PerforatedContainer,
+    build_itfs_policy,
+)
 from repro.containit.terminal import Terminal
 from repro.containit.spec import (
     BATCH_SERVER,
@@ -15,6 +20,7 @@ from repro.containit.spec import (
     WHITELISTED_WEBSITES,
     PerforatedContainerSpec,
     fully_isolated_spec,
+    normalize_share_path,
 )
 
 __all__ = [
@@ -33,5 +39,7 @@ __all__ = [
     "TARGET_MACHINE",
     "Terminal",
     "WHITELISTED_WEBSITES",
+    "build_itfs_policy",
     "fully_isolated_spec",
+    "normalize_share_path",
 ]

@@ -69,6 +69,29 @@ _BASE_IMAGE = {
 }
 
 
+def build_itfs_policy(spec: PerforatedContainerSpec) -> PolicyManager:
+    """ITFS policy for ``spec``: WatchIT shield + the spec's hard constraints.
+
+    Pure function of the spec — used both at deploy time and by the static
+    perforation linter (:mod:`repro.analysis`), which must derive the
+    effective policy without deploying a container.
+    """
+    policy = PolicyManager(log_all=spec.monitor_filesystem)
+    policy.add_rule(PathRule("watchit-shield",
+                             prefixes=[WATCHIT_COMPONENT_ROOT]))
+    blocked_classes = tuple(spec.extra_fs_rule_classes)
+    if spec.block_documents:
+        blocked_classes = ("document", "image") + blocked_classes
+    if blocked_classes:
+        if spec.signature_monitoring:
+            policy.add_rule(SignatureRule("hard-constraint",
+                                          classes=blocked_classes))
+        else:
+            policy.add_rule(ExtensionRule("hard-constraint",
+                                          classes=blocked_classes))
+    return policy
+
+
 class AdminShell:
     """The administrator's handle on a live perforated-container session.
 
@@ -239,20 +262,7 @@ class PerforatedContainer:
     @staticmethod
     def _build_policy(spec: PerforatedContainerSpec) -> PolicyManager:
         """ITFS policy: WatchIT shield + the spec's hard constraints."""
-        policy = PolicyManager(log_all=spec.monitor_filesystem)
-        policy.add_rule(PathRule("watchit-shield",
-                                 prefixes=[WATCHIT_COMPONENT_ROOT]))
-        blocked_classes = tuple(spec.extra_fs_rule_classes)
-        if spec.block_documents:
-            blocked_classes = ("document", "image") + blocked_classes
-        if blocked_classes:
-            if spec.signature_monitoring:
-                policy.add_rule(SignatureRule("hard-constraint",
-                                              classes=blocked_classes))
-            else:
-                policy.add_rule(ExtensionRule("hard-constraint",
-                                              classes=blocked_classes))
-        return policy
+        return build_itfs_policy(spec)
 
     def _build_filesystem_view(self, policy: PolicyManager,
                                hostname: str) -> None:

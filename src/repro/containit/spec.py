@@ -34,6 +34,31 @@ ETC_DIRECTORY = "/etc"
 ROOT_DIRECTORY = "/"
 
 
+def normalize_share_path(share: str) -> str:
+    """Validate and normalize one ``fs_shares`` entry.
+
+    Shares must be absolute: a relative entry silently produces a broken
+    bind mount at deploy time (the resolver joins it against the deploying
+    process's cwd). ``..`` segments are rejected outright — a share like
+    ``/home/{user}/../root`` would escape the subtree it claims to expose.
+    Redundant slashes, ``.`` segments and trailing slashes are collapsed so
+    equal shares compare (and serialize) identically. The ``{user}``
+    template survives normalization as an ordinary path segment.
+    """
+    if not isinstance(share, str) or not share:
+        raise ValueError(f"fs share must be a non-empty string, got {share!r}")
+    if not share.startswith("/"):
+        raise ValueError(f"fs share {share!r} is not an absolute path")
+    parts = []
+    for part in share.split("/"):
+        if part in ("", "."):
+            continue
+        if part == "..":
+            raise ValueError(f"fs share {share!r} contains a '..' segment")
+        parts.append(part)
+    return "/" + "/".join(parts)
+
+
 @dataclass(frozen=True)
 class PerforatedContainerSpec:
     """Declarative confinement for one ticket class.
@@ -88,6 +113,8 @@ class PerforatedContainerSpec:
         unknown = set(self.network_allowed) - KNOWN_DESTINATIONS
         if unknown:
             raise ValueError(f"unknown network destinations: {sorted(unknown)}")
+        object.__setattr__(self, "fs_shares",
+                           tuple(normalize_share_path(s) for s in self.fs_shares))
 
     # ------------------------------------------------------------------
 
@@ -143,7 +170,13 @@ class PerforatedContainerSpec:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "PerforatedContainerSpec":
-        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        """Inverse of :meth:`to_dict`; unknown keys are rejected.
+
+        ``fs_shares`` entries go through :func:`normalize_share_path` like
+        directly-constructed specs, so a hand-edited image-repository JSON
+        with a relative or non-normalized share is rejected at load time
+        rather than producing a broken bind mount at deploy time.
+        """
         known = {
             "name", "description", "fs_shares", "network_allowed",
             "share_network_ns", "process_management", "share_ipc",

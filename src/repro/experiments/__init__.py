@@ -24,6 +24,10 @@ from repro.experiments.rig import (
     CaseStudyRig,
     build_case_study_rig,
 )
+from repro.experiments.lint_crosscheck import (
+    LintCrossCheckResult,
+    run_lint_crosscheck,
+)
 from repro.experiments.report import generate_report, write_report
 from repro.experiments.table1_threats import run_table1
 from repro.experiments.table2_lda import run_table2
@@ -37,6 +41,7 @@ from repro.experiments.table4_evaluation import (
 __all__ = [
     "CaseStudyRig",
     "DESTINATION_ENDPOINTS",
+    "LintCrossCheckResult",
     "PAPER_FIGURE7",
     "PAPER_FIGURE8A",
     "PAPER_FIGURE8B",
@@ -49,6 +54,7 @@ __all__ = [
     "run_figure7",
     "run_figure8",
     "run_figure9",
+    "run_lint_crosscheck",
     "run_table1",
     "run_table2",
     "run_table3",

@@ -10,7 +10,7 @@ so that each organization can create customized file filtering").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, FrozenSet, Iterable, List, Optional
+from typing import Callable, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.itfs.signatures import (
     SIGNATURE_HEAD_BYTES,
@@ -30,12 +30,20 @@ META_OPS = frozenset({"lookup", "stat", "readdir", "walk"})
 
 @dataclass(frozen=True)
 class Decision:
-    """Outcome of a policy evaluation."""
+    """Outcome of a policy evaluation.
+
+    ``matched`` lists *every* matching rule name in chain (installation)
+    order — a stable, deterministic ordering regardless of how the caller
+    assembled the rule collection — so audit records and lint findings
+    derived from a Decision never churn between runs. ``rule``/``reason``
+    always describe the chain-first match (the deciding rule).
+    """
 
     allowed: bool
     rule: str = ""
     log: bool = False
     reason: str = ""
+    matched: Tuple[str, ...] = ()
 
     @staticmethod
     def default_allow() -> "Decision":
@@ -182,21 +190,41 @@ class PolicyManager:
                     for r in self.rules if r.needs_head), default=0)
 
     def evaluate(self, op: str, path: str,
-                 head_loader: Optional[Callable[[], bytes]] = None) -> Decision:
-        """Evaluate ``op`` on ``path``; loads the head lazily, at most once."""
+                 head_loader: Optional[Callable[[], bytes]] = None,
+                 collect_all: bool = False) -> Decision:
+        """Evaluate ``op`` on ``path``; loads the head lazily, at most once.
+
+        The chain-first matching rule decides. With ``collect_all`` the
+        whole chain is evaluated and ``Decision.matched`` reports every
+        matching rule in chain order (used by audit tooling and the static
+        linter); without it evaluation short-circuits at the deciding rule
+        (the hot path) and ``matched`` holds just that rule.
+        """
         head: Optional[bytes] = None
         head_loaded = False
+        matched: List[Rule] = []
         for rule in self.rules:
             if rule.needs_head and not head_loaded and head_loader is not None:
                 head = head_loader()
                 head_loaded = True
             if rule.matches(op, path, head):
-                return Decision(allowed=rule.decision == "allow",
-                                rule=rule.name, log=rule.log,
-                                reason=f"rule:{rule.name}")
+                matched.append(rule)
+                if not collect_all:
+                    break
+        if matched:
+            first = matched[0]
+            return Decision(allowed=first.decision == "allow",
+                            rule=first.name, log=any(r.log for r in matched),
+                            reason=f"rule:{first.name}",
+                            matched=tuple(r.name for r in matched))
         log_default = self.log_all and (op in CONTENT_OPS or
                                         (self.log_meta and op in META_OPS))
         return Decision(allowed=True, log=log_default, reason="default")
+
+    def matching_rules(self, op: str, path: str,
+                       head: Optional[bytes] = None) -> Tuple[Rule, ...]:
+        """All rules matching ``(op, path, head)``, in stable chain order."""
+        return tuple(r for r in self.rules if r.matches(op, path, head))
 
 
 def document_blocking_policy(log_all: bool = True,

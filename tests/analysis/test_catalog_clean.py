@@ -1,0 +1,39 @@
+"""Tier-1 regression gate: the shipped spec catalog lints clean.
+
+Every future change to Table 3 specs, ITFS policy construction or broker
+class policies must keep the built-in catalog free of severity=error
+findings — the static least-privilege claim of the paper, now enforced.
+"""
+
+from repro.analysis import Severity, builtin_catalog, lint_catalog
+from repro.broker.policy import permissive_policy
+from repro.framework.images import (
+    SCRIPT_SPECS_CHEF_PUPPET,
+    SCRIPT_SPECS_CLUSTER,
+    TABLE3_SPECS,
+)
+
+
+class TestCatalogLintsClean:
+    def test_builtin_catalog_contains_all_shipped_specs(self):
+        catalog = builtin_catalog()
+        for name in (*TABLE3_SPECS, *SCRIPT_SPECS_CHEF_PUPPET,
+                     *SCRIPT_SPECS_CLUSTER):
+            assert name in catalog
+
+    def test_zero_error_findings_on_shipped_catalog(self):
+        report = lint_catalog(broker_policy=permissive_policy())
+        assert report.errors == [], \
+            "shipped catalog must lint clean at severity=error:\n" + \
+            report.format()
+
+    def test_linter_is_actually_active_on_the_catalog(self):
+        # guard against a silently no-op linter: the catalog legitimately
+        # carries defense-in-depth warnings (e.g. T-6's WIT002/WIT004)
+        report = lint_catalog(broker_policy=permissive_policy())
+        assert report.by_rule("WIT002") and report.by_rule("WIT004")
+        assert report.worst_severity() is Severity.WARNING
+
+    def test_table3_alone_lints_clean_without_broker(self):
+        report = lint_catalog(specs=dict(TABLE3_SPECS))
+        assert not report.errors

@@ -1,0 +1,175 @@
+"""Lint fixture suite: one minimal positive/negative spec per WIT rule."""
+
+import pytest
+
+from repro.analysis import (
+    LintTarget,
+    PerforationLinter,
+    Severity,
+    rule_catalog,
+)
+from repro.broker.policy import ClassEscalationPolicy
+from repro.containit import PerforatedContainerSpec
+from repro.itfs.policy import ExtensionRule, PathRule, PolicyManager
+from repro.kernel.capabilities import Capability, container_capability_set
+
+
+def spec(**kwargs) -> PerforatedContainerSpec:
+    kwargs.setdefault("name", "F-1")
+    return PerforatedContainerSpec(**kwargs)
+
+
+def caps_with(*extra: Capability):
+    return container_capability_set() | frozenset(extra)
+
+
+def policy_with(*rules) -> PolicyManager:
+    manager = PolicyManager()
+    for rule in rules:
+        manager.add_rule(rule)
+    return manager
+
+
+#: rule id -> (positive target, negative target). The positive fixture must
+#: trigger the rule; the negative must not.
+FIXTURES = {
+    "WIT001": (
+        LintTarget(spec(), capabilities=caps_with(Capability.CAP_SYS_CHROOT)),
+        LintTarget(spec()),
+    ),
+    "WIT002": (
+        LintTarget(spec(process_management=True)),
+        LintTarget(spec()),
+    ),
+    "WIT003": (
+        LintTarget(spec(), capabilities=caps_with(Capability.CAP_MKNOD)),
+        LintTarget(spec()),
+    ),
+    "WIT004": (
+        LintTarget(spec(fs_shares=("/",))),
+        LintTarget(spec(fs_shares=("/home/{user}",))),
+    ),
+    "WIT005": (
+        LintTarget(spec(share_ipc=True)),
+        LintTarget(spec()),
+    ),
+    "WIT010": (
+        LintTarget(spec(fs_shares=("/", "/home/{user}"))),
+        LintTarget(spec(fs_shares=("/home/{user}", "/etc"))),
+    ),
+    "WIT011": (
+        LintTarget(spec(share_network_ns=True,
+                        network_allowed=("license-server",))),
+        LintTarget(spec(share_network_ns=True)),
+    ),
+    "WIT012": (
+        LintTarget(spec(fs_shares=("/home/{user}",)),
+                   broker_policy=ClassEscalationPolicy(allow_tcb_update=True)),
+        LintTarget(spec(fs_shares=("/",)),
+                   broker_policy=ClassEscalationPolicy(allow_tcb_update=True)),
+    ),
+    "WIT013": (
+        LintTarget(spec(),
+                   broker_policy=ClassEscalationPolicy(
+                       network_destinations=frozenset({"*"}))),
+        LintTarget(spec(network_allowed=("license-server",)),
+                   broker_policy=ClassEscalationPolicy(
+                       network_destinations=frozenset({"*"}))),
+    ),
+    "WIT020": (
+        LintTarget(spec(), itfs_policy=policy_with(
+            PathRule("allow-everything", prefixes=["/"], decision="allow"),
+            ExtensionRule("no-documents", classes=("document",)))),
+        LintTarget(spec(), itfs_policy=policy_with(
+            ExtensionRule("no-documents", classes=("document",)),
+            PathRule("allow-tmp", prefixes=["/tmp"], decision="allow"))),
+    ),
+    "WIT021": (
+        LintTarget(spec(fs_shares=("/home/{user}",),
+                        monitor_filesystem=False),
+                   itfs_policy=policy_with(
+                       PathRule("dead-shield", prefixes=["/srv/backups"]))),
+        LintTarget(spec(fs_shares=("/home/{user}",)),
+                   itfs_policy=policy_with(
+                       PathRule("live-shield", prefixes=["/srv/backups"]))),
+    ),
+    "WIT022": (
+        LintTarget(spec(), itfs_policy=policy_with(
+            PathRule("twin", prefixes=["/a"]),
+            PathRule("twin", prefixes=["/b"]))),
+        LintTarget(spec(), itfs_policy=policy_with(
+            PathRule("one", prefixes=["/a"]),
+            PathRule("two", prefixes=["/b"]))),
+    ),
+    "WIT030": (
+        LintTarget(spec(fs_shares=("/etc",), monitor_filesystem=False)),
+        LintTarget(spec(fs_shares=("/etc",))),
+    ),
+    "WIT031": (
+        LintTarget(spec(network_allowed=("license-server",),
+                        monitor_network=False)),
+        LintTarget(spec(network_allowed=("license-server",))),
+    ),
+    "WIT032": (
+        LintTarget(spec(block_documents=False)),
+        LintTarget(spec()),
+    ),
+    "WIT033": (
+        LintTarget(spec(block_documents=False, signature_monitoring=True)),
+        LintTarget(spec(signature_monitoring=True)),
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def linter():
+    return PerforationLinter()
+
+
+class TestFixtureSuite:
+    @pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+    def test_positive_fixture_fires(self, linter, rule_id):
+        positive, _ = FIXTURES[rule_id]
+        report = linter.lint(positive)
+        assert report.by_rule(rule_id), \
+            f"{rule_id} did not fire on its positive fixture:\n{report.format()}"
+
+    @pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+    def test_negative_fixture_clean(self, linter, rule_id):
+        _, negative = FIXTURES[rule_id]
+        report = linter.lint(negative)
+        assert not report.by_rule(rule_id), \
+            f"{rule_id} fired on its negative fixture:\n{report.format()}"
+
+    def test_every_cataloged_rule_has_fixtures(self):
+        assert set(rule_catalog()) == set(FIXTURES)
+
+    def test_at_least_eight_distinct_rules(self):
+        # the acceptance floor: >= 8 distinct WIT* checker rules
+        assert len(rule_catalog()) >= 8
+        assert all(rid.startswith("WIT") for rid in rule_catalog())
+
+
+class TestEscapeSeverityEscalation:
+    def test_ptrace_warning_escalates_to_error_with_capability(self, linter):
+        warn = linter.lint(LintTarget(spec(process_management=True)))
+        assert warn.by_rule("WIT002")[0].severity is Severity.WARNING
+        err = linter.lint(LintTarget(
+            spec(process_management=True),
+            capabilities=caps_with(Capability.CAP_SYS_PTRACE)))
+        assert err.by_rule("WIT002")[0].severity is Severity.ERROR
+
+    def test_devmem_full_escalation(self, linter):
+        err = linter.lint(LintTarget(
+            spec(fs_shares=("/",)),
+            capabilities=caps_with(Capability.CAP_DEV_MEM)))
+        assert err.by_rule("WIT004")[0].severity is Severity.ERROR
+
+    def test_isolated_spec_has_no_escape_findings(self, linter):
+        report = linter.lint(LintTarget(spec()))
+        for rule_id in ("WIT001", "WIT002", "WIT003", "WIT004", "WIT005"):
+            assert not report.by_rule(rule_id)
+
+    def test_ipc_hole_is_error_not_warning(self, linter):
+        report = linter.lint(LintTarget(spec(share_ipc=True)))
+        assert report.by_rule("WIT005")[0].severity is Severity.ERROR

@@ -1,0 +1,116 @@
+"""Linter driver + report rendering (JSON / SARIF / text) semantics."""
+
+import json
+
+from repro.analysis import (
+    LintTarget,
+    PerforationLinter,
+    PrivilegeModel,
+    Severity,
+    lint_catalog,
+    rule_catalog,
+    template_covers,
+    templates_overlap,
+)
+from repro.containit import PerforatedContainerSpec
+from repro.kernel.namespaces import NamespaceKind
+
+
+def spec(**kwargs):
+    kwargs.setdefault("name", "F-1")
+    return PerforatedContainerSpec(**kwargs)
+
+
+class TestPrivilegeModel:
+    def test_full_root_sees_everything(self):
+        model = PrivilegeModel(spec(fs_shares=("/",)))
+        assert model.path_visible("/dev/mem")
+        assert model.subtree_reachable("/opt/watchit")
+        assert model.tcb_surface
+
+    def test_template_wildcard_matching(self):
+        assert template_covers("/home/{user}", "/home/alice/notes.txt")
+        assert template_covers("/home", "/home/{user}")
+        assert not template_covers("/home/{user}/a", "/home/alice")
+        assert templates_overlap("/home/{user}", "/home")
+        assert not templates_overlap("/etc", "/home/{user}")
+
+    def test_network_modes(self):
+        assert PrivilegeModel(spec()).network_mode == "isolated"
+        assert PrivilegeModel(spec(share_network_ns=True)).network_mode == "host"
+        assert PrivilegeModel(
+            spec(network_allowed=("license-server",))).network_mode == "firewalled"
+
+    def test_escape_paths_cover_all_modeled_routes(self):
+        paths = PrivilegeModel(spec()).escape_paths()
+        assert {p.key for p in paths} == \
+            {"chroot", "ptrace", "mknod", "devmem", "ipc"}
+        # Table 1 ids for the four escape attacks; ipc is the extra probe
+        assert {p.attack_id for p in paths} == {0, 1, 2, 3, 4}
+
+    def test_pid_hole_reaches_capability_gate(self):
+        model = PrivilegeModel(spec(process_management=True))
+        assert model.shares_namespace(NamespaceKind.PID)
+        path = model.escape_path("ptrace")
+        assert path.reachable_past_isolation and not path.fully_reachable
+        assert path.residual_defense == "CAP_SYS_PTRACE dropped"
+
+
+class TestReports:
+    def test_json_shape(self):
+        report = lint_catalog()
+        payload = report.to_json()
+        assert payload["linter"] == "watchit-perforation-linter"
+        assert set(payload["summary"]) == {"error", "warning", "info"}
+        for finding in payload["findings"]:
+            assert set(finding) == {"rule", "severity", "subject",
+                                    "location", "message", "evidence"}
+        json.dumps(payload)  # round-trips through json
+
+    def test_sarif_shape(self):
+        report = lint_catalog()
+        sarif = report.to_sarif()
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert rules == set(rule_catalog())
+        for result in run["results"]:
+            assert result["ruleId"] in rules
+            assert result["level"] in ("note", "warning", "error")
+        json.dumps(sarif)
+
+    def test_text_format_mentions_rules_and_counts(self):
+        report = lint_catalog()
+        text = report.format()
+        assert "Perforation lint" in text
+        for finding in report.findings:
+            assert finding.rule_id in text
+
+    def test_report_ordering_is_deterministic(self):
+        first = lint_catalog().dumps()
+        second = lint_catalog().dumps()
+        assert first == second
+
+    def test_severity_ordering_and_fails(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+        report = lint_catalog()
+        assert not report.fails(Severity.ERROR)
+        assert report.fails(Severity.WARNING)  # catalog carries warnings
+        assert Severity.parse("warning") is Severity.WARNING
+
+    def test_errors_sort_before_warnings(self):
+        linter = PerforationLinter()
+        report = linter.lint(LintTarget(
+            spec(share_ipc=True, process_management=True)))
+        severities = [f.severity for f in report.findings]
+        assert severities == sorted(severities, reverse=True)
+        assert report.findings[0].rule_id == "WIT005"
+
+    def test_lint_many_aggregates_subjects(self):
+        linter = PerforationLinter()
+        report = linter.lint_many([
+            LintTarget(spec(name="A-1", share_ipc=True)),
+            LintTarget(spec(name="A-2")),
+        ])
+        assert report.targets == ("A-1", "A-2")
+        assert report.for_subject("A-1") and not report.for_subject("A-2")

@@ -67,3 +67,38 @@ class TestSummaries:
         assert spec.name == "T-11"
         assert spec.fs_shares == () and spec.network_allowed == ()
         assert spec.monitor_filesystem and spec.monitor_network
+
+
+class TestShareNormalization:
+    def test_relative_path_rejected(self):
+        with pytest.raises(ValueError):
+            PerforatedContainerSpec(name="x", fs_shares=("home/alice",))
+
+    def test_parent_traversal_rejected(self):
+        with pytest.raises(ValueError):
+            PerforatedContainerSpec(name="x", fs_shares=("/home/../etc",))
+
+    def test_empty_and_non_string_rejected(self):
+        with pytest.raises(ValueError):
+            PerforatedContainerSpec(name="x", fs_shares=("",))
+        with pytest.raises(ValueError):
+            PerforatedContainerSpec(name="x", fs_shares=(None,))
+
+    def test_redundant_segments_normalized(self):
+        spec = PerforatedContainerSpec(
+            name="x", fs_shares=("//srv//backups/", "/etc/./chef"))
+        assert spec.fs_shares == ("/srv/backups", "/etc/chef")
+
+    def test_root_share_survives_normalization(self):
+        spec = PerforatedContainerSpec(name="x", fs_shares=("//",))
+        assert spec.fs_shares == ("/",)
+        assert spec.shares_full_root
+
+    def test_user_template_preserved(self):
+        spec = PerforatedContainerSpec(name="x", fs_shares=("/home/{user}/",))
+        assert spec.fs_shares == (HOME_DIRECTORY,)
+
+    def test_from_dict_normalizes_too(self):
+        spec = PerforatedContainerSpec.from_dict(
+            {"name": "x", "fs_shares": ["/opt//chef/"]})
+        assert spec.fs_shares == ("/opt/chef",)

@@ -40,3 +40,40 @@ class TestCommands:
     def test_anomaly(self, capsys):
         assert main(["anomaly", "--benign", "10", "--malicious", "3"]) == 0
         assert "precision" in capsys.readouterr().out
+
+
+class TestLintCommand:
+    def test_text_output_is_error_clean(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "Perforation lint" in out
+        assert "0 error(s)" in out
+
+    def test_json_output_parses_with_zero_errors(self, capsys):
+        import json
+        assert main(["lint", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["error"] == 0
+        assert payload["targets"]  # whole catalog linted
+
+    def test_sarif_output(self, capsys):
+        import json
+        assert main(["lint", "--sarif"]) == 0
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["version"] == "2.1.0"
+
+    def test_single_class_filter(self, capsys):
+        assert main(["lint", "--class", "T-3", "--json"]) == 0
+        import json
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["targets"] == ["T-3"]
+
+    def test_unknown_class_exits_2(self, capsys):
+        assert main(["lint", "--class", "T-99"]) == 2
+        assert "unknown" in capsys.readouterr().err.lower()
+
+    def test_fail_on_warning_fails_the_catalog(self, capsys):
+        # the shipped catalog carries defense-in-depth warnings, so a
+        # stricter gate must flip the exit code
+        assert main(["lint", "--fail-on", "warning"]) == 1
+        assert main(["lint", "--fail-on", "never"]) == 0

@@ -99,3 +99,46 @@ class TestEvaluationOrder:
     def test_meta_ops_constant(self):
         assert "stat" in META_OPS and "readdir" in META_OPS
         assert META_OPS.isdisjoint(CONTENT_OPS)
+
+
+class TestDecisionDeterminism:
+    def _overlapping_policy(self):
+        policy = PolicyManager(log_all=False)
+        policy.add_rule(PathRule("deny-srv", prefixes=["/srv"], log=False))
+        policy.add_rule(ExtensionRule("deny-keys", extensions=[".pem"]))
+        policy.add_rule(PathRule("deny-all", prefixes=["/"], log=False))
+        return policy
+
+    def test_first_match_decides_and_is_recorded(self):
+        decision = self._overlapping_policy().evaluate("read", "/srv/id.pem")
+        assert decision.reason == "rule:deny-srv"
+        assert decision.matched == ("deny-srv",)
+
+    def test_collect_all_lists_matches_in_chain_order(self):
+        decision = self._overlapping_policy().evaluate(
+            "read", "/srv/id.pem", collect_all=True)
+        assert decision.reason == "rule:deny-srv"
+        assert decision.matched == ("deny-srv", "deny-keys", "deny-all")
+
+    def test_collect_all_is_deterministic(self):
+        results = {
+            self._overlapping_policy().evaluate(
+                "read", "/srv/id.pem", collect_all=True).matched
+            for _ in range(5)
+        }
+        assert len(results) == 1
+
+    def test_collect_all_log_is_or_of_matches(self):
+        # the deciding rule does not log, but a later matching rule does
+        decision = self._overlapping_policy().evaluate(
+            "read", "/srv/id.pem", collect_all=True)
+        assert decision.log
+
+    def test_matching_rules_helper(self):
+        policy = self._overlapping_policy()
+        names = [r.name for r in policy.matching_rules("read", "/srv/id.pem")]
+        assert names == ["deny-srv", "deny-keys", "deny-all"]
+
+    def test_default_decision_has_empty_matched(self):
+        decision = PolicyManager(log_all=False).evaluate("read", "/x")
+        assert decision.matched == ()

@@ -1,0 +1,100 @@
+"""Property-based tests: spec serialization round-trip + share normalization."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.containit import PerforatedContainerSpec
+from repro.containit.spec import KNOWN_DESTINATIONS, normalize_share_path
+
+segment = st.text(alphabet=string.ascii_lowercase + string.digits,
+                  min_size=1, max_size=8)
+share = st.builds(
+    lambda parts, user: "/" + "/".join(parts + (["{user}"] if user else [])),
+    st.lists(segment, min_size=0, max_size=4),
+    st.booleans())
+messy_share = st.builds(
+    lambda base, extra_slashes, dots, trailing:
+        base.replace("/", "/" * extra_slashes, 1)
+        + ("/." if dots else "")
+        + ("/" if trailing and base != "/" else ""),
+    share,
+    st.integers(min_value=1, max_value=3),
+    st.booleans(), st.booleans())
+
+spec_strategy = st.builds(
+    PerforatedContainerSpec,
+    name=st.text(alphabet=string.ascii_uppercase + string.digits + "-",
+                 min_size=1, max_size=8),
+    fs_shares=st.lists(share, max_size=4).map(tuple),
+    network_allowed=st.lists(
+        st.sampled_from(sorted(KNOWN_DESTINATIONS)),
+        max_size=3, unique=True).map(tuple),
+    share_network_ns=st.booleans(),
+    process_management=st.booleans(),
+    share_ipc=st.booleans(),
+    share_uts=st.booleans(),
+    monitor_filesystem=st.booleans(),
+    monitor_network=st.booleans(),
+    block_documents=st.booleans(),
+    signature_monitoring=st.booleans(),
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(spec_strategy)
+    def test_to_dict_from_dict_identity(self, spec):
+        assert PerforatedContainerSpec.from_dict(spec.to_dict()) == spec
+
+    @settings(max_examples=50, deadline=None)
+    @given(spec_strategy)
+    def test_to_dict_is_json_plain(self, spec):
+        import json
+        assert json.loads(json.dumps(spec.to_dict())) == spec.to_dict()
+
+    @settings(max_examples=50, deadline=None)
+    @given(spec_strategy)
+    def test_double_roundtrip_stable(self, spec):
+        once = PerforatedContainerSpec.from_dict(spec.to_dict())
+        twice = PerforatedContainerSpec.from_dict(once.to_dict())
+        assert once == twice
+
+
+class TestNormalizationProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(messy_share)
+    def test_normalization_idempotent(self, raw):
+        normalized = normalize_share_path(raw)
+        assert normalize_share_path(normalized) == normalized
+
+    @settings(max_examples=100, deadline=None)
+    @given(messy_share)
+    def test_normalized_form_is_canonical(self, raw):
+        normalized = normalize_share_path(raw)
+        assert normalized.startswith("/")
+        assert "//" not in normalized
+        assert normalized == "/" or not normalized.endswith("/")
+        assert "." not in normalized.split("/")
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(segment, min_size=1, max_size=4))
+    def test_relative_paths_always_rejected(self, parts):
+        with pytest.raises(ValueError):
+            normalize_share_path("/".join(parts))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(segment, min_size=0, max_size=3),
+           st.lists(segment, min_size=0, max_size=3))
+    def test_parent_traversal_always_rejected(self, before, after):
+        raw = "/" + "/".join([*before, "..", *after])
+        with pytest.raises(ValueError):
+            normalize_share_path(raw)
+
+    @settings(max_examples=100, deadline=None)
+    @given(messy_share)
+    def test_spec_accepts_and_stores_normalized(self, raw):
+        spec = PerforatedContainerSpec(name="P-1", fs_shares=(raw,))
+        assert spec.fs_shares == (normalize_share_path(raw),)
