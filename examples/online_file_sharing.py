@@ -61,7 +61,7 @@ def main() -> None:
     print("  reachable after: ", shell.net_reachable("10.0.1.20", 2049))
 
     print(f"\nbroker audit trail ({len(broker.audit)} records, verified "
-          f"{broker.audit.verify()}):")
+          f"{broker.audit.is_intact()}):")
     for record in broker.audit.records:
         print(f"  [{record.decision}] {record.op} {record.path}")
     container.terminate("demo over")

@@ -93,7 +93,7 @@ def main() -> None:
         print(f"  card processor unreachable: {exc}")
 
     print(f"\naudit trail: {len(container.fs_audit)} fs records "
-          f"(verified {container.fs_audit.verify()}); "
+          f"(verified {container.fs_audit.is_intact()}); "
           f"{len(broker.audit)} broker records — the bank can review "
           f"exactly what its vendor did")
     container.terminate("maintenance window closed")

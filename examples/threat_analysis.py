@@ -52,7 +52,7 @@ def narrated_attempt() -> None:
     denied = rig.container.fs_audit.filter(decision="deny")
     print(f"\nevery attempt left a trail: {len(denied)} denials in the "
           f"tamper-evident audit log (chain verified: "
-          f"{rig.container.fs_audit.verify()})")
+          f"{rig.container.fs_audit.is_intact()})")
     rig.container.terminate("demo over")
 
 

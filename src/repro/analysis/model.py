@@ -14,7 +14,7 @@ succeed under this configuration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Tuple
 
 from repro.broker.policy import ClassEscalationPolicy
@@ -190,7 +190,6 @@ class PrivilegeModel:
 
     def escape_paths(self) -> Tuple[EscapePath, ...]:
         """The symbolic walk of every modeled escape route's gates."""
-        spec = self.spec
         chroot = EscapePath(
             attack_id=1, key="chroot",
             name="Escape perforated container boundaries (double chroot)",

@@ -10,7 +10,7 @@ baseline detector in :mod:`repro.anomaly.detector`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

@@ -18,7 +18,14 @@ import hmac
 import itertools
 import struct
 
+from repro import obs
 from repro.errors import BrokerDenied
+
+
+def _reject(reason: str, message: str) -> BrokerDenied:
+    """Count one rejected frame and build the error to raise."""
+    obs.registry().counter("broker_channel_rejects", reason=reason).inc()
+    return BrokerDenied(f"secure channel: {message}")
 
 
 def _keystream(key: bytes, nonce: int, length: int) -> bytes:
@@ -60,6 +67,7 @@ class SecureChannel:
 
     def seal(self, plaintext: bytes) -> bytes:
         """Encrypt-then-MAC one message."""
+        obs.registry().counter("broker_frames_sealed").inc()
         nonce = next(self._send_nonce)
         header = struct.pack(">Q", nonce)
         ciphertext = _xor(plaintext,
@@ -75,18 +83,19 @@ class SecureChannel:
             BrokerDenied: bad tag, truncated frame, or replayed nonce.
         """
         if len(frame) < self.NONCE_LEN + self.TAG_LEN:
-            raise BrokerDenied("secure channel: truncated frame")
+            raise _reject("truncated", "truncated frame")
         header = frame[:self.NONCE_LEN]
         ciphertext = frame[self.NONCE_LEN:-self.TAG_LEN]
         tag = frame[-self.TAG_LEN:]
         expected = hmac.new(self._mac_key, header + ciphertext,
                             hashlib.sha256).digest()
         if not hmac.compare_digest(tag, expected):
-            raise BrokerDenied("secure channel: authentication failed")
+            raise _reject("auth-failure", "authentication failed")
         (nonce,) = struct.unpack(">Q", header)
         if nonce <= self._last_seen_nonce:
-            raise BrokerDenied("secure channel: replayed frame")
+            raise _reject("replay", "replayed frame")
         self._last_seen_nonce = nonce
+        obs.registry().counter("broker_frames_opened").inc()
         return _xor(ciphertext,
                     _keystream(self._enc_key, nonce, len(ciphertext)))
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.broker.filesharing import share_directory
 from repro.broker.policy import BrokerPolicy, permissive_policy
 from repro.broker.protocol import BrokerRequest, BrokerResponse, RequestKind
@@ -64,29 +65,41 @@ class PermissionBroker:
         try:
             request = BrokerRequest.from_bytes(data)
         except KernelError as exc:
+            obs.registry().counter("broker_malformed_requests").inc()
             return BrokerResponse(ok=False, error=str(exc)).to_bytes()
         return self.handle(request).to_bytes()
 
     def handle(self, request: BrokerRequest) -> BrokerResponse:
         """Policy-check, log, and execute one escalation request."""
         self.requests_handled += 1
-        granted, reason = self.policy.evaluate(request)
-        self.audit.append(actor=request.requester,
-                          op=f"pb-{request.kind.value}",
-                          path=str(request.args.get("host_path")
-                                   or request.args.get("destination")
-                                   or request.args.get("command")
-                                   or request.args.get("package") or ""),
-                          decision="allow" if granted else "deny",
-                          rule=reason, ticket_class=request.ticket_class,
-                          args={k: str(v) for k, v in request.args.items()})
-        if not granted:
-            return BrokerResponse(ok=False, error=f"denied: {reason}")
-        try:
-            output = self._dispatch(request)
-        except ReproError as exc:
-            return BrokerResponse(ok=False, error=str(exc))
-        return BrokerResponse(ok=True, output=output)
+        registry = obs.registry()
+        kind = request.kind.value
+        registry.counter("broker_requests_total", kind=kind).inc()
+        with obs.tracer().span(f"broker:{kind}",
+                               requester=request.requester,
+                               ticket_class=request.ticket_class) as span:
+            granted, reason = self.policy.evaluate(request)
+            span.set(granted=granted, rule=reason)
+            self.audit.append(actor=request.requester,
+                              op=f"pb-{request.kind.value}",
+                              path=str(request.args.get("host_path")
+                                       or request.args.get("destination")
+                                       or request.args.get("command")
+                                       or request.args.get("package") or ""),
+                              decision="allow" if granted else "deny",
+                              rule=reason, ticket_class=request.ticket_class,
+                              args={k: str(v) for k, v in request.args.items()})
+            if not granted:
+                registry.counter("broker_denied_total", kind=kind).inc()
+                return BrokerResponse(ok=False, error=f"denied: {reason}")
+            registry.counter("broker_granted_total", kind=kind).inc()
+            try:
+                output = self._dispatch(request)
+            except ReproError as exc:
+                registry.counter("broker_dispatch_errors", kind=kind).inc()
+                span.set(dispatch_error=str(exc))
+                return BrokerResponse(ok=False, error=str(exc))
+            return BrokerResponse(ok=True, output=output)
 
     # ------------------------------------------------------------------
     # operations

@@ -7,6 +7,8 @@ Commands:
     threats              run the Table 1 threat analysis
     lint                 static perforation linter over the spec catalog
     anomaly              run the audit-log anomaly-detection extension
+    metrics [TARGET]     run a workload, dump the shared metrics registry
+    trace [TARGET]       run a workload, print the structured span tree
 """
 
 from __future__ import annotations
@@ -17,6 +19,9 @@ from typing import List, Optional
 
 EXPERIMENT_NAMES = ("table1", "table2", "table3", "table4",
                     "figure7", "figure8", "figure9")
+
+#: workloads the ``metrics``/``trace`` subcommands can replay
+INSTRUMENTED_TARGETS = ("table1", "demo")
 
 
 def _cmd_demo(_args) -> int:
@@ -67,21 +72,30 @@ def _run_experiment(name: str, full: bool) -> int:
 
 
 def _cmd_experiment(args) -> int:
-    if getattr(args, "report", None):
-        if args.name != "all":
-            print("--report requires 'all'", file=sys.stderr)
-            return 2
-        from repro.experiments import write_report
-        path = write_report(args.report, full=args.full)
-        print(f"report written to {path}")
+    def _go() -> int:
+        if getattr(args, "report", None):
+            if args.name != "all":
+                print("--report requires 'all'", file=sys.stderr)
+                return 2
+            from repro.experiments import write_report
+            path = write_report(args.report, full=args.full)
+            print(f"report written to {path}")
+            return 0
+        names = EXPERIMENT_NAMES if args.name == "all" else (args.name,)
+        for name in names:
+            print("=" * 72)
+            status = _run_experiment(name, args.full)
+            if status:
+                return status
         return 0
-    names = EXPERIMENT_NAMES if args.name == "all" else (args.name,)
-    for name in names:
-        print("=" * 72)
-        status = _run_experiment(name, args.full)
-        if status:
-            return status
-    return 0
+
+    if getattr(args, "metrics_out", None):
+        from repro.experiments import run_with_metrics
+        status, _ = run_with_metrics(_go, metrics_out=args.metrics_out)
+        if status == 0:
+            print(f"metrics written to {args.metrics_out}")
+        return status
+    return _go()
 
 
 def _cmd_threats(_args) -> int:
@@ -129,6 +143,80 @@ def _cmd_lint(args) -> int:
     return status
 
 
+def passthrough_table1_spec(cache_capacity: int = 4):
+    """The metrics-replay spec: T-6 with the ITFS decision cache enabled.
+
+    A deliberately small cache so one Table 1 replay exercises hits,
+    misses *and* LRU evictions.
+    """
+    from repro.containit import ROOT_DIRECTORY, PerforatedContainerSpec
+    return PerforatedContainerSpec(
+        name="T-6", description="software (full root view, ITFS pass-through)",
+        fs_shares=(ROOT_DIRECTORY,),
+        network_allowed=("whitelisted-websites",),
+        process_management=True,
+        fs_passthrough=True, fs_cache_capacity=cache_capacity)
+
+
+def _steady_state_session(cache_capacity: int) -> None:
+    """One admin session with a repetitive working set.
+
+    The Table 1 attacks are all one-shot, so on their own they never
+    re-read a path (no cache hits) or outgrow the decision cache (no
+    evictions), and none of them escalates through the broker. This
+    segment covers the steady-state behaviour the attacks skip: a hot
+    file read repeatedly, a working set wider than the cache, and one
+    granted plus one refused broker escalation.
+    """
+    from repro.threats import ThreatRig
+    rig = ThreatRig.build(passthrough_table1_spec(cache_capacity))
+    shell = rig.shell
+    for _ in range(4):
+        shell.read_file("/home/victim/notes.txt")
+    for i in range(cache_capacity + 2):
+        path = f"/home/victim/scratch-{i}.log"
+        shell.write_file(path, b"replay")
+        shell.read_file(path)
+    rig.client.pb("ps -a")          # granted escalation
+    rig.client.pb("rm scratch-0")   # refused: not an allowed command
+    rig.container.terminate("metrics replay done")
+
+
+def _run_instrumented(target: str, cache_capacity: int) -> None:
+    """Replay one workload against freshly reset observability state."""
+    from repro import obs
+    obs.reset()
+    if target == "table1":
+        from repro.threats import run_threat_analysis
+        run_threat_analysis(spec=passthrough_table1_spec(cache_capacity))
+        _steady_state_session(cache_capacity)
+    else:  # demo
+        _cmd_demo(None)
+
+
+def _cmd_metrics(args) -> int:
+    from repro import obs
+    _run_instrumented(args.target, args.cache_capacity)
+    if args.json:
+        print(obs.registry().to_json())
+    else:
+        print(obs.registry().format(prefix=args.prefix))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro import obs
+    _run_instrumented(args.target, args.cache_capacity)
+    tracer = obs.tracer()
+    if args.jsonl:
+        print(tracer.to_jsonl())
+    else:
+        print(tracer.format_tree(limit=args.limit))
+        print(f"\n{tracer.spans_started} spans started, "
+              f"{tracer.spans_dropped} dropped by the ring buffer")
+    return 0
+
+
 def _cmd_anomaly(args) -> int:
     from repro.anomaly import AnomalyDetector, generate_session_corpus
     logs = generate_session_corpus(n_benign=args.benign,
@@ -154,6 +242,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="paper-scale parameters (slower)")
     p_exp.add_argument("--report", metavar="PATH", default=None,
                        help="with 'all': write a markdown report to PATH")
+    p_exp.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="dump the run's metrics registry as JSON to PATH")
 
     sub.add_parser("threats", help="run the Table 1 threat analysis")
 
@@ -175,6 +265,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_anom.add_argument("--benign", type=int, default=40)
     p_anom.add_argument("--malicious", type=int, default=8)
     p_anom.add_argument("--threshold", type=float, default=6.0)
+
+    p_met = sub.add_parser(
+        "metrics", help="replay a workload and dump the metrics registry")
+    p_met.add_argument("target", nargs="?", default="table1",
+                       choices=INSTRUMENTED_TARGETS)
+    p_met.add_argument("--json", action="store_true",
+                       help="full JSON snapshot instead of the text report")
+    p_met.add_argument("--prefix", default="",
+                       help="only report metric names with this prefix")
+    p_met.add_argument("--cache-capacity", type=int, default=4,
+                       help="ITFS decision-cache bound for the table1 replay")
+
+    p_tr = sub.add_parser(
+        "trace", help="replay a workload and print the structured span tree")
+    p_tr.add_argument("target", nargs="?", default="table1",
+                      choices=INSTRUMENTED_TARGETS)
+    p_tr.add_argument("--jsonl", action="store_true",
+                      help="machine-readable span records, one per line")
+    p_tr.add_argument("--limit", type=int, default=60,
+                      help="most recent spans to show in the tree")
+    p_tr.add_argument("--cache-capacity", type=int, default=4,
+                      help="ITFS decision-cache bound for the table1 replay")
     return parser
 
 
@@ -182,7 +294,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"demo": _cmd_demo, "experiment": _cmd_experiment,
                 "threats": _cmd_threats, "lint": _cmd_lint,
-                "anomaly": _cmd_anomaly}
+                "anomaly": _cmd_anomaly, "metrics": _cmd_metrics,
+                "trace": _cmd_trace}
     return handlers[args.command](args)
 
 

@@ -22,6 +22,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.errors import SessionTerminated
 from repro.itfs import (
     ITFS,
@@ -42,7 +43,6 @@ from repro.kernel import (
     contained_root_credentials,
 )
 from repro.kernel.resolver import resolve
-from repro.kernel.vfs import parent_path
 from repro.netmon import (
     EncryptedContentSniffRule,
     FileSignatureSniffRule,
@@ -251,11 +251,13 @@ class PerforatedContainer:
                         init_proc=init_proc, fs_audit=fs_audit,
                         net_audit=net_audit, container_ip=container_ip)
         container.host_peers = peers
-        container._build_filesystem_view(policy, hostname)
-        container._build_network_view(address_book)
-        container._arm_watchdog()
+        with obs.tracer().span("containit:deploy", spec=spec.name, user=user):
+            container._build_filesystem_view(policy, hostname)
+            container._build_network_view(address_book)
+            container._arm_watchdog()
         if NamespaceKind.UTS in spec.clone_flags():
             init_proc.namespaces.uts.hostname = hostname
+        obs.registry().counter("containit_deployments", spec=spec.name).inc()
         kernel.record_event("container_deployed", spec=spec.name, user=user)
         return container
 
@@ -272,7 +274,9 @@ class PerforatedContainer:
         if spec.shares_full_root:
             # T-6 style: the whole host root, ITFS-monitored, as '/'
             itfs = ITFS(kernel.rootfs, policy, audit=self.fs_audit,
-                        backing_subpath="/", label="itfs")
+                        backing_subpath="/", label="itfs",
+                        passthrough=spec.fs_passthrough,
+                        cache_capacity=spec.fs_cache_capacity)
             self.itfs_mounts.append(itfs)
             table.add(Mount(fs=itfs, mountpoint="/", source="itfs"))
         else:
@@ -288,7 +292,9 @@ class PerforatedContainer:
                 # container are monitored — T-11 relies on this to track
                 # everything done for unclassified tickets.
                 root_fs = ITFS(confs, policy, audit=self.fs_audit,
-                               backing_subpath="/", label="itfs:conFS")
+                               backing_subpath="/", label="itfs:conFS",
+                               passthrough=spec.fs_passthrough,
+                               cache_capacity=spec.fs_cache_capacity)
                 self.itfs_mounts.append(root_fs)
             else:
                 root_fs = confs
@@ -309,7 +315,9 @@ class PerforatedContainer:
         resolved = resolve(kernel.init, host_path)
         itfs = ITFS(resolved.fs, policy, audit=self.fs_audit,
                     backing_subpath=resolved.fspath,
-                    label=f"itfs:{host_path}")
+                    label=f"itfs:{host_path}",
+                    passthrough=self.spec.fs_passthrough,
+                    cache_capacity=self.spec.fs_cache_capacity)
         self.itfs_mounts.append(itfs)
         # skeleton directories in conFS so path resolution can reach the
         # mountpoint
@@ -367,6 +375,7 @@ class PerforatedContainer:
                                        creds=contained_root_credentials())
         shell = AdminShell(self, shell_proc, admin)
         self.sessions.append(shell)
+        obs.registry().counter("containit_logins", spec=self.spec.name).inc()
         self.kernel.record_event("admin_login", admin=admin, spec=self.spec.name)
         return shell
 
@@ -390,6 +399,10 @@ class PerforatedContainer:
         for peer in self.host_peers.values():
             if peer.alive:
                 peer.die(0)
+        obs.registry().counter("containit_terminations",
+                               spec=self.spec.name).inc()
+        obs.tracer().event("containit:terminate", spec=self.spec.name,
+                           reason=reason)
         self.kernel.record_event("container_terminated", spec=self.spec.name,
                                  reason=reason)
 

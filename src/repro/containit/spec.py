@@ -10,7 +10,7 @@ permission set is granted, and which hard constraints apply.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, Tuple
 
 from repro.kernel.namespaces import ALL_CLONE_FLAGS, NamespaceKind
 
@@ -108,11 +108,20 @@ class PerforatedContainerSpec:
     #: and the target machines, since configurations might need to be
     #: fixed in both of them").
     deploy_on_target_too: bool = False
+    #: enable ITFS pass-through read/write mode (the Rajgarhia & Gehani
+    #: decision cache the paper cites): repeat reads/writes of a path skip
+    #: policy re-evaluation until a mutation invalidates the entry.
+    fs_passthrough: bool = False
+    #: bound on the pass-through decision cache (entries, LRU-evicted).
+    fs_cache_capacity: int = 1024
 
     def __post_init__(self):
         unknown = set(self.network_allowed) - KNOWN_DESTINATIONS
         if unknown:
             raise ValueError(f"unknown network destinations: {sorted(unknown)}")
+        if self.fs_cache_capacity < 1:
+            raise ValueError(
+                f"fs_cache_capacity must be >= 1, got {self.fs_cache_capacity}")
         object.__setattr__(self, "fs_shares",
                            tuple(normalize_share_path(s) for s in self.fs_shares))
 
@@ -166,6 +175,8 @@ class PerforatedContainerSpec:
             "monitor_filesystem": self.monitor_filesystem,
             "monitor_network": self.monitor_network,
             "deploy_on_target_too": self.deploy_on_target_too,
+            "fs_passthrough": self.fs_passthrough,
+            "fs_cache_capacity": self.fs_cache_capacity,
         }
 
     @classmethod
@@ -183,6 +194,7 @@ class PerforatedContainerSpec:
             "share_uts", "block_documents", "signature_monitoring",
             "extra_fs_rule_classes", "installed_software",
             "monitor_filesystem", "monitor_network", "deploy_on_target_too",
+            "fs_passthrough", "fs_cache_capacity",
         }
         unknown = set(data) - known
         if unknown:

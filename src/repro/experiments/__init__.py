@@ -23,6 +23,7 @@ from repro.experiments.rig import (
     STANDARD_ADDRESS_BOOK,
     CaseStudyRig,
     build_case_study_rig,
+    run_with_metrics,
 )
 from repro.experiments.lint_crosscheck import (
     LintCrossCheckResult,
@@ -59,5 +60,6 @@ __all__ = [
     "run_table2",
     "run_table3",
     "run_table4",
+    "run_with_metrics",
     "write_report",
 ]

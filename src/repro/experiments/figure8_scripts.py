@@ -15,7 +15,6 @@ from repro.containit import PerforatedContainer
 from repro.experiments.rig import build_case_study_rig
 from repro.framework.images import SCRIPT_SPECS_CHEF_PUPPET, SCRIPT_SPECS_CLUSTER
 from repro.workload.scripts import (
-    ITScript,
     assign_script_container,
     chef_puppet_scripts,
     cluster_scripts,

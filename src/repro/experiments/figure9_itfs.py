@@ -20,7 +20,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
-from repro.itfs import ITFS, AppendOnlyLog, PolicyManager, document_blocking_policy
+from repro.itfs import ITFS, AppendOnlyLog, document_blocking_policy
 from repro.workload.fsbench import (
     build_file_tree,
     grep_workload,

@@ -9,7 +9,7 @@ commentary).
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.experiments.figure7_distribution import run_figure7
 from repro.experiments.figure8_scripts import run_figure8
@@ -21,7 +21,6 @@ from repro.experiments.table4_evaluation import run_table4
 
 
 def _sections(full: bool) -> List[Tuple[str, object]]:
-    scale = dict(full=full)
     return [
         ("Table 1 — threat analysis",
          lambda: run_table1()),

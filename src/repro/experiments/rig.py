@@ -10,8 +10,9 @@ standard address book.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
+from repro import obs
 from repro.containit import AddressBook
 from repro.kernel import Kernel, Network
 from repro.tcb import install_watchit_components
@@ -108,3 +109,24 @@ def build_case_study_rig(hostname: str = "ws-01") -> CaseStudyRig:
                         software_repository={
                             "matlab-toolbox": b"\x7fELF toolbox",
                         })
+
+
+def run_with_metrics(runner: Callable[[], object],
+                     metrics_out: Optional[str] = None,
+                     reset: bool = True):
+    """Run an experiment with a clean observability slate; optionally dump.
+
+    The ``--metrics-out`` hook: resets the shared registry/tracer (so the
+    dump describes exactly this run), invokes ``runner()``, and — when
+    ``metrics_out`` is given — writes the full registry snapshot there as
+    JSON. Returns ``(result, snapshot)``.
+    """
+    if reset:
+        obs.reset()
+    result = runner()
+    registry = obs.registry()
+    if metrics_out is not None:
+        with open(metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(registry.to_json())
+            fh.write("\n")
+    return result, registry.snapshot()

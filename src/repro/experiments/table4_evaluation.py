@@ -21,9 +21,9 @@ isolated, WWW exposure, everything monitored).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
-from repro.broker import BrokerClient, PermissionBroker, RequestKind
+from repro.broker import BrokerClient, PermissionBroker
 from repro.containit import PerforatedContainer
 from repro.errors import ReproError
 from repro.experiments.rig import (

@@ -13,7 +13,7 @@ import hashlib
 import hmac
 import itertools
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Set
 
 from repro.errors import CertificateError

@@ -253,7 +253,7 @@ class WatchITDeployment:
         return {
             "records": len(log),
             "by_decision": log.counts_by("decision"),
-            "verified": log.verify(),
+            "verified": log.is_intact(),
         }
 
     def session_logs(self):

@@ -13,7 +13,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Literal, Optional
 
 from repro.errors import IntegrityError
 
@@ -150,8 +150,12 @@ class AppendOnlyLog:
 
     # -- integrity ---------------------------------------------------------
 
-    def verify(self) -> bool:
-        """Validate the whole chain.
+    def verify(self) -> Literal[True]:
+        """Validate the whole chain; tampering is signalled by *raising*.
+
+        The return value is only ever ``True`` (so ``assert log.verify()``
+        reads naturally); it is **not** a tamper signal — callers that want
+        a boolean to branch on must use :meth:`is_intact` instead.
 
         Raises:
             IntegrityError: a record was modified, removed, or reordered.
@@ -165,6 +169,14 @@ class AppendOnlyLog:
             if record.compute_digest() != record.digest:
                 raise IntegrityError(f"{self.name}: record {i} was tampered with")
             prev = record.digest
+        return True
+
+    def is_intact(self) -> bool:
+        """Non-raising integrity check: True iff the whole chain verifies."""
+        try:
+            self.verify()
+        except IntegrityError:
+            return False
         return True
 
     def divergence_from(self, replica: "AppendOnlyLog") -> Optional[int]:

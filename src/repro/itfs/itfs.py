@@ -14,12 +14,39 @@ contained administrator can see that they exist".
 
 from __future__ import annotations
 
+import itertools
+import time
+from collections import OrderedDict
 from typing import Callable, List, Optional, Tuple
 
+from repro import obs
 from repro.errors import AccessBlocked, FileNotFound
 from repro.itfs.audit import AppendOnlyLog
-from repro.itfs.policy import Decision, PolicyManager
+from repro.itfs.policy import PolicyManager
 from repro.kernel.vfs import FileType, Filesystem, Inode, OpContext, StatResult, join_path
+
+#: Default bound on the pass-through decision cache. One entry per
+#: (op, path) pair; a long-lived container touching an unbounded working
+#: set must not grow ITFS memory forever.
+DEFAULT_CACHE_CAPACITY = 1024
+
+#: Operations after which cached decisions for the *same path* are stale
+#: because the path's namespace entry changed.
+_NAMESPACE_MUTATIONS = frozenset({"unlink", "truncate", "mknod", "create"})
+
+#: Operations after which cached decisions for the path *and every
+#: descendant* are stale: renaming or removing a directory moves the whole
+#: subtree out from under its cached bpath keys.
+_SUBTREE_MUTATIONS = frozenset({"rename", "rmdir"})
+
+#: Operations that rewrite file content in place. When the policy decides
+#: by file *head* (signature/content rules), any cached decision for that
+#: path — including the one just computed for this very write — describes
+#: the old bytes and must die.
+_CONTENT_MUTATIONS = frozenset({"write", "truncate"})
+
+#: unique id per ITFS instance so per-mount metric series never collide
+_INSTANCE_SEQ = itertools.count(1)
 
 
 class ITFS(Filesystem):
@@ -32,6 +59,8 @@ class ITFS(Filesystem):
             file-sharing bind mounts of Section 5.5).
         policy: the :class:`PolicyManager` consulted on every operation.
         audit: append-only log receiving allow/deny records.
+        metrics: the registry all counters/histograms report into
+            (defaults to the process-wide shared registry).
     """
 
     fstype = "fuse.itfs"
@@ -39,7 +68,10 @@ class ITFS(Filesystem):
     def __init__(self, backing_fs: Filesystem, policy: PolicyManager,
                  audit: Optional[AppendOnlyLog] = None,
                  backing_subpath: str = "/", label: str = "itfs",
-                 passthrough: bool = False):
+                 passthrough: bool = False,
+                 cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+                 metrics: Optional[obs.MetricsRegistry] = None,
+                 tracer: Optional[obs.Tracer] = None):
         super().__init__(label=label)
         self.backing_fs = backing_fs
         self.backing_subpath = backing_subpath
@@ -48,13 +80,50 @@ class ITFS(Filesystem):
         #: pass-through read/write (the optimization of Rajgarhia & Gehani
         #: [31] the paper points to): the first read/write of a path pays
         #: the full policy evaluation + audit; repeats ride a decision
-        #: cache, invalidated by any namespace mutation of that path.
+        #: cache, invalidated by any namespace or content mutation of that
+        #: path (and of whole subtrees on rename/rmdir).
         self.passthrough = passthrough
-        self._decision_cache: dict = {}
-        #: operation counters, handy for benchmarks and anomaly detection
-        self.ops_total = 0
-        self.ops_denied = 0
-        self.cache_hits = 0
+        if cache_capacity < 1:
+            raise ValueError(f"cache_capacity must be >= 1, got {cache_capacity}")
+        self.cache_capacity = cache_capacity
+        self._decision_cache: "OrderedDict[Tuple[str, str], bool]" = OrderedDict()
+        self.metrics = metrics if metrics is not None else obs.registry()
+        self.tracer = tracer if tracer is not None else obs.tracer()
+        #: identifies this mount's series in the shared registry
+        self.instance = f"{label}#{next(_INSTANCE_SEQ)}"
+
+    # ------------------------------------------------------------------
+    # metrics: every series lives in the shared registry, labelled by
+    # mount instance; the legacy ad-hoc attributes (ops_total, ops_denied,
+    # cache_hits) are read-through properties over those series.
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, **labels) -> None:
+        self.metrics.counter(name, instance=self.instance, **labels).inc()
+
+    @property
+    def ops_total(self) -> int:
+        return int(self.metrics.total("itfs_ops_total", instance=self.instance))
+
+    @property
+    def ops_denied(self) -> int:
+        return int(self.metrics.total("itfs_ops_denied", instance=self.instance))
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self.metrics.total("itfs_cache_hits", instance=self.instance))
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self.metrics.total("itfs_cache_misses", instance=self.instance))
+
+    @property
+    def cache_evictions(self) -> int:
+        return int(self.metrics.total("itfs_cache_evictions", instance=self.instance))
+
+    @property
+    def head_loads(self) -> int:
+        return int(self.metrics.total("itfs_head_loads", instance=self.instance))
 
     # ------------------------------------------------------------------
 
@@ -71,45 +140,104 @@ class ITFS(Filesystem):
         size = self.policy.head_bytes_needed() or 16
 
         def load() -> bytes:
+            self._count("itfs_head_loads")
             try:
                 return self.backing_fs.read_head(bpath, size)
             except (FileNotFound, Exception):
                 return b""
         return load
 
+    # -- decision cache ------------------------------------------------
+
+    def _cache_store(self, key: Tuple[str, str], allowed: bool) -> None:
+        cache = self._decision_cache
+        if key in cache:
+            cache.move_to_end(key)
+        cache[key] = allowed
+        if len(cache) > self.cache_capacity:
+            cache.popitem(last=False)
+            self._count("itfs_cache_evictions")
+        self.metrics.gauge("itfs_cache_size",
+                           instance=self.instance).set(len(cache))
+
+    def _invalidate_path(self, bpath: str) -> None:
+        self._decision_cache.pop(("read", bpath), None)
+        self._decision_cache.pop(("write", bpath), None)
+
+    def _invalidate_subtree(self, bpath: str) -> None:
+        """Drop cached decisions for ``bpath`` and every descendant.
+
+        A directory rename/rmdir changes the meaning of every cached key
+        under it — the cache is keyed by full backing path, so only a
+        prefix sweep catches the descendants.
+        """
+        prefix = bpath.rstrip("/") + "/"
+        stale = [key for key in self._decision_cache
+                 if key[1] == bpath or key[1].startswith(prefix)]
+        for key in stale:
+            del self._decision_cache[key]
+        if stale:
+            self.metrics.gauge("itfs_cache_size", instance=self.instance).set(
+                len(self._decision_cache))
+
+    # -- the monitor ----------------------------------------------------
+
     def _check(self, op: str, fspath: str, ctx: OpContext | None) -> str:
         """Evaluate policy; log; raise AccessBlocked on denial.
 
         Returns the backing path for the caller to forward to.
         """
+        start = time.perf_counter()
         bpath = self.translate_to_backing(fspath)
-        self.ops_total += 1
+        self._count("itfs_ops_total", op=op)
         cacheable = self.passthrough and op in ("read", "write")
         if cacheable:
             cached = self._decision_cache.get((op, bpath))
             if cached is not None:
-                self.cache_hits += 1
+                self._decision_cache.move_to_end((op, bpath))
+                # outcome label lets audit-agreement checks subtract cached
+                # denials, which (by design) skip the audit log
+                self._count("itfs_cache_hits",
+                            outcome="allow" if cached else "deny")
+                self._observe_latency(op, start)
                 if cached:
                     return bpath
-                self.ops_denied += 1
+                self._count("itfs_ops_denied", op=op)
                 raise AccessBlocked(f"ITFS denied {op} on {bpath}",
                                     rule="passthrough-cache")
-        head_loader = self._head_loader(bpath) if self.policy.needs_head else None
-        decision = self.policy.evaluate(op, bpath, head_loader)
+            self._count("itfs_cache_misses")
+        with self.tracer.span("itfs:check", op=op, path=bpath,
+                              fs=self.label) as span:
+            head_loader = self._head_loader(bpath) if self.policy.needs_head else None
+            decision = self.policy.evaluate(op, bpath, head_loader)
+            span.set(allowed=decision.allowed, rule=decision.rule)
         if decision.log or not decision.allowed:
             self.audit.append(actor=self._actor(ctx), op=op, path=bpath,
                               decision="deny" if not decision.allowed else "allow",
                               rule=decision.rule)
         if cacheable:
-            self._decision_cache[(op, bpath)] = decision.allowed
-        if op in ("unlink", "rename", "truncate", "mknod", "create"):
+            self._cache_store((op, bpath), decision.allowed)
+        if op in _NAMESPACE_MUTATIONS:
             # namespace mutation: drop any stale pass-through decisions
-            self._decision_cache.pop(("read", bpath), None)
-            self._decision_cache.pop(("write", bpath), None)
+            self._invalidate_path(bpath)
+        elif op in _SUBTREE_MUTATIONS:
+            # the two rename arguments AND everything below them: renaming
+            # a directory moves every descendant path
+            self._invalidate_subtree(bpath)
+        if op in _CONTENT_MUTATIONS and self.policy.needs_head:
+            # content mutation under a head-dependent policy: the bytes the
+            # cached decisions were computed from are gone (this also voids
+            # the decision cached moments ago for this very write)
+            self._invalidate_path(bpath)
+        self._observe_latency(op, start)
         if not decision.allowed:
-            self.ops_denied += 1
+            self._count("itfs_ops_denied", op=op)
             raise AccessBlocked(f"ITFS denied {op} on {bpath}", rule=decision.rule)
         return bpath
+
+    def _observe_latency(self, op: str, start: float) -> None:
+        self.metrics.histogram("itfs_op_seconds", op=op).observe(
+            time.perf_counter() - start)
 
     # ------------------------------------------------------------------
     # Filesystem interface — each op is trapped, checked, forwarded.

@@ -11,9 +11,12 @@ exclusion table on every path resolution.
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro import obs
 from repro.errors import (
+    AccessBlocked,
     BadFileDescriptor,
     CapabilityError,
     FileExists,
@@ -25,13 +28,14 @@ from repro.errors import (
     OperationNotPermitted,
     PermissionDenied,
     ReadOnlyFilesystem,
+    ReproError,
 )
 from repro.kernel.capabilities import Capability, Credentials
 from repro.kernel.devices import DEV_KMEM, DEV_MEM
 from repro.kernel.ipc import SharedMemorySegment, shm_list, shmget
 from repro.kernel.mount import Mount
 from repro.kernel.namespaces import NamespaceKind
-from repro.kernel.process import OpenFile, Process, ProcessState
+from repro.kernel.process import OpenFile, Process
 from repro.kernel.resolver import ResolvedPath, _real_fsid, _real_fspath, resolve
 from repro.kernel.vfs import (
     FileType,
@@ -39,9 +43,45 @@ from repro.kernel.vfs import (
     OpContext,
     StatResult,
     join_path,
-    normalize_path,
     parent_path,
 )
+
+
+#: Errors that mean "the security boundary said no" (as opposed to plain
+#: kernel failures like ENOENT) — these feed the per-syscall deny counter.
+_DENIAL_ERRORS = (PermissionDenied, OperationNotPermitted, AccessBlocked,
+                  ReadOnlyFilesystem)
+
+
+def _instrumented(name: str, fn, trace: bool = True):
+    """Wrap one syscall entry point with counters and a span.
+
+    Every call increments ``syscall_total{syscall=name}``; failures add
+    ``syscall_errors{syscall,errno}`` and — for security denials —
+    ``syscall_denied{syscall}``. With ``trace`` the call runs inside a
+    ``syscall:<name>`` span carrying the caller's comm/pid.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self, proc, *args, **kwargs):
+        registry = obs.registry()
+        registry.counter("syscall_total", syscall=name).inc()
+        span = (obs.tracer().span(f"syscall:{name}",
+                                  comm=getattr(proc, "comm", "?"),
+                                  pid=getattr(proc, "pid", -1))
+                if trace else None)
+        try:
+            if span is not None:
+                with span:
+                    return fn(self, proc, *args, **kwargs)
+            return fn(self, proc, *args, **kwargs)
+        except ReproError as exc:
+            errno = getattr(exc, "errno_name", None) or type(exc).__name__
+            registry.counter("syscall_errors", syscall=name, errno=errno).inc()
+            if isinstance(exc, _DENIAL_ERRORS):
+                registry.counter("syscall_denied", syscall=name).inc()
+            raise
+    return wrapper
 
 
 class SyscallInterface:
@@ -558,3 +598,31 @@ class SyscallInterface:
 
     def xcl_table(self, proc: Process) -> List[Tuple[int, str]]:
         return sorted(proc.namespaces.xcl.exclusions)
+
+
+#: Every public syscall gets the same observability treatment; wrapping in
+#: one sweep (instead of per-method decorators) guarantees no entry point
+#: is forgotten and keeps the method bodies purely about semantics.
+_TRACED_SYSCALLS = (
+    "open", "read_fd", "write_fd", "close", "read_file", "write_file",
+    "listdir", "stat", "exists", "mkdir", "unlink", "rmdir", "rename",
+    "symlink", "readlink", "truncate", "chmod", "chown", "mknod",
+    "mount", "bind_mount", "umount", "chroot",
+    "clone", "kill", "ptrace_attach", "setns", "nsenter", "reboot",
+    "restart_service", "ps",
+    "sethostname", "shmget",
+    "connect", "add_route", "add_firewall_rule",
+    "xcl_add", "xcl_remove",
+)
+#: counted but not traced: ``walk`` is a generator (the span would close
+#: before iteration begins), the rest are high-rate read-only lookups.
+_COUNTED_SYSCALLS = ("walk", "mounts", "gethostname", "net_reachable",
+                     "net_view", "shm_list", "find_process", "exit")
+
+for _name in _TRACED_SYSCALLS:
+    setattr(SyscallInterface, _name,
+            _instrumented(_name, getattr(SyscallInterface, _name)))
+for _name in _COUNTED_SYSCALLS:
+    setattr(SyscallInterface, _name,
+            _instrumented(_name, getattr(SyscallInterface, _name), trace=False))
+del _name

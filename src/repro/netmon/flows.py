@@ -14,6 +14,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro import obs
 from repro.errors import AccessBlocked
 from repro.itfs.signatures import signature_class
 from repro.kernel.net import Packet
@@ -59,13 +60,18 @@ class FlowTracker:
         """Feed one packet into its flow; raises on a reassembled match."""
         if direction not in self.directions:
             return
+        registry = obs.registry()
         state = self._flows[self._key(packet, direction)]
         state.packets += 1
         state.total_bytes += packet.size
         state.window = (state.window + packet.payload)[-self.window_bytes:]
+        registry.counter("netmon_flow_packets_total",
+                         direction=direction).inc()
+        registry.gauge("netmon_flows_active").set(len(self._flows))
         verdict = self._match(state)
         if verdict is not None:
             self.flows_blocked += 1
+            registry.counter("netmon_flows_blocked", verdict=verdict).inc()
             raise AccessBlocked(
                 f"flow reassembly matched {verdict} towards "
                 f"{packet.dst_ip}:{packet.port}", rule=f"flow-{verdict}")

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro import obs
 from repro.errors import AccessBlocked
 from repro.itfs.audit import AppendOnlyLog
 from repro.kernel.net import NetNamespace, Packet
@@ -41,8 +42,12 @@ class NetworkMonitor:
 
     def tap(self, packet: Packet, direction: str) -> None:
         """Inspect one packet; raises AccessBlocked on a block verdict."""
+        registry = obs.registry()
         self.packets_seen += 1
         self.bytes_seen += packet.size
+        registry.counter("netmon_packets_total", direction=direction).inc()
+        registry.counter("netmon_bytes_total",
+                         direction=direction).inc(packet.size)
         verdict = self._first_verdict(packet, direction)
         if verdict is None:
             if self.log_all:
@@ -57,6 +62,9 @@ class NetworkMonitor:
                           bytes=packet.size)
         if verdict.action == "block":
             self.packets_blocked += 1
+            registry.counter("netmon_packets_blocked", rule=verdict.rule).inc()
+            obs.tracer().event("netmon:block", rule=verdict.rule,
+                               dst=f"{packet.dst_ip}:{packet.port}")
             raise AccessBlocked(
                 f"network monitor blocked {direction} to "
                 f"{packet.dst_ip}:{packet.port}", rule=verdict.rule)

@@ -1,0 +1,64 @@
+"""Unified observability for the WatchIT reproduction.
+
+One shared :class:`MetricsRegistry` and one shared :class:`Tracer` serve
+the whole process: the kernel syscall layer, ITFS, the permission broker,
+the network monitor, and ContainIT all report here by default, so a
+single :func:`registry` snapshot describes an entire experiment run.
+
+Usage::
+
+    from repro import obs
+
+    obs.registry().counter("itfs_ops_total", op="read").inc()
+    with obs.tracer().span("syscall:open", comm="bash"):
+        ...
+
+    print(obs.registry().format())
+    print(obs.tracer().format_tree())
+
+Tests and experiment runners call :func:`reset` at their boundaries; the
+shared instances are cleared in place, so references held by long-lived
+components keep working (they lazily re-register their series).
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import Span, SpanRecord, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "registry",
+    "reset",
+    "tracer",
+]
+
+_REGISTRY = MetricsRegistry()
+_TRACER = Tracer()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide shared metrics registry."""
+    return _REGISTRY
+
+
+def tracer() -> Tracer:
+    """The process-wide shared tracer."""
+    return _TRACER
+
+
+def reset() -> None:
+    """Clear the shared registry and tracer (in place, references stay valid)."""
+    _REGISTRY.reset()
+    _TRACER.reset()

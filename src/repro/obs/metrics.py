@@ -1,0 +1,244 @@
+"""Dependency-free metrics: counters, gauges, and fixed-bucket histograms.
+
+The registry is the single source of truth for every WatchIT-reproduction
+counter — the syscall layer, ITFS, the permission broker, the network
+monitor, and ContainIT all report into one shared
+:class:`MetricsRegistry` (see :func:`repro.obs.registry`), so an
+experiment run can dump a complete, cross-subsystem picture of what
+happened with one snapshot.
+
+Design constraints (deliberate):
+
+* no third-party dependencies, no background threads;
+* histogram bucket boundaries are *fixed at creation* — observations land
+  deterministically, so tests never depend on wall-clock behaviour;
+* metrics are identified by ``(name, labels)``; the registry is the only
+  factory, making every ``registry.counter("x", op="read")`` call from any
+  subsystem converge on the same underlying series.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Default latency buckets (seconds): micro- to multi-second operations.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, float("inf"))
+
+LabelItems = Tuple[Tuple[str, str], ...]
+SeriesKey = Tuple[str, LabelItems]
+
+
+def _label_items(labels: Dict[str, object]) -> LabelItems:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "type": self.kind,
+                "labels": dict(self.labels), "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (cache sizes, active flows)."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "type": self.kind,
+                "labels": dict(self.labels), "value": self.value}
+
+
+class Histogram:
+    """Fixed-boundary histogram: cumulative bucket counts + sum + count.
+
+    Buckets are upper bounds; the last bound is always ``+inf`` (appended
+    if the caller's boundaries do not end with it).
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "sum")
+
+    def __init__(self, name: str, labels: LabelItems = (),
+                 buckets: Optional[Tuple[float, ...]] = None):
+        bounds = tuple(buckets) if buckets else DEFAULT_BUCKETS
+        if tuple(sorted(bounds)) != bounds:
+            raise ValueError(f"histogram buckets must be sorted: {bounds}")
+        if not bounds or bounds[-1] != float("inf"):
+            bounds = bounds + (float("inf"),)
+        self.name = name
+        self.labels = labels
+        self.bounds = bounds
+        self.bucket_counts = [0] * len(bounds)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+
+    def quantile(self, q: float) -> float:
+        """Upper bucket bound containing the q-quantile observation."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, n in enumerate(self.bucket_counts):
+            seen += n
+            if seen >= rank:
+                return self.bounds[i]
+        return self.bounds[-1]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "type": self.kind,
+                "labels": dict(self.labels), "count": self.count,
+                "sum": self.sum,
+                "buckets": [{"le": b, "count": n}
+                            for b, n in zip(self.bounds, self.bucket_counts)]}
+
+
+class MetricsRegistry:
+    """Get-or-create factory and store for every metric series.
+
+    A series is identified by ``(name, labels)``. Asking twice for the
+    same identity returns the same object, so independently constructed
+    subsystems (two ITFS mounts, the broker, the kernel) share series as
+    long as they agree on names and labels.
+    """
+
+    def __init__(self):
+        self._series: Dict[SeriesKey, object] = {}
+
+    # -- factories ---------------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, labels: Dict[str, object],
+                       **kwargs):
+        key = (name, _label_items(labels))
+        metric = self._series.get(key)
+        if metric is None:
+            metric = cls(name, key[1], **kwargs)
+            self._series[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  buckets: Optional[Tuple[float, ...]] = None,
+                  **labels) -> Histogram:
+        return self._get_or_create(Histogram, name, labels, buckets=buckets)
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __iter__(self) -> Iterator[object]:
+        for _, metric in sorted(self._series.items(), key=lambda kv: kv[0]):
+            yield metric
+
+    def series(self, name: str, **label_filter) -> List[object]:
+        """All series with ``name`` whose labels include ``label_filter``."""
+        wanted = set(_label_items(label_filter))
+        return [m for (n, labels), m in sorted(self._series.items())
+                if n == name and wanted.issubset(set(labels))]
+
+    def total(self, name: str, **label_filter) -> float:
+        """Sum of counter/gauge values (histograms: event counts) matching."""
+        out = 0.0
+        for metric in self.series(name, **label_filter):
+            out += metric.count if isinstance(metric, Histogram) else metric.value
+        return out
+
+    def names(self) -> List[str]:
+        return sorted({name for name, _ in self._series})
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """Stable-ordered dump of every series, JSON-serializable."""
+        return [m.to_dict() for m in self]
+
+    def to_json(self, indent: int = 2) -> str:
+        # json.dumps would emit bare ``Infinity`` (invalid strict JSON) for
+        # the +inf bucket bound, so rewrite it to "+Inf" up front
+        def _clean(value):
+            if isinstance(value, float) and value == float("inf"):
+                return "+Inf"
+            if isinstance(value, dict):
+                return {k: _clean(v) for k, v in value.items()}
+            if isinstance(value, list):
+                return [_clean(v) for v in value]
+            return value
+        return json.dumps(_clean(self.snapshot()), indent=indent)
+
+    def format(self, prefix: str = "") -> str:
+        """Human-readable report, grouped by metric name."""
+        lines: List[str] = []
+        for name in self.names():
+            if prefix and not name.startswith(prefix):
+                continue
+            lines.append(name)
+            for metric in self.series(name):
+                label_str = ",".join(f"{k}={v}" for k, v in metric.labels)
+                tag = f"{{{label_str}}}" if label_str else ""
+                if isinstance(metric, Histogram):
+                    lines.append(f"  {tag:<40} count={metric.count} "
+                                 f"sum={metric.sum:.6f} "
+                                 f"p50<={metric.quantile(0.5):g} "
+                                 f"p99<={metric.quantile(0.99):g}")
+                else:
+                    value = metric.value
+                    shown = f"{value:g}" if isinstance(value, float) else value
+                    lines.append(f"  {tag:<40} {shown}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def reset(self) -> None:
+        """Drop every series (test isolation; experiment-run boundaries)."""
+        self._series.clear()

@@ -13,12 +13,17 @@ from repro.threats.attacks import ALL_ATTACKS, AttackResult, ThreatRig
 
 
 def run_threat_analysis(
-        attacks: Optional[List[Callable[[ThreatRig], AttackResult]]] = None
+        attacks: Optional[List[Callable[[ThreatRig], AttackResult]]] = None,
+        spec=None,
 ) -> List[AttackResult]:
-    """Execute every Table 1 attack on its own rig; returns the results."""
+    """Execute every Table 1 attack on its own rig; returns the results.
+
+    ``spec`` overrides the default T-6 container specification for every
+    rig (e.g. to replay the analysis with ITFS pass-through enabled).
+    """
     results = []
     for attack in attacks if attacks is not None else ALL_ATTACKS:
-        rig = ThreatRig.build()
+        rig = ThreatRig.build(spec)
         results.append(attack(rig))
         rig.container.terminate("threat analysis done")
     return results

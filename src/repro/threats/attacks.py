@@ -10,12 +10,11 @@ an escape path flips the corresponding result to ``blocked=False``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.broker import BrokerClient, PermissionBroker
 from repro.containit import (
-    HOME_DIRECTORY,
     ROOT_DIRECTORY,
     PerforatedContainer,
     PerforatedContainerSpec,
@@ -240,11 +239,7 @@ def attack_6_tamper_logs(rig: ThreatRig) -> AttackResult:
     # one the local chain is self-consistent again — which is exactly why
     # the paper replicates to remote append-only storage
     record.digest = record.compute_digest()
-    try:
-        log.verify()
-        chain_detected = False
-    except IntegrityError:
-        chain_detected = True
+    chain_detected = not log.is_intact()
     replica_detected = log.divergence_from(rig.remote_log) is not None
     return AttackResult(6, "Tampering with log files",
                         blocked=chain_detected or replica_detected,

@@ -20,7 +20,7 @@ preprocessing obfuscator has real work to do.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.framework.tickets import Ticket

@@ -14,7 +14,7 @@ script under its assigned confinement instead of just asserting a mapping.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
 from repro.containit.container import AdminShell

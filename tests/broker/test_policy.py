@@ -1,6 +1,5 @@
 """Broker escalation policy: every decision branch."""
 
-import pytest
 
 from repro.broker import (
     BrokerPolicy,

@@ -1,6 +1,5 @@
 """Signed TCB updates through the broker (paper Section 2)."""
 
-import dataclasses
 
 import pytest
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import obs
 from repro.containit import PerforatedContainer
 from repro.kernel import (
     ALL_CLONE_FLAGS,
@@ -25,6 +26,14 @@ ADDRESS_BOOK = {
     "whitelisted-websites": [(WEB_IP, 443)],
     "target-machine": [("10.0.0.0/24", None)],
 }
+
+
+@pytest.fixture(autouse=True)
+def _fresh_observability():
+    """Isolate each test's view of the shared metrics registry/tracer."""
+    obs.reset()
+    yield
+    obs.reset()
 
 
 @pytest.fixture()

@@ -10,7 +10,7 @@ from repro.errors import (
     SessionTerminated,
 )
 from repro.containit import PerforatedContainerSpec
-from repro.kernel import Capability, NamespaceKind
+from repro.kernel import Capability
 from tests.conftest import LICENSE_IP, STORAGE_IP, deploy
 
 

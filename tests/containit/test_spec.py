@@ -102,3 +102,23 @@ class TestShareNormalization:
         spec = PerforatedContainerSpec.from_dict(
             {"name": "x", "fs_shares": ["/opt//chef/"]})
         assert spec.fs_shares == ("/opt/chef",)
+
+
+class TestPassthroughFields:
+    def test_defaults_off_with_sane_capacity(self):
+        spec = PerforatedContainerSpec(name="x")
+        assert spec.fs_passthrough is False
+        assert spec.fs_cache_capacity == 1024
+
+    def test_capacity_must_be_positive(self):
+        import pytest
+        with pytest.raises(ValueError):
+            PerforatedContainerSpec(name="x", fs_cache_capacity=0)
+
+    def test_roundtrips_through_dict(self):
+        spec = PerforatedContainerSpec(name="x", fs_passthrough=True,
+                                       fs_cache_capacity=16)
+        clone = PerforatedContainerSpec.from_dict(spec.to_dict())
+        assert clone.fs_passthrough is True
+        assert clone.fs_cache_capacity == 16
+        assert clone == spec

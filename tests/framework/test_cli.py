@@ -77,3 +77,67 @@ class TestLintCommand:
         # stricter gate must flip the exit code
         assert main(["lint", "--fail-on", "warning"]) == 1
         assert main(["lint", "--fail-on", "never"]) == 0
+
+
+class TestObservabilityCommands:
+    """The ``metrics`` and ``trace`` subcommands and ``--metrics-out``."""
+
+    def test_metrics_table1_reports_all_subsystems(self, capsys):
+        assert main(["metrics", "table1"]) == 0
+        out = capsys.readouterr().out
+
+        def value_of(name):
+            lines = out.splitlines()
+            total = 0.0
+            for i, line in enumerate(lines):
+                if line == name:
+                    for series in lines[i + 1:]:
+                        if not series.startswith("  "):
+                            break
+                        total += float(series.split()[-1])
+            return total
+
+        # the acceptance bar: non-zero syscall, ITFS (incl. cache
+        # hit/miss/eviction), and broker counters from one shared registry
+        for name in ("syscall_total", "syscall_denied", "itfs_ops_total",
+                     "itfs_ops_denied", "itfs_cache_hits", "itfs_cache_misses",
+                     "itfs_cache_evictions", "broker_requests_total",
+                     "broker_granted_total", "broker_denied_total"):
+            assert value_of(name) > 0, name
+
+    def test_metrics_json_snapshot_parses(self, capsys):
+        import json
+        assert main(["metrics", "table1", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert {m["name"] for m in snapshot} >= {"syscall_total",
+                                                 "itfs_ops_total"}
+
+    def test_metrics_prefix_filter(self, capsys):
+        assert main(["metrics", "table1", "--prefix", "broker_"]) == 0
+        out = capsys.readouterr().out
+        assert "broker_requests_total" in out
+        assert "syscall_total" not in out
+
+    def test_trace_renders_nested_span_tree(self, capsys):
+        assert main(["trace", "table1", "--limit", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "syscall:read_file" in out
+        assert "  itfs:check" in out       # nested under the syscall span
+        assert "broker:exec" in out
+        assert "spans started" in out
+
+    def test_trace_jsonl_is_machine_readable(self, capsys):
+        import json
+        assert main(["trace", "table1", "--jsonl"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        names = {json.loads(line)["name"] for line in lines}
+        assert "itfs:check" in names
+
+    def test_experiment_metrics_out_writes_snapshot(self, tmp_path, capsys):
+        import json
+        out_path = tmp_path / "metrics.json"
+        assert main(["experiment", "figure9",
+                     "--metrics-out", str(out_path)]) == 0
+        snapshot = json.loads(out_path.read_text())
+        assert any(m["name"] == "itfs_ops_total" for m in snapshot)
+        assert "metrics written to" in capsys.readouterr().out

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import AccessBlocked, ReproError
+from repro.errors import AccessBlocked
 from repro.framework import WatchITDeployment
 
 
@@ -57,7 +57,6 @@ class TestSessionReconstruction:
 
 class TestTerminalGrep:
     def test_grep_finds_matches_in_view(self, busy_org):
-        from repro.broker import BrokerClient
         from repro.containit import Terminal
         org, _ = busy_org
         ticket = org.submit_ticket("alice", "matlab license renewal")

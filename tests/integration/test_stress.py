@@ -1,6 +1,5 @@
 """Stress: many sequential deployments on one host stay isolated and clean."""
 
-import pytest
 
 from repro.containit import PerforatedContainer
 from repro.framework.images import TABLE3_SPECS

@@ -50,6 +50,31 @@ class TestChain:
             log.verify()  # next record's prev_digest no longer matches
 
 
+class TestVerifyContract:
+    """``verify`` raises (returning ``True`` otherwise); ``is_intact``
+    is the non-raising boolean probe for branching callers."""
+
+    def test_verify_returns_literal_true_when_intact(self, log):
+        assert log.verify() is True
+
+    def test_verify_raises_rather_than_returning_false(self, log):
+        log._records[1].path = "/forged"
+        with pytest.raises(IntegrityError):
+            log.verify()
+
+    def test_is_intact_true_on_clean_chain(self, log):
+        assert log.is_intact() is True
+        assert AppendOnlyLog(name="empty").is_intact() is True
+
+    def test_is_intact_false_on_tampered_chain(self, log):
+        log._records[1].path = "/forged"
+        assert log.is_intact() is False
+
+    def test_is_intact_never_raises(self, log):
+        del log._records[0]
+        assert log.is_intact() is False
+
+
 class TestReplication:
     def test_replica_receives_appends(self):
         primary = AppendOnlyLog("primary")

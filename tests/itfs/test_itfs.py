@@ -8,10 +8,8 @@ from repro.itfs import (
     AppendOnlyLog,
     ContentRule,
     CustomRule,
-    ExtensionRule,
     PathRule,
     PolicyManager,
-    SignatureRule,
     document_blocking_policy,
 )
 from repro.kernel import MemoryFilesystem

@@ -1,0 +1,130 @@
+"""Regression tests: stale pass-through decisions after mutations.
+
+The decision cache is keyed by ``(op, backing path)``. Two classes of
+mutation used to leave stale entries behind:
+
+* a *content* rewrite under a head-dependent (signature) policy — the
+  cached 'allow' described the old bytes;
+* a *directory* rename/rmdir — the cache held keys for every descendant
+  path, but only the directory's own key was dropped.
+
+Each test here fails on the pre-fix ITFS.
+"""
+
+import pytest
+
+from repro import obs
+from repro.errors import AccessBlocked
+from repro.itfs import ITFS, AppendOnlyLog, document_blocking_policy
+
+
+def signature_itfs(backing, **kwargs):
+    """Pass-through ITFS under the head-dependent (magic bytes) policy."""
+    return ITFS(backing, document_blocking_policy(by_signature=True),
+                audit=AppendOnlyLog(), passthrough=True, **kwargs)
+
+
+@pytest.fixture()
+def fs():
+    from repro.kernel import MemoryFilesystem
+    backing = MemoryFilesystem()
+    backing.populate({
+        "data": {"a.txt": "plain text"},
+        "incoming": {"a.txt": b"%PDF smuggled document"},
+    })
+    return backing
+
+
+class TestContentMutationStaleness:
+    def test_write_changing_magic_bytes_revokes_cached_allow(self, fs):
+        itfs = signature_itfs(fs)
+        itfs.read("/data/a.txt")          # evaluated on "plain text": allow
+        itfs.read("/data/a.txt")          # cache hit
+        assert itfs.cache_hits == 1
+        # rewrite the content *through ITFS*: the file is now a document
+        itfs.write("/data/a.txt", b"%PDF forged document")
+        with pytest.raises(AccessBlocked):
+            itfs.read("/data/a.txt")
+
+    def test_truncate_also_revokes_cached_decisions(self, fs):
+        itfs = signature_itfs(fs)
+        itfs.read("/data/a.txt")          # cached allow
+        itfs.truncate("/data/a.txt")      # benign content: allowed
+        fs.write("/data/a.txt", b"%PDF refilled with a document")
+        with pytest.raises(AccessBlocked):
+            itfs.read("/data/a.txt")
+
+    def test_head_independent_policy_keeps_cache_across_writes(self, fs):
+        # extension rules ignore content, so a write need not invalidate
+        itfs = ITFS(fs, document_blocking_policy(), audit=AppendOnlyLog(),
+                    passthrough=True)
+        itfs.read("/data/a.txt")
+        itfs.write("/data/a.txt", b"new bytes, same extension")
+        itfs.read("/data/a.txt")
+        assert itfs.cache_hits == 1
+
+
+class TestSubtreeStaleness:
+    def test_directory_rename_invalidates_descendants(self, fs):
+        itfs = signature_itfs(fs)
+        itfs.read("/data/a.txt")          # cached allow for this bpath
+        itfs.rename("/data", "/old")
+        itfs.rename("/incoming", "/data")
+        # /data/a.txt now holds the smuggled PDF; the old allow must be gone
+        with pytest.raises(AccessBlocked):
+            itfs.read("/data/a.txt")
+
+    def test_rmdir_invalidates_descendants(self, fs):
+        itfs = signature_itfs(fs)
+        itfs.read("/data/a.txt")
+        fs.unlink("/data/a.txt")          # emptied behind ITFS's back
+        itfs.rmdir("/data")
+        fs.mkdir("/data")
+        fs.write("/data/a.txt", b"%PDF reborn as a document")
+        with pytest.raises(AccessBlocked):
+            itfs.read("/data/a.txt")
+
+    def test_sibling_prefixes_survive_subtree_invalidation(self, fs):
+        # /data-backup must NOT be swept when /data is: the prefix match is
+        # on path components, not raw string prefixes
+        fs.mkdir("/data-backup")
+        fs.write("/data-backup/b.txt", b"benign")
+        itfs = signature_itfs(fs)
+        itfs.read("/data-backup/b.txt")
+        fs.unlink("/data/a.txt")
+        itfs.rmdir("/data")
+        itfs.read("/data-backup/b.txt")
+        assert itfs.cache_hits == 1
+
+
+class TestBoundedLru:
+    def test_capacity_is_enforced_with_lru_eviction(self, fs):
+        for i in range(4):
+            fs.write(f"/data/f{i}.txt", b"x")
+        itfs = signature_itfs(fs, cache_capacity=2)
+        itfs.read("/data/f0.txt")
+        itfs.read("/data/f1.txt")
+        itfs.read("/data/f0.txt")         # refresh f0's recency
+        itfs.read("/data/f2.txt")         # evicts f1, not f0
+        assert len(itfs._decision_cache) == 2
+        assert itfs.cache_evictions == 1
+        itfs.read("/data/f0.txt")         # still cached
+        assert itfs.cache_hits == 2
+        itfs.read("/data/f1.txt")         # evicted: full re-evaluation
+        assert itfs.cache_misses == 4
+
+    def test_capacity_must_be_positive(self, fs):
+        with pytest.raises(ValueError):
+            signature_itfs(fs, cache_capacity=0)
+
+    def test_cache_size_and_evictions_reported_as_metrics(self, fs):
+        for i in range(3):
+            fs.write(f"/data/f{i}.txt", b"x")
+        itfs = signature_itfs(fs, cache_capacity=2)
+        for i in range(3):
+            itfs.read(f"/data/f{i}.txt")
+        registry = obs.registry()
+        assert registry.total("itfs_cache_evictions",
+                              instance=itfs.instance) == 1
+        assert registry.gauge("itfs_cache_size",
+                              instance=itfs.instance).value == 2

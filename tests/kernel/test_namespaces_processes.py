@@ -52,7 +52,7 @@ class TestPIDNamespace:
         assert "containIT" in comms and "init" in comms
 
     def test_children_visible_in_both(self, kernel, container):
-        child = kernel.sys.clone(container, "testscript")
+        kernel.sys.clone(container, "testscript")
         assert {r["comm"] for r in kernel.sys.ps(container)} == {"containIT", "testscript"}
         host_comms = {r["comm"] for r in kernel.sys.ps(kernel.init)}
         assert "testscript" in host_comms

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import FileNotFound
 from repro.itfs import ITFS, AppendOnlyLog, PolicyManager
-from repro.kernel import MemoryFilesystem, Mount
+from repro.kernel import MemoryFilesystem
 from repro.kernel.resolver import _real_fsid, _real_fspath, resolve
 
 

@@ -5,7 +5,6 @@ import pytest
 from repro.containit import HOME_DIRECTORY, PerforatedContainerSpec
 from repro.errors import PermissionDenied, ReadOnlyFilesystem
 from repro.kernel import (
-    Capability,
     MemoryFilesystem,
     user_credentials,
 )

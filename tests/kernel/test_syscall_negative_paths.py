@@ -11,7 +11,7 @@ from repro.errors import (
     OperationNotPermitted,
     PermissionDenied,
 )
-from repro.kernel import FileType, MemoryFilesystem, user_credentials
+from repro.kernel import MemoryFilesystem, user_credentials
 
 
 class TestFileErrors:

@@ -95,7 +95,7 @@ class TestMonitorInline:
     def rig(self):
         net = Network()
         host = Kernel("ws", ip="10.0.0.5", network=net)
-        srv = Kernel("srv", ip="10.0.0.100", network=net)
+        Kernel("srv", ip="10.0.0.100", network=net)
         net.listen("10.0.0.100", 80, lambda p: b"ok")
         monitor = NetworkMonitor(rules=[FileSignatureSniffRule()])
         monitor.attach(host.init.namespaces.net)

@@ -1,0 +1,130 @@
+"""Unit tests for the dependency-free metrics registry."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("cache_size")
+        g.set(10)
+        g.inc(2.5)
+        g.dec()
+        assert g.value == 11.5
+
+
+class TestHistogram:
+    def test_observations_land_in_fixed_buckets(self):
+        h = Histogram("lat", buckets=(0.001, 0.01, 0.1))
+        h.observe(0.0005)
+        h.observe(0.005)
+        h.observe(0.005)
+        h.observe(50.0)  # beyond the last bound -> +inf bucket
+        assert h.count == 4
+        assert h.bucket_counts == [1, 2, 0, 1]
+        assert h.bounds[-1] == float("inf")
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(0.1, 0.01))
+
+    def test_quantile_returns_bucket_upper_bound(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.5, 1.5, 3.0):
+            h.observe(value)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 4.0
+        assert Histogram("empty").quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+class TestRegistry:
+    def test_same_identity_returns_same_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("ops", op="read", fs="itfs")
+        b = reg.counter("ops", fs="itfs", op="read")  # label order irrelevant
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_distinct_labels_are_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", op="read").inc()
+        reg.counter("ops", op="write").inc(2)
+        assert len(reg) == 2
+        assert reg.total("ops") == 3
+        assert reg.total("ops", op="write") == 2
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_total_includes_histogram_event_counts(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", op="read").observe(0.5)
+        reg.histogram("lat", op="read").observe(0.5)
+        assert reg.total("lat") == 2
+
+    def test_series_filters_by_label_subset(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", op="read", instance="a").inc()
+        reg.counter("ops", op="read", instance="b").inc()
+        reg.counter("ops", op="write", instance="a").inc()
+        assert len(reg.series("ops", instance="a")) == 2
+        assert reg.total("ops", op="read") == 2
+
+    def test_snapshot_and_json_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", op="read").inc(3)
+        reg.histogram("lat").observe(0.5)
+        snap = reg.snapshot()
+        assert {m["name"] for m in snap} == {"lat", "ops"}
+        data = json.loads(reg.to_json())  # inf bounds serialize as "+Inf"
+        hist = next(m for m in data if m["name"] == "lat")
+        assert hist["buckets"][-1]["le"] == "+Inf"
+
+    def test_format_is_human_readable_and_prefix_filtered(self):
+        reg = MetricsRegistry()
+        reg.counter("itfs_ops", op="read").inc()
+        reg.counter("broker_requests").inc()
+        report = reg.format(prefix="itfs_")
+        assert "itfs_ops" in report
+        assert "broker_requests" not in report
+        assert MetricsRegistry().format() == "(no metrics recorded)"
+
+    def test_reset_clears_in_place(self):
+        reg = MetricsRegistry()
+        reg.counter("ops").inc()
+        reg.reset()
+        assert len(reg) == 0
+        assert reg.total("ops") == 0
+
+
+class TestSharedRegistry:
+    def test_module_level_registry_is_shared_and_resettable(self):
+        obs.registry().counter("shared_probe").inc()
+        assert obs.registry().total("shared_probe") == 1
+        obs.reset()
+        assert obs.registry().total("shared_probe") == 0
+        # the object identity survives reset — held references stay valid
+        assert obs.registry() is obs.registry()

@@ -18,7 +18,6 @@ class TestPreprocessProperties:
     @given(st.lists(word, min_size=0, max_size=20))
     def test_tokens_never_contain_stopwords_or_noise(self, words):
         tokens = tokenize(" ".join(words))
-        stemmed_stop = {stem(w) for w in STOPWORDS | NOISE_WORDS}
         for token in tokens:
             assert token not in STOPWORDS
             assert token not in NOISE_WORDS

@@ -1,17 +1,15 @@
 """Stateful property tests: mount-table and audit-log machines."""
 
-import string
 
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (
-    Bundle,
     RuleBasedStateMachine,
     invariant,
     rule,
 )
 
-from repro.errors import FileNotFound, IntegrityError, ResourceBusy
+from repro.errors import FileNotFound, ResourceBusy
 from repro.itfs import AppendOnlyLog
 from repro.kernel import MemoryFilesystem, Mount, MountTable
 from repro.kernel.vfs import is_subpath, normalize_path

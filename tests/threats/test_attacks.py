@@ -3,8 +3,6 @@
 import pytest
 
 from repro.threats import (
-    ALL_ATTACKS,
-    AttackResult,
     ThreatRig,
     format_table1,
     run_threat_analysis,
@@ -72,7 +70,7 @@ class TestCounterfactuals:
     """The defenses are load-bearing: removing one re-enables the attack."""
 
     def test_chroot_succeeds_with_capability(self, rig):
-        from repro.kernel import Capability, full_capability_set, Credentials
+        from repro.kernel import full_capability_set, Credentials
         rig.shell.proc.creds = Credentials(uid=0, caps=full_capability_set())
         result = attack_mod.attack_1_chroot_escape(rig)
         assert not result.blocked

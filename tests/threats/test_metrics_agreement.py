@@ -1,0 +1,67 @@
+"""Cross-layer consistency: metrics registry vs. audit logs.
+
+The audit log and the metrics registry observe the same events through
+independent code paths. After a full Table 1 replay they must agree —
+with one deliberate exception: pass-through cache hits that replay a
+cached *denial* skip the audit append (that is the optimization), so
+
+    audited ITFS denies == itfs_ops_denied - itfs_cache_hits{outcome=deny}
+
+checked per rig over the rig container's own ITFS instances (attacks may
+deploy further containers with their own logs, e.g. on the target host).
+"""
+
+from repro import obs
+from repro.cli import passthrough_table1_spec
+from repro.errors import AccessBlocked, ReproError
+from repro.threats import ALL_ATTACKS, ThreatRig
+
+
+def _itfs_denies(registry, container):
+    instances = {m.instance for m in container.itfs_mounts}
+    denied = sum(registry.total("itfs_ops_denied", instance=i)
+                 for i in instances)
+    cached = sum(registry.total("itfs_cache_hits", instance=i, outcome="deny")
+                 for i in instances)
+    return denied, cached
+
+
+def test_registry_agrees_with_audit_logs_after_table1_replay():
+    registry = obs.registry()
+    broker_audit_denies = 0
+    broker_audit_requests = 0
+    for attack in ALL_ATTACKS:
+        rig = ThreatRig.build(passthrough_table1_spec(cache_capacity=4))
+        attack(rig)
+        for command in ("ps -a", "rm /etc/shadow"):  # one grant, one refusal
+            try:
+                rig.client.pb(command)
+            except ReproError:
+                pass
+        denied, cached = _itfs_denies(registry, rig.container)
+        audited = len(rig.container.fs_audit.filter(decision="deny"))
+        assert denied - cached == audited, attack.__name__
+        broker_audit_denies += len(rig.broker.audit.filter(decision="deny"))
+        broker_audit_requests += len(
+            [r for r in rig.broker.audit.records if r.op.startswith("pb-")])
+        rig.container.terminate("agreement check done")
+
+    assert registry.total("broker_denied_total") == broker_audit_denies > 0
+    assert registry.total("broker_requests_total") - \
+        registry.total("broker_malformed_requests") == broker_audit_requests
+
+
+def test_replay_produces_syscall_and_itfs_denials():
+    rig = ThreatRig.build(passthrough_table1_spec(cache_capacity=4))
+    for _ in range(3):
+        try:
+            rig.shell.read_file("/home/victim/salaries.docx")
+        except AccessBlocked:
+            pass
+    rig.container.terminate("done")
+    registry = obs.registry()
+    # 1 evaluated denial + 2 cached denials, all three syscall-visible
+    assert registry.total("itfs_ops_denied", op="read") == 3
+    assert registry.total("itfs_cache_hits", outcome="deny") == 2
+    assert registry.total("syscall_denied", syscall="read_file") == 3
+    assert len(rig.container.fs_audit.filter(decision="deny")) == 1

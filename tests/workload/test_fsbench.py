@@ -1,6 +1,5 @@
 """Filesystem benchmark drivers (the Figure 9 workloads)."""
 
-import pytest
 
 from repro.itfs import ITFS, AppendOnlyLog, PolicyManager, document_blocking_policy
 from repro.workload.fsbench import (

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.containit import PerforatedContainer
 from repro.framework import SCRIPT_SPECS_CHEF_PUPPET, SCRIPT_SPECS_CLUSTER
 from repro.workload.scripts import (
     assign_script_container,
