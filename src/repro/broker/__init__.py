@@ -10,6 +10,7 @@ from repro.broker.policy import (
     deny_all_policy,
     permissive_policy,
 )
+from repro.broker.retry import NO_RETRY, RetryPolicy, VirtualClock
 from repro.broker.secure_channel import SecureBrokerTransport, SecureChannel
 from repro.broker.protocol import (
     BrokerRequest,
@@ -25,9 +26,12 @@ __all__ = [
     "BrokerRequest",
     "BrokerResponse",
     "ClassEscalationPolicy",
+    "NO_RETRY",
     "PROCESS_MANAGEMENT_COMMANDS",
     "PermissionBroker",
     "RequestKind",
+    "RetryPolicy",
+    "VirtualClock",
     "SecureBrokerTransport",
     "SecureChannel",
     "default_class_policy",

@@ -7,40 +7,90 @@ serialize a request from a non-superuser shell.
 
 Transport note: the paper streams protobuf over gRPC/TCP; here requests
 cross a byte-serialization boundary (`to_bytes`/`handle_bytes`) delivered
-in-process, standing in for the local TCP hop. The isolation argument is
-unchanged: the client is a dumb serializer, all authority lives server-side.
+in-process, standing in for the local TCP hop — optionally through a
+:class:`~repro.broker.secure_channel.SecureBrokerTransport`. The isolation
+argument is unchanged: the client is a dumb serializer, all authority
+lives server-side.
+
+Resilience: transient transport failures (dropped or corrupted channel
+frames, broker timeouts) are retried with deterministic exponential
+backoff on an injectable clock. A policy denial is never retried, and an
+exhausted budget surfaces as a typed
+:class:`~repro.errors.RetryExhausted` — callers never hang and never see
+a partial grant.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.broker.protocol import BrokerRequest, BrokerResponse, RequestKind
+from repro.broker.retry import RETRYABLE_ERRORS, RetryPolicy, VirtualClock
 from repro.broker.server import PermissionBroker
 from repro.containit.container import AdminShell
-from repro.errors import BrokerDenied
+from repro.errors import BrokerDenied, RetryExhausted
 
 
 class BrokerClient:
-    """Client handle bound to one admin shell and one broker endpoint."""
+    """Client handle bound to one admin shell and one broker endpoint.
+
+    Attributes:
+        transport: optional secure transport; when None, requests cross
+            the byte boundary directly (the plain local TCP hop).
+        retry: the backoff schedule for transient transport failures.
+        clock: deterministic clock the backoff sleeps on.
+    """
 
     def __init__(self, shell: AdminShell, broker: PermissionBroker,
-                 ticket_class: Optional[str] = None):
+                 ticket_class: Optional[str] = None,
+                 transport=None, retry: Optional[RetryPolicy] = None,
+                 clock: Optional[VirtualClock] = None):
         self.shell = shell
         self.broker = broker
         self.ticket_class = ticket_class or broker.container.spec.name
+        self.transport = transport
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.clock = clock if clock is not None else VirtualClock()
 
     def _check_privileged(self) -> None:
         if not self.shell.proc.creds.is_superuser:
             raise BrokerDenied("permission broker client: privileged users only")
 
+    def _send(self, payload: bytes) -> bytes:
+        if self.transport is not None:
+            return self.transport.request(payload)
+        return self.broker.handle_bytes(payload)
+
     def call(self, kind: RequestKind, **args) -> BrokerResponse:
-        """Send one request through the serialization boundary."""
+        """Send one request through the serialization boundary.
+
+        The same serialized payload (same ``seq``) is re-sent on every
+        retry, so the server-side audit trail shows retries for what they
+        are rather than as distinct escalations.
+        """
         self._check_privileged()
         request = BrokerRequest(kind=kind, requester=self.shell.admin,
                                 ticket_class=self.ticket_class, args=args)
-        return BrokerResponse.from_bytes(
-            self.broker.handle_bytes(request.to_bytes()))
+        payload = request.to_bytes()
+        delays = self.retry.delays()
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retry.max_attempts):
+            try:
+                return BrokerResponse.from_bytes(self._send(payload))
+            except RETRYABLE_ERRORS as exc:
+                last_error = exc
+                if attempt + 1 >= self.retry.max_attempts:
+                    break
+                obs.registry().counter("retries_total",
+                                       kind=kind.value).inc()
+                self.clock.sleep(delays[attempt])
+        obs.registry().counter("retry_exhausted_total",
+                               kind=kind.value).inc()
+        raise RetryExhausted(
+            f"broker {kind.value} request failed after "
+            f"{self.retry.max_attempts} attempts: {last_error}",
+            attempts=self.retry.max_attempts, last_error=last_error)
 
     # -- convenience wrappers (the PB command surface) ---------------------
 

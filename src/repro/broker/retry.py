@@ -1,0 +1,59 @@
+"""Deterministic retry-with-exponential-backoff for the broker client.
+
+Transient transport failures (dropped frames, corrupted frames rejected by
+the secure channel, broker timeouts) are retried on a capped exponential
+backoff schedule. Time comes from an injectable
+:class:`~repro.faults.plane.VirtualClock`, so retry behaviour is exactly
+reproducible and tests never sleep for real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import TransientBrokerError
+from repro.faults.plane import VirtualClock
+
+#: Errors the client is allowed to retry: transport-level only. A policy
+#: denial is a final answer and is never retried.
+RETRYABLE_ERRORS = (TransientBrokerError,)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff: ``base * multiplier**i``, up to a cap.
+
+    Attributes:
+        max_attempts: total attempts, including the first (>= 1).
+        base_delay: seconds before the first retry.
+        multiplier: backoff growth factor per retry.
+        max_delay: per-retry delay cap in seconds.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, "
+                             f"got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, "
+                             f"got {self.multiplier}")
+
+    def delays(self) -> Tuple[float, ...]:
+        """The backoff schedule: one delay before each retry."""
+        return tuple(min(self.base_delay * self.multiplier ** i,
+                         self.max_delay)
+                     for i in range(self.max_attempts - 1))
+
+
+#: A policy that never retries — restores the pre-resilience behaviour.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+__all__ = ["NO_RETRY", "RETRYABLE_ERRORS", "RetryPolicy", "VirtualClock"]

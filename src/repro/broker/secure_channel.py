@@ -19,13 +19,20 @@ import itertools
 import struct
 
 from repro import obs
-from repro.errors import BrokerDenied
+from repro.errors import ChannelAuthFailure
+from repro.faults import plane as _faults
 
 
-def _reject(reason: str, message: str) -> BrokerDenied:
-    """Count one rejected frame and build the error to raise."""
+def _reject(reason: str, message: str) -> ChannelAuthFailure:
+    """Count one rejected frame and build the error to raise.
+
+    Rejections are :class:`~repro.errors.ChannelAuthFailure` — a
+    *transient transport* error (still a :class:`BrokerDenied` subclass):
+    a corrupted or replayed frame never reaches the broker, and the
+    client's retry loop may simply send a fresh frame.
+    """
     obs.registry().counter("broker_channel_rejects", reason=reason).inc()
-    return BrokerDenied(f"secure channel: {message}")
+    return ChannelAuthFailure(f"secure channel: {message}")
 
 
 def _keystream(key: bytes, nonce: int, length: int) -> bytes:
@@ -80,7 +87,7 @@ class SecureChannel:
         """Verify, replay-check, and decrypt one frame.
 
         Raises:
-            BrokerDenied: bad tag, truncated frame, or replayed nonce.
+            ChannelAuthFailure: bad tag, truncated frame, or replayed nonce.
         """
         if len(frame) < self.NONCE_LEN + self.TAG_LEN:
             raise _reject("truncated", "truncated frame")
@@ -101,7 +108,14 @@ class SecureChannel:
 
 
 class SecureBrokerTransport:
-    """Wraps a PermissionBroker's byte interface in a SecureChannel pair."""
+    """Wraps a PermissionBroker's byte interface in a SecureChannel pair.
+
+    The fault plane's two channel sites sit on the simulated wire: a frame
+    can be dropped (:class:`~repro.errors.ChannelDropped`), corrupted (the
+    receiving channel then rejects it — corruption can only ever degrade
+    to a retryable error, never to an unauthenticated request), or
+    delayed on the plane's virtual clock.
+    """
 
     def __init__(self, broker, psk: bytes):
         self.broker = broker
@@ -114,7 +128,12 @@ class SecureBrokerTransport:
     def request(self, request_bytes: bytes) -> bytes:
         """Client side: seal the request, unseal the response."""
         frame = self._client_channel.seal(request_bytes)
+        if _faults.ACTIVE is not None:
+            frame = _faults.ACTIVE.channel_fault("channel.request", frame)
         reply_frame = self._serve(frame)
+        if _faults.ACTIVE is not None:
+            reply_frame = _faults.ACTIVE.channel_fault("channel.reply",
+                                                       reply_frame)
         return self._client_reply.open(reply_frame)
 
     def _serve(self, frame: bytes) -> bytes:

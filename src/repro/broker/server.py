@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.broker.filesharing import share_directory
+from repro.faults import plane as _faults
 from repro.broker.policy import BrokerPolicy, permissive_policy
 from repro.broker.protocol import BrokerRequest, BrokerResponse, RequestKind
 from repro.containit.container import AddressBook, PerforatedContainer
@@ -61,7 +62,16 @@ class PermissionBroker:
     # ------------------------------------------------------------------
 
     def handle_bytes(self, data: bytes) -> bytes:
-        """Deserialize, dispatch, serialize — the gRPC surface."""
+        """Deserialize, dispatch, serialize — the gRPC surface.
+
+        An armed fault plane may raise
+        :class:`~repro.errors.BrokerTimeout` here, before the request is
+        parsed — the wire analogue of a broker that never answers. Nothing
+        is dispatched and nothing is logged for a timed-out request, so a
+        retry can never produce a partial grant.
+        """
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.broker_fault()
         try:
             request = BrokerRequest.from_bytes(data)
         except KernelError as exc:

@@ -5,6 +5,7 @@ Commands:
     experiment NAME      regenerate one paper table/figure
                          (table1..table4, figure7..figure9, or ``all``)
     threats              run the Table 1 threat analysis
+    chaos                seeded fault-injection soak over the threat replay
     lint                 static perforation linter over the spec catalog
     anomaly              run the audit-log anomaly-detection extension
     metrics [TARGET]     run a workload, dump the shared metrics registry
@@ -105,6 +106,26 @@ def _cmd_threats(_args) -> int:
     blocked = sum(r.blocked for r in results)
     print(f"\n{blocked}/11 attacks blocked or detected")
     return 0 if blocked == len(results) else 1
+
+
+def _cmd_chaos(args) -> int:
+    """Seeded chaos soak: inject faults into the Table 1 replay.
+
+    Exit status 1 means a fault converted a deny into an allow — the
+    fail-closed property is broken. Same seed, same report, bit for bit.
+    """
+    from repro.faults import run_chaos
+    report = run_chaos(seed=args.seed, iterations=args.iterations,
+                       intensity=args.intensity)
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"chaos trace written to {args.trace_out}", file=sys.stderr)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format())
+    return 0 if report.ok else 1
 
 
 def _cmd_lint(args) -> int:
@@ -247,6 +268,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("threats", help="run the Table 1 threat analysis")
 
+    p_chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection soak over the threat replay")
+    p_chaos.add_argument("--seed", type=int, default=1337,
+                         help="fault-schedule seed (same seed, same report)")
+    p_chaos.add_argument("--iterations", type=int, default=200,
+                         help="attack iterations to run under faults")
+    p_chaos.add_argument("--intensity", type=float, default=0.05,
+                         help="per-call fault probability for the rule set")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="full JSON report instead of the text summary")
+    p_chaos.add_argument("--trace-out", metavar="PATH", default=None,
+                         help="also write the JSON report to PATH")
+
     p_lint = sub.add_parser(
         "lint", help="statically verify least-privilege of the spec catalog")
     p_lint.add_argument("--class", dest="klass", metavar="NAME", default=None,
@@ -293,9 +327,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"demo": _cmd_demo, "experiment": _cmd_experiment,
-                "threats": _cmd_threats, "lint": _cmd_lint,
-                "anomaly": _cmd_anomaly, "metrics": _cmd_metrics,
-                "trace": _cmd_trace}
+                "threats": _cmd_threats, "chaos": _cmd_chaos,
+                "lint": _cmd_lint, "anomaly": _cmd_anomaly,
+                "metrics": _cmd_metrics, "trace": _cmd_trace}
     return handlers[args.command](args)
 
 

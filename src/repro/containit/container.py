@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import obs
-from repro.errors import SessionTerminated
+from repro.errors import FatalKernelFault, SessionTerminated
 from repro.itfs import (
     ITFS,
     AppendOnlyLog,
@@ -99,6 +99,13 @@ class AdminShell:
     the contained shell process, so all the confinement (namespaces, ITFS,
     capabilities, firewall, XCL) applies. Raises
     :class:`~repro.errors.SessionTerminated` once the session is torn down.
+
+    A :class:`~repro.errors.FatalKernelFault` anywhere in the session
+    (kernel crash under chaos testing) tears the whole container down
+    *gracefully*: the process tree and host peers die, the termination is
+    audited in the kernel event log, and the admin sees
+    ``SessionTerminated`` — the monitored session never limps on over a
+    faulted kernel.
     """
 
     def __init__(self, container: "PerforatedContainer", proc: Process,
@@ -115,74 +122,97 @@ class AdminShell:
             raise SessionTerminated(f"shell process of {self.admin} has exited")
         return self.container.kernel.sys
 
+    def _call(self, name: str, *args, **kwargs):
+        """Invoke one syscall as the shell; fatal faults end the session."""
+        try:
+            return getattr(self._sys(), name)(self.proc, *args, **kwargs)
+        except FatalKernelFault as exc:
+            raise self._fatal(name, exc) from exc
+
+    def _fatal(self, op: str, exc: FatalKernelFault) -> SessionTerminated:
+        """Graceful teardown after a fatal kernel fault mid-session."""
+        self.container.terminate(f"fatal kernel fault during {op}: {exc}")
+        return SessionTerminated(
+            f"session for {self.admin} on {self.container.spec.name} "
+            f"terminated: fatal kernel fault during {op}")
+
     # -- filesystem ------------------------------------------------------
 
     def read_file(self, path: str) -> bytes:
-        return self._sys().read_file(self.proc, path)
+        return self._call("read_file", path)
 
     def write_file(self, path: str, data: bytes, append: bool = False) -> None:
-        self._sys().write_file(self.proc, path, data, append=append)
+        self._call("write_file", path, data, append=append)
 
     def listdir(self, path: str) -> List[str]:
-        return self._sys().listdir(self.proc, path)
+        return self._call("listdir", path)
 
     def exists(self, path: str) -> bool:
-        return self._sys().exists(self.proc, path)
+        return self._call("exists", path)
 
     def stat(self, path: str):
-        return self._sys().stat(self.proc, path)
+        return self._call("stat", path)
 
     def mkdir(self, path: str, parents: bool = False) -> None:
-        self._sys().mkdir(self.proc, path, parents=parents)
+        self._call("mkdir", path, parents=parents)
 
     def unlink(self, path: str) -> None:
-        self._sys().unlink(self.proc, path)
+        self._call("unlink", path)
 
     def chmod(self, path: str, mode: int) -> None:
-        self._sys().chmod(self.proc, path, mode)
+        self._call("chmod", path, mode)
 
     def chown(self, path: str, uid: int, gid: int) -> None:
-        self._sys().chown(self.proc, path, uid, gid)
+        self._call("chown", path, uid, gid)
 
     def walk(self, path: str = "/"):
-        return self._sys().walk(self.proc, path)
+        # the traversal is lazy: inner listdir/stat calls can fault during
+        # iteration, so the generator itself needs the fatal-fault guard
+        walker = self._call("walk", path)
+
+        def _guarded():
+            try:
+                yield from walker
+            except FatalKernelFault as exc:
+                raise self._fatal("walk", exc) from exc
+        return _guarded()
 
     def mounts(self):
-        return self._sys().mounts(self.proc)
+        return self._call("mounts")
 
     # -- processes -------------------------------------------------------
 
     def ps(self):
-        return self._sys().ps(self.proc)
+        return self._call("ps")
 
     def kill(self, pid: int, sig: int = 9) -> None:
-        self._sys().kill(self.proc, pid, sig)
+        self._call("kill", pid, sig)
 
     def restart_service(self, name: str):
-        return self._sys().restart_service(self.proc, name)
+        return self._call("restart_service", name)
 
     def reboot(self) -> None:
-        self._sys().reboot(self.proc)
+        self._call("reboot")
 
     def spawn(self, comm: str) -> Process:
         """Run a program inside the container (same confinement)."""
-        return self._sys().clone(self.proc, comm)
+        return self._call("clone", comm)
 
     # -- network ---------------------------------------------------------
 
     def connect(self, dst_ip: str, port: int):
-        return self._sys().connect(self.proc, dst_ip, port)
+        return self._call("connect", dst_ip, port)
 
     def net_reachable(self, dst_ip: str, port: int) -> bool:
-        return self._sys().net_reachable(self.proc, dst_ip, port)
+        return self._call("net_reachable", dst_ip, port)
 
     def net_view(self):
-        return self._sys().net_view(self.proc)
+        return self._call("net_view")
 
     # -- misc --------------------------------------------------------------
 
     def hostname(self) -> str:
-        return self._sys().gethostname(self.proc)
+        return self._call("gethostname")
 
     def exit(self) -> None:
         if self.proc.alive:

@@ -149,8 +149,81 @@ class AccessBlocked(ReproError):
         self.rule = rule
 
 
+class FaultInjected(KernelError):
+    """A fault-injection rule fired on a syscall (deterministic chaos).
+
+    Attributes:
+        rule: name of the :class:`repro.faults.FaultRule` that fired.
+    """
+
+    errno_name = "EIO"
+
+    def __init__(self, message: str = "", rule=None):
+        super().__init__(message)
+        self.rule = rule
+
+
+class FatalKernelFault(FaultInjected):
+    """An injected kernel fault severe enough to end the session.
+
+    ContainIT reacts by tearing the container down (fail closed): an admin
+    session on a faulting kernel must not limp along in an unknown state.
+    """
+
+
+class MonitorFault(ReproError):
+    """Injected failure *inside* a boundary monitor (ITFS, netmon).
+
+    Monitors convert this (and any other unexpected evaluation failure)
+    into a fail-closed denial; it must never escape as an implicit allow.
+    """
+
+    def __init__(self, message: str = "", rule=None):
+        super().__init__(message)
+        self.rule = rule
+
+
 class BrokerDenied(ReproError):
     """The permission broker refused an escalation request."""
+
+
+class TransientBrokerError(BrokerDenied):
+    """Transport-level broker failure that is safe to retry.
+
+    Subclasses :class:`BrokerDenied` so existing callers that treat any
+    broker failure as a refusal keep working; the retrying client singles
+    these out for its backoff loop.
+    """
+
+
+class ChannelDropped(TransientBrokerError):
+    """A broker channel frame was lost in transit (injected or real)."""
+
+
+class ChannelAuthFailure(TransientBrokerError):
+    """A broker channel frame was rejected: bad tag, truncated, or replayed.
+
+    The frame never reaches the broker — corruption degrades to a
+    retryable transport error, not to an unauthenticated request.
+    """
+
+
+class BrokerTimeout(TransientBrokerError):
+    """The broker did not answer within the request deadline."""
+
+
+class RetryExhausted(BrokerDenied):
+    """The broker client's retry budget ran out without a response.
+
+    Attributes:
+        attempts: how many attempts were made.
+        last_error: the final transient error, for diagnosis.
+    """
+
+    def __init__(self, message: str = "", attempts: int = 0, last_error=None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
 
 
 class CertificateError(ReproError):

@@ -1,0 +1,46 @@
+"""Deterministic fault injection and chaos testing for the reproduction.
+
+``repro.faults.plane`` is the dependency-light core (hooked into the
+kernel, ITFS, netmon, and the broker); ``repro.faults.chaos`` runs seeded
+chaos soaks over the Table 1 threat replay. This package ``__init__`` only
+loads the plane so the boundary hooks can import it without dragging the
+threat rig (and hence the whole framework) into every ``import repro``.
+"""
+
+from repro.faults.plane import (
+    ACTIONS,
+    SITES,
+    FaultPlane,
+    FaultRule,
+    Injection,
+    VirtualClock,
+    active,
+    install,
+    scope,
+    uninstall,
+)
+
+__all__ = [
+    "ACTIONS",
+    "SITES",
+    "ChaosReport",
+    "FaultPlane",
+    "FaultRule",
+    "Injection",
+    "VirtualClock",
+    "active",
+    "default_chaos_rules",
+    "install",
+    "run_chaos",
+    "scope",
+    "uninstall",
+]
+
+
+def __getattr__(name):
+    # Lazy: the chaos runner imports the threat rig, which imports most of
+    # the codebase — only pay for it when a chaos soak is actually run.
+    if name in ("ChaosReport", "default_chaos_rules", "run_chaos"):
+        from repro.faults import chaos
+        return getattr(chaos, name)
+    raise AttributeError(f"module 'repro.faults' has no attribute {name!r}")

@@ -1,0 +1,255 @@
+"""Seeded chaos soaks over the Table 1 threat replay.
+
+A chaos run answers the question the paper's trust model hinges on: does
+any injected fault ever convert a *deny* into an *allow*? Each iteration
+replays one Table 1 attack on a fresh rig while the fault plane perturbs
+syscalls, monitors, the secure broker channel, and the broker itself, then
+probes the broker through the retrying client. The run is a pure function
+of its seed: the same seed reproduces the identical fault schedule,
+outcome list, and counter totals, so every chaos failure is replayable as
+a regression test.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.errors import BrokerDenied, ReproError
+from repro.faults.plane import FaultPlane, FaultRule, VirtualClock, scope
+from repro.threats.attacks import ALL_ATTACKS, ThreatRig
+
+
+def default_chaos_rules(intensity: float = 0.05) -> List[FaultRule]:
+    """The standard chaos rule set, scaled by ``intensity``.
+
+    Syscall faults target the adversarial admin shell (``comm=bash``) so
+    rig construction stays reliable and the soak spends its iterations on
+    the interesting paths; monitor, channel, and broker faults hit every
+    caller.
+    """
+    if not 0.0 < intensity <= 1.0:
+        raise ValueError(f"intensity must be in (0, 1], got {intensity}")
+    return [
+        FaultRule("syscall-eio", site="syscall", action="error",
+                  comm="bash", probability=intensity),
+        FaultRule("syscall-fatal", site="syscall", action="error",
+                  comm="bash", probability=max(intensity / 4, 1e-6),
+                  fatal=True),
+        FaultRule("itfs-crash", site="itfs", action="error",
+                  probability=intensity),
+        FaultRule("netmon-crash", site="netmon", action="error",
+                  probability=intensity),
+        FaultRule("channel-drop", site="channel.*", action="drop",
+                  probability=intensity),
+        FaultRule("channel-corrupt", site="channel.*", action="corrupt",
+                  probability=intensity),
+        FaultRule("broker-timeout", site="broker", action="timeout",
+                  probability=intensity),
+    ]
+
+
+@dataclass
+class ChaosOutcome:
+    """Result of one chaos iteration (one attack + one broker probe)."""
+
+    iteration: int
+    attack_id: int
+    attack: str
+    #: ``blocked`` — the attack ran and the defense held; ``allowed`` — the
+    #: attack ran and succeeded (a deny->allow conversion if the baseline
+    #: blocked it); ``aborted`` — an injected fault stopped the attack
+    #: mid-flight (fail closed); ``setup-fault`` — the rig never came up.
+    status: str
+    detail: str = ""
+    broker_probe: str = ""
+    faults: List[int] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"iteration": self.iteration, "attack_id": self.attack_id,
+                "attack": self.attack, "status": self.status,
+                "detail": self.detail, "broker_probe": self.broker_probe,
+                "faults": list(self.faults)}
+
+
+@dataclass
+class ChaosReport:
+    """Everything one seeded soak produced, digestible and replayable."""
+
+    seed: int
+    iterations: int
+    intensity: float
+    baseline: Dict[int, bool]
+    outcomes: List[ChaosOutcome]
+    schedule: List[Dict[str, object]]
+    counters: Dict[str, float]
+    conversions: List[Dict[str, object]]
+
+    @property
+    def ok(self) -> bool:
+        """True when no injected fault converted a deny into an allow."""
+        return not self.conversions
+
+    def status_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "intensity": self.intensity,
+            "baseline": {str(k): v for k, v in sorted(self.baseline.items())},
+            "outcomes": [o.to_dict() for o in self.outcomes],
+            "schedule": self.schedule,
+            "counters": dict(sorted(self.counters.items())),
+            "conversions": self.conversions,
+            "digest": self.digest(),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def digest(self) -> str:
+        """Stable hash of the run — equal digests mean identical runs."""
+        payload = json.dumps(
+            {"seed": self.seed, "iterations": self.iterations,
+             "intensity": self.intensity,
+             "baseline": {str(k): v for k, v in sorted(self.baseline.items())},
+             "outcomes": [o.to_dict() for o in self.outcomes],
+             "schedule": self.schedule,
+             "counters": dict(sorted(self.counters.items()))},
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def format(self) -> str:
+        counts = self.status_counts()
+        lines = [
+            f"chaos soak: seed={self.seed} iterations={self.iterations} "
+            f"intensity={self.intensity}",
+            f"  faults injected      {len(self.schedule)}",
+            f"  attacks blocked      {counts.get('blocked', 0)}",
+            f"  attacks aborted      {counts.get('aborted', 0)} "
+            f"(fault stopped the attack: fail closed)",
+            f"  setup faults         {counts.get('setup-fault', 0)}",
+            f"  fail-closed denials  "
+            f"{int(self.counters.get('fail_closed_denials_total', 0))}",
+            f"  broker retries       "
+            f"{int(self.counters.get('retries_total', 0))}",
+            f"  retry budgets spent  "
+            f"{int(self.counters.get('retry_exhausted_total', 0))}",
+            f"  deny->allow          {len(self.conversions)}",
+            f"  schedule digest      {self.digest()[:16]}",
+        ]
+        if self.conversions:
+            lines.append("  CONVERSIONS (replay with this seed!):")
+            for conv in self.conversions:
+                lines.append(f"    iteration {conv['iteration']}: "
+                             f"attack {conv['attack_id']} ({conv['attack']}) "
+                             f"was allowed under faults {conv['faults']}")
+        verdict = "OK — no fault converted a deny into an allow" if self.ok \
+            else f"FAIL — {len(self.conversions)} deny->allow conversions"
+        lines.append(f"  verdict              {verdict}")
+        return "\n".join(lines)
+
+
+_COUNTER_NAMES = ("faults_injected_total", "fail_closed_denials_total",
+                  "retries_total", "retry_exhausted_total")
+
+
+def _run_baseline(attacks, spec) -> Dict[int, bool]:
+    """One fault-free pass to establish which attacks the defenses block."""
+    baseline: Dict[int, bool] = {}
+    for attack in attacks:
+        rig = ThreatRig.build(spec)
+        try:
+            result = attack(rig)
+            baseline[result.attack_id] = result.blocked
+        finally:
+            rig.container.terminate("chaos baseline done")
+    return baseline
+
+
+def _broker_probe(rig: ThreatRig) -> str:
+    """Exercise the retrying client under faults; classify the outcome."""
+    try:
+        response = rig.client.pb("ps -a")
+        return "ok" if response.ok else "refused"
+    except BrokerDenied:
+        # includes RetryExhausted — a typed failure, never a partial grant
+        return "transport-error"
+    except ReproError as exc:
+        return f"error:{type(exc).__name__}"
+
+
+def run_chaos(seed: int, iterations: int = 200, intensity: float = 0.05,
+              spec=None, rules: Optional[List[FaultRule]] = None,
+              attacks=None) -> ChaosReport:
+    """Run a seeded chaos soak over the Table 1 replay.
+
+    Each iteration replays ``ALL_ATTACKS[i % 11]`` on a fresh rig with the
+    fault plane armed, then probes the broker through the retrying client.
+    The shared observability state is reset at the start so counter totals
+    are a function of the run alone.
+    """
+    obs.reset()
+    attacks = list(attacks) if attacks is not None else list(ALL_ATTACKS)
+    baseline = _run_baseline(attacks, spec)
+    plane = FaultPlane(rules=rules if rules is not None
+                       else default_chaos_rules(intensity),
+                       seed=seed, clock=VirtualClock())
+    outcomes: List[ChaosOutcome] = []
+    with scope(plane):
+        for i in range(iterations):
+            attack = attacks[i % len(attacks)]
+            first_fault = len(plane.injections)
+            rig = None
+            try:
+                rig = ThreatRig.build(spec)
+            except ReproError as exc:
+                outcomes.append(ChaosOutcome(
+                    iteration=i, attack_id=i % len(attacks) + 1,
+                    attack=attack.__name__, status="setup-fault",
+                    detail=f"{type(exc).__name__}: {exc}",
+                    faults=[inj.index for inj
+                            in plane.injections[first_fault:]]))
+                continue
+            try:
+                try:
+                    result = attack(rig)
+                    status = "blocked" if result.blocked else "allowed"
+                    attack_id, detail = result.attack_id, result.evidence
+                except ReproError as exc:
+                    # an injected fault stopped the attack before it could
+                    # finish: the boundary failed closed
+                    status = "aborted"
+                    attack_id = i % len(attacks) + 1
+                    detail = f"{type(exc).__name__}: {exc}"
+                probe = _broker_probe(rig)
+            finally:
+                if rig is not None:
+                    try:
+                        rig.container.terminate("chaos iteration done")
+                    except ReproError:
+                        pass
+            outcomes.append(ChaosOutcome(
+                iteration=i, attack_id=attack_id, attack=attack.__name__,
+                status=status, detail=detail, broker_probe=probe,
+                faults=[inj.index for inj in plane.injections[first_fault:]]))
+    registry = obs.registry()
+    counters = {name: registry.total(name) for name in _COUNTER_NAMES}
+    conversions = [
+        {"iteration": o.iteration, "attack_id": o.attack_id,
+         "attack": o.attack, "detail": o.detail, "faults": list(o.faults)}
+        for o in outcomes
+        if o.status == "allowed" and baseline.get(o.attack_id, True)
+    ]
+    return ChaosReport(seed=seed, iterations=iterations, intensity=intensity,
+                       baseline=baseline, outcomes=outcomes,
+                       schedule=plane.schedule(), counters=counters,
+                       conversions=conversions)

@@ -1,0 +1,337 @@
+"""The deterministic fault-injection plane.
+
+A :class:`FaultPlane` holds declarative :class:`FaultRule`\\ s and is
+consulted from small hooks threaded through every boundary the WatchIT
+reproduction defends: the kernel syscall layer, ITFS policy evaluation,
+the network monitor, the secure broker channel, and the broker's request
+dispatcher. When no plane is installed (the default) each hook is a single
+``is None`` check, so production paths pay nothing.
+
+Determinism is the design center: the plane draws from one seeded
+``random.Random`` and only at well-defined points (one draw per matching
+call of a probabilistic rule), so the same seed against the same workload
+reproduces the exact same fault schedule. Every injection is recorded; the
+schedule digests to a stable hash, which makes any chaos failure
+replayable as a regression test.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro import obs
+from repro.errors import (
+    BrokerTimeout,
+    ChannelDropped,
+    FatalKernelFault,
+    FaultInjected,
+    MonitorFault,
+)
+
+#: Hook points the plane can perturb. ``channel.request``/``channel.reply``
+#: are the two directions of the secure broker transport.
+SITES = ("syscall", "itfs", "netmon", "channel.request", "channel.reply",
+         "broker")
+
+#: What a rule may do when it fires.
+ACTIONS = ("error", "drop", "corrupt", "delay", "timeout")
+
+
+class VirtualClock:
+    """A deterministic clock: ``sleep`` advances time, nothing blocks.
+
+    Shared by the fault plane (delay faults) and the broker client's
+    backoff loop, so retry timing is reproducible and tests never wait.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self.sleeps: List[float] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot sleep {seconds}s")
+        self._now += seconds
+        self.sleeps.append(seconds)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One declarative fault trigger.
+
+    Attributes:
+        name: rule identifier (appears in schedules, metrics, errors).
+        site: hook point, glob-matched (``syscall``, ``itfs``, ``netmon``,
+            ``channel.request``, ``channel.reply``, ``broker``, or a
+            pattern like ``channel.*``).
+        op: glob over the operation name at the site (syscall name, ITFS
+            op, netmon direction, broker request kind).
+        path: glob over the operation's path-like argument.
+        comm: glob over the calling process's comm (syscall site only;
+            other sites always match).
+        action: ``error`` raises a typed fault, ``drop``/``corrupt``/
+            ``delay`` perturb channel frames, ``timeout`` stalls the
+            broker.
+        probability: chance of firing per matching call (one seeded draw
+            per matching call when < 1.0).
+        nth_call: fire exactly on the Nth matching call (1-based), once.
+        every: fire on every Nth matching call.
+        max_fires: stop firing after this many injections.
+        fatal: for syscall errors, raise :class:`FatalKernelFault` so
+            ContainIT tears the session down instead of limping on.
+        delay: seconds to add on ``delay`` actions (virtual clock).
+    """
+
+    name: str
+    site: str
+    action: str = "error"
+    op: str = "*"
+    path: str = "*"
+    comm: str = "*"
+    probability: float = 1.0
+    nth_call: Optional[int] = None
+    every: Optional[int] = None
+    max_fires: Optional[int] = None
+    fatal: bool = False
+    delay: float = 0.0
+
+    def __post_init__(self):
+        if self.action not in ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}; "
+                             f"choose from {ACTIONS}")
+        if not self.site or (not any(fnmatchcase(s, self.site) for s in SITES)
+                             and self.site not in SITES):
+            raise ValueError(f"rule {self.name!r}: site pattern {self.site!r} "
+                             f"matches none of {SITES}")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(f"rule {self.name!r}: probability must be in "
+                             f"(0, 1], got {self.probability}")
+        if self.nth_call is not None and self.nth_call < 1:
+            raise ValueError(f"rule {self.name!r}: nth_call must be >= 1")
+        if self.every is not None and self.every < 1:
+            raise ValueError(f"rule {self.name!r}: every must be >= 1")
+        if self.max_fires is not None and self.max_fires < 1:
+            raise ValueError(f"rule {self.name!r}: max_fires must be >= 1")
+        if self.action in ("drop", "corrupt") and \
+                not self.site.startswith("channel"):
+            raise ValueError(f"rule {self.name!r}: action {self.action!r} "
+                             f"only applies to channel sites")
+        if self.action == "timeout" and self.site != "broker":
+            raise ValueError(f"rule {self.name!r}: action 'timeout' only "
+                             f"applies to the broker site")
+        if self.delay < 0:
+            raise ValueError(f"rule {self.name!r}: delay must be >= 0")
+
+    def matches(self, site: str, op: str, path: str, comm: str) -> bool:
+        return (fnmatchcase(site, self.site) and fnmatchcase(op, self.op)
+                and fnmatchcase(path, self.path)
+                and fnmatchcase(comm, self.comm))
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One fault the plane actually injected."""
+
+    index: int          # 1-based position in the plane's global schedule
+    site: str
+    op: str
+    path: str
+    comm: str
+    rule: str
+    action: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"index": self.index, "site": self.site, "op": self.op,
+                "path": self.path, "comm": self.comm, "rule": self.rule,
+                "action": self.action}
+
+
+class FaultPlane:
+    """Seed-deterministic fault injector consulted by the boundary hooks.
+
+    The plane is passive until installed (:func:`install` / :func:`scope`);
+    every consult walks the armed rules in order and the first firing rule
+    wins. All injections are recorded in :attr:`injections` — the fault
+    schedule — and counted as ``faults_injected_total{site,rule}``.
+    """
+
+    def __init__(self, rules: Iterable[FaultRule] = (), seed: int = 0,
+                 clock: Optional[VirtualClock] = None):
+        self.seed = seed
+        self.rules: List[FaultRule] = list(rules)
+        self.clock = clock if clock is not None else VirtualClock()
+        self._rng = random.Random(seed)
+        self.call_index = 0
+        self._match_counts: Dict[str, int] = {}
+        self._fire_counts: Dict[str, int] = {}
+        self.injections: List[Injection] = []
+
+    # -- rule management ---------------------------------------------------
+
+    def arm(self, rule: FaultRule) -> None:
+        self.rules.append(rule)
+
+    def disarm(self, name: str) -> None:
+        self.rules = [r for r in self.rules if r.name != name]
+
+    @property
+    def armed(self) -> bool:
+        return bool(self.rules)
+
+    def fires(self, rule_name: str) -> int:
+        return self._fire_counts.get(rule_name, 0)
+
+    # -- the decision core -------------------------------------------------
+
+    def consult(self, site: str, op: str = "", path: str = "",
+                comm: str = "") -> Optional[Tuple[FaultRule, Injection]]:
+        """Should a fault fire for this call? First matching rule wins.
+
+        Deterministic: the seeded RNG is consumed exactly once per matching
+        call of each probabilistic rule, so the schedule is a pure function
+        of ``(seed, call sequence)``.
+        """
+        self.call_index += 1
+        for rule in self.rules:
+            if not rule.matches(site, op, path, comm):
+                continue
+            count = self._match_counts.get(rule.name, 0) + 1
+            self._match_counts[rule.name] = count
+            if rule.nth_call is not None and count != rule.nth_call:
+                continue
+            if rule.every is not None and count % rule.every != 0:
+                continue
+            if rule.max_fires is not None and \
+                    self._fire_counts.get(rule.name, 0) >= rule.max_fires:
+                continue
+            if rule.probability < 1.0 and \
+                    self._rng.random() >= rule.probability:
+                continue
+            return rule, self._record(rule, site, op, path, comm)
+        return None
+
+    def _record(self, rule: FaultRule, site: str, op: str, path: str,
+                comm: str) -> Injection:
+        self._fire_counts[rule.name] = self._fire_counts.get(rule.name, 0) + 1
+        injection = Injection(index=len(self.injections) + 1, site=site,
+                              op=op, path=path, comm=comm, rule=rule.name,
+                              action=rule.action)
+        self.injections.append(injection)
+        obs.registry().counter("faults_injected_total", site=site,
+                               rule=rule.name).inc()
+        return injection
+
+    # -- site-specific entry points (what the hooks call) ------------------
+
+    def syscall_fault(self, op: str, proc, args: Tuple = ()) -> None:
+        """Raise an injected kernel error for a matching syscall."""
+        path = args[0] if args and isinstance(args[0], str) else ""
+        hit = self.consult("syscall", op=op, path=path,
+                           comm=getattr(proc, "comm", "?"))
+        if hit is None:
+            return
+        rule, _ = hit
+        if rule.action == "delay":
+            self.clock.sleep(rule.delay)
+            return
+        exc_type = FatalKernelFault if rule.fatal else FaultInjected
+        raise exc_type(f"injected fault in {op}({path or '...'})",
+                       rule=rule.name)
+
+    def monitor_fault(self, monitor: str, op: str = "", path: str = "") -> None:
+        """Raise an injected failure inside a boundary monitor."""
+        hit = self.consult(monitor, op=op, path=path)
+        if hit is None:
+            return
+        rule, _ = hit
+        if rule.action == "delay":
+            self.clock.sleep(rule.delay)
+            return
+        raise MonitorFault(f"injected {monitor} monitor fault during "
+                           f"{op} on {path}", rule=rule.name)
+
+    def channel_fault(self, direction: str, frame: bytes) -> bytes:
+        """Perturb one secure-channel frame: drop, corrupt, or delay it."""
+        hit = self.consult(direction, op="frame", path="")
+        if hit is None:
+            return frame
+        rule, _ = hit
+        if rule.action == "drop":
+            raise ChannelDropped(f"injected frame drop on {direction} "
+                                 f"(rule {rule.name})")
+        if rule.action == "corrupt":
+            if not frame:
+                return frame
+            pos = self._rng.randrange(len(frame))
+            return frame[:pos] + bytes([frame[pos] ^ 0xFF]) + frame[pos + 1:]
+        if rule.action == "delay":
+            self.clock.sleep(rule.delay)
+        return frame
+
+    def broker_fault(self, kind: str = "") -> None:
+        """Raise an injected broker request timeout."""
+        hit = self.consult("broker", op=kind, path="")
+        if hit is None:
+            return
+        rule, _ = hit
+        if rule.action == "delay":
+            self.clock.sleep(rule.delay)
+            return
+        raise BrokerTimeout(f"injected broker timeout (rule {rule.name})")
+
+    # -- the schedule ------------------------------------------------------
+
+    def schedule(self) -> List[Dict[str, object]]:
+        """The fault schedule so far, as plain data."""
+        return [i.to_dict() for i in self.injections]
+
+    def schedule_digest(self) -> str:
+        """Stable hash of the schedule — equal digests, equal runs."""
+        payload = json.dumps(self.schedule(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# the process-wide active plane — hooks read ``ACTIVE`` directly so the
+# disabled path costs one attribute load and an ``is None`` test.
+# ----------------------------------------------------------------------
+
+ACTIVE: Optional[FaultPlane] = None
+
+
+def install(plane: FaultPlane) -> FaultPlane:
+    """Make ``plane`` the active plane every hook consults."""
+    global ACTIVE
+    ACTIVE = plane
+    return plane
+
+
+def uninstall() -> None:
+    global ACTIVE
+    ACTIVE = None
+
+
+def active() -> Optional[FaultPlane]:
+    return ACTIVE
+
+
+@contextmanager
+def scope(plane: FaultPlane):
+    """Install ``plane`` for the duration of a with-block (re-entrant)."""
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = plane
+    try:
+        yield plane
+    finally:
+        ACTIVE = previous

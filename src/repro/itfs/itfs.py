@@ -21,6 +21,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro import obs
 from repro.errors import AccessBlocked, FileNotFound
+from repro.faults import plane as _faults
 from repro.itfs.audit import AppendOnlyLog
 from repro.itfs.policy import PolicyManager
 from repro.kernel.vfs import FileType, Filesystem, Inode, OpContext, StatResult, join_path
@@ -206,11 +207,16 @@ class ITFS(Filesystem):
                 raise AccessBlocked(f"ITFS denied {op} on {bpath}",
                                     rule="passthrough-cache")
             self._count("itfs_cache_misses")
-        with self.tracer.span("itfs:check", op=op, path=bpath,
-                              fs=self.label) as span:
-            head_loader = self._head_loader(bpath) if self.policy.needs_head else None
-            decision = self.policy.evaluate(op, bpath, head_loader)
-            span.set(allowed=decision.allowed, rule=decision.rule)
+        try:
+            if _faults.ACTIVE is not None:
+                _faults.ACTIVE.monitor_fault("itfs", op=op, path=bpath)
+            with self.tracer.span("itfs:check", op=op, path=bpath,
+                                  fs=self.label) as span:
+                head_loader = self._head_loader(bpath) if self.policy.needs_head else None
+                decision = self.policy.evaluate(op, bpath, head_loader)
+                span.set(allowed=decision.allowed, rule=decision.rule)
+        except Exception as exc:
+            self._fail_closed(op, bpath, ctx, exc, start)
         if decision.log or not decision.allowed:
             self.audit.append(actor=self._actor(ctx), op=op, path=bpath,
                               decision="deny" if not decision.allowed else "allow",
@@ -234,6 +240,29 @@ class ITFS(Filesystem):
             self._count("itfs_ops_denied", op=op)
             raise AccessBlocked(f"ITFS denied {op} on {bpath}", rule=decision.rule)
         return bpath
+
+    def _fail_closed(self, op: str, bpath: str, ctx: OpContext | None,
+                     exc: Exception, start: float) -> None:
+        """A monitor that cannot decide must deny, audit, and say so.
+
+        Any failure inside the policy evaluation — an injected
+        :class:`~repro.errors.MonitorFault`, a buggy custom rule, a broken
+        head loader — becomes an audited denial. Passing the operation
+        through on monitor failure would turn every monitor bug into an
+        isolation hole. The denial is deliberately *not* cached: the fault
+        may be transient, and a later healthy evaluation must get a fresh
+        decision.
+        """
+        self.audit.append(actor=self._actor(ctx), op=op, path=bpath,
+                          decision="deny", rule="fail-closed",
+                          error=type(exc).__name__)
+        self.metrics.counter("fail_closed_denials_total", monitor="itfs",
+                             instance=self.instance).inc()
+        self._count("itfs_ops_denied", op=op)
+        self._observe_latency(op, start)
+        raise AccessBlocked(
+            f"ITFS monitor failure during {op} on {bpath}; failing closed",
+            rule="fail-closed") from exc
 
     def _observe_latency(self, op: str, start: float) -> None:
         self.metrics.histogram("itfs_op_seconds", op=op).observe(

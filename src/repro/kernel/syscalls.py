@@ -15,6 +15,7 @@ import functools
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro import obs
+from repro.faults import plane as _faults
 from repro.errors import (
     AccessBlocked,
     BadFileDescriptor,
@@ -59,7 +60,9 @@ def _instrumented(name: str, fn, trace: bool = True):
     Every call increments ``syscall_total{syscall=name}``; failures add
     ``syscall_errors{syscall,errno}`` and — for security denials —
     ``syscall_denied{syscall}``. With ``trace`` the call runs inside a
-    ``syscall:<name>`` span carrying the caller's comm/pid.
+    ``syscall:<name>`` span carrying the caller's comm/pid. When a fault
+    plane is installed it is consulted before the body runs and may raise
+    an injected kernel error in the call's place.
     """
 
     @functools.wraps(fn)
@@ -71,6 +74,8 @@ def _instrumented(name: str, fn, trace: bool = True):
                                   pid=getattr(proc, "pid", -1))
                 if trace else None)
         try:
+            if _faults.ACTIVE is not None:
+                _faults.ACTIVE.syscall_fault(name, proc, args)
             if span is not None:
                 with span:
                     return fn(self, proc, *args, **kwargs)

@@ -12,6 +12,7 @@ from typing import List, Optional
 
 from repro import obs
 from repro.errors import AccessBlocked
+from repro.faults import plane as _faults
 from repro.itfs.audit import AppendOnlyLog
 from repro.kernel.net import NetNamespace, Packet
 from repro.netmon.rules import SniffRule, Verdict
@@ -48,7 +49,26 @@ class NetworkMonitor:
         registry.counter("netmon_packets_total", direction=direction).inc()
         registry.counter("netmon_bytes_total",
                          direction=direction).inc(packet.size)
-        verdict = self._first_verdict(packet, direction)
+        flow = f"{packet.dst_ip}:{packet.port}"
+        try:
+            if _faults.ACTIVE is not None:
+                _faults.ACTIVE.monitor_fault("netmon", op=direction,
+                                             path=flow)
+            verdict = self._first_verdict(packet, direction)
+        except Exception as exc:
+            # Fail closed: a sniffer that cannot inspect must drop the
+            # flow, audited — never wave traffic through uninspected.
+            self.packets_blocked += 1
+            registry.counter("netmon_packets_blocked",
+                             rule="fail-closed").inc()
+            registry.counter("fail_closed_denials_total",
+                             monitor="netmon").inc()
+            self.audit.append(actor=packet.src_ip, op=f"net-{direction}",
+                              path=flow, decision="deny", rule="fail-closed",
+                              error=type(exc).__name__, bytes=packet.size)
+            raise AccessBlocked(
+                f"network monitor failure inspecting {direction} to {flow}; "
+                f"failing closed", rule="fail-closed") from exc
         if verdict is None:
             if self.log_all:
                 self.audit.append(actor=packet.src_ip, op=f"net-{direction}",

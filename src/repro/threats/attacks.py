@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.broker import BrokerClient, PermissionBroker
+from repro.broker.secure_channel import SecureBrokerTransport
 from repro.containit import (
     ROOT_DIRECTORY,
     PerforatedContainer,
@@ -71,6 +72,10 @@ class ThreatRig:
     golden_manifest: IntegrityManifest
     remote_log: object = None  # the off-host append-only mirror
 
+    #: PSK for the rig's secure broker transport — a fixed value so the
+    #: fault plane's channel-corruption schedule is reproducible.
+    CHANNEL_PSK = b"watchit-chaos-psk-0001"
+
     @classmethod
     def build(cls, spec: Optional[PerforatedContainerSpec] = None
               ) -> "ThreatRig":
@@ -78,7 +83,9 @@ class ThreatRig:
 
         The full-root configuration is the *most* permissive filesystem
         view WatchIT grants, so any containment it provides holds a
-        fortiori for the tighter classes.
+        fortiori for the tighter classes. Broker traffic rides the secure
+        channel so chaos testing exercises the full wire path
+        (seal → fault plane → broker → fault plane → open).
         """
         network = Network()
         host = Kernel("victim-ws", ip="10.0.0.5", network=network)
@@ -118,7 +125,9 @@ class ThreatRig:
                 MalwareSignatureRule(signatures=[MALWARE_BLOB]))
         broker = PermissionBroker(host, container)
         shell = container.login("rogue-admin")
-        client = BrokerClient(shell, broker)
+        client = BrokerClient(shell, broker,
+                              transport=SecureBrokerTransport(
+                                  broker, cls.CHANNEL_PSK))
         tickets = TicketDatabase()
         tickets.register_person("rogue-admin", Role.IT_ADMIN)
         return cls(network=network, host=host, container=container,

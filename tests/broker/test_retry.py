@@ -1,0 +1,168 @@
+"""Broker client resilience: deterministic backoff over a faulty wire."""
+
+import pytest
+
+from repro import obs
+from repro.broker import (
+    NO_RETRY,
+    BrokerClient,
+    RetryPolicy,
+    SecureBrokerTransport,
+    VirtualClock,
+)
+from repro.errors import (
+    BrokerDenied,
+    BrokerTimeout,
+    ChannelAuthFailure,
+    ChannelDropped,
+    RetryExhausted,
+    TransientBrokerError,
+)
+from repro.faults import FaultPlane, FaultRule, scope
+from repro.threats.attacks import ThreatRig
+
+
+@pytest.fixture()
+def rig():
+    rig = ThreatRig.build()
+    yield rig
+    rig.container.terminate("retry test done")
+
+
+def retrying_client(rig, max_attempts=4):
+    clock = VirtualClock()
+    client = BrokerClient(
+        rig.shell, rig.broker,
+        transport=SecureBrokerTransport(rig.broker, ThreatRig.CHANNEL_PSK),
+        retry=RetryPolicy(max_attempts=max_attempts), clock=clock)
+    return client, clock
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule_is_capped_exponential(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1, multiplier=3.0,
+                             max_delay=1.0)
+        assert policy.delays() == (0.1, pytest.approx(0.3),
+                                   pytest.approx(0.9), 1.0)
+
+    def test_no_retry_policy_has_empty_schedule(self):
+        assert NO_RETRY.max_attempts == 1
+        assert NO_RETRY.delays() == ()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+
+class TestRecovery:
+    def test_recovers_from_dropped_frames_within_budget(self, rig):
+        client, clock = retrying_client(rig)
+        plane = FaultPlane([FaultRule("drop-twice", site="channel.request",
+                                      action="drop", max_fires=2)])
+        with scope(plane):
+            response = client.pb("ps -a")
+        assert response.ok
+        assert clock.sleeps == list(client.retry.delays()[:2])
+        assert obs.registry().total("retries_total") == 2.0
+        assert obs.registry().total("retry_exhausted_total") == 0.0
+
+    def test_recovers_from_corrupted_frame(self, rig):
+        client, _ = retrying_client(rig)
+        plane = FaultPlane([FaultRule("bitrot", site="channel.reply",
+                                      action="corrupt", nth_call=1)])
+        with scope(plane):
+            response = client.pb("ps -a")
+        assert response.ok
+        assert obs.registry().total("retries_total") == 1.0
+
+    def test_recovers_from_broker_timeout(self, rig):
+        client, _ = retrying_client(rig)
+        plane = FaultPlane([FaultRule("stall", site="broker",
+                                      action="timeout", nth_call=1)])
+        with scope(plane):
+            assert client.pb("ps -a").ok
+
+    def test_each_attempt_resends_the_same_request(self, rig):
+        # retries reuse one serialized request: the broker sees exactly one
+        # dispatch, logs exactly one record, and the audit chain verifies
+        client, _ = retrying_client(rig)
+        handled_before = rig.broker.requests_handled
+        records_before = len(rig.broker.audit)
+        plane = FaultPlane([FaultRule("drop-1", site="channel.request",
+                                      action="drop", nth_call=1)])
+        with scope(plane):
+            assert client.pb("ps -a").ok
+        assert rig.broker.requests_handled == handled_before + 1
+        assert len(rig.broker.audit) == records_before + 1
+        assert rig.broker.audit.is_intact()
+
+
+class TestExhaustion:
+    def test_exhausted_budget_raises_typed_error(self, rig):
+        client, clock = retrying_client(rig, max_attempts=3)
+        plane = FaultPlane([FaultRule("dead-wire", site="channel.request",
+                                      action="drop")])
+        with scope(plane):
+            with pytest.raises(RetryExhausted) as excinfo:
+                client.pb("ps -a")
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last_error, ChannelDropped)
+        assert len(clock.sleeps) == 2  # no sleep after the final attempt
+        assert obs.registry().total("retries_total") == 2.0
+        assert obs.registry().total("retry_exhausted_total") == 1.0
+
+    def test_retry_exhausted_is_a_broker_denial(self):
+        # callers that handle BrokerDenied keep working unchanged
+        assert issubclass(RetryExhausted, BrokerDenied)
+        assert issubclass(ChannelDropped, TransientBrokerError)
+        assert issubclass(ChannelAuthFailure, TransientBrokerError)
+        assert issubclass(BrokerTimeout, TransientBrokerError)
+
+    def test_exhaustion_leaves_no_partial_grant(self, rig):
+        # timeouts fire before parse/dispatch: nothing handled, nothing
+        # logged, so a later retry cannot double-apply
+        client, _ = retrying_client(rig, max_attempts=2)
+        handled_before = rig.broker.requests_handled
+        records_before = len(rig.broker.audit)
+        plane = FaultPlane([FaultRule("stall", site="broker",
+                                      action="timeout")])
+        with scope(plane):
+            with pytest.raises(RetryExhausted):
+                client.pb("ps -a")
+        assert rig.broker.requests_handled == handled_before
+        assert len(rig.broker.audit) == records_before
+        assert rig.broker.audit.is_intact()
+
+    def test_no_retry_policy_fails_on_first_fault(self, rig):
+        client, clock = retrying_client(rig, max_attempts=1)
+        plane = FaultPlane([FaultRule("drop-1", site="channel.request",
+                                      action="drop", nth_call=1)])
+        with scope(plane):
+            with pytest.raises(RetryExhausted):
+                client.pb("ps -a")
+        assert clock.sleeps == []
+        assert obs.registry().total("retries_total") == 0.0
+
+
+class TestNonRetryableFailures:
+    def test_policy_refusal_is_not_retried(self, rig):
+        # a denied command returns ok=False — a final answer, no retries
+        client, clock = retrying_client(rig)
+        response = client.pb("rm -rf /")
+        assert not response.ok
+        assert clock.sleeps == []
+        assert obs.registry().total("retries_total") == 0.0
+
+    def test_unprivileged_caller_fails_fast(self, rig):
+        from repro.kernel import Credentials
+        plain_proc = rig.host.spawn(rig.container.init_proc, "bash",
+                                    creds=Credentials(uid=1000, gid=1000))
+        shell = type(rig.shell)(rig.container, plain_proc, "mallory")
+        client = BrokerClient(shell, rig.broker)
+        with pytest.raises(BrokerDenied, match="privileged"):
+            client.pb("ps -a")
+        assert obs.registry().total("retries_total") == 0.0

@@ -2,6 +2,19 @@
 
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fuzz-soak", action="store_true", default=False,
+        help="run the escape fuzzer at soak depth (hundreds of examples) "
+             "instead of the bounded smoke profile")
+
+
+@pytest.fixture()
+def fuzz_soak(request):
+    """Whether the slow, deep fuzzing profile was requested."""
+    return request.config.getoption("--fuzz-soak")
+
 from repro import obs
 from repro.containit import PerforatedContainer
 from repro.kernel import (

@@ -1,0 +1,114 @@
+"""Chaos soak: determinism, fail-closed verdicts, and the CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.faults import ChaosReport, default_chaos_rules, run_chaos
+from repro.faults.plane import FaultRule
+
+SEED = 1337
+#: one pass over every Table 1 attack — small enough for the unit suite
+ITERATIONS = 11
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_chaos(seed=SEED, iterations=ITERATIONS)
+
+
+class TestDefaultRules:
+    def test_intensity_bounds(self):
+        with pytest.raises(ValueError):
+            default_chaos_rules(0.0)
+        with pytest.raises(ValueError):
+            default_chaos_rules(1.5)
+
+    def test_covers_every_boundary(self):
+        sites = {rule.site for rule in default_chaos_rules()}
+        assert sites == {"syscall", "itfs", "netmon", "channel.*", "broker"}
+
+    def test_syscall_rules_target_the_admin_shell(self):
+        for rule in default_chaos_rules():
+            if rule.site == "syscall":
+                assert rule.comm == "bash"
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_the_run_bit_for_bit(self, report):
+        again = run_chaos(seed=SEED, iterations=ITERATIONS)
+        assert report.digest() == again.digest()
+        assert report.to_json() == again.to_json()
+
+    def test_different_seed_differs(self, report):
+        other = run_chaos(seed=SEED + 1, iterations=ITERATIONS)
+        assert other.digest() != report.digest()
+
+    def test_schedule_entries_are_replayable_records(self, report):
+        for entry in report.schedule:
+            assert set(entry) == {"index", "site", "op", "path", "comm",
+                                  "rule", "action"}
+
+
+class TestFailClosedVerdict:
+    def test_baseline_blocks_all_eleven_attacks(self, report):
+        assert len(report.baseline) == 11
+        assert all(report.baseline.values())
+
+    def test_no_deny_to_allow_conversions(self, report):
+        assert report.conversions == []
+        assert report.ok
+
+    def test_every_iteration_ends_blocked_or_failed_closed(self, report):
+        assert set(report.status_counts()) <= \
+            {"blocked", "aborted", "setup-fault"}
+
+    def test_report_roundtrips_through_json(self, report):
+        data = json.loads(report.to_json())
+        assert data["digest"] == report.digest()
+        assert data["seed"] == SEED
+        assert len(data["outcomes"]) == ITERATIONS
+
+    def test_format_states_the_verdict(self, report):
+        assert "no fault converted a deny into an allow" in report.format()
+
+
+class TestFaultFreeControl:
+    def test_no_rules_means_no_faults_and_all_blocked(self):
+        report = run_chaos(seed=SEED, iterations=11, rules=[])
+        assert report.schedule == []
+        assert report.status_counts() == {"blocked": 11}
+        assert report.counters["faults_injected_total"] == 0.0
+
+    def test_targeted_monitor_rule_reaches_the_soak(self):
+        rules = [FaultRule("itfs-always", site="itfs", nth_call=1)]
+        report = run_chaos(seed=SEED, iterations=6, rules=rules)
+        assert report.ok
+        assert any(entry["rule"] == "itfs-always"
+                   for entry in report.schedule)
+
+
+class TestChaosCli:
+    def test_cli_is_deterministic_and_writes_trace(self, tmp_path, capsys):
+        trace = tmp_path / "chaos-trace.json"
+        status = main(["chaos", "--seed", str(SEED), "--iterations", "11",
+                       "--trace-out", str(trace)])
+        first = capsys.readouterr().out
+        assert status == 0
+        assert "verdict" in first
+        data = json.loads(trace.read_text())
+        assert data["conversions"] == []
+        status = main(["chaos", "--seed", str(SEED), "--iterations", "11"])
+        assert capsys.readouterr().out == first
+        assert status == 0
+
+    def test_cli_json_output_parses(self, capsys):
+        status = main(["chaos", "--seed", "7", "--iterations", "4", "--json"])
+        assert status == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["seed"] == 7
+
+
+def test_chaos_report_is_exported():
+    assert ChaosReport is not None

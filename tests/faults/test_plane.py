@@ -1,0 +1,242 @@
+"""Fault plane: rule validation, triggers, determinism, installation."""
+
+import pytest
+
+from repro import obs
+from repro.errors import (
+    BrokerTimeout,
+    ChannelDropped,
+    FatalKernelFault,
+    FaultInjected,
+    MonitorFault,
+)
+from repro.faults import (
+    FaultPlane,
+    FaultRule,
+    VirtualClock,
+    active,
+    install,
+    scope,
+    uninstall,
+)
+
+
+class FakeProc:
+    def __init__(self, comm="bash"):
+        self.comm = comm
+
+
+class TestFaultRuleValidation:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultRule("r", site="syscall", action="explode")
+
+    def test_site_pattern_must_match_a_site(self):
+        with pytest.raises(ValueError, match="matches none"):
+            FaultRule("r", site="gpu")
+
+    def test_site_glob_accepted(self):
+        rule = FaultRule("r", site="channel.*", action="drop")
+        assert rule.matches("channel.request", "frame", "", "")
+        assert rule.matches("channel.reply", "frame", "", "")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule("r", site="syscall", probability=0.0)
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule("r", site="syscall", probability=1.5)
+
+    def test_drop_only_on_channel_sites(self):
+        with pytest.raises(ValueError, match="only applies to channel"):
+            FaultRule("r", site="syscall", action="drop")
+
+    def test_timeout_only_on_broker_site(self):
+        with pytest.raises(ValueError, match="'timeout' only"):
+            FaultRule("r", site="itfs", action="timeout")
+
+    def test_counters_must_be_positive(self):
+        with pytest.raises(ValueError, match="nth_call"):
+            FaultRule("r", site="syscall", nth_call=0)
+        with pytest.raises(ValueError, match="every"):
+            FaultRule("r", site="syscall", every=0)
+        with pytest.raises(ValueError, match="max_fires"):
+            FaultRule("r", site="syscall", max_fires=0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="delay"):
+            FaultRule("r", site="syscall", action="delay", delay=-1.0)
+
+
+class TestTriggers:
+    def test_nth_call_fires_exactly_once(self):
+        plane = FaultPlane([FaultRule("third", site="syscall", nth_call=3)])
+        hits = [plane.consult("syscall", op="open") for _ in range(6)]
+        assert [h is not None for h in hits] == \
+            [False, False, True, False, False, False]
+
+    def test_every_fires_periodically(self):
+        plane = FaultPlane([FaultRule("periodic", site="syscall", every=2)])
+        hits = [plane.consult("syscall", op="open") for _ in range(6)]
+        assert [h is not None for h in hits] == \
+            [False, True, False, True, False, True]
+
+    def test_max_fires_caps_injections(self):
+        plane = FaultPlane([FaultRule("capped", site="syscall", max_fires=2)])
+        hits = [plane.consult("syscall", op="open") for _ in range(5)]
+        assert sum(h is not None for h in hits) == 2
+        assert plane.fires("capped") == 2
+
+    def test_glob_filters_scope_matching(self):
+        plane = FaultPlane([FaultRule("reads-only", site="syscall",
+                                      op="read_*", path="/home/*")])
+        assert plane.consult("syscall", op="read_file",
+                             path="/home/a/f") is not None
+        assert plane.consult("syscall", op="write_file",
+                             path="/home/a/f") is None
+        assert plane.consult("syscall", op="read_file", path="/etc/f") is None
+
+    def test_first_matching_rule_wins(self):
+        plane = FaultPlane([
+            FaultRule("first", site="syscall", op="open"),
+            FaultRule("second", site="syscall"),
+        ])
+        rule, injection = plane.consult("syscall", op="open")
+        assert rule.name == "first" and injection.rule == "first"
+
+    def test_injections_recorded_in_order_with_counter(self):
+        plane = FaultPlane([FaultRule("always", site="itfs")])
+        plane.consult("itfs", op="read", path="/a")
+        plane.consult("itfs", op="write", path="/b")
+        assert [i.index for i in plane.injections] == [1, 2]
+        assert plane.schedule()[1]["path"] == "/b"
+        assert obs.registry().total("faults_injected_total") == 2.0
+
+    def test_disarm_removes_rule(self):
+        plane = FaultPlane([FaultRule("gone", site="syscall")])
+        plane.disarm("gone")
+        assert not plane.armed
+        assert plane.consult("syscall", op="open") is None
+
+
+class TestDeterminism:
+    def _schedule(self, seed):
+        plane = FaultPlane(
+            [FaultRule("coin", site="syscall", probability=0.3)], seed=seed)
+        for i in range(200):
+            plane.consult("syscall", op="open", path=f"/f{i}", comm="bash")
+        return plane.schedule(), plane.schedule_digest()
+
+    def test_same_seed_same_schedule(self):
+        assert self._schedule(42) == self._schedule(42)
+
+    def test_different_seed_different_schedule(self):
+        assert self._schedule(1)[1] != self._schedule(2)[1]
+
+    def test_probabilistic_rule_draws_once_per_matching_call(self):
+        # a non-matching call must not consume RNG state: the schedule of
+        # matching calls is identical with and without interleaved noise
+        rule = FaultRule("coin", site="syscall", op="open", probability=0.5)
+        plain = FaultPlane([rule], seed=7)
+        noisy = FaultPlane([rule], seed=7)
+        plain_hits, noisy_hits = [], []
+        for i in range(100):
+            plain_hits.append(plain.consult("syscall", op="open") is not None)
+            noisy.consult("syscall", op="stat")  # never matches
+            noisy_hits.append(noisy.consult("syscall", op="open") is not None)
+        assert plain_hits == noisy_hits
+
+
+class TestSiteEntryPoints:
+    def test_syscall_fault_raises_eio(self):
+        plane = FaultPlane([FaultRule("eio", site="syscall")])
+        with pytest.raises(FaultInjected) as excinfo:
+            plane.syscall_fault("open", FakeProc(), ("/etc/passwd",))
+        assert excinfo.value.errno_name == "EIO"
+        assert excinfo.value.rule == "eio"
+
+    def test_fatal_rule_raises_fatal_kernel_fault(self):
+        plane = FaultPlane([FaultRule("fatal", site="syscall", fatal=True)])
+        with pytest.raises(FatalKernelFault):
+            plane.syscall_fault("read_file", FakeProc(), ("/f",))
+
+    def test_comm_glob_scopes_syscall_faults(self):
+        plane = FaultPlane([FaultRule("shell-only", site="syscall",
+                                      comm="bash")])
+        plane.syscall_fault("open", FakeProc(comm="itfs"), ("/f",))  # no raise
+        with pytest.raises(FaultInjected):
+            plane.syscall_fault("open", FakeProc(comm="bash"), ("/f",))
+
+    def test_syscall_delay_advances_clock_without_error(self):
+        clock = VirtualClock()
+        plane = FaultPlane([FaultRule("slow", site="syscall", action="delay",
+                                      delay=0.25)], clock=clock)
+        plane.syscall_fault("open", FakeProc(), ("/f",))
+        assert clock.now() == pytest.approx(0.25)
+
+    def test_monitor_fault_raises(self):
+        plane = FaultPlane([FaultRule("crash", site="itfs")])
+        with pytest.raises(MonitorFault):
+            plane.monitor_fault("itfs", op="read", path="/f")
+
+    def test_channel_drop(self):
+        plane = FaultPlane([FaultRule("drop", site="channel.request",
+                                      action="drop")])
+        with pytest.raises(ChannelDropped):
+            plane.channel_fault("channel.request", b"frame-bytes")
+
+    def test_channel_corrupt_flips_exactly_one_byte(self):
+        plane = FaultPlane([FaultRule("bitrot", site="channel.reply",
+                                      action="corrupt")], seed=5)
+        frame = bytes(range(64))
+        mangled = plane.channel_fault("channel.reply", frame)
+        assert len(mangled) == len(frame)
+        diffs = [i for i, (a, b) in enumerate(zip(frame, mangled)) if a != b]
+        assert len(diffs) == 1
+        assert mangled[diffs[0]] == frame[diffs[0]] ^ 0xFF
+
+    def test_broker_timeout(self):
+        plane = FaultPlane([FaultRule("stall", site="broker",
+                                      action="timeout")])
+        with pytest.raises(BrokerTimeout):
+            plane.broker_fault("exec")
+
+
+class TestInstallation:
+    def teardown_method(self):
+        uninstall()
+
+    def test_install_uninstall(self):
+        plane = FaultPlane()
+        assert active() is None
+        install(plane)
+        assert active() is plane
+        uninstall()
+        assert active() is None
+
+    def test_scope_restores_previous_plane(self):
+        outer, inner = FaultPlane(), FaultPlane()
+        with scope(outer):
+            assert active() is outer
+            with scope(inner):
+                assert active() is inner
+            assert active() is outer
+        assert active() is None
+
+    def test_scope_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with scope(FaultPlane()):
+                raise RuntimeError("boom")
+        assert active() is None
+
+
+class TestVirtualClock:
+    def test_sleep_accumulates_never_blocks(self):
+        clock = VirtualClock(start=10.0)
+        clock.sleep(0.5)
+        clock.sleep(1.5)
+        assert clock.now() == pytest.approx(12.0)
+        assert clock.sleeps == [0.5, 1.5]
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().sleep(-0.1)

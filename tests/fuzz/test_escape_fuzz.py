@@ -1,0 +1,170 @@
+"""Adversarial escape fuzzing: Table 1 must hold under arbitrary chaos.
+
+Hypothesis generates perforated-container specs (always carrying the
+hard-constraint floor), sequences of Table 1 attacks, and optional seeded
+fault schedules, then asserts the paper's core invariant: **no injected
+fault ever converts a deny into an allow**. An attack may be *blocked*
+(the defense held), or it may *abort* with a typed error when a fault
+stops it mid-flight (the boundary failed closed) — but an attack the
+fault-free baseline blocks must never complete successfully under faults.
+
+The default profile is a bounded smoke pass sized for CI; run
+``pytest tests/fuzz --fuzz-soak`` for the deep soak.
+"""
+
+from contextlib import nullcontext
+
+import pytest
+from hypothesis import HealthCheck, given, seed as hypothesis_seed, settings
+from hypothesis import strategies as st
+
+from repro.containit import (
+    HOME_DIRECTORY,
+    ROOT_DIRECTORY,
+    PerforatedContainerSpec,
+)
+from repro.errors import AccessBlocked, ReproError
+from repro.faults import FaultPlane, FaultRule, default_chaos_rules, scope
+from repro.threats.attacks import ALL_ATTACKS, ThreatRig
+
+SMOKE_EXAMPLES = 10
+SOAK_EXAMPLES = 200
+
+FUZZ_SETTINGS = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture,
+                           HealthCheck.too_slow],
+)
+
+#: Specs the fuzzer explores. The three ``st.just(True)`` floors are the
+#: preconditions of the Table 1 invariant — everything else is fair game.
+spec_strategy = st.builds(
+    PerforatedContainerSpec,
+    name=st.just("fuzz"),
+    description=st.just("escape-fuzz spec"),
+    fs_shares=st.sampled_from([
+        (ROOT_DIRECTORY,),
+        (HOME_DIRECTORY,),
+        (HOME_DIRECTORY, "/etc"),
+    ]),
+    network_allowed=st.sampled_from([(), ("whitelisted-websites",)]),
+    process_management=st.booleans(),
+    signature_monitoring=st.booleans(),
+    fs_passthrough=st.booleans(),
+    fs_cache_capacity=st.integers(min_value=1, max_value=8),
+    block_documents=st.just(True),
+    monitor_filesystem=st.just(True),
+    monitor_network=st.just(True),
+)
+
+attack_sequence = st.lists(st.integers(min_value=0, max_value=10),
+                           min_size=1, max_size=3, unique=True)
+
+fault_schedule = st.one_of(
+    st.none(),
+    st.tuples(st.integers(min_value=0, max_value=2 ** 16),
+              st.sampled_from([0.02, 0.05, 0.15])),
+)
+
+
+def run_attack(attack, spec, plane=None):
+    """One attack on a fresh rig; returns blocked/allowed/raised."""
+    guard = scope(plane) if plane is not None else nullcontext()
+    rig = None
+    with guard:
+        try:
+            rig = ThreatRig.build(spec)
+            result = attack(rig)
+            return "blocked" if result.blocked else "allowed"
+        except ReproError as exc:
+            return f"raised:{type(exc).__name__}"
+        finally:
+            if rig is not None:
+                try:
+                    rig.container.terminate("fuzz iteration done")
+                except ReproError:
+                    pass
+
+
+def make_plane(schedule):
+    if schedule is None:
+        return None
+    seed, intensity = schedule
+    return FaultPlane(default_chaos_rules(intensity), seed=seed)
+
+
+def assert_no_conversion(spec, attack_ids, schedule):
+    """The invariant: faults may abort attacks, never enable them."""
+    for attack_id in attack_ids:
+        attack = ALL_ATTACKS[attack_id]
+        baseline = run_attack(attack, spec)
+        faulted = run_attack(attack, spec, plane=make_plane(schedule))
+        if baseline != "allowed":
+            assert faulted != "allowed", (
+                f"fault schedule {schedule} converted attack "
+                f"{attack_id + 1} ({attack.__name__}) from "
+                f"{baseline!r} into a success")
+
+
+@settings(max_examples=SMOKE_EXAMPLES, **FUZZ_SETTINGS)
+@given(spec=spec_strategy, attack_ids=attack_sequence,
+       schedule=fault_schedule)
+def test_no_fault_converts_a_deny_into_an_allow(spec, attack_ids, schedule):
+    assert_no_conversion(spec, attack_ids, schedule)
+
+
+@hypothesis_seed(0)
+@settings(max_examples=SOAK_EXAMPLES, **FUZZ_SETTINGS)
+@given(spec=spec_strategy, attack_ids=attack_sequence,
+       schedule=fault_schedule)
+def test_escape_fuzz_soak(fuzz_soak, spec, attack_ids, schedule):
+    if not fuzz_soak:
+        pytest.skip("soak profile: opt in with --fuzz-soak")
+    assert_no_conversion(spec, attack_ids, schedule)
+
+
+class TestFaultedMonitorsAlwaysDeny:
+    """A monitor under fault must deny — fuzzed over seeds and specs."""
+
+    @settings(max_examples=SMOKE_EXAMPLES, **FUZZ_SETTINGS)
+    @given(spec=spec_strategy, seed=st.integers(min_value=0, max_value=2 ** 16))
+    def test_classified_read_never_returns_content(self, spec, seed):
+        plane = FaultPlane([FaultRule("itfs-crash", site="itfs",
+                                      probability=0.5)], seed=seed)
+        rig = ThreatRig.build(spec)
+        try:
+            with scope(plane):
+                for _ in range(8):
+                    with pytest.raises(AccessBlocked):
+                        rig.shell.read_file("/home/victim/salaries.docx")
+        finally:
+            rig.container.terminate("fuzz done")
+
+    @settings(max_examples=SMOKE_EXAMPLES, **FUZZ_SETTINGS)
+    @given(seed=st.integers(min_value=0, max_value=2 ** 16))
+    def test_faulted_sniffer_never_passes_a_packet(self, seed):
+        from repro.kernel.net import Packet
+        from repro.netmon import NetworkMonitor
+        plane = FaultPlane([FaultRule("netmon-crash", site="netmon")],
+                           seed=seed)
+        monitor = NetworkMonitor()
+        packet = Packet(src_ip="10.0.0.5", dst_ip="6.6.6.6", port=443,
+                        payload=b"exfil")
+        with scope(plane):
+            with pytest.raises(AccessBlocked):
+                monitor.tap(packet, "egress")
+        assert monitor.audit.records[-1].rule == "fail-closed"
+
+
+@settings(max_examples=5, **FUZZ_SETTINGS)
+@given(spec=spec_strategy, attack_ids=attack_sequence,
+       seed=st.integers(min_value=0, max_value=2 ** 16))
+def test_fault_schedules_are_reproducible(spec, attack_ids, seed):
+    """Same seed, same spec, same attacks — same statuses and schedule."""
+    def one_pass():
+        plane = FaultPlane(default_chaos_rules(0.1), seed=seed)
+        statuses = [run_attack(ALL_ATTACKS[i], spec, plane=plane)
+                    for i in attack_ids]
+        return statuses, plane.schedule_digest()
+
+    assert one_pass() == one_pass()

@@ -1,0 +1,95 @@
+"""ITFS fail-closed: a monitor that cannot decide denies and audits."""
+
+import pytest
+
+from repro import obs
+from repro.errors import AccessBlocked
+from repro.faults import FaultPlane, FaultRule, scope
+from repro.itfs import ITFS, AppendOnlyLog, CustomRule, PolicyManager
+from repro.kernel import MemoryFilesystem
+
+
+@pytest.fixture()
+def backing():
+    fs = MemoryFilesystem()
+    fs.populate({"home": {"alice": {"notes.txt": "plain notes"}}})
+    return fs
+
+
+@pytest.fixture()
+def itfs(backing):
+    return ITFS(backing, PolicyManager(), audit=AppendOnlyLog("t"))
+
+
+def crash_plane(**rule_kwargs):
+    return FaultPlane([FaultRule("itfs-crash", site="itfs", **rule_kwargs)])
+
+
+class TestInjectedMonitorFault:
+    def test_faulted_check_denies_instead_of_passing_through(self, itfs):
+        with scope(crash_plane()):
+            with pytest.raises(AccessBlocked) as excinfo:
+                itfs.read("/home/alice/notes.txt")
+        assert excinfo.value.rule == "fail-closed"
+
+    def test_denial_is_audited_with_the_error(self, itfs):
+        with scope(crash_plane()):
+            with pytest.raises(AccessBlocked):
+                itfs.read("/home/alice/notes.txt")
+        record = itfs.audit.records[-1]
+        assert record.decision == "deny"
+        assert record.rule == "fail-closed"
+        assert record.details["error"] == "MonitorFault"
+        assert itfs.audit.is_intact()
+
+    def test_denial_is_counted(self, itfs):
+        with scope(crash_plane()):
+            with pytest.raises(AccessBlocked):
+                itfs.write("/home/alice/notes.txt", b"x")
+        registry = obs.registry()
+        assert registry.total("fail_closed_denials_total", monitor="itfs") == 1.0
+        assert registry.total("itfs_ops_denied") == 1.0
+
+    def test_write_never_reaches_backing_under_fault(self, itfs, backing):
+        with scope(crash_plane()):
+            with pytest.raises(AccessBlocked):
+                itfs.write("/home/alice/notes.txt", b"tampered")
+        assert backing.read("/home/alice/notes.txt") == b"plain notes"
+
+    def test_recovers_once_the_fault_clears(self, itfs):
+        with scope(crash_plane(max_fires=1)):
+            with pytest.raises(AccessBlocked):
+                itfs.read("/home/alice/notes.txt")
+            assert itfs.read("/home/alice/notes.txt") == b"plain notes"
+
+
+class TestTransientFaultNotCached:
+    def test_fail_closed_denial_is_not_cached(self, backing):
+        # pass-through mode caches decisions; a fail-closed denial must not
+        # enter the cache or the path would stay dead after recovery
+        itfs = ITFS(backing, PolicyManager(), audit=AppendOnlyLog("t"),
+                    passthrough=True)
+        with scope(crash_plane(max_fires=1)):
+            with pytest.raises(AccessBlocked):
+                itfs.read("/home/alice/notes.txt")
+        assert itfs.read("/home/alice/notes.txt") == b"plain notes"
+        assert obs.registry().total("itfs_cache_hits", outcome="deny") == 0.0
+
+
+class TestOrganicMonitorBugs:
+    def test_buggy_custom_rule_fails_closed(self, backing):
+        # fail-closed is not fault-plane-specific: any exception inside
+        # policy evaluation must deny — a buggy rule is an isolation hole
+        # only if it *passes* traffic
+        policy = PolicyManager()
+
+        def broken(op, path, head):
+            raise ZeroDivisionError("rule bug")
+
+        policy.add_rule(CustomRule("broken-rule", broken))
+        itfs = ITFS(backing, policy, audit=AppendOnlyLog("t"))
+        with pytest.raises(AccessBlocked) as excinfo:
+            itfs.read("/home/alice/notes.txt")
+        assert excinfo.value.rule == "fail-closed"
+        record = itfs.audit.records[-1]
+        assert record.details["error"] == "ZeroDivisionError"

@@ -1,0 +1,99 @@
+"""Network monitor fail-closed: a sniffer that cannot inspect must drop."""
+
+import pytest
+
+from repro import obs
+from repro.errors import AccessBlocked
+from repro.faults import FaultPlane, FaultRule, scope
+from repro.kernel.net import Packet
+from repro.netmon import NetworkMonitor
+from repro.netmon.rules import SniffRule
+
+
+def pkt(payload=b"GET / HTTP/1.1", dst="10.0.0.100", port=80):
+    return Packet(src_ip="10.0.0.5", dst_ip=dst, port=port, payload=payload)
+
+
+def crash_plane(**rule_kwargs):
+    return FaultPlane([FaultRule("netmon-crash", site="netmon",
+                                 **rule_kwargs)])
+
+
+class TestInjectedSnifferFault:
+    def test_faulted_tap_drops_instead_of_waving_through(self):
+        monitor = NetworkMonitor()
+        with scope(crash_plane()):
+            with pytest.raises(AccessBlocked) as excinfo:
+                monitor.tap(pkt(), "egress")
+        assert excinfo.value.rule == "fail-closed"
+        assert monitor.packets_blocked == 1
+
+    def test_drop_is_audited_with_the_error(self):
+        monitor = NetworkMonitor()
+        with scope(crash_plane()):
+            with pytest.raises(AccessBlocked):
+                monitor.tap(pkt(dst="6.6.6.6", port=443), "egress")
+        record = monitor.audit.records[-1]
+        assert record.decision == "deny"
+        assert record.rule == "fail-closed"
+        assert record.path == "6.6.6.6:443"
+        assert record.details["error"] == "MonitorFault"
+        assert monitor.audit.is_intact()
+
+    def test_drop_is_counted(self):
+        monitor = NetworkMonitor()
+        with scope(crash_plane()):
+            with pytest.raises(AccessBlocked):
+                monitor.tap(pkt(), "ingress")
+        registry = obs.registry()
+        assert registry.total("fail_closed_denials_total",
+                              monitor="netmon") == 1.0
+        assert registry.total("netmon_packets_blocked",
+                              rule="fail-closed") == 1.0
+
+    def test_direction_glob_scopes_the_fault(self):
+        monitor = NetworkMonitor()
+        plane = FaultPlane([FaultRule("egress-only", site="netmon",
+                                      op="egress")])
+        with scope(plane):
+            monitor.tap(pkt(), "ingress")  # unaffected
+            with pytest.raises(AccessBlocked):
+                monitor.tap(pkt(), "egress")
+
+    def test_recovers_once_the_fault_clears(self):
+        monitor = NetworkMonitor()
+        with scope(crash_plane(max_fires=1)):
+            with pytest.raises(AccessBlocked):
+                monitor.tap(pkt(), "egress")
+            monitor.tap(pkt(), "egress")  # healthy again: allowed through
+        assert monitor.packets_blocked == 1
+        assert monitor.packets_seen == 2
+
+
+class TestOrganicRuleBugs:
+    def test_buggy_sniff_rule_fails_closed(self):
+        class BrokenRule(SniffRule):
+            def inspect(self, packet, direction):
+                raise ValueError("rule bug")
+
+        monitor = NetworkMonitor(rules=[BrokenRule("broken")])
+        with pytest.raises(AccessBlocked) as excinfo:
+            monitor.tap(pkt(), "egress")
+        assert excinfo.value.rule == "fail-closed"
+        assert monitor.audit.records[-1].details["error"] == "ValueError"
+
+
+class TestAttachedToNamespace:
+    def test_fault_inside_attached_tap_blocks_the_send(self, kernel):
+        # end to end: a connect through a faulted monitor raises at the
+        # syscall surface instead of letting the payload leave
+        from repro.kernel import Kernel
+        monitor = NetworkMonitor()
+        monitor.attach(kernel.init.namespaces.net)
+        Kernel("peer", ip="10.0.0.9", network=kernel.network)
+        kernel.network.listen("10.0.0.9", 80, lambda p: b"pong")
+        conn = kernel.sys.connect(kernel.init, "10.0.0.9", 80)
+        with scope(crash_plane()):
+            with pytest.raises(AccessBlocked):
+                conn.send(b"payload")
+        assert monitor.packets_blocked == 1
