@@ -1,0 +1,69 @@
+"""Benchmark: bounded model check + witness replay over the catalog.
+
+Writes ``BENCH_modelcheck.json`` at the repo root:
+
+* ``static``: per-catalog state-space size and wall time of the pure
+  BFS pass at the default depth (no rigs deployed);
+* ``replay``: wall time of the full static+dynamic verify run — one
+  live rig per target, every unreachable escape probed, every witness
+  executed — plus the agreement count the CI gate relies on.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis.modelcheck import (
+    DEFAULT_DEPTH,
+    catalog_targets,
+    check_target,
+    run_verify_model,
+)
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_modelcheck.json"
+
+
+def _static_pass(targets):
+    return [check_target(t, depth=DEFAULT_DEPTH) for t in targets]
+
+
+def test_bench_modelcheck_static_and_replay(once):
+    targets = catalog_targets()
+
+    start = time.perf_counter()
+    results = _static_pass(targets)
+    static_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    report = once(run_verify_model)
+    replay_seconds = time.perf_counter() - start
+
+    states = sum(r.stats.states_explored for r in results)
+    transitions = sum(r.stats.transitions for r in results)
+    payload = {
+        "benchmark": "escape-chain model checker",
+        "depth": DEFAULT_DEPTH,
+        "targets": len(targets),
+        "static": {
+            "seconds": round(static_seconds, 4),
+            "states_explored": states,
+            "transitions": transitions,
+            "states_per_second": round(states / static_seconds, 1),
+            "largest_state_space": max(
+                (r.stats.states_explored, r.target_name) for r in results),
+        },
+        "replay": {
+            "seconds": round(replay_seconds, 3),
+            "rows": len(report.replay_rows),
+            "agreements": report.agreements,
+            "disagreements": len(report.disagreements),
+            "targets_per_second": round(len(targets) / replay_seconds, 2),
+        },
+        "ok": report.ok,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print()
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+    assert report.ok, "catalog verify-model failed under benchmark"
+    assert states > 0 and transitions > 0

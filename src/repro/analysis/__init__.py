@@ -18,6 +18,11 @@ Quickstart::
 The static verdicts are validated against the *dynamic* Table 1 attack
 suite by :func:`run_crosscheck` — static "reachable" must coincide with
 the attacks not being blocked by namespace/path isolation at runtime.
+
+One level up, :mod:`repro.analysis.modelcheck` bounds-checks *multi-step*
+escape chains (broker grant -> mount -> syscall compositions the
+single-route linter cannot see) and replays every counterexample witness
+against the live rig — ``repro verify-model`` is the front end.
 """
 
 from repro.analysis.checkers import (
@@ -50,6 +55,15 @@ from repro.analysis.model import (
     template_covers,
     templates_overlap,
 )
+from repro.analysis.modelcheck import (
+    ModelCheckResult,
+    Reachability,
+    VerifyModelReport,
+    check_target,
+    overprivileged_fixture_target,
+    run_verify_model,
+)
+from repro.analysis.sarif import merge_reports, report_to_sarif
 
 __all__ = [
     "Checker",
@@ -60,16 +74,24 @@ __all__ = [
     "Gate",
     "LintReport",
     "LintTarget",
+    "ModelCheckResult",
     "PerforationLinter",
     "PrivilegeModel",
+    "Reachability",
     "RuleInfo",
     "Severity",
+    "VerifyModelReport",
     "builtin_catalog",
+    "check_target",
     "crosscheck_spec",
     "default_checkers",
     "lint_catalog",
+    "merge_reports",
+    "overprivileged_fixture_target",
+    "report_to_sarif",
     "rule_catalog",
     "run_crosscheck",
+    "run_verify_model",
     "template_covers",
     "templates_overlap",
 ]

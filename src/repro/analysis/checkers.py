@@ -17,7 +17,7 @@ Rule ID blocks:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple, Type
+from typing import Dict, Iterator, List, Optional, Tuple, Type
 
 from repro.analysis.findings import Finding, RuleInfo, Severity
 from repro.analysis.model import (
@@ -62,8 +62,9 @@ class Checker:
         raise NotImplementedError
 
     def _finding(self, target: LintTarget, location: str, message: str,
-                 evidence: Dict[str, object] = None,
-                 severity: Severity = None, rule_index: int = 0) -> Finding:
+                 evidence: Optional[Dict[str, object]] = None,
+                 severity: Optional[Severity] = None,
+                 rule_index: int = 0) -> Finding:
         info = self.rules[rule_index]
         return Finding(rule_id=info.rule_id,
                        severity=severity if severity is not None

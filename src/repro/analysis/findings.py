@@ -36,7 +36,10 @@ class Severity(enum.IntEnum):
         try:
             return cls[label.upper()]
         except KeyError:
-            raise ValueError(f"unknown severity {label!r}") from None
+            valid = ", ".join(s.label for s in cls)
+            raise ValueError(
+                f"unknown severity {label!r} (expected one of: {valid})"
+            ) from None
 
 
 @dataclass(frozen=True)
@@ -83,7 +86,7 @@ class Finding:
         }
 
 
-def _finding_sort_key(finding: Finding):
+def _finding_sort_key(finding: Finding) -> Tuple[int, str, str, str, str]:
     # severity-descending, then stable lexicographic identity: report
     # ordering must never churn between runs over the same configuration.
     return (-int(finding.severity), finding.subject, finding.rule_id,
@@ -150,37 +153,9 @@ class LintReport:
         }
 
     def to_sarif(self) -> Dict[str, object]:
-        """SARIF-style report (tool driver + rules + results)."""
-        rules = [{
-            "id": info.rule_id,
-            "name": info.title,
-            "shortDescription": {"text": info.title},
-            "fullDescription": {"text": info.description},
-            "defaultConfiguration": {"level": info.severity.sarif_level},
-        } for info in self.rule_catalog]
-        results = [{
-            "ruleId": f.rule_id,
-            "level": f.severity.sarif_level,
-            "message": {"text": f"{f.subject}: {f.message}"},
-            "locations": [{
-                "logicalLocations": [{
-                    "fullyQualifiedName": f"{f.subject}.{f.location}",
-                }],
-            }],
-            "properties": {"evidence": dict(f.evidence)},
-        } for f in self.findings]
-        return {
-            "version": "2.1.0",
-            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
-            "runs": [{
-                "tool": {"driver": {
-                    "name": "watchit-perforation-linter",
-                    "informationUri": "docs/static_analysis.md",
-                    "rules": rules,
-                }},
-                "results": results,
-            }],
-        }
+        """SARIF report via the shared writer (:mod:`repro.analysis.sarif`)."""
+        from repro.analysis.sarif import report_to_sarif
+        return report_to_sarif(self)
 
     def format(self) -> str:
         """Human-readable report."""

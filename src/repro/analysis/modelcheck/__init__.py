@@ -1,0 +1,75 @@
+"""Escape-chain model checker: bounded reachability over privilege states.
+
+The WIT00x linter walks each Table 1 route as a single gate chain against
+the static spec; this package closes its blind spot — multi-step chains
+where a broker grant, a mount, or a namespace join changes the privilege
+state mid-attack. An abstract interpreter (:mod:`state`, :mod:`actions`)
+mirrors the gates :mod:`repro.kernel.syscalls` and
+:mod:`repro.broker.policy` enforce; a bounded BFS (:mod:`engine`)
+classifies escape predicates as unreachable / reachable /
+reachable-but-audited with minimal counterexample witnesses; a replay
+harness (:mod:`replay`) executes every verdict against the real simulated
+kernel + ITFS + broker; and :mod:`runner` packages it all behind
+``repro verify-model``.
+"""
+
+from repro.analysis.modelcheck.actions import (
+    ANY_DESTINATION,
+    AbstractAction,
+    action_catalog,
+)
+from repro.analysis.modelcheck.engine import (
+    DEFAULT_DEPTH,
+    MODELCHECK_RULES,
+    ModelCheckResult,
+    PredicateVerdict,
+    Reachability,
+    SearchStats,
+    Step,
+    check_target,
+    modelcheck_rule_catalog,
+)
+from repro.analysis.modelcheck.replay import ReplayRow, replay_target
+from repro.analysis.modelcheck.runner import (
+    FIXTURE_CLASS,
+    VerifyModelReport,
+    catalog_targets,
+    overprivileged_fixture_target,
+    run_verify_model,
+)
+from repro.analysis.modelcheck.state import (
+    PREDICATES,
+    Predicate,
+    PrivState,
+    escape_predicates,
+    initial_state,
+    predicate,
+)
+
+__all__ = [
+    "ANY_DESTINATION",
+    "AbstractAction",
+    "DEFAULT_DEPTH",
+    "FIXTURE_CLASS",
+    "MODELCHECK_RULES",
+    "ModelCheckResult",
+    "PREDICATES",
+    "Predicate",
+    "PredicateVerdict",
+    "PrivState",
+    "Reachability",
+    "ReplayRow",
+    "SearchStats",
+    "Step",
+    "VerifyModelReport",
+    "action_catalog",
+    "catalog_targets",
+    "check_target",
+    "escape_predicates",
+    "initial_state",
+    "modelcheck_rule_catalog",
+    "overprivileged_fixture_target",
+    "predicate",
+    "replay_target",
+    "run_verify_model",
+]

@@ -1,0 +1,406 @@
+"""Bounded BFS model checker over the abstract privilege state space.
+
+:func:`check_target` explores every abstract action chain from the
+initial state of a :class:`~repro.analysis.model.LintTarget` up to a
+configurable depth, memoizing on canonical state identity, and
+classifies each :class:`~repro.analysis.modelcheck.state.Predicate` as
+
+* **unreachable** — no explored state satisfies it;
+* **reachable** — some chain *achieves* the predicate with an unaudited
+  step: the action that first makes it true leaves no audit-log record,
+  so the attack's point of effect is invisible. This is the verdict that
+  fails ``repro verify-model``;
+* **reachable-but-audited** — satisfiable, but every achieving step is
+  audited (a broker request, an ITFS-monitored write): prevention
+  failed, detection did not.
+
+Classification looks only at *first-satisfaction* states — states where
+the predicate holds but did not hold in the parent — so a chain that
+wanders through unrelated actions after (or before) achieving the
+predicate cannot pollute the verdict. Witnesses are minimal by
+construction: BFS discovers states in depth order, so the first
+first-satisfaction state yields a shortest chain.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.analysis.findings import Finding, RuleInfo, Severity
+from repro.analysis.model import LintTarget
+from repro.analysis.modelcheck.actions import (
+    AbstractAction,
+    action_catalog,
+)
+from repro.analysis.modelcheck.state import (
+    PREDICATES,
+    Predicate,
+    PrivState,
+    initial_state,
+)
+
+#: Default exploration depth: long enough for every Table 1 attack
+#: (1–2 abstract steps) preceded by one broker escalation and one
+#: follow-up syscall — e.g. share-path(/dev) → open /dev/mem → read.
+DEFAULT_DEPTH = 4
+
+
+class Reachability(enum.Enum):
+    """Verdict classes for one predicate on one target."""
+
+    UNREACHABLE = "unreachable"
+    REACHABLE = "reachable"
+    REACHABLE_AUDITED = "reachable-but-audited"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One action in a counterexample witness."""
+
+    action: str
+    param: str
+    kind: str
+    description: str
+    audited: bool
+    #: ITFS view after the step (replay uses it to pick concrete paths).
+    view: Tuple[str, ...]
+    state_digest: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.action}({self.param})" if self.param else self.action
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "action": self.action,
+            "param": self.param,
+            "kind": self.kind,
+            "audited": self.audited,
+            "description": self.description,
+            "state": self.state_digest,
+        }
+
+
+@dataclass(frozen=True)
+class SearchStats:
+    """Exploration metrics for one target."""
+
+    states_explored: int
+    transitions: int
+    frontier_peak: int
+    depth_reached: int
+    #: True when the frontier emptied before the depth bound — every
+    #: reachable state was visited and the verdicts are exact, not bounded.
+    fixpoint: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "states_explored": self.states_explored,
+            "transitions": self.transitions,
+            "frontier_peak": self.frontier_peak,
+            "depth_reached": self.depth_reached,
+            "fixpoint": self.fixpoint,
+        }
+
+
+@dataclass(frozen=True)
+class PredicateVerdict:
+    """Classification of one predicate, with its minimal witness."""
+
+    predicate: Predicate
+    reachability: Reachability
+    witness: Tuple[Step, ...] = ()
+
+    @property
+    def unaudited_escape(self) -> bool:
+        return (self.predicate.escape
+                and self.reachability is Reachability.REACHABLE)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "predicate": self.predicate.key,
+            "name": self.predicate.name,
+            "escape": self.predicate.escape,
+            "verdict": self.reachability.value,
+            "witness": [step.to_dict() for step in self.witness],
+        }
+
+
+# -- the WIT04x rule catalog -------------------------------------------
+
+MODELCHECK_RULES: Tuple[RuleInfo, ...] = (
+    RuleInfo(
+        "WIT040", "escape chain reachable without audit trail",
+        Severity.ERROR,
+        "The bounded model checker found a multi-step chain reaching an "
+        "escape predicate with at least one unaudited privilege-widening "
+        "step — the audit logs never see the attack. The finding carries "
+        "the minimal counterexample witness."),
+    RuleInfo(
+        "WIT041", "escape chain reachable but fully audited",
+        Severity.WARNING,
+        "An escape predicate is reachable, but every minimal chain leaves "
+        "an audit-log record (broker grants, ITFS-monitored operations); "
+        "detection remains possible, prevention does not."),
+    RuleInfo(
+        "WIT042", "privilege surface widened beyond the static spec",
+        Severity.INFO,
+        "A non-escape predicate (host data write, broker-widened surface) "
+        "is reachable. Expected to be reachable-but-audited under a "
+        "permissive broker; escalates to WARNING when a chain exists "
+        "that the audit logs would miss."),
+    RuleInfo(
+        "WIT043", "static/dynamic disagreement on a model verdict",
+        Severity.ERROR,
+        "The witness-replay harness executed a counterexample (or probed "
+        "an unreachable verdict) against the simulated kernel + ITFS + "
+        "broker and the dynamic outcome contradicted the static claim."),
+    RuleInfo(
+        "WIT044", "verdict bounded by exploration depth",
+        Severity.INFO,
+        "The search hit the depth bound before reaching a fixpoint, so "
+        "'unreachable' verdicts for this target are bounded claims; rerun "
+        "with a larger --depth for an exact result."),
+)
+
+
+def modelcheck_rule_catalog() -> Tuple[RuleInfo, ...]:
+    return MODELCHECK_RULES
+
+
+def _rule(rule_id: str) -> RuleInfo:
+    for info in MODELCHECK_RULES:
+        if info.rule_id == rule_id:
+            return info
+    raise KeyError(rule_id)
+
+
+@dataclass
+class ModelCheckResult:
+    """All verdicts for one target, plus the exploration stats."""
+
+    target_name: str
+    depth: int
+    initial: PrivState
+    verdicts: Tuple[PredicateVerdict, ...]
+    stats: SearchStats
+
+    def verdict(self, key: str) -> PredicateVerdict:
+        for verdict in self.verdicts:
+            if verdict.predicate.key == key:
+                return verdict
+        raise KeyError(key)
+
+    @property
+    def unaudited_escapes(self) -> Tuple[PredicateVerdict, ...]:
+        return tuple(v for v in self.verdicts if v.unaudited_escape)
+
+    def findings(self) -> List[Finding]:
+        """WIT04x findings for the Finding/LintReport/SARIF pipeline."""
+        findings: List[Finding] = []
+        bounded_unreachable: List[str] = []
+        for verdict in self.verdicts:
+            pred = verdict.predicate
+            location = f"modelcheck.{pred.key}"
+            evidence: Dict[str, object] = {
+                "verdict": verdict.reachability.value,
+                "depth": self.depth,
+                "witness": [s.label for s in verdict.witness],
+            }
+            if verdict.reachability is Reachability.UNREACHABLE:
+                if pred.escape and not self.stats.fixpoint:
+                    bounded_unreachable.append(pred.key)
+                continue
+            if pred.escape:
+                rule_id = ("WIT040"
+                           if verdict.reachability is Reachability.REACHABLE
+                           else "WIT041")
+                severity = _rule(rule_id).severity
+                message = (f"escape predicate '{pred.name}' is "
+                           f"{verdict.reachability.value} in "
+                           f"{len(verdict.witness)} step(s): "
+                           + " -> ".join(s.label for s in verdict.witness))
+            else:
+                rule_id = "WIT042"
+                severity = (Severity.WARNING
+                            if verdict.reachability is Reachability.REACHABLE
+                            else Severity.INFO)
+                message = (f"'{pred.name}' is {verdict.reachability.value} "
+                           f"via " + " -> ".join(s.label
+                                                 for s in verdict.witness))
+            findings.append(Finding(
+                rule_id=rule_id, severity=severity,
+                subject=self.target_name, location=location,
+                message=message, evidence=evidence))
+        if bounded_unreachable:
+            findings.append(Finding(
+                rule_id="WIT044", severity=Severity.INFO,
+                subject=self.target_name, location="modelcheck.depth",
+                message=(f"search stopped at depth {self.depth} before a "
+                         f"fixpoint; 'unreachable' is a bounded claim for: "
+                         + ", ".join(sorted(bounded_unreachable))),
+                evidence={"depth": self.depth,
+                          "predicates": sorted(bounded_unreachable),
+                          **self.stats.to_dict()}))
+        return findings
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "target": self.target_name,
+            "depth": self.depth,
+            "initial_state": self.initial.digest(),
+            "stats": self.stats.to_dict(),
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
+
+
+def _make_step(action: AbstractAction, before: PrivState,
+               after: PrivState) -> Step:
+    return Step(
+        action=action.name, param=action.param, kind=action.kind,
+        description=action.description, audited=action.audited(before),
+        view=tuple(sorted(after.view)), state_digest=after.digest())
+
+
+def check_target(target: LintTarget, depth: int = DEFAULT_DEPTH,
+                 predicates: Tuple[Predicate, ...] = PREDICATES
+                 ) -> ModelCheckResult:
+    """Explore ``target``'s privilege state space and classify predicates."""
+    init = initial_state(target)
+    actions = action_catalog(target)
+
+    # discovery-order arena: (state, parent index, action); BFS order
+    # makes the first satisfying state a minimal witness.
+    arena: List[Tuple[PrivState, int, Optional[AbstractAction]]] = [
+        (init, -1, None)]
+    seen: Dict[PrivState, int] = {init: 0}
+    frontier: List[int] = [0]
+    transitions = 0
+    frontier_peak = 1
+    depth_reached = 0
+    fixpoint = False
+
+    for level in range(depth):
+        next_frontier: List[int] = []
+        for index in frontier:
+            state = arena[index][0]
+            for action in actions:
+                if not action.enabled(state):
+                    continue
+                succ = action.apply(state)
+                if succ == state:
+                    continue  # no-op transition: prune
+                transitions += 1
+                if succ in seen:
+                    continue
+                seen[succ] = len(arena)
+                arena.append((succ, index, action))
+                next_frontier.append(len(arena) - 1)
+        if not next_frontier:
+            fixpoint = True  # frontier drained: every reachable state seen
+            break
+        depth_reached = level + 1
+        frontier = next_frontier
+        frontier_peak = max(frontier_peak, len(frontier))
+    else:
+        # the depth bound cut the search off — exact only if no frontier
+        # state has an undiscovered successor
+        fixpoint = not any(
+            _has_new_successor(arena[i][0], actions, seen) for i in frontier)
+
+    stats = SearchStats(
+        states_explored=len(arena), transitions=transitions,
+        frontier_peak=frontier_peak, depth_reached=depth_reached,
+        fixpoint=fixpoint)
+
+    verdicts = tuple(_classify(pred, arena, init)
+                     for pred in predicates)
+
+    metrics = obs.registry()
+    metrics.counter("modelcheck_states_explored_total",
+                    target=target.name).inc(stats.states_explored)
+    metrics.counter("modelcheck_transitions_total",
+                    target=target.name).inc(stats.transitions)
+    metrics.gauge("modelcheck_frontier_peak",
+                  target=target.name).set(stats.frontier_peak)
+
+    return ModelCheckResult(
+        target_name=target.name, depth=depth, initial=init,
+        verdicts=verdicts, stats=stats)
+
+
+def _has_new_successor(state: PrivState,
+                       actions: Tuple[AbstractAction, ...],
+                       seen: Dict[PrivState, int]) -> bool:
+    for action in actions:
+        if not action.enabled(state):
+            continue
+        succ = action.apply(state)
+        if succ != state and succ not in seen:
+            return True
+    return False
+
+
+def _witness(arena: List[Tuple[PrivState, int, Optional[AbstractAction]]],
+             index: int) -> Tuple[Step, ...]:
+    steps: List[Step] = []
+    while index > 0:
+        state, parent, action = arena[index]
+        assert action is not None
+        steps.append(_make_step(action, arena[parent][0], state))
+        index = parent
+    return tuple(reversed(steps))
+
+
+def _classify(pred: Predicate,
+              arena: List[Tuple[PrivState, int, Optional[AbstractAction]]],
+              init: PrivState) -> PredicateVerdict:
+    """Classify from first-satisfaction states and their achieving steps.
+
+    A *first-satisfaction* state satisfies the predicate while its BFS
+    parent does not; the transition into it is the **achieving step**.
+    One unaudited achieving step anywhere ⇒ REACHABLE (minimal such
+    chain is the witness); otherwise any audited achieving step ⇒
+    REACHABLE_AUDITED; no satisfying state ⇒ UNREACHABLE.
+    """
+    audited_hit: Optional[int] = None
+    for index, (state, parent, action) in enumerate(arena):
+        if not pred.holds(state, init):
+            continue
+        if index == 0:
+            # holds in the initial state: nothing was done to reach it,
+            # so there is nothing the audit logs could have missed
+            if audited_hit is None:
+                audited_hit = index
+            continue
+        if pred.holds(arena[parent][0], init):
+            continue  # inherited satisfaction, not the achieving step
+        assert action is not None
+        if action.audited(arena[parent][0]):
+            if audited_hit is None:
+                audited_hit = index
+        else:
+            # earliest unaudited achieving step in discovery order:
+            # a minimal unaudited witness — the strongest verdict
+            return PredicateVerdict(pred, Reachability.REACHABLE,
+                                    _witness(arena, index))
+    if audited_hit is not None:
+        return PredicateVerdict(pred, Reachability.REACHABLE_AUDITED,
+                                _witness(arena, audited_hit))
+    return PredicateVerdict(pred, Reachability.UNREACHABLE)
+
+
+__all__ = [
+    "DEFAULT_DEPTH",
+    "MODELCHECK_RULES",
+    "ModelCheckResult",
+    "PredicateVerdict",
+    "Reachability",
+    "SearchStats",
+    "Step",
+    "check_target",
+    "modelcheck_rule_catalog",
+]

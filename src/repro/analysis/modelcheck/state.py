@@ -1,0 +1,182 @@
+"""Abstract privilege state for the escape-chain model checker.
+
+A :class:`PrivState` captures everything about a contained administrator
+that the kernel/broker gates consult, abstracted from the concrete kernel
+objects: the namespace sharing vector (the perforations), the effective
+capability set, the mount/chroot view (which host subtrees ITFS exposes),
+the monitoring coverage, and a set of *escape facets* — boolean marks for
+privileges no perforated container should ever hand out unaudited (raw
+host filesystem access, control of a host process, kernel memory, a host
+IPC rendezvous).
+
+States are frozen and hashable; :meth:`PrivState.canonical` gives a
+deterministic sort/hash key so BFS memoization and witness minimality are
+stable run to run. Audit classification (**reachable** vs
+**reachable-but-audited**) is not part of the state: the engine decides
+it per predicate from whether the chain's *achieving step* — the action
+that first makes the predicate true — leaves an audit-log record.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Tuple
+
+from repro.analysis.model import DEV_MEM_PATH, LintTarget, template_covers
+from repro.kernel.capabilities import Capability, container_capability_set
+from repro.kernel.namespaces import NamespaceKind
+
+
+@dataclass(frozen=True)
+class PrivState:
+    """One abstract privilege state of the contained administrator."""
+
+    #: namespace kinds shared with the host (the spec's perforations).
+    ns_shared: FrozenSet[NamespaceKind]
+    #: effective capability set of the contained superuser.
+    caps: FrozenSet[Capability]
+    #: host subtrees visible through ITFS mounts (``{user}`` templates
+    #: preserved; ``/`` means the full monitored root view).
+    view: FrozenSet[str]
+    #: network destinations granted beyond the spec (broker widenings).
+    net_grants: FrozenSet[str]
+    #: monitoring coverage (ITFS audit / network sniffer).
+    monitored_fs: bool
+    monitored_net: bool
+    # -- escape facets: privileges acquired along the chain --------------
+    raw_host_fs: bool = False      #: unmonitored host filesystem access
+    host_exec: bool = False        #: control over a host process
+    devmem_open: bool = False      #: an open fd on /dev/mem
+    kernel_memory: bool = False    #: kernel memory disclosed
+    host_ipc: bool = False         #: shm rendezvous with host processes
+    host_write: bool = False       #: wrote host data through ITFS
+    pb_exec: bool = False          #: used the broker's exec surface
+
+    # -- queries ---------------------------------------------------------
+
+    def has_cap(self, cap: Capability) -> bool:
+        return cap in self.caps
+
+    def shares(self, kind: NamespaceKind) -> bool:
+        return kind in self.ns_shared
+
+    def path_visible(self, host_path: str) -> bool:
+        """Is ``host_path`` inside the current ITFS view?"""
+        return any(template_covers(share, host_path) for share in self.view)
+
+    @property
+    def devmem_visible(self) -> bool:
+        return self.path_visible(DEV_MEM_PATH)
+
+    # -- canonical identity ----------------------------------------------
+
+    def canonical(self) -> Tuple[object, ...]:
+        """Deterministic, order-independent identity tuple."""
+        return (
+            tuple(sorted(k.value for k in self.ns_shared)),
+            tuple(sorted(c.value for c in self.caps)),
+            tuple(sorted(self.view)),
+            tuple(sorted(self.net_grants)),
+            self.monitored_fs, self.monitored_net,
+            self.raw_host_fs, self.host_exec, self.devmem_open,
+            self.kernel_memory, self.host_ipc, self.host_write,
+            self.pb_exec,
+        )
+
+    def digest(self) -> str:
+        """Short stable hash of the canonical identity (logs/evidence)."""
+        raw = repr(self.canonical()).encode()
+        return hashlib.sha256(raw).hexdigest()[:12]
+
+    def widen(self, **changes: object) -> "PrivState":
+        """A successor state with the given fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+def initial_state(target: LintTarget) -> PrivState:
+    """The state of a freshly logged-in admin under ``target``'s spec."""
+    spec = target.spec
+    caps = (target.capabilities if target.capabilities is not None
+            else container_capability_set())
+    view: FrozenSet[str] = frozenset(spec.fs_shares)
+    return PrivState(
+        ns_shared=spec.holes(),
+        caps=caps,
+        view=view,
+        net_grants=frozenset(),
+        monitored_fs=spec.monitor_filesystem,
+        monitored_net=spec.monitor_network,
+    )
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One property of interest over abstract states.
+
+    ``escape=True`` marks true container escapes: a verdict of
+    *reachable* (unaudited) on one of these fails ``repro verify-model``.
+    Non-escape predicates describe audited surface widenings — they are
+    expected to be reachable-but-audited under a permissive broker and
+    demonstrate the third verdict class.
+    """
+
+    key: str
+    name: str
+    escape: bool
+
+    def holds(self, state: PrivState, initial: PrivState) -> bool:
+        if self.key == "host-fs-raw":
+            return state.raw_host_fs
+        if self.key == "host-exec":
+            return state.host_exec
+        if self.key == "kernel-memory":
+            return state.kernel_memory
+        if self.key == "host-ipc":
+            return state.host_ipc
+        if self.key == "host-data-write":
+            return state.host_write
+        if self.key == "broker-surface":
+            return (state.view > initial.view or bool(state.net_grants)
+                    or state.pb_exec)
+        raise KeyError(self.key)
+
+
+#: The predicate catalog the model checker classifies for every spec.
+PREDICATES: Tuple[Predicate, ...] = (
+    Predicate("host-fs-raw",
+              "raw (unmonitored) host filesystem access", escape=True),
+    Predicate("host-exec",
+              "control over a host process (bind-shell surface)",
+              escape=True),
+    Predicate("kernel-memory",
+              "kernel memory disclosure via /dev/mem", escape=True),
+    Predicate("host-ipc",
+              "SysV shm rendezvous with host processes", escape=True),
+    Predicate("host-data-write",
+              "write access to host data (through ITFS)", escape=False),
+    Predicate("broker-surface",
+              "surface widened beyond the static spec via the broker",
+              escape=False),
+)
+
+
+def predicate(key: str) -> Predicate:
+    for pred in PREDICATES:
+        if pred.key == key:
+            return pred
+    raise KeyError(key)
+
+
+def escape_predicates() -> Tuple[Predicate, ...]:
+    return tuple(p for p in PREDICATES if p.escape)
+
+
+__all__ = [
+    "PREDICATES",
+    "Predicate",
+    "PrivState",
+    "escape_predicates",
+    "initial_state",
+    "predicate",
+]

@@ -1,0 +1,129 @@
+"""Shared SARIF 2.1.0 writer for every WatchIT analysis tool.
+
+Both the perforation linter (``repro lint --sarif``) and the escape-chain
+model checker (``repro verify-model --sarif``) render through this one
+module, so their output is structurally identical and — crucially — can
+be merged into a single artifact: :func:`merge_reports` unions any number
+of :class:`~repro.analysis.findings.LintReport` objects into one SARIF
+run with the rules metadata deduplicated by rule ID. CI uploads that
+combined report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.findings import Finding, LintReport, RuleInfo
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: tool name for single-source reports from the perforation linter.
+LINTER_TOOL_NAME = "watchit-perforation-linter"
+#: tool name for single-source reports from the model checker.
+MODELCHECK_TOOL_NAME = "watchit-escape-model-checker"
+#: tool name for merged multi-analysis artifacts.
+COMBINED_TOOL_NAME = "watchit-analysis"
+
+DEFAULT_INFORMATION_URI = "docs/static_analysis.md"
+
+
+def rule_descriptor(info: RuleInfo) -> Dict[str, object]:
+    """SARIF ``reportingDescriptor`` for one rule-catalog entry."""
+    return {
+        "id": info.rule_id,
+        "name": info.title,
+        "shortDescription": {"text": info.title},
+        "fullDescription": {"text": info.description},
+        "defaultConfiguration": {"level": info.severity.sarif_level},
+    }
+
+
+def result_record(finding: Finding) -> Dict[str, object]:
+    """SARIF ``result`` for one finding."""
+    return {
+        "ruleId": finding.rule_id,
+        "level": finding.severity.sarif_level,
+        "message": {"text": f"{finding.subject}: {finding.message}"},
+        "locations": [{
+            "logicalLocations": [{
+                "fullyQualifiedName":
+                    f"{finding.subject}.{finding.location}",
+            }],
+        }],
+        "properties": {"evidence": dict(finding.evidence)},
+    }
+
+
+def dedupe_rules(catalogs: Sequence[Sequence[RuleInfo]]
+                 ) -> List[RuleInfo]:
+    """Union rule catalogs, first occurrence wins, sorted by rule ID."""
+    by_id: Dict[str, RuleInfo] = {}
+    for catalog in catalogs:
+        for info in catalog:
+            by_id.setdefault(info.rule_id, info)
+    return [by_id[rule_id] for rule_id in sorted(by_id)]
+
+
+def sarif_document(findings: Sequence[Finding],
+                   rules: Sequence[RuleInfo],
+                   tool_name: str,
+                   information_uri: str = DEFAULT_INFORMATION_URI
+                   ) -> Dict[str, object]:
+    """A complete single-run SARIF document."""
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [{
+            "tool": {"driver": {
+                "name": tool_name,
+                "informationUri": information_uri,
+                "rules": [rule_descriptor(info) for info in rules],
+            }},
+            "results": [result_record(f) for f in findings],
+        }],
+    }
+
+
+def report_to_sarif(report: LintReport,
+                    tool_name: str = LINTER_TOOL_NAME,
+                    information_uri: str = DEFAULT_INFORMATION_URI
+                    ) -> Dict[str, object]:
+    """Render one LintReport (:meth:`LintReport.to_sarif` delegates here)."""
+    return sarif_document(report.findings, report.rule_catalog,
+                          tool_name=tool_name,
+                          information_uri=information_uri)
+
+
+def merge_reports(reports: Sequence[LintReport],
+                  tool_name: str = COMBINED_TOOL_NAME,
+                  information_uri: str = DEFAULT_INFORMATION_URI
+                  ) -> Dict[str, object]:
+    """Merge reports into one SARIF run with a deduplicated rule table.
+
+    Findings keep each source report's internal ordering and concatenate
+    in argument order — linter findings first, model-checker findings
+    after, when called as ``merge_reports([lint, model])``.
+    """
+    findings: List[Finding] = []
+    for report in reports:
+        findings.extend(report.findings)
+    rules = dedupe_rules([report.rule_catalog for report in reports])
+    return sarif_document(findings, rules, tool_name=tool_name,
+                          information_uri=information_uri)
+
+
+__all__ = [
+    "COMBINED_TOOL_NAME",
+    "DEFAULT_INFORMATION_URI",
+    "LINTER_TOOL_NAME",
+    "MODELCHECK_TOOL_NAME",
+    "SARIF_SCHEMA",
+    "SARIF_VERSION",
+    "dedupe_rules",
+    "merge_reports",
+    "report_to_sarif",
+    "result_record",
+    "rule_descriptor",
+    "sarif_document",
+]

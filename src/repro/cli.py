@@ -7,6 +7,7 @@ Commands:
     threats              run the Table 1 threat analysis
     chaos                seeded fault-injection soak over the threat replay
     lint                 static perforation linter over the spec catalog
+    verify-model         escape-chain model checker with witness replay
     anomaly              run the audit-log anomaly-detection extension
     metrics [TARGET]     run a workload, dump the shared metrics registry
     trace [TARGET]       run a workload, print the structured span tree
@@ -128,13 +129,30 @@ def _cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def _parse_fail_on(label: str):
+    """``--fail-on`` value -> Severity threshold, or None for 'never'.
+
+    Raises ValueError for unknown labels — handlers turn that into the
+    usage-error exit status (2) instead of a traceback.
+    """
+    from repro.analysis import Severity
+    if label == "never":
+        return None
+    return Severity.parse(label)
+
+
 def _cmd_lint(args) -> int:
     import json as _json
 
-    from repro.analysis import Severity, lint_catalog, run_crosscheck
+    from repro.analysis import lint_catalog, run_crosscheck
     from repro.analysis.linter import builtin_catalog
     from repro.broker.policy import permissive_policy
 
+    try:
+        fail_on = _parse_fail_on(args.fail_on)
+    except ValueError as exc:
+        print(f"repro lint: --fail-on: {exc}", file=sys.stderr)
+        return 2
     specs = builtin_catalog()
     if args.klass is not None:
         if args.klass not in specs:
@@ -149,7 +167,7 @@ def _cmd_lint(args) -> int:
     else:
         print(report.format())
     status = 0
-    if args.fail_on != "never" and report.fails(Severity.parse(args.fail_on)):
+    if fail_on is not None and report.fails(fail_on):
         status = 1
     if args.crosscheck:
         crosscheck = run_crosscheck(specs=specs)
@@ -161,6 +179,64 @@ def _cmd_lint(args) -> int:
             print(crosscheck.format())
         if not crosscheck.consistent:
             status = 1
+    return status
+
+
+def _cmd_verify_model(args) -> int:
+    import json as _json
+
+    from repro.analysis.modelcheck import (
+        FIXTURE_CLASS,
+        catalog_targets,
+        overprivileged_fixture_target,
+        run_verify_model,
+    )
+
+    try:
+        fail_on = _parse_fail_on(args.fail_on)
+    except ValueError as exc:
+        print(f"repro verify-model: --fail-on: {exc}", file=sys.stderr)
+        return 2
+    if args.depth < 1:
+        print(f"repro verify-model: --depth must be >= 1, got {args.depth}",
+              file=sys.stderr)
+        return 2
+    targets = catalog_targets()
+    if args.klass is not None:
+        if args.klass == FIXTURE_CLASS:
+            targets = [overprivileged_fixture_target()]
+        else:
+            by_name = {t.name: t for t in targets}
+            if args.klass not in by_name:
+                print(f"unknown ticket class {args.klass!r}; choose from "
+                      f"{', '.join(sorted(by_name, key=lambda n: (len(n), n)))}"
+                      f" or {FIXTURE_CLASS} (the seeded over-privileged "
+                      f"fixture)", file=sys.stderr)
+                return 2
+            targets = [by_name[args.klass]]
+    report = run_verify_model(targets, depth=args.depth, replay=args.replay)
+    if args.sarif:
+        from repro.analysis.sarif import MODELCHECK_TOOL_NAME, merge_reports
+        reports = [report.report()]
+        if args.include_lint:
+            from repro.analysis import lint_catalog
+            from repro.broker.policy import permissive_policy
+            specs = ({t.name: t.spec for t in targets}
+                     if args.klass is not None else None)
+            reports.insert(0, lint_catalog(
+                specs=specs, broker_policy=permissive_policy()))
+            document = merge_reports(reports)
+        else:
+            document = merge_reports(reports,
+                                     tool_name=MODELCHECK_TOOL_NAME)
+        print(_json.dumps(document, indent=2, sort_keys=True))
+    elif args.json:
+        print(report.dumps())
+    else:
+        print(report.format())
+    status = 0 if report.ok else 1
+    if fail_on is not None and report.report().fails(fail_on):
+        status = max(status, 1)
     return status
 
 
@@ -289,11 +365,39 @@ def build_parser() -> argparse.ArgumentParser:
                         help="machine-readable findings")
     p_lint.add_argument("--sarif", action="store_true",
                         help="SARIF-style findings (implies machine output)")
-    p_lint.add_argument("--fail-on", choices=("error", "warning", "never"),
-                        default="error",
-                        help="severity threshold for a non-zero exit status")
+    p_lint.add_argument("--fail-on", metavar="SEVERITY", default="error",
+                        help="severity threshold for a non-zero exit status "
+                             "(info, warning, error, or 'never')")
     p_lint.add_argument("--crosscheck", action="store_true",
                         help="also run the static/dynamic Table 1 cross-check")
+
+    p_vm = sub.add_parser(
+        "verify-model",
+        help="model-check multi-step escape chains and replay witnesses")
+    p_vm.add_argument("--class", dest="klass", metavar="NAME", default=None,
+                      help="verify a single ticket class (e.g. T-3, or "
+                           "X-DEV for the seeded over-privileged fixture)")
+    p_vm.add_argument("--depth", type=int, default=4,
+                      help="BFS exploration depth bound (default 4: every "
+                           "Table 1 attack plus one broker escalation)")
+    p_vm.add_argument("--replay", dest="replay", action="store_true",
+                      default=True,
+                      help="execute witnesses/probes against the simulated "
+                           "kernel + ITFS + broker (default)")
+    p_vm.add_argument("--no-replay", dest="replay", action="store_false",
+                      help="static verdicts only, skip the dynamic replay")
+    p_vm.add_argument("--json", action="store_true",
+                      help="machine-readable verdict report")
+    p_vm.add_argument("--sarif", action="store_true",
+                      help="WIT04x findings as SARIF")
+    p_vm.add_argument("--include-lint", action="store_true",
+                      help="with --sarif: merge the WIT00x-03x linter "
+                           "findings into one combined SARIF artifact")
+    p_vm.add_argument("--fail-on", metavar="SEVERITY", default="error",
+                      help="finding-severity threshold for a non-zero exit "
+                           "status (info, warning, error, or 'never'); "
+                           "reachable-unaudited chains and replay "
+                           "disagreements always exit 1")
 
     p_anom = sub.add_parser("anomaly", help="audit-log anomaly detection")
     p_anom.add_argument("--benign", type=int, default=40)
@@ -328,7 +432,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"demo": _cmd_demo, "experiment": _cmd_experiment,
                 "threats": _cmd_threats, "chaos": _cmd_chaos,
-                "lint": _cmd_lint, "anomaly": _cmd_anomaly,
+                "lint": _cmd_lint, "verify-model": _cmd_verify_model,
+                "anomaly": _cmd_anomaly,
                 "metrics": _cmd_metrics, "trace": _cmd_trace}
     return handlers[args.command](args)
 

@@ -34,6 +34,7 @@ from repro.itfs import (
 )
 from repro.kernel import (
     FirewallRule,
+    Credentials,
     Kernel,
     MemoryFilesystem,
     Mount,
@@ -389,9 +390,15 @@ class PerforatedContainer:
 
     def login(self, admin: str,
               certificate: Optional[object] = None,
-              authenticator: Optional[Callable[[object, str], None]] = None
+              authenticator: Optional[Callable[[object, str], None]] = None,
+              credentials: Optional[Credentials] = None
               ) -> AdminShell:
         """Open an administrator session.
+
+        ``credentials`` overrides the default contained-root credential
+        set — used by analysis fixtures that deliberately seed an
+        over-privileged shell (e.g. retaining ``CAP_DEV_MEM``) to prove
+        the model checker catches what the deployment defaults prevent.
 
         ``authenticator`` (when provided) validates the certificate and
         raises :class:`~repro.errors.CertificateError` on failure — the
@@ -401,8 +408,10 @@ class PerforatedContainer:
             raise SessionTerminated(self.terminated_reason or "container is down")
         if authenticator is not None:
             authenticator(certificate, admin)
-        shell_proc = self.kernel.spawn(self.init_proc, "bash",
-                                       creds=contained_root_credentials())
+        shell_proc = self.kernel.spawn(
+            self.init_proc, "bash",
+            creds=credentials if credentials is not None
+            else contained_root_credentials())
         shell = AdminShell(self, shell_proc, admin)
         self.sessions.append(shell)
         obs.registry().counter("containit_logins", spec=self.spec.name).inc()

@@ -29,6 +29,10 @@ from repro.experiments.lint_crosscheck import (
     LintCrossCheckResult,
     run_lint_crosscheck,
 )
+from repro.experiments.modelcheck_verify import (
+    ModelCheckVerifyResult,
+    run_modelcheck_verify,
+)
 from repro.experiments.report import generate_report, write_report
 from repro.experiments.table1_threats import run_table1
 from repro.experiments.table2_lda import run_table2
@@ -43,6 +47,7 @@ __all__ = [
     "CaseStudyRig",
     "DESTINATION_ENDPOINTS",
     "LintCrossCheckResult",
+    "ModelCheckVerifyResult",
     "PAPER_FIGURE7",
     "PAPER_FIGURE8A",
     "PAPER_FIGURE8B",
@@ -56,6 +61,7 @@ __all__ = [
     "run_figure8",
     "run_figure9",
     "run_lint_crosscheck",
+    "run_modelcheck_verify",
     "run_table1",
     "run_table2",
     "run_table3",

@@ -1,0 +1,87 @@
+"""Model-check verification experiment: catalog + seeded counterexample.
+
+Extends the static least-privilege story one level past
+:mod:`repro.experiments.lint_crosscheck`: the escape-chain model checker
+must (a) report zero reachable-unaudited escape chains over the shipped
+catalog with every witness and probe agreeing dynamically, and (b) catch
+the seeded over-privileged fixture — a multi-step broker-grant chain the
+single-route WIT00x linter provably misses — demonstrating the analysis
+sees strictly more than the per-route gate walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis import PerforationLinter
+from repro.analysis.model import LintTarget
+from repro.analysis.modelcheck import (
+    DEFAULT_DEPTH,
+    VerifyModelReport,
+    overprivileged_fixture_target,
+    run_verify_model,
+)
+
+
+@dataclass
+class ModelCheckVerifyResult:
+    """Catalog verification + the fixture differential."""
+
+    catalog: VerifyModelReport
+    fixture: VerifyModelReport
+    #: WIT00x rule IDs the single-route linter fired on the fixture —
+    #: must stay empty for the differential claim to hold.
+    fixture_lint_rules: List[str]
+
+    @property
+    def fixture_chain_found(self) -> bool:
+        """The model checker sees the multi-step chain on the fixture."""
+        return bool(self.fixture.unaudited_escapes)
+
+    @property
+    def clean(self) -> bool:
+        """Catalog verified, replay agreed, and the differential holds."""
+        return (self.catalog.ok and self.fixture_chain_found
+                and not self.fixture_lint_rules
+                and not self.fixture.disagreements)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "catalog": self.catalog.to_json(),
+            "fixture": self.fixture.to_json(),
+            "fixture_lint_rules": list(self.fixture_lint_rules),
+            "fixture_chain_found": self.fixture_chain_found,
+            "clean": self.clean,
+        }
+
+    def format(self) -> str:
+        fixture_chains = ", ".join(
+            f"{target}:{pred}"
+            for target, pred in self.fixture.unaudited_escapes) or "none"
+        lines = [
+            "Escape-chain model verification", "=" * 48,
+            self.catalog.format(), "",
+            "Seeded over-privileged fixture (differential vs WIT00x):",
+            self.fixture.format(),
+            f"  fixture chains found: {fixture_chains}",
+            f"  WIT00x findings on fixture: "
+            f"{', '.join(self.fixture_lint_rules) or 'none (as required)'}",
+            "",
+            f"verdict: {'CLEAN' if self.clean else 'FINDINGS/DRIFT'}",
+        ]
+        return "\n".join(lines)
+
+
+def run_modelcheck_verify(targets: Optional[List[LintTarget]] = None,
+                          depth: int = DEFAULT_DEPTH,
+                          replay: bool = True) -> ModelCheckVerifyResult:
+    """Verify the catalog and the fixture differential end to end."""
+    catalog = run_verify_model(targets, depth=depth, replay=replay)
+    fixture_target = overprivileged_fixture_target()
+    fixture = run_verify_model([fixture_target], depth=depth, replay=replay)
+    lint = PerforationLinter().lint(fixture_target)
+    escape_rules = sorted({f.rule_id for f in lint.findings
+                           if f.rule_id.startswith("WIT00")})
+    return ModelCheckVerifyResult(catalog=catalog, fixture=fixture,
+                                  fixture_lint_rules=escape_rules)

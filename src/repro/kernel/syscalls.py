@@ -455,10 +455,26 @@ class SyscallInterface:
         target.ptraced_by = proc.pid
         return target
 
+    def _check_ns_ownership(self, proc: Process, target: Process) -> None:
+        """Linux user-namespace ownership rule for joining namespaces.
+
+        Joining another process's namespaces requires privilege over the
+        user namespace *owning* them: the target's UID namespace must be
+        the caller's own or one of its descendants. Without this check a
+        contained superuser — who retains CAP_SYS_ADMIN — could setns()
+        into host init's MNT namespace and obtain an unmonitored host
+        view, bypassing ITFS entirely.
+        """
+        if not target.namespaces.uid.is_descendant_of(proc.namespaces.uid):
+            raise OperationNotPermitted(
+                "setns: target namespaces are owned by a user namespace "
+                "outside the caller's (UID namespace ownership)")
+
     def setns(self, proc: Process, target: Process,
               kinds: Iterable[NamespaceKind]) -> None:
         """Enter ``target``'s namespaces (nsenter's core), CAP_SYS_ADMIN."""
         self._require_cap(proc, Capability.CAP_SYS_ADMIN)
+        self._check_ns_ownership(proc, target)
         for kind in kinds:
             proc.namespaces = proc.namespaces.with_replaced(
                 kind, target.namespaces.get(kind))
@@ -475,6 +491,7 @@ class SyscallInterface:
         and perform the ITFS bind mount from within.
         """
         self._require_cap(proc, Capability.CAP_SYS_ADMIN)
+        self._check_ns_ownership(proc, target)
         child = self._kernel.spawn(parent=proc, comm=comm, flags=())
         for kind in kinds:
             child.namespaces = child.namespaces.with_replaced(

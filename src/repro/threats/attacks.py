@@ -11,7 +11,7 @@ an escape path flips the corresponding result to ``blocked=False``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, FrozenSet, List, Optional
 
 from repro.broker import BrokerClient, PermissionBroker
 from repro.broker.secure_channel import SecureBrokerTransport
@@ -30,7 +30,13 @@ from repro.errors import (
     TicketError,
 )
 from repro.framework.tickets import Role, TicketDatabase
-from repro.kernel import FileType, Kernel, Network
+from repro.kernel import (
+    Capability,
+    Credentials,
+    FileType,
+    Kernel,
+    Network,
+)
 from repro.kernel.devices import DEV_SDA
 from repro.netmon.rules import MalwareSignatureRule
 from repro.tcb import IntegrityManifest, SecureBoot, install_watchit_components
@@ -77,7 +83,9 @@ class ThreatRig:
     CHANNEL_PSK = b"watchit-chaos-psk-0001"
 
     @classmethod
-    def build(cls, spec: Optional[PerforatedContainerSpec] = None
+    def build(cls, spec: Optional[PerforatedContainerSpec] = None,
+              capabilities: Optional[FrozenSet[Capability]] = None,
+              broker_policy: Optional[object] = None
               ) -> "ThreatRig":
         """A host with secrets + a T-6-shaped (full root view) container.
 
@@ -86,6 +94,12 @@ class ThreatRig:
         fortiori for the tighter classes. Broker traffic rides the secure
         channel so chaos testing exercises the full wire path
         (seal → fault plane → broker → fault plane → open).
+
+        ``capabilities`` overrides the admin shell's capability set and
+        ``broker_policy`` the broker's escalation policy — both used by
+        the model checker's witness-replay harness to stand up rigs that
+        match a lint target exactly (including deliberately
+        over-privileged fixtures).
         """
         network = Network()
         host = Kernel("victim-ws", ip="10.0.0.5", network=network)
@@ -123,8 +137,10 @@ class ThreatRig:
         if container.monitor is not None:
             container.monitor.add_rule(
                 MalwareSignatureRule(signatures=[MALWARE_BLOB]))
-        broker = PermissionBroker(host, container)
-        shell = container.login("rogue-admin")
+        broker = PermissionBroker(host, container, policy=broker_policy)
+        creds = (Credentials(uid=0, gid=0, caps=capabilities)
+                 if capabilities is not None else None)
+        shell = container.login("rogue-admin", credentials=creds)
         client = BrokerClient(shell, broker,
                               transport=SecureBrokerTransport(
                                   broker, cls.CHANNEL_PSK))

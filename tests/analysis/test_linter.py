@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.analysis import (
     LintTarget,
     PerforationLinter,
@@ -97,6 +99,19 @@ class TestReports:
         assert not report.fails(Severity.ERROR)
         assert report.fails(Severity.WARNING)  # catalog carries warnings
         assert Severity.parse("warning") is Severity.WARNING
+
+    def test_severity_parse_rejects_unknown_labels(self):
+        with pytest.raises(ValueError) as excinfo:
+            Severity.parse("critical")
+        message = str(excinfo.value)
+        # a usable error: names the bad label and lists the valid ones
+        assert "critical" in message
+        for label in ("info", "warning", "error"):
+            assert label in message
+
+    def test_severity_parse_is_not_case_insensitive_by_accident(self):
+        with pytest.raises(ValueError):
+            Severity.parse("")
 
     def test_errors_sort_before_warnings(self):
         linter = PerforationLinter()

@@ -1,0 +1,171 @@
+"""Gate-walk edges of the effective-privilege model.
+
+The three configurations the routine catalog never exercises: a chroot
+attempt from *under* a bind-mounted share (full-root and subtree
+variants), a fully-dropped capability set, and a spec with zero fs
+shares. Property tests pin the template-matching algebra the path gates
+are built on.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.model import (
+    DEV_MEM_PATH,
+    PrivilegeModel,
+    template_covers,
+    templates_overlap,
+)
+from repro.analysis.modelcheck import (
+    Reachability,
+    check_target,
+    escape_predicates,
+    initial_state,
+)
+from repro.analysis.model import LintTarget
+from repro.containit.spec import PerforatedContainerSpec
+from repro.kernel.capabilities import (
+    Capability,
+    container_capability_set,
+)
+
+
+def spec_with(name="EDGE", **overrides):
+    return PerforatedContainerSpec(name=name, description="edge case",
+                                   **overrides)
+
+
+class TestChrootUnderBindMount:
+    """Bind-mounted shares must not re-open the chroot escape route."""
+
+    def test_subtree_share_leaves_chroot_capability_gated(self):
+        model = PrivilegeModel(spec_with(fs_shares=("/home/{user}", "/etc")))
+        chroot = model.escape_path("chroot")
+        assert not chroot.fully_reachable
+        assert chroot.residual_defense == "CAP_SYS_CHROOT dropped"
+
+    def test_full_root_bind_mount_still_blocks_chroot(self):
+        # T-6 shape: the whole host root is ITFS-bind-mounted into the
+        # container; everything is path-visible, yet the double-chroot
+        # escape stays dead because the capability was dropped
+        model = PrivilegeModel(spec_with(fs_shares=("/",)))
+        assert model.full_root and model.path_visible("/anything/at/all")
+        assert not model.escape_path("chroot").fully_reachable
+
+    def test_retained_chroot_cap_under_bind_mount_is_fully_reachable(self):
+        caps = frozenset(container_capability_set()
+                         | {Capability.CAP_SYS_CHROOT})
+        model = PrivilegeModel(spec_with(fs_shares=("/",)),
+                               capabilities=caps)
+        chroot = model.escape_path("chroot")
+        assert chroot.fully_reachable and chroot.residual_defense == ""
+
+    def test_model_checker_agrees_chroot_needs_the_cap(self):
+        caps = frozenset(container_capability_set()
+                         | {Capability.CAP_SYS_CHROOT})
+        target = LintTarget(spec=spec_with(fs_shares=("/home/{user}",)),
+                            capabilities=caps)
+        result = check_target(target)
+        assert (result.verdict("host-fs-raw").reachability
+                is Reachability.REACHABLE)
+        actions = {s.action
+                   for s in result.verdict("host-fs-raw").witness}
+        assert actions == {"syscall:chroot"}
+
+
+class TestEmptyCapabilitySet:
+    """With every capability dropped, only namespace holes matter."""
+
+    def test_all_capability_gates_blocked(self):
+        model = PrivilegeModel(
+            spec_with(process_management=True, share_ipc=True),
+            capabilities=frozenset())
+        for path in model.escape_paths():
+            for gate in path.gates:
+                if gate.layer == "capability":
+                    assert gate.blocked, (path.key, gate.name)
+
+    def test_ipc_escape_survives_empty_caps(self):
+        # shm rendezvous carries no capability gate: sharing the IPC
+        # namespace is sufficient even for a fully de-capabilitied admin
+        model = PrivilegeModel(spec_with(share_ipc=True),
+                               capabilities=frozenset())
+        assert model.escape_path("ipc").fully_reachable
+
+    def test_model_checker_finds_no_syscall_escape(self):
+        target = LintTarget(spec=spec_with(fs_shares=("/home/{user}",),
+                                           process_management=True),
+                            capabilities=frozenset())
+        result = check_target(target)
+        for predicate in escape_predicates():
+            assert (result.verdict(predicate.key).reachability
+                    is Reachability.UNREACHABLE), predicate.key
+
+    def test_initial_state_has_no_caps(self):
+        target = LintTarget(spec=spec_with(), capabilities=frozenset())
+        state = initial_state(target)
+        assert all(not state.has_cap(c) for c in Capability)
+
+
+class TestZeroShares:
+    """A windowless container: no fs shares at all (S-3/T-11 shape)."""
+
+    def test_nothing_is_path_visible(self):
+        model = PrivilegeModel(spec_with())
+        assert model.shares == ()
+        assert not model.path_visible("/etc")
+        assert not model.path_visible(DEV_MEM_PATH)
+        assert not model.subtree_reachable("/")
+        assert model.tcb_surface == ()
+
+    def test_devmem_blocked_by_path_even_with_the_cap(self):
+        caps = frozenset(container_capability_set()
+                         | {Capability.CAP_DEV_MEM})
+        model = PrivilegeModel(spec_with(), capabilities=caps)
+        devmem = model.escape_path("devmem")
+        assert not devmem.fully_reachable
+        assert devmem.residual_defense == "filesystem isolation"
+
+    def test_host_write_unreachable_without_shares(self):
+        target = LintTarget(spec=spec_with())
+        result = check_target(target)
+        assert (result.verdict("host-data-write").reachability
+                is Reachability.UNREACHABLE)
+
+
+# -- template-matching algebra (property tests) -------------------------
+
+SEGMENT = st.sampled_from(["home", "etc", "dev", "{user}", "alice", "log"])
+PATHS = st.lists(SEGMENT, min_size=0, max_size=4).map(
+    lambda segs: "/" + "/".join(segs))
+
+
+class TestTemplateProperties:
+    @given(PATHS)
+    def test_covers_is_reflexive(self, path):
+        assert template_covers(path, path)
+
+    @given(PATHS, SEGMENT)
+    def test_covers_extends_downward(self, prefix, extra):
+        assert template_covers(prefix, prefix.rstrip("/") + "/" + extra)
+
+    @given(PATHS, PATHS)
+    def test_overlap_is_symmetric(self, a, b):
+        assert templates_overlap(a, b) == templates_overlap(b, a)
+
+    @given(PATHS, PATHS)
+    def test_covers_implies_overlap(self, a, b):
+        if template_covers(a, b):
+            assert templates_overlap(a, b)
+
+    @given(st.lists(SEGMENT, min_size=1, max_size=3))
+    def test_user_template_matches_any_single_segment(self, segs):
+        concrete = "/" + "/".join(segs)
+        templated = "/" + "/".join("{user}" for _ in segs)
+        assert template_covers(templated, concrete)
+        assert template_covers(concrete, templated)
+
+    @given(PATHS)
+    def test_longer_path_never_covers_its_parent(self, path):
+        child = path.rstrip("/") + "/leaf"
+        assert not template_covers(child, path)

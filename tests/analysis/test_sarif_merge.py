@@ -1,0 +1,92 @@
+"""The shared SARIF writer and the combined linter+model-checker artifact."""
+
+import json
+
+from repro.analysis import lint_catalog
+from repro.analysis.modelcheck import run_verify_model
+from repro.analysis.sarif import (
+    COMBINED_TOOL_NAME,
+    LINTER_TOOL_NAME,
+    MODELCHECK_TOOL_NAME,
+    SARIF_VERSION,
+    dedupe_rules,
+    merge_reports,
+    report_to_sarif,
+)
+from repro.analysis.findings import RuleInfo, Severity
+
+
+def _rule_ids(sarif):
+    return [r["id"] for r in sarif["runs"][0]["tool"]["driver"]["rules"]]
+
+
+class TestSharedWriter:
+    def test_lintreport_to_sarif_delegates_to_shared_writer(self):
+        report = lint_catalog()
+        assert report.to_sarif() == report_to_sarif(report)
+
+    def test_single_run_document_shape(self):
+        sarif = report_to_sarif(lint_catalog())
+        assert sarif["version"] == SARIF_VERSION
+        assert len(sarif["runs"]) == 1
+        driver = sarif["runs"][0]["tool"]["driver"]
+        assert driver["name"] == LINTER_TOOL_NAME
+
+    def test_modelcheck_report_uses_its_own_tool_name(self):
+        verify = run_verify_model(depth=2, replay=False)
+        sarif = report_to_sarif(verify.report(),
+                                tool_name=MODELCHECK_TOOL_NAME)
+        driver = sarif["runs"][0]["tool"]["driver"]
+        assert driver["name"] == MODELCHECK_TOOL_NAME
+        assert all(rid.startswith("WIT04") for rid in _rule_ids(sarif))
+
+    def test_document_is_json_serializable(self):
+        sarif = report_to_sarif(lint_catalog())
+        assert json.loads(json.dumps(sarif)) == sarif
+
+
+class TestMergedArtifact:
+    def test_merge_combines_findings_and_dedupes_rules(self):
+        lint = lint_catalog()
+        model = run_verify_model(depth=2, replay=False).report()
+        merged = merge_reports([lint, model])
+
+        driver = merged["runs"][0]["tool"]["driver"]
+        assert driver["name"] == COMBINED_TOOL_NAME
+        ids = _rule_ids(merged)
+        assert ids == sorted(ids) and len(ids) == len(set(ids))
+        # both tools' catalogs are present: WIT00x-WIT03x from the linter,
+        # WIT04x from the model checker
+        assert any(i.startswith("WIT00") for i in ids)
+        assert any(i.startswith("WIT04") for i in ids)
+        assert len(merged["runs"][0]["results"]) == \
+            len(lint.findings) + len(model.findings)
+
+    def test_merge_keeps_source_ordering(self):
+        lint = lint_catalog()
+        model = run_verify_model(depth=2, replay=False).report()
+        merged = merge_reports([lint, model])
+        rule_ids = [r["ruleId"] for r in merged["runs"][0]["results"]]
+        assert rule_ids[:len(lint.findings)] == \
+            [f.rule_id for f in lint.findings]
+
+    def test_merging_a_report_with_itself_dedupes_rules(self):
+        lint = lint_catalog()
+        merged = merge_reports([lint, lint])
+        assert _rule_ids(merged) == _rule_ids(report_to_sarif(lint))
+
+
+class TestDedupeRules:
+    def test_first_occurrence_wins(self):
+        a = RuleInfo(rule_id="WIT900", title="first", description="a",
+                     severity=Severity.ERROR)
+        b = RuleInfo(rule_id="WIT900", title="second", description="b",
+                     severity=Severity.INFO)
+        c = RuleInfo(rule_id="WIT100", title="other", description="c",
+                     severity=Severity.WARNING)
+        deduped = dedupe_rules([[a], [b, c]])
+        assert [r.rule_id for r in deduped] == ["WIT100", "WIT900"]
+        assert deduped[1].title == "first"
+
+    def test_empty_input(self):
+        assert dedupe_rules([]) == []

@@ -78,6 +78,64 @@ class TestLintCommand:
         assert main(["lint", "--fail-on", "warning"]) == 1
         assert main(["lint", "--fail-on", "never"]) == 0
 
+    def test_unknown_fail_on_label_is_a_usage_error(self, capsys):
+        # exit 2 with a diagnostic, never a traceback
+        assert main(["lint", "--fail-on", "critical"]) == 2
+        err = capsys.readouterr().err
+        assert "critical" in err and "--fail-on" in err
+
+
+class TestVerifyModelCommand:
+    def test_catalog_passes_with_replay(self, capsys):
+        assert main(["verify-model"]) == 0
+        out = capsys.readouterr().out
+        assert "verify-model: PASS" in out
+        assert "0 reachable-unaudited escape(s)" in out
+        assert "0 replay disagreement(s)" in out
+
+    def test_overprivileged_fixture_fails(self, capsys):
+        assert main(["verify-model", "--class", "X-DEV"]) == 1
+        out = capsys.readouterr().out
+        assert "verify-model: FAIL" in out
+        assert "kernel-memory" in out
+
+    def test_json_output_parses(self, capsys):
+        import json
+        assert main(["verify-model", "--no-replay", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["unaudited_escapes"] == []
+
+    def test_sarif_include_lint_merges_both_tools(self, capsys):
+        import json
+        assert main(["verify-model", "--no-replay", "--sarif",
+                     "--include-lint"]) == 0
+        sarif = json.loads(capsys.readouterr().out)
+        driver = sarif["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "watchit-analysis"
+        ids = [r["id"] for r in driver["rules"]]
+        assert ids == sorted(ids) and len(ids) == len(set(ids))
+        assert any(i.startswith("WIT00") for i in ids)
+        assert any(i.startswith("WIT04") for i in ids)
+
+    def test_unknown_class_exits_2(self, capsys):
+        assert main(["verify-model", "--class", "T-99"]) == 2
+        assert "unknown" in capsys.readouterr().err.lower()
+
+    def test_bad_depth_exits_2(self, capsys):
+        assert main(["verify-model", "--depth", "0"]) == 2
+        assert "depth" in capsys.readouterr().err.lower()
+
+    def test_unknown_fail_on_label_exits_2(self, capsys):
+        assert main(["verify-model", "--fail-on", "sev9"]) == 2
+        err = capsys.readouterr().err
+        assert "sev9" in err and "--fail-on" in err
+
+    def test_fail_on_info_flips_exit_on_clean_catalog(self, capsys):
+        # WIT042/WIT044 informational notes exist on the shipped catalog
+        assert main(["verify-model", "--no-replay",
+                     "--fail-on", "info"]) == 1
+
 
 class TestObservabilityCommands:
     """The ``metrics`` and ``trace`` subcommands and ``--metrics-out``."""

@@ -1,0 +1,81 @@
+"""User-namespace ownership gate on setns/nsenter.
+
+A contained superuser retains CAP_SYS_ADMIN (it is needed for mounts
+inside the container), so the capability check alone cannot stop
+``setns()`` into host init's MNT namespace — which would hand the admin
+an unmonitored host view, bypassing ITFS. The kernel therefore enforces
+the Linux ownership rule: joining namespaces requires that the target's
+UID namespace be the caller's own or one of its descendants.
+"""
+
+import pytest
+
+from repro.errors import OperationNotPermitted
+from repro.kernel import (
+    ALL_CLONE_FLAGS,
+    NamespaceKind,
+    contained_root_credentials,
+)
+
+
+@pytest.fixture()
+def perforated(kernel):
+    """A contained admin with the PID hole open (process management)."""
+    flags = ALL_CLONE_FLAGS - {NamespaceKind.PID}
+    return kernel.sys.clone(kernel.init, "rogue-admin", flags=flags,
+                            creds=contained_root_credentials())
+
+
+class TestUpwardJoinBlocked:
+    def test_setns_to_host_init_is_denied(self, kernel, perforated):
+        # host init is visible through the shared PID namespace, but its
+        # namespaces are owned by the *parent* user namespace
+        with pytest.raises(OperationNotPermitted, match="ownership"):
+            kernel.sys.setns(perforated, kernel.init,
+                             kinds=[NamespaceKind.MNT])
+
+    def test_denied_setns_leaves_caller_namespaces_intact(
+            self, kernel, perforated):
+        before = perforated.namespaces
+        with pytest.raises(OperationNotPermitted):
+            kernel.sys.setns(perforated, kernel.init,
+                             kinds=[NamespaceKind.MNT, NamespaceKind.NET])
+        assert perforated.namespaces == before
+
+    def test_nsenter_to_host_init_is_denied(self, kernel, perforated):
+        with pytest.raises(OperationNotPermitted, match="ownership"):
+            kernel.sys.nsenter(perforated, kernel.init, "escape-shell",
+                               kinds=[NamespaceKind.MNT])
+
+    def test_sibling_container_join_is_denied(self, kernel, perforated):
+        sibling = kernel.sys.clone(
+            kernel.init, "other-container", flags=ALL_CLONE_FLAGS,
+            creds=contained_root_credentials())
+        with pytest.raises(OperationNotPermitted, match="ownership"):
+            kernel.sys.setns(perforated, sibling,
+                             kinds=[NamespaceKind.UTS])
+
+
+class TestDownwardJoinAllowed:
+    def test_host_can_nsenter_a_container(self, kernel, container):
+        # the broker's online-sharing path: host-side infiltration into
+        # the container's namespaces must keep working
+        child = kernel.sys.nsenter(kernel.init, container, "broker-helper",
+                                   kinds=[NamespaceKind.MNT,
+                                          NamespaceKind.PID])
+        assert child.root is container.root
+        assert child.pid_in(container.namespaces.pid) is not None
+
+    def test_host_can_setns_into_container(self, kernel, container):
+        helper = kernel.sys.clone(kernel.init, "helper")
+        kernel.sys.setns(helper, container, kinds=[NamespaceKind.UTS])
+        assert helper.namespaces.uts is container.namespaces.uts
+
+    def test_same_userns_join_still_works(self, kernel):
+        # the pre-existing same-level use: two processes sharing a UID
+        # namespace may join each other's MNT namespaces
+        parent = kernel.sys.clone(kernel.init, "jail-parent",
+                                  flags={NamespaceKind.MNT})
+        joiner = kernel.sys.clone(kernel.init, "joiner")
+        kernel.sys.setns(joiner, parent, kinds=[NamespaceKind.MNT])
+        assert joiner.namespaces.mnt is parent.namespaces.mnt
