@@ -15,6 +15,7 @@ import json
 import time
 from pathlib import Path
 
+from repro.experiments.schema import ExperimentReport
 from repro.faults import FaultPlane, install, uninstall
 from repro.faults.chaos import run_chaos
 from repro.kernel import Kernel
@@ -65,32 +66,36 @@ def test_bench_fault_plane_overhead_and_chaos_soak(once):
     overhead_unarmed = jitter  # the hook IS the unarmed path; no delta exists
     overhead_armed = armed_noop / unarmed
 
-    payload = {
-        "benchmark": "fault-plane",
-        "hook_overhead": {
-            "syscalls_timed": N_CALLS,
+    experiment = ExperimentReport(
+        name="fault-plane",
+        params={"syscalls_timed": N_CALLS, "seed": SOAK_SEED,
+                "iterations": SOAK_ITERATIONS,
+                "noise_ceiling": NOISE_CEILING},
+        metrics={
             "unarmed_seconds": round(unarmed, 6),
-            "unarmed_repeat_seconds": round(unarmed_again, 6),
             "armed_noop_seconds": round(armed_noop, 6),
             "run_to_run_jitter_ratio": round(jitter, 4),
             "unarmed_overhead_ratio": round(overhead_unarmed, 4),
             "armed_noop_overhead_ratio": round(overhead_armed, 4),
-            "noise_ceiling": NOISE_CEILING,
-        },
-        "chaos_soak": {
-            "seed": SOAK_SEED,
-            "iterations": SOAK_ITERATIONS,
-            "seconds": round(soak_seconds, 3),
-            "iterations_per_second": round(SOAK_ITERATIONS / soak_seconds, 1),
+            "soak_seconds": round(soak_seconds, 3),
+            "soak_iterations_per_second": round(
+                SOAK_ITERATIONS / soak_seconds, 1),
             "faults_injected": len(report.schedule),
-            "status_counts": report.status_counts(),
             "deny_to_allow_conversions": len(report.conversions),
-            "digest": report.digest(),
         },
-    }
-    OUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        artifacts={
+            "hook_overhead": {
+                "unarmed_repeat_seconds": round(unarmed_again, 6),
+            },
+            "chaos_soak": {
+                "status_counts": report.status_counts(),
+                "digest": report.digest(),
+            },
+        },
+    )
+    experiment.write(OUT_PATH)
     print()
-    print(json.dumps(payload["hook_overhead"], indent=2, sort_keys=True))
+    print(json.dumps(experiment.metrics, indent=2, sort_keys=True))
 
     assert report.ok, "chaos soak found a deny->allow conversion"
     assert overhead_unarmed < NOISE_CEILING, (

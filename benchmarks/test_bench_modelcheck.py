@@ -19,6 +19,7 @@ from repro.analysis.modelcheck import (
     check_target,
     run_verify_model,
 )
+from repro.experiments.schema import ExperimentReport
 
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_modelcheck.json"
 
@@ -40,30 +41,34 @@ def test_bench_modelcheck_static_and_replay(once):
 
     states = sum(r.stats.states_explored for r in results)
     transitions = sum(r.stats.transitions for r in results)
-    payload = {
-        "benchmark": "escape-chain model checker",
-        "depth": DEFAULT_DEPTH,
-        "targets": len(targets),
-        "static": {
-            "seconds": round(static_seconds, 4),
+    largest_states, largest_target = max(
+        (r.stats.states_explored, r.target_name) for r in results)
+    experiment = ExperimentReport(
+        name="escape-chain-modelcheck",
+        params={"depth": DEFAULT_DEPTH, "targets": len(targets)},
+        metrics={
+            "static_seconds": round(static_seconds, 4),
             "states_explored": states,
             "transitions": transitions,
             "states_per_second": round(states / static_seconds, 1),
-            "largest_state_space": max(
-                (r.stats.states_explored, r.target_name) for r in results),
+            "replay_seconds": round(replay_seconds, 3),
+            "replay_agreements": report.agreements,
+            "replay_disagreements": len(report.disagreements),
+            "ok": report.ok,
         },
-        "replay": {
-            "seconds": round(replay_seconds, 3),
-            "rows": len(report.replay_rows),
-            "agreements": report.agreements,
-            "disagreements": len(report.disagreements),
-            "targets_per_second": round(len(targets) / replay_seconds, 2),
+        artifacts={
+            "largest_state_space": {"target": largest_target,
+                                    "states": largest_states},
+            "replay": {
+                "rows": len(report.replay_rows),
+                "targets_per_second": round(
+                    len(targets) / replay_seconds, 2),
+            },
         },
-        "ok": report.ok,
-    }
-    OUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    )
+    experiment.write(OUT_PATH)
     print()
-    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(json.dumps(experiment.metrics, indent=2, sort_keys=True))
 
     assert report.ok, "catalog verify-model failed under benchmark"
     assert states > 0 and transitions > 0

@@ -5,16 +5,18 @@ IT Guy?* — perforated containers, the ITFS monitoring filesystem, the
 permission broker, the XCL exclusion namespace, and the ticket-driven
 confinement framework — on top of a simulated Linux kernel substrate.
 
-Quickstart::
+Quickstart (the stable :mod:`repro.api` facade)::
 
-    from repro import WatchITDeployment
+    from repro import Deployment
 
-    deployment = WatchITDeployment.bootstrap()
-    ticket = deployment.submit_ticket(
-        reporter="alice", machine="ws-01",
-        text="matlab license expired, toolbox error on startup")
-    session = deployment.handle(ticket, admin="it-bob")
-    session.shell.read_file("/home/alice/matlab/license.lic")
+    dep = Deployment.create()
+    dep.register_admin("it-bob")
+    ticket = dep.submit(
+        "alice", "matlab license expired, toolbox error on startup",
+        machine="ws-01")
+    with dep.session(ticket, admin="it-bob") as session:
+        session.shell.read_file("/home/alice/matlab/license.lic")
+    print(session.result)
 """
 
 __version__ = "1.0.0"
@@ -33,19 +35,31 @@ __all__ = [
     "AccessBlocked",
     "BrokerDenied",
     "CertificateError",
+    "Deployment",
     "IntegrityError",
     "KernelError",
     "ReproError",
+    "Session",
     "SessionTerminated",
+    "TicketResult",
     "WatchITDeployment",
     "__version__",
 ]
+
+#: top-level name -> providing module, resolved lazily by ``__getattr__``
+_LAZY_EXPORTS = {
+    "WatchITDeployment": "repro.framework.orchestrator",
+    "Deployment": "repro.api",
+    "Session": "repro.api",
+    "TicketResult": "repro.api",
+}
 
 
 def __getattr__(name):
     # Lazy import: keeps `import repro` cheap and avoids import cycles while
     # still exposing the top-level convenience API.
-    if name == "WatchITDeployment":
-        from repro.framework.orchestrator import WatchITDeployment
-        return WatchITDeployment
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is not None:
+        import importlib
+        return getattr(importlib.import_module(module_name), name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,221 @@
+"""The stable public facade over the WatchIT reproduction.
+
+Three types cover the Figure 3 workflow end to end without exposing the
+orchestrator's internals:
+
+* :class:`Deployment` — a simulated organization ready to take tickets.
+* :class:`Session` — one ticket-handling session as a context manager:
+  entering classifies the ticket, deploys the matching perforated
+  container, and logs the administrator in; exiting resolves the ticket
+  and tears the container down **even when the block raises**.
+* :class:`TicketResult` — the uniform record of what one handled ticket
+  produced; the concurrent control plane (:mod:`repro.controlplane`)
+  emits the same type, so serial and sharded serving are comparable
+  row for row.
+
+Usage::
+
+    from repro import Deployment
+
+    dep = Deployment.create()
+    dep.register_admin("it-bob")
+    ticket = dep.submit("alice", "matlab license expired", machine="ws-01")
+    with dep.session(ticket, admin="it-bob") as session:
+        session.shell.read_file("/home/alice/matlab/license.lic")
+        session.client.pb("ps -a")
+    print(session.result)          # TicketResult(resolved=True, ...)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.framework.orchestrator import (
+    DEFAULT_MACHINES,
+    DEFAULT_USERS,
+    HandledSession,
+    WatchITDeployment,
+)
+from repro.framework.tickets import Ticket
+
+__all__ = ["Deployment", "Session", "TicketResult"]
+
+
+@dataclass(frozen=True)
+class TicketResult:
+    """What one handled ticket produced — serial facade or control plane.
+
+    Attributes:
+        ticket_id: the ticket's database id.
+        ticket_class: predicted class (``T-1`` ... ``T-11``).
+        machine: workstation the container ran on.
+        admin: administrator who handled the session.
+        resolved: the session closed cleanly (tickets whose session body
+            raised are still torn down, but report ``resolved=False``).
+        error: stringified exception when ``resolved`` is False.
+        audit_records: records this session appended across the
+            container's fs/net audit streams and the broker log.
+        duration_s: wall-clock session time.
+        shard: serving shard index (control plane only).
+        pool_hit: the session reused a pre-warmed container (control
+            plane only).
+    """
+
+    ticket_id: int
+    ticket_class: str
+    machine: str
+    admin: str
+    resolved: bool
+    error: Optional[str] = None
+    audit_records: int = 0
+    duration_s: float = 0.0
+    shard: Optional[int] = None
+    pool_hit: Optional[bool] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+class Session:
+    """One ticket-handling session (enter = classify+deploy+login).
+
+    Only usable as a context manager; the exit path *always* resolves the
+    ticket — certificate revoked, container(s) torn down — whether the
+    body completed or raised. After exit, :attr:`result` carries the
+    :class:`TicketResult`.
+    """
+
+    def __init__(self, deployment: "Deployment", ticket: Ticket, admin: str,
+                 ttl: Optional[int] = None):
+        self._deployment = deployment
+        self.ticket = ticket
+        self.admin = admin
+        self.ttl = ttl
+        self._handled: Optional[HandledSession] = None
+        self._started = 0.0
+        self.result: Optional[TicketResult] = None
+
+    # -- the live-session surface (valid between enter and exit) ----------
+
+    @property
+    def handled(self) -> HandledSession:
+        if self._handled is None:
+            raise RuntimeError("session is not open; use it as a "
+                               "context manager")
+        return self._handled
+
+    @property
+    def shell(self):
+        """The admin's shell inside the perforated container."""
+        return self.handled.shell
+
+    @property
+    def client(self):
+        """The permission-broker client (the ``PB`` command)."""
+        return self.handled.client
+
+    @property
+    def container(self):
+        return self.handled.container
+
+    @property
+    def certificate(self):
+        return self.handled.certificate
+
+    # -- context management ------------------------------------------------
+
+    def __enter__(self) -> "Session":
+        self._started = time.perf_counter()
+        self._handled = self._deployment.orchestrator.handle(
+            self.ticket, admin=self.admin, ttl=self.ttl)
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        handled, self._handled = self._handled, None
+        audit_records = 0
+        if handled is not None:
+            container = handled.deployment.container
+            broker = handled.deployment.broker
+            audit_records = (len(container.fs_audit) + len(container.net_audit)
+                             + len(broker.audit))
+            # teardown must run even when the session body raised — the
+            # paper's "revoked once the ticket time expires" posture means
+            # an erroring admin session never lingers
+            self._deployment.orchestrator.resolve(handled)
+        self.result = TicketResult(
+            ticket_id=self.ticket.ticket_id,
+            ticket_class=self.ticket.predicted_class or "?",
+            machine=self.ticket.machine,
+            admin=self.admin,
+            resolved=exc_type is None,
+            error=None if exc is None else f"{type(exc).__name__}: {exc}",
+            audit_records=audit_records,
+            duration_s=time.perf_counter() - self._started)
+        return False  # never swallow the body's exception
+
+
+class Deployment:
+    """A simulated organization ready to take tickets (the facade).
+
+    Wraps :class:`~repro.framework.orchestrator.WatchITDeployment`; the
+    underlying orchestrator stays reachable via :attr:`orchestrator` for
+    advanced use (anomaly detection, LDA training, the cluster manager).
+    """
+
+    def __init__(self, orchestrator: WatchITDeployment):
+        self.orchestrator = orchestrator
+
+    @classmethod
+    def create(cls, machines: Tuple[str, ...] = DEFAULT_MACHINES,
+               users: Tuple[str, ...] = DEFAULT_USERS,
+               classifier=None, broker_policy=None) -> "Deployment":
+        """Bootstrap a complete organization (hosts, services, TCB boot)."""
+        return cls(WatchITDeployment.bootstrap(
+            machines=tuple(machines), users=tuple(users),
+            classifier=classifier, broker_policy=broker_policy))
+
+    # -- people ------------------------------------------------------------
+
+    def register_admin(self, name: str) -> None:
+        self.orchestrator.register_admin(name)
+
+    def register_user(self, name: str) -> None:
+        from repro.framework.tickets import Role
+        self.orchestrator.tickets.register_person(name, Role.END_USER)
+
+    # -- the ticket workflow ----------------------------------------------
+
+    def submit(self, reporter: str, text: str, machine: str = "ws-01",
+               target_machine: Optional[str] = None) -> Ticket:
+        """File a trouble ticket (IT personnel are refused)."""
+        return self.orchestrator.submit_ticket(
+            reporter, text, machine=machine, target_machine=target_machine)
+
+    def session(self, ticket: Ticket, admin: str,
+                ttl: Optional[int] = None) -> Session:
+        """A context manager handling ``ticket`` as ``admin``."""
+        return Session(self, ticket, admin=admin, ttl=ttl)
+
+    def handle(self, ticket: Ticket, admin: str, run=None,
+               ttl: Optional[int] = None) -> TicketResult:
+        """Convenience: open a session, run ``run(session)``, close it."""
+        with self.session(ticket, admin=admin, ttl=ttl) as session:
+            if run is not None:
+                run(session)
+        assert session.result is not None
+        return session.result
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def machines(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.orchestrator.machines))
+
+    def audit_summary(self) -> Dict[str, object]:
+        """Organization-wide audit statistics from the central log."""
+        return self.orchestrator.audit_summary()
+
+    def detect_anomalies(self, threshold: float = 6.0):
+        return self.orchestrator.detect_anomalies(threshold=threshold)

@@ -8,6 +8,8 @@ Commands:
     chaos                seeded fault-injection soak over the threat replay
     lint                 static perforation linter over the spec catalog
     verify-model         escape-chain model checker with witness replay
+    serve                serve a synthetic ticket storm on the concurrent
+                         control plane (sharded kernels + warm pools)
     anomaly              run the audit-log anomaly-detection extension
     metrics [TARGET]     run a workload, dump the shared metrics registry
     trace [TARGET]       run a workload, print the structured span tree
@@ -27,19 +29,19 @@ INSTRUMENTED_TARGETS = ("table1", "demo")
 
 
 def _cmd_demo(_args) -> int:
-    from repro import WatchITDeployment
-    deployment = WatchITDeployment.bootstrap()
+    from repro import Deployment
+    deployment = Deployment.create()
     deployment.register_admin("it-bob")
-    ticket = deployment.submit_ticket(
+    ticket = deployment.submit(
         "alice", "matlab license expired toolbox error", machine="ws-01")
-    session = deployment.handle(ticket, admin="it-bob")
-    print(f"ticket #{ticket.ticket_id} -> class {ticket.predicted_class} "
-          f"-> container on {ticket.machine}")
-    session.shell.write_file("/home/alice/matlab/license.lic", b"VALID-2018")
-    print("license fixed inside the perforated view")
-    print("PB ps -a:",
-          [r["comm"] for r in session.client.pb("ps -a").output])
-    deployment.resolve(session)
+    with deployment.session(ticket, admin="it-bob") as session:
+        print(f"ticket #{ticket.ticket_id} -> class {ticket.predicted_class} "
+              f"-> container on {ticket.machine}")
+        session.shell.write_file("/home/alice/matlab/license.lic",
+                                 b"VALID-2018")
+        print("license fixed inside the perforated view")
+        print("PB ps -a:",
+              [r["comm"] for r in session.client.pb("ps -a").output])
     summary = deployment.audit_summary()
     print(f"resolved; {summary['records']} audit records, "
           f"chain verified: {summary['verified']}")
@@ -93,7 +95,10 @@ def _cmd_experiment(args) -> int:
 
     if getattr(args, "metrics_out", None):
         from repro.experiments import run_with_metrics
-        status, _ = run_with_metrics(_go, metrics_out=args.metrics_out)
+        status, _ = run_with_metrics(
+            _go, metrics_out=args.metrics_out,
+            name=f"experiment-{args.name}",
+            params={"experiment": args.name, "full": bool(args.full)})
         if status == 0:
             print(f"metrics written to {args.metrics_out}")
         return status
@@ -115,6 +120,14 @@ def _cmd_chaos(args) -> int:
     Exit status 1 means a fault converted a deny into an allow — the
     fail-closed property is broken. Same seed, same report, bit for bit.
     """
+    if args.iterations < 1:
+        print(f"repro chaos: --iterations must be >= 1, "
+              f"got {args.iterations}", file=sys.stderr)
+        return 2
+    if not 0.0 < args.intensity <= 1.0:
+        print(f"repro chaos: --intensity must be in (0, 1], "
+              f"got {args.intensity}", file=sys.stderr)
+        return 2
     from repro.faults import run_chaos
     report = run_chaos(seed=args.seed, iterations=args.iterations,
                        intensity=args.intensity)
@@ -293,6 +306,10 @@ def _run_instrumented(target: str, cache_capacity: int) -> None:
 
 def _cmd_metrics(args) -> int:
     from repro import obs
+    if args.cache_capacity < 1:
+        print(f"repro metrics: --cache-capacity must be >= 1, "
+              f"got {args.cache_capacity}", file=sys.stderr)
+        return 2
     _run_instrumented(args.target, args.cache_capacity)
     if args.json:
         print(obs.registry().to_json())
@@ -303,6 +320,14 @@ def _cmd_metrics(args) -> int:
 
 def _cmd_trace(args) -> int:
     from repro import obs
+    if args.cache_capacity < 1:
+        print(f"repro trace: --cache-capacity must be >= 1, "
+              f"got {args.cache_capacity}", file=sys.stderr)
+        return 2
+    if args.limit < 1:
+        print(f"repro trace: --limit must be >= 1, got {args.limit}",
+              file=sys.stderr)
+        return 2
     _run_instrumented(args.target, args.cache_capacity)
     tracer = obs.tracer()
     if args.jsonl:
@@ -312,6 +337,99 @@ def _cmd_trace(args) -> int:
         print(f"\n{tracer.spans_started} spans started, "
               f"{tracer.spans_dropped} dropped by the ring buffer")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the concurrent control plane against a synthetic ticket storm.
+
+    Exit status 2 for usage errors, 1 when any ticket fails to resolve,
+    0 on a clean storm.
+    """
+    if args.shards < 1:
+        print(f"repro serve: --shards must be >= 1, got {args.shards}",
+              file=sys.stderr)
+        return 2
+    if args.pool_size < 0:
+        print(f"repro serve: --pool-size must be >= 0, "
+              f"got {args.pool_size}", file=sys.stderr)
+        return 2
+    if args.tickets < 1:
+        print(f"repro serve: --tickets must be >= 1, got {args.tickets}",
+              file=sys.stderr)
+        return 2
+    if not 0.0 <= args.duplicates < 1.0:
+        print(f"repro serve: --duplicates must be in [0, 1), "
+              f"got {args.duplicates}", file=sys.stderr)
+        return 2
+    if args.queue_depth < 1:
+        print(f"repro serve: --queue-depth must be >= 1, "
+              f"got {args.queue_depth}", file=sys.stderr)
+        return 2
+
+    from repro.workload.storm import (
+        generate_storm,
+        run_storm_serial,
+        run_storm_sharded,
+        train_storm_classifier,
+    )
+    if args.classifier == "lda":
+        print("training the LDA classifier on the ticket history...",
+              file=sys.stderr)
+        classifier = train_storm_classifier(seed=args.seed)
+    else:
+        classifier = None  # the orchestrator's keyword default
+    storm = generate_storm(n=args.tickets, seed=args.seed,
+                           duplicate_rate=args.duplicates)
+    reports = {}
+    if args.serial_baseline:
+        reports["serial"] = run_storm_serial(storm, classifier=classifier)
+    reports["sharded"] = run_storm_sharded(
+        storm, classifier=classifier, shards=args.shards,
+        pool_size=args.pool_size, queue_depth=args.queue_depth)
+
+    sharded = reports["sharded"]
+    metrics = {
+        "tickets": sharded.tickets,
+        "unique_texts": sharded.unique_texts,
+        "shards": sharded.shards,
+        "sharded_tickets_per_s": round(sharded.tickets_per_s, 1),
+        "pool_hit_rate": round(sharded.pool_hit_rate, 4),
+        "errors": sharded.errors,
+    }
+    if "serial" in reports:
+        serial = reports["serial"]
+        metrics["serial_tickets_per_s"] = round(serial.tickets_per_s, 1)
+        metrics["speedup"] = round(
+            sharded.tickets_per_s / serial.tickets_per_s, 2)
+        metrics["errors"] += serial.errors
+
+    if args.bench_out:
+        from repro.experiments.schema import ExperimentReport
+        ExperimentReport(
+            name="controlplane-throughput",
+            params={"tickets": args.tickets, "shards": args.shards,
+                    "pool_size": args.pool_size,
+                    "duplicates": args.duplicates, "seed": args.seed,
+                    "classifier": args.classifier,
+                    "queue_depth": args.queue_depth},
+            metrics=metrics,
+            artifacts={mode: rep.to_dict()
+                       for mode, rep in reports.items()},
+        ).write(args.bench_out)
+        print(f"benchmark report written to {args.bench_out}",
+              file=sys.stderr)
+    if args.json:
+        import json as _json
+        print(_json.dumps(metrics, indent=2, sort_keys=True))
+    else:
+        for mode, rep in reports.items():
+            print(f"{mode:>7}: {rep.tickets_per_s:8.1f} tickets/s "
+                  f"({rep.tickets} tickets, {rep.errors} errors"
+                  + (f", pool hit rate {rep.pool_hit_rate:.0%}"
+                     if mode == "sharded" else "") + ")")
+        if "speedup" in metrics:
+            print(f"speedup: {metrics['speedup']}x")
+    return 0 if metrics["errors"] == 0 else 1
 
 
 def _cmd_anomaly(args) -> int:
@@ -399,6 +517,35 @@ def build_parser() -> argparse.ArgumentParser:
                            "reachable-unaudited chains and replay "
                            "disagreements always exit 1")
 
+    p_srv = sub.add_parser(
+        "serve",
+        help="serve a synthetic ticket storm on the concurrent control "
+             "plane (sharded kernels + warm container pools)")
+    p_srv.add_argument("--shards", type=int, default=4,
+                       help="independent simulated kernels (default 4)")
+    p_srv.add_argument("--pool-size", type=int, default=2,
+                       help="warm containers kept per (machine, class)")
+    p_srv.add_argument("--tickets", type=int, default=200,
+                       help="storm size (default 200)")
+    p_srv.add_argument("--duplicates", type=float, default=0.9,
+                       help="fraction of verbatim-duplicate reports in "
+                            "the storm (default 0.9)")
+    p_srv.add_argument("--queue-depth", type=int, default=64,
+                       help="per-shard admission queue bound")
+    p_srv.add_argument("--seed", type=int, default=11,
+                       help="storm generator seed")
+    p_srv.add_argument("--classifier", choices=("keyword", "lda"),
+                       default="keyword",
+                       help="ticket classifier (lda = the paper's "
+                            "pipeline, slower to train)")
+    p_srv.add_argument("--serial-baseline", action="store_true",
+                       help="also run the one-at-a-time baseline and "
+                            "report the speedup")
+    p_srv.add_argument("--bench-out", metavar="PATH", default=None,
+                       help="write an experiment report (JSON) to PATH")
+    p_srv.add_argument("--json", action="store_true",
+                       help="machine-readable summary on stdout")
+
     p_anom = sub.add_parser("anomaly", help="audit-log anomaly detection")
     p_anom.add_argument("--benign", type=int, default=40)
     p_anom.add_argument("--malicious", type=int, default=8)
@@ -433,7 +580,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {"demo": _cmd_demo, "experiment": _cmd_experiment,
                 "threats": _cmd_threats, "chaos": _cmd_chaos,
                 "lint": _cmd_lint, "verify-model": _cmd_verify_model,
-                "anomaly": _cmd_anomaly,
+                "anomaly": _cmd_anomaly, "serve": _cmd_serve,
                 "metrics": _cmd_metrics, "trace": _cmd_trace}
     return handlers[args.command](args)
 

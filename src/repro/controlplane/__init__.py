@@ -1,0 +1,36 @@
+"""The concurrent multi-tenant control plane (the repo's scalability layer).
+
+Serial :class:`~repro.framework.orchestrator.WatchITDeployment` handles one
+ticket at a time on one simulated kernel. This package runs many Figure 3
+sessions concurrently:
+
+* :mod:`repro.controlplane.sharding` — N independent simulated kernels
+  (shards); tickets hash-route by workstation, so one workstation's state
+  always lives on one shard.
+* :mod:`repro.controlplane.pool` — pre-warmed per-ticket-class container
+  pools with scrub-on-release isolation: a released container is reset
+  (mounts, firewall, ITFS caches, audit epochs) and the reset is *verified*
+  before the container may serve the next tenant; anything unverifiable is
+  discarded, never reused.
+* :mod:`repro.controlplane.batching` — memoized + batched classification:
+  one model inference per unique preprocessed ticket text.
+* :mod:`repro.controlplane.executor` — the bounded worker executor tying
+  it together: per-shard backpressure queues, graceful drain, and
+  :mod:`repro.obs` instrumentation (queue depth, pool hit rate, session
+  latency histograms).
+"""
+
+from repro.controlplane.batching import BatchingClassifier
+from repro.controlplane.executor import ControlPlane, default_session_ops
+from repro.controlplane.pool import ContainerPool, PooledDeployment
+from repro.controlplane.sharding import KernelShard, ShardRouter
+
+__all__ = [
+    "BatchingClassifier",
+    "ContainerPool",
+    "ControlPlane",
+    "KernelShard",
+    "PooledDeployment",
+    "ShardRouter",
+    "default_session_ops",
+]

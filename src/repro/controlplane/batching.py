@@ -1,0 +1,121 @@
+"""Batched + memoized ticket classification.
+
+A ticket storm is duplicate-heavy: many users report the same outage in
+nearly the same words, and preprocessing (obfuscation, stemming, stopword
+removal — :func:`repro.framework.preprocess.tokenize`) collapses
+superficially different reports onto identical token streams. Running the
+LDA fold-in (or even the keyword scorer) once per *unique preprocessed
+text* instead of once per ticket removes the classifier from the serving
+hot path almost entirely.
+
+:class:`BatchingClassifier` wraps any classifier exposing
+``classify(text) -> str``; it is safe to share across shard worker
+threads — exactly one inner inference runs per unique text, even when
+several workers race on the same key.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Sequence, Tuple
+
+from repro import obs
+from repro.framework.preprocess import tokenize
+
+__all__ = ["BatchingClassifier"]
+
+#: memo key: the canonical (preprocessed) token stream of a ticket text.
+MemoKey = Tuple[str, ...]
+
+
+class BatchingClassifier:
+    """Memoizing, batch-capable front for a ticket classifier.
+
+    The wrapped classifier runs one inference per unique *preprocessed*
+    ticket text; repeats are served from the memo table. ``classify_batch``
+    is the bulk API the control-plane uses to pre-classify a whole storm
+    in one submission.
+    """
+
+    def __init__(self, inner, max_entries: int = 65536):
+        self.inner = inner
+        self.max_entries = max_entries
+        self._memo: Dict[MemoKey, str] = {}
+        #: exact-text front table: verbatim repeats (the common storm case)
+        #: skip even the preprocessing pass
+        self._by_text: Dict[str, str] = {}
+        self._lock = threading.Lock()
+        registry = obs.registry()
+        self._hits = registry.counter("controlplane_classify_memo",
+                                      outcome="hit")
+        self._misses = registry.counter("controlplane_classify_memo",
+                                        outcome="miss")
+
+    @staticmethod
+    def _key(text: str) -> MemoKey:
+        return tuple(tokenize(text))
+
+    # ------------------------------------------------------------------
+
+    def classify(self, text: str) -> str:
+        """Single-ticket API — memo lookup, inner inference on miss."""
+        with self._lock:
+            hit = self._by_text.get(text)
+        if hit is not None:
+            self._hits.inc()
+            return hit
+        key = self._key(text)
+        with self._lock:
+            hit = self._memo.get(key)
+            if hit is not None:
+                self._by_text[text] = hit
+        if hit is not None:
+            self._hits.inc()
+            return hit
+        # inference happens outside the lock: one duplicate inference under
+        # a rare race is cheaper than serializing every miss
+        predicted = self.inner.classify(text)
+        self._misses.inc()
+        with self._lock:
+            if len(self._memo) >= self.max_entries:
+                self._memo.clear()  # storm memo, not an archive: flush whole
+                self._by_text.clear()
+            self._memo.setdefault(key, predicted)
+            self._by_text[text] = self._memo[key]
+        return predicted
+
+    def classify_batch(self, texts: Sequence[str]) -> List[str]:
+        """Classify many texts with one inference per unique token stream."""
+        keys = [self._key(text) for text in texts]
+        with self._lock:
+            memo = dict(self._memo)
+        pending: Dict[MemoKey, str] = {}
+        for key, text in zip(keys, texts):
+            if key not in memo and key not in pending:
+                pending[key] = text
+        fresh = {key: self.inner.classify(text)
+                 for key, text in pending.items()}
+        self._hits.inc(len(keys) - len(fresh))
+        self._misses.inc(len(fresh))
+        with self._lock:
+            if len(self._memo) + len(fresh) > self.max_entries:
+                self._memo.clear()
+                self._by_text.clear()
+            self._memo.update(fresh)
+            for key, text in zip(keys, texts):
+                self._by_text.setdefault(text, (memo.get(key)
+                                                or fresh.get(key)))
+        memo.update(fresh)
+        return [memo[key] for key in keys]
+
+    # ------------------------------------------------------------------
+
+    @property
+    def memo_size(self) -> int:
+        with self._lock:
+            return len(self._memo)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._memo.clear()
+            self._by_text.clear()

@@ -1,0 +1,327 @@
+"""The bounded ticket-serving executor over the shard fleet.
+
+:class:`ControlPlane` is the front door of the concurrent control plane:
+``submit`` routes a ticket to the shard owning its workstation and
+enqueues it on that shard's bounded queue (a full queue blocks the
+producer — per-shard backpressure), one worker thread per shard drives
+the full Figure 3 session (classify → lease a pooled container → login →
+session ops → resolve → scrubbed release), and ``drain`` waits until
+every accepted ticket has completed.
+
+One worker per shard is deliberate: a simulated organization is not
+internally thread-safe, so the parallelism axis is the *number of
+shards*, and within a shard everything stays single-threaded — the same
+reasoning real control planes use when they partition state instead of
+locking it.
+
+Everything is observable through :mod:`repro.obs`:
+``controlplane_queue_depth`` (gauge, per shard),
+``controlplane_session_seconds`` (histogram, per shard),
+``controlplane_pool_acquires`` / ``controlplane_pool_releases``
+(counters; hit rate), ``controlplane_tickets_served`` (counter, per
+shard and outcome).
+"""
+
+from __future__ import annotations
+
+import queue
+import sys
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.api import TicketResult
+from repro.broker import BrokerClient
+from repro.controlplane.batching import BatchingClassifier
+from repro.controlplane.sharding import KernelShard, ShardRouter
+from repro.errors import InvalidArgument, ReproError
+from repro.framework.classifier import KeywordClassifier
+from repro.framework.orchestrator import DEFAULT_MACHINES, DEFAULT_USERS
+from repro.framework.tickets import Role
+
+__all__ = ["ControlPlane", "SessionOps", "default_session_ops"]
+
+#: A session body: receives the admin shell and the broker client.
+SessionOps = Callable[[object, BrokerClient], None]
+
+_SENTINEL = None
+
+
+def default_session_ops(shell, client: BrokerClient) -> None:
+    """The minimal universally-valid session: one syscall, one escalation.
+
+    Valid for every ticket class including the fully-isolated T-11
+    catch-all, which has no filesystem shares and no network.
+    """
+    shell.hostname()
+    client.pb("ps -a")
+
+
+class ControlPlane:
+    """Multi-tenant ticket-serving over N shards with pooled containers."""
+
+    def __init__(self, machines: Sequence[str] = DEFAULT_MACHINES,
+                 users: Sequence[str] = DEFAULT_USERS,
+                 shards: int = 4, pool_size: int = 2,
+                 queue_depth: int = 64, classifier=None,
+                 broker_policy=None):
+        if queue_depth < 1:
+            raise InvalidArgument(
+                f"queue depth must be >= 1, got {queue_depth}")
+        self.classifier = BatchingClassifier(classifier or KeywordClassifier())
+        self.router = ShardRouter(machines, shards, users=users,
+                                  pool_capacity=pool_size,
+                                  classifier=self.classifier,
+                                  broker_policy=broker_policy)
+        self._queues: dict = {}
+        self._workers: List[threading.Thread] = []
+        self._started = False
+        self._closed = False
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        registry = obs.registry()
+        self._metrics: dict = {}
+        for shard in self.router.shards:
+            self._queues[shard.index] = queue.Queue(maxsize=queue_depth)
+            self._metrics[shard.index] = {
+                "depth": registry.gauge("controlplane_queue_depth",
+                                        shard=shard.index),
+                "latency": registry.histogram("controlplane_session_seconds",
+                                              shard=shard.index),
+                "resolved": registry.counter("controlplane_tickets_served",
+                                             shard=shard.index,
+                                             outcome="resolved"),
+                "errored": registry.counter("controlplane_tickets_served",
+                                            shard=shard.index,
+                                            outcome="errored"),
+            }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ControlPlane":
+        if self._started:
+            return self
+        self._started = True
+        # shorter GIL slices keep the producer responsive while workers
+        # grind through CPU-bound sessions; restored on close()
+        self._saved_switchinterval = sys.getswitchinterval()
+        sys.setswitchinterval(0.005)
+        for shard in self.router.shards:
+            worker = threading.Thread(
+                target=self._worker, args=(shard,),
+                name=f"shard-{shard.index}", daemon=True)
+            self._workers.append(worker)
+            worker.start()
+        return self
+
+    def prewarm(self, ticket_classes: Sequence[str],
+                count: Optional[int] = None) -> int:
+        """Warm pools for ``ticket_classes`` on every shard's machines."""
+        return sum(shard.prewarm(cls, count=count)
+                   for shard in self.router.shards
+                   for cls in ticket_classes)
+
+    def drain(self) -> None:
+        """Block until every accepted ticket has completed."""
+        for q in self._queues.values():
+            q.join()
+
+    def close(self) -> None:
+        """Graceful shutdown: drain, stop workers, tear down pools."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._started:
+            self.drain()
+            for q in self._queues.values():
+                q.put(_SENTINEL)
+            for worker in self._workers:
+                worker.join()
+            sys.setswitchinterval(self._saved_switchinterval)
+        self.router.close()
+
+    def __enter__(self) -> "ControlPlane":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+
+    def register_admin(self, name: str) -> None:
+        for shard in self.router.shards:
+            shard.org.register_admin(name)
+
+    def register_user(self, name: str) -> None:
+        for shard in self.router.shards:
+            shard.org.tickets.register_person(name, Role.END_USER)
+
+    def submit(self, reporter: str, text: str, machine: str, admin: str,
+               ops: Optional[SessionOps] = None) -> "Future[TicketResult]":
+        """Route + enqueue one ticket; blocks when the shard is backlogged."""
+        if self._closed:
+            raise InvalidArgument("control plane is closed")
+        if not self._started:
+            raise InvalidArgument("control plane is not started")
+        shard = self.router.route(machine)
+        future: "Future[TicketResult]" = Future()
+        q = self._queues[shard.index]
+        q.put([(reporter, text, machine, admin, ops, future)])
+        with self._lock:
+            self.submitted += 1
+        self._depth_gauge(shard)
+        return future
+
+    def submit_many(self, tickets: Sequence[Tuple[str, str, str]], admin: str,
+                    ops: Optional[SessionOps] = None,
+                    chunk_size: int = 32) -> List["Future[TicketResult]"]:
+        """Bulk admission: route, pre-classify, and enqueue a whole storm.
+
+        ``tickets`` is a sequence of ``(reporter, text, machine)``. Tickets
+        are pre-classified in one :meth:`classify_batch` pass and enqueued
+        in per-shard chunks, so the queue/handoff cost is paid once per
+        ``chunk_size`` tickets instead of once per ticket. Returns one
+        future per ticket, in submission order.
+        """
+        if self._closed:
+            raise InvalidArgument("control plane is closed")
+        if not self._started:
+            raise InvalidArgument("control plane is not started")
+        self.classify_batch([text for _, text, _ in tickets])
+        futures: List["Future[TicketResult]"] = []
+        chunks: dict = {}
+        for reporter, text, machine in tickets:
+            shard = self.router.route(machine)
+            future: "Future[TicketResult]" = Future()
+            futures.append(future)
+            chunk = chunks.setdefault(shard.index, [])
+            chunk.append((reporter, text, machine, admin, ops, future))
+            if len(chunk) >= chunk_size:
+                self._queues[shard.index].put(chunk)
+                chunks[shard.index] = []
+        for index, chunk in chunks.items():
+            if chunk:
+                self._queues[index].put(chunk)
+        with self._lock:
+            self.submitted += len(futures)
+        for shard in self.router.shards:
+            self._depth_gauge(shard)
+        return futures
+
+    def try_submit(self, reporter: str, text: str, machine: str, admin: str,
+                   ops: Optional[SessionOps] = None
+                   ) -> Optional["Future[TicketResult]"]:
+        """Non-blocking submit: None when the shard queue is full."""
+        if self._closed or not self._started:
+            raise InvalidArgument("control plane is not serving")
+        shard = self.router.route(machine)
+        future: "Future[TicketResult]" = Future()
+        try:
+            self._queues[shard.index].put_nowait(
+                [(reporter, text, machine, admin, ops, future)])
+        except queue.Full:
+            obs.registry().counter("controlplane_rejected_total",
+                                   shard=shard.index).inc()
+            return None
+        with self._lock:
+            self.submitted += 1
+        self._depth_gauge(shard)
+        return future
+
+    def classify_batch(self, texts: Sequence[str]) -> List[str]:
+        """Bulk pre-classification (one inference per unique text)."""
+        return self.classifier.classify_batch(texts)
+
+    # ------------------------------------------------------------------
+    # the shard worker
+    # ------------------------------------------------------------------
+
+    def _depth_gauge(self, shard: KernelShard) -> None:
+        self._metrics[shard.index]["depth"].set(
+            self._queues[shard.index].qsize())
+
+    def _worker(self, shard: KernelShard) -> None:
+        q = self._queues[shard.index]
+        while True:
+            chunk = q.get()
+            if chunk is _SENTINEL:
+                q.task_done()
+                return
+            self._depth_gauge(shard)
+            served = 0
+            try:
+                for reporter, text, machine, admin, ops, future in chunk:
+                    try:
+                        result = self._serve(shard, reporter, text, machine,
+                                             admin, ops)
+                        future.set_result(result)
+                    except BaseException as exc:  # noqa: BLE001 - boundary
+                        future.set_exception(exc)
+                    served += 1
+            finally:
+                with self._lock:
+                    self.completed += served
+                q.task_done()
+
+    def _serve(self, shard: KernelShard, reporter: str, text: str,
+               machine: str, admin: str,
+               ops: Optional[SessionOps]) -> TicketResult:
+        """One full Figure 3 session on a pooled container."""
+        metrics = self._metrics[shard.index]
+        org = shard.org
+        started = time.perf_counter()
+        ticket = org.submit_ticket(reporter, text, machine=machine)
+        ticket.classify_as(self.classifier.classify(text))
+        ticket.assign_to(admin)
+        spec = org.images.get(ticket.predicted_class)
+        pooled = shard.pool.acquire(spec, machine, user=reporter,
+                                    ticket_class=ticket.predicted_class)
+        pool_hit = pooled.pool_hit
+        certificate = org.certificates.issue(
+            admin, ticket.ticket_id, machine, ticket.predicted_class)
+        error: Optional[str] = None
+        audit_records = 0
+        try:
+            shell = pooled.container.login(
+                admin, certificate=certificate,
+                authenticator=shard.authenticators[machine])
+            client = BrokerClient(shell, pooled.deployment.broker,
+                                  ticket_class=ticket.predicted_class)
+            try:
+                (ops or default_session_ops)(shell, client)
+            finally:
+                audit_records = (len(pooled.container.fs_audit)
+                                 + len(pooled.container.net_audit)
+                                 + len(pooled.deployment.broker.audit))
+                shell.exit()
+        except ReproError as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            org.certificates.revoke_ticket(ticket.ticket_id)
+            shard.pool.release(pooled)
+        ticket.resolve()
+        duration = time.perf_counter() - started
+        metrics["resolved" if error is None else "errored"].inc()
+        metrics["latency"].observe(duration)
+        return TicketResult(
+            ticket_id=ticket.ticket_id,
+            ticket_class=ticket.predicted_class or "?",
+            machine=machine, admin=admin, resolved=error is None,
+            error=error, audit_records=audit_records, duration_s=duration,
+            shard=shard.index, pool_hit=pool_hit)
+
+    # ------------------------------------------------------------------
+
+    def pool_hit_rate(self) -> float:
+        registry = obs.registry()
+        hits = registry.total("controlplane_pool_acquires", outcome="hit")
+        misses = registry.total("controlplane_pool_acquires", outcome="miss")
+        total = hits + misses
+        return hits / total if total else 0.0

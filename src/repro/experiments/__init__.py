@@ -34,6 +34,7 @@ from repro.experiments.modelcheck_verify import (
     run_modelcheck_verify,
 )
 from repro.experiments.report import generate_report, write_report
+from repro.experiments.schema import SCHEMA, ExperimentReport
 from repro.experiments.table1_threats import run_table1
 from repro.experiments.table2_lda import run_table2
 from repro.experiments.table3_permissions import run_table3
@@ -68,4 +69,6 @@ __all__ = [
     "run_table4",
     "run_with_metrics",
     "write_report",
+    "ExperimentReport",
+    "SCHEMA",
 ]

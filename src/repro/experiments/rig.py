@@ -113,20 +113,27 @@ def build_case_study_rig(hostname: str = "ws-01") -> CaseStudyRig:
 
 def run_with_metrics(runner: Callable[[], object],
                      metrics_out: Optional[str] = None,
-                     reset: bool = True):
+                     reset: bool = True, name: str = "instrumented-run",
+                     params: Optional[Dict[str, object]] = None):
     """Run an experiment with a clean observability slate; optionally dump.
 
     The ``--metrics-out`` hook: resets the shared registry/tracer (so the
     dump describes exactly this run), invokes ``runner()``, and — when
-    ``metrics_out`` is given — writes the full registry snapshot there as
-    JSON. Returns ``(result, snapshot)``.
+    ``metrics_out`` is given — writes an
+    :class:`~repro.experiments.schema.ExperimentReport` there with the
+    full registry snapshot under ``artifacts["metrics"]``. Returns
+    ``(result, snapshot)``.
     """
     if reset:
         obs.reset()
     result = runner()
     registry = obs.registry()
+    snapshot = registry.snapshot()
     if metrics_out is not None:
-        with open(metrics_out, "w", encoding="utf-8") as fh:
-            fh.write(registry.to_json())
-            fh.write("\n")
-    return result, registry.snapshot()
+        from repro.experiments.schema import ExperimentReport
+        ExperimentReport(
+            name=name, params=dict(params or {}),
+            metrics={"metric_series": len(snapshot)},
+            artifacts={"metrics": snapshot},
+        ).write(metrics_out)
+    return result, snapshot

@@ -54,6 +54,10 @@ class CertificateAuthority:
         self.default_ttl = default_ttl
         self._revoked: Set[int] = set()
         self._issued: Dict[int, Certificate] = {}
+        #: ticket_id -> serials minted for it; revoke_ticket must not scan
+        #: the full issuance history (the control plane revokes per ticket,
+        #: thousands of times per storm)
+        self._by_ticket: Dict[int, list] = {}
 
     # ------------------------------------------------------------------
 
@@ -71,6 +75,7 @@ class CertificateAuthority:
         signed = Certificate(**{**cert.__dict__,
                                 "signature": self._sign(cert.payload())})
         self._issued[signed.serial] = signed
+        self._by_ticket.setdefault(ticket_id, []).append(signed.serial)
         return signed
 
     def validate(self, cert: Optional[Certificate], admin: str,
@@ -102,9 +107,9 @@ class CertificateAuthority:
     def revoke_ticket(self, ticket_id: int) -> int:
         """Revoke every certificate minted for one ticket."""
         count = 0
-        for cert in self._issued.values():
-            if cert.ticket_id == ticket_id and cert.serial not in self._revoked:
-                self._revoked.add(cert.serial)
+        for serial in self._by_ticket.get(ticket_id, ()):
+            if serial not in self._revoked:
+                self._revoked.add(serial)
                 count += 1
         return count
 

@@ -150,8 +150,11 @@ class WatchITDeployment:
 
     def _expire_sessions(self) -> None:
         from repro.errors import CertificateError
+        live = []
         for session in self.sessions:
             if not session.container.active:
+                # resolved or already expired: drop it from the scan set,
+                # or every future tick re-walks the whole session history
                 continue
             try:
                 self.certificates.validate(session.certificate,
@@ -161,6 +164,9 @@ class WatchITDeployment:
                 if session.target_deployment is not None:
                     session.target_deployment.container.terminate(
                         "certificate expired")
+                continue
+            live.append(session)
+        self.sessions = live
 
     def register_admin(self, name: str) -> None:
         self.tickets.register_person(name, Role.IT_ADMIN)

@@ -165,6 +165,23 @@ class ITFS(Filesystem):
         self._decision_cache.pop(("read", bpath), None)
         self._decision_cache.pop(("write", bpath), None)
 
+    def reset_decision_cache(self) -> int:
+        """Drop every cached decision; returns how many were dropped.
+
+        The container pool calls this on scrub-on-release: a cached
+        allow/deny computed for one tenant must never short-circuit policy
+        evaluation for the next.
+        """
+        dropped = len(self._decision_cache)
+        self._decision_cache.clear()
+        self.metrics.gauge("itfs_cache_size", instance=self.instance).set(0)
+        return dropped
+
+    @property
+    def cached_decisions(self) -> int:
+        """Current decision-cache population (scrub verification hook)."""
+        return len(self._decision_cache)
+
     def _invalidate_subtree(self, bpath: str) -> None:
         """Drop cached decisions for ``bpath`` and every descendant.
 

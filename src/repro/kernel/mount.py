@@ -110,6 +110,16 @@ class MountTable:
         """All table rows as ``(source, mountpoint, fstype)`` tuples."""
         return [m.entry() for m in self._mounts]
 
+    def restore(self, mounts: List[Mount]) -> None:
+        """Reset the table to exactly ``mounts``, in place.
+
+        In-place matters: every process sharing this MNT namespace holds a
+        reference to the same table object, so the container pool's
+        scrub-on-release must rewrite the list this object owns rather
+        than swap in a new table.
+        """
+        self._mounts[:] = list(mounts)
+
     def copy(self) -> "MountTable":
         """A shallow copy: new table, same superblocks (CLONE_NEWNS semantics)."""
         return MountTable([Mount(fs=m.fs, mountpoint=m.mountpoint,

@@ -164,7 +164,11 @@ class PIDNamespace(Namespace):
         return pid
 
     def unregister(self, proc: object) -> None:
-        for pid, p in list(self.processes.items()):
+        pid = getattr(proc, "ns_pids", {}).get(self.nsid)
+        if pid is not None and self.processes.get(pid) is proc:
+            del self.processes[pid]
+            return
+        for pid, p in list(self.processes.items()):  # pragma: no cover
             if p is proc:
                 del self.processes[pid]
 

@@ -410,16 +410,15 @@ class SyscallInterface:
         proc.die(code)
 
     def _visible_processes(self, proc: Process) -> Dict[int, Process]:
-        """local-pid -> process for everything the caller's PID ns can see."""
+        """local-pid -> process for everything the caller's PID ns can see.
+
+        The namespace registry *is* the visibility set: every process is
+        registered in its own PID namespace and all ancestors, and
+        ``Process.die`` unregisters it from the whole chain — so this
+        never needs to scan the kernel-wide process table.
+        """
         pid_ns = proc.namespaces.pid
-        visible: Dict[int, Process] = {}
-        for p in self._kernel.processes.values():
-            if not p.alive:
-                continue
-            local = p.pid_in(pid_ns)
-            if local is not None:
-                visible[local] = p
-        return visible
+        return {pid: p for pid, p in pid_ns.processes.items() if p.alive}
 
     def ps(self, proc: Process) -> List[Dict[str, object]]:
         """List visible processes — the paper's ``ps -a`` vs ``PB ps -a``."""

@@ -322,6 +322,17 @@ class MemoryFilesystem(Filesystem):
         self._clock += 1
         return self._clock
 
+    @property
+    def generation(self) -> int:
+        """Monotone mutation counter: advances on every state change.
+
+        Equal generations guarantee the tree is byte-for-byte unchanged —
+        the container pool's scrub verification relies on this to prove a
+        released container's private filesystem was never touched without
+        walking it.
+        """
+        return self._clock
+
     def _resolve(self, path: str) -> Inode:
         node = self.root
         for comp in split_path(path):
@@ -425,6 +436,7 @@ class MemoryFilesystem(Filesystem):
         if node.is_dir:
             raise IsADirectory(path)
         del parent.children[name]
+        self._tick()
 
     def rmdir(self, path: str, ctx: OpContext | None = None) -> None:
         parent, name = self._resolve_parent(path)
@@ -436,6 +448,7 @@ class MemoryFilesystem(Filesystem):
         if node.children:
             raise DirectoryNotEmpty(path)
         del parent.children[name]
+        self._tick()
 
     def rename(self, src: str, dst: str, ctx: OpContext | None = None) -> None:
         sparent, sname = self._resolve_parent(src)

@@ -20,6 +20,7 @@ Design constraints (deliberate):
 from __future__ import annotations
 
 import json
+import threading
 from typing import Dict, Iterator, List, Optional, Tuple
 
 #: Default latency buckets (seconds): micro- to multi-second operations.
@@ -148,6 +149,10 @@ class MetricsRegistry:
 
     def __init__(self):
         self._series: Dict[SeriesKey, object] = {}
+        # the control-plane shard workers report from multiple threads;
+        # series creation must never race (updates to an existing series
+        # are single-field writes and stay lock-free)
+        self._lock = threading.Lock()
 
     # -- factories ---------------------------------------------------------
 
@@ -156,9 +161,12 @@ class MetricsRegistry:
         key = (name, _label_items(labels))
         metric = self._series.get(key)
         if metric is None:
-            metric = cls(name, key[1], **kwargs)
-            self._series[key] = metric
-        elif not isinstance(metric, cls):
+            with self._lock:
+                metric = self._series.get(key)
+                if metric is None:
+                    metric = cls(name, key[1], **kwargs)
+                    self._series[key] = metric
+        if not isinstance(metric, cls):
             raise TypeError(
                 f"metric {name!r} already registered as {metric.kind}")
         return metric

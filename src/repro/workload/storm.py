@@ -1,0 +1,211 @@
+"""Synthetic ticket storms for the control-plane throughput benchmark.
+
+A *storm* models an outage aftermath: within minutes, many users report
+the same few incidents in nearly the same words. ``duplicate_rate``
+controls how duplicate-heavy the storm is — at the default 0.9, a
+200-ticket storm contains only ~20 distinct report texts, which is the
+regime the control plane's memoized classification and pre-warmed pools
+are built for.
+
+Two drivers run the *same* storm through the *same* classifier:
+
+* :func:`run_storm_serial` — the naive baseline: one
+  :class:`~repro.framework.orchestrator.WatchITDeployment`, one ticket at
+  a time, full deploy / classify / login / teardown per ticket.
+* :func:`run_storm_sharded` — the concurrent control plane
+  (:class:`~repro.controlplane.ControlPlane`): hash-routed shards, warm
+  container pools with scrub-on-release, batched + memoized
+  classification.
+
+Both run the identical minimal session body
+(:func:`~repro.controlplane.executor.default_session_ops`), so the
+reported ratio isolates the serving machinery.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.controlplane import ControlPlane
+from repro.controlplane.executor import default_session_ops
+from repro.errors import ReproError
+from repro.framework.classifier import LDAClassifier
+from repro.framework.orchestrator import WatchITDeployment
+from repro.workload.corpus import generate_corpus
+
+__all__ = [
+    "STORM_MACHINES",
+    "STORM_USERS",
+    "StormReport",
+    "StormTicket",
+    "generate_storm",
+    "run_storm_serial",
+    "run_storm_sharded",
+    "train_storm_classifier",
+]
+
+#: An eight-workstation office: enough machines that four shards all
+#: own some, small enough that pools stay warm.
+STORM_MACHINES: Tuple[str, ...] = tuple(f"ws-{i:02d}" for i in range(1, 9))
+STORM_USERS: Tuple[str, ...] = ("alice", "bob", "carol", "dave")
+
+
+@dataclass(frozen=True)
+class StormTicket:
+    """One report in the storm."""
+
+    reporter: str
+    text: str
+    machine: str
+    true_class: str
+
+
+@dataclass
+class StormReport:
+    """What one storm run measured."""
+
+    mode: str                    # "serial" | "sharded"
+    tickets: int
+    unique_texts: int
+    elapsed_s: float
+    tickets_per_s: float
+    errors: int
+    shards: int = 1
+    pool_hit_rate: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def generate_storm(n: int = 200, seed: int = 11,
+                   duplicate_rate: float = 0.9,
+                   machines: Sequence[str] = STORM_MACHINES,
+                   users: Sequence[str] = STORM_USERS) -> List[StormTicket]:
+    """A duplicate-heavy storm of ``n`` reports.
+
+    ``duplicate_rate`` is the fraction of reports that repeat an earlier
+    report verbatim (users pasting the same error); the rest are distinct
+    texts drawn from the corpus generator. Reporters and machines cycle
+    so load spreads across every workstation.
+    """
+    import random
+    if not 0.0 <= duplicate_rate < 1.0:
+        raise ValueError(
+            f"duplicate_rate must be in [0, 1), got {duplicate_rate}")
+    rng = random.Random(seed)
+    n_unique = max(1, round(n * (1.0 - duplicate_rate)))
+    base = generate_corpus(n_tickets=n_unique, seed=seed)
+    storm: List[StormTicket] = []
+    for i in range(n):
+        source = base[i] if i < n_unique else rng.choice(base)
+        storm.append(StormTicket(
+            reporter=users[i % len(users)],
+            text=source.text,
+            machine=machines[i % len(machines)],
+            true_class=source.true_class or "T-11"))
+    rng.shuffle(storm)
+    return storm
+
+
+def train_storm_classifier(seed: int = 7, history: int = 300,
+                           n_topics: int = 10,
+                           n_iter: int = 40) -> LDAClassifier:
+    """The paper's LDA pipeline, trained on a labelled ticket history."""
+    tickets = generate_corpus(n_tickets=history, seed=seed)
+    return LDAClassifier(n_topics=n_topics, n_iter=n_iter,
+                         seed=seed).train(tickets)
+
+
+def _storm_population(storm: Sequence[StormTicket]
+                      ) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    machines = tuple(sorted({t.machine for t in storm}))
+    users = tuple(sorted({t.reporter for t in storm}))
+    return machines, users
+
+
+def run_storm_serial(storm: Sequence[StormTicket], classifier=None,
+                     admin: str = "it-duty",
+                     warmup: int = 0) -> StormReport:
+    """Baseline: one orchestrator, one full Figure-3 workflow per ticket.
+
+    The first ``warmup`` tickets are served but not timed, mirroring the
+    sharded driver's steady-state measurement (the serial path has no
+    caches, so warmup only excludes interpreter/allocator noise).
+    """
+    machines, users = _storm_population(storm)
+    org = WatchITDeployment.bootstrap(machines=machines, users=users,
+                                      classifier=classifier)
+    org.register_admin(admin)
+    errors = 0
+
+    def _serve_one(item: StormTicket) -> int:
+        ticket = org.submit_ticket(item.reporter, item.text,
+                                   machine=item.machine)
+        try:
+            handled = org.handle(ticket, admin)
+            try:
+                default_session_ops(handled.shell, handled.client)
+            finally:
+                org.resolve(handled)
+        except ReproError:
+            return 1
+        return 0
+
+    for item in storm[:warmup]:
+        _serve_one(item)
+    measured = storm[warmup:]
+    started = time.perf_counter()
+    for item in measured:
+        errors += _serve_one(item)
+    elapsed = time.perf_counter() - started
+    return StormReport(
+        mode="serial", tickets=len(measured),
+        unique_texts=len({t.text for t in measured}),
+        elapsed_s=elapsed, tickets_per_s=len(measured) / elapsed,
+        errors=errors)
+
+
+def run_storm_sharded(storm: Sequence[StormTicket], classifier=None,
+                      shards: int = 4, pool_size: int = 2,
+                      queue_depth: int = 64, admin: str = "it-duty",
+                      prewarm: bool = True, warmup: int = 0,
+                      plane: Optional[ControlPlane] = None) -> StormReport:
+    """The concurrent control plane serving the same storm.
+
+    Pool prewarming (by the storm's incident classes) happens *before*
+    the clock starts — that is the "warm pool" configuration the
+    benchmark reports. The first ``warmup`` tickets are served untimed;
+    with ``warmup=0`` the timed region includes every cold
+    classification of the storm's unique texts.
+    """
+    machines, users = _storm_population(storm)
+    own_plane = plane is None
+    if own_plane:
+        plane = ControlPlane(machines=machines, users=users, shards=shards,
+                             pool_size=pool_size, queue_depth=queue_depth,
+                             classifier=classifier)
+    plane.register_admin(admin)
+    plane.start()
+    if prewarm:
+        plane.prewarm(sorted({t.true_class for t in storm}))
+    items = [(t.reporter, t.text, t.machine) for t in storm]
+    if warmup:
+        plane.submit_many(items[:warmup], admin)
+        plane.drain()
+    measured = items[warmup:]
+    started = time.perf_counter()
+    futures = plane.submit_many(measured, admin)
+    plane.drain()
+    elapsed = time.perf_counter() - started
+    errors = sum(1 for f in futures if not f.result().resolved)
+    report = StormReport(
+        mode="sharded", tickets=len(measured),
+        unique_texts=len({text for _, text, _ in measured}),
+        elapsed_s=elapsed, tickets_per_s=len(measured) / elapsed,
+        errors=errors, shards=len(plane.router.shards),
+        pool_hit_rate=plane.pool_hit_rate())
+    if own_plane:
+        plane.close()
+    return report

@@ -1,0 +1,96 @@
+"""Memoized + batched classification: one inference per unique text."""
+
+import pytest
+
+from repro.controlplane.batching import BatchingClassifier
+
+
+class CountingClassifier:
+    """Deterministic inner classifier that records every real inference."""
+
+    def __init__(self):
+        self.calls = []
+
+    def classify(self, text: str) -> str:
+        self.calls.append(text)
+        return "T-1" if "license" in text else "T-11"
+
+
+@pytest.fixture()
+def inner():
+    return CountingClassifier()
+
+
+@pytest.fixture()
+def classifier(inner):
+    return BatchingClassifier(inner)
+
+
+class TestMemoization:
+    def test_repeat_text_runs_one_inference(self, classifier, inner):
+        assert classifier.classify("matlab license expired") == "T-1"
+        assert classifier.classify("matlab license expired") == "T-1"
+        assert classifier.classify("matlab license expired") == "T-1"
+        assert len(inner.calls) == 1
+
+    def test_distinct_texts_each_infer(self, classifier, inner):
+        classifier.classify("matlab license expired")
+        classifier.classify("cannot reach shared storage")
+        assert len(inner.calls) == 2
+        assert classifier.memo_size == 2
+
+    def test_preprocessing_collapses_superficial_variants(self, classifier,
+                                                          inner):
+        # case and stopwords vanish in tokenize(): same memo key
+        assert classifier.classify("the MATLAB license is expired") == \
+            classifier.classify("matlab License expired")
+        assert len(inner.calls) == 1
+
+    def test_clear_forgets_everything(self, classifier, inner):
+        classifier.classify("matlab license expired")
+        classifier.clear()
+        assert classifier.memo_size == 0
+        classifier.classify("matlab license expired")
+        assert len(inner.calls) == 2
+
+
+class TestBatchAPI:
+    def test_batch_runs_one_inference_per_unique(self, classifier, inner):
+        texts = ["matlab license expired"] * 5 + \
+                ["cannot reach shared storage"] * 4
+        predicted = classifier.classify_batch(texts)
+        assert predicted == ["T-1"] * 5 + ["T-11"] * 4
+        assert len(inner.calls) == 2
+
+    def test_batch_seeds_the_single_ticket_memo(self, classifier, inner):
+        classifier.classify_batch(["matlab license expired"])
+        assert classifier.classify("matlab license expired") == "T-1"
+        assert len(inner.calls) == 1
+
+    def test_batch_reuses_prior_memo(self, classifier, inner):
+        classifier.classify("matlab license expired")
+        classifier.classify_batch(["matlab license expired",
+                                   "cannot reach shared storage"])
+        assert len(inner.calls) == 2
+
+    def test_empty_batch(self, classifier, inner):
+        assert classifier.classify_batch([]) == []
+        assert not inner.calls
+
+    def test_batch_preserves_input_order(self, classifier):
+        texts = ["cannot reach shared storage", "matlab license expired",
+                 "cannot reach shared storage"]
+        assert classifier.classify_batch(texts) == ["T-11", "T-1", "T-11"]
+
+
+class TestBoundedMemo:
+    def test_overflow_flushes_whole_table(self, inner):
+        classifier = BatchingClassifier(inner, max_entries=2)
+        classifier.classify("matlab license expired")
+        classifier.classify("cannot reach shared storage")
+        assert classifier.memo_size == 2
+        classifier.classify("vpn connection keeps dropping")
+        # storm memo, not an archive: hitting the cap clears everything
+        assert classifier.memo_size == 1
+        classifier.classify("matlab license expired")
+        assert inner.calls.count("matlab license expired") == 2

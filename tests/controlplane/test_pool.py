@@ -1,0 +1,139 @@
+"""Container-pool mechanics: lease accounting, capacity, user rebinding."""
+
+import pytest
+
+from repro.controlplane.pool import ContainerPool
+from repro.framework.orchestrator import WatchITDeployment
+
+MACHINE = "ws-01"
+TICKET_CLASS = "T-1"
+
+
+@pytest.fixture(scope="module")
+def org():
+    org = WatchITDeployment.bootstrap(machines=("ws-01", "ws-02"),
+                                      users=("alice", "bob", "carol"))
+    org.register_admin("it-duty")
+    return org
+
+
+@pytest.fixture()
+def pool(org):
+    pool = ContainerPool(org.cluster, capacity=2)
+    yield pool
+    pool.close()
+
+
+def _acquire(org, pool, user="alice", machine=MACHINE):
+    spec = org.images.get(TICKET_CLASS)
+    return pool.acquire(spec, machine, user=user, ticket_class=TICKET_CLASS)
+
+
+class TestLeaseCycle:
+    def test_cold_acquire_is_a_miss(self, org, pool):
+        pooled = _acquire(org, pool)
+        assert not pooled.pool_hit
+        assert pooled.leases_served == 1
+        assert pooled.container.active
+
+    def test_release_then_acquire_reuses_the_deployment(self, org, pool):
+        first = _acquire(org, pool)
+        assert pool.release(first)
+        assert pool.idle_count(machine=MACHINE,
+                               ticket_class=TICKET_CLASS) == 1
+        second = _acquire(org, pool)
+        assert second.pool_hit
+        assert second.deployment is first.deployment
+        assert second.leases_served == 2
+        assert pool.idle_count(machine=MACHINE) == 0
+
+    def test_pools_are_keyed_by_machine(self, org, pool):
+        assert pool.release(_acquire(org, pool, machine="ws-01"))
+        other = _acquire(org, pool, machine="ws-02")
+        assert not other.pool_hit  # ws-01's idle container is not eligible
+        assert pool.idle_count(machine="ws-01") == 1
+
+    def test_release_into_full_pool_discards(self, org):
+        pool = ContainerPool(org.cluster, capacity=1)
+        try:
+            first = _acquire(org, pool)
+            second = _acquire(org, pool)
+            assert pool.release(first)
+            assert not pool.release(second)  # over capacity: torn down
+            assert not second.container.active
+            assert pool.idle_count() == 1
+        finally:
+            pool.close()
+
+    def test_zero_capacity_pool_never_reuses(self, org):
+        pool = ContainerPool(org.cluster, capacity=0)
+        try:
+            pooled = _acquire(org, pool)
+            assert not pool.release(pooled)
+            assert not pooled.container.active
+        finally:
+            pool.close()
+
+    def test_negative_capacity_rejected(self, org):
+        with pytest.raises(ValueError):
+            ContainerPool(org.cluster, capacity=-1)
+
+
+class TestPrewarm:
+    def test_prewarm_fills_to_capacity(self, org, pool):
+        spec = org.images.get(TICKET_CLASS)
+        warmed = pool.prewarm(spec, MACHINE, TICKET_CLASS)
+        assert warmed == 2
+        assert pool.idle_count(machine=MACHINE,
+                               ticket_class=TICKET_CLASS) == 2
+        # a second prewarm is a no-op: the pool is already warm
+        assert pool.prewarm(spec, MACHINE, TICKET_CLASS) == 0
+
+    def test_prewarm_count_is_capped_by_capacity(self, org, pool):
+        spec = org.images.get(TICKET_CLASS)
+        assert pool.prewarm(spec, MACHINE, TICKET_CLASS, count=10) == 2
+
+    def test_prewarmed_acquire_is_a_hit(self, org, pool):
+        spec = org.images.get(TICKET_CLASS)
+        pool.prewarm(spec, MACHINE, TICKET_CLASS, count=1)
+        assert _acquire(org, pool).pool_hit
+
+
+class TestUserRebinding:
+    def test_returning_container_rebinds_home_share(self, org, pool):
+        first = _acquire(org, pool, user="alice")
+        table = first.container.init_proc.namespaces.mnt.table
+        assert any(m.mountpoint == "/home/alice" for m in table)
+        assert pool.release(first)
+
+        second = _acquire(org, pool, user="bob")
+        assert second.pool_hit
+        table = second.container.init_proc.namespaces.mnt.table
+        assert any(m.mountpoint == "/home/bob" for m in table)
+        assert not any(m.mountpoint == "/home/alice" for m in table)
+        assert second.container.user == "bob"
+
+    def test_rebound_share_mounts_are_cached_per_user(self, org, pool):
+        pooled = _acquire(org, pool, user="alice")
+        for user in ("bob", "alice", "bob"):
+            assert pool.release(pooled)
+            pooled = _acquire(org, pool, user=user)
+            assert pooled.pool_hit
+        assert set(pooled.share_cache) == {"alice", "bob"}
+
+
+class TestClose:
+    def test_close_terminates_idle_deployments(self, org):
+        pool = ContainerPool(org.cluster, capacity=2)
+        pooled = _acquire(org, pool)
+        assert pool.release(pooled)
+        pool.close()
+        assert not pooled.container.active
+        assert pool.idle_count() == 0
+
+    def test_release_after_close_discards(self, org):
+        pool = ContainerPool(org.cluster, capacity=2)
+        pooled = _acquire(org, pool)
+        pool.close()
+        assert not pool.release(pooled)
+        assert not pooled.container.active

@@ -1,0 +1,70 @@
+"""Shard routing: stable hashing, full coverage, no empty shards."""
+
+import pytest
+
+from repro.controlplane.sharding import ShardRouter, shard_of
+from repro.errors import InvalidArgument
+
+MACHINES = tuple(f"ws-{i:02d}" for i in range(1, 9))
+
+
+class TestShardOf:
+    def test_stable_across_calls(self):
+        for machine in MACHINES:
+            assert shard_of(machine, 4) == shard_of(machine, 4)
+
+    def test_every_index_in_range(self):
+        assert all(0 <= shard_of(m, 4) < 4 for m in MACHINES)
+
+    def test_single_shard_takes_everything(self):
+        assert all(shard_of(m, 1) == 0 for m in MACHINES)
+
+
+class TestShardRouter:
+    @pytest.fixture(scope="class")
+    def router(self):
+        router = ShardRouter(MACHINES, shards=4, users=("alice",),
+                             pool_capacity=0)
+        yield router
+        router.close()
+
+    def test_every_machine_routes(self, router):
+        for machine in MACHINES:
+            shard = router.route(machine)
+            assert machine in shard.machines
+
+    def test_routing_is_stable(self, router):
+        assert all(router.route(m) is router.route(m) for m in MACHINES)
+
+    def test_shards_partition_the_machines(self, router):
+        owned = [m for shard in router.shards for m in shard.machines]
+        assert sorted(owned) == sorted(MACHINES)
+        assert router.machines == tuple(sorted(MACHINES))
+
+    def test_unknown_machine_rejected(self, router):
+        with pytest.raises(InvalidArgument):
+            router.route("ws-99")
+
+    def test_shards_are_independent_organizations(self, router):
+        orgs = {id(shard.org) for shard in router.shards}
+        assert len(orgs) == len(router.shards)
+        # each org only knows its own machines
+        for shard in router.shards:
+            assert set(shard.org.machines) == set(shard.machines)
+
+    def test_empty_shards_are_never_built(self):
+        # more shards than machines: only the populated ones exist
+        router = ShardRouter(("ws-01", "ws-02"), shards=8, users=("alice",),
+                             pool_capacity=0)
+        try:
+            assert 1 <= len(router.shards) <= 2
+            assert sorted(m for s in router.shards for m in s.machines) == \
+                ["ws-01", "ws-02"]
+        finally:
+            router.close()
+
+    def test_argument_validation(self):
+        with pytest.raises(InvalidArgument):
+            ShardRouter(MACHINES, shards=0)
+        with pytest.raises(InvalidArgument):
+            ShardRouter((), shards=2)

@@ -1,0 +1,64 @@
+"""The unified watchit-experiment-report/v1 schema."""
+
+import json
+
+import pytest
+
+from repro.experiments import SCHEMA, ExperimentReport
+
+
+class TestShape:
+    def test_to_dict_carries_the_schema_tag(self):
+        report = ExperimentReport(name="demo", metrics={"speedup": 4.2})
+        raw = report.to_dict()
+        assert raw["schema"] == SCHEMA == "watchit-experiment-report/v1"
+        assert raw["name"] == "demo"
+        assert raw["metrics"] == {"speedup": 4.2}
+
+    def test_metrics_must_be_flat_scalars(self):
+        with pytest.raises(TypeError, match="flat scalar"):
+            ExperimentReport(name="demo",
+                             metrics={"rows": [1, 2, 3]})
+        with pytest.raises(TypeError, match="artifacts"):
+            ExperimentReport(name="demo", metrics={"nested": {"a": 1}})
+
+    def test_none_metric_is_allowed(self):
+        report = ExperimentReport(name="demo", metrics={"absent": None})
+        assert report.metrics["absent"] is None
+
+    def test_artifacts_take_structured_payloads(self):
+        report = ExperimentReport(
+            name="demo", artifacts={"rows": [{"a": 1}, {"a": 2}]})
+        assert json.loads(report.to_json())["artifacts"]["rows"][1] == {"a": 2}
+
+
+class TestSerialization:
+    def test_write_read_roundtrip(self, tmp_path):
+        report = ExperimentReport(
+            name="roundtrip", params={"seed": 11, "full": False},
+            metrics={"tickets_per_s": 123.4, "ok": True},
+            artifacts={"notes": ["a", "b"]})
+        path = report.write(tmp_path / "report.json")
+        loaded = ExperimentReport.read(path)
+        assert loaded == report
+
+    def test_json_is_strict(self, tmp_path):
+        # histogram snapshots carry a +inf bucket bound; strict JSON has
+        # no Infinity literal, so the writer must rewrite it
+        report = ExperimentReport(
+            name="hist",
+            artifacts={"buckets": [{"le": 0.1}, {"le": float("inf")}]})
+        text = report.to_json()
+        assert "Infinity" not in text
+        raw = json.loads(text)  # parses under the strict default
+        assert raw["artifacts"]["buckets"][1]["le"] == "+Inf"
+
+    def test_foreign_document_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"schema": "something-else/v9"}))
+        with pytest.raises(ValueError, match="watchit-experiment-report"):
+            ExperimentReport.read(path)
+
+    def test_schemaless_document_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentReport.from_dict({"name": "legacy"})

@@ -191,11 +191,64 @@ class TestObservabilityCommands:
         names = {json.loads(line)["name"] for line in lines}
         assert "itfs:check" in names
 
-    def test_experiment_metrics_out_writes_snapshot(self, tmp_path, capsys):
+    def test_experiment_metrics_out_writes_report(self, tmp_path, capsys):
         import json
         out_path = tmp_path / "metrics.json"
         assert main(["experiment", "figure9",
                      "--metrics-out", str(out_path)]) == 0
-        snapshot = json.loads(out_path.read_text())
+        report = json.loads(out_path.read_text())
+        assert report["schema"] == "watchit-experiment-report/v1"
+        assert report["name"] == "experiment-figure9"
+        snapshot = report["artifacts"]["metrics"]
         assert any(m["name"] == "itfs_ops_total" for m in snapshot)
         assert "metrics written to" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_serve_smoke(self, capsys):
+        import json
+        assert main(["serve", "--shards", "2", "--tickets", "8",
+                     "--duplicates", "0.5", "--pool-size", "1",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tickets"] == 8
+        assert payload["errors"] == 0
+        assert payload["sharded_tickets_per_s"] > 0
+
+    def test_serve_bench_out_uses_the_report_schema(self, tmp_path, capsys):
+        import json
+        out_path = tmp_path / "bench.json"
+        assert main(["serve", "--shards", "1", "--tickets", "6",
+                     "--duplicates", "0.5", "--pool-size", "1",
+                     "--serial-baseline", "--bench-out", str(out_path)]) == 0
+        report = json.loads(out_path.read_text())
+        assert report["schema"] == "watchit-experiment-report/v1"
+        assert report["name"] == "controlplane-throughput"
+        assert "speedup" in report["metrics"]
+        assert report["artifacts"]["sharded"]["mode"] == "sharded"
+        capsys.readouterr()
+
+
+class TestExitCodeConvention:
+    """Usage errors exit 2 with a diagnostic on stderr — every command."""
+
+    @pytest.mark.parametrize("argv", [
+        ["chaos", "--iterations", "0"],
+        ["chaos", "--intensity", "0"],
+        ["chaos", "--intensity", "1.5"],
+        ["metrics", "--cache-capacity", "0"],
+        ["trace", "--cache-capacity", "0"],
+        ["trace", "--limit", "0"],
+        ["serve", "--shards", "0"],
+        ["serve", "--pool-size", "-1"],
+        ["serve", "--tickets", "0"],
+        ["serve", "--duplicates", "1.0"],
+        ["serve", "--queue-depth", "0"],
+        ["lint", "--fail-on", "bogus"],
+        ["verify-model", "--class", "T-99"],
+    ], ids=lambda argv: " ".join(argv))
+    def test_usage_errors_exit_2(self, argv, capsys):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert captured.err.strip(), "usage diagnostics belong on stderr"
+        assert "Traceback" not in captured.err

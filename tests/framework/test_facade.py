@@ -1,0 +1,112 @@
+"""The stable public facade: Deployment / Session / TicketResult."""
+
+import pytest
+
+from repro import Deployment, Session, TicketResult
+from repro.errors import TicketError
+
+ADMIN = "it-bob"
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    dep = Deployment.create(machines=("ws-01", "ws-02"),
+                            users=("alice", "bob"))
+    dep.register_admin(ADMIN)
+    return dep
+
+
+class TestSessionLifecycle:
+    def test_clean_session_resolves(self, deployment):
+        ticket = deployment.submit("alice", "my matlab license expired",
+                                   machine="ws-01")
+        with deployment.session(ticket, admin=ADMIN) as session:
+            assert session.shell.hostname()
+            assert session.client.pb("ps -a").ok
+            container = session.container
+            assert container.active
+        assert not container.active          # torn down on exit
+        result = session.result
+        assert isinstance(result, TicketResult)
+        assert result.resolved and result.error is None
+        assert result.ticket_id == ticket.ticket_id
+        assert result.ticket_class == ticket.predicted_class
+        assert result.audit_records > 0
+        assert result.duration_s > 0
+
+    def test_raising_body_still_tears_down(self, deployment):
+        ticket = deployment.submit("alice", "my matlab license expired",
+                                   machine="ws-01")
+        with pytest.raises(RuntimeError, match="mid-session"):
+            with deployment.session(ticket, admin=ADMIN) as session:
+                container = session.container
+                raise RuntimeError("mid-session failure")
+        # the exception propagated AND the teardown ran
+        assert not container.active
+        assert not session.result.resolved
+        assert "RuntimeError: mid-session failure" in session.result.error
+
+    def test_session_surface_closed_outside_the_block(self, deployment):
+        ticket = deployment.submit("alice", "my matlab license expired",
+                                   machine="ws-01")
+        session = deployment.session(ticket, admin=ADMIN)
+        with pytest.raises(RuntimeError, match="context manager"):
+            session.shell
+        with session:
+            pass  # open and resolve it so the ticket does not dangle
+
+    def test_handle_convenience_runs_the_body(self, deployment):
+        ticket = deployment.submit("bob", "cannot reach shared storage",
+                                   machine="ws-02")
+        seen = {}
+
+        def body(session: Session):
+            seen["hostname"] = session.shell.hostname()
+
+        result = deployment.handle(ticket, admin=ADMIN, run=body)
+        assert result.resolved
+        assert seen["hostname"]
+
+
+class TestDeploymentSurface:
+    def test_machines_listing(self, deployment):
+        assert deployment.machines == ("ws-01", "ws-02")
+
+    def test_register_user_can_then_report(self, deployment):
+        deployment.register_user("carol")
+        ticket = deployment.submit("carol", "my password expired",
+                                   machine="ws-02")
+        assert deployment.handle(ticket, admin=ADMIN).resolved
+
+    def test_it_personnel_cannot_file_tickets(self, deployment):
+        with pytest.raises(TicketError):
+            deployment.submit(ADMIN, "help", machine="ws-01")
+
+    def test_audit_summary_verifies_after_sessions(self, deployment):
+        summary = deployment.audit_summary()
+        assert summary["verified"]
+        assert summary["records"] > 0
+
+    def test_orchestrator_stays_reachable(self, deployment):
+        assert deployment.orchestrator.machines["ws-01"].hostname == "ws-01"
+
+
+class TestTicketResult:
+    def test_to_dict_roundtrips_every_field(self):
+        result = TicketResult(ticket_id=7, ticket_class="T-1",
+                              machine="ws-01", admin=ADMIN, resolved=True,
+                              audit_records=3, duration_s=0.5,
+                              shard=2, pool_hit=True)
+        row = result.to_dict()
+        assert row["ticket_id"] == 7
+        assert row["ticket_class"] == "T-1"
+        assert row["shard"] == 2 and row["pool_hit"] is True
+        assert set(row) == {
+            "ticket_id", "ticket_class", "machine", "admin", "resolved",
+            "error", "audit_records", "duration_s", "shard", "pool_hit"}
+
+    def test_frozen(self):
+        result = TicketResult(ticket_id=1, ticket_class="T-1",
+                              machine="ws-01", admin=ADMIN, resolved=True)
+        with pytest.raises(AttributeError):
+            result.resolved = False

@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.kernel", "repro.itfs", "repro.netmon", "repro.containit",
     "repro.broker", "repro.framework", "repro.tcb", "repro.threats",
     "repro.workload", "repro.experiments", "repro.anomaly",
+    "repro.api", "repro.controlplane",
 ]
 
 
@@ -26,6 +27,10 @@ class TestExports:
         assert repro.WatchITDeployment is not None
         with pytest.raises(AttributeError):
             repro.nonexistent_attribute
+
+    def test_facade_exported_at_top_level(self):
+        for name in ("Deployment", "Session", "TicketResult"):
+            assert getattr(repro, name) is not None
 
     def test_version_string(self):
         assert repro.__version__.count(".") == 2

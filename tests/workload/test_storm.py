@@ -1,0 +1,72 @@
+"""Ticket-storm generation and the serial/sharded storm drivers."""
+
+import pytest
+
+from repro.workload.storm import (
+    STORM_MACHINES,
+    STORM_USERS,
+    generate_storm,
+    run_storm_serial,
+    run_storm_sharded,
+)
+
+
+class TestGenerateStorm:
+    def test_deterministic_for_a_seed(self):
+        assert generate_storm(n=40, seed=3) == generate_storm(n=40, seed=3)
+        assert generate_storm(n=40, seed=3) != generate_storm(n=40, seed=4)
+
+    def test_duplicate_rate_bounds_unique_texts(self):
+        storm = generate_storm(n=100, seed=11, duplicate_rate=0.9)
+        assert len(storm) == 100
+        assert len({t.text for t in storm}) <= 10
+
+    def test_zero_duplicate_rate_is_all_unique(self):
+        storm = generate_storm(n=30, seed=11, duplicate_rate=0.0)
+        assert len({t.text for t in storm}) == 30
+
+    def test_duplicate_rate_validated(self):
+        with pytest.raises(ValueError):
+            generate_storm(n=10, duplicate_rate=1.0)
+        with pytest.raises(ValueError):
+            generate_storm(n=10, duplicate_rate=-0.1)
+
+    def test_load_spreads_over_machines_and_users(self):
+        storm = generate_storm(n=64, seed=5)
+        assert {t.machine for t in storm} == set(STORM_MACHINES)
+        assert {t.reporter for t in storm} == set(STORM_USERS)
+
+    def test_every_ticket_carries_a_class_label(self):
+        assert all(t.true_class for t in generate_storm(n=20, seed=5))
+
+
+class TestStormDrivers:
+    """End-to-end smoke: both drivers serve a small storm error-free."""
+
+    @pytest.fixture(scope="class")
+    def storm(self):
+        return generate_storm(n=12, seed=11, duplicate_rate=0.5,
+                              machines=("ws-01", "ws-02"),
+                              users=("alice", "bob"))
+
+    def test_serial_driver(self, storm):
+        report = run_storm_serial(storm, warmup=2)
+        assert report.mode == "serial"
+        assert report.tickets == 10  # warmup excluded from the count
+        assert report.errors == 0
+        assert report.tickets_per_s > 0
+
+    def test_sharded_driver(self, storm):
+        report = run_storm_sharded(storm, shards=2, pool_size=1, warmup=2)
+        assert report.mode == "sharded"
+        assert report.tickets == 10
+        assert report.errors == 0
+        assert report.shards >= 1
+        assert report.pool_hit_rate > 0  # prewarmed: leases hit the pool
+
+    def test_report_to_dict_is_flat(self, storm):
+        row = run_storm_serial(storm).to_dict()
+        assert row["mode"] == "serial"
+        assert set(row) == {"mode", "tickets", "unique_texts", "elapsed_s",
+                            "tickets_per_s", "errors", "shards",
+                            "pool_hit_rate"}
