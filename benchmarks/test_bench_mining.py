@@ -1,0 +1,34 @@
+"""Benchmark: policy mining over the full catalog + fixture differential.
+
+Writes ``BENCH_mining.json`` at the repo root: sessions traced, specs
+mined and proven, per-class privilege deltas, checker verdicts, and the
+deterministic report digest — the artifact CI uploads next to the
+combined SARIF report.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.experiments import run_policy_mining
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_mining.json"
+
+
+def test_bench_policy_mining(once):
+    start = time.perf_counter()
+    result = once(run_policy_mining)
+    seconds = time.perf_counter() - start
+
+    experiment = result.report()
+    experiment.metrics["wall_seconds"] = round(seconds, 3)
+    experiment.write(OUT_PATH)
+    print()
+    print(json.dumps(experiment.metrics, indent=2, sort_keys=True))
+
+    assert result.mining.ok, "catalog mining failed under benchmark"
+    assert len(result.mining.mined_specs()) == 17
+    assert not result.mining.report.errors
+    assert result.fixture_flagged, \
+        "X-DEV fixture over-privilege not flagged"
+    assert result.clean

@@ -72,14 +72,19 @@ __all__ = [
     "EscapePath",
     "Finding",
     "Gate",
+    "GeneralizationPolicy",
     "LintReport",
     "LintTarget",
+    "MiningReport",
     "ModelCheckResult",
+    "ObservedUsage",
     "PerforationLinter",
     "PrivilegeModel",
     "Reachability",
     "RuleInfo",
     "Severity",
+    "SessionTrace",
+    "TraceRecorder",
     "VerifyModelReport",
     "builtin_catalog",
     "check_target",
@@ -87,11 +92,31 @@ __all__ = [
     "default_checkers",
     "lint_catalog",
     "merge_reports",
+    "mining_rule_catalog",
     "overprivileged_fixture_target",
     "report_to_sarif",
     "rule_catalog",
     "run_crosscheck",
+    "run_mining",
     "run_verify_model",
+    "synthesize_spec",
     "template_covers",
     "templates_overlap",
 ]
+
+#: policy-miner names resolved lazily: the mining runner pulls in the
+#: experiment rig (and through it most of the framework), which must not
+#: ride along on every ``import repro.analysis``.
+_MINING_EXPORTS = frozenset({
+    "GeneralizationPolicy", "MiningReport", "ObservedUsage",
+    "SessionTrace", "TraceRecorder", "mining_rule_catalog", "run_mining",
+    "synthesize_spec",
+})
+
+
+def __getattr__(name):
+    if name in _MINING_EXPORTS:
+        from repro.analysis import mining
+        return getattr(mining, name)
+    raise AttributeError(
+        f"module 'repro.analysis' has no attribute {name!r}")

@@ -14,6 +14,11 @@ spec, and compares layer by layer:
 Any disagreement means either the linter's model or the runtime's
 enforcement drifted — both are regressions this harness turns into a
 failing tier-1 test.
+
+The harness is spec-agnostic: :func:`run_crosscheck` takes any
+``{class: spec}`` dict, so the policy miner reuses it over *mined*
+specs (``repro mine --crosscheck``) — a mined spec must keep the same
+static/dynamic agreement the hand-written catalog has.
 """
 
 from __future__ import annotations

@@ -1,0 +1,63 @@
+"""Policy mining: least-privilege perforation specs from observed traces.
+
+The third pillar of the static-analysis subsystem (after the linter and
+the escape-chain model checker): record what benign sessions of each
+ticket class actually touch at the boundary hook sites, generalize the
+traces into a minimal :class:`~repro.containit.spec.PerforatedContainerSpec`,
+*prove* the result (model checker + replay), and diff it against the
+hand-written catalog as WIT05x findings.
+"""
+
+from repro.analysis.mining.recorder import (
+    ADMIN_COMM,
+    CONFS_LABEL,
+    HOST_NETWORK_OPS,
+    PROCESS_OPS,
+    SessionTrace,
+    TraceRecorder,
+)
+from repro.analysis.mining.rules import (
+    MINING_RULES,
+    diff_class,
+    mining_rule_catalog,
+)
+from repro.analysis.mining.runner import (
+    ClassMiningOutcome,
+    MiningReport,
+    PlannedSession,
+    mining_targets,
+    plan_sessions,
+    run_mining,
+)
+from repro.analysis.mining.synthesize import (
+    GeneralizationPolicy,
+    ObservedUsage,
+    covering_shares,
+    observe,
+    resolve_flow,
+    synthesize_spec,
+)
+
+__all__ = [
+    "ADMIN_COMM",
+    "CONFS_LABEL",
+    "ClassMiningOutcome",
+    "GeneralizationPolicy",
+    "HOST_NETWORK_OPS",
+    "MINING_RULES",
+    "MiningReport",
+    "ObservedUsage",
+    "PROCESS_OPS",
+    "PlannedSession",
+    "SessionTrace",
+    "TraceRecorder",
+    "covering_shares",
+    "diff_class",
+    "mining_rule_catalog",
+    "mining_targets",
+    "observe",
+    "plan_sessions",
+    "resolve_flow",
+    "run_mining",
+    "synthesize_spec",
+]

@@ -1,0 +1,150 @@
+"""Per-session access-trace recording over the boundary tap sites.
+
+The recorder is the observation stage of the policy miner: it attaches a
+read-only tap (:func:`repro.faults.plane.tap_scope`) around one admin
+session and collects every :class:`~repro.faults.plane.TapEvent` the
+boundary hooks deliver — syscall ops and paths, ITFS allow/deny decisions
+with their host backing paths, network flows, capability uses, and broker
+grants. Traces are keyed by ticket class and normalized against the
+``{user}`` share template so sessions by different reporters generalize to
+the same mined spec.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro import obs
+from repro.containit.spec import templatize_user_path
+from repro.faults import plane as _faults
+from repro.faults.plane import TapEvent
+from repro.faults.sites import SITE_BROKER, SITE_ITFS, SITE_SYSCALL
+
+#: ITFS label of the container-local scratch filesystem. Accesses there
+#: never touch host state, so they must not widen a mined share set
+#: (T-11's whole point is that ``/tmp`` work needs *no* share).
+CONFS_LABEL = "itfs:conFS"
+
+#: Syscall ops that evidence the process-management permission set.
+PROCESS_OPS: FrozenSet[str] = frozenset(
+    {"ps", "kill", "restart_service", "reboot"})
+
+#: Syscall ops that only make sense against the *host's* network stack —
+#: evidence that a class genuinely needs its NET namespace hole (S-4's
+#: firewall scripts). A class whose sessions never issue one of these can
+#: have its shared NET namespace replaced by a destination allowlist.
+HOST_NETWORK_OPS: FrozenSet[str] = frozenset(
+    {"add_firewall_rule", "add_route", "net_view"})
+
+#: comm of the contained admin shell. Syscall events from other comms
+#: (broker dispatch helpers, host services) are not admin behaviour and
+#: must not enter the mined privilege union.
+ADMIN_COMM = "bash"
+
+
+@dataclass
+class SessionTrace:
+    """Everything one admin session was observed doing at the boundaries."""
+
+    ticket_class: str
+    user: str
+    session_id: str
+    events: List[TapEvent] = field(default_factory=list)
+
+    # -- derived views (all {user}-templatized against ``self.user``) ------
+
+    def fs_paths(self) -> Set[str]:
+        """Host backing paths the session accessed through ITFS (allowed).
+
+        conFS accesses are container-local and excluded; denied accesses
+        are excluded too — a mined spec must generalize what the session
+        *legitimately did*, not what it bounced off.
+        """
+        return {
+            templatize_user_path(e.path, self.user)
+            for e in self.events
+            if e.site == SITE_ITFS and e.decision == "allow"
+            and e.detail != CONFS_LABEL
+        }
+
+    def flows(self) -> Set[Tuple[str, int]]:
+        """(dst_ip, port) connections initiated by the admin shell."""
+        flows: Set[Tuple[str, int]] = set()
+        for e in self.events:
+            if (e.site == SITE_SYSCALL and e.op == "connect"
+                    and e.comm == ADMIN_COMM and e.detail.isdigit()):
+                flows.add((e.path, int(e.detail)))
+        return flows
+
+    def capabilities(self) -> Set[str]:
+        """Capability names the admin shell exercised successfully."""
+        return {e.path for e in self.events
+                if e.site == SITE_SYSCALL and e.op == "capability"
+                and e.comm == ADMIN_COMM}
+
+    def process_ops(self) -> Set[str]:
+        return {e.op for e in self.events
+                if e.site == SITE_SYSCALL and e.op in PROCESS_OPS
+                and e.comm == ADMIN_COMM}
+
+    def host_network_ops(self) -> Set[str]:
+        return {e.op for e in self.events
+                if e.site == SITE_SYSCALL and e.op in HOST_NETWORK_OPS
+                and e.comm == ADMIN_COMM}
+
+    def broker_uses(self) -> Set[Tuple[str, str]]:
+        """(kind, argument) pairs the broker granted this session."""
+        return {(e.op, e.path) for e in self.events
+                if e.site == SITE_BROKER and e.decision == "allow"}
+
+    def granted_destinations(self) -> Set[str]:
+        """Symbolic destinations reached via broker ``grant_network``."""
+        return {arg for kind, arg in self.broker_uses()
+                if kind == "grant_network"}
+
+
+class TraceRecorder:
+    """Collects one :class:`SessionTrace` per recorded admin session."""
+
+    def __init__(self) -> None:
+        self.traces: List[SessionTrace] = []
+        self._active: Optional[SessionTrace] = None
+
+    @contextmanager
+    def session(self, ticket_class: str, user: str,
+                session_id: str = "") -> Iterator[SessionTrace]:
+        """Record every boundary event inside the with-block as one trace."""
+        if self._active is not None:
+            raise RuntimeError("a recording session is already active")
+        trace = SessionTrace(ticket_class=ticket_class, user=user,
+                             session_id=session_id)
+        self._active = trace
+        try:
+            with _faults.tap_scope(self._tap):
+                yield trace
+        finally:
+            self._active = None
+            self.traces.append(trace)
+            obs.registry().counter("mining_sessions_traced_total",
+                                   ticket_class=ticket_class).inc()
+
+    def _tap(self, event: TapEvent) -> None:
+        trace = self._active
+        if trace is None:
+            return
+        trace.events.append(event)
+        obs.registry().counter("mining_trace_events_total",
+                               site=event.site).inc()
+
+    # -- queries -----------------------------------------------------------
+
+    def by_class(self) -> Dict[str, List[SessionTrace]]:
+        grouped: Dict[str, List[SessionTrace]] = {}
+        for trace in self.traces:
+            grouped.setdefault(trace.ticket_class, []).append(trace)
+        return grouped
+
+    def traces_for(self, ticket_class: str) -> List[SessionTrace]:
+        return [t for t in self.traces if t.ticket_class == ticket_class]

@@ -1,0 +1,268 @@
+"""WIT05x: mined-vs-catalog privilege diff rules.
+
+The differ compares each hand-written catalog spec against what benign
+sessions of its class were actually observed to need. Over-privilege in
+merely *reducible* dimensions (an unused share, an uncontacted
+destination, an unexercised process-management grant) is a WARNING — the
+catalog author may be keeping headroom deliberately. Over-privilege that
+the escape-chain model checker can weaponize (a retained dropped-set
+capability, a broker surface covering ``/dev/mem``) is an ERROR, as is any
+under-privilege: a mined or catalog spec that would deny observed benign
+work is simply wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding, RuleInfo, Severity
+from repro.analysis.mining.synthesize import ObservedUsage
+from repro.analysis.model import DEV_MEM_PATH, LintTarget, template_covers
+from repro.broker.protocol import RequestKind
+from repro.containit.spec import PerforatedContainerSpec
+from repro.kernel.capabilities import CONTAINER_DROPPED_CAPABILITIES
+
+MINING_RULES: Tuple[RuleInfo, ...] = (
+    RuleInfo(
+        rule_id="WIT050",
+        title="Filesystem share unused or wider than observed need",
+        severity=Severity.WARNING,
+        description=(
+            "A catalog fs share was never accessed in any benign session "
+            "of its class, or is strictly wider than the mined covering "
+            "prefix. Narrowing it reduces the monitored host surface "
+            "without breaking observed work."),
+    ),
+    RuleInfo(
+        rule_id="WIT051",
+        title="Network privilege beyond observed need",
+        severity=Severity.WARNING,
+        description=(
+            "A catalog network destination was never contacted, or the "
+            "shared NET namespace was never exercised with a host-level "
+            "network operation — the observed flows are expressible as a "
+            "destination allowlist over a fresh namespace."),
+    ),
+    RuleInfo(
+        rule_id="WIT052",
+        title="Process-management grant never exercised",
+        severity=Severity.WARNING,
+        description=(
+            "The class grants the process-management permission set (host "
+            "PID namespace, kill/restart/reboot) but no benign session "
+            "used any process operation."),
+    ),
+    RuleInfo(
+        rule_id="WIT053",
+        title="Escape-relevant capability retained but never used",
+        severity=Severity.ERROR,
+        description=(
+            "The class retains a capability from the container dropped "
+            "set (CAP_SYS_CHROOT/CAP_SYS_PTRACE/CAP_MKNOD/CAP_DEV_MEM/"
+            "CAP_SYS_MODULE) that no benign session exercised. These are "
+            "exactly the capability gates of the escape-chain model; an "
+            "unused one is pure attack surface."),
+    ),
+    RuleInfo(
+        rule_id="WIT054",
+        title="Broker share surface covers /dev/mem unused",
+        severity=Severity.ERROR,
+        description=(
+            "The class's broker policy can share a path prefix covering "
+            "/dev/mem, and no benign session requested a share under that "
+            "prefix. Combined with a retained CAP_DEV_MEM this is the "
+            "X-DEV escape chain; even alone it is an unused door to "
+            "physical memory."),
+    ),
+    RuleInfo(
+        rule_id="WIT055",
+        title="Under-privilege: observed benign work not covered",
+        severity=Severity.ERROR,
+        description=(
+            "An access observed in a benign session is not covered by the "
+            "spec (catalog diff), or the mined spec denied an operation "
+            "during proof replay. A spec that blocks the class's own "
+            "workload is wrong regardless of how little it grants."),
+    ),
+    RuleInfo(
+        rule_id="WIT056",
+        title="Mined spec rejected by the escape-chain model checker",
+        severity=Severity.ERROR,
+        description=(
+            "The model checker found a reachable-unaudited escape chain "
+            "in the mined spec. The miner must never trade an audited "
+            "catalog for an unaudited minimal spec."),
+    ),
+)
+
+_RULES_BY_ID: Dict[str, RuleInfo] = {r.rule_id: r for r in MINING_RULES}
+
+
+def mining_rule_catalog() -> Tuple[RuleInfo, ...]:
+    """The WIT05x rule catalog (for SARIF/docs rendering)."""
+    return MINING_RULES
+
+
+def _finding(rule_id: str, subject: str, location: str, message: str,
+             **evidence: object) -> Finding:
+    return Finding(rule_id=rule_id, severity=_RULES_BY_ID[rule_id].severity,
+                   subject=subject, location=location, message=message,
+                   evidence=evidence)
+
+
+def diff_class(catalog_target: LintTarget,
+               mined_spec: Optional[PerforatedContainerSpec],
+               usage: ObservedUsage,
+               checker_unaudited: Sequence[str] = (),
+               replay_denials: Sequence[str] = ()) -> List[Finding]:
+    """All WIT05x findings for one ticket class."""
+    findings: List[Finding] = []
+    spec = catalog_target.spec
+    name = catalog_target.name
+    findings.extend(_fs_over_privilege(name, spec, mined_spec, usage))
+    findings.extend(_network_over_privilege(name, spec, mined_spec, usage))
+    findings.extend(_process_over_privilege(name, spec, usage))
+    findings.extend(_capability_over_privilege(name, catalog_target, usage))
+    findings.extend(_broker_over_privilege(name, catalog_target, usage))
+    findings.extend(_under_privilege(name, catalog_target, usage,
+                                     replay_denials))
+    for predicate in checker_unaudited:
+        findings.append(_finding(
+            "WIT056", name, "mined.modelcheck",
+            f"mined spec has a reachable-unaudited escape chain: "
+            f"{predicate}", predicate=predicate))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# over-privilege (catalog grants more than sessions used)
+# ----------------------------------------------------------------------
+
+def _fs_over_privilege(name: str, spec: PerforatedContainerSpec,
+                       mined: Optional[PerforatedContainerSpec],
+                       usage: ObservedUsage) -> Iterable[Finding]:
+    for index, share in enumerate(spec.fs_shares):
+        location = f"spec.fs_shares[{index}]"
+        used = [p for p in usage.fs_paths if template_covers(share, p)]
+        if not used:
+            yield _finding(
+                "WIT050", name, location,
+                f"share {share!r} never accessed in {usage.sessions} "
+                f"benign session(s)", share=share,
+                sessions=usage.sessions)
+        elif mined is not None and mined.fs_shares and not any(
+                template_covers(m, share) for m in mined.fs_shares):
+            yield _finding(
+                "WIT050", name, location,
+                f"share {share!r} is wider than the mined cover "
+                f"{list(mined.fs_shares)}", share=share,
+                mined_shares=list(mined.fs_shares),
+                observed_paths=used[:8])
+
+
+def _network_over_privilege(name: str, spec: PerforatedContainerSpec,
+                            mined: Optional[PerforatedContainerSpec],
+                            usage: ObservedUsage) -> Iterable[Finding]:
+    for index, destination in enumerate(sorted(spec.network_allowed)):
+        if destination not in usage.destinations:
+            via = (" (reached only via broker grants)"
+                   if destination in usage.granted_destinations else "")
+            yield _finding(
+                "WIT051", name, f"spec.network_allowed[{index}]",
+                f"destination {destination!r} never contacted directly in "
+                f"{usage.sessions} benign session(s){via}",
+                destination=destination,
+                granted=destination in usage.granted_destinations)
+    if spec.share_network_ns and \
+            (mined is None or not mined.share_network_ns):
+        yield _finding(
+            "WIT051", name, "spec.share_network_ns",
+            f"shared NET namespace never exercised with a host-level "
+            f"network op; observed flows {list(usage.destinations)} are "
+            f"expressible as an allowlist",
+            observed_destinations=list(usage.destinations))
+
+
+def _process_over_privilege(name: str, spec: PerforatedContainerSpec,
+                            usage: ObservedUsage) -> Iterable[Finding]:
+    if spec.process_management and not usage.process_ops:
+        yield _finding(
+            "WIT052", name, "spec.process_management",
+            f"process-management granted but no process op observed in "
+            f"{usage.sessions} benign session(s)",
+            sessions=usage.sessions)
+
+
+def _capability_over_privilege(name: str, target: LintTarget,
+                               usage: ObservedUsage) -> Iterable[Finding]:
+    retained = target.capabilities
+    if retained is None:
+        return
+    dangerous = {cap for cap in retained
+                 if cap in CONTAINER_DROPPED_CAPABILITIES}
+    observed = set(usage.capabilities)
+    for cap in sorted(dangerous, key=lambda c: c.value):
+        if cap.value not in observed:
+            yield _finding(
+                "WIT053", name, "capabilities",
+                f"{cap.value} is in the container dropped set, retained "
+                f"by this class, and never exercised in "
+                f"{usage.sessions} benign session(s)",
+                capability=cap.value, sessions=usage.sessions)
+
+
+def _broker_over_privilege(name: str, target: LintTarget,
+                           usage: ObservedUsage) -> Iterable[Finding]:
+    policy = target.broker_policy
+    if policy is None or RequestKind.SHARE_PATH not in policy.allowed_kinds:
+        return
+    shared = {arg for kind, arg in usage.broker_uses
+              if kind == RequestKind.SHARE_PATH.value}
+    for index, prefix in enumerate(policy.share_path_prefixes):
+        if not template_covers(prefix, DEV_MEM_PATH):
+            continue
+        if not any(template_covers(prefix, path) for path in shared):
+            yield _finding(
+                "WIT054", name,
+                f"broker_policy.share_path_prefixes[{index}]",
+                f"broker may share {prefix!r}, which covers "
+                f"{DEV_MEM_PATH}, and no benign session requested a "
+                f"share under it", prefix=prefix)
+
+
+# ----------------------------------------------------------------------
+# under-privilege (a spec denies observed benign work)
+# ----------------------------------------------------------------------
+
+def _under_privilege(name: str, target: LintTarget, usage: ObservedUsage,
+                     replay_denials: Sequence[str]) -> Iterable[Finding]:
+    spec = target.spec
+    for path in usage.fs_paths:
+        if not any(template_covers(share, path)
+                   for share in spec.fs_shares):
+            yield _finding(
+                "WIT055", name, "spec.fs_shares",
+                f"observed access {path!r} is not covered by any catalog "
+                f"share", path=path)
+    if not spec.share_network_ns:
+        for destination in usage.destinations:
+            if destination in usage.granted_destinations:
+                # reached through a broker grant_network escalation —
+                # covered at runtime, so not a spec hole
+                continue
+            if destination not in spec.network_allowed:
+                yield _finding(
+                    "WIT055", name, "spec.network_allowed",
+                    f"observed destination {destination!r} is not allowed "
+                    f"by the catalog spec", destination=destination)
+    if usage.process_ops and not spec.process_management:
+        yield _finding(
+            "WIT055", name, "spec.process_management",
+            f"observed process ops {list(usage.process_ops)} but the "
+            f"catalog spec grants no process management",
+            process_ops=list(usage.process_ops))
+    for denial in replay_denials:
+        yield _finding(
+            "WIT055", name, "mined.replay",
+            f"mined spec denied a benign operation on proof replay: "
+            f"{denial}", denial=denial)

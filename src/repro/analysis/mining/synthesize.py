@@ -1,0 +1,219 @@
+"""Generalize session traces into a minimal perforated-container spec.
+
+The synthesizer is deliberately conservative in both directions: every
+observed access must be covered (else the mined spec would deny benign
+work — under-privilege), and nothing *un*observed is granted beyond the
+covering-prefix widening the :class:`GeneralizationPolicy` allows (else
+the mined spec would not be least-privilege). Monitoring bits are never
+mined away: they come straight from the catalog spec, because observation
+can prove a privilege is *used*, never that watching it is unnecessary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.analysis.mining.recorder import SessionTrace
+from repro.analysis.model import template_covers
+from repro.containit.spec import PerforatedContainerSpec
+from repro.kernel.net import ip_in_cidr
+
+#: address-book shape: symbolic label -> [(address-or-cidr, port-or-None)]
+AddressBook = Mapping[str, Sequence[Tuple[str, Optional[int]]]]
+
+
+@dataclass(frozen=True)
+class GeneralizationPolicy:
+    """Tunables for how far observed accesses are widened.
+
+    Attributes:
+        share_depth: mined fs shares keep at most this many path segments
+            (``2`` turns ``/etc/ssh/sshd_config`` into the ``/etc/ssh``
+            share rather than a per-file grant, matching the granularity
+            of the hand-written catalog).
+        min_sessions: classes observed in fewer sessions than this are
+            not mined — one session is too thin a basis to call a spec
+            "least privilege" in production (the default accepts it so
+            small corpora still mine every class).
+        include_broker_grants: fold broker-granted escalations into the
+            mined baseline. Off by default: the paper's design keeps
+            rare escalations behind the broker rather than widening the
+            container image (Section 5.4's feedback loop is a human
+            decision, not an automatic one).
+    """
+
+    share_depth: int = 2
+    min_sessions: int = 1
+    include_broker_grants: bool = False
+
+    def __post_init__(self) -> None:
+        if self.share_depth < 1:
+            raise ValueError(f"share_depth must be >= 1, "
+                             f"got {self.share_depth}")
+        if self.min_sessions < 1:
+            raise ValueError(f"min_sessions must be >= 1, "
+                             f"got {self.min_sessions}")
+
+
+@dataclass(frozen=True)
+class ObservedUsage:
+    """The aggregated, normalized privilege demand of one ticket class."""
+
+    ticket_class: str
+    sessions: int
+    events: int
+    fs_paths: Tuple[str, ...]
+    destinations: Tuple[str, ...]
+    granted_destinations: Tuple[str, ...]
+    unresolved_flows: Tuple[str, ...]
+    process_ops: Tuple[str, ...]
+    host_network_ops: Tuple[str, ...]
+    capabilities: Tuple[str, ...]
+    broker_uses: Tuple[Tuple[str, str], ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ticket_class": self.ticket_class,
+            "sessions": self.sessions,
+            "events": self.events,
+            "fs_paths": list(self.fs_paths),
+            "destinations": list(self.destinations),
+            "granted_destinations": list(self.granted_destinations),
+            "unresolved_flows": list(self.unresolved_flows),
+            "process_ops": list(self.process_ops),
+            "host_network_ops": list(self.host_network_ops),
+            "capabilities": list(self.capabilities),
+            "broker_uses": [list(pair) for pair in self.broker_uses],
+        }
+
+
+def resolve_flow(dst_ip: str, port: int,
+                 address_book: AddressBook) -> Optional[str]:
+    """Map one observed flow back to its symbolic destination label."""
+    for label in sorted(address_book):
+        for address, allowed_port in address_book[label]:
+            if ip_in_cidr(dst_ip, address) and \
+                    (allowed_port is None or allowed_port == port):
+                return label
+    return None
+
+
+def observe(ticket_class: str, traces: Iterable[SessionTrace],
+            address_book: AddressBook) -> ObservedUsage:
+    """Aggregate the traces of one class into its observed usage."""
+    traces = list(traces)
+    fs_paths: Set[str] = set()
+    destinations: Set[str] = set()
+    granted: Set[str] = set()
+    unresolved: Set[str] = set()
+    process_ops: Set[str] = set()
+    host_net_ops: Set[str] = set()
+    capabilities: Set[str] = set()
+    broker_uses: Set[Tuple[str, str]] = set()
+    events = 0
+    for trace in traces:
+        events += len(trace.events)
+        fs_paths |= trace.fs_paths()
+        granted |= trace.granted_destinations()
+        process_ops |= trace.process_ops()
+        host_net_ops |= trace.host_network_ops()
+        capabilities |= trace.capabilities()
+        broker_uses |= trace.broker_uses()
+        for dst_ip, port in trace.flows():
+            label = resolve_flow(dst_ip, port, address_book)
+            if label is None:
+                unresolved.add(f"{dst_ip}:{port}")
+            else:
+                destinations.add(label)
+    return ObservedUsage(
+        ticket_class=ticket_class,
+        sessions=len(traces),
+        events=events,
+        fs_paths=tuple(sorted(fs_paths)),
+        destinations=tuple(sorted(destinations)),
+        granted_destinations=tuple(sorted(granted)),
+        unresolved_flows=tuple(sorted(unresolved)),
+        process_ops=tuple(sorted(process_ops)),
+        host_network_ops=tuple(sorted(host_net_ops)),
+        capabilities=tuple(sorted(capabilities)),
+        broker_uses=tuple(sorted(broker_uses)),
+    )
+
+
+def covering_shares(paths: Iterable[str], share_depth: int) -> Tuple[str, ...]:
+    """The narrowest covering prefixes for ``paths``, depth-capped.
+
+    Each path contributes its parent directory (a file access never
+    justifies sharing the file's siblings' *directories*, but the
+    hand-written catalog shares directories, so mined specs do too),
+    truncated to ``share_depth`` segments. Shares covered by a wider
+    mined share are dropped — the result is an antichain under
+    :func:`~repro.analysis.model.template_covers`.
+    """
+    candidates: Set[str] = set()
+    for path in paths:
+        segments = [s for s in path.split("/") if s]
+        if len(segments) > 1:
+            segments = segments[:-1]  # the parent directory
+        segments = segments[:share_depth]
+        candidates.add("/" + "/".join(segments))
+    # antichain under template_covers. Wider shares (fewer segments)
+    # first; at equal depth, {user}-templated candidates before literal
+    # ones — {user} wildcards both ways in template_covers, so on a
+    # mutually-covering pair the generalized spelling must be the one
+    # kept, independent of lexicographic accidents.
+    ordered = sorted(candidates,
+                     key=lambda s: (len(s.split("/")),
+                                    -s.count("{user}"), s))
+    kept: List[str] = []
+    for share in ordered:
+        if not any(template_covers(existing, share) for existing in kept):
+            kept.append(share)
+    return tuple(sorted(kept))
+
+
+def synthesize_spec(usage: ObservedUsage,
+                    catalog_spec: PerforatedContainerSpec,
+                    policy: Optional[GeneralizationPolicy] = None
+                    ) -> PerforatedContainerSpec:
+    """Build the minimal spec covering ``usage``.
+
+    Privilege fields (shares, destinations, NET namespace, process
+    management) come from observation alone; monitoring and constraint
+    fields are copied from ``catalog_spec`` — the miner narrows privilege,
+    it never relaxes oversight.
+    """
+    policy = policy or GeneralizationPolicy()
+    shares = covering_shares(usage.fs_paths, policy.share_depth)
+    destinations = set(usage.destinations)
+    if policy.include_broker_grants:
+        destinations |= set(usage.granted_destinations)
+    else:
+        destinations -= set(usage.granted_destinations)
+    # The NET-namespace hole survives only when (a) the catalog granted it
+    # and (b) a session exercised a host-level network op through it.
+    # Observed flows alone never justify it: they are expressible as an
+    # allowlist over a fresh namespace.
+    share_network_ns = bool(catalog_spec.share_network_ns
+                            and usage.host_network_ops)
+    return PerforatedContainerSpec(
+        name=catalog_spec.name,
+        description=f"mined least-privilege spec for {catalog_spec.name} "
+                    f"({usage.sessions} session(s))",
+        fs_shares=shares,
+        network_allowed=tuple(sorted(destinations)),
+        share_network_ns=share_network_ns,
+        process_management=bool(usage.process_ops),
+        share_ipc=catalog_spec.share_ipc,
+        share_uts=catalog_spec.share_uts,
+        block_documents=catalog_spec.block_documents,
+        signature_monitoring=catalog_spec.signature_monitoring,
+        extra_fs_rule_classes=catalog_spec.extra_fs_rule_classes,
+        installed_software=catalog_spec.installed_software,
+        monitor_filesystem=catalog_spec.monitor_filesystem,
+        monitor_network=catalog_spec.monitor_network,
+        deploy_on_target_too=catalog_spec.deploy_on_target_too,
+        fs_passthrough=catalog_spec.fs_passthrough,
+        fs_cache_capacity=catalog_spec.fs_cache_capacity,
+    )

@@ -22,6 +22,8 @@ SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 LINTER_TOOL_NAME = "watchit-perforation-linter"
 #: tool name for single-source reports from the model checker.
 MODELCHECK_TOOL_NAME = "watchit-escape-model-checker"
+#: tool name for single-source reports from the policy miner.
+MINING_TOOL_NAME = "watchit-policy-miner"
 #: tool name for merged multi-analysis artifacts.
 COMBINED_TOOL_NAME = "watchit-analysis"
 

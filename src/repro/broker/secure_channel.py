@@ -129,11 +129,18 @@ class SecureBrokerTransport:
         """Client side: seal the request, unseal the response."""
         frame = self._client_channel.seal(request_bytes)
         if _faults.ACTIVE is not None:
-            frame = _faults.ACTIVE.channel_fault("channel.request", frame)
+            frame = _faults.ACTIVE.channel_fault(_faults.SITE_CHANNEL_REQUEST,
+                                                 frame)
+        if _faults.TAPS:
+            _faults.notify(_faults.SITE_CHANNEL_REQUEST, op="frame",
+                           detail=str(len(frame)))
         reply_frame = self._serve(frame)
         if _faults.ACTIVE is not None:
-            reply_frame = _faults.ACTIVE.channel_fault("channel.reply",
-                                                       reply_frame)
+            reply_frame = _faults.ACTIVE.channel_fault(
+                _faults.SITE_CHANNEL_REPLY, reply_frame)
+        if _faults.TAPS:
+            _faults.notify(_faults.SITE_CHANNEL_REPLY, op="frame",
+                           detail=str(len(reply_frame)))
         return self._client_reply.open(reply_frame)
 
     def _serve(self, frame: bytes) -> bytes:

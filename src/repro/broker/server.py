@@ -85,6 +85,10 @@ class PermissionBroker:
         registry = obs.registry()
         kind = request.kind.value
         registry.counter("broker_requests_total", kind=kind).inc()
+        arg_path = str(request.args.get("host_path")
+                       or request.args.get("destination")
+                       or request.args.get("command")
+                       or request.args.get("package") or "")
         with obs.tracer().span(f"broker:{kind}",
                                requester=request.requester,
                                ticket_class=request.ticket_class) as span:
@@ -92,13 +96,14 @@ class PermissionBroker:
             span.set(granted=granted, rule=reason)
             self.audit.append(actor=request.requester,
                               op=f"pb-{request.kind.value}",
-                              path=str(request.args.get("host_path")
-                                       or request.args.get("destination")
-                                       or request.args.get("command")
-                                       or request.args.get("package") or ""),
+                              path=arg_path,
                               decision="allow" if granted else "deny",
                               rule=reason, ticket_class=request.ticket_class,
                               args={k: str(v) for k, v in request.args.items()})
+            if _faults.TAPS:
+                _faults.notify(_faults.SITE_BROKER, op=kind, path=arg_path,
+                               decision="allow" if granted else "deny",
+                               detail=request.ticket_class)
             if not granted:
                 registry.counter("broker_denied_total", kind=kind).inc()
                 return BrokerResponse(ok=False, error=f"denied: {reason}")

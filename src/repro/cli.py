@@ -8,6 +8,8 @@ Commands:
     chaos                seeded fault-injection soak over the threat replay
     lint                 static perforation linter over the spec catalog
     verify-model         escape-chain model checker with witness replay
+    mine                 mine least-privilege specs from benign traces,
+                         prove them, and diff against the catalog
     serve                serve a synthetic ticket storm on the concurrent
                          control plane (sharded kernels + warm pools)
     anomaly              run the audit-log anomaly-detection extension
@@ -249,6 +251,82 @@ def _cmd_verify_model(args) -> int:
         print(report.format())
     status = 0 if report.ok else 1
     if fail_on is not None and report.report().fails(fail_on):
+        status = max(status, 1)
+    return status
+
+
+def _cmd_mine(args) -> int:
+    import json as _json
+
+    from repro.analysis.mining import (
+        GeneralizationPolicy,
+        mining_targets,
+        run_mining,
+    )
+
+    try:
+        fail_on = _parse_fail_on(args.fail_on)
+    except ValueError as exc:
+        print(f"repro mine: --fail-on: {exc}", file=sys.stderr)
+        return 2
+    for flag, value in (("--tickets", args.tickets),
+                        ("--min-sessions", args.min_sessions),
+                        ("--max-sessions", args.max_sessions),
+                        ("--depth", args.depth)):
+        if value < 1:
+            print(f"repro mine: {flag} must be >= 1, got {value}",
+                  file=sys.stderr)
+            return 2
+    try:
+        mining_targets(args.classes)
+    except ValueError as exc:
+        print(f"repro mine: {exc}", file=sys.stderr)
+        return 2
+    policy = GeneralizationPolicy(min_sessions=args.min_sessions)
+    report = run_mining(args.classes, n_tickets=args.tickets,
+                        seed=args.seed, policy=policy,
+                        max_sessions=args.max_sessions, depth=args.depth,
+                        crosscheck=args.crosscheck)
+    if args.bench_out:
+        from repro.experiments.schema import ExperimentReport
+        counts = report.report.counts()
+        ExperimentReport(
+            name="policy-mining",
+            params={str(k): v for k, v in report.params.items()
+                    if not isinstance(v, (list, tuple, dict))},
+            metrics={
+                "classes": len(report.outcomes),
+                "sessions_traced": sum(
+                    o.sessions for o in report.outcomes),
+                "specs_mined": len(report.mined_specs()),
+                "errors": counts.get("error", 0),
+                "warnings": counts.get("warning", 0),
+                "ok": report.ok,
+                "digest": report.digest(),
+            },
+            artifacts={"report": report.to_json()},
+        ).write(args.bench_out)
+        print(f"benchmark report written to {args.bench_out}",
+              file=sys.stderr)
+    if args.sarif:
+        from repro.analysis.sarif import MINING_TOOL_NAME, merge_reports
+        reports = [report.report]
+        if args.include_lint:
+            from repro.analysis import lint_catalog
+            from repro.broker.policy import permissive_policy
+            reports.insert(0, lint_catalog(
+                specs=dict(report.catalog),
+                broker_policy=permissive_policy()))
+            document = merge_reports(reports)
+        else:
+            document = merge_reports(reports, tool_name=MINING_TOOL_NAME)
+        print(_json.dumps(document, indent=2, sort_keys=True))
+    elif args.json:
+        print(report.dumps())
+    else:
+        print(report.format())
+    status = 0 if report.ok else 1
+    if fail_on is not None and report.report.fails(fail_on):
         status = max(status, 1)
     return status
 
@@ -517,6 +595,50 @@ def build_parser() -> argparse.ArgumentParser:
                            "reachable-unaudited chains and replay "
                            "disagreements always exit 1")
 
+    p_mine = sub.add_parser(
+        "mine",
+        help="mine least-privilege specs from benign traces, prove them "
+             "with the model checker, and diff against the catalog")
+    p_mine.add_argument("--class", dest="classes", metavar="NAME",
+                        action="append", default=None,
+                        help="mine one ticket class (repeatable; e.g. "
+                             "T-3, or X-DEV for the seeded "
+                             "over-privileged fixture)")
+    p_mine.add_argument("--tickets", type=int, default=398,
+                        help="evaluation-corpus size to draw benign "
+                             "sessions from (default 398, the Table 4 "
+                             "corpus)")
+    p_mine.add_argument("--seed", type=int, default=42,
+                        help="corpus seed; equal seeds give equal mined "
+                             "specs and report digests")
+    p_mine.add_argument("--min-sessions", type=int, default=1,
+                        help="skip classes with fewer traced sessions "
+                             "(a spec mined from too few sessions "
+                             "over-fits)")
+    p_mine.add_argument("--max-sessions", type=int, default=4,
+                        help="benign sessions to trace per class "
+                             "(default 4)")
+    p_mine.add_argument("--depth", type=int, default=4,
+                        help="model-checker exploration depth for the "
+                             "proof pass")
+    p_mine.add_argument("--json", action="store_true",
+                        help="machine-readable mining report")
+    p_mine.add_argument("--sarif", action="store_true",
+                        help="WIT05x findings as SARIF")
+    p_mine.add_argument("--include-lint", action="store_true",
+                        help="with --sarif: merge the WIT00x-03x linter "
+                             "findings into one combined SARIF artifact")
+    p_mine.add_argument("--fail-on", metavar="SEVERITY", default="error",
+                        help="finding-severity threshold for a non-zero "
+                             "exit status (info, warning, error, or "
+                             "'never'); unproven mined specs always "
+                             "exit 1")
+    p_mine.add_argument("--crosscheck", action="store_true",
+                        help="also run the static/dynamic Table 1 "
+                             "cross-check over the mined specs")
+    p_mine.add_argument("--bench-out", metavar="PATH", default=None,
+                        help="write an experiment report (JSON) to PATH")
+
     p_srv = sub.add_parser(
         "serve",
         help="serve a synthetic ticket storm on the concurrent control "
@@ -580,6 +702,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {"demo": _cmd_demo, "experiment": _cmd_experiment,
                 "threats": _cmd_threats, "chaos": _cmd_chaos,
                 "lint": _cmd_lint, "verify-model": _cmd_verify_model,
+                "mine": _cmd_mine,
                 "anomaly": _cmd_anomaly, "serve": _cmd_serve,
                 "metrics": _cmd_metrics, "trace": _cmd_trace}
     return handlers[args.command](args)

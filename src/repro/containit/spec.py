@@ -9,6 +9,7 @@ permission set is granted, and which hard constraints apply.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Tuple
 
@@ -33,6 +34,12 @@ HOME_DIRECTORY = "/home/{user}"
 ETC_DIRECTORY = "/etc"
 ROOT_DIRECTORY = "/"
 
+#: Spelling variants of the ``{user}`` template segment (``{ user }``,
+#: ``{User}`` ...) all canonicalize to exactly ``{user}`` so templated
+#: shares compare equal regardless of who wrote them — the mined-vs-catalog
+#: diff and :class:`ContainerPool` rebinding both depend on this.
+_USER_TEMPLATE_RE = re.compile(r"\{\s*user\s*\}", re.IGNORECASE)
+
 
 def normalize_share_path(share: str) -> str:
     """Validate and normalize one ``fs_shares`` entry.
@@ -42,8 +49,11 @@ def normalize_share_path(share: str) -> str:
     process's cwd). ``..`` segments are rejected outright — a share like
     ``/home/{user}/../root`` would escape the subtree it claims to expose.
     Redundant slashes, ``.`` segments and trailing slashes are collapsed so
-    equal shares compare (and serialize) identically. The ``{user}``
-    template survives normalization as an ordinary path segment.
+    equal shares compare (and serialize) identically. A ``{user}`` template
+    segment is canonicalized to exactly ``{user}`` (any spacing/case
+    variant); a segment mixing the template with literal text is rejected,
+    because deploy-time substitution and the static path model would
+    disagree about what it matches.
     """
     if not isinstance(share, str) or not share:
         raise ValueError(f"fs share must be a non-empty string, got {share!r}")
@@ -55,8 +65,29 @@ def normalize_share_path(share: str) -> str:
             continue
         if part == "..":
             raise ValueError(f"fs share {share!r} contains a '..' segment")
-        parts.append(part)
+        canonical = _USER_TEMPLATE_RE.sub("{user}", part)
+        if "{user}" in canonical and canonical != "{user}":
+            raise ValueError(
+                f"fs share {share!r} mixes the {{user}} template with "
+                f"literal text in one segment")
+        parts.append(canonical)
     return "/" + "/".join(parts)
+
+
+def templatize_user_path(path: str, user: str) -> str:
+    """Rewrite path segments equal to ``user`` as the ``{user}`` template.
+
+    The inverse of :meth:`PerforatedContainerSpec.resolved_fs_shares` for
+    one observed host path: ``/home/alice/notes.txt`` under user ``alice``
+    becomes ``/home/{user}/notes.txt``, which is what catalog shares are
+    written in terms of. Paths of *other* users are left literal — that
+    asymmetry is exactly what lets the policy miner distinguish "touched
+    the ticket reporter's home" from "touched everyone's homes".
+    """
+    if not user:
+        return path
+    return "/".join("{user}" if part == user else part
+                    for part in path.split("/"))
 
 
 @dataclass(frozen=True)

@@ -33,6 +33,10 @@ from repro.experiments.modelcheck_verify import (
     ModelCheckVerifyResult,
     run_modelcheck_verify,
 )
+from repro.experiments.policy_mining import (
+    PolicyMiningResult,
+    run_policy_mining,
+)
 from repro.experiments.report import generate_report, write_report
 from repro.experiments.schema import SCHEMA, ExperimentReport
 from repro.experiments.table1_threats import run_table1
@@ -55,6 +59,7 @@ __all__ = [
     "PAPER_FIGURE9",
     "PAPER_ISOLATION_STATS",
     "PAPER_TABLE4",
+    "PolicyMiningResult",
     "STANDARD_ADDRESS_BOOK",
     "build_case_study_rig",
     "generate_report",
@@ -63,6 +68,7 @@ __all__ = [
     "run_figure9",
     "run_lint_crosscheck",
     "run_modelcheck_verify",
+    "run_policy_mining",
     "run_table1",
     "run_table2",
     "run_table3",

@@ -1,0 +1,147 @@
+"""Policy-mining experiment: mine, prove, and diff the whole catalog.
+
+The least-privilege story run end to end: every ticket class in the
+Table 3 catalog is traced over benign sessions, generalized to a minimal
+mined spec, proven by the escape-chain model checker plus a replay of
+the same sessions under the mined spec, and diffed against the
+hand-written catalog as WIT05x findings. The seeded X-DEV fixture is
+mined alongside as the differential — its superfluous ``/dev`` broker
+surface and retained ``CAP_DEV_MEM`` must surface as ERROR findings
+(WIT053/WIT054) while the honest catalog stays error-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.analysis.modelcheck import DEFAULT_DEPTH, FIXTURE_CLASS
+from repro.experiments.schema import ExperimentReport
+
+if TYPE_CHECKING:  # real imports are deferred: the mining runner pulls
+    # in this package's rig, so importing it here would be circular
+    from repro.analysis.mining import GeneralizationPolicy, MiningReport
+
+#: the WIT05x errors the seeded fixture must trip for the differential
+FIXTURE_EXPECTED_RULES = ("WIT053", "WIT054")
+
+
+@dataclass
+class PolicyMiningResult:
+    """Catalog mining outcome + the over-privileged-fixture differential."""
+
+    mining: MiningReport
+    fixture: MiningReport
+
+    @property
+    def fixture_rules(self) -> List[str]:
+        """Rule IDs the miner fired on the seeded X-DEV fixture."""
+        return sorted({f.rule_id for f in self.fixture.report.findings})
+
+    @property
+    def fixture_flagged(self) -> bool:
+        """The fixture's planted over-privilege surfaced as errors."""
+        fired = set(self.fixture_rules)
+        return all(rule in fired for rule in FIXTURE_EXPECTED_RULES)
+
+    @property
+    def clean(self) -> bool:
+        """Catalog mined+proven error-free and the differential holds."""
+        return (self.mining.ok and not self.mining.report.errors
+                and self.fixture.ok and self.fixture_flagged)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mining": self.mining.to_json(),
+            "fixture": self.fixture.to_json(),
+            "fixture_rules": self.fixture_rules,
+            "fixture_flagged": self.fixture_flagged,
+            "clean": self.clean,
+        }
+
+    def report(self) -> ExperimentReport:
+        """The ``BENCH_mining.json`` payload."""
+        outcomes = self.mining.outcomes
+        counts = self.mining.report.counts()
+        deltas = {
+            o.ticket_class: o.privilege_delta(
+                self.mining.catalog[o.ticket_class])
+            for o in outcomes if o.mined is not None
+        }
+        return ExperimentReport(
+            name="policy-mining",
+            params={str(k): v for k, v in self.mining.params.items()
+                    if not isinstance(v, (list, tuple, dict))},
+            metrics={
+                "classes": len(outcomes),
+                "sessions_traced": sum(o.sessions for o in outcomes),
+                "specs_mined": len(self.mining.mined_specs()),
+                "specs_proven": sum(o.proven for o in outcomes),
+                "checker_rejections": sum(
+                    len(o.checker_unaudited) for o in outcomes),
+                "replay_denials": sum(
+                    len(o.replay_denials) for o in outcomes),
+                "errors": counts.get("error", 0),
+                "warnings": counts.get("warning", 0),
+                "shares_removed": sum(
+                    d["fs_shares_removed"] for d in deltas.values()),
+                "netns_holes_closed": sum(
+                    d["netns_hole_closed"] for d in deltas.values()),
+                "fixture_flagged": self.fixture_flagged,
+                "ok": self.mining.ok,
+                "clean": self.clean,
+                "digest": self.mining.digest(),
+            },
+            artifacts={
+                "privilege_delta": deltas,
+                "fixture_rules": self.fixture_rules,
+                "checker_verdicts": {
+                    o.ticket_class: {
+                        "proven": o.proven,
+                        "unaudited": list(o.checker_unaudited),
+                        "denials": list(o.replay_denials),
+                    } for o in outcomes},
+            },
+        )
+
+    def format(self) -> str:
+        lines = [
+            "Policy mining — least-privilege specs, proven", "=" * 48,
+            self.mining.format(), "",
+            f"Seeded over-privileged fixture ({FIXTURE_CLASS}):",
+            self.fixture.format(),
+            f"  fixture rules fired: "
+            f"{', '.join(self.fixture_rules) or 'none'}"
+            f" (need {', '.join(FIXTURE_EXPECTED_RULES)})",
+            "",
+            f"verdict: {'CLEAN' if self.clean else 'FINDINGS/DRIFT'}",
+        ]
+        return "\n".join(lines)
+
+
+def run_policy_mining(classes: Optional[Sequence[str]] = None,
+                      n_tickets: int = 398, seed: int = 42,
+                      policy: Optional[GeneralizationPolicy] = None,
+                      max_sessions: int = 4,
+                      depth: int = DEFAULT_DEPTH,
+                      crosscheck: bool = True,
+                      out: Optional[str] = None) -> PolicyMiningResult:
+    """Mine the catalog and the fixture; optionally write the report."""
+    from repro.analysis.mining import run_mining
+    mining = run_mining(classes, n_tickets=n_tickets, seed=seed,
+                        policy=policy, max_sessions=max_sessions,
+                        depth=depth, crosscheck=crosscheck)
+    fixture = run_mining([FIXTURE_CLASS], n_tickets=n_tickets, seed=seed,
+                         policy=policy, max_sessions=max_sessions,
+                         depth=depth)
+    result = PolicyMiningResult(mining=mining, fixture=fixture)
+    if out is not None:
+        result.report().write(out)
+    return result
+
+
+__all__ = [
+    "FIXTURE_EXPECTED_RULES",
+    "PolicyMiningResult",
+    "run_policy_mining",
+]

@@ -13,26 +13,50 @@ from repro.faults.plane import (
     FaultPlane,
     FaultRule,
     Injection,
+    TapEvent,
     VirtualClock,
     active,
+    attach_tap,
+    detach_tap,
     install,
+    notify,
     scope,
+    tap_scope,
     uninstall,
+)
+from repro.faults.sites import (
+    SITE_BROKER,
+    SITE_CHANNEL_REPLY,
+    SITE_CHANNEL_REQUEST,
+    SITE_ITFS,
+    SITE_NETMON,
+    SITE_SYSCALL,
 )
 
 __all__ = [
     "ACTIONS",
     "SITES",
+    "SITE_BROKER",
+    "SITE_CHANNEL_REPLY",
+    "SITE_CHANNEL_REQUEST",
+    "SITE_ITFS",
+    "SITE_NETMON",
+    "SITE_SYSCALL",
     "ChaosReport",
     "FaultPlane",
     "FaultRule",
     "Injection",
+    "TapEvent",
     "VirtualClock",
     "active",
+    "attach_tap",
     "default_chaos_rules",
+    "detach_tap",
     "install",
+    "notify",
     "run_chaos",
     "scope",
+    "tap_scope",
     "uninstall",
 ]
 

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 from repro import obs
 from repro.errors import BrokerDenied, ReproError
 from repro.faults.plane import FaultPlane, FaultRule, VirtualClock, scope
+from repro.faults.sites import SITE_BROKER, SITE_ITFS, SITE_NETMON, SITE_SYSCALL
 from repro.threats.attacks import ALL_ATTACKS, ThreatRig
 
 
@@ -34,20 +35,20 @@ def default_chaos_rules(intensity: float = 0.05) -> List[FaultRule]:
     if not 0.0 < intensity <= 1.0:
         raise ValueError(f"intensity must be in (0, 1], got {intensity}")
     return [
-        FaultRule("syscall-eio", site="syscall", action="error",
+        FaultRule("syscall-eio", site=SITE_SYSCALL, action="error",
                   comm="bash", probability=intensity),
-        FaultRule("syscall-fatal", site="syscall", action="error",
+        FaultRule("syscall-fatal", site=SITE_SYSCALL, action="error",
                   comm="bash", probability=max(intensity / 4, 1e-6),
                   fatal=True),
-        FaultRule("itfs-crash", site="itfs", action="error",
+        FaultRule("itfs-crash", site=SITE_ITFS, action="error",
                   probability=intensity),
-        FaultRule("netmon-crash", site="netmon", action="error",
+        FaultRule("netmon-crash", site=SITE_NETMON, action="error",
                   probability=intensity),
         FaultRule("channel-drop", site="channel.*", action="drop",
                   probability=intensity),
         FaultRule("channel-corrupt", site="channel.*", action="corrupt",
                   probability=intensity),
-        FaultRule("broker-timeout", site="broker", action="timeout",
+        FaultRule("broker-timeout", site=SITE_BROKER, action="timeout",
                   probability=intensity),
     ]
 

@@ -23,7 +23,7 @@ import random
 from contextlib import contextmanager
 from dataclasses import dataclass
 from fnmatch import fnmatchcase
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro import obs
 from repro.errors import (
@@ -33,11 +33,15 @@ from repro.errors import (
     FaultInjected,
     MonitorFault,
 )
-
-#: Hook points the plane can perturb. ``channel.request``/``channel.reply``
-#: are the two directions of the secure broker transport.
-SITES = ("syscall", "itfs", "netmon", "channel.request", "channel.reply",
-         "broker")
+from repro.faults.sites import (  # noqa: F401  (re-exported)
+    SITE_BROKER,
+    SITE_CHANNEL_REPLY,
+    SITE_CHANNEL_REQUEST,
+    SITE_ITFS,
+    SITE_NETMON,
+    SITE_SYSCALL,
+    SITES,
+)
 
 #: What a rule may do when it fires.
 ACTIONS = ("error", "drop", "corrupt", "delay", "timeout")
@@ -235,7 +239,7 @@ class FaultPlane:
     def syscall_fault(self, op: str, proc, args: Tuple = ()) -> None:
         """Raise an injected kernel error for a matching syscall."""
         path = args[0] if args and isinstance(args[0], str) else ""
-        hit = self.consult("syscall", op=op, path=path,
+        hit = self.consult(SITE_SYSCALL, op=op, path=path,
                            comm=getattr(proc, "comm", "?"))
         if hit is None:
             return
@@ -279,7 +283,7 @@ class FaultPlane:
 
     def broker_fault(self, kind: str = "") -> None:
         """Raise an injected broker request timeout."""
-        hit = self.consult("broker", op=kind, path="")
+        hit = self.consult(SITE_BROKER, op=kind, path="")
         if hit is None:
             return
         rule, _ = hit
@@ -335,3 +339,83 @@ def scope(plane: FaultPlane):
         yield plane
     finally:
         ACTIVE = previous
+
+
+# ----------------------------------------------------------------------
+# read-only trace taps — the observation twin of the fault hooks.
+#
+# Every boundary hook that consults ``ACTIVE`` also notifies the attached
+# taps with a :class:`TapEvent`. Taps are strictly read-only observers:
+# a tap that raises is counted (``trace_tap_errors_total``) and silenced,
+# never allowed to perturb the boundary it watches — several hook sites
+# (ITFS, netmon) fail *closed* on exceptions, so a buggy tap must not be
+# able to masquerade as a monitor failure. With no taps attached each
+# hook pays one truthiness test on the ``TAPS`` tuple.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TapEvent:
+    """One observation delivered to trace taps by a boundary hook.
+
+    Attributes:
+        site: hook site name (one of :data:`SITES`).
+        op: operation at the site — syscall name, ITFS op, netmon
+            direction, broker request kind, or ``frame`` for the channel.
+        path: path-like argument (host backing path for ITFS, ``dst_ip``
+            for connects, flow for netmon, request argument for the
+            broker; empty when the op has none).
+        comm: calling process comm (syscall site only; empty elsewhere).
+        decision: ``allow``/``deny`` where the site makes a policy
+            decision, empty elsewhere.
+        detail: site-specific extra — ITFS mount label, connect port,
+            frame length, broker ticket class.
+    """
+
+    site: str
+    op: str = ""
+    path: str = ""
+    comm: str = ""
+    decision: str = ""
+    detail: str = ""
+
+
+TapCallback = Callable[[TapEvent], None]
+
+TAPS: Tuple[TapCallback, ...] = ()
+
+
+def notify(site: str, op: str = "", path: str = "", comm: str = "",
+           decision: str = "", detail: str = "") -> None:
+    """Deliver one event to every attached tap, swallowing tap errors."""
+    event = TapEvent(site=site, op=op, path=path, comm=comm,
+                     decision=decision, detail=detail)
+    for tap in TAPS:
+        try:
+            tap(event)
+        except Exception:
+            # Read-only means read-only: a broken tap must never bubble
+            # into a fail-closed boundary. Count it and move on.
+            obs.registry().counter("trace_tap_errors_total", site=site).inc()
+
+
+def attach_tap(tap: TapCallback) -> TapCallback:
+    """Attach a read-only observer to every boundary hook site."""
+    global TAPS
+    TAPS = TAPS + (tap,)
+    return tap
+
+
+def detach_tap(tap: TapCallback) -> None:
+    global TAPS
+    TAPS = tuple(t for t in TAPS if t is not tap)
+
+
+@contextmanager
+def tap_scope(tap: TapCallback):
+    """Attach ``tap`` for the duration of a with-block."""
+    attach_tap(tap)
+    try:
+        yield tap
+    finally:
+        detach_tap(tap)

@@ -1,0 +1,53 @@
+"""The canonical names of the boundary hook sites.
+
+Every boundary the reproduction defends carries one hook consulted by the
+fault plane (:mod:`repro.faults.plane`) and, read-only, by the policy-mining
+trace recorder (:mod:`repro.analysis.mining.recorder`). The names used to
+live as string literals in each consumer; this module is the single source
+of truth so the fault plane, the chaos rule set, and the trace taps cannot
+drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: The kernel syscall layer (``repro.kernel.syscalls``).
+SITE_SYSCALL = "syscall"
+
+#: ITFS policy evaluation (``repro.itfs.itfs``).
+SITE_ITFS = "itfs"
+
+#: The inline network monitor (``repro.netmon.sniffer``).
+SITE_NETMON = "netmon"
+
+#: The secure broker transport, request direction.
+SITE_CHANNEL_REQUEST = "channel.request"
+
+#: The secure broker transport, reply direction.
+SITE_CHANNEL_REPLY = "channel.reply"
+
+#: The permission broker's request dispatcher (``repro.broker.server``).
+SITE_BROKER = "broker"
+
+#: Hook points the fault plane can perturb (and the trace taps observe).
+#: ``channel.request``/``channel.reply`` are the two directions of the
+#: secure broker transport.
+SITES: Tuple[str, ...] = (
+    SITE_SYSCALL,
+    SITE_ITFS,
+    SITE_NETMON,
+    SITE_CHANNEL_REQUEST,
+    SITE_CHANNEL_REPLY,
+    SITE_BROKER,
+)
+
+__all__ = [
+    "SITES",
+    "SITE_BROKER",
+    "SITE_CHANNEL_REPLY",
+    "SITE_CHANNEL_REQUEST",
+    "SITE_ITFS",
+    "SITE_NETMON",
+    "SITE_SYSCALL",
+]

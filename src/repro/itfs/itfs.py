@@ -218,6 +218,10 @@ class ITFS(Filesystem):
                 self._count("itfs_cache_hits",
                             outcome="allow" if cached else "deny")
                 self._observe_latency(op, start)
+                if _faults.TAPS:
+                    _faults.notify(_faults.SITE_ITFS, op=op, path=bpath,
+                                   decision="allow" if cached else "deny",
+                                   detail=self.label)
                 if cached:
                     return bpath
                 self._count("itfs_ops_denied", op=op)
@@ -226,7 +230,8 @@ class ITFS(Filesystem):
             self._count("itfs_cache_misses")
         try:
             if _faults.ACTIVE is not None:
-                _faults.ACTIVE.monitor_fault("itfs", op=op, path=bpath)
+                _faults.ACTIVE.monitor_fault(_faults.SITE_ITFS, op=op,
+                                             path=bpath)
             with self.tracer.span("itfs:check", op=op, path=bpath,
                                   fs=self.label) as span:
                 head_loader = self._head_loader(bpath) if self.policy.needs_head else None
@@ -253,6 +258,10 @@ class ITFS(Filesystem):
             # the decision cached moments ago for this very write)
             self._invalidate_path(bpath)
         self._observe_latency(op, start)
+        if _faults.TAPS:
+            _faults.notify(_faults.SITE_ITFS, op=op, path=bpath,
+                           decision="allow" if decision.allowed else "deny",
+                           detail=self.label)
         if not decision.allowed:
             self._count("itfs_ops_denied", op=op)
             raise AccessBlocked(f"ITFS denied {op} on {bpath}", rule=decision.rule)

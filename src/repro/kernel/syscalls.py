@@ -76,6 +76,13 @@ def _instrumented(name: str, fn, trace: bool = True):
         try:
             if _faults.ACTIVE is not None:
                 _faults.ACTIVE.syscall_fault(name, proc, args)
+            if _faults.TAPS:
+                detail = args[1] if len(args) > 1 and \
+                    isinstance(args[1], (int, str)) else ""
+                _faults.notify(
+                    _faults.SITE_SYSCALL, op=name,
+                    path=args[0] if args and isinstance(args[0], str) else "",
+                    comm=getattr(proc, "comm", "?"), detail=str(detail))
             if span is not None:
                 with span:
                     return fn(self, proc, *args, **kwargs)
@@ -108,6 +115,11 @@ class SyscallInterface:
     def _require_cap(self, proc: Process, cap: Capability) -> None:
         if not proc.creds.has_cap(cap):
             raise CapabilityError(cap)
+        if _faults.TAPS:
+            # A successful capability gate is evidence the caller genuinely
+            # needs that capability — the policy miner's cap source.
+            _faults.notify(_faults.SITE_SYSCALL, op="capability",
+                           path=cap.value, comm=getattr(proc, "comm", "?"))
 
     def _check_access(self, proc: Process, node, want: str, vpath: str) -> None:
         """DAC check: ``want`` is one of ``r``, ``w``, ``x``."""

@@ -50,9 +50,12 @@ class NetworkMonitor:
         registry.counter("netmon_bytes_total",
                          direction=direction).inc(packet.size)
         flow = f"{packet.dst_ip}:{packet.port}"
+        if _faults.TAPS:
+            _faults.notify(_faults.SITE_NETMON, op=direction, path=flow,
+                           detail=str(packet.size))
         try:
             if _faults.ACTIVE is not None:
-                _faults.ACTIVE.monitor_fault("netmon", op=direction,
+                _faults.ACTIVE.monitor_fault(_faults.SITE_NETMON, op=direction,
                                              path=flow)
             verdict = self._first_verdict(packet, direction)
         except Exception as exc:

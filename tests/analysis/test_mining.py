@@ -1,0 +1,216 @@
+"""Policy mining: recorder, synthesizer, differ, and the full pipeline."""
+
+import pytest
+
+from repro.analysis.mining import (
+    GeneralizationPolicy,
+    SessionTrace,
+    covering_shares,
+    diff_class,
+    mining_rule_catalog,
+    mining_targets,
+    observe,
+    run_mining,
+    synthesize_spec,
+)
+from repro.analysis.modelcheck import FIXTURE_CLASS, catalog_targets
+from repro.experiments.rig import STANDARD_ADDRESS_BOOK
+from repro.faults import SITE_ITFS, SITE_SYSCALL, TapEvent
+
+#: fast-but-representative session budget for full-catalog runs
+FAST = dict(max_sessions=2)
+
+
+def _trace(ticket_class="T-1", user="alice", events=()):
+    return SessionTrace(ticket_class=ticket_class, user=user,
+                        session_id="t", events=list(events))
+
+
+def _itfs_read(path, decision="allow"):
+    return TapEvent(site=SITE_ITFS, op="read", path=path,
+                    decision=decision, detail="itfs")
+
+
+class TestCoveringShares:
+    def test_file_access_yields_parent_directory(self):
+        assert covering_shares(["/etc/ssh/sshd_config"],
+                               share_depth=2) == ("/etc/ssh",)
+
+    def test_depth_cap_truncates(self):
+        assert covering_shares(["/home/{user}/mail/inbox/msg"],
+                               share_depth=2) == ("/home/{user}",)
+
+    def test_antichain_drops_covered_shares(self):
+        shares = covering_shares(
+            ["/etc/passwd", "/etc/ssh/sshd_config"], share_depth=3)
+        assert shares == ("/etc",)
+
+    def test_template_covers_literal_sibling(self):
+        shares = covering_shares(
+            ["/home/{user}/notes.txt", "/home/alice/extra.txt"],
+            share_depth=2)
+        assert shares == ("/home/{user}",)
+
+    def test_single_segment_path_keeps_itself(self):
+        assert covering_shares(["/etc"], share_depth=2) == ("/etc",)
+
+    def test_empty_input(self):
+        assert covering_shares([], share_depth=2) == ()
+
+
+class TestObserve:
+    def test_denied_itfs_events_excluded(self):
+        trace = _trace(events=[_itfs_read("/etc/passwd"),
+                               _itfs_read("/root/secret", decision="deny")])
+        usage = observe("T-1", [trace], STANDARD_ADDRESS_BOOK)
+        assert usage.fs_paths == ("/etc/passwd",)
+
+    def test_user_paths_templatized(self):
+        trace = _trace(events=[_itfs_read("/home/alice/notes.txt")])
+        usage = observe("T-1", [trace], STANDARD_ADDRESS_BOOK)
+        assert usage.fs_paths == ("/home/{user}/notes.txt",)
+
+    def test_container_local_fs_excluded(self):
+        event = TapEvent(site=SITE_ITFS, op="read", path="/tmp/scratch",
+                         decision="allow", detail="itfs:conFS")
+        usage = observe("T-1", [_trace(events=[event])],
+                        STANDARD_ADDRESS_BOOK)
+        assert usage.fs_paths == ()
+
+    def test_flows_resolved_to_symbolic_destinations(self):
+        event = TapEvent(site=SITE_SYSCALL, op="connect", comm="bash",
+                         path="10.0.1.10", detail="27000")
+        usage = observe("T-1", [_trace(events=[event])],
+                        STANDARD_ADDRESS_BOOK)
+        assert usage.destinations == ("license-server",)
+
+    def test_non_admin_comm_excluded(self):
+        event = TapEvent(site=SITE_SYSCALL, op="connect", comm="sshd",
+                         path="10.0.1.10", detail="27000")
+        usage = observe("T-1", [_trace(events=[event])],
+                        STANDARD_ADDRESS_BOOK)
+        assert usage.destinations == ()
+
+
+class TestSynthesize:
+    def test_monitoring_fields_preserved(self):
+        target = next(t for t in catalog_targets() if t.name == "T-1")
+        trace = _trace(events=[_itfs_read("/home/alice/notes.txt")])
+        usage = observe("T-1", [trace], STANDARD_ADDRESS_BOOK)
+        mined = synthesize_spec(usage, target.spec)
+        assert mined.monitor_filesystem == target.spec.monitor_filesystem
+        assert mined.monitor_network == target.spec.monitor_network
+        assert mined.block_documents == target.spec.block_documents
+        assert mined.fs_shares == ("/home/{user}",)
+
+    def test_netns_needs_catalog_hole_and_evidence(self):
+        target = next(t for t in catalog_targets() if t.name == "T-1")
+        usage = observe("T-1", [_trace()], STANDARD_ADDRESS_BOOK)
+        mined = synthesize_spec(usage, target.spec)
+        assert not mined.share_network_ns
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            GeneralizationPolicy(share_depth=0)
+        with pytest.raises(ValueError):
+            GeneralizationPolicy(min_sessions=0)
+
+
+class TestDiffRules:
+    def test_rule_catalog_ids(self):
+        ids = [r.rule_id for r in mining_rule_catalog()]
+        assert ids == ["WIT050", "WIT051", "WIT052", "WIT053",
+                       "WIT054", "WIT055", "WIT056"]
+
+    def test_unused_share_is_warning(self):
+        target = next(t for t in catalog_targets() if t.name == "T-1")
+        usage = observe("T-1", [_trace()], STANDARD_ADDRESS_BOOK)
+        mined = synthesize_spec(usage, target.spec)
+        rules = {f.rule_id for f in diff_class(target, mined, usage)}
+        assert "WIT050" in rules
+
+    def test_checker_rejection_is_error(self):
+        target = next(t for t in catalog_targets() if t.name == "T-1")
+        usage = observe("T-1", [_trace()], STANDARD_ADDRESS_BOOK)
+        findings = diff_class(target, None, usage,
+                              checker_unaudited=("devmem",))
+        assert any(f.rule_id == "WIT056" and f.severity.name == "ERROR"
+                   for f in findings)
+
+    def test_broker_granted_destination_not_under_privilege(self):
+        target = next(t for t in catalog_targets() if t.name == "T-2")
+        events = [
+            TapEvent(site=SITE_SYSCALL, op="connect", comm="bash",
+                     path="10.0.1.20", detail="2049"),
+            TapEvent(site="broker", op="grant_network",
+                     path="shared-storage", decision="allow"),
+        ]
+        usage = observe("T-2", [_trace(ticket_class="T-2", events=events)],
+                        STANDARD_ADDRESS_BOOK)
+        assert "shared-storage" in usage.granted_destinations
+        findings = diff_class(target, None, usage)
+        assert not any(f.rule_id == "WIT055" for f in findings)
+
+
+class TestMiningTargets:
+    def test_default_is_the_full_catalog(self):
+        targets = mining_targets()
+        assert len(targets) == 17 and FIXTURE_CLASS not in targets
+
+    def test_fixture_by_name(self):
+        targets = mining_targets([FIXTURE_CLASS])
+        assert set(targets) == {FIXTURE_CLASS}
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError, match="unknown ticket class"):
+            mining_targets(["T-99"])
+
+
+class TestFullPipeline:
+    def test_every_catalog_class_mined_and_proven(self):
+        report = run_mining(**FAST)
+        assert report.ok
+        assert len(report.mined_specs()) == 17
+        assert not report.report.errors
+        for outcome in report.outcomes:
+            assert outcome.proven, outcome.ticket_class
+            assert not outcome.replay_denials
+            assert not outcome.checker_unaudited
+
+    def test_known_narrowings_surface_as_warnings(self):
+        report = run_mining(**FAST)
+        t6 = [f for f in report.report.findings
+              if f.subject == "T-6" and f.rule_id == "WIT050"]
+        assert t6, "T-6's '/' share must be flagged wider than mined"
+        assert report.outcome_for("T-6").mined.fs_shares != ("/",)
+
+    def test_catalog_has_no_under_privilege(self):
+        report = run_mining(**FAST)
+        assert not any(f.rule_id == "WIT055"
+                       for f in report.report.findings)
+
+    def test_overprivileged_fixture_flagged(self):
+        report = run_mining([FIXTURE_CLASS], **FAST)
+        rules = {f.rule_id for f in report.report.findings}
+        assert {"WIT053", "WIT054"} <= rules
+        assert report.ok  # structurally proven; findings gate separately
+        from repro.analysis.findings import Severity
+        assert report.report.fails(Severity.ERROR)
+
+    def test_deterministic_digest(self):
+        first = run_mining(["T-1", "T-9"], **FAST)
+        second = run_mining(["T-1", "T-9"], **FAST)
+        assert first.digest() == second.digest()
+
+    def test_min_sessions_skips_thin_classes(self):
+        policy = GeneralizationPolicy(min_sessions=99)
+        report = run_mining(["T-1"], policy=policy, **FAST)
+        outcome = report.outcome_for("T-1")
+        assert outcome.skipped and outcome.mined is None
+        assert not report.ok
+
+    def test_crosscheck_over_mined_specs(self):
+        report = run_mining(["T-1", "T-4"], crosscheck=True, **FAST)
+        assert report.crosscheck is not None
+        assert report.crosscheck.consistent
+        assert report.ok

@@ -103,6 +103,39 @@ class TestShareNormalization:
             {"name": "x", "fs_shares": ["/opt//chef/"]})
         assert spec.fs_shares == ("/opt/chef",)
 
+    def test_user_template_canonicalized(self):
+        # spelling variants of the {user} template must compare equal
+        spec = PerforatedContainerSpec(
+            name="x", fs_shares=("/home/{ user }", "/srv/{USER}/mail"))
+        assert spec.fs_shares == ("/home/{user}", "/srv/{user}/mail")
+
+    def test_mixed_template_segment_rejected(self):
+        with pytest.raises(ValueError, match="mixes"):
+            PerforatedContainerSpec(name="x", fs_shares=("/home/{user}x",))
+
+
+class TestUserTemplatization:
+    def test_username_segments_templatized(self):
+        from repro.containit.spec import templatize_user_path
+        assert templatize_user_path("/home/alice/notes.txt",
+                                    "alice") == "/home/{user}/notes.txt"
+
+    def test_only_whole_segments_match(self):
+        from repro.containit.spec import templatize_user_path
+        assert templatize_user_path("/home/alicedata/x",
+                                    "alice") == "/home/alicedata/x"
+
+    def test_empty_user_is_identity(self):
+        from repro.containit.spec import templatize_user_path
+        assert templatize_user_path("/home/alice", "") == "/home/alice"
+
+    def test_roundtrips_with_resolution(self):
+        from repro.containit.spec import templatize_user_path
+        spec = PerforatedContainerSpec(
+            name="x",
+            fs_shares=(templatize_user_path("/home/bob/mail", "bob"),))
+        assert spec.resolved_fs_shares("bob") == ("/home/bob/mail",)
+
 
 class TestPassthroughFields:
     def test_defaults_off_with_sane_capacity(self):

@@ -1,0 +1,42 @@
+"""The policy-mining experiment: catalog run + fixture differential."""
+
+import pytest
+
+from repro.experiments import run_policy_mining
+
+
+@pytest.fixture(scope="module")
+def result():
+    # subset keeps the suite fast; the benchmark runs the full catalog
+    return run_policy_mining(classes=["T-1", "T-6"], max_sessions=2,
+                             crosscheck=True)
+
+
+class TestPolicyMiningExperiment:
+    def test_catalog_subset_mines_clean(self, result):
+        assert result.mining.ok
+        assert set(result.mining.mined_specs()) == {"T-1", "T-6"}
+        assert not result.mining.report.errors
+
+    def test_fixture_differential_holds(self, result):
+        assert result.fixture_flagged
+        assert "WIT053" in result.fixture_rules
+        assert "WIT054" in result.fixture_rules
+        assert result.clean
+
+    def test_crosscheck_runs_over_mined_specs(self, result):
+        assert result.mining.crosscheck is not None
+        assert result.mining.crosscheck.consistent
+
+    def test_report_is_experiment_schema(self, result, tmp_path):
+        report = result.report()
+        assert report.name == "policy-mining"
+        assert report.metrics["specs_mined"] == 2
+        assert report.metrics["clean"] is True
+        written = report.write(tmp_path / "BENCH_mining.json")
+        assert written.exists()
+
+    def test_format_mentions_verdict(self, result):
+        text = result.format()
+        assert "verdict: CLEAN" in text
+        assert "X-DEV" in text

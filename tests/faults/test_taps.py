@@ -1,0 +1,113 @@
+"""Read-only trace taps on the fault-plane hook sites."""
+
+from repro import obs
+from repro.faults import (
+    SITE_BROKER,
+    SITE_ITFS,
+    SITE_NETMON,
+    SITE_SYSCALL,
+    SITES,
+    TapEvent,
+    attach_tap,
+    detach_tap,
+    notify,
+    tap_scope,
+)
+from repro.faults import plane
+
+
+class TestTapLifecycle:
+    def test_no_taps_by_default(self):
+        assert plane.TAPS == ()
+
+    def test_attach_and_detach(self):
+        events = []
+        tap = attach_tap(events.append)
+        try:
+            notify(SITE_SYSCALL, op="open", path="/etc/motd", comm="bash")
+        finally:
+            detach_tap(tap)
+        assert plane.TAPS == ()
+        assert events == [TapEvent(site=SITE_SYSCALL, op="open",
+                                   path="/etc/motd", comm="bash")]
+
+    def test_scope_detaches_on_exit(self):
+        events = []
+        with tap_scope(events.append):
+            notify(SITE_ITFS, op="read", path="/x", decision="allow")
+        notify(SITE_ITFS, op="read", path="/y", decision="allow")
+        assert plane.TAPS == ()
+        assert len(events) == 1 and events[0].path == "/x"
+
+    def test_detach_is_identity_based(self):
+        first, second = [], []
+        tap_a = attach_tap(first.append)
+        tap_b = attach_tap(second.append)
+        detach_tap(tap_a)
+        try:
+            notify(SITE_NETMON, op="outbound", path="10.0.0.9:443")
+        finally:
+            detach_tap(tap_b)
+        assert first == [] and len(second) == 1
+
+    def test_notify_without_taps_is_a_noop(self):
+        notify(SITE_BROKER, op="share_path")  # must not raise
+
+
+class TestTapIsolation:
+    def test_tap_exception_swallowed_and_counted(self):
+        def bad_tap(event):
+            raise RuntimeError("buggy tap")
+
+        counter = obs.registry().counter("trace_tap_errors_total",
+                                         site=SITE_SYSCALL)
+        before = counter.value
+        with tap_scope(bad_tap):
+            notify(SITE_SYSCALL, op="open", path="/etc/motd")
+        assert counter.value == before + 1
+
+    def test_broken_tap_does_not_starve_others(self):
+        seen = []
+
+        def bad_tap(event):
+            raise RuntimeError("boom")
+
+        with tap_scope(bad_tap):
+            with tap_scope(seen.append):
+                notify(SITE_ITFS, op="read", path="/x")
+        assert len(seen) == 1
+
+
+class TestHookSiteConstants:
+    def test_all_sites_enumerated(self):
+        assert SITES == ("syscall", "itfs", "netmon", "channel.request",
+                         "channel.reply", "broker")
+
+    def test_plane_reexports_sites(self):
+        assert plane.SITES is SITES
+
+
+class TestEndToEndTaps:
+    """Every boundary layer emits events through the one tap API."""
+
+    def test_syscall_and_itfs_sites_fire(self):
+        from repro.analysis.modelcheck import catalog_targets
+        from repro.containit.container import PerforatedContainer
+        from repro.experiments.rig import build_case_study_rig
+
+        target = next(t for t in catalog_targets() if t.name == "T-1")
+        rig = build_case_study_rig()
+        container = PerforatedContainer.deploy(
+            rig.host, target.spec, user="alice",
+            address_book=rig.address_book, container_ip="10.0.99.71")
+        events = []
+        try:
+            with tap_scope(events.append):
+                shell = container.login("it-admin")
+                shell.read_file("/home/alice/notes.txt")
+        finally:
+            container.terminate("tap test done")
+        sites = {e.site for e in events}
+        assert SITE_SYSCALL in sites and SITE_ITFS in sites
+        itfs = [e for e in events if e.site == SITE_ITFS]
+        assert all(e.decision in ("allow", "deny") for e in itfs)

@@ -137,6 +137,75 @@ class TestVerifyModelCommand:
                      "--fail-on", "info"]) == 1
 
 
+class TestMineCommand:
+    def test_subset_mines_and_passes(self, capsys):
+        assert main(["mine", "--class", "T-1", "--class", "T-2",
+                     "--max-sessions", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "mine: PASS" in out
+        assert "2 spec(s) mined" in out
+
+    def test_overprivileged_fixture_exits_nonzero(self, capsys):
+        assert main(["mine", "--class", "X-DEV",
+                     "--max-sessions", "2"]) == 1
+        out = capsys.readouterr().out
+        assert "WIT053" in out and "WIT054" in out
+        # structurally the mine still succeeds — findings gate the exit
+        assert "mine: PASS" in out
+
+    def test_json_output_parses(self, capsys):
+        import json
+        assert main(["mine", "--class", "T-1",
+                     "--max-sessions", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["classes"][0]["ticket_class"] == "T-1"
+        assert payload["classes"][0]["proven"] is True
+        assert payload["digest"]
+
+    def test_sarif_include_lint_merges_both_tools(self, capsys):
+        import json
+        assert main(["mine", "--class", "T-9", "--max-sessions", "2",
+                     "--sarif", "--include-lint"]) == 0
+        sarif = json.loads(capsys.readouterr().out)
+        driver = sarif["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "watchit-analysis"
+        ids = [r["id"] for r in driver["rules"]]
+        assert ids == sorted(ids) and len(ids) == len(set(ids))
+        assert any(i.startswith("WIT00") for i in ids)
+        assert any(i.startswith("WIT05") for i in ids)
+
+    def test_sarif_alone_uses_miner_tool_name(self, capsys):
+        import json
+        assert main(["mine", "--class", "T-1", "--max-sessions", "2",
+                     "--sarif"]) == 0
+        sarif = json.loads(capsys.readouterr().out)
+        driver = sarif["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "watchit-policy-miner"
+
+    def test_bench_out_writes_experiment_report(self, tmp_path, capsys):
+        import json
+        out = tmp_path / "bench.json"
+        assert main(["mine", "--class", "T-1", "--max-sessions", "2",
+                     "--bench-out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "watchit-experiment-report/v1"
+        assert payload["metrics"]["specs_mined"] == 1
+
+    def test_unknown_class_exits_2(self, capsys):
+        assert main(["mine", "--class", "T-99"]) == 2
+        assert "unknown" in capsys.readouterr().err.lower()
+
+    def test_bad_min_sessions_exits_2(self, capsys):
+        assert main(["mine", "--min-sessions", "0"]) == 2
+        assert "--min-sessions" in capsys.readouterr().err
+
+    def test_unknown_fail_on_label_exits_2(self, capsys):
+        assert main(["mine", "--fail-on", "sev9"]) == 2
+        err = capsys.readouterr().err
+        assert "sev9" in err and "--fail-on" in err
+
+
 class TestObservabilityCommands:
     """The ``metrics`` and ``trace`` subcommands and ``--metrics-out``."""
 

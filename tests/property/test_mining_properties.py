@@ -1,0 +1,117 @@
+"""Property-based tests for the policy miner.
+
+Two invariants the synthesizer must hold for any observed behavior:
+
+* **round-trip** — a mined spec serializes and parses back to itself
+  through the standard ``to_dict``/``from_dict`` pipeline;
+* **monotonicity** — observing *more* benign behavior never narrows the
+  mined spec: every privilege granted from a trace subset is still
+  granted (or covered by something wider) after adding traces.
+
+Traces here carry only direct-evidence events (ITFS decisions, syscall
+flows, capability uses, process ops) — broker ``grant_network`` events
+deliberately shift privilege out of the mined baseline and so are
+exercised by the example-based tests instead.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.mining import SessionTrace, observe, synthesize_spec
+from repro.analysis.model import template_covers
+from repro.analysis.modelcheck import catalog_targets
+from repro.containit import PerforatedContainerSpec
+from repro.experiments.rig import (
+    DESTINATION_ENDPOINTS,
+    STANDARD_ADDRESS_BOOK,
+)
+from repro.faults import SITE_ITFS, SITE_SYSCALL, TapEvent
+
+USER = "alice"
+
+segment = st.sampled_from(
+    ["etc", "usr", "var", "log", "ssh", "mail", "data", USER])
+path = st.builds(lambda parts: "/" + "/".join(parts),
+                 st.lists(segment, min_size=1, max_size=4))
+
+itfs_event = st.builds(
+    lambda p: TapEvent(site=SITE_ITFS, op="read", path=p,
+                       decision="allow", detail="itfs"),
+    path)
+flow_event = st.builds(
+    lambda label: TapEvent(
+        site=SITE_SYSCALL, op="connect", comm="bash",
+        path=DESTINATION_ENDPOINTS[label][0],
+        detail=str(DESTINATION_ENDPOINTS[label][1])),
+    st.sampled_from(sorted(DESTINATION_ENDPOINTS)))
+cap_event = st.builds(
+    lambda cap: TapEvent(site=SITE_SYSCALL, op="capability", path=cap,
+                         comm="bash"),
+    st.sampled_from(["CAP_KILL", "CAP_NET_ADMIN", "CAP_SYS_BOOT"]))
+process_event = st.builds(
+    lambda op: TapEvent(site=SITE_SYSCALL, op=op, comm="bash"),
+    st.sampled_from(["ps", "kill", "restart_service"]))
+
+event = st.one_of(itfs_event, flow_event, cap_event, process_event)
+trace = st.builds(
+    lambda events: SessionTrace(ticket_class="T-9", user=USER,
+                                session_id="prop", events=events),
+    st.lists(event, min_size=0, max_size=8))
+traces = st.lists(trace, min_size=1, max_size=4)
+
+#: T-9 grants every dimension (shares, net, procmgmt), so the catalog
+#: baseline never masks what the traces demand
+CATALOG = next(t for t in catalog_targets() if t.name == "T-9")
+
+
+def _mine(trace_list):
+    usage = observe("T-9", trace_list, STANDARD_ADDRESS_BOOK)
+    return usage, synthesize_spec(usage, CATALOG.spec)
+
+
+class TestMinedSpecRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(traces)
+    def test_serialize_parse_identity(self, trace_list):
+        _, mined = _mine(trace_list)
+        assert PerforatedContainerSpec.from_dict(mined.to_dict()) == mined
+
+    @settings(max_examples=40, deadline=None)
+    @given(traces)
+    def test_mined_spec_covers_observed_usage(self, trace_list):
+        usage, mined = _mine(trace_list)
+        for observed_path in usage.fs_paths:
+            assert any(template_covers(share, observed_path)
+                       for share in mined.fs_shares), observed_path
+        if not mined.share_network_ns:
+            assert set(usage.destinations) <= set(mined.network_allowed)
+        if usage.process_ops:
+            assert mined.process_management
+
+
+class TestMonotonicity:
+    @settings(max_examples=80, deadline=None)
+    @given(traces, traces)
+    def test_adding_traces_never_narrows(self, base, extra):
+        _, small = _mine(base)
+        _, big = _mine(base + extra)
+        for share in small.fs_shares:
+            assert any(template_covers(wide, share)
+                       for wide in big.fs_shares), share
+        assert set(small.network_allowed) <= set(big.network_allowed)
+        if small.process_management:
+            assert big.process_management
+        if small.share_network_ns:
+            assert big.share_network_ns
+
+    @settings(max_examples=40, deadline=None)
+    @given(traces)
+    def test_duplicating_traces_is_idempotent(self, trace_list):
+        import dataclasses
+        _, once = _mine(trace_list)
+        _, twice = _mine(trace_list + trace_list)
+        # the description records the session count; privilege must not
+        assert dataclasses.replace(twice, description=once.description) \
+            == once
