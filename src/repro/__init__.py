@@ -39,9 +39,11 @@ __all__ = [
     "IntegrityError",
     "KernelError",
     "ReproError",
+    "ServiceConfig",
     "Session",
     "SessionTerminated",
     "TicketResult",
+    "TicketService",
     "WatchITDeployment",
     "__version__",
 ]
@@ -52,6 +54,8 @@ _LAZY_EXPORTS = {
     "Deployment": "repro.api",
     "Session": "repro.api",
     "TicketResult": "repro.api",
+    "TicketService": "repro.service",
+    "ServiceConfig": "repro.service",
 }
 
 

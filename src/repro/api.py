@@ -40,7 +40,23 @@ from repro.framework.orchestrator import (
 )
 from repro.framework.tickets import Ticket
 
-__all__ = ["Deployment", "Session", "TicketResult"]
+__all__ = ["Deployment", "ServiceConfig", "Session", "TicketResult",
+           "TicketService"]
+
+#: service-tier names re-exported lazily — the service imports this
+#: module (for TicketResult), so an eager import here would cycle
+_LAZY_EXPORTS = {
+    "TicketService": "repro.service",
+    "ServiceConfig": "repro.service",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is not None:
+        import importlib
+        return getattr(importlib.import_module(module_name), name)
+    raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
 
 
 @dataclass(frozen=True)

@@ -417,11 +417,76 @@ def _cmd_trace(args) -> int:
     return 0
 
 
-def _cmd_serve(args) -> int:
-    """Run the concurrent control plane against a synthetic ticket storm.
+def _run_daemon(args) -> int:
+    """``repro serve --daemon``: the persistent HTTP service tier.
 
-    Exit status 2 for usage errors, 1 when any ticket fails to resolve,
-    0 on a clean storm.
+    Runs until SIGTERM/SIGINT, then drains gracefully: readiness flips
+    to 503, every accepted ticket completes, the plane closes. Exit 0
+    only when the drain left nothing behind.
+    """
+    import signal
+    import threading
+
+    from repro.controlplane import ControlPlane
+    from repro.service import ServiceConfig, TicketService
+    from repro.workload.storm import (
+        STORM_MACHINES,
+        STORM_USERS,
+        train_storm_classifier,
+    )
+
+    if not 0 <= args.port <= 65535:
+        print(f"repro serve: --port must be in [0, 65535], got {args.port}",
+              file=sys.stderr)
+        return 2
+    if args.rate_limit < 0:
+        print(f"repro serve: --rate-limit must be >= 0, "
+              f"got {args.rate_limit}", file=sys.stderr)
+        return 2
+    if args.max_inflight < 0:
+        print(f"repro serve: --max-inflight must be >= 0, "
+              f"got {args.max_inflight}", file=sys.stderr)
+        return 2
+
+    classifier = (train_storm_classifier(seed=args.seed)
+                  if args.classifier == "lda" else None)
+    plane = ControlPlane(machines=STORM_MACHINES, users=STORM_USERS,
+                         shards=args.shards, pool_size=args.pool_size,
+                         queue_depth=args.queue_depth,
+                         classifier=classifier)
+    config = ServiceConfig(host=args.host, port=args.port,
+                           rate_limit=args.rate_limit,
+                           max_inflight=args.max_inflight,
+                           prewarm_classes=tuple(args.prewarm or ()))
+    service = TicketService(plane, config)
+
+    stop = threading.Event()
+
+    def _on_signal(_signum, _frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    service.start()
+    print(f"repro service listening on {service.url} "
+          f"(POST /tickets, GET /healthz /readyz /metrics); "
+          f"SIGTERM drains", file=sys.stderr)
+    stop.wait()
+    print("repro service: draining...", file=sys.stderr)
+    service.close(drain=True)
+    stats = plane.stats()
+    clean = stats["completed"] == stats["submitted"]
+    print(f"repro service: drained {'cleanly' if clean else 'DIRTY'} "
+          f"({stats['completed']}/{stats['submitted']} tickets served)",
+          file=sys.stderr)
+    return 0 if clean else 1
+
+
+def _cmd_serve(args) -> int:
+    """Run the control plane as a one-shot storm or a persistent daemon.
+
+    Exit status 2 for usage errors, 1 when any ticket fails to resolve
+    (storm mode) or the drain left tickets behind (daemon mode).
     """
     if args.shards < 1:
         print(f"repro serve: --shards must be >= 1, got {args.shards}",
@@ -443,6 +508,8 @@ def _cmd_serve(args) -> int:
         print(f"repro serve: --queue-depth must be >= 1, "
               f"got {args.queue_depth}", file=sys.stderr)
         return 2
+    if args.daemon:
+        return _run_daemon(args)
 
     from repro.workload.storm import (
         generate_storm,
@@ -667,6 +734,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write an experiment report (JSON) to PATH")
     p_srv.add_argument("--json", action="store_true",
                        help="machine-readable summary on stdout")
+    p_srv.add_argument("--daemon", action="store_true",
+                       help="run as a persistent HTTP service instead of "
+                            "a one-shot storm (SIGTERM drains gracefully)")
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="daemon bind address (default 127.0.0.1)")
+    p_srv.add_argument("--port", type=int, default=8377,
+                       help="daemon port (default 8377; 0 = ephemeral)")
+    p_srv.add_argument("--rate-limit", type=float, default=0.0,
+                       help="per-org admission rate in tickets/second "
+                            "(default 0 = unlimited)")
+    p_srv.add_argument("--max-inflight", type=int, default=0,
+                       help="accepted-but-unfinished ticket ceiling "
+                            "(default 0 = unbounded)")
+    p_srv.add_argument("--prewarm", metavar="CLASS", action="append",
+                       default=None,
+                       help="ticket class to prewarm before going ready "
+                            "(repeatable, e.g. --prewarm T-1)")
 
     p_anom = sub.add_parser("anomaly", help="audit-log anomaly detection")
     p_anom.add_argument("--benign", type=int, default=40)

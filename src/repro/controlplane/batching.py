@@ -37,7 +37,7 @@ class BatchingClassifier:
     in one submission.
     """
 
-    def __init__(self, inner, max_entries: int = 65536):
+    def __init__(self, inner, max_entries: int = 65536, registry=None):
         self.inner = inner
         self.max_entries = max_entries
         self._memo: Dict[MemoKey, str] = {}
@@ -45,7 +45,8 @@ class BatchingClassifier:
         #: skip even the preprocessing pass
         self._by_text: Dict[str, str] = {}
         self._lock = threading.Lock()
-        registry = obs.registry()
+        # ``registry`` may be a per-plane scoped view (see ContainerPool)
+        registry = registry if registry is not None else obs.registry()
         self._hits = registry.counter("controlplane_classify_memo",
                                       outcome="hit")
         self._misses = registry.counter("controlplane_classify_memo",

@@ -24,19 +24,20 @@ shard and outcome).
 
 from __future__ import annotations
 
+import itertools
 import queue
 import sys
 import threading
 import time
 from concurrent.futures import Future
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.api import TicketResult
 from repro.broker import BrokerClient
 from repro.controlplane.batching import BatchingClassifier
 from repro.controlplane.sharding import KernelShard, ShardRouter
-from repro.errors import InvalidArgument, ReproError
+from repro.errors import InvalidArgument, ReproError, ShuttingDown
 from repro.framework.classifier import KeywordClassifier
 from repro.framework.orchestrator import DEFAULT_MACHINES, DEFAULT_USERS
 from repro.framework.tickets import Role
@@ -47,6 +48,10 @@ __all__ = ["ControlPlane", "SessionOps", "default_session_ops"]
 SessionOps = Callable[[object, BrokerClient], None]
 
 _SENTINEL = None
+
+#: Process-wide plane ids: every ControlPlane stamps its series with a
+#: unique ``plane`` label so co-resident instances never blend metrics.
+_PLANE_SEQ = itertools.count(1)
 
 
 def default_session_ops(shell, client: BrokerClient) -> None:
@@ -70,19 +75,29 @@ class ControlPlane:
         if queue_depth < 1:
             raise InvalidArgument(
                 f"queue depth must be >= 1, got {queue_depth}")
-        self.classifier = BatchingClassifier(classifier or KeywordClassifier())
+        #: unique per-instance metric scope (the ``plane`` label)
+        self.plane_id = f"plane-{next(_PLANE_SEQ)}"
+        self.metrics = obs.registry().scoped(plane=self.plane_id)
+        self.classifier = BatchingClassifier(classifier or KeywordClassifier(),
+                                             registry=self.metrics)
         self.router = ShardRouter(machines, shards, users=users,
                                   pool_capacity=pool_size,
                                   classifier=self.classifier,
-                                  broker_policy=broker_policy)
+                                  broker_policy=broker_policy,
+                                  registry=self.metrics)
         self._queues: dict = {}
         self._workers: List[threading.Thread] = []
         self._started = False
         self._closed = False
         self._lock = threading.Lock()
+        #: admissions between the closed-check and the enqueue; close()
+        #: waits for this to reach zero before it may send the shutdown
+        #: sentinel, so no ticket is ever enqueued *behind* the sentinel
+        self._admitting = 0
+        self._quiesced = threading.Condition(self._lock)
         self.submitted = 0
         self.completed = 0
-        registry = obs.registry()
+        registry = self.metrics
         self._metrics: dict = {}
         for shard in self.router.shards:
             self._queues[shard.index] = queue.Queue(maxsize=queue_depth)
@@ -132,10 +147,23 @@ class ControlPlane:
             q.join()
 
     def close(self) -> None:
-        """Graceful shutdown: drain, stop workers, tear down pools."""
-        if self._closed:
-            return
-        self._closed = True
+        """Graceful shutdown: drain, stop workers, tear down pools.
+
+        Admission and close coordinate under the plane lock: ``close``
+        flips ``_closed`` (so no new admission can pass the gate), then
+        waits out admissions already past the gate before draining and
+        enqueueing the shutdown sentinels — the write that previously
+        raced ``submit`` and could strand a future behind the sentinel
+        forever. Any future still stranded in a queue after the workers
+        exit (a dead worker) fails with :class:`ShuttingDown` rather
+        than hanging its waiter.
+        """
+        with self._quiesced:
+            if self._closed:
+                return
+            self._closed = True
+            while self._admitting:
+                self._quiesced.wait()
         if self._started:
             self.drain()
             for q in self._queues.values():
@@ -143,7 +171,48 @@ class ControlPlane:
             for worker in self._workers:
                 worker.join()
             sys.setswitchinterval(self._saved_switchinterval)
+            self._fail_stranded()
         self.router.close()
+
+    def _fail_stranded(self) -> None:
+        """Fail (never strand) any future still queued after worker exit."""
+        for q in self._queues.values():
+            while True:
+                try:
+                    chunk = q.get_nowait()
+                except queue.Empty:
+                    break
+                if chunk is _SENTINEL:
+                    continue
+                for *_ticket, future in chunk:
+                    if not future.done():
+                        future.set_exception(ShuttingDown(
+                            "control plane closed before the ticket "
+                            "was served"))
+
+    def workers_alive(self) -> bool:
+        """True when every shard worker thread is running (readiness)."""
+        return bool(self._workers) and all(w.is_alive()
+                                           for w in self._workers)
+
+    def stats(self) -> Dict[str, object]:
+        """A point-in-time lifecycle snapshot (the service readiness feed)."""
+        with self._lock:
+            submitted, completed = self.submitted, self.completed
+        return {
+            "plane": self.plane_id,
+            "started": self._started,
+            "closed": self._closed,
+            "submitted": submitted,
+            "completed": completed,
+            "inflight": submitted - completed,
+            "workers_alive": self.workers_alive(),
+            "shards": len(self.router.shards),
+            "queue_depths": {shard.index: self._queues[shard.index].qsize()
+                             for shard in self.router.shards},
+            "pool_idle": sum(shard.pool.idle_count()
+                             for shard in self.router.shards),
+        }
 
     def __enter__(self) -> "ControlPlane":
         return self.start()
@@ -163,19 +232,42 @@ class ControlPlane:
         for shard in self.router.shards:
             shard.org.tickets.register_person(name, Role.END_USER)
 
+    def _begin_admission(self) -> None:
+        """Pass the admission gate; pairs with :meth:`_end_admission`.
+
+        The closed-check and the in-flight admission count move together
+        under the plane lock: once :meth:`close` flips ``_closed`` no new
+        admission passes, and close itself waits for the count to reach
+        zero — so every admitted ticket is enqueued strictly before the
+        shutdown sentinel.
+        """
+        with self._lock:
+            if self._closed:
+                raise InvalidArgument("control plane is closed")
+            if not self._started:
+                raise InvalidArgument("control plane is not started")
+            self._admitting += 1
+
+    def _end_admission(self, accepted: int) -> None:
+        with self._quiesced:
+            self._admitting -= 1
+            self.submitted += accepted
+            if self._admitting == 0:
+                self._quiesced.notify_all()
+
     def submit(self, reporter: str, text: str, machine: str, admin: str,
                ops: Optional[SessionOps] = None) -> "Future[TicketResult]":
         """Route + enqueue one ticket; blocks when the shard is backlogged."""
-        if self._closed:
-            raise InvalidArgument("control plane is closed")
-        if not self._started:
-            raise InvalidArgument("control plane is not started")
-        shard = self.router.route(machine)
-        future: "Future[TicketResult]" = Future()
-        q = self._queues[shard.index]
-        q.put([(reporter, text, machine, admin, ops, future)])
-        with self._lock:
-            self.submitted += 1
+        self._begin_admission()
+        accepted = 0
+        try:
+            shard = self.router.route(machine)
+            future: "Future[TicketResult]" = Future()
+            q = self._queues[shard.index]
+            q.put([(reporter, text, machine, admin, ops, future)])
+            accepted = 1
+        finally:
+            self._end_admission(accepted)
         self._depth_gauge(shard)
         return future
 
@@ -190,27 +282,28 @@ class ControlPlane:
         ``chunk_size`` tickets instead of once per ticket. Returns one
         future per ticket, in submission order.
         """
-        if self._closed:
-            raise InvalidArgument("control plane is closed")
-        if not self._started:
-            raise InvalidArgument("control plane is not started")
-        self.classify_batch([text for _, text, _ in tickets])
-        futures: List["Future[TicketResult]"] = []
-        chunks: dict = {}
-        for reporter, text, machine in tickets:
-            shard = self.router.route(machine)
-            future: "Future[TicketResult]" = Future()
-            futures.append(future)
-            chunk = chunks.setdefault(shard.index, [])
-            chunk.append((reporter, text, machine, admin, ops, future))
-            if len(chunk) >= chunk_size:
-                self._queues[shard.index].put(chunk)
-                chunks[shard.index] = []
-        for index, chunk in chunks.items():
-            if chunk:
-                self._queues[index].put(chunk)
-        with self._lock:
-            self.submitted += len(futures)
+        self._begin_admission()
+        accepted = 0
+        try:
+            self.classify_batch([text for _, text, _ in tickets])
+            futures: List["Future[TicketResult]"] = []
+            chunks: dict = {}
+            for reporter, text, machine in tickets:
+                shard = self.router.route(machine)
+                future: "Future[TicketResult]" = Future()
+                futures.append(future)
+                chunk = chunks.setdefault(shard.index, [])
+                chunk.append((reporter, text, machine, admin, ops, future))
+                if len(chunk) >= chunk_size:
+                    self._queues[shard.index].put(chunk)
+                    chunks[shard.index] = []
+                    accepted = len(futures)
+            for index, chunk in chunks.items():
+                if chunk:
+                    self._queues[index].put(chunk)
+            accepted = len(futures)
+        finally:
+            self._end_admission(accepted)
         for shard in self.router.shards:
             self._depth_gauge(shard)
         return futures
@@ -219,19 +312,21 @@ class ControlPlane:
                    ops: Optional[SessionOps] = None
                    ) -> Optional["Future[TicketResult]"]:
         """Non-blocking submit: None when the shard queue is full."""
-        if self._closed or not self._started:
-            raise InvalidArgument("control plane is not serving")
-        shard = self.router.route(machine)
-        future: "Future[TicketResult]" = Future()
+        self._begin_admission()
+        accepted = 0
         try:
-            self._queues[shard.index].put_nowait(
-                [(reporter, text, machine, admin, ops, future)])
-        except queue.Full:
-            obs.registry().counter("controlplane_rejected_total",
-                                   shard=shard.index).inc()
-            return None
-        with self._lock:
-            self.submitted += 1
+            shard = self.router.route(machine)
+            future: "Future[TicketResult]" = Future()
+            try:
+                self._queues[shard.index].put_nowait(
+                    [(reporter, text, machine, admin, ops, future)])
+            except queue.Full:
+                self.metrics.counter("controlplane_rejected_total",
+                                     shard=shard.index).inc()
+                return None
+            accepted = 1
+        finally:
+            self._end_admission(accepted)
         self._depth_gauge(shard)
         return future
 
@@ -306,7 +401,10 @@ class ControlPlane:
         finally:
             org.certificates.revoke_ticket(ticket.ticket_id)
             shard.pool.release(pooled)
-        ticket.resolve()
+        if error is None:
+            # an errored session must NOT transition the org's ticket to
+            # resolved — it stays open (assigned) for a retry or triage
+            ticket.resolve()
         duration = time.perf_counter() - started
         metrics["resolved" if error is None else "errored"].inc()
         metrics["latency"].observe(duration)
@@ -320,8 +418,15 @@ class ControlPlane:
     # ------------------------------------------------------------------
 
     def pool_hit_rate(self) -> float:
-        registry = obs.registry()
-        hits = registry.total("controlplane_pool_acquires", outcome="hit")
-        misses = registry.total("controlplane_pool_acquires", outcome="miss")
+        """Warm-lease fraction for *this* plane's pools only.
+
+        The series carry this plane's ``plane`` label, so two co-resident
+        control planes report independent rates instead of blending each
+        other's acquire counters through the process-global registry.
+        """
+        hits = self.metrics.total("controlplane_pool_acquires",
+                                  outcome="hit")
+        misses = self.metrics.total("controlplane_pool_acquires",
+                                    outcome="miss")
         total = hits + misses
         return hits / total if total else 0.0

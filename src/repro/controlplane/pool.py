@@ -109,7 +109,8 @@ class ContainerPool:
     deployment under scrub is owned by exactly one worker.
     """
 
-    def __init__(self, cluster: ClusterManager, capacity: int = 2):
+    def __init__(self, cluster: ClusterManager, capacity: int = 2,
+                 registry=None):
         if capacity < 0:
             raise ValueError(f"pool capacity must be >= 0, got {capacity}")
         self.cluster = cluster
@@ -119,8 +120,11 @@ class ContainerPool:
         self._lock = threading.Lock()
         self.closed = False
         # hot-path metric handles, resolved once (registry lookups are
-        # get-or-create dict probes — cheap, but not free 6+ times a lease)
-        registry = obs.registry()
+        # get-or-create dict probes — cheap, but not free 6+ times a lease).
+        # ``registry`` may be a per-plane scoped view — that is what keeps
+        # two control planes' pool counters apart in one process.
+        registry = registry if registry is not None else obs.registry()
+        self._registry = registry
         self._m_hit = registry.counter("controlplane_pool_acquires",
                                        outcome="hit")
         self._m_miss = registry.counter("controlplane_pool_acquires",
@@ -246,7 +250,7 @@ class ContainerPool:
     def _set_idle_gauge(self, key: PoolKey) -> None:
         gauge = self._gauges.get(key)
         if gauge is None:
-            gauge = obs.registry().gauge("controlplane_pool_idle",
+            gauge = self._registry.gauge("controlplane_pool_idle",
                                          machine=key[0],
                                          ticket_class=key[1])
             self._gauges[key] = gauge

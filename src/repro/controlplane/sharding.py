@@ -39,13 +39,14 @@ class KernelShard:
     def __init__(self, index: int, machines: Sequence[str],
                  users: Sequence[str] = DEFAULT_USERS,
                  pool_capacity: int = 2, classifier=None,
-                 broker_policy=None):
+                 broker_policy=None, registry=None):
         self.index = index
         self.machines: Tuple[str, ...] = tuple(machines)
         self.org = WatchITDeployment.bootstrap(
             machines=self.machines, users=tuple(users),
             classifier=classifier, broker_policy=broker_policy)
-        self.pool = ContainerPool(self.org.cluster, capacity=pool_capacity)
+        self.pool = ContainerPool(self.org.cluster, capacity=pool_capacity,
+                                  registry=registry)
         #: per-machine login authenticators; building the closure per ticket
         #: shows up in storm profiles
         self.authenticators = {
@@ -68,7 +69,7 @@ class ShardRouter:
     def __init__(self, machines: Sequence[str], shards: int,
                  users: Sequence[str] = DEFAULT_USERS,
                  pool_capacity: int = 2, classifier=None,
-                 broker_policy=None):
+                 broker_policy=None, registry=None):
         if shards < 1:
             raise InvalidArgument(f"need at least one shard, got {shards}")
         machines = tuple(machines)
@@ -88,7 +89,8 @@ class ShardRouter:
             shard = KernelShard(index, sorted(owned), users=users,
                                 pool_capacity=pool_capacity,
                                 classifier=classifier,
-                                broker_policy=broker_policy)
+                                broker_policy=broker_policy,
+                                registry=registry)
             self.shards.append(shard)
             for machine in owned:
                 self._routes[machine] = shard

@@ -244,3 +244,12 @@ class ExclusionViolation(OperationNotPermitted):
 
 class TicketError(ReproError):
     """Invalid ticket workflow operation (e.g. IT personnel creating tickets)."""
+
+
+class ShuttingDown(ReproError):
+    """The serving tier is draining/closed; the submission was not served.
+
+    Raised from futures that were admitted but stranded when the control
+    plane closed, and by the service front door for requests that arrive
+    after a drain began.
+    """

@@ -27,6 +27,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    ScopedRegistry,
 )
 from repro.obs.tracing import Span, SpanRecord, Tracer
 
@@ -36,6 +37,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ScopedRegistry",
     "Span",
     "SpanRecord",
     "Tracer",

@@ -35,6 +35,27 @@ def _label_items(labels: Dict[str, object]) -> LabelItems:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus exposition label-value escaping (\\ , \" and newline)."""
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+def _format_bound(bound: float) -> str:
+    """A histogram ``le`` bound in exposition spelling (+Inf, no exponent noise)."""
+    if bound == float("inf"):
+        return "+Inf"
+    return repr(bound)
+
+
+def _label_str(items: LabelItems) -> str:
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in items)
+    return "{" + body + "}"
+
+
 class Counter:
     """A monotonically increasing count."""
 
@@ -247,6 +268,92 @@ class MetricsRegistry:
                     lines.append(f"  {tag:<40} {shown}")
         return "\n".join(lines) if lines else "(no metrics recorded)"
 
+    def to_prometheus(self, prefix: str = "") -> str:
+        """Prometheus text exposition (version 0.0.4) of every series.
+
+        Counters and gauges emit one sample per series; histograms emit
+        the conventional ``_bucket`` (cumulative, ``le``-labelled),
+        ``_sum`` and ``_count`` samples. Series sharing a name emit under
+        one ``# TYPE`` header, in stable (sorted-label) order, so
+        repeated scrapes of an unchanged registry are byte-identical.
+        """
+        lines: List[str] = []
+        for name in self.names():
+            if prefix and not name.startswith(prefix):
+                continue
+            group = self.series(name)
+            kind = group[0].kind  # type: ignore[attr-defined]
+            lines.append(f"# TYPE {name} {kind}")
+            for metric in group:
+                if isinstance(metric, Histogram):
+                    cumulative = 0
+                    for bound, count in zip(metric.bounds,
+                                            metric.bucket_counts):
+                        cumulative += count
+                        items = metric.labels + (
+                            ("le", _format_bound(bound)),)
+                        lines.append(f"{name}_bucket{_label_str(items)} "
+                                     f"{cumulative}")
+                    tag = _label_str(metric.labels)
+                    lines.append(f"{name}_sum{tag} {metric.sum!r}")
+                    lines.append(f"{name}_count{tag} {metric.count}")
+                else:
+                    value = metric.value  # type: ignore[attr-defined]
+                    shown = repr(value) if isinstance(value, float) else value
+                    lines.append(f"{name}{_label_str(metric.labels)} {shown}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def scoped(self, **labels: object) -> "ScopedRegistry":
+        """A view that stamps ``labels`` onto every series it creates.
+
+        Lets per-instance components (e.g. one of several
+        :class:`~repro.controlplane.executor.ControlPlane` instances in a
+        process) keep their series disjoint while still landing in the
+        shared registry for export.
+        """
+        return ScopedRegistry(self, labels)
+
     def reset(self) -> None:
         """Drop every series (test isolation; experiment-run boundaries)."""
         self._series.clear()
+
+
+class ScopedRegistry:
+    """A label-injecting facade over a :class:`MetricsRegistry`.
+
+    Factory and query calls merge the scope labels with the caller's
+    (caller labels win on collision), so a component handed a scoped
+    registry needs no knowledge of how — or whether — it is scoped.
+    """
+
+    def __init__(self, base: MetricsRegistry, labels: Dict[str, object]):
+        self._base = base
+        self._labels = dict(labels)
+
+    @property
+    def scope_labels(self) -> Dict[str, object]:
+        return dict(self._labels)
+
+    def _merge(self, labels: Dict[str, object]) -> Dict[str, object]:
+        return {**self._labels, **labels}
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._base.counter(name, **self._merge(labels))
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._base.gauge(name, **self._merge(labels))
+
+    def histogram(self, name: str,
+                  buckets: Optional[Tuple[float, ...]] = None,
+                  **labels: object) -> Histogram:
+        return self._base.histogram(name, buckets=buckets,
+                                    **self._merge(labels))
+
+    def series(self, name: str, **label_filter: object) -> List[object]:
+        return self._base.series(name, **self._merge(label_filter))
+
+    def total(self, name: str, **label_filter: object) -> float:
+        return self._base.total(name, **self._merge(label_filter))
+
+    def scoped(self, **labels: object) -> "ScopedRegistry":
+        return ScopedRegistry(self._base, self._merge(labels))

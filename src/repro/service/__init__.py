@@ -1,0 +1,36 @@
+"""The persistent service tier over the concurrent control plane.
+
+``repro.service`` turns the benchmark harness into a drivable daemon: a
+threaded stdlib HTTP front door (:class:`TicketService`) that accepts
+ticket submissions, enforces per-org token-bucket rate limits and
+quota-aware backpressure (:class:`AdmissionController`), exposes
+liveness/readiness probes, and serves the shared metrics registry in
+Prometheus text exposition format (:func:`render_exposition`).
+
+Start one from the CLI (``repro serve --daemon``) or in-process::
+
+    from repro.controlplane import ControlPlane
+    from repro.service import ServiceConfig, TicketService
+
+    plane = ControlPlane(machines=("ws-01", "ws-02"), shards=2)
+    with TicketService(plane, ServiceConfig(rate_limit=50)) as service:
+        print(service.url)   # POST /tickets, GET /healthz|/readyz|/metrics
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    TokenBucket,
+)
+from repro.service.exposition import CONTENT_TYPE, render_exposition
+from repro.service.server import ServiceConfig, TicketService
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "CONTENT_TYPE",
+    "ServiceConfig",
+    "TicketService",
+    "TokenBucket",
+    "render_exposition",
+]

@@ -1,0 +1,158 @@
+"""Admission control for the service front door.
+
+Two mechanisms gate a ticket before it ever reaches the control plane:
+
+* **Token buckets, per org.** Each submitting organization (the
+  ``X-Org`` header, default ``"default"``) gets an independent
+  :class:`TokenBucket` refilling at ``rate`` tickets/second up to
+  ``burst``. A storm from one org exhausts only its own bucket; the
+  others keep their full rate.
+* **An inflight ceiling.** ``max_inflight`` bounds tickets accepted but
+  not yet completed across the whole service; beyond it every org is
+  pushed back regardless of its bucket.
+
+Both rejections surface to the HTTP layer as ``429 Too Many Requests``
+with a ``Retry-After`` hint — the same shape queue-full
+``ControlPlane.try_submit`` rejections are mapped to — so a well-behaved
+client needs exactly one backoff code path.
+
+The clock is injectable (monotonic seconds) so tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+__all__ = ["AdmissionController", "AdmissionDecision", "TokenBucket"]
+
+Clock = Callable[[], float]
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    ``rate <= 0`` disables rate limiting (the bucket always admits) —
+    the service default, so a daemon without ``--rate-limit`` imposes
+    only queue backpressure.
+    """
+
+    def __init__(self, rate: float, burst: Optional[int] = None,
+                 clock: Clock = time.monotonic):
+        if burst is not None and burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst if burst is not None else max(rate, 1.0))
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, n: int = 1) -> bool:
+        """Take ``n`` tokens if available; never blocks."""
+        if self.rate <= 0:
+            return True
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= n:
+                self._tokens -= n
+                return True
+            return False
+
+    def retry_after(self, n: int = 1) -> float:
+        """Seconds until ``n`` tokens will be available (0 when now)."""
+        if self.rate <= 0:
+            return 0.0
+        with self._lock:
+            self._refill(self._clock())
+            missing = n - self._tokens
+            if missing <= 0:
+                return 0.0
+            return missing / self.rate
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The front door's verdict on one submission batch."""
+
+    admitted: bool
+    #: ``rate_limit`` | ``inflight`` when rejected, ``""`` when admitted
+    reason: str = ""
+    #: client backoff hint in seconds (the ``Retry-After`` header)
+    retry_after: float = 0.0
+
+
+class AdmissionController:
+    """Per-org token buckets plus a global inflight ceiling."""
+
+    #: Retry-After hint when the inflight ceiling (not a bucket) rejects:
+    #: there is no token arrival time to compute, so hint one nominal
+    #: session duration.
+    INFLIGHT_RETRY_AFTER = 1.0
+
+    def __init__(self, rate: float = 0.0, burst: Optional[int] = None,
+                 max_inflight: int = 0, clock: Clock = time.monotonic):
+        if max_inflight < 0:
+            raise ValueError(
+                f"max_inflight must be >= 0, got {max_inflight}")
+        self.rate = float(rate)
+        self.burst = burst
+        self.max_inflight = max_inflight
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._inflight = 0
+        self._lock = threading.Lock()
+
+    def bucket(self, org: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(org)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst,
+                                     clock=self._clock)
+                self._buckets[org] = bucket
+            return bucket
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def admit(self, org: str, n: int = 1) -> AdmissionDecision:
+        """Admit ``n`` tickets from ``org``, or say when to retry.
+
+        On admission the inflight count is charged immediately; the
+        caller must pair every admitted ticket with exactly one
+        :meth:`complete` (including tickets later bounced by the queue).
+        """
+        with self._lock:
+            if self.max_inflight and self._inflight + n > self.max_inflight:
+                return AdmissionDecision(
+                    admitted=False, reason="inflight",
+                    retry_after=self.INFLIGHT_RETRY_AFTER)
+        bucket = self.bucket(org)
+        if not bucket.try_acquire(n):
+            return AdmissionDecision(
+                admitted=False, reason="rate_limit",
+                retry_after=max(bucket.retry_after(n), 0.001))
+        with self._lock:
+            self._inflight += n
+        return AdmissionDecision(admitted=True)
+
+    def complete(self, n: int = 1) -> None:
+        """Return ``n`` inflight slots (ticket served or bounced)."""
+        with self._lock:
+            self._inflight = max(0, self._inflight - n)

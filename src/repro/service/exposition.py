@@ -1,0 +1,34 @@
+"""Prometheus text exposition of the shared metrics registry.
+
+The heavy lifting — stable ordering, label escaping, cumulative
+histogram buckets — lives in
+:meth:`repro.obs.MetricsRegistry.to_prometheus`; this module owns the
+HTTP-facing contract: the content type and the scrape entry point the
+server handler calls.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import obs
+from repro.obs import MetricsRegistry
+
+__all__ = ["CONTENT_TYPE", "render_exposition"]
+
+#: The Prometheus text-format content type (exposition format 0.0.4).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def render_exposition(registry: Optional[MetricsRegistry] = None,
+                      prefix: str = "") -> str:
+    """The ``GET /metrics`` body: every series, exposition-formatted.
+
+    ``registry`` defaults to the process-wide shared registry, so a
+    scrape sees the whole picture — kernel, ITFS, broker, control plane,
+    and the service tier itself. ``prefix`` optionally narrows to one
+    metric family (mirrors ``repro metrics --prefix``).
+    """
+    if registry is None:
+        registry = obs.registry()
+    return registry.to_prometheus(prefix=prefix)

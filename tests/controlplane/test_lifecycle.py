@@ -1,0 +1,183 @@
+"""Lifecycle regressions: the submit/close race, errored-ticket state,
+and per-plane metric isolation."""
+
+import threading
+from concurrent.futures import FIRST_EXCEPTION, wait
+
+import pytest
+
+from repro.controlplane import ControlPlane
+from repro.errors import IntegrityError, InvalidArgument, ShuttingDown
+from repro.framework.tickets import TicketStatus
+
+MACHINES = ("ws-01", "ws-02", "ws-03", "ws-04")
+USERS = ("alice", "bob")
+ADMIN = "it-bob"
+TEXT = "matlab license expired"
+
+
+def make_plane(**kwargs):
+    kwargs.setdefault("machines", MACHINES)
+    kwargs.setdefault("users", USERS)
+    kwargs.setdefault("shards", 2)
+    kwargs.setdefault("pool_size", 1)
+    plane = ControlPlane(**kwargs).start()
+    plane.register_admin(ADMIN)
+    return plane
+
+
+class TestSubmitCloseRace:
+    """Regression: ``submit`` used to check ``_closed`` outside the lock,
+    so a ticket could be enqueued *behind* the shutdown sentinel and its
+    future would pend forever. Now close() waits out in-flight admissions
+    before the sentinel, so every admitted future completes."""
+
+    def test_racing_submit_never_strands_a_future(self):
+        for _ in range(15):
+            plane = make_plane(queue_depth=16)
+            futures = []
+            go = threading.Event()
+
+            def submitter(user):
+                go.wait()
+                for i in range(4):
+                    machine = MACHINES[i % len(MACHINES)]
+                    try:
+                        futures.append(
+                            plane.submit(user, TEXT, machine, ADMIN))
+                    except InvalidArgument:
+                        return  # lost the race to close(): acceptable
+
+            threads = [threading.Thread(target=submitter, args=(u,))
+                       for u in USERS * 2]
+            for t in threads:
+                t.start()
+            go.set()  # closer races the submitters from the first ticket
+            plane.close()
+            for t in threads:
+                t.join(timeout=30)
+                assert not t.is_alive()
+            # the contract: every future that submit() returned settles —
+            # served normally or failed with ShuttingDown, never pending
+            done, pending = wait(futures, timeout=30,
+                                 return_when=FIRST_EXCEPTION)
+            assert not pending
+            for future in futures:
+                try:
+                    assert future.result(timeout=0).ticket_id > 0
+                except ShuttingDown:
+                    pass
+
+    def test_submit_after_close_raises(self):
+        plane = make_plane()
+        plane.close()
+        with pytest.raises(InvalidArgument):
+            plane.submit("alice", TEXT, "ws-01", ADMIN)
+        with pytest.raises(InvalidArgument):
+            plane.try_submit("alice", TEXT, "ws-01", ADMIN)
+        with pytest.raises(InvalidArgument):
+            plane.submit_many([("alice", TEXT, "ws-01")], ADMIN)
+
+    def test_submit_before_start_raises(self):
+        plane = ControlPlane(machines=MACHINES, users=USERS, shards=1)
+        with pytest.raises(InvalidArgument):
+            plane.submit("alice", TEXT, "ws-01", ADMIN)
+        plane.close()
+
+    def test_close_is_idempotent_and_reentrant(self):
+        plane = make_plane()
+        plane.submit("alice", TEXT, "ws-01", ADMIN).result(timeout=30)
+        plane.close()
+        plane.close()
+        assert plane.stats()["closed"]
+        assert not plane.workers_alive()
+
+
+class TestErroredTicketState:
+    """Regression: ``_serve`` resolved the org's ticket unconditionally,
+    so a session that died mid-ops still closed the ticket as RESOLVED."""
+
+    def test_errored_session_leaves_ticket_unresolved(self):
+        def exploding_ops(shell, client):
+            raise IntegrityError("session aborted mid-ops")
+
+        plane = make_plane(shards=1)
+        try:
+            result = plane.submit("alice", TEXT, "ws-01", ADMIN,
+                                  ops=exploding_ops).result(timeout=30)
+            assert not result.resolved
+            assert "IntegrityError" in (result.error or "")
+            shard = plane.router.route("ws-01")
+            ticket = shard.org.tickets.get(result.ticket_id)
+            assert ticket.status is TicketStatus.ASSIGNED
+            assert ticket.status is not TicketStatus.RESOLVED
+        finally:
+            plane.close()
+
+    def test_successful_session_still_resolves_ticket(self):
+        plane = make_plane(shards=1)
+        try:
+            result = plane.submit("alice", TEXT, "ws-01",
+                                  ADMIN).result(timeout=30)
+            assert result.resolved
+            shard = plane.router.route("ws-01")
+            ticket = shard.org.tickets.get(result.ticket_id)
+            assert ticket.status is TicketStatus.RESOLVED
+        finally:
+            plane.close()
+
+    def test_errored_outcome_lands_on_the_errored_counter(self):
+        def exploding_ops(shell, client):
+            raise IntegrityError("boom")
+
+        plane = make_plane(shards=1)
+        try:
+            plane.submit("alice", TEXT, "ws-01", ADMIN,
+                         ops=exploding_ops).result(timeout=30)
+            assert plane.metrics.total("controlplane_tickets_served",
+                                       outcome="errored") == 1
+            assert plane.metrics.total("controlplane_tickets_served",
+                                       outcome="resolved") == 0
+        finally:
+            plane.close()
+
+
+class TestPerPlaneMetricIsolation:
+    """Regression: ``pool_hit_rate`` read the process-global registry, so
+    two co-resident planes blended each other's acquire counters."""
+
+    def test_two_planes_report_independent_hit_rates(self):
+        warm = make_plane(shards=1)
+        cold = make_plane(shards=1)
+        try:
+            warm.prewarm(["T-1"])
+            warm.submit("alice", TEXT, "ws-01", ADMIN).result(timeout=30)
+            cold.submit("bob", TEXT, "ws-01", ADMIN).result(timeout=30)
+            # warm plane leased from its prewarmed pool: all hits; the
+            # cold plane's first acquire is necessarily a miss
+            assert warm.pool_hit_rate() == 1.0
+            assert cold.pool_hit_rate() == 0.0
+        finally:
+            warm.close()
+            cold.close()
+
+    def test_every_controlplane_series_carries_the_plane_label(self):
+        from repro import obs
+
+        plane = make_plane(shards=1)
+        try:
+            plane.submit("alice", TEXT, "ws-01", ADMIN).result(timeout=30)
+            series = [m for m in obs.registry()
+                      if m.name.startswith("controlplane_")]
+            assert series
+            for metric in series:
+                assert dict(metric.labels).get("plane") == plane.plane_id
+        finally:
+            plane.close()
+
+    def test_plane_ids_are_unique(self):
+        a = ControlPlane(machines=MACHINES, users=USERS, shards=1)
+        b = ControlPlane(machines=MACHINES, users=USERS, shards=1)
+        assert a.plane_id != b.plane_id
+        a.close()
+        b.close()

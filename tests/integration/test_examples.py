@@ -19,6 +19,9 @@ FAST_EXAMPLES = [
     ("third_party_support.py", 120, ["card processor unreachable"]),
     ("threat_analysis.py", 240, ["11/11 attacks blocked or detected"]),
     ("anomaly_detection.py", 240, ["threshold sweep"]),
+    ("serve_daemon.py", 180, ["single ticket -> HTTP 200",
+                              "rate limited -> HTTP 429",
+                              "workers stopped: True"]),
 ]
 
 

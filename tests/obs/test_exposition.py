@@ -1,0 +1,95 @@
+"""Prometheus text exposition and per-instance registry scoping."""
+
+from repro.obs import MetricsRegistry
+from repro.service.exposition import CONTENT_TYPE, render_exposition
+
+
+class TestExposition:
+    def test_counter_and_gauge_samples(self):
+        reg = MetricsRegistry()
+        reg.counter("requests_total", path="/tickets").inc(3)
+        reg.gauge("inflight").set(2.0)
+        text = reg.to_prometheus()
+        assert "# TYPE requests_total counter" in text
+        assert 'requests_total{path="/tickets"} 3' in text
+        assert "# TYPE inflight gauge" in text
+        assert "inflight 2.0" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.05, 0.5, 5.0):
+            hist.observe(value)
+        text = reg.to_prometheus()
+        assert 'lat_seconds_bucket{le="0.1"} 2' in text
+        assert 'lat_seconds_bucket{le="1.0"} 3' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 4' in text
+        assert "lat_seconds_count 4" in text
+        assert "lat_seconds_sum 5.6" in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("odd_total", path='a"b\\c\nd').inc()
+        text = reg.to_prometheus()
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_stable_order_and_prefix_filter(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total", x="2").inc()
+        reg.counter("b_total", x="1").inc()
+        reg.counter("a_total").inc()
+        text = reg.to_prometheus()
+        assert text == reg.to_prometheus()  # byte-stable across scrapes
+        assert text.index("a_total") < text.index("b_total")
+        assert text.index('x="1"') < text.index('x="2"')
+        only_a = reg.to_prometheus(prefix="a_")
+        assert "a_total" in only_a and "b_total" not in only_a
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_render_exposition_defaults_to_shared_registry(self):
+        from repro import obs
+        obs.registry().counter("exposition_probe_total").inc()
+        try:
+            assert "exposition_probe_total 1" in render_exposition()
+            assert render_exposition(prefix="no_such_prefix") == ""
+        finally:
+            obs.reset()
+        assert CONTENT_TYPE.startswith("text/plain")
+
+
+class TestScopedRegistry:
+    def test_scope_labels_stamped_on_every_series(self):
+        reg = MetricsRegistry()
+        scoped = reg.scoped(plane="p1")
+        scoped.counter("ops_total", op="read").inc(2)
+        scoped.gauge("depth", shard=0).set(1)
+        scoped.histogram("lat").observe(0.5)
+        for name in ("ops_total", "depth", "lat"):
+            (series,) = reg.series(name)
+            assert ("plane", "p1") in series.labels
+
+    def test_scoped_totals_stay_disjoint(self):
+        reg = MetricsRegistry()
+        a, b = reg.scoped(plane="a"), reg.scoped(plane="b")
+        a.counter("hits").inc(5)
+        b.counter("hits").inc(1)
+        assert a.total("hits") == 5
+        assert b.total("hits") == 1
+        assert reg.total("hits") == 6  # the union is still one registry
+
+    def test_caller_labels_win_on_collision(self):
+        reg = MetricsRegistry()
+        scoped = reg.scoped(plane="a")
+        scoped.counter("c", plane="override").inc()
+        (series,) = reg.series("c")
+        assert dict(series.labels)["plane"] == "override"
+
+    def test_nested_scopes_merge(self):
+        reg = MetricsRegistry()
+        inner = reg.scoped(plane="a").scoped(shard="3")
+        inner.counter("c").inc()
+        (series,) = reg.series("c")
+        assert dict(series.labels) == {"plane": "a", "shard": "3"}

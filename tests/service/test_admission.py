@@ -1,0 +1,102 @@
+"""Token buckets and the admission controller (deterministic clocks)."""
+
+import pytest
+
+from repro.service.admission import AdmissionController, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_deny(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+        assert bucket.try_acquire(2)
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 0.5s * 2/s = 1 token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3, clock=clock)
+        clock.advance(1000)
+        assert bucket.tokens == 3
+
+    def test_retry_after_is_exact(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=4.0, burst=1, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.retry_after() == pytest.approx(0.25)
+        clock.advance(0.25)
+        assert bucket.retry_after() == 0.0
+        assert bucket.try_acquire()
+
+    def test_zero_rate_disables_limiting(self):
+        bucket = TokenBucket(rate=0.0, clock=FakeClock())
+        assert all(bucket.try_acquire() for _ in range(1000))
+        assert bucket.retry_after() == 0.0
+
+    def test_bulk_acquire_counts_tokens(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=5, clock=clock)
+        assert not bucket.try_acquire(6)
+        assert bucket.try_acquire(5)
+        assert bucket.retry_after(3) == pytest.approx(3.0)
+
+    def test_burst_validated(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestAdmissionController:
+    def test_orgs_get_independent_buckets(self):
+        clock = FakeClock()
+        ctl = AdmissionController(rate=1.0, burst=1, clock=clock)
+        assert ctl.admit("acme").admitted
+        denied = ctl.admit("acme")
+        assert not denied.admitted and denied.reason == "rate_limit"
+        assert denied.retry_after > 0
+        # a different org still has its full burst
+        assert ctl.admit("globex").admitted
+
+    def test_inflight_ceiling_rejects_everyone(self):
+        ctl = AdmissionController(rate=0.0, max_inflight=2,
+                                  clock=FakeClock())
+        assert ctl.admit("acme", 2).admitted
+        denied = ctl.admit("globex")
+        assert not denied.admitted and denied.reason == "inflight"
+        ctl.complete(1)
+        assert ctl.admit("globex").admitted
+
+    def test_complete_never_goes_negative(self):
+        ctl = AdmissionController(clock=FakeClock())
+        ctl.complete(5)
+        assert ctl.inflight == 0
+
+    def test_batch_admission_charges_batch_size(self):
+        clock = FakeClock()
+        ctl = AdmissionController(rate=1.0, burst=4, clock=clock)
+        assert ctl.admit("acme", 4).admitted
+        assert ctl.inflight == 4
+        assert not ctl.admit("acme", 1).admitted
+
+    def test_max_inflight_validated(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=-1)

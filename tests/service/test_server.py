@@ -1,0 +1,282 @@
+"""The HTTP service tier: endpoints, backpressure, readiness, drain."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.controlplane import ControlPlane
+from repro.service import ServiceConfig, TicketService
+
+MACHINES = ("ws-01", "ws-02")
+USERS = ("alice", "bob")
+TEXT = "matlab license expired"
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=30) as resp:
+            return resp.status, dict(resp.headers), resp.read().decode()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read().decode()
+
+
+def _post(url, payload, headers=None):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json", **(headers or {})})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return resp.status, dict(resp.headers), resp.read().decode()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read().decode()
+
+
+def make_service(tmp_factory=None, *, shards=1, pool_size=1, queue_depth=8,
+                 default_ops=None, **config_kwargs):
+    plane = ControlPlane(machines=MACHINES, users=USERS, shards=shards,
+                         pool_size=pool_size, queue_depth=queue_depth)
+    config = ServiceConfig(port=0, **config_kwargs)
+    return TicketService(plane, config, default_ops=default_ops)
+
+
+@pytest.fixture(scope="module")
+def service():
+    svc = make_service(prewarm_classes=("T-1",))
+    svc.start()
+    yield svc
+    svc.close()
+
+
+class TestEndpoints:
+    def test_healthz(self, service):
+        status, _, body = _get(service.url + "/healthz")
+        assert status == 200 and json.loads(body) == {"status": "ok"}
+
+    def test_readyz_when_serving(self, service):
+        status, _, body = _get(service.url + "/readyz")
+        checks = json.loads(body)
+        assert status == 200
+        assert checks["ready"] and checks["workers_alive"]
+        assert checks["pools_warm"] and not checks["draining"]
+
+    def test_single_ticket_waited(self, service):
+        status, _, body = _post(service.url + "/tickets", {
+            "reporter": "alice", "text": TEXT, "machine": "ws-01",
+            "wait": True})
+        payload = json.loads(body)
+        assert status == 200 and payload["accepted"] == 1
+        result = payload["results"]
+        assert result["resolved"] and result["ticket_class"] == "T-1"
+        assert result["machine"] == "ws-01"
+
+    def test_bulk_tickets_accepted(self, service):
+        rows = [{"reporter": "bob", "text": TEXT, "machine": m}
+                for m in MACHINES * 2]
+        status, _, body = _post(service.url + "/tickets",
+                                {"tickets": rows, "wait": True})
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["accepted"] == len(rows) and payload["rejected"] == 0
+        assert all(r["resolved"] for r in payload["results"])
+
+    def test_fire_and_forget_returns_202(self, service):
+        status, _, body = _post(service.url + "/tickets", {
+            "reporter": "alice", "text": TEXT, "machine": "ws-02"})
+        assert status == 202 and json.loads(body)["accepted"] == 1
+        service.plane.drain()
+
+    def test_unknown_machine_is_400(self, service):
+        status, _, body = _post(service.url + "/tickets", {
+            "reporter": "alice", "text": TEXT, "machine": "ws-99"})
+        assert status == 400
+        assert "ws-01" in json.loads(body)["machines"]
+
+    def test_malformed_json_is_400(self, service):
+        request = urllib.request.Request(
+            service.url + "/tickets", data=b"{not json",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_unknown_route_is_404(self, service):
+        assert _get(service.url + "/nope")[0] == 404
+        assert _post(service.url + "/nope", {})[0] == 404
+
+    def test_metrics_exposition(self, service):
+        # the shared registry is reset between tests; generate traffic
+        # in-test so the scrape has something to expose
+        assert _get(service.url + "/healthz")[0] == 200
+        assert _post(service.url + "/tickets", {
+            "reporter": "alice", "text": TEXT, "machine": "ws-01",
+            "wait": True})[0] == 200
+        status, headers, body = _get(service.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "# TYPE service_http_requests_total counter" in body
+        assert "service_tickets_accepted_total" in body
+        # control-plane series carry this plane's scope label
+        assert f'plane="{service.plane.plane_id}"' in body
+
+    def test_metrics_prefix_filter(self, service):
+        assert _get(service.url + "/healthz")[0] == 200
+        _, _, body = _get(service.url + "/metrics?prefix=service_")
+        assert body and all(
+            line.startswith(("service_", "# TYPE service_"))
+            for line in body.splitlines())
+
+
+class TestAdmissionOverHTTP:
+    def test_rate_limit_maps_to_429_with_retry_after(self):
+        svc = make_service(rate_limit=0.001, burst=1).start()
+        try:
+            ok = _post(svc.url + "/tickets", {
+                "reporter": "alice", "text": TEXT, "machine": "ws-01",
+                "wait": True})
+            assert ok[0] == 200
+            status, headers, body = _post(svc.url + "/tickets", {
+                "reporter": "alice", "text": TEXT, "machine": "ws-01"})
+            payload = json.loads(body)
+            assert status == 429 and payload["reason"] == "rate_limit"
+            assert int(headers["Retry-After"]) >= 1
+            # the rejection is visible in the exposition
+            _, _, metrics = _get(svc.url + "/metrics")
+            assert 'service_tickets_rejected_total{' in metrics
+            assert 'reason="rate_limit"' in metrics
+        finally:
+            svc.close()
+
+    def test_orgs_are_limited_independently(self):
+        svc = make_service(rate_limit=0.001, burst=1).start()
+        try:
+            first = _post(svc.url + "/tickets",
+                          {"reporter": "alice", "text": TEXT,
+                           "machine": "ws-01", "wait": True},
+                          headers={"X-Org": "acme"})
+            assert first[0] == 200
+            limited = _post(svc.url + "/tickets",
+                            {"reporter": "alice", "text": TEXT,
+                             "machine": "ws-01"},
+                            headers={"X-Org": "acme"})
+            assert limited[0] == 429
+            other = _post(svc.url + "/tickets",
+                          {"reporter": "bob", "text": TEXT,
+                           "machine": "ws-01", "wait": True},
+                          headers={"X-Org": "globex"})
+            assert other[0] == 200
+        finally:
+            svc.close()
+
+    def test_queue_full_maps_to_429_backpressure(self):
+        occupied = threading.Event()
+        release = threading.Event()
+
+        def slow_ops(shell, client):
+            occupied.set()
+            release.wait(timeout=30)
+
+        svc = make_service(queue_depth=1, default_ops=slow_ops).start()
+        try:
+            assert _post(svc.url + "/tickets", {
+                "reporter": "alice", "text": TEXT,
+                "machine": "ws-01"})[0] == 202
+            assert occupied.wait(timeout=30)  # worker is pinned in ops
+            assert _post(svc.url + "/tickets", {
+                "reporter": "bob", "text": TEXT,
+                "machine": "ws-01"})[0] == 202  # fills the depth-1 queue
+            status, headers, body = _post(svc.url + "/tickets", {
+                "reporter": "bob", "text": TEXT, "machine": "ws-01"})
+            payload = json.loads(body)
+            assert status == 429 and payload["reason"] == "backpressure"
+            assert int(headers["Retry-After"]) >= 1
+            _, _, metrics = _get(svc.url + "/metrics")
+            assert 'reason="backpressure"' in metrics
+            assert "controlplane_rejected_total" in metrics
+        finally:
+            release.set()
+            svc.close()
+
+    def test_inflight_ceiling_maps_to_429(self):
+        release = threading.Event()
+
+        def slow_ops(shell, client):
+            release.wait(timeout=30)
+
+        svc = make_service(max_inflight=1, default_ops=slow_ops).start()
+        try:
+            assert _post(svc.url + "/tickets", {
+                "reporter": "alice", "text": TEXT,
+                "machine": "ws-01"})[0] == 202
+            status, _, body = _post(svc.url + "/tickets", {
+                "reporter": "bob", "text": TEXT, "machine": "ws-01"})
+            assert status == 429
+            assert json.loads(body)["reason"] == "inflight"
+        finally:
+            release.set()
+            svc.close()
+
+    def test_inflight_slots_return_after_completion(self):
+        svc = make_service(max_inflight=2).start()
+        try:
+            for _ in range(3):  # would exceed the ceiling if slots leaked
+                status, _, _ = _post(svc.url + "/tickets", {
+                    "reporter": "alice", "text": TEXT,
+                    "machine": "ws-01", "wait": True})
+                assert status == 200
+            assert svc.admission.inflight == 0
+        finally:
+            svc.close()
+
+
+class TestLifecycle:
+    def test_draining_service_rejects_with_503(self):
+        svc = make_service().start()
+        try:
+            svc._draining = True
+            status, headers, _ = _post(svc.url + "/tickets", {
+                "reporter": "alice", "text": TEXT, "machine": "ws-01"})
+            assert status == 503 and "Retry-After" in headers
+            ready_status, _, body = _get(svc.url + "/readyz")
+            assert ready_status == 503
+            assert json.loads(body)["draining"]
+            # liveness is unaffected by the drain
+            assert _get(svc.url + "/healthz")[0] == 200
+        finally:
+            svc._draining = False
+            svc.close()
+
+    def test_graceful_drain_completes_accepted_tickets(self):
+        svc = make_service().start()
+        rows = [{"reporter": "alice", "text": TEXT, "machine": m}
+                for m in MACHINES * 3]
+        status, _, _ = _post(svc.url + "/tickets", {"tickets": rows})
+        assert status == 202
+        svc.close(drain=True)
+        stats = svc.plane.stats()
+        assert stats["completed"] == stats["submitted"] == len(rows)
+
+    def test_three_start_drain_shutdown_cycles_leave_nothing_hung(self):
+        for _ in range(3):
+            svc = make_service(shards=2, prewarm_classes=("T-1",)).start()
+            rows = [{"reporter": "bob", "text": TEXT, "machine": m}
+                    for m in MACHINES * 4]
+            status, _, body = _post(svc.url + "/tickets",
+                                    {"tickets": rows, "wait": True})
+            payload = json.loads(body)
+            assert status == 200 and payload["accepted"] == len(rows)
+            assert all(r["resolved"] for r in payload["results"])
+            svc.close(drain=True)
+            stats = svc.plane.stats()
+            assert stats["completed"] == stats["submitted"]
+            assert stats["inflight"] == 0
+
+    def test_close_is_idempotent_and_context_manager_works(self):
+        with make_service() as svc:
+            url = svc.url
+            assert _get(url + "/healthz")[0] == 200
+        svc.close()  # second close is a no-op
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(url + "/healthz", timeout=2)
