@@ -1,21 +1,36 @@
-"""Benchmark: control-plane throughput vs the serial baseline.
+"""Benchmark: sustained storm throughput — serial vs thread vs process.
 
 Writes ``BENCH_throughput.json`` at the repo root (the unified
-``watchit-experiment-report/v1`` schema): tickets/sec for the naive
-one-at-a-time orchestrator and for the concurrent control plane (4
-shards, warm pools, batched + memoized LDA classification) serving the
-same 200-ticket storm with the same classifier and the same session
-body.
+``watchit-experiment-report/v1`` schema). Each storm is served three
+ways — the naive one-at-a-time orchestrator, the control plane with
+thread-mode shard workers, and the control plane with process-mode shard
+workers — over a *duplicate-mix sweep*:
 
-The acceptance bar: the sharded + pooled configuration must clear 4x
-the serial rate. The headroom comes from three places the serial path
-cannot touch: classification runs once per *unique* report text instead
-of once per ticket, containers are leased from a scrubbed warm pool
-instead of deployed and torn down per ticket, and per-workstation state
-lives on exactly one shard so nothing is re-derived.
+* ``rich`` (duplicate_rate 0.9) — the outage-aftermath regime the memo
+  table and warm pools are built for; mostly lease/serve machinery.
+* ``poor`` (duplicate_rate 0.1) — almost every report text is unique, so
+  LDA classification runs nearly once per ticket: the CPU-bound regime
+  where the GIL caps thread mode and process workers can scale with
+  cores.
+
+Every mode reports sustained p50/p95/p99 end-to-end session latency
+(exact per-ticket samples, admission to completion) and tickets/s
+normalized per core actually occupied.
+
+Scale: the default storm is sized for CI. Set
+``REPRO_BENCH_STORM_TICKETS`` (e.g. ``100000``) for the sustained soak;
+the serial baseline is capped (``SERIAL_CAP``) so the soak measures the
+concurrent planes, not the baseline's patience.
+
+Acceptance bars: zero errors everywhere; thread mode clears
+``MIN_SPEEDUP``x serial on the duplicate-rich mix with a >90% pool hit
+rate; and on a multi-core runner process mode must beat thread mode on
+the duplicate-poor (CPU-bound) mix — on a single core that comparison is
+reported but not asserted, since forking buys nothing there.
 """
 
 import json
+import os
 from pathlib import Path
 
 from repro.experiments.schema import ExperimentReport
@@ -27,70 +42,104 @@ from repro.workload.storm import (
 )
 
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
-N_TICKETS = 200
-#: served before the clock starts, on both drivers: the benchmark reports
-#: steady-state serving throughput, the regime a ticket-serving layer
-#: actually runs in
-WARMUP = 40
-DUPLICATE_RATE = 0.9
+
+#: sustained-soak opt-in: total measured tickets per (mode, mix) run
+SOAK_TICKETS = int(os.environ.get("REPRO_BENCH_STORM_TICKETS", "0"))
+N_TICKETS = SOAK_TICKETS if SOAK_TICKETS > 0 else 320
+#: the serial baseline at soak scale would dominate wall time for a
+#: number nobody is tuning; cap it and scale its rate comparisons
+SERIAL_CAP = 2000
+WARMUP_FRACTION = 0.2
+MIXES = {"rich": 0.9, "poor": 0.1}
 SHARDS = 4
 POOL_SIZE = 2
+QUEUE_DEPTH = 256
 SEED = 11
 MIN_SPEEDUP = 4.0
 
 
-def _best(reports):
-    """The run with the highest throughput — the noise-robust estimator."""
-    return max(reports, key=lambda r: r.tickets_per_s)
+def _storm_for(duplicate_rate, n):
+    warmup = max(1, int(n * WARMUP_FRACTION))
+    storm = generate_storm(n=n + warmup, seed=SEED,
+                           duplicate_rate=duplicate_rate)
+    return storm, warmup
+
+
+def _run_sweep():
+    classifier = train_storm_classifier(seed=7)
+    reports = {}
+    for mix, duplicate_rate in MIXES.items():
+        serial_n = min(N_TICKETS, SERIAL_CAP)
+        serial_storm, serial_warmup = _storm_for(duplicate_rate, serial_n)
+        reports[(mix, "serial")] = run_storm_serial(
+            serial_storm, classifier=classifier, warmup=serial_warmup)
+        storm, warmup = _storm_for(duplicate_rate, N_TICKETS)
+        for workers in ("thread", "process"):
+            reports[(mix, workers)] = run_storm_sharded(
+                storm, classifier=classifier, shards=SHARDS,
+                pool_size=POOL_SIZE, queue_depth=QUEUE_DEPTH,
+                warmup=warmup, workers=workers)
+    return reports
 
 
 def test_bench_controlplane_throughput(once):
-    classifier = train_storm_classifier(seed=7)
-    storm = generate_storm(n=N_TICKETS + WARMUP, seed=SEED,
-                           duplicate_rate=DUPLICATE_RATE)
+    reports = once(_run_sweep)
 
-    serial = _best([run_storm_serial(storm, classifier=classifier,
-                                     warmup=WARMUP)
-                    for _ in range(2)])
-
-    from repro.controlplane import ControlPlane
-    population = sorted({t.machine for t in storm})
-    plane = ControlPlane(machines=population,
-                         users=sorted({t.reporter for t in storm}),
-                         shards=SHARDS, pool_size=POOL_SIZE,
-                         classifier=classifier)
-    with plane:
-        first = once(run_storm_sharded, storm, warmup=WARMUP, plane=plane)
-        repeats = [run_storm_sharded(storm, warmup=WARMUP, prewarm=False,
-                                     plane=plane) for _ in range(2)]
-    sharded = _best([first] + repeats)
-    speedup = sharded.tickets_per_s / serial.tickets_per_s
+    metrics = {"min_speedup": MIN_SPEEDUP,
+               "cores": os.cpu_count() or 1,
+               "errors": sum(r.errors for r in reports.values())}
+    for (mix, mode), rep in reports.items():
+        prefix = f"{mix}_{mode}"
+        metrics[f"{prefix}_tickets_per_s"] = round(rep.tickets_per_s, 1)
+        metrics[f"{prefix}_tickets_per_s_per_core"] = round(
+            rep.tickets_per_s_per_core, 1)
+        metrics[f"{prefix}_latency_p50_ms"] = round(
+            rep.latency_p50_s * 1000, 3)
+        metrics[f"{prefix}_latency_p95_ms"] = round(
+            rep.latency_p95_s * 1000, 3)
+        metrics[f"{prefix}_latency_p99_ms"] = round(
+            rep.latency_p99_s * 1000, 3)
+    for mix in MIXES:
+        serial = reports[(mix, "serial")]
+        for workers in ("thread", "process"):
+            metrics[f"{mix}_{workers}_speedup"] = round(
+                reports[(mix, workers)].tickets_per_s
+                / serial.tickets_per_s, 2)
+    metrics["poor_process_vs_thread"] = round(
+        reports[("poor", "process")].tickets_per_s
+        / reports[("poor", "thread")].tickets_per_s, 2)
+    metrics["rich_pool_hit_rate"] = round(
+        reports[("rich", "thread")].pool_hit_rate, 4)
 
     report = ExperimentReport(
         name="controlplane-throughput",
-        params={"tickets": N_TICKETS, "warmup": WARMUP,
-                "duplicates": DUPLICATE_RATE,
-                "shards": SHARDS, "pool_size": POOL_SIZE, "seed": SEED,
-                "classifier": "lda"},
-        metrics={
-            "serial_tickets_per_s": round(serial.tickets_per_s, 1),
-            "sharded_tickets_per_s": round(sharded.tickets_per_s, 1),
-            "speedup": round(speedup, 2),
-            "min_speedup": MIN_SPEEDUP,
-            "pool_hit_rate": round(sharded.pool_hit_rate, 4),
-            "unique_texts": sharded.unique_texts,
-            "errors": serial.errors + sharded.errors,
-        },
-        artifacts={"serial": serial.to_dict(),
-                   "sharded": sharded.to_dict()},
+        params={"tickets": N_TICKETS, "serial_cap": SERIAL_CAP,
+                "warmup_fraction": WARMUP_FRACTION,
+                "duplicate_mixes": dict(MIXES), "shards": SHARDS,
+                "pool_size": POOL_SIZE, "queue_depth": QUEUE_DEPTH,
+                "seed": SEED, "classifier": "lda",
+                "soak": SOAK_TICKETS > 0},
+        metrics=metrics,
+        artifacts={f"{mix}_{mode}": rep.to_dict()
+                   for (mix, mode), rep in reports.items()},
     )
     report.write(OUT_PATH)
     print()
     print(json.dumps(report.metrics, indent=2, sort_keys=True))
 
-    assert serial.errors == 0 and sharded.errors == 0
-    assert sharded.pool_hit_rate > 0.9, (
-        f"warm pool barely used (hit rate {sharded.pool_hit_rate:.0%})")
-    assert speedup >= MIN_SPEEDUP, (
-        f"sharded control plane is {speedup:.2f}x the serial baseline — "
-        f"the bar is {MIN_SPEEDUP}x")
+    assert metrics["errors"] == 0
+    for rep in reports.values():
+        assert 0 < rep.latency_p50_s <= rep.latency_p95_s \
+            <= rep.latency_p99_s, rep
+    rich_thread = reports[("rich", "thread")]
+    assert rich_thread.pool_hit_rate > 0.9, (
+        f"warm pool barely used (hit rate {rich_thread.pool_hit_rate:.0%})")
+    assert metrics["rich_thread_speedup"] >= MIN_SPEEDUP, (
+        f"thread-mode control plane is {metrics['rich_thread_speedup']}x "
+        f"the serial baseline on the duplicate-rich mix — the bar is "
+        f"{MIN_SPEEDUP}x")
+    if (os.cpu_count() or 1) >= 2:
+        assert metrics["poor_process_vs_thread"] > 1.0, (
+            f"process workers should beat threads on the CPU-bound "
+            f"duplicate-poor mix with {os.cpu_count()} cores, got "
+            f"{metrics['poor_process_vs_thread']}x")

@@ -40,14 +40,15 @@ from repro.framework.orchestrator import (
 )
 from repro.framework.tickets import Ticket
 
-__all__ = ["Deployment", "ServiceConfig", "Session", "TicketResult",
-           "TicketService"]
+__all__ = ["ControlPlane", "Deployment", "ServiceConfig", "Session",
+           "TicketResult", "TicketService"]
 
-#: service-tier names re-exported lazily — the service imports this
+#: concurrent-tier names re-exported lazily — those packages import this
 #: module (for TicketResult), so an eager import here would cycle
 _LAZY_EXPORTS = {
     "TicketService": "repro.service",
     "ServiceConfig": "repro.service",
+    "ControlPlane": "repro.controlplane",
 }
 
 
@@ -74,6 +75,10 @@ class TicketResult:
         audit_records: records this session appended across the
             container's fs/net audit streams and the broker log.
         duration_s: wall-clock session time.
+        latency_s: end-to-end admission-to-completion time (queue wait +
+            session); equals ``duration_s`` on the serial facade, where
+            there is no queue. Measured on a single process's clocks
+            even in process-worker mode.
         shard: serving shard index (control plane only).
         pool_hit: the session reused a pre-warmed container (control
             plane only).
@@ -87,6 +92,7 @@ class TicketResult:
     error: Optional[str] = None
     audit_records: int = 0
     duration_s: float = 0.0
+    latency_s: float = 0.0
     shard: Optional[int] = None
     pool_hit: Optional[bool] = None
 
@@ -160,6 +166,7 @@ class Session:
             # paper's "revoked once the ticket time expires" posture means
             # an erroring admin session never lingers
             self._deployment.orchestrator.resolve(handled)
+        elapsed = time.perf_counter() - self._started
         self.result = TicketResult(
             ticket_id=self.ticket.ticket_id,
             ticket_class=self.ticket.predicted_class or "?",
@@ -168,7 +175,7 @@ class Session:
             resolved=exc_type is None,
             error=None if exc is None else f"{type(exc).__name__}: {exc}",
             audit_records=audit_records,
-            duration_s=time.perf_counter() - self._started)
+            duration_s=elapsed, latency_s=elapsed)
         return False  # never swallow the body's exception
 
 
@@ -191,6 +198,26 @@ class Deployment:
         return cls(WatchITDeployment.bootstrap(
             machines=tuple(machines), users=tuple(users),
             classifier=classifier, broker_policy=broker_policy))
+
+    @staticmethod
+    def control_plane(machines: Tuple[str, ...] = DEFAULT_MACHINES,
+                      users: Tuple[str, ...] = DEFAULT_USERS,
+                      shards: int = 4, pool_size: int = 2,
+                      workers: str = "thread", **kwargs):
+        """A concurrent control plane over the same simulated stack.
+
+        ``workers`` selects the shard worker mode: ``"thread"`` (shared
+        heap, GIL-capped CPU) or ``"process"`` (one organization per
+        worker process, CPU scales with cores; session ``ops`` must be
+        module-level callables). Returns an *unstarted*
+        :class:`~repro.controlplane.ControlPlane` — use it as a context
+        manager or call ``start()``/``close()``.
+        """
+        from repro.controlplane import ControlPlane
+
+        return ControlPlane(machines=tuple(machines), users=tuple(users),
+                            shards=shards, pool_size=pool_size,
+                            workers=workers, **kwargs)
 
     # -- people ------------------------------------------------------------
 

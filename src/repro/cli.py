@@ -453,7 +453,7 @@ def _run_daemon(args) -> int:
     plane = ControlPlane(machines=STORM_MACHINES, users=STORM_USERS,
                          shards=args.shards, pool_size=args.pool_size,
                          queue_depth=args.queue_depth,
-                         classifier=classifier)
+                         classifier=classifier, workers=args.workers)
     config = ServiceConfig(host=args.host, port=args.port,
                            rate_limit=args.rate_limit,
                            max_inflight=args.max_inflight,
@@ -530,14 +530,21 @@ def _cmd_serve(args) -> int:
         reports["serial"] = run_storm_serial(storm, classifier=classifier)
     reports["sharded"] = run_storm_sharded(
         storm, classifier=classifier, shards=args.shards,
-        pool_size=args.pool_size, queue_depth=args.queue_depth)
+        pool_size=args.pool_size, queue_depth=args.queue_depth,
+        workers=args.workers)
 
     sharded = reports["sharded"]
     metrics = {
         "tickets": sharded.tickets,
         "unique_texts": sharded.unique_texts,
         "shards": sharded.shards,
+        "workers": sharded.workers,
         "sharded_tickets_per_s": round(sharded.tickets_per_s, 1),
+        "sharded_tickets_per_s_per_core": round(
+            sharded.tickets_per_s_per_core, 1),
+        "latency_p50_ms": round(sharded.latency_p50_s * 1000, 3),
+        "latency_p95_ms": round(sharded.latency_p95_s * 1000, 3),
+        "latency_p99_ms": round(sharded.latency_p99_s * 1000, 3),
         "pool_hit_rate": round(sharded.pool_hit_rate, 4),
         "errors": sharded.errors,
     }
@@ -556,7 +563,8 @@ def _cmd_serve(args) -> int:
                     "pool_size": args.pool_size,
                     "duplicates": args.duplicates, "seed": args.seed,
                     "classifier": args.classifier,
-                    "queue_depth": args.queue_depth},
+                    "queue_depth": args.queue_depth,
+                    "workers": args.workers},
             metrics=metrics,
             artifacts={mode: rep.to_dict()
                        for mode, rep in reports.items()},
@@ -569,8 +577,11 @@ def _cmd_serve(args) -> int:
     else:
         for mode, rep in reports.items():
             print(f"{mode:>7}: {rep.tickets_per_s:8.1f} tickets/s "
-                  f"({rep.tickets} tickets, {rep.errors} errors"
-                  + (f", pool hit rate {rep.pool_hit_rate:.0%}"
+                  f"(p50 {rep.latency_p50_s * 1000:.1f}ms, "
+                  f"p99 {rep.latency_p99_s * 1000:.1f}ms, "
+                  f"{rep.tickets} tickets, {rep.errors} errors"
+                  + (f", {rep.workers} workers, "
+                     f"pool hit rate {rep.pool_hit_rate:.0%}"
                      if mode == "sharded" else "") + ")")
         if "speedup" in metrics:
             print(f"speedup: {metrics['speedup']}x")
@@ -721,6 +732,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "the storm (default 0.9)")
     p_srv.add_argument("--queue-depth", type=int, default=64,
                        help="per-shard admission queue bound")
+    p_srv.add_argument("--workers", choices=("thread", "process"),
+                       default="thread",
+                       help="shard worker mode: 'thread' (shared heap, "
+                            "GIL-capped CPU) or 'process' (one "
+                            "organization per worker process; CPU-bound "
+                            "serving scales with cores)")
     p_srv.add_argument("--seed", type=int, default=11,
                        help="storm generator seed")
     p_srv.add_argument("--classifier", choices=("keyword", "lda"),

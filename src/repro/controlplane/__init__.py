@@ -14,16 +14,28 @@ sessions concurrently:
   discarded, never reused.
 * :mod:`repro.controlplane.batching` — memoized + batched classification:
   one model inference per unique preprocessed ticket text.
+* :mod:`repro.controlplane.serving` — the mode-agnostic per-ticket
+  session path (:class:`ShardServer`): classify → lease → login → ops →
+  resolve → scrubbed release, identical under both worker modes.
+* :mod:`repro.controlplane.channel` — the pickle-safe envelope protocol
+  (tickets, results, typed errors, control RPCs) that crosses the
+  process boundary in ``workers="process"`` mode.
 * :mod:`repro.controlplane.executor` — the bounded worker executor tying
-  it together: per-shard backpressure queues, graceful drain, and
-  :mod:`repro.obs` instrumentation (queue depth, pool hit rate, session
-  latency histograms).
+  it together: per-shard backpressure queues, thread *or* process shard
+  workers, crash detection with fail-fast stranded futures, graceful
+  drain, and :mod:`repro.obs` instrumentation (queue depth, pool hit
+  rate, session latency histograms).
 """
 
 from repro.controlplane.batching import BatchingClassifier
-from repro.controlplane.executor import ControlPlane, default_session_ops
+from repro.controlplane.executor import (
+    WORKER_MODES,
+    ControlPlane,
+    default_session_ops,
+)
 from repro.controlplane.pool import ContainerPool, PooledDeployment
-from repro.controlplane.sharding import KernelShard, ShardRouter
+from repro.controlplane.serving import ShardServer
+from repro.controlplane.sharding import KernelShard, ShardPlan, ShardRouter
 
 __all__ = [
     "BatchingClassifier",
@@ -31,6 +43,9 @@ __all__ = [
     "ControlPlane",
     "KernelShard",
     "PooledDeployment",
+    "ShardPlan",
     "ShardRouter",
+    "ShardServer",
+    "WORKER_MODES",
     "default_session_ops",
 ]

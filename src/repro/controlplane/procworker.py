@@ -1,0 +1,129 @@
+"""The process-mode shard worker: an organization in its own process.
+
+Per-shard state is fully partitioned by CRC-32 hostname routing, so a
+shard needs nothing from the parent but its :class:`ShardPlan` — the
+worker bootstraps its *own* simulated organization, container pool, and
+classifier memo inside the child process, and the only traffic across
+the process boundary is the pickled envelope protocol of
+:mod:`repro.controlplane.channel`.
+
+Metrics discipline: the worker accumulates into a **private**
+:class:`~repro.obs.MetricsRegistry` (under ``fork`` the global registry
+is a copy of the parent's — reporting there would double-count at
+fold-back time) and ships a snapshot in its :class:`WorkerExit` goodbye;
+the parent folds it into the plane-scoped view. Per-ticket outcome
+series are folded live from :class:`ResultEnvelope`\\ s instead and are
+excluded from the snapshot (:data:`~repro.controlplane.channel.PER_TICKET_FOLDED`).
+
+Failure posture is fail-closed end to end: any exception escaping a
+session is marshalled as a typed error envelope (never a raw pickle of
+an errno-tagged exception), and a worker that dies without a goodbye is
+detected by the parent's monitor, which fails every stranded future with
+:class:`~repro.errors.WorkerCrashed`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.controlplane.channel import (
+    PER_TICKET_FOLDED,
+    ControlReply,
+    ControlRequest,
+    ResultEnvelope,
+    TicketEnvelope,
+    WorkerExit,
+    marshal_error,
+)
+from repro.controlplane.sharding import ShardPlan
+
+__all__ = ["worker_main"]
+
+
+def _handle_control(shard, request: ControlRequest) -> object:
+    """Execute one control op against the worker's own organization."""
+    from repro.framework.tickets import Role
+
+    if request.op == "prewarm":
+        ticket_class, count = request.payload
+        return shard.prewarm(str(ticket_class),
+                             count=None if count is None else int(count))
+    if request.op == "register_admin":
+        (name,) = request.payload
+        shard.org.register_admin(str(name))
+        return True
+    if request.op == "register_user":
+        (name,) = request.payload
+        shard.org.tickets.register_person(str(name), Role.END_USER)
+        return True
+    if request.op == "pool_idle":
+        return shard.pool.idle_count()
+    raise ValueError(f"unknown control op {request.op!r}")
+
+
+def worker_main(plan: ShardPlan, users: Sequence[str], pool_capacity: int,
+                classifier, broker_policy, plane_id: str,
+                submit_q, result_q) -> None:
+    """Entry point of one shard worker process.
+
+    Builds the shard organization, then serves the submit queue until the
+    ``None`` shutdown sentinel arrives; every dequeued chunk is answered
+    envelope-for-envelope on the result queue, so the parent can account
+    for every admitted ticket even across a crash.
+    """
+    from repro.controlplane.batching import BatchingClassifier
+    from repro.controlplane.serving import ShardServer
+    from repro.controlplane.sharding import KernelShard
+    from repro.framework.classifier import KeywordClassifier
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    scoped = registry.scoped(plane=plane_id)
+    batching = BatchingClassifier(classifier or KeywordClassifier(),
+                                  registry=scoped)
+    shard: Optional[object] = None
+    server: Optional[ShardServer] = None
+    try:
+        shard = KernelShard(plan.index, plan.machines, users=tuple(users),
+                            pool_capacity=pool_capacity,
+                            classifier=batching,
+                            broker_policy=broker_policy, registry=scoped)
+        server = ShardServer(shard, batching, scoped)
+        while True:
+            item = submit_q.get()
+            if item is None:
+                break
+            if isinstance(item, ControlRequest):
+                try:
+                    value = _handle_control(shard, item)
+                    result_q.put(ControlReply(req_id=item.req_id,
+                                              shard=plan.index, value=value))
+                except BaseException as exc:  # noqa: BLE001 - boundary
+                    result_q.put(ControlReply(req_id=item.req_id,
+                                              shard=plan.index,
+                                              error=marshal_error(exc)))
+                continue
+            for env in item:
+                result_q.put(_serve_envelope(server, plan.index, env))
+    finally:
+        if shard is not None:
+            try:
+                shard.close()
+            except Exception:  # noqa: BLE001 - shutdown best effort
+                pass
+        snapshot = [row for row in registry.snapshot()
+                    if row["name"] not in PER_TICKET_FOLDED]
+        result_q.put(WorkerExit(shard=plan.index, metrics=snapshot))
+        result_q.close()
+
+
+def _serve_envelope(server, shard_index: int,
+                    env: TicketEnvelope) -> ResultEnvelope:
+    """Serve one envelope; exceptions become typed error envelopes."""
+    try:
+        result = server.serve(env.reporter, env.text, env.machine,
+                              env.admin, env.ops)
+        return ResultEnvelope(seq=env.seq, shard=shard_index, result=result)
+    except BaseException as exc:  # noqa: BLE001 - marshalling boundary
+        return ResultEnvelope(seq=env.seq, shard=shard_index,
+                              error=marshal_error(exc))

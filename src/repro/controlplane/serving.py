@@ -1,0 +1,125 @@
+"""The mode-agnostic shard server: one full Figure 3 session per call.
+
+Thread-mode workers and process-mode workers run the *same* serving code
+path — classify → lease a pooled container → login → session ops →
+resolve → scrubbed release — via one :class:`ShardServer` per shard. The
+executor owns queues, futures, and lifecycle; this module owns only what
+happens to a single ticket once a worker picks it up, so the two worker
+modes can never drift apart behaviourally.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.api import TicketResult
+from repro.broker import BrokerClient
+from repro.controlplane.sharding import KernelShard
+from repro.errors import ReproError
+
+__all__ = ["ShardServer", "LATENCY_BUCKETS", "default_session_ops"]
+
+
+def default_session_ops(shell, client: BrokerClient) -> None:
+    """The minimal universally-valid session: one syscall, one escalation.
+
+    Valid for every ticket class including the fully-isolated T-11
+    catch-all, which has no filesystem shares and no network. Module-level
+    (hence picklable) by design: it is the default session body in both
+    worker modes.
+    """
+    shell.hostname()
+    client.pb("ps -a")
+
+#: End-to-end (admission -> completion) latency buckets: finer than the
+#: decade-wide defaults so the histogram supports meaningful percentile
+#: reads at storm rates.
+LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, float("inf"))
+
+
+class ShardServer:
+    """Serves tickets end-to-end on one shard (thread or process worker).
+
+    ``registry`` is the worker's metric scope: the plane-scoped registry
+    in thread mode, the worker's private fold-back registry in process
+    mode — the series names and labels are identical either way.
+    """
+
+    def __init__(self, shard: KernelShard, classifier, registry):
+        self.shard = shard
+        self.classifier = classifier
+        self.metrics = {
+            "latency": registry.histogram("controlplane_session_seconds",
+                                          shard=shard.index),
+            "e2e": registry.histogram("controlplane_ticket_latency_seconds",
+                                      buckets=LATENCY_BUCKETS,
+                                      shard=shard.index),
+            "resolved": registry.counter("controlplane_tickets_served",
+                                         shard=shard.index,
+                                         outcome="resolved"),
+            "errored": registry.counter("controlplane_tickets_served",
+                                        shard=shard.index,
+                                        outcome="errored"),
+        }
+
+    def serve(self, reporter: str, text: str, machine: str, admin: str,
+              ops, enqueued_at: Optional[float] = None) -> TicketResult:
+        """One full Figure 3 session on a pooled container.
+
+        ``enqueued_at`` (the producer's per-ticket admission clock read)
+        turns into ``latency_s`` on the result — meaningful in-process;
+        process mode overwrites it parent-side so the measurement never
+        mixes clocks across processes.
+        """
+        metrics = self.metrics
+        shard = self.shard
+        org = shard.org
+        started = time.perf_counter()
+        ticket = org.submit_ticket(reporter, text, machine=machine)
+        ticket.classify_as(self.classifier.classify(text))
+        ticket.assign_to(admin)
+        spec = org.images.get(ticket.predicted_class)
+        pooled = shard.pool.acquire(spec, machine, user=reporter,
+                                    ticket_class=ticket.predicted_class)
+        pool_hit = pooled.pool_hit
+        certificate = org.certificates.issue(
+            admin, ticket.ticket_id, machine, ticket.predicted_class)
+        error: Optional[str] = None
+        audit_records = 0
+        try:
+            shell = pooled.container.login(
+                admin, certificate=certificate,
+                authenticator=shard.authenticators[machine])
+            client = BrokerClient(shell, pooled.deployment.broker,
+                                  ticket_class=ticket.predicted_class)
+            try:
+                (ops or default_session_ops)(shell, client)
+            finally:
+                audit_records = (len(pooled.container.fs_audit)
+                                 + len(pooled.container.net_audit)
+                                 + len(pooled.deployment.broker.audit))
+                shell.exit()
+        except ReproError as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            org.certificates.revoke_ticket(ticket.ticket_id)
+            shard.pool.release(pooled)
+        if error is None:
+            # an errored session must NOT transition the org's ticket to
+            # resolved — it stays open (assigned) for a retry or triage
+            ticket.resolve()
+        done = time.perf_counter()
+        duration = done - started
+        latency = done - enqueued_at if enqueued_at is not None else duration
+        metrics["resolved" if error is None else "errored"].inc()
+        metrics["latency"].observe(duration)
+        metrics["e2e"].observe(latency)
+        return TicketResult(
+            ticket_id=ticket.ticket_id,
+            ticket_class=ticket.predicted_class or "?",
+            machine=machine, admin=admin, resolved=error is None,
+            error=error, audit_records=audit_records, duration_s=duration,
+            latency_s=latency, shard=shard.index, pool_hit=pool_hit)

@@ -16,6 +16,7 @@ place and shard workers never contend.
 from __future__ import annotations
 
 import zlib
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.controlplane.pool import ContainerPool
@@ -25,12 +26,26 @@ from repro.framework.orchestrator import (
     WatchITDeployment,
 )
 
-__all__ = ["KernelShard", "ShardRouter", "shard_of"]
+__all__ = ["KernelShard", "ShardPlan", "ShardRouter", "shard_of"]
 
 
 def shard_of(machine: str, shards: int) -> int:
     """Stable machine -> shard index (CRC-32 of the hostname, mod N)."""
     return zlib.crc32(machine.encode()) % shards
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The routing-only description of one shard: index + owned machines.
+
+    Pickle-safe by construction — process-mode workers receive a plan and
+    bootstrap their own :class:`KernelShard` from it inside the worker
+    process, so no simulated-kernel state ever crosses the process
+    boundary.
+    """
+
+    index: int
+    machines: Tuple[str, ...]
 
 
 class KernelShard:
@@ -69,7 +84,7 @@ class ShardRouter:
     def __init__(self, machines: Sequence[str], shards: int,
                  users: Sequence[str] = DEFAULT_USERS,
                  pool_capacity: int = 2, classifier=None,
-                 broker_policy=None, registry=None):
+                 broker_policy=None, registry=None, build: bool = True):
         if shards < 1:
             raise InvalidArgument(f"need at least one shard, got {shards}")
         machines = tuple(machines)
@@ -81,18 +96,25 @@ class ShardRouter:
             by_shard[index].append(machine)
         #: shards owning zero machines are never built — they could never
         #: receive a ticket
+        self.plans: List[ShardPlan] = [
+            ShardPlan(index, tuple(sorted(owned)))
+            for index, owned in enumerate(by_shard) if owned]
+        self._indexes: Dict[str, int] = dict(assignment)
+        #: with ``build=False`` (process mode) the router is routing-only:
+        #: the organizations live inside the worker processes, built from
+        #: the pickled :class:`ShardPlan`s, and ``self.shards`` stays empty
         self.shards: List[KernelShard] = []
         self._routes: Dict[str, KernelShard] = {}
-        for index, owned in enumerate(by_shard):
-            if not owned:
-                continue
-            shard = KernelShard(index, sorted(owned), users=users,
+        if not build:
+            return
+        for plan in self.plans:
+            shard = KernelShard(plan.index, plan.machines, users=users,
                                 pool_capacity=pool_capacity,
                                 classifier=classifier,
                                 broker_policy=broker_policy,
                                 registry=registry)
             self.shards.append(shard)
-            for machine in owned:
+            for machine in plan.machines:
                 self._routes[machine] = shard
 
     def route(self, machine: str) -> KernelShard:
@@ -101,9 +123,16 @@ class ShardRouter:
             raise InvalidArgument(f"unknown machine {machine!r}")
         return shard
 
+    def route_index(self, machine: str) -> int:
+        """Machine -> shard index; works in routing-only (lazy) mode too."""
+        index = self._indexes.get(machine)
+        if index is None:
+            raise InvalidArgument(f"unknown machine {machine!r}")
+        return index
+
     @property
     def machines(self) -> Tuple[str, ...]:
-        return tuple(sorted(self._routes))
+        return tuple(sorted(self._indexes))
 
     def close(self) -> None:
         for shard in self.shards:

@@ -253,3 +253,22 @@ class ShuttingDown(ReproError):
     plane closed, and by the service front door for requests that arrive
     after a drain began.
     """
+
+
+class WorkerCrashed(ReproError):
+    """A shard worker process died before the ticket completed.
+
+    Every future routed to the dead worker fails with this error the
+    moment the crash is detected — fail fast, never hang. The plane
+    stays drainable; readiness (``workers_alive``) flips false so load
+    balancers stop routing to the degraded plane.
+
+    Attributes:
+        shard: index of the crashed shard, when known.
+        exitcode: the worker process exit code, when known.
+    """
+
+    def __init__(self, message: str = "", shard=None, exitcode=None):
+        super().__init__(message)
+        self.shard = shard
+        self.exitcode = exitcode

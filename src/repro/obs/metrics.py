@@ -313,6 +313,44 @@ class MetricsRegistry:
         """
         return ScopedRegistry(self, labels)
 
+    def fold(self, rows: List[Dict[str, object]]) -> int:
+        """Merge a :meth:`snapshot` from *another* registry into this one.
+
+        The fold-back path for process-mode shard workers: each worker
+        process accumulates into a private registry (fork would otherwise
+        double-count the parent's series) and ships a snapshot over the
+        result channel at exit; the parent folds it here. Counters add,
+        gauges take the folded value, histograms merge bucket-wise (the
+        bounds must match — a shape mismatch raises ``ValueError`` rather
+        than silently corrupting the series). Returns the number of
+        series folded.
+        """
+        folded = 0
+        for row in rows:
+            name = str(row["name"])
+            labels = {str(k): v for k, v in dict(row.get("labels", {})).items()}
+            kind = row.get("type")
+            if kind == "counter":
+                self.counter(name, **labels).inc(int(row.get("value", 0)))
+            elif kind == "gauge":
+                self.gauge(name, **labels).set(float(row.get("value", 0.0)))  # type: ignore[arg-type]
+            elif kind == "histogram":
+                buckets = list(row.get("buckets", []))  # type: ignore[arg-type]
+                bounds = tuple(float(b["le"]) for b in buckets)
+                hist = self.histogram(name, buckets=bounds, **labels)
+                if hist.bounds != bounds:
+                    raise ValueError(
+                        f"histogram {name!r} bucket mismatch: "
+                        f"{hist.bounds} != {bounds}")
+                for i, bucket in enumerate(buckets):
+                    hist.bucket_counts[i] += int(bucket["count"])
+                hist.count += int(row.get("count", 0))
+                hist.sum += float(row.get("sum", 0.0))  # type: ignore[arg-type]
+            else:
+                raise ValueError(f"cannot fold series kind {kind!r}")
+            folded += 1
+        return folded
+
     def reset(self) -> None:
         """Drop every series (test isolation; experiment-run boundaries)."""
         self._series.clear()

@@ -165,7 +165,9 @@ class TicketService:
         checks: JsonDict = {
             "started": self._started,
             "draining": self._draining,
+            "workers": stats.get("workers", "thread"),
             "workers_alive": bool(stats["workers_alive"]),
+            "crashed_shards": list(stats.get("crashed_shards", ())),
             "pools_warm": self._pools_warm,
         }
         ok = (self._started and not self._draining

@@ -24,6 +24,7 @@ reported ratio isolates the serving machinery.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -64,7 +65,15 @@ class StormTicket:
 
 @dataclass
 class StormReport:
-    """What one storm run measured."""
+    """What one storm run measured.
+
+    ``latency_p50_s``/``p95``/``p99`` are end-to-end per-ticket session
+    latencies (admission to completion — queue wait included for the
+    sharded drivers, exact per-ticket values, not histogram-bucket
+    estimates). ``tickets_per_s_per_core`` normalizes throughput by the
+    cores the driver could actually occupy, so thread mode's GIL ceiling
+    and process mode's scaling are directly comparable on one chart.
+    """
 
     mode: str                    # "serial" | "sharded"
     tickets: int
@@ -74,9 +83,30 @@ class StormReport:
     errors: int
     shards: int = 1
     pool_hit_rate: float = 0.0
+    workers: str = "inline"      # "inline" | "thread" | "process"
+    n_workers: int = 1
+    latency_p50_s: float = 0.0
+    latency_p95_s: float = 0.0
+    latency_p99_s: float = 0.0
+    tickets_per_s_per_core: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
         return asdict(self)
+
+
+def _percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile of raw samples (0 when there are none)."""
+    if not values:
+        return 0.0
+    ranked = sorted(values)
+    rank = max(0, min(len(ranked) - 1,
+                      int(round(pct / 100.0 * len(ranked) + 0.5)) - 1))
+    return ranked[rank]
+
+
+def _cores_used(n_workers: int) -> int:
+    """Cores a driver with ``n_workers`` parallel workers can occupy."""
+    return max(1, min(n_workers, os.cpu_count() or 1))
 
 
 def generate_storm(n: int = 200, seed: int = 11,
@@ -139,6 +169,7 @@ def run_storm_serial(storm: Sequence[StormTicket], classifier=None,
                                       classifier=classifier)
     org.register_admin(admin)
     errors = 0
+    latencies: List[float] = []
 
     def _serve_one(item: StormTicket) -> int:
         ticket = org.submit_ticket(item.reporter, item.text,
@@ -158,34 +189,44 @@ def run_storm_serial(storm: Sequence[StormTicket], classifier=None,
     measured = storm[warmup:]
     started = time.perf_counter()
     for item in measured:
+        ticket_started = time.perf_counter()
         errors += _serve_one(item)
+        latencies.append(time.perf_counter() - ticket_started)
     elapsed = time.perf_counter() - started
+    rate = len(measured) / elapsed
     return StormReport(
         mode="serial", tickets=len(measured),
         unique_texts=len({t.text for t in measured}),
-        elapsed_s=elapsed, tickets_per_s=len(measured) / elapsed,
-        errors=errors)
+        elapsed_s=elapsed, tickets_per_s=rate,
+        errors=errors, workers="inline", n_workers=1,
+        latency_p50_s=_percentile(latencies, 50),
+        latency_p95_s=_percentile(latencies, 95),
+        latency_p99_s=_percentile(latencies, 99),
+        tickets_per_s_per_core=rate / _cores_used(1))
 
 
 def run_storm_sharded(storm: Sequence[StormTicket], classifier=None,
                       shards: int = 4, pool_size: int = 2,
                       queue_depth: int = 64, admin: str = "it-duty",
                       prewarm: bool = True, warmup: int = 0,
+                      workers: str = "thread",
                       plane: Optional[ControlPlane] = None) -> StormReport:
     """The concurrent control plane serving the same storm.
 
-    Pool prewarming (by the storm's incident classes) happens *before*
-    the clock starts — that is the "warm pool" configuration the
-    benchmark reports. The first ``warmup`` tickets are served untimed;
-    with ``warmup=0`` the timed region includes every cold
-    classification of the storm's unique texts.
+    ``workers`` picks the shard worker mode (``"thread"`` or
+    ``"process"``); with an externally supplied ``plane`` its own mode is
+    reported instead. Pool prewarming (by the storm's incident classes)
+    happens *before* the clock starts — that is the "warm pool"
+    configuration the benchmark reports. The first ``warmup`` tickets are
+    served untimed; with ``warmup=0`` the timed region includes every
+    cold classification of the storm's unique texts.
     """
     machines, users = _storm_population(storm)
     own_plane = plane is None
     if own_plane:
         plane = ControlPlane(machines=machines, users=users, shards=shards,
                              pool_size=pool_size, queue_depth=queue_depth,
-                             classifier=classifier)
+                             classifier=classifier, workers=workers)
     plane.register_admin(admin)
     plane.start()
     if prewarm:
@@ -199,13 +240,22 @@ def run_storm_sharded(storm: Sequence[StormTicket], classifier=None,
     futures = plane.submit_many(measured, admin)
     plane.drain()
     elapsed = time.perf_counter() - started
-    errors = sum(1 for f in futures if not f.result().resolved)
+    results = [f.result() for f in futures]
+    errors = sum(1 for r in results if not r.resolved)
+    latencies = [r.latency_s for r in results]
+    n_workers = len(plane.router.plans)
+    rate = len(measured) / elapsed
     report = StormReport(
         mode="sharded", tickets=len(measured),
         unique_texts=len({text for _, text, _ in measured}),
-        elapsed_s=elapsed, tickets_per_s=len(measured) / elapsed,
-        errors=errors, shards=len(plane.router.shards),
-        pool_hit_rate=plane.pool_hit_rate())
+        elapsed_s=elapsed, tickets_per_s=rate,
+        errors=errors, shards=n_workers,
+        pool_hit_rate=plane.pool_hit_rate(),
+        workers=plane.workers, n_workers=n_workers,
+        latency_p50_s=_percentile(latencies, 50),
+        latency_p95_s=_percentile(latencies, 95),
+        latency_p99_s=_percentile(latencies, 99),
+        tickets_per_s_per_core=rate / _cores_used(n_workers))
     if own_plane:
         plane.close()
     return report

@@ -1,13 +1,21 @@
 """Lifecycle regressions: the submit/close race, errored-ticket state,
-and per-plane metric isolation."""
+per-plane metric isolation, and worker-crash fail-closed behavior."""
 
+import os
+import signal
 import threading
+import time
 from concurrent.futures import FIRST_EXCEPTION, wait
 
 import pytest
 
 from repro.controlplane import ControlPlane
-from repro.errors import IntegrityError, InvalidArgument, ShuttingDown
+from repro.errors import (
+    IntegrityError,
+    InvalidArgument,
+    ShuttingDown,
+    WorkerCrashed,
+)
 from repro.framework.tickets import TicketStatus
 
 MACHINES = ("ws-01", "ws-02", "ws-03", "ws-04")
@@ -24,6 +32,12 @@ def make_plane(**kwargs):
     plane = ControlPlane(**kwargs).start()
     plane.register_admin(ADMIN)
     return plane
+
+
+def _dawdling_ops(shell, client):
+    """Module-level (picklable) session body slow enough to be killed in."""
+    shell.hostname()
+    time.sleep(0.2)
 
 
 class TestSubmitCloseRace:
@@ -181,3 +195,102 @@ class TestPerPlaneMetricIsolation:
         assert a.plane_id != b.plane_id
         a.close()
         b.close()
+
+
+class TestWorkerCrashSafety:
+    """Fail-closed contract of process-mode workers: a worker killed
+    mid-storm must settle *every* submitted future with a typed error —
+    never leave one pending — while the plane stays drainable, closable,
+    and keeps serving on the surviving shards."""
+
+    def _kill_one_worker(self, plane):
+        """SIGKILL the lowest-indexed worker; returns its shard index."""
+        pids = plane.worker_pids()
+        victim = min(pids)
+        os.kill(pids[victim], signal.SIGKILL)
+        return victim
+
+    def test_kill_mid_storm_settles_every_future_with_typed_errors(self):
+        plane = make_plane(workers="process", queue_depth=256)
+        try:
+            futures = plane.submit_many(
+                [("alice", TEXT, m) for m in MACHINES * 4], ADMIN,
+                ops=_dawdling_ops)
+            time.sleep(0.3)  # let both workers get mid-session
+            victim = self._kill_one_worker(plane)
+            done, pending = wait(futures, timeout=30,
+                                 return_when=FIRST_EXCEPTION)
+            # the core contract: nothing hangs — wait() above returns on
+            # the first WorkerCrashed, the rest must settle promptly too
+            deadline = time.monotonic() + 30
+            for future in futures:
+                timeout = max(0.0, deadline - time.monotonic())
+                try:
+                    result = future.result(timeout=timeout)
+                    assert result.resolved
+                except WorkerCrashed as exc:
+                    assert exc.shard == victim
+                    assert exc.exitcode == -signal.SIGKILL
+            assert any(f.exception() is not None for f in futures)
+        finally:
+            plane.close()
+
+    def test_crash_flips_workers_alive_and_reports_the_shard(self):
+        plane = make_plane(workers="process")
+        try:
+            assert plane.workers_alive()
+            victim = self._kill_one_worker(plane)
+            deadline = time.monotonic() + 10
+            while not plane.crashed_shards() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert not plane.workers_alive()
+            assert plane.crashed_shards() == [victim]
+            assert not plane.stats()["workers_alive"]
+            assert plane.metrics.total(
+                "controlplane_worker_crashes_total") == 1
+        finally:
+            plane.close()
+
+    def test_submit_to_crashed_shard_fails_fast_not_hangs(self):
+        plane = make_plane(workers="process")
+        try:
+            victim = self._kill_one_worker(plane)
+            deadline = time.monotonic() + 10
+            while not plane.crashed_shards() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            dead = next(m for m in MACHINES
+                        if plane.router.route_index(m) == victim)
+            started = time.monotonic()
+            future = plane.submit("alice", TEXT, dead, ADMIN)
+            with pytest.raises(WorkerCrashed):
+                future.result(timeout=5)
+            assert time.monotonic() - started < 5  # fail-fast, no hang
+        finally:
+            plane.close()
+
+    def test_surviving_shards_keep_serving_and_plane_drains(self):
+        plane = make_plane(workers="process")
+        try:
+            victim = self._kill_one_worker(plane)
+            deadline = time.monotonic() + 10
+            while not plane.crashed_shards() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            alive = next(m for m in MACHINES
+                         if plane.router.route_index(m) != victim)
+            result = plane.submit("alice", TEXT, alive,
+                                  ADMIN).result(timeout=30)
+            assert result.resolved
+            plane.drain()  # must return, not hang on the dead shard
+        finally:
+            plane.close()
+        stats = plane.stats()
+        assert stats["closed"]
+        assert stats["completed"] == stats["submitted"]
+
+    def test_thread_mode_has_no_worker_processes(self):
+        plane = make_plane(workers="thread")
+        try:
+            assert plane.worker_pids() == {}
+            assert plane.crashed_shards() == []
+        finally:
+            plane.close()

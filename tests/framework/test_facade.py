@@ -96,14 +96,16 @@ class TestTicketResult:
         result = TicketResult(ticket_id=7, ticket_class="T-1",
                               machine="ws-01", admin=ADMIN, resolved=True,
                               audit_records=3, duration_s=0.5,
-                              shard=2, pool_hit=True)
+                              latency_s=0.7, shard=2, pool_hit=True)
         row = result.to_dict()
         assert row["ticket_id"] == 7
         assert row["ticket_class"] == "T-1"
+        assert row["latency_s"] == 0.7
         assert row["shard"] == 2 and row["pool_hit"] is True
         assert set(row) == {
             "ticket_id", "ticket_class", "machine", "admin", "resolved",
-            "error", "audit_records", "duration_s", "shard", "pool_hit"}
+            "error", "audit_records", "duration_s", "latency_s", "shard",
+            "pool_hit"}
 
     def test_frozen(self):
         result = TicketResult(ticket_id=1, ticket_class="T-1",

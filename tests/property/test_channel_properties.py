@@ -1,0 +1,147 @@
+"""Property-based guarantees for the process-worker channel protocol.
+
+Hypothesis explores the wire surface of
+:mod:`repro.controlplane.channel`: every envelope must survive a pickle
+round-trip unchanged (that is the multiprocessing queue's contract), and
+every member of the :mod:`repro.errors` taxonomy must marshal across the
+process boundary to the *same* type with the *same* rendered message —
+in particular the errno-style ``[ERRNO]`` prefix must appear exactly
+once no matter how many hops the error takes.
+"""
+
+import inspect
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import errors
+from repro.api import TicketResult
+from repro.controlplane.channel import (
+    ControlReply,
+    ControlRequest,
+    MarshalledError,
+    ResultEnvelope,
+    TicketEnvelope,
+    WorkerExit,
+    marshal_error,
+    unmarshal_error,
+)
+from repro.controlplane.serving import default_session_ops
+
+
+def _make(cls, message):
+    if cls is errors.CapabilityError:
+        return cls(None, message)
+    return cls(message)
+
+
+#: Every taxonomy member a worker could realistically raise with a plain
+#: message (the whole tree accepts one; probe guards against future
+#: members growing exotic constructors).
+TAXONOMY = []
+for _cls in sorted(vars(errors).values(),
+                   key=lambda v: getattr(v, "__name__", "")):
+    if not (inspect.isclass(_cls) and issubclass(_cls, errors.ReproError)):
+        continue
+    try:
+        _make(_cls, "probe")
+    except TypeError:
+        continue
+    TAXONOMY.append(_cls)
+
+names = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_categories=("Cs",)),
+    min_size=0, max_size=64)
+
+
+class TestEnvelopeRoundTrips:
+    @given(seq=st.integers(min_value=1, max_value=2**53),
+           reporter=names, text=names, machine=names, admin=names,
+           enqueued_at=st.floats(min_value=0, allow_nan=False,
+                                 allow_infinity=False),
+           ops=st.sampled_from([None, default_session_ops]))
+    @settings(max_examples=80)
+    def test_ticket_envelope_survives_pickle(self, seq, reporter, text,
+                                             machine, admin, enqueued_at,
+                                             ops):
+        envelope = TicketEnvelope(seq=seq, reporter=reporter, text=text,
+                                  machine=machine, admin=admin, ops=ops,
+                                  enqueued_at=enqueued_at)
+        assert pickle.loads(pickle.dumps(envelope)) == envelope
+
+    @given(seq=st.integers(min_value=1), shard=st.integers(min_value=0),
+           resolved=st.booleans(), duration=st.floats(0, 100),
+           latency=st.floats(0, 100))
+    @settings(max_examples=60)
+    def test_result_envelope_survives_pickle(self, seq, shard, resolved,
+                                             duration, latency):
+        result = TicketResult(ticket_id=seq, ticket_class="T-1",
+                              machine="ws-01", admin="it-duty",
+                              resolved=resolved, duration_s=duration,
+                              latency_s=latency, shard=shard,
+                              pool_hit=resolved)
+        envelope = ResultEnvelope(seq=seq, shard=shard, result=result)
+        assert pickle.loads(pickle.dumps(envelope)) == envelope
+
+    @given(req_id=st.integers(min_value=1), op=names,
+           payload=st.tuples(names, st.one_of(st.none(),
+                                              st.integers(0, 1000))))
+    @settings(max_examples=60)
+    def test_control_round_trip_survives_pickle(self, req_id, op, payload):
+        request = ControlRequest(req_id=req_id, op=op, payload=payload)
+        reply = ControlReply(req_id=req_id, shard=0, value=list(payload))
+        assert pickle.loads(pickle.dumps(request)) == request
+        assert pickle.loads(pickle.dumps(reply)) == reply
+
+    @given(shard=st.integers(min_value=0, max_value=64),
+           rows=st.lists(st.fixed_dictionaries({
+               "name": names, "kind": st.sampled_from(
+                   ["counter", "gauge"]),
+               "value": st.floats(allow_nan=False, allow_infinity=False),
+               "labels": st.dictionaries(names, names, max_size=3)}),
+               max_size=5))
+    @settings(max_examples=40)
+    def test_worker_exit_snapshot_survives_pickle(self, shard, rows):
+        goodbye = WorkerExit(shard=shard, metrics=rows)
+        assert pickle.loads(pickle.dumps(goodbye)) == goodbye
+
+
+class TestErrorMarshalling:
+    @given(cls=st.sampled_from(TAXONOMY), message=names)
+    @settings(max_examples=200)
+    def test_taxonomy_round_trips_to_same_type_and_rendering(self, cls,
+                                                             message):
+        original = _make(cls, message)
+        wire = pickle.loads(pickle.dumps(marshal_error(original)))
+        rebuilt = unmarshal_error(wire)
+        assert type(rebuilt) is type(original)
+        assert str(rebuilt) == str(original)
+
+    @given(cls=st.sampled_from([c for c in TAXONOMY
+                                if issubclass(c, errors.KernelError)]),
+           message=names)
+    @settings(max_examples=120)
+    def test_errno_prefix_never_stacks(self, cls, message):
+        original = _make(cls, message)
+        hop1 = unmarshal_error(marshal_error(original))
+        hop2 = unmarshal_error(marshal_error(hop1))  # relay through 2 hops
+        prefix = f"[{cls.errno_name}]"
+        assert str(hop2) == str(original)
+        assert str(hop2).count(prefix) == 1
+
+    @given(message=names)
+    @settings(max_examples=60)
+    def test_foreign_exceptions_degrade_to_typed_repro_error(self, message):
+        wire = marshal_error(ValueError(message))
+        rebuilt = unmarshal_error(wire)
+        assert type(rebuilt) is errors.ReproError
+        assert "ValueError" in str(rebuilt)
+        assert message in str(rebuilt)
+
+    @given(kind=names, message=names)
+    @settings(max_examples=60)
+    def test_unknown_kinds_never_crash_the_collector(self, kind, message):
+        rebuilt = unmarshal_error(MarshalledError(kind=kind,
+                                                  message=message))
+        assert isinstance(rebuilt, errors.ReproError)

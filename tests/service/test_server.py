@@ -35,9 +35,10 @@ def _post(url, payload, headers=None):
 
 
 def make_service(tmp_factory=None, *, shards=1, pool_size=1, queue_depth=8,
-                 default_ops=None, **config_kwargs):
+                 workers="thread", default_ops=None, **config_kwargs):
     plane = ControlPlane(machines=MACHINES, users=USERS, shards=shards,
-                         pool_size=pool_size, queue_depth=queue_depth)
+                         pool_size=pool_size, queue_depth=queue_depth,
+                         workers=workers)
     config = ServiceConfig(port=0, **config_kwargs)
     return TicketService(plane, config, default_ops=default_ops)
 
@@ -280,3 +281,51 @@ class TestLifecycle:
         svc.close()  # second close is a no-op
         with pytest.raises(urllib.error.URLError):
             urllib.request.urlopen(url + "/healthz", timeout=2)
+
+
+class TestProcessWorkerService:
+    """The service tier over process-mode workers: same endpoints, and a
+    crashed worker flips /readyz to 503 while /healthz stays live."""
+
+    def test_tickets_served_over_process_workers(self):
+        svc = make_service(shards=2, workers="process",
+                           prewarm_classes=("T-1",)).start()
+        try:
+            status, _, body = _post(svc.url + "/tickets", {
+                "reporter": "alice", "text": TEXT, "machine": "ws-01",
+                "wait": True})
+            payload = json.loads(body)
+            assert status == 200 and payload["results"]["resolved"]
+            ready_status, _, ready_body = _get(svc.url + "/readyz")
+            checks = json.loads(ready_body)
+            assert ready_status == 200
+            assert checks["workers"] == "process"
+            assert checks["crashed_shards"] == []
+        finally:
+            svc.close()
+
+    def test_worker_crash_flips_readyz_unready(self):
+        import os
+        import signal
+        import time
+
+        svc = make_service(shards=2, workers="process",
+                           prewarm_classes=("T-1",)).start()
+        try:
+            assert _get(svc.url + "/readyz")[0] == 200
+            pids = svc.plane.worker_pids()
+            victim = min(pids)
+            os.kill(pids[victim], signal.SIGKILL)
+            deadline = time.monotonic() + 10
+            while not svc.plane.crashed_shards():
+                assert time.monotonic() < deadline, "crash never detected"
+                time.sleep(0.02)
+            status, _, body = _get(svc.url + "/readyz")
+            checks = json.loads(body)
+            assert status == 503
+            assert not checks["workers_alive"]
+            assert checks["crashed_shards"] == [victim]
+            # liveness is about the listener, not the fleet
+            assert _get(svc.url + "/healthz")[0] == 200
+        finally:
+            svc.close()

@@ -59,14 +59,32 @@ class TestStormDrivers:
     def test_sharded_driver(self, storm):
         report = run_storm_sharded(storm, shards=2, pool_size=1, warmup=2)
         assert report.mode == "sharded"
+        assert report.workers == "thread"
         assert report.tickets == 10
         assert report.errors == 0
         assert report.shards >= 1
         assert report.pool_hit_rate > 0  # prewarmed: leases hit the pool
+        assert (0 < report.latency_p50_s <= report.latency_p95_s
+                <= report.latency_p99_s)
+
+    def test_sharded_driver_process_workers(self, storm):
+        report = run_storm_sharded(storm, shards=2, pool_size=1, warmup=2,
+                                   workers="process")
+        assert report.mode == "sharded"
+        assert report.workers == "process"
+        assert report.tickets == 10
+        assert report.errors == 0
+        assert (0 < report.latency_p50_s <= report.latency_p95_s
+                <= report.latency_p99_s)
+        assert report.tickets_per_s_per_core > 0
 
     def test_report_to_dict_is_flat(self, storm):
         row = run_storm_serial(storm).to_dict()
         assert row["mode"] == "serial"
+        assert row["workers"] == "inline"
+        assert 0 < row["latency_p50_s"] <= row["latency_p99_s"]
         assert set(row) == {"mode", "tickets", "unique_texts", "elapsed_s",
                             "tickets_per_s", "errors", "shards",
-                            "pool_hit_rate"}
+                            "pool_hit_rate", "workers", "n_workers",
+                            "latency_p50_s", "latency_p95_s",
+                            "latency_p99_s", "tickets_per_s_per_core"}
