@@ -1,0 +1,37 @@
+"""Benchmark: concurrency lint wall-time + sanitizer storm overhead.
+
+Writes ``BENCH_concurrency.json`` (analysis wall-time, sanitizer
+overhead vs. the uninstrumented 320-ticket storm, cross-check verdict);
+CI uploads it next to the combined SARIF artifact.
+"""
+
+import os
+
+from repro.experiments import OVERHEAD_BUDGET_PCT, run_concurrency_check
+
+OUT = os.environ.get("BENCH_CONCURRENCY_OUT", "BENCH_concurrency.json")
+
+
+def test_bench_concurrency_check(once):
+    report = once(run_concurrency_check, out=OUT)
+    metrics = report.metrics
+    print()
+    print(f"analysis: {metrics['analysis_files']} files in "
+          f"{metrics['analysis_elapsed_s']:.2f}s, "
+          f"{metrics['static_lock_sites']} lock sites, "
+          f"{metrics['static_cycles']} cycles")
+    print(f"storm: plain {metrics['storm_plain_s']:.3f}s, "
+          f"instrumented {metrics['storm_instrumented_s']:.3f}s "
+          f"({metrics['sanitizer_overhead_pct']:.1f}% overhead, "
+          f"budget {OVERHEAD_BUDGET_PCT:.0f}%)")
+    print(f"dynamic: {metrics['dynamic_acquires']} acquires over "
+          f"{metrics['dynamic_lock_sites']} sites, "
+          f"{metrics['dynamic_cycles']} cycles")
+    assert metrics["static_cycles"] == 0
+    assert metrics["dynamic_cycles"] == 0
+    assert metrics["consistent"] is True
+    assert metrics["deadlock_free"] is True
+    assert metrics["overhead_within_budget"] is True, (
+        f"sanitizer overhead {metrics['sanitizer_overhead_pct']:.1f}% "
+        f"exceeds the {OVERHEAD_BUDGET_PCT:.0f}% budget")
+    assert metrics["ok"] is True

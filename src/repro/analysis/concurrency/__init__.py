@@ -1,0 +1,48 @@
+"""Concurrency analysis plane: who watches the control plane's locks.
+
+Three cooperating pieces, mirroring the repo's static→dynamic motif:
+
+* :mod:`~repro.analysis.concurrency.astlint` — the AST lock-discipline
+  linter (``repro lint-threads``), emitting ``CON0xx`` findings through
+  the shared :class:`~repro.analysis.findings.LintReport`/SARIF pipeline.
+* :mod:`~repro.analysis.concurrency.sanitizer` — the runtime lock-order
+  sanitizer: instrumented ``threading`` primitives recording held-lock
+  stacks into a global acquisition-order graph, with lock-hold-time
+  histograms exported through :mod:`repro.obs`.
+* :mod:`~repro.analysis.concurrency.crosscheck` — runs the storm and the
+  chaos soak under the sanitizer and diffs the dynamic graph against the
+  static verdicts.
+"""
+
+from repro.analysis.concurrency.astlint import (
+    ConcurrencyAnalysis,
+    LockSite,
+    OrderEdge,
+    analyze_source,
+    lint_threads,
+)
+from repro.analysis.concurrency.crosscheck import (
+    CrossCheckResult,
+    run_crosscheck,
+)
+from repro.analysis.concurrency.rules import CONCURRENCY_RULES, RULES_BY_ID
+from repro.analysis.concurrency.sanitizer import (
+    DynamicEdge,
+    LockOrderSanitizer,
+    instrument,
+)
+
+__all__ = [
+    "CONCURRENCY_RULES",
+    "ConcurrencyAnalysis",
+    "CrossCheckResult",
+    "DynamicEdge",
+    "LockOrderSanitizer",
+    "LockSite",
+    "OrderEdge",
+    "RULES_BY_ID",
+    "analyze_source",
+    "instrument",
+    "lint_threads",
+    "run_crosscheck",
+]

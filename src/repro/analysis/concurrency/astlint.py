@@ -1,0 +1,978 @@
+"""AST-based lock-discipline linter over the repro source tree.
+
+The linter turns the analysis layer on the codebase itself: it parses
+every module under a root (default: the installed ``repro`` package),
+builds a per-class model of the ``threading`` primitives each class owns,
+and checks the six CON0xx disciplines from
+:mod:`repro.analysis.concurrency.rules`.
+
+What the model knows, and deliberately does not:
+
+* **Lock identity** is the creation site: ``self._lock =
+  threading.Lock()`` at ``repro/controlplane/executor.py:157`` is one
+  :class:`LockSite` whose ``key`` is that ``path:line`` — the same key
+  the runtime sanitizer derives from the creating frame, which is what
+  makes the static/dynamic cross-check a plain set join.
+* **Conditions alias their lock.** ``threading.Condition(self._lock)``
+  acquires ``_lock``; the model canonicalizes every condition attribute
+  onto the underlying lock so ``with self._quiesced:`` counts as holding
+  ``_lock``.
+* **Guard inference is interprocedural within a class.** A private
+  helper only ever called with the lock held (``TokenBucket._refill``)
+  inherits the guard; the inherited set is the intersection over all
+  intra-class call sites, computed to a (shrinking) fixed point, with
+  public methods pinned to the empty guard because anyone may call them
+  bare.
+* **The lock-order graph is interprocedural across classes** one hop
+  through attribute types: ``self.pool = ContainerPool(...)`` in any
+  method types ``self.pool``, so a call made while holding a lock adds
+  edges to every lock the callee may (transitively) acquire.
+* ``with`` blocks are the only acquisition shape modeled; bare
+  ``.acquire()``/``.release()`` pairs are not tracked (the tree has
+  none, and the runtime sanitizer sees them anyway).
+"""
+
+from __future__ import annotations
+
+import ast
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.concurrency.rules import CONCURRENCY_RULES, RULES_BY_ID
+from repro.analysis.findings import Finding, LintReport, Severity
+
+__all__ = [
+    "ConcurrencyAnalysis",
+    "LockSite",
+    "OrderEdge",
+    "analyze_source",
+    "lint_threads",
+]
+
+#: threading factory -> lock kind recorded on the site
+_FACTORY_KINDS: Dict[str, str] = {
+    "Lock": "lock", "RLock": "rlock", "Condition": "condition"}
+
+#: receiver-name hints for queue-like objects (blocking get/put)
+_QUEUE_HINTS: Tuple[str, ...] = ("queue", "_q")
+
+#: receiver-name hints for joinable workers (blocking .join())
+_JOIN_HINTS: Tuple[str, ...] = (
+    "thread", "worker", "proc", "process", "collector", "child", "queue")
+
+#: socket-style methods that block regardless of receiver name
+_SOCKET_BLOCKING: FrozenSet[str] = frozenset(
+    {"recv", "recv_into", "accept", "connect", "sendall"})
+
+
+@dataclass(frozen=True)
+class LockSite:
+    """One lock (or lock-aliased condition) creation site."""
+
+    module: str   # forward-slash path relative to the lint base
+    cls: str
+    attr: str     # canonical attribute name (aliases resolved)
+    line: int     # line of the creating threading.* call
+    kind: str     # "lock" | "rlock" | "condition"
+
+    @property
+    def key(self) -> str:
+        """The join key shared with the runtime sanitizer."""
+        return f"{self.module}:{self.line}"
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.cls}.{self.attr}"
+
+
+@dataclass(frozen=True)
+class OrderEdge:
+    """``src`` held while ``dst`` is (or may be) acquired."""
+
+    src: LockSite
+    dst: LockSite
+    module: str
+    where: str    # "Class.method" of the witness site
+    line: int
+    via: str      # "nested with" | "call self.x.y()" | ...
+
+
+@dataclass
+class _Write:
+    attr: str
+    line: int
+    held: Tuple[str, ...]    # lexically held canonical lock attrs
+
+
+@dataclass
+class _Blocking:
+    desc: str
+    line: int
+    held: Tuple[str, ...]
+
+
+@dataclass
+class _Acquire:
+    attr: str
+    line: int
+    held: Tuple[str, ...]
+
+
+@dataclass
+class _Call:
+    target: Tuple[str, ...]  # ("method",) for self.m(); (attr, m) for self.a.m()
+    line: int
+    held: Tuple[str, ...]
+
+
+@dataclass
+class _Wait:
+    attr: str
+    line: int
+    in_while: bool
+    is_wait_for: bool
+
+
+@dataclass
+class _MethodSummary:
+    name: str
+    writes: List[_Write] = field(default_factory=list)
+    blocking: List[_Blocking] = field(default_factory=list)
+    acquires: List[_Acquire] = field(default_factory=list)
+    calls: List[_Call] = field(default_factory=list)
+    waits: List[_Wait] = field(default_factory=list)
+    daemon_threads: List[int] = field(default_factory=list)
+    joins_threads: bool = False
+
+    @property
+    def is_init(self) -> bool:
+        return self.name in ("__init__", "__post_init__")
+
+    @property
+    def is_public(self) -> bool:
+        return not self.name.startswith("_") or (
+            self.name.startswith("__") and self.name.endswith("__"))
+
+
+@dataclass
+class _ClassModel:
+    module: str
+    name: str
+    line: int
+    locks: Dict[str, LockSite] = field(default_factory=dict)  # canonical
+    canon: Dict[str, str] = field(default_factory=dict)  # any lock attr -> canonical
+    conditions: Set[str] = field(default_factory=set)    # condition-typed attrs
+    attr_types: Dict[str, str] = field(default_factory=dict)  # self.x -> ClassName
+    methods: Dict[str, _MethodSummary] = field(default_factory=dict)
+    guards: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+
+
+@dataclass
+class _ModuleContext:
+    """Name-resolution facts for one module."""
+
+    threading_aliases: Set[str] = field(default_factory=set)  # import threading as X
+    factory_names: Dict[str, str] = field(default_factory=dict)  # local -> factory
+    thread_names: Set[str] = field(default_factory=set)  # local names for Thread
+    sleep_names: Set[str] = field(default_factory=set)   # from time import sleep
+    time_aliases: Set[str] = field(default_factory=set)  # import time as X
+
+
+def _collect_module_context(tree: ast.Module) -> _ModuleContext:
+    ctx = _ModuleContext()
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name
+                if alias.name == "threading":
+                    ctx.threading_aliases.add(local)
+                elif alias.name == "time":
+                    ctx.time_aliases.add(local)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "threading":
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    if alias.name in _FACTORY_KINDS:
+                        ctx.factory_names[local] = alias.name
+                    elif alias.name == "Thread":
+                        ctx.thread_names.add(local)
+            elif node.module == "time":
+                for alias in node.names:
+                    if alias.name == "sleep":
+                        ctx.sleep_names.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            # module-level alias: _REAL_LOCK = threading.Lock
+            target, value = node.targets[0], node.value
+            if (isinstance(target, ast.Name)
+                    and isinstance(value, ast.Attribute)
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id in ctx.threading_aliases):
+                if value.attr in _FACTORY_KINDS:
+                    ctx.factory_names[target.id] = value.attr
+                elif value.attr == "Thread":
+                    ctx.thread_names.add(target.id)
+    return ctx
+
+
+def _factory_of(func: ast.expr, ctx: _ModuleContext) -> Optional[str]:
+    """'Lock' | 'RLock' | 'Condition' when ``func`` is a lock factory."""
+    if isinstance(func, ast.Attribute):
+        if (isinstance(func.value, ast.Name)
+                and func.value.id in ctx.threading_aliases
+                and func.attr in _FACTORY_KINDS):
+            return func.attr
+        return None
+    if isinstance(func, ast.Name):
+        return ctx.factory_names.get(func.id)
+    return None
+
+
+def _is_thread_factory(func: ast.expr, ctx: _ModuleContext) -> bool:
+    if isinstance(func, ast.Attribute):
+        return (isinstance(func.value, ast.Name)
+                and func.value.id in ctx.threading_aliases
+                and func.attr == "Thread")
+    return isinstance(func, ast.Name) and func.id in ctx.thread_names
+
+
+def _self_attr(expr: ast.expr) -> Optional[str]:
+    """``self.X`` -> ``"X"``; anything else -> None."""
+    if (isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"):
+        return expr.attr
+    return None
+
+
+def _receiver_name(func: ast.Attribute) -> str:
+    """Best-effort identifier for a method call's receiver."""
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    if isinstance(value, ast.Constant) and isinstance(value.value, str):
+        return "<str>"
+    if isinstance(value, (ast.Constant, ast.JoinedStr)):
+        return "<literal>"
+    return ""
+
+
+def _hinted(name: str, hints: Sequence[str]) -> bool:
+    low = name.lower()
+    return low == "q" or any(h in low for h in hints)
+
+
+def _exec_nodes(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk expression nodes that execute *here* (skip nested defs/lambdas)."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef, ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+class _MethodScanner:
+    """One pass over a method body, tracking held locks and while-depth."""
+
+    def __init__(self, model: _ClassModel, ctx: _ModuleContext,
+                 summary: _MethodSummary):
+        self.model = model
+        self.ctx = ctx
+        self.out = summary
+
+    # -- statement recursion ------------------------------------------------
+
+    def scan(self, body: Sequence[ast.stmt]) -> None:
+        self._block(body, (), 0)
+
+    def _block(self, stmts: Sequence[ast.stmt], held: Tuple[str, ...],
+               whiles: int) -> None:
+        for stmt in stmts:
+            self._stmt(stmt, held, whiles)
+
+    def _stmt(self, stmt: ast.stmt, held: Tuple[str, ...],
+              whiles: int) -> None:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in stmt.items:
+                self._exprs(item.context_expr, inner, whiles)
+                attr = _self_attr(item.context_expr)
+                canon = self.model.canon.get(attr or "")
+                if canon is not None:
+                    self.out.acquires.append(_Acquire(
+                        attr=canon, line=item.context_expr.lineno,
+                        held=inner))
+                    if canon not in inner:
+                        inner = inner + (canon,)
+            self._block(stmt.body, inner, whiles)
+        elif isinstance(stmt, ast.While):
+            self._exprs(stmt.test, held, whiles)
+            self._block(stmt.body, held, whiles + 1)
+            self._block(stmt.orelse, held, whiles)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._exprs(stmt.iter, held, whiles)
+            self._block(stmt.body, held, whiles)
+            self._block(stmt.orelse, held, whiles)
+        elif isinstance(stmt, ast.If):
+            self._exprs(stmt.test, held, whiles)
+            self._block(stmt.body, held, whiles)
+            self._block(stmt.orelse, held, whiles)
+        elif isinstance(stmt, ast.Try):
+            self._block(stmt.body, held, whiles)
+            for handler in stmt.handlers:
+                self._block(handler.body, held, whiles)
+            self._block(stmt.orelse, held, whiles)
+            self._block(stmt.finalbody, held, whiles)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            return  # nested definitions execute elsewhere
+        else:
+            self._exprs(stmt, held, whiles)
+
+    # -- expression-level events --------------------------------------------
+
+    def _exprs(self, node: ast.AST, held: Tuple[str, ...],
+               whiles: int) -> None:
+        for sub in _exec_nodes(node):
+            if isinstance(sub, ast.Attribute) and isinstance(
+                    sub.ctx, ast.Store):
+                attr = _self_attr(sub)
+                if attr is not None:
+                    self.out.writes.append(_Write(
+                        attr=attr, line=sub.lineno, held=held))
+            elif isinstance(sub, ast.Subscript) and isinstance(
+                    sub.ctx, (ast.Store, ast.Del)):
+                attr = _self_attr(sub.value)
+                if attr is not None:
+                    self.out.writes.append(_Write(
+                        attr=attr, line=sub.lineno, held=held))
+            elif isinstance(sub, ast.Call):
+                self._call(sub, held, whiles)
+
+    def _call(self, call: ast.Call, held: Tuple[str, ...],
+              whiles: int) -> None:
+        func = call.func
+        # thread creation (CON005)
+        if _is_thread_factory(func, self.ctx):
+            for kw in call.keywords:
+                if (kw.arg == "daemon"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True):
+                    self.out.daemon_threads.append(call.lineno)
+        if not isinstance(func, ast.Attribute):
+            if (isinstance(func, ast.Name)
+                    and func.id in self.ctx.sleep_names):
+                self.out.blocking.append(_Blocking(
+                    desc="sleep()", line=call.lineno, held=held))
+            return
+        method = func.attr
+        receiver = _receiver_name(func)
+        self_recv = _self_attr(func.value)
+        # self.method(...) / self.attr.method(...)
+        if isinstance(func.value, ast.Name) and func.value.id == "self":
+            self.out.calls.append(_Call(
+                target=(method,), line=call.lineno, held=held))
+        elif self_recv is not None:
+            self.out.calls.append(_Call(
+                target=(self_recv, method), line=call.lineno, held=held))
+        # condition waits (CON004); wait() never counts as blocking-held
+        canon = self.model.canon.get(self_recv or "")
+        if method in ("wait", "wait_for") and canon is not None \
+                and (self_recv or "") in self.model.conditions:
+            self.out.waits.append(_Wait(
+                attr=canon, line=call.lineno, in_while=whiles > 0,
+                is_wait_for=method == "wait_for"))
+            return
+        if method == "wait":
+            return
+        # blocking-while-locked candidates (CON002)
+        desc: Optional[str] = None
+        if method == "sleep" and (receiver in self.ctx.time_aliases
+                                  or receiver == "time"):
+            desc = "time.sleep()"
+        elif method in ("get", "put") and _hinted(receiver, _QUEUE_HINTS):
+            if not any(kw.arg == "block"
+                       and isinstance(kw.value, ast.Constant)
+                       and kw.value.value is False
+                       for kw in call.keywords):
+                desc = f"{receiver}.{method}()"
+        elif method == "join" and receiver not in ("<str>", "<literal>",
+                                                   "path", "os"):
+            if _hinted(receiver, _JOIN_HINTS):
+                desc = f"{receiver}.join()"
+            self.out.joins_threads = True
+        elif method in _SOCKET_BLOCKING:
+            desc = f"{receiver}.{method}()"
+        elif method == "result" and _hinted(receiver, ("future", "fut")):
+            desc = f"{receiver}.result()"
+        if desc is not None:
+            self.out.blocking.append(_Blocking(
+                desc=desc, line=call.lineno, held=held))
+
+
+# -- per-class model construction -------------------------------------------
+
+
+def _discover_locks(module: str, node: ast.ClassDef,
+                    ctx: _ModuleContext) -> _ClassModel:
+    model = _ClassModel(module=module, name=node.name, line=node.lineno)
+    raw: List[Tuple[str, str, int, Optional[str]]] = []
+    # (attr, factory, line, aliased-lock-attr)
+    for method in node.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for sub in ast.walk(method):
+            if not (isinstance(sub, ast.Assign) and len(sub.targets) == 1):
+                continue
+            attr = _self_attr(sub.targets[0])
+            if attr is None or not isinstance(sub.value, ast.Call):
+                continue
+            factory = _factory_of(sub.value.func, ctx)
+            if factory is not None:
+                alias: Optional[str] = None
+                if factory == "Condition" and sub.value.args:
+                    alias = _self_attr(sub.value.args[0])
+                raw.append((attr, factory, sub.value.lineno, alias))
+            else:
+                # attribute typing: self.x = ClassName(...)
+                cls_name = _called_class_name(sub.value.func)
+                if cls_name is not None:
+                    model.attr_types.setdefault(attr, cls_name)
+    # first pass: own locks (non-aliasing creations)
+    for attr, factory, line, alias in raw:
+        if alias is None:
+            model.locks[attr] = LockSite(
+                module=module, cls=node.name, attr=attr, line=line,
+                kind=_FACTORY_KINDS[factory])
+            model.canon[attr] = attr
+            if factory == "Condition":
+                model.conditions.add(attr)
+    # second pass: conditions aliasing an existing lock attribute
+    for attr, factory, line, alias in raw:
+        if alias is not None:
+            model.conditions.add(attr)
+            target = model.canon.get(alias)
+            if target is not None:
+                model.canon[attr] = target
+            else:
+                model.locks[attr] = LockSite(
+                    module=module, cls=node.name, attr=attr, line=line,
+                    kind="condition")
+                model.canon[attr] = attr
+    return model
+
+
+def _called_class_name(func: ast.expr) -> Optional[str]:
+    """``ClassName(...)`` or ``mod.ClassName(...)`` -> ``"ClassName"``."""
+    name: Optional[str] = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    if name and name[:1].isupper():
+        return name
+    return None
+
+
+def _infer_guards(model: _ClassModel) -> None:
+    """Shrinking fixed point: locks guaranteed held when a method runs."""
+    universe = frozenset(model.locks[a].attr for a in model.locks)
+    callers: Dict[str, List[Tuple[str, Tuple[str, ...]]]] = {}
+    for caller, summary in model.methods.items():
+        for call in summary.calls:
+            if len(call.target) == 1 and call.target[0] in model.methods:
+                callers.setdefault(call.target[0], []).append(
+                    (caller, call.held))
+    guards: Dict[str, FrozenSet[str]] = {}
+    for name, summary in model.methods.items():
+        pinned = summary.is_public or name not in callers
+        guards[name] = frozenset() if pinned else universe
+    for _ in range(len(model.methods) + 1):
+        changed = False
+        for name, summary in model.methods.items():
+            if summary.is_public or name not in callers:
+                continue
+            contexts = [frozenset(held) | guards[caller]
+                        for caller, held in callers[name]]
+            merged: FrozenSet[str] = contexts[0]
+            for extra in contexts[1:]:
+                merged &= extra
+            if merged != guards[name]:
+                guards[name] = merged
+                changed = True
+        if not changed:
+            break
+    model.guards = guards
+
+
+def _may_acquire(models: Dict[str, _ClassModel]
+                 ) -> Dict[Tuple[str, str], FrozenSet[LockSite]]:
+    """Growing fixed point: every lock a method may transitively take."""
+    by_name: Dict[str, _ClassModel] = {}
+    for model in models.values():
+        by_name.setdefault(model.name, model)
+    acquires: Dict[Tuple[str, str], FrozenSet[LockSite]] = {}
+    for mkey, model in models.items():
+        for name, summary in model.methods.items():
+            direct = frozenset(model.locks[acq.attr]
+                               for acq in summary.acquires
+                               if acq.attr in model.locks)
+            acquires[(mkey, name)] = direct
+    for _ in range(len(acquires) + 1):
+        changed = False
+        for mkey, model in models.items():
+            for name, summary in model.methods.items():
+                merged = acquires[(mkey, name)]
+                for call in summary.calls:
+                    callee = _resolve_call(models, by_name, model, call)
+                    if callee is not None and callee in acquires:
+                        merged = merged | acquires[callee]
+                if merged != acquires[(mkey, name)]:
+                    acquires[(mkey, name)] = merged
+                    changed = True
+        if not changed:
+            break
+    return acquires
+
+
+def _model_key(model: _ClassModel) -> str:
+    return f"{model.module}::{model.name}"
+
+
+def _resolve_call(models: Dict[str, _ClassModel],
+                  by_name: Dict[str, _ClassModel],
+                  model: _ClassModel, call: _Call
+                  ) -> Optional[Tuple[str, str]]:
+    if len(call.target) == 1:
+        if call.target[0] in model.methods:
+            return (_model_key(model), call.target[0])
+        return None
+    attr, method = call.target
+    cls_name = model.attr_types.get(attr)
+    if cls_name is None:
+        return None
+    target = by_name.get(cls_name)
+    if target is None or method not in target.methods:
+        return None
+    return (_model_key(target), method)
+
+
+# -- the analysis driver -----------------------------------------------------
+
+
+@dataclass
+class ConcurrencyAnalysis:
+    """Everything ``repro lint-threads`` and the cross-check consume."""
+
+    report: LintReport
+    locks: Tuple[LockSite, ...]
+    edges: Tuple[OrderEdge, ...]
+    cycles: Tuple[Tuple[str, ...], ...]
+    files: int
+    elapsed_s: float
+
+    def edge_keys(self) -> Set[Tuple[str, str]]:
+        return {(e.src.key, e.dst.key) for e in self.edges}
+
+    def lock_by_key(self) -> Dict[str, LockSite]:
+        return {site.key: site for site in self.locks}
+
+
+def analyze_source(sources: Dict[str, str]) -> ConcurrencyAnalysis:
+    """Analyze ``{relative-path: source-text}`` (the testable core)."""
+    started = time.perf_counter()
+    findings: List[Finding] = []
+    models: Dict[str, _ClassModel] = {}
+    parsed = 0
+    for module in sorted(sources):
+        try:
+            tree = ast.parse(sources[module], filename=module)
+        except SyntaxError:
+            continue
+        parsed += 1
+        ctx = _collect_module_context(tree)
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                model = _discover_locks(module, node, ctx)
+                for method in node.body:
+                    if isinstance(method, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+                        summary = _MethodSummary(name=method.name)
+                        _MethodScanner(model, ctx, summary).scan(method.body)
+                        model.methods[method.name] = summary
+                models[_model_key(model)] = model
+                if module.endswith("channel.py"):
+                    findings.extend(_check_envelope(module, node))
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(_check_module_function(module, node, ctx))
+    for model in models.values():
+        _infer_guards(model)
+        findings.extend(_check_guarded_writes(model))
+        findings.extend(_check_blocking(model))
+        findings.extend(_check_waits(model))
+        findings.extend(_check_daemon_threads(model))
+    locks, edges = _order_graph(models)
+    cycles = _find_cycles(locks, edges)
+    findings.extend(_cycle_findings(cycles, edges, locks))
+    report = LintReport.collect(
+        findings, targets=sorted(sources), rule_catalog=CONCURRENCY_RULES)
+    return ConcurrencyAnalysis(
+        report=report,
+        locks=tuple(sorted(locks.values(),
+                           key=lambda s: (s.module, s.line))),
+        edges=tuple(sorted(edges, key=lambda e: (e.src.key, e.dst.key,
+                                                 e.module, e.line))),
+        cycles=cycles, files=parsed,
+        elapsed_s=time.perf_counter() - started)
+
+
+def lint_threads(root: Optional[Path] = None,
+                 rel_base: Optional[Path] = None) -> ConcurrencyAnalysis:
+    """Run the linter over a source tree (default: the repro package)."""
+    if root is None:
+        import repro
+        root = Path(repro.__file__).resolve().parent
+    root = Path(root).resolve()
+    base = Path(rel_base).resolve() if rel_base is not None else root.parent
+    sources: Dict[str, str] = {}
+    for path in sorted(root.rglob("*.py")):
+        try:
+            rel = path.relative_to(base).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        try:
+            sources[rel] = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+    return analyze_source(sources)
+
+
+# -- rule evaluation ---------------------------------------------------------
+
+
+def _effective(held: Tuple[str, ...], guard: FrozenSet[str]
+               ) -> FrozenSet[str]:
+    return frozenset(held) | guard
+
+
+def _check_guarded_writes(model: _ClassModel) -> List[Finding]:
+    guarded: Dict[str, List[int]] = {}
+    unguarded: Dict[str, List[int]] = {}
+    guarded_under: Dict[str, Set[str]] = {}
+    for name, summary in model.methods.items():
+        if summary.is_init:
+            continue
+        guard = model.guards.get(name, frozenset())
+        for write in summary.writes:
+            if write.attr in model.canon:
+                continue  # the lock attributes themselves
+            effective = _effective(write.held, guard)
+            if effective:
+                guarded.setdefault(write.attr, []).append(write.line)
+                guarded_under.setdefault(write.attr, set()).update(effective)
+            else:
+                unguarded.setdefault(write.attr, []).append(write.line)
+    out: List[Finding] = []
+    for attr in sorted(set(guarded) & set(unguarded)):
+        locks = ",".join(sorted(guarded_under[attr]))
+        out.append(Finding(
+            rule_id="CON001", severity=Severity.WARNING,
+            subject=model.name,
+            location=f"{model.module}:{min(unguarded[attr])}",
+            message=(f"attribute {attr!r} is written under {locks} "
+                     f"(lines {sorted(guarded[attr])}) and without it "
+                     f"(lines {sorted(unguarded[attr])})"),
+            evidence={"attr": attr, "locks": sorted(guarded_under[attr]),
+                      "guarded_lines": sorted(guarded[attr]),
+                      "unguarded_lines": sorted(unguarded[attr])}))
+    return out
+
+
+def _check_blocking(model: _ClassModel) -> List[Finding]:
+    out: List[Finding] = []
+    for name, summary in model.methods.items():
+        guard = model.guards.get(name, frozenset())
+        for block in summary.blocking:
+            effective = _effective(block.held, guard)
+            if not effective:
+                continue
+            locks = ",".join(sorted(effective))
+            out.append(Finding(
+                rule_id="CON002", severity=Severity.WARNING,
+                subject=model.name,
+                location=f"{model.module}:{block.line}",
+                message=(f"{block.desc} blocks inside {name}() while "
+                         f"holding {locks}"),
+                evidence={"call": block.desc, "method": name,
+                          "locks": sorted(effective)}))
+    return out
+
+
+def _check_waits(model: _ClassModel) -> List[Finding]:
+    out: List[Finding] = []
+    for name, summary in model.methods.items():
+        for wait in summary.waits:
+            if wait.is_wait_for or wait.in_while:
+                continue
+            out.append(Finding(
+                rule_id="CON004", severity=Severity.WARNING,
+                subject=model.name,
+                location=f"{model.module}:{wait.line}",
+                message=(f"{name}() calls wait() on condition over "
+                         f"{wait.attr!r} outside a while-loop predicate "
+                         f"re-check (use wait_for or loop)"),
+                evidence={"method": name, "lock": wait.attr}))
+    return out
+
+
+def _check_daemon_threads(model: _ClassModel) -> List[Finding]:
+    if any(s.joins_threads for s in model.methods.values()):
+        return []
+    out: List[Finding] = []
+    for name, summary in model.methods.items():
+        for line in summary.daemon_threads:
+            out.append(Finding(
+                rule_id="CON005", severity=Severity.WARNING,
+                subject=model.name,
+                location=f"{model.module}:{line}",
+                message=(f"{name}() starts a daemon thread but no method "
+                         f"of {model.name} ever joins one"),
+                evidence={"method": name}))
+    return out
+
+
+def _check_module_function(module: str, node: ast.AST,
+                           ctx: _ModuleContext) -> List[Finding]:
+    """CON005 for module-level functions (no class lifecycle to join in)."""
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    daemons: List[int] = []
+    joins = False
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            if _is_thread_factory(sub.func, ctx):
+                for kw in sub.keywords:
+                    if (kw.arg == "daemon"
+                            and isinstance(kw.value, ast.Constant)
+                            and kw.value.value is True):
+                        daemons.append(sub.lineno)
+            elif (isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "join"
+                    and _receiver_name(sub.func) not in (
+                        "<str>", "<literal>", "path", "os")):
+                joins = True
+    if joins:
+        return []
+    return [Finding(
+        rule_id="CON005", severity=Severity.WARNING,
+        subject=node.name, location=f"{module}:{line}",
+        message=(f"{node.name}() starts a daemon thread it never joins"),
+        evidence={"function": node.name}) for line in daemons]
+
+
+def _check_envelope(module: str, node: ast.ClassDef) -> List[Finding]:
+    """CON006: wire-envelope fields that weaken the pickle boundary."""
+    is_dataclass = any(
+        (isinstance(dec, ast.Name) and dec.id == "dataclass")
+        or (isinstance(dec, ast.Attribute) and dec.attr == "dataclass")
+        or (isinstance(dec, ast.Call) and (
+            (isinstance(dec.func, ast.Name) and dec.func.id == "dataclass")
+            or (isinstance(dec.func, ast.Attribute)
+                and dec.func.attr == "dataclass")))
+        for dec in node.decorator_list)
+    if not is_dataclass:
+        return []
+    out: List[Finding] = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign) or not isinstance(
+                stmt.target, ast.Name):
+            continue
+        names = {sub.id for sub in ast.walk(stmt.annotation)
+                 if isinstance(sub, ast.Name)}
+        names |= {sub.attr for sub in ast.walk(stmt.annotation)
+                  if isinstance(sub, ast.Attribute)}
+        field_name = stmt.target.id
+        if "Callable" in names:
+            out.append(Finding(
+                rule_id="CON006", severity=Severity.WARNING,
+                subject=node.name, location=f"{module}:{stmt.lineno}",
+                message=(f"field {field_name!r} is typed Callable: only "
+                         f"module-level functions survive pickling in "
+                         f"process mode"),
+                evidence={"field": field_name, "reason": "callable"}))
+        elif "object" in names:
+            out.append(Finding(
+                rule_id="CON006", severity=Severity.INFO,
+                subject=node.name, location=f"{module}:{stmt.lineno}",
+                message=(f"field {field_name!r} is typed bare object: the "
+                         f"wire schema cannot be validated at the "
+                         f"process boundary"),
+                evidence={"field": field_name, "reason": "object"}))
+    return out
+
+
+# -- the lock-order graph ----------------------------------------------------
+
+
+def _order_graph(models: Dict[str, _ClassModel]
+                 ) -> Tuple[Dict[str, LockSite], List[OrderEdge]]:
+    locks: Dict[str, LockSite] = {}
+    for model in models.values():
+        for site in model.locks.values():
+            locks[site.key] = site
+    by_name: Dict[str, _ClassModel] = {}
+    for model in models.values():
+        by_name.setdefault(model.name, model)
+    may = _may_acquire(models)
+    edges: Dict[Tuple[str, str], OrderEdge] = {}
+
+    def add_edge(src: LockSite, dst: LockSite, model: _ClassModel,
+                 method: str, line: int, via: str) -> None:
+        if src.key == dst.key and src.kind == "rlock":
+            return  # reentrant self-acquisition is legal
+        key = (src.key, dst.key)
+        if key not in edges:
+            edges[key] = OrderEdge(
+                src=src, dst=dst, module=model.module,
+                where=f"{model.name}.{method}", line=line, via=via)
+
+    for model in models.values():
+        for name, summary in model.methods.items():
+            guard = model.guards.get(name, frozenset())
+            for acq in summary.acquires:
+                dst = model.locks.get(acq.attr)
+                if dst is None:
+                    continue
+                for held_attr in _effective(acq.held, guard):
+                    src = model.locks.get(held_attr)
+                    if src is not None:
+                        add_edge(src, dst, model, name, acq.line,
+                                 "nested with")
+            for call in summary.calls:
+                effective = _effective(call.held, guard)
+                if not effective:
+                    continue
+                callee = _resolve_call(models, by_name, model, call)
+                if callee is None:
+                    continue
+                for dst in may.get(callee, frozenset()):
+                    for held_attr in effective:
+                        src = model.locks.get(held_attr)
+                        if src is not None:
+                            add_edge(src, dst, model, name, call.line,
+                                     f"call {'.'.join(call.target)}()")
+    return locks, list(edges.values())
+
+
+def _find_cycles(locks: Dict[str, LockSite],
+                 edges: List[OrderEdge]) -> Tuple[Tuple[str, ...], ...]:
+    """Strongly connected components with >1 node, plus self-loops."""
+    graph: Dict[str, Set[str]] = {key: set() for key in locks}
+    self_loops: Set[str] = set()
+    for edge in edges:
+        if edge.src.key == edge.dst.key:
+            self_loops.add(edge.src.key)
+        else:
+            graph.setdefault(edge.src.key, set()).add(edge.dst.key)
+            graph.setdefault(edge.dst.key, set())
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    cycles: List[Tuple[str, ...]] = []
+
+    def strongconnect(node: str) -> None:
+        work: List[Tuple[str, Iterator[str]]] = [
+            (node, iter(sorted(graph.get(node, ()))))]
+        index[node] = low[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        while work:
+            current, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[current] = min(low[current], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[current])
+            if low[current] == index[current]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == current:
+                        break
+                if len(component) > 1:
+                    cycles.append(tuple(sorted(component)))
+
+    for key in sorted(graph):
+        if key not in index:
+            strongconnect(key)
+    for key in sorted(self_loops):
+        cycles.append((key,))
+    return tuple(sorted(cycles))
+
+
+def _cycle_findings(cycles: Tuple[Tuple[str, ...], ...],
+                    edges: List[OrderEdge],
+                    locks: Dict[str, LockSite]) -> List[Finding]:
+    by_pair: Dict[Tuple[str, str], OrderEdge] = {
+        (e.src.key, e.dst.key): e for e in edges}
+    out: List[Finding] = []
+    for cycle in cycles:
+        members = set(cycle)
+        witnesses = [
+            {"from": f"{e.src.qualname}@{e.src.key}",
+             "to": f"{e.dst.qualname}@{e.dst.key}",
+             "at": f"{e.where} ({e.module}:{e.line})", "via": e.via}
+            for (src, dst), e in sorted(by_pair.items())
+            if src in members and dst in members]
+        names = " -> ".join(
+            locks[key].qualname if key in locks else key for key in cycle)
+        first = locks.get(cycle[0])
+        if len(cycle) == 1:
+            message = (f"self-deadlock: non-reentrant lock {names} is "
+                       f"re-acquired while already held")
+        else:
+            message = (f"lock-order cycle: {names} -> (back); threads "
+                       f"taking these locks in opposite order deadlock")
+        out.append(Finding(
+            rule_id="CON003", severity=Severity.ERROR,
+            subject=first.cls if first is not None else "lock-graph",
+            location=cycle[0],
+            message=message,
+            evidence={"cycle": list(cycle), "edges": witnesses}))
+    return out
+
+
+RULES = RULES_BY_ID  # re-exported for the CLI's rule table

@@ -1,0 +1,85 @@
+"""Rule catalog for the concurrency lint plane (``CON0xx``).
+
+Six rules cover the failure classes the control plane has actually hit
+(the PR-7 submit/close race, the PR-8 crash-drain hang) plus the classic
+deadlock shapes a lock-order sanitizer exists to catch. Severities are
+deliberate: only :data:`CON003` (a statically provable lock-order cycle)
+defaults to ``error`` — it is the one verdict that, when right, means a
+deadlock is reachable — so ``repro lint-threads --fail-on error`` (the
+default, and the CI gate) fails precisely on cycles while the softer
+discipline findings stay advisory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.analysis.findings import RuleInfo, Severity
+
+__all__ = ["CONCURRENCY_RULES", "RULES_BY_ID"]
+
+CONCURRENCY_RULES: Tuple[RuleInfo, ...] = (
+    RuleInfo(
+        rule_id="CON001",
+        title="Inconsistently guarded attribute",
+        severity=Severity.WARNING,
+        description=(
+            "An instance attribute is written both while holding one of "
+            "the class's locks and without it (constructor writes "
+            "excluded). Either every post-init write needs the guard or "
+            "none does; a mix is how the submit/close race happened."),
+    ),
+    RuleInfo(
+        rule_id="CON002",
+        title="Blocking call while holding a lock",
+        severity=Severity.WARNING,
+        description=(
+            "A blocking operation (queue get/put, thread/process join, "
+            "time.sleep, socket I/O) runs inside a with-lock block, "
+            "stalling every other thread contending for that lock. "
+            "Condition.wait is exempt: it releases the lock while "
+            "waiting."),
+    ),
+    RuleInfo(
+        rule_id="CON003",
+        title="Lock-order cycle",
+        severity=Severity.ERROR,
+        description=(
+            "The statically derived acquisition-order graph (nested "
+            "with-blocks plus same-class and attribute-typed calls made "
+            "while holding a lock) contains a cycle: two threads taking "
+            "the locks in opposite order can deadlock."),
+    ),
+    RuleInfo(
+        rule_id="CON004",
+        title="Condition wait without a predicate loop",
+        severity=Severity.WARNING,
+        description=(
+            "Condition.wait() outside a while-loop re-check: wakeups may "
+            "be spurious or stale, so the predicate must be re-tested "
+            "after every wait (or use wait_for, which loops internally)."),
+    ),
+    RuleInfo(
+        rule_id="CON005",
+        title="Daemon thread never joined",
+        severity=Severity.WARNING,
+        description=(
+            "A daemon thread is started but no method of the owning "
+            "scope ever joins a thread: shutdown can race the thread's "
+            "last writes, and interpreter teardown may kill it "
+            "mid-operation."),
+    ),
+    RuleInfo(
+        rule_id="CON006",
+        title="Pickle-unsafe envelope field",
+        severity=Severity.WARNING,
+        description=(
+            "A field on a cross-process wire envelope is typed Callable "
+            "(only module-level functions survive pickling — a lambda or "
+            "bound method fails at submit time in process mode) or bare "
+            "object (the wire schema cannot be checked at the boundary)."),
+    ),
+)
+
+RULES_BY_ID: Dict[str, RuleInfo] = {
+    rule.rule_id: rule for rule in CONCURRENCY_RULES}

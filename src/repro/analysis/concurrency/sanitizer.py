@@ -1,0 +1,435 @@
+"""Runtime lock-order sanitizer: lockdep for the repro control plane.
+
+:func:`instrument` monkeypatches ``threading.Lock``/``RLock``/
+``Condition`` with wrappers that record, per thread, the stack of held
+locks and, globally, the acquisition-order graph: an edge ``A -> B``
+means some thread acquired ``B`` while holding ``A``. A cycle in that
+graph is a potential deadlock; :meth:`LockOrderSanitizer.cycles` returns
+them with the first-observed acquire-site witness for every edge.
+
+Design notes (all in service of the <15 % overhead budget):
+
+* **Lock classes, not instances.** Like the kernel's lockdep, locks
+  collapse onto their *creation site* (``file:line`` of the
+  ``threading.Lock()`` call). Per-instance locks — one
+  ``concurrent.futures.Future`` condition per ticket — become one graph
+  node, and the key is exactly the :attr:`LockSite.key
+  <repro.analysis.concurrency.astlint.LockSite.key>` the static linter
+  derives, so the cross-check is a set join. The cost: an edge between
+  two *instances* of the same site is not recorded (it would
+  false-positive on e.g. two queues), matching lockdep's limitation.
+* **Witnesses are captured once per edge.** The per-acquire hot path
+  does one ``sys._getframe`` walk to note the caller (a couple of frame
+  hops) and plain list/dict work; the global mutex is only taken when a
+  never-seen edge is inserted.
+* **Reentrancy guard.** A per-thread ``busy`` flag makes the sanitizer's
+  own bookkeeping invisible to itself — metric recording can touch
+  registry locks without manufacturing edges.
+* Conditions wrap a sanitized lock inside a *real*
+  ``threading.Condition``, so ``wait()`` naturally pops and re-pushes
+  the held stack through the wrapper's release/acquire.
+
+Hold times export through :mod:`repro.obs` as the
+``concurrency_lock_hold_seconds`` histogram and
+``concurrency_lock_acquires_total`` counter, labelled by lock site.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro import obs
+
+__all__ = [
+    "DynamicEdge",
+    "LockOrderSanitizer",
+    "instrument",
+]
+
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+_REAL_CONDITION = threading.Condition
+
+_THIS_FILE = __file__
+
+HOLD_HISTOGRAM = "concurrency_lock_hold_seconds"
+ACQUIRE_COUNTER = "concurrency_lock_acquires_total"
+
+#: hold-time buckets: lock holds should be micro- not milli-second scale
+HOLD_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, float("inf"))
+
+
+def _src_base() -> Path:
+    import repro
+    return Path(repro.__file__).resolve().parent.parent
+
+
+_SRC_BASE = _src_base()
+
+
+@dataclass(frozen=True)
+class DynamicEdge:
+    """First-observed witness that ``src`` was held while taking ``dst``."""
+
+    src: str           # lock-site key of the held lock
+    dst: str           # lock-site key of the acquired lock
+    thread: str
+    held_at: str       # where the held lock was acquired
+    acquired_at: str   # where the new lock was acquired
+
+    @property
+    def mapped(self) -> bool:
+        """True when both endpoints live under the repro source tree."""
+        return not (self.src.startswith("ext:")
+                    or self.dst.startswith("ext:"))
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"src": self.src, "dst": self.dst, "thread": self.thread,
+                "held_at": self.held_at, "acquired_at": self.acquired_at}
+
+
+class _Held:
+    __slots__ = ("key", "inst", "t0", "site")
+
+    def __init__(self, key: str, inst: int, t0: float, site: str):
+        self.key = key
+        self.inst = inst
+        self.t0 = t0
+        self.site = site
+
+
+class _TlsState(threading.local):
+    def __init__(self) -> None:
+        self.held: List[_Held] = []
+        self.rdepth: Dict[int, int] = {}
+        self.busy: bool = False
+
+
+def _caller_frame() -> Tuple[str, int]:
+    """First frame outside this module (skipping wrapper hops)."""
+    frame = sys._getframe(2)
+    while frame is not None and frame.f_code.co_filename == _THIS_FILE:
+        frame = frame.f_back
+    if frame is None:
+        return ("<unknown>", 0)
+    return (frame.f_code.co_filename, frame.f_lineno)
+
+
+class LockOrderSanitizer:
+    """Acquisition-order graph + hold-time metrics for sanitized locks."""
+
+    def __init__(self) -> None:
+        self._mu = _REAL_LOCK()
+        self._tls = _TlsState()
+        self._edges: Dict[Tuple[str, str], DynamicEdge] = {}
+        self._sites: Dict[str, int] = {}   # site key -> locks created there
+        self._file_cache: Dict[str, str] = {}
+        self._acquire_total = 0
+
+    # -- site bookkeeping ---------------------------------------------------
+
+    def _site_of(self, filename: str, lineno: int) -> str:
+        base = self._file_cache.get(filename)
+        if base is None:
+            path = Path(filename)
+            try:
+                base = path.resolve().relative_to(_SRC_BASE).as_posix()
+            except (ValueError, OSError):
+                base = f"ext:{path.name}"
+            self._file_cache[filename] = base
+        return f"{base}:{lineno}"
+
+    def _new_site(self) -> str:
+        filename, lineno = _caller_frame()
+        key = self._site_of(filename, lineno)
+        with self._mu:
+            self._sites[key] = self._sites.get(key, 0) + 1
+        return key
+
+    # -- factories (these replace threading.Lock/RLock/Condition) ----------
+
+    def make_lock(self) -> "_SanitizedLock":
+        return _SanitizedLock(self, self._new_site())
+
+    def make_rlock(self) -> "_SanitizedRLock":
+        return _SanitizedRLock(self, self._new_site())
+
+    def make_condition(
+            self, lock: Optional[object] = None) -> threading.Condition:
+        if lock is None:
+            lock = _SanitizedLock(self, self._new_site())
+        return _REAL_CONDITION(lock)  # type: ignore[arg-type]
+
+    # -- the hot path -------------------------------------------------------
+
+    def note_acquired(self, key: str, inst: int) -> None:
+        tls = self._tls
+        if tls.busy:
+            return
+        tls.busy = True
+        try:
+            filename, lineno = _caller_frame()
+            site = f"{filename}:{lineno}"
+            for held in tls.held:
+                if held.key != key:
+                    pair = (held.key, key)
+                    if pair not in self._edges:
+                        self._record_edge(pair, held, filename, lineno)
+            tls.held.append(_Held(key, inst, time.perf_counter(), site))
+            self._acquire_total += 1
+            # get-or-create each time: obs.reset() clears the registry in
+            # place, and its docs promise lazy re-registration keeps working
+            obs.registry().counter(ACQUIRE_COUNTER, lock=key).inc()
+        finally:
+            tls.busy = False
+
+    def note_released(self, key: str, inst: int) -> None:
+        tls = self._tls
+        if tls.busy:
+            return
+        tls.busy = True
+        try:
+            held = tls.held
+            for i in range(len(held) - 1, -1, -1):
+                if held[i].key == key and held[i].inst == inst:
+                    entry = held.pop(i)
+                    duration = time.perf_counter() - entry.t0
+                    obs.registry().histogram(
+                        HOLD_HISTOGRAM, buckets=HOLD_BUCKETS,
+                        lock=key).observe(duration)
+                    return
+        finally:
+            tls.busy = False
+
+    def _record_edge(self, pair: Tuple[str, str], held: _Held,
+                     filename: str, lineno: int) -> None:
+        held_file, _, held_line = held.site.rpartition(":")
+        witness = DynamicEdge(
+            src=pair[0], dst=pair[1],
+            thread=threading.current_thread().name,
+            held_at=self._site_of(held_file, int(held_line or 0)),
+            acquired_at=self._site_of(filename, lineno))
+        with self._mu:
+            self._edges.setdefault(pair, witness)
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def acquire_total(self) -> int:
+        return self._acquire_total
+
+    def site_keys(self) -> List[str]:
+        with self._mu:
+            return sorted(self._sites)
+
+    def edges(self) -> List[DynamicEdge]:
+        with self._mu:
+            return [self._edges[pair] for pair in sorted(self._edges)]
+
+    def mapped_edges(self) -> List[DynamicEdge]:
+        return [edge for edge in self.edges() if edge.mapped]
+
+    def cycles(self) -> List[Tuple[str, ...]]:
+        """Cycles in the acquisition-order graph (potential deadlocks)."""
+        graph: Dict[str, Set[str]] = {}
+        for src, dst in self._edge_pairs():
+            graph.setdefault(src, set()).add(dst)
+            graph.setdefault(dst, set())
+        return _graph_cycles(graph)
+
+    def _edge_pairs(self) -> List[Tuple[str, str]]:
+        with self._mu:
+            return sorted(self._edges)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able summary for artifacts and the cross-check report."""
+        return {
+            "sites": self.site_keys(),
+            "acquires": self._acquire_total,
+            "edges": [edge.to_dict() for edge in self.edges()],
+            "cycles": [list(cycle) for cycle in self.cycles()],
+        }
+
+
+def _graph_cycles(graph: Dict[str, Set[str]]) -> List[Tuple[str, ...]]:
+    """SCCs of size > 1 (iterative Tarjan; these graphs are tiny)."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    cycles: List[Tuple[str, ...]] = []
+
+    def strongconnect(root: str) -> None:
+        work: List[Tuple[str, Iterator[str]]] = [
+            (root, iter(sorted(graph.get(root, ()))))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                low[work[-1][0]] = min(low[work[-1][0]], low[node])
+            if low[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    cycles.append(tuple(sorted(component)))
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+    return sorted(cycles)
+
+
+class _SanitizedLock:
+    """A plain (non-reentrant) lock wrapper feeding the sanitizer."""
+
+    __slots__ = ("_inner", "_san", "_key")
+
+    def __init__(self, san: LockOrderSanitizer, key: str):
+        self._inner = _REAL_LOCK()
+        self._san = san
+        self._key = key
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._san.note_acquired(self._key, id(self))
+        return acquired
+
+    def release(self) -> None:
+        self._san.note_released(self._key, id(self))
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<SanitizedLock {self._key} {self._inner!r}>"
+
+
+class _SanitizedRLock:
+    """Reentrant wrapper: only the 0->1 transition records held state."""
+
+    __slots__ = ("_inner", "_san", "_key")
+
+    def __init__(self, san: LockOrderSanitizer, key: str):
+        self._inner = _REAL_RLOCK()
+        self._san = san
+        self._key = key
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            depths = self._san._tls.rdepth
+            depth = depths.get(id(self), 0) + 1
+            depths[id(self)] = depth
+            if depth == 1:
+                self._san.note_acquired(self._key, id(self))
+        return acquired
+
+    def release(self) -> None:
+        depths = self._san._tls.rdepth
+        depth = depths.get(id(self), 1) - 1
+        if depth <= 0:
+            depths.pop(id(self), None)
+            self._san.note_released(self._key, id(self))
+        else:
+            depths[id(self)] = depth
+        self._inner.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    # Condition support: release fully / restore recursion level
+    def _release_save(self) -> Tuple[object, int]:
+        depths = self._san._tls.rdepth
+        depth = depths.pop(id(self), 1)
+        self._san.note_released(self._key, id(self))
+        return (self._inner._release_save(), depth)  # type: ignore[attr-defined]
+
+    def _acquire_restore(self, state: Tuple[object, int]) -> None:
+        self._inner._acquire_restore(state[0])  # type: ignore[attr-defined]
+        self._san._tls.rdepth[id(self)] = state[1]
+        self._san.note_acquired(self._key, id(self))
+
+    def _is_owned(self) -> bool:
+        return bool(self._inner._is_owned())  # type: ignore[attr-defined]
+
+    def __repr__(self) -> str:
+        return f"<SanitizedRLock {self._key} {self._inner!r}>"
+
+
+_PATCH_MU = _REAL_LOCK()
+_ACTIVE: List[LockOrderSanitizer] = []
+
+
+@contextmanager
+def instrument(
+        sanitizer: Optional[LockOrderSanitizer] = None
+) -> Iterator[LockOrderSanitizer]:
+    """Patch ``threading``'s primitives to record into ``sanitizer``.
+
+    Locks created *inside* the context are sanitized; locks that already
+    exist keep their identity (the process-global metrics registry stays
+    invisible, which is what keeps the sanitizer's own metric exports
+    from feeding back into the graph). The same sanitizer may be used
+    across several sequential ``instrument`` blocks — the cross-check
+    accumulates the storm and the chaos soak into one graph — but
+    nesting is refused because two patch layers would double-count.
+    """
+    san = sanitizer if sanitizer is not None else LockOrderSanitizer()
+    with _PATCH_MU:
+        if _ACTIVE:
+            raise RuntimeError("lock sanitizer is already instrumenting "
+                               "this process")
+        _ACTIVE.append(san)
+        threading.Lock = san.make_lock  # type: ignore[assignment]
+        threading.RLock = san.make_rlock  # type: ignore[assignment]
+        threading.Condition = san.make_condition  # type: ignore[assignment,misc]
+    try:
+        yield san
+    finally:
+        with _PATCH_MU:
+            _ACTIVE.pop()
+            threading.Lock = _REAL_LOCK  # type: ignore[assignment]
+            threading.RLock = _REAL_RLOCK  # type: ignore[assignment]
+            threading.Condition = _REAL_CONDITION  # type: ignore[assignment,misc]

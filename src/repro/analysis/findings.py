@@ -157,10 +157,10 @@ class LintReport:
         from repro.analysis.sarif import report_to_sarif
         return report_to_sarif(self)
 
-    def format(self) -> str:
+    def format(self, title: str = "Perforation lint") -> str:
         """Human-readable report."""
         counts = self.counts()
-        lines = [f"Perforation lint — {len(self.targets)} target(s), "
+        lines = [f"{title} — {len(self.targets)} target(s), "
                  f"{counts['error']} error(s), {counts['warning']} warning(s), "
                  f"{counts['info']} info"]
         for finding in self.findings:

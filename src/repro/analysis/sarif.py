@@ -24,6 +24,8 @@ LINTER_TOOL_NAME = "watchit-perforation-linter"
 MODELCHECK_TOOL_NAME = "watchit-escape-model-checker"
 #: tool name for single-source reports from the policy miner.
 MINING_TOOL_NAME = "watchit-policy-miner"
+#: tool name for single-source reports from the lock-discipline linter.
+CONCURRENCY_TOOL_NAME = "watchit-concurrency-linter"
 #: tool name for merged multi-analysis artifacts.
 COMBINED_TOOL_NAME = "watchit-analysis"
 
@@ -117,8 +119,10 @@ def merge_reports(reports: Sequence[LintReport],
 
 __all__ = [
     "COMBINED_TOOL_NAME",
+    "CONCURRENCY_TOOL_NAME",
     "DEFAULT_INFORMATION_URI",
     "LINTER_TOOL_NAME",
+    "MINING_TOOL_NAME",
     "MODELCHECK_TOOL_NAME",
     "SARIF_SCHEMA",
     "SARIF_VERSION",

@@ -197,6 +197,57 @@ def _cmd_lint(args) -> int:
     return status
 
 
+def _cmd_lint_threads(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.analysis.concurrency import lint_threads, run_crosscheck
+
+    try:
+        fail_on = _parse_fail_on(args.fail_on)
+    except ValueError as exc:
+        print(f"repro lint-threads: --fail-on: {exc}", file=sys.stderr)
+        return 2
+    root = None
+    if args.path is not None:
+        root = Path(args.path)
+        if not root.is_dir():
+            print(f"repro lint-threads: not a directory: {args.path}",
+                  file=sys.stderr)
+            return 2
+    analysis = lint_threads(root=root)
+    report = analysis.report
+    if args.sarif:
+        from repro.analysis.sarif import CONCURRENCY_TOOL_NAME, merge_reports
+        document = merge_reports([report],
+                                 tool_name=CONCURRENCY_TOOL_NAME)
+        print(_json.dumps(document, indent=2, sort_keys=True))
+    elif args.json:
+        print(report.dumps())
+    else:
+        print(report.format(title="Concurrency lint"))
+        print(f"  lock graph: {len(analysis.locks)} sites, "
+              f"{len(analysis.edges)} order edges, "
+              f"{len(analysis.cycles)} cycles "
+              f"({analysis.files} files in {analysis.elapsed_s:.2f}s)")
+    status = 0
+    if fail_on is not None and report.fails(fail_on):
+        status = 1
+    if args.crosscheck:
+        crosscheck = run_crosscheck(tickets=args.tickets,
+                                    chaos_iterations=args.chaos_iterations,
+                                    analysis=analysis)
+        if args.json or args.sarif:
+            print(_json.dumps(crosscheck.to_dict(), indent=2,
+                              sort_keys=True))
+        else:
+            print()
+            print(crosscheck.format())
+        if not (crosscheck.consistent and crosscheck.deadlock_free):
+            status = 1
+    return status
+
+
 def _cmd_verify_model(args) -> int:
     import json as _json
 
@@ -645,6 +696,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--crosscheck", action="store_true",
                         help="also run the static/dynamic Table 1 cross-check")
 
+    p_lt = sub.add_parser(
+        "lint-threads",
+        help="lock-discipline lint (CON0xx) over the repro source tree, "
+             "with an optional sanitizer-instrumented cross-check")
+    p_lt.add_argument("--path", metavar="DIR", default=None,
+                      help="package root to lint (default: the installed "
+                           "repro tree)")
+    p_lt.add_argument("--json", action="store_true",
+                      help="machine-readable findings")
+    p_lt.add_argument("--sarif", action="store_true",
+                      help="CON0xx findings as SARIF")
+    p_lt.add_argument("--fail-on", metavar="SEVERITY", default="error",
+                      help="severity threshold for a non-zero exit status "
+                           "(info, warning, error, or 'never'); the "
+                           "default 'error' fails precisely on CON003 "
+                           "lock-order cycles")
+    p_lt.add_argument("--crosscheck", action="store_true",
+                      help="also run the storm + chaos soak under the "
+                           "runtime lock-order sanitizer and diff the "
+                           "dynamic acquisition graph against the static "
+                           "verdicts (inconsistency or a dynamic cycle "
+                           "exits 1)")
+    p_lt.add_argument("--tickets", type=int, default=160,
+                      help="storm size for --crosscheck (default 160)")
+    p_lt.add_argument("--chaos-iterations", type=int, default=40,
+                      help="chaos-soak iterations for --crosscheck "
+                           "(default 40; 0 skips the soak)")
+
     p_vm = sub.add_parser(
         "verify-model",
         help="model-check multi-step escape chains and replay witnesses")
@@ -802,7 +881,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"demo": _cmd_demo, "experiment": _cmd_experiment,
                 "threats": _cmd_threats, "chaos": _cmd_chaos,
-                "lint": _cmd_lint, "verify-model": _cmd_verify_model,
+                "lint": _cmd_lint, "lint-threads": _cmd_lint_threads,
+                "verify-model": _cmd_verify_model,
                 "mine": _cmd_mine,
                 "anomaly": _cmd_anomaly, "serve": _cmd_serve,
                 "metrics": _cmd_metrics, "trace": _cmd_trace}

@@ -1,0 +1,35 @@
+"""Structural types shared across the control plane's layers.
+
+The control plane is deliberately generic over two collaborators it never
+constructs itself: the ticket classifier (keyword or LDA — anything with
+a ``classify``) and the metric scope (the process-global registry, a
+plane-scoped view, or a worker's private fold-back registry). Protocols
+keep that genericity honest under strict typing without coupling the
+plane to any one implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Tuple
+
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+__all__ = ["ClassifierLike", "MetricScope"]
+
+
+class ClassifierLike(Protocol):
+    """Anything that maps ticket text to a ticket-class name."""
+
+    def classify(self, text: str) -> str: ...
+
+
+class MetricScope(Protocol):
+    """The factory surface shared by MetricsRegistry and ScopedRegistry."""
+
+    def counter(self, name: str, **labels: object) -> Counter: ...
+
+    def gauge(self, name: str, **labels: object) -> Gauge: ...
+
+    def histogram(self, name: str,
+                  buckets: Optional[Tuple[float, ...]] = None,
+                  **labels: object) -> Histogram: ...

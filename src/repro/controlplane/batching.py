@@ -17,9 +17,10 @@ several workers race on the same key.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.controlplane._types import ClassifierLike, MetricScope
 from repro.framework.preprocess import tokenize
 
 __all__ = ["BatchingClassifier"]
@@ -37,7 +38,8 @@ class BatchingClassifier:
     in one submission.
     """
 
-    def __init__(self, inner, max_entries: int = 65536, registry=None):
+    def __init__(self, inner: ClassifierLike, max_entries: int = 65536,
+                 registry: Optional[MetricScope] = None) -> None:
         self.inner = inner
         self.max_entries = max_entries
         self._memo: Dict[MemoKey, str] = {}

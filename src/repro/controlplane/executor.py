@@ -51,10 +51,14 @@ import sys
 import threading
 import time
 from concurrent.futures import Future
+from multiprocessing.process import BaseProcess
+from multiprocessing.queues import Queue as MpQueue
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.api import TicketResult
+from repro.broker.policy import BrokerPolicy
+from repro.controlplane._types import ClassifierLike
 from repro.controlplane.batching import BatchingClassifier
 from repro.controlplane.channel import (
     ControlReply,
@@ -108,7 +112,9 @@ class _WorkerProc:
     __slots__ = ("plan", "process", "submit_q", "result_q", "collector",
                  "crashed", "exit_seen")
 
-    def __init__(self, plan: ShardPlan, process, submit_q, result_q):
+    def __init__(self, plan: ShardPlan, process: BaseProcess,
+                 submit_q: "MpQueue[object]",
+                 result_q: "MpQueue[object]") -> None:
         self.plan = plan
         self.process = process
         self.submit_q = submit_q
@@ -124,8 +130,10 @@ class ControlPlane:
     def __init__(self, machines: Sequence[str] = DEFAULT_MACHINES,
                  users: Sequence[str] = DEFAULT_USERS,
                  shards: int = 4, pool_size: int = 2,
-                 queue_depth: int = 64, classifier=None,
-                 broker_policy=None, workers: str = "thread"):
+                 queue_depth: int = 64,
+                 classifier: Optional[ClassifierLike] = None,
+                 broker_policy: Optional[BrokerPolicy] = None,
+                 workers: str = "thread") -> None:
         if queue_depth < 1:
             raise InvalidArgument(
                 f"queue depth must be >= 1, got {queue_depth}")
@@ -169,7 +177,7 @@ class ControlPlane:
                                            shard=plan.index)
             for plan in self.router.plans}
         # -- thread mode state ----------------------------------------
-        self._queues: Dict[int, "queue.Queue"] = {}
+        self._queues: Dict[int, "queue.Queue[object]"] = {}
         self._threads: List[threading.Thread] = []
         self._servers: Dict[int, ShardServer] = {}
         # -- process mode state ---------------------------------------
@@ -179,7 +187,7 @@ class ControlPlane:
         self._drained = threading.Condition(self._lock)
         self._ctrl_seq = itertools.count(1)
         #: req_id -> (future, shard index); guarded by _lock
-        self._ctrl_pending: Dict[int, Tuple[Future, int]] = {}
+        self._ctrl_pending: Dict[int, Tuple["Future[object]", int]] = {}
         #: admin/user registrations issued before start() (process mode
         #: has no workers to talk to yet); flushed on start
         self._deferred_controls: List[Tuple[str, Tuple[object, ...]]] = []
@@ -407,7 +415,7 @@ class ControlPlane:
     def __enter__(self) -> "ControlPlane":
         return self.start()
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
@@ -500,7 +508,7 @@ class ControlPlane:
             if self.workers == "thread":
                 self.classify_batch([text for _, text, _ in tickets])
             futures: List["Future[TicketResult]"] = []
-            chunks: Dict[int, List[Tuple[TicketEnvelope, Future]]] = {}
+            chunks: Dict[int, List[Tuple[TicketEnvelope, "Future[TicketResult]"]]] = {}
             for reporter, text, machine in tickets:
                 index = self.router.route_index(machine)
                 env = self._envelope(reporter, text, machine, admin, ops)
@@ -521,7 +529,7 @@ class ControlPlane:
         return futures
 
     def _flush_chunk(self, index: int,
-                     chunk: List[Tuple[TicketEnvelope, Future]]) -> int:
+                     chunk: List[Tuple[TicketEnvelope, "Future[TicketResult]"]]) -> int:
         if self.workers == "thread":
             self._queues[index].put(chunk)
             return len(chunk)
@@ -606,7 +614,7 @@ class ControlPlane:
     # ------------------------------------------------------------------
 
     def _process_enqueue(self, index: int,
-                         chunk: List[Tuple[TicketEnvelope, Future]],
+                         chunk: List[Tuple[TicketEnvelope, "Future[TicketResult]"]],
                          block: bool) -> int:
         """Register pending futures, then ship the envelopes.
 
@@ -654,7 +662,7 @@ class ControlPlane:
             shard=wp.plan.index, exitcode=wp.process.exitcode)
 
     @staticmethod
-    def _fail_chunk(chunk: List[Tuple[TicketEnvelope, Future]],
+    def _fail_chunk(chunk: List[Tuple[TicketEnvelope, "Future[TicketResult]"]],
                     error: Exception) -> None:
         for _env, future in chunk:
             if not future.done():
@@ -738,14 +746,21 @@ class ControlPlane:
     def _on_worker_death(self, wp: _WorkerProc) -> None:
         """Fail-closed cleanup after a worker died without a goodbye."""
         # give results already in the pipe a moment to surface, then
-        # fail everything that will never be answered
+        # fail everything that will never be answered; the blocking get
+        # parks on the queue's internal condition instead of sleep-polling
         deadline = time.perf_counter() + 0.25
-        while time.perf_counter() < deadline:
+        while True:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
             try:
-                item = wp.result_q.get_nowait()
-            except (queue.Empty, OSError, EOFError):
-                time.sleep(0.02)
-                continue
+                item = wp.result_q.get(timeout=remaining)
+            except queue.Empty:
+                break
+            except (OSError, EOFError):
+                # queue torn down with the dead worker: nothing more can
+                # ever arrive, so waiting out the deadline is pointless
+                break
             if isinstance(item, ControlReply):
                 self._resolve_control(item)
             elif not isinstance(item, WorkerExit):
@@ -790,12 +805,12 @@ class ControlPlane:
         """Run one control op on every live worker; collect the answers."""
         if self._closed:
             raise InvalidArgument("control plane is closed")
-        issued: List[Tuple[_WorkerProc, Future]] = []
+        issued: List[Tuple[_WorkerProc, "Future[object]"]] = []
         for wp in self._proc.values():
             if wp.crashed:
                 continue
             req_id = next(self._ctrl_seq)
-            future: Future = Future()
+            future: "Future[object]" = Future()
             with self._lock:
                 self._ctrl_pending[req_id] = (future, wp.plan.index)
             wp.submit_q.put(ControlRequest(req_id=req_id, op=op,

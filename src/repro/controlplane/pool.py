@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.containit.container import PerforatedContainer, build_itfs_policy
+from repro.controlplane._types import MetricScope
 from repro.containit.spec import PerforatedContainerSpec
 from repro.errors import ReproError
 from repro.framework.cluster import ClusterManager, Deployment
@@ -110,7 +111,7 @@ class ContainerPool:
     """
 
     def __init__(self, cluster: ClusterManager, capacity: int = 2,
-                 registry=None):
+                 registry: Optional[MetricScope] = None) -> None:
         if capacity < 0:
             raise ValueError(f"pool capacity must be >= 0, got {capacity}")
         self.cluster = cluster

@@ -24,8 +24,11 @@ detected by the parent's monitor, which fails every stranded future with
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from multiprocessing.queues import Queue as MpQueue
+from typing import TYPE_CHECKING, Optional, Sequence
 
+from repro.broker.policy import BrokerPolicy
+from repro.controlplane._types import ClassifierLike
 from repro.controlplane.channel import (
     PER_TICKET_FOLDED,
     ControlReply,
@@ -35,12 +38,15 @@ from repro.controlplane.channel import (
     WorkerExit,
     marshal_error,
 )
-from repro.controlplane.sharding import ShardPlan
+from repro.controlplane.sharding import KernelShard, ShardPlan
+
+if TYPE_CHECKING:
+    from repro.controlplane.serving import ShardServer
 
 __all__ = ["worker_main"]
 
 
-def _handle_control(shard, request: ControlRequest) -> object:
+def _handle_control(shard: KernelShard, request: ControlRequest) -> object:
     """Execute one control op against the worker's own organization."""
     from repro.framework.tickets import Role
 
@@ -62,8 +68,10 @@ def _handle_control(shard, request: ControlRequest) -> object:
 
 
 def worker_main(plan: ShardPlan, users: Sequence[str], pool_capacity: int,
-                classifier, broker_policy, plane_id: str,
-                submit_q, result_q) -> None:
+                classifier: Optional[ClassifierLike],
+                broker_policy: Optional[BrokerPolicy], plane_id: str,
+                submit_q: "MpQueue[object]",
+                result_q: "MpQueue[object]") -> None:
     """Entry point of one shard worker process.
 
     Builds the shard organization, then serves the submit queue until the
@@ -73,7 +81,6 @@ def worker_main(plan: ShardPlan, users: Sequence[str], pool_capacity: int,
     """
     from repro.controlplane.batching import BatchingClassifier
     from repro.controlplane.serving import ShardServer
-    from repro.controlplane.sharding import KernelShard
     from repro.framework.classifier import KeywordClassifier
     from repro.obs import MetricsRegistry
 
@@ -81,8 +88,8 @@ def worker_main(plan: ShardPlan, users: Sequence[str], pool_capacity: int,
     scoped = registry.scoped(plane=plane_id)
     batching = BatchingClassifier(classifier or KeywordClassifier(),
                                   registry=scoped)
-    shard: Optional[object] = None
-    server: Optional[ShardServer] = None
+    shard: Optional[KernelShard] = None
+    server: Optional["ShardServer"] = None
     try:
         shard = KernelShard(plan.index, plan.machines, users=tuple(users),
                             pool_capacity=pool_capacity,
@@ -117,7 +124,7 @@ def worker_main(plan: ShardPlan, users: Sequence[str], pool_capacity: int,
         result_q.close()
 
 
-def _serve_envelope(server, shard_index: int,
+def _serve_envelope(server: ShardServer, shard_index: int,
                     env: TicketEnvelope) -> ResultEnvelope:
     """Serve one envelope; exceptions become typed error envelopes."""
     try:

@@ -11,17 +11,19 @@ modes can never drift apart behaviourally.
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.api import TicketResult
 from repro.broker import BrokerClient
+from repro.containit.container import AdminShell
+from repro.controlplane._types import ClassifierLike, MetricScope
 from repro.controlplane.sharding import KernelShard
 from repro.errors import ReproError
 
 __all__ = ["ShardServer", "LATENCY_BUCKETS", "default_session_ops"]
 
 
-def default_session_ops(shell, client: BrokerClient) -> None:
+def default_session_ops(shell: AdminShell, client: BrokerClient) -> None:
     """The minimal universally-valid session: one syscall, one escalation.
 
     Valid for every ticket class including the fully-isolated T-11
@@ -48,25 +50,25 @@ class ShardServer:
     mode — the series names and labels are identical either way.
     """
 
-    def __init__(self, shard: KernelShard, classifier, registry):
+    def __init__(self, shard: KernelShard, classifier: ClassifierLike,
+                 registry: MetricScope) -> None:
         self.shard = shard
         self.classifier = classifier
-        self.metrics = {
-            "latency": registry.histogram("controlplane_session_seconds",
-                                          shard=shard.index),
-            "e2e": registry.histogram("controlplane_ticket_latency_seconds",
-                                      buckets=LATENCY_BUCKETS,
-                                      shard=shard.index),
-            "resolved": registry.counter("controlplane_tickets_served",
-                                         shard=shard.index,
-                                         outcome="resolved"),
-            "errored": registry.counter("controlplane_tickets_served",
-                                        shard=shard.index,
-                                        outcome="errored"),
-        }
+        self.m_latency = registry.histogram(
+            "controlplane_session_seconds", shard=shard.index)
+        self.m_e2e = registry.histogram(
+            "controlplane_ticket_latency_seconds",
+            buckets=LATENCY_BUCKETS, shard=shard.index)
+        self.m_resolved = registry.counter(
+            "controlplane_tickets_served", shard=shard.index,
+            outcome="resolved")
+        self.m_errored = registry.counter(
+            "controlplane_tickets_served", shard=shard.index,
+            outcome="errored")
 
     def serve(self, reporter: str, text: str, machine: str, admin: str,
-              ops, enqueued_at: Optional[float] = None) -> TicketResult:
+              ops: Optional[Callable[[AdminShell, BrokerClient], None]],
+              enqueued_at: Optional[float] = None) -> TicketResult:
         """One full Figure 3 session on a pooled container.
 
         ``enqueued_at`` (the producer's per-ticket admission clock read)
@@ -74,7 +76,6 @@ class ShardServer:
         process mode overwrites it parent-side so the measurement never
         mixes clocks across processes.
         """
-        metrics = self.metrics
         shard = self.shard
         org = shard.org
         started = time.perf_counter()
@@ -114,9 +115,9 @@ class ShardServer:
         done = time.perf_counter()
         duration = done - started
         latency = done - enqueued_at if enqueued_at is not None else duration
-        metrics["resolved" if error is None else "errored"].inc()
-        metrics["latency"].observe(duration)
-        metrics["e2e"].observe(latency)
+        (self.m_resolved if error is None else self.m_errored).inc()
+        self.m_latency.observe(duration)
+        self.m_e2e.observe(latency)
         return TicketResult(
             ticket_id=ticket.ticket_id,
             ticket_class=ticket.predicted_class or "?",

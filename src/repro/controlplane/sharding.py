@@ -19,6 +19,8 @@ import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.broker.policy import BrokerPolicy
+from repro.controlplane._types import ClassifierLike, MetricScope
 from repro.controlplane.pool import ContainerPool
 from repro.errors import InvalidArgument
 from repro.framework.orchestrator import (
@@ -53,8 +55,10 @@ class KernelShard:
 
     def __init__(self, index: int, machines: Sequence[str],
                  users: Sequence[str] = DEFAULT_USERS,
-                 pool_capacity: int = 2, classifier=None,
-                 broker_policy=None, registry=None):
+                 pool_capacity: int = 2,
+                 classifier: Optional[ClassifierLike] = None,
+                 broker_policy: Optional[BrokerPolicy] = None,
+                 registry: Optional[MetricScope] = None) -> None:
         self.index = index
         self.machines: Tuple[str, ...] = tuple(machines)
         self.org = WatchITDeployment.bootstrap(
@@ -83,8 +87,11 @@ class ShardRouter:
 
     def __init__(self, machines: Sequence[str], shards: int,
                  users: Sequence[str] = DEFAULT_USERS,
-                 pool_capacity: int = 2, classifier=None,
-                 broker_policy=None, registry=None, build: bool = True):
+                 pool_capacity: int = 2,
+                 classifier: Optional[ClassifierLike] = None,
+                 broker_policy: Optional[BrokerPolicy] = None,
+                 registry: Optional[MetricScope] = None,
+                 build: bool = True) -> None:
         if shards < 1:
             raise InvalidArgument(f"need at least one shard, got {shards}")
         machines = tuple(machines)

@@ -25,6 +25,10 @@ from repro.experiments.rig import (
     build_case_study_rig,
     run_with_metrics,
 )
+from repro.experiments.concurrency_check import (
+    OVERHEAD_BUDGET_PCT,
+    run_concurrency_check,
+)
 from repro.experiments.lint_crosscheck import (
     LintCrossCheckResult,
     run_lint_crosscheck,
@@ -53,6 +57,7 @@ __all__ = [
     "DESTINATION_ENDPOINTS",
     "LintCrossCheckResult",
     "ModelCheckVerifyResult",
+    "OVERHEAD_BUDGET_PCT",
     "PAPER_FIGURE7",
     "PAPER_FIGURE8A",
     "PAPER_FIGURE8B",
@@ -65,6 +70,7 @@ __all__ = [
     "generate_report",
     "run_figure7",
     "run_figure8",
+    "run_concurrency_check",
     "run_figure9",
     "run_lint_crosscheck",
     "run_modelcheck_verify",

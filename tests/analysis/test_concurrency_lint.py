@@ -1,0 +1,356 @@
+"""CON0xx rule unit tests: each rule on a known-racy and a known-clean
+fixture, plus the whole-tree gate the CI job enforces."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.concurrency import (
+    CONCURRENCY_RULES,
+    RULES_BY_ID,
+    analyze_source,
+    lint_threads,
+)
+from repro.analysis.findings import Severity
+
+
+def lint(src, module="fix/mod.py"):
+    return analyze_source({module: textwrap.dedent(src)})
+
+
+def by_rule(analysis, rule_id):
+    return [f for f in analysis.report.findings if f.rule_id == rule_id]
+
+
+class TestCatalog:
+    def test_six_rules_and_only_cycles_are_errors(self):
+        assert [r.rule_id for r in CONCURRENCY_RULES] == [
+            "CON001", "CON002", "CON003", "CON004", "CON005", "CON006"]
+        errors = [r.rule_id for r in CONCURRENCY_RULES
+                  if r.severity is Severity.ERROR]
+        assert errors == ["CON003"]
+        assert RULES_BY_ID["CON001"].severity is Severity.WARNING
+
+
+class TestCon001InconsistentGuard:
+    RACY = """
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.count = 0
+
+            def bump(self):
+                with self._lock:
+                    self.count += 1
+
+            def reset(self):
+                self.count = 0
+    """
+
+    def test_mixed_guarded_and_bare_writes_flagged(self):
+        found = by_rule(lint(self.RACY), "CON001")
+        assert len(found) == 1
+        assert "count" in found[0].message
+
+    CLEAN = """
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.count = 0
+
+            def bump(self):
+                with self._lock:
+                    self.count += 1
+
+            def reset(self):
+                with self._lock:
+                    self.count = 0
+    """
+
+    def test_consistently_guarded_is_clean(self):
+        assert by_rule(lint(self.CLEAN), "CON001") == []
+
+    def test_private_helper_inherits_callers_guard(self):
+        # the TokenBucket pattern: _refill writes bare, but is only ever
+        # called with the lock held — interprocedural inference absorbs it
+        src = """
+            import threading
+
+            class Bucket:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.level = 0
+
+                def take(self):
+                    with self._lock:
+                        self._refill()
+                        self.level -= 1
+
+                def _refill(self):
+                    self.level += 1
+        """
+        assert by_rule(lint(src), "CON001") == []
+
+
+class TestCon002BlockingUnderLock:
+    def test_sleep_and_queue_get_under_lock_flagged(self):
+        src = """
+            import queue
+            import threading
+            import time
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._q = queue.Queue()
+
+                def nap(self):
+                    with self._lock:
+                        time.sleep(0.1)
+
+                def pull(self):
+                    with self._lock:
+                        return self._q.get()
+        """
+        found = by_rule(lint(src), "CON002")
+        assert len(found) == 2
+
+    def test_blocking_outside_lock_is_clean(self):
+        src = """
+            import queue
+            import threading
+            import time
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._q = queue.Queue()
+
+                def pull(self):
+                    item = self._q.get()
+                    with self._lock:
+                        return item
+
+                def poll(self):
+                    with self._lock:
+                        return self._q.get(block=False)
+        """
+        assert by_rule(lint(src), "CON002") == []
+
+
+class TestCon003LockOrderCycle:
+    CYCLIC = """
+        import threading
+
+        class A:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.b = B()
+
+            def down(self):
+                with self._lock:
+                    self.b.grab()
+
+            def up(self):
+                with self._lock:
+                    pass
+
+        class B:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.a = A()
+
+            def grab(self):
+                with self._lock:
+                    pass
+
+            def back(self):
+                with self._lock:
+                    self.a.up()
+    """
+
+    def test_cross_class_opposite_order_is_a_cycle(self):
+        analysis = lint(self.CYCLIC)
+        found = by_rule(analysis, "CON003")
+        assert len(found) == 1
+        assert found[0].severity is Severity.ERROR
+        assert len(analysis.cycles) == 1
+        assert len(analysis.edges) >= 2
+
+    def test_one_direction_only_is_clean(self):
+        src = self.CYCLIC.replace("self.a.up()", "pass")
+        analysis = lint(src)
+        assert by_rule(analysis, "CON003") == []
+        assert analysis.cycles == ()
+
+    def test_self_deadlock_on_plain_lock(self):
+        src = """
+            import threading
+
+            class S:
+                def __init__(self):
+                    self._l = threading.Lock()
+
+                def outer(self):
+                    with self._l:
+                        self.inner()
+
+                def inner(self):
+                    with self._l:
+                        pass
+        """
+        found = by_rule(lint(src), "CON003")
+        assert len(found) == 1
+        assert "self-deadlock" in found[0].message
+
+    def test_reentrant_lock_may_nest_with_itself(self):
+        src = """
+            import threading
+
+            class S:
+                def __init__(self):
+                    self._l = threading.RLock()
+
+                def outer(self):
+                    with self._l:
+                        self.inner()
+
+                def inner(self):
+                    with self._l:
+                        pass
+        """
+        assert by_rule(lint(src), "CON003") == []
+
+
+class TestCon004WaitWithoutLoop:
+    def test_if_guarded_wait_flagged_while_loop_clean(self):
+        src = """
+            import threading
+
+            class Gate:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cv = threading.Condition(self._lock)
+                    self.ready = False
+
+                def bad_wait(self):
+                    with self._cv:
+                        if not self.ready:
+                            self._cv.wait()
+
+                def good_wait(self):
+                    with self._cv:
+                        while not self.ready:
+                            self._cv.wait()
+
+                def best_wait(self):
+                    with self._cv:
+                        self._cv.wait_for(lambda: self.ready)
+        """
+        found = by_rule(lint(src), "CON004")
+        assert len(found) == 1
+        assert found[0].evidence["method"] == "bad_wait"
+
+    def test_condition_aliases_its_lock_for_guard_checks(self):
+        # writes guarded via the condition and via the underlying lock
+        # are the SAME guard — no CON001 either way
+        src = """
+            import threading
+
+            class Gate:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cv = threading.Condition(self._lock)
+                    self.ready = False
+
+                def arm(self):
+                    with self._lock:
+                        self.ready = True
+
+                def fire(self):
+                    with self._cv:
+                        self.ready = False
+                        self._cv.notify_all()
+        """
+        analysis = lint(src)
+        assert by_rule(analysis, "CON001") == []
+        assert by_rule(analysis, "CON003") == []
+
+
+class TestCon005DaemonNeverJoined:
+    SPAWNER = """
+        import threading
+
+        class Spawner:
+            def __init__(self):
+                self._worker = threading.Thread(
+                    target=self._run, daemon=True)
+                self._worker.start()
+
+            def _run(self):
+                pass
+    """
+
+    def test_unjoined_daemon_flagged(self):
+        found = by_rule(lint(self.SPAWNER), "CON005")
+        assert len(found) == 1
+
+    def test_joined_on_close_is_clean(self):
+        src = self.SPAWNER + (
+            "\n    def close(self):\n        self._worker.join()\n")
+        assert by_rule(lint(src), "CON005") == []
+
+
+class TestCon006EnvelopeFields:
+    def test_callable_and_object_fields_on_channel_module(self):
+        src = """
+            from dataclasses import dataclass
+            from typing import Callable, Optional
+
+            @dataclass(frozen=True)
+            class Envelope:
+                seq: int
+                ops: Optional[Callable[[object, object], None]]
+                payload: object
+        """
+        analysis = lint(src, module="fix/channel.py")
+        found = by_rule(analysis, "CON006")
+        assert len(found) == 2
+        by_sev = {f.severity for f in found}
+        assert by_sev == {Severity.WARNING, Severity.INFO}
+
+    def test_same_fields_outside_channel_module_exempt(self):
+        src = """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Holder:
+                payload: object
+        """
+        assert by_rule(lint(src, module="fix/state.py"), "CON006") == []
+
+
+class TestWholeTreeGate:
+    """The acceptance criterion the CI job enforces, as a test."""
+
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        return lint_threads()
+
+    def test_no_lock_order_cycles_in_the_repro_tree(self, analysis):
+        assert analysis.cycles == ()
+        assert by_rule(analysis, "CON003") == []
+
+    def test_control_plane_locks_are_modeled(self, analysis):
+        keys = {site.qualname for site in analysis.locks}
+        assert "ControlPlane._lock" in keys
+        assert "ContainerPool._lock" in keys
+
+    def test_report_flows_through_shared_pipeline(self, analysis):
+        assert not analysis.report.fails(Severity.ERROR)
+        sarif = analysis.report.to_sarif()
+        assert sarif["runs"][0]["tool"]["driver"]["rules"]

@@ -1,0 +1,211 @@
+"""Runtime lock-order sanitizer unit tests: graph recording, cycle
+detection, reentrancy, condition aliasing, metric export, patch
+lifecycle."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.analysis.concurrency import LockOrderSanitizer, instrument
+from repro.analysis.concurrency.sanitizer import (
+    ACQUIRE_COUNTER,
+    HOLD_HISTOGRAM,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class TestOrderGraph:
+    def test_nested_acquire_records_one_edge_with_witness(self):
+        san = LockOrderSanitizer()
+        a = san.make_lock()
+        b = san.make_lock()
+        with a:
+            with b:
+                pass
+            with b:  # same pair again: witness recorded once
+                pass
+        edges = san.edges()
+        assert len(edges) == 1
+        edge = edges[0]
+        assert edge.src != edge.dst
+        assert "test_sanitizer.py" in edge.acquired_at
+        assert san.cycles() == []
+
+    def test_opposite_orders_make_a_cycle(self):
+        san = LockOrderSanitizer()
+        a = san.make_lock()
+        b = san.make_lock()
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        assert len(san.edges()) == 2
+        cycles = san.cycles()
+        assert len(cycles) == 1
+        assert len(cycles[0]) == 2
+
+    def test_same_site_instances_collapse(self):
+        # lockdep semantics: two locks born at one site are one node, so
+        # nesting them records no self-edge
+        san = LockOrderSanitizer()
+        locks = [san.make_lock() for _ in range(2)]
+        with locks[0]:
+            with locks[1]:
+                pass
+        assert san.edges() == []
+        assert len(san.site_keys()) == 1
+
+    def test_reentrant_lock_does_not_self_edge(self):
+        san = LockOrderSanitizer()
+        rl = san.make_rlock()
+        inner = san.make_lock()
+        with rl:
+            with rl:
+                with inner:
+                    pass
+        assert san.cycles() == []
+        # the rl -> inner edge is real and recorded exactly once
+        assert len(san.edges()) == 1
+
+    def test_cross_thread_edges_union_into_one_graph(self):
+        san = LockOrderSanitizer()
+        a = san.make_lock()
+        b = san.make_lock()
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        t = threading.Thread(target=forward)
+        t.start()
+        t.join()
+        with b:
+            with a:
+                pass
+        assert len(san.cycles()) == 1
+
+
+class TestConditionAliasing:
+    def test_condition_shares_its_locks_node(self):
+        san = LockOrderSanitizer()
+        guard = san.make_lock()
+        cv = san.make_condition(guard)
+        other = san.make_lock()
+        with cv:
+            with other:
+                pass
+        with guard:
+            with other:
+                pass
+        # both paths acquire the SAME src node: one edge, no cycle
+        assert len(san.edges()) == 1
+        assert san.cycles() == []
+
+    def test_wait_releases_the_held_stack(self):
+        san = LockOrderSanitizer()
+        cv = san.make_condition()
+        other = san.make_lock()
+        woke = []
+
+        def waiter():
+            with cv:
+                cv.wait(timeout=5)
+                woke.append(True)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        # if wait() kept the condition on the waiter's held stack, this
+        # acquire from another thread would still succeed (different
+        # thread), but the waiter's post-wake edge set would be wrong;
+        # the real assertion is that notify gets through and no edge or
+        # cycle is manufactured by the wait/notify handshake
+        with cv:
+            with other:
+                pass
+            cv.notify_all()
+        t.join(timeout=10)
+        assert woke == [True]
+        assert san.cycles() == []
+
+
+class TestMetrics:
+    def test_hold_histogram_and_counter_exported(self):
+        san = LockOrderSanitizer()
+        lock = san.make_lock()
+        with lock:
+            pass
+        with lock:
+            pass
+        assert obs.registry().total(ACQUIRE_COUNTER) == 2.0
+        series = obs.registry().series(HOLD_HISTOGRAM)
+        assert len(series) == 1
+        assert san.acquire_total == 2
+
+    def test_survives_registry_reset_in_place(self):
+        # chaos soaks call obs.reset() mid-run; the sanitizer must
+        # lazily re-register instead of writing into dropped series
+        san = LockOrderSanitizer()
+        lock = san.make_lock()
+        with lock:
+            pass
+        obs.reset()
+        with lock:
+            pass
+        assert obs.registry().total(ACQUIRE_COUNTER) == 1.0
+
+
+class TestInstrument:
+    def test_patches_and_restores_threading_primitives(self):
+        real_lock = threading.Lock
+        with instrument() as san:
+            lock = threading.Lock()
+            cv = threading.Condition()
+            with lock:
+                pass
+            with cv:
+                pass
+        assert threading.Lock is real_lock
+        assert san.acquire_total == 2
+        # locks created inside keep working after the patch is lifted
+        with lock:
+            pass
+
+    def test_nesting_is_refused(self):
+        with instrument():
+            with pytest.raises(RuntimeError):
+                with instrument():
+                    pass
+
+    def test_sequential_blocks_accumulate_one_graph(self):
+        san = LockOrderSanitizer()
+        with instrument(san):
+            a = threading.Lock()
+            with a:
+                pass
+        with instrument(san):
+            b = threading.Lock()
+            with a:
+                with b:
+                    pass
+        assert san.acquire_total == 3
+        assert len(san.edges()) == 1
+
+    def test_stdlib_born_locks_are_ext_nodes(self):
+        import queue
+
+        with instrument(san := LockOrderSanitizer()):
+            q = queue.Queue()
+            q.put(1)
+            assert q.get() == 1
+        assert any(key.startswith("ext:") for key in san.site_keys())
+        assert san.mapped_edges() == []

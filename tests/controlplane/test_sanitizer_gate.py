@@ -1,0 +1,134 @@
+"""The zero-cycle gate: the lifecycle race and the chaos-injected scrub
+scenarios run under the runtime lock-order sanitizer, and every
+dynamically observed acquisition edge must be modeled statically.
+
+These are the PR's acceptance scenarios as tier-1 tests: a condensed
+:mod:`tests.controlplane.test_lifecycle` submit/close race and the
+3-seed ``TestScrubUnderChaos`` loop, each instrumented. Any dynamic
+cycle — a real deadlock witness — or any repro-lock edge missing from
+the static graph fails the suite.
+"""
+
+import threading
+from concurrent.futures import wait
+
+import pytest
+
+from repro.analysis.concurrency import (
+    LockOrderSanitizer,
+    instrument,
+    lint_threads,
+)
+from repro.analysis.concurrency.crosscheck import diff_graphs
+from repro.controlplane import ControlPlane
+from repro.controlplane.pool import ContainerPool
+from repro.errors import InvalidArgument, ReproError
+from repro.faults import FaultPlane, scope
+from repro.faults.chaos import default_chaos_rules
+from repro.framework.orchestrator import WatchITDeployment
+from tests.controlplane.test_pool_scrub import (
+    MACHINE,
+    _finish,
+    _lease,
+)
+
+MACHINES = ("ws-01", "ws-02", "ws-03", "ws-04")
+USERS = ("alice", "bob")
+ADMIN = "it-bob"
+TEXT = "matlab license expired"
+
+
+@pytest.fixture(scope="module")
+def static_analysis():
+    return lint_threads()
+
+
+@pytest.fixture()
+def scrub_org():
+    org = WatchITDeployment.bootstrap(machines=("ws-01", "ws-02"),
+                                      users=("alice", "bob"))
+    org.register_admin("it-duty")
+    return org
+
+
+@pytest.fixture()
+def scrub_pool(scrub_org):
+    pool = ContainerPool(scrub_org.cluster, capacity=2)
+    yield pool
+    pool.close()
+
+
+def assert_gate(sanitizer, static_analysis):
+    """Zero dynamic cycles, and dynamic (repro-lock) edges ⊆ static."""
+    _mapped, unmatched, dynamic_cycles, unreported = diff_graphs(
+        static_analysis, sanitizer)
+    assert dynamic_cycles == [], (
+        f"deadlock witness: {sanitizer.snapshot()}")
+    assert unmatched == [], (
+        "dynamic edges the static linter failed to model: "
+        f"{[e.to_dict() for e in unmatched]}")
+    assert unreported == []
+
+
+class TestLifecycleUnderSanitizer:
+    def test_racing_submit_close_has_no_lock_order_cycles(
+            self, static_analysis):
+        san = LockOrderSanitizer()
+        with instrument(san):
+            for _ in range(3):
+                plane = ControlPlane(machines=MACHINES, users=USERS,
+                                     shards=2, pool_size=1,
+                                     queue_depth=16).start()
+                plane.register_admin(ADMIN)
+                futures = []
+                go = threading.Event()
+
+                def submitter(user, plane=plane, futures=futures, go=go):
+                    go.wait()
+                    for i in range(4):
+                        machine = MACHINES[i % len(MACHINES)]
+                        try:
+                            futures.append(
+                                plane.submit(user, TEXT, machine, ADMIN))
+                        except InvalidArgument:
+                            return
+                threads = [threading.Thread(target=submitter, args=(u,))
+                           for u in USERS * 2]
+                for t in threads:
+                    t.start()
+                go.set()
+                plane.close()
+                for t in threads:
+                    t.join(timeout=30)
+                    assert not t.is_alive()
+                done, pending = wait(futures, timeout=30)
+                assert not pending
+        assert san.acquire_total > 0
+        assert_gate(san, static_analysis)
+
+
+class TestScrubUnderSanitizer:
+    @pytest.mark.parametrize("seed", [7, 23, 99])
+    def test_chaos_scrub_has_no_lock_order_cycles(
+            self, scrub_org, scrub_pool, seed, static_analysis):
+        org, pool = scrub_org, scrub_pool
+        host = org.machines[MACHINE]
+        host.rootfs.populate({"srv": {"data": {"notes.txt": "shared"}}})
+        fault_plane = FaultPlane(rules=default_chaos_rules(0.08), seed=seed)
+        users = ["alice", "bob"]
+        san = LockOrderSanitizer()
+        with instrument(san), scope(fault_plane):
+            for i in range(8):
+                try:
+                    ticket, pooled, shell, client = _lease(
+                        org, pool, users[i % 2])
+                except ReproError:
+                    continue
+                assert len(pooled.container.fs_audit) == 0
+                try:
+                    client.share_path("/srv/data")
+                    shell.read_file("/srv/data/notes.txt")
+                except ReproError:
+                    pass
+                _finish(org, pool, ticket, pooled, shell)
+        assert_gate(san, static_analysis)
