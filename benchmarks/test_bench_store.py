@@ -1,0 +1,31 @@
+"""Benchmark: durable event-store overhead on the sustained storm.
+
+Writes ``BENCH_store.json`` (MemoryStore vs WAL-mode SQLiteStore
+throughput on the same thread-mode storm, sessions/events persisted,
+chain re-verification from disk); the acceptance gate is SQLite
+overhead within ``STORE_OVERHEAD_BUDGET_PCT`` (10%) of tickets/s.
+"""
+
+import os
+
+from repro.experiments import STORE_OVERHEAD_BUDGET_PCT, run_store_benchmark
+
+OUT = os.environ.get("BENCH_STORE_OUT", "BENCH_store.json")
+
+
+def test_bench_store_overhead(once):
+    report = once(run_store_benchmark, out=OUT)
+    metrics = report.metrics
+    print()
+    print(f"memory: {metrics['memory_tickets_per_s']:.1f} tickets/s, "
+          f"sqlite: {metrics['sqlite_tickets_per_s']:.1f} tickets/s "
+          f"({metrics['overhead_pct']:.1f}% overhead, "
+          f"budget {STORE_OVERHEAD_BUDGET_PCT:.0f}%)")
+    print(f"persisted: {metrics['sessions_persisted']} sessions, "
+          f"{metrics['audit_events_persisted']} audit events, "
+          f"chains verified from disk: {metrics['chains_verified']}")
+    assert metrics["sessions_persisted"] > 0
+    assert metrics["chains_verified"] is True
+    assert metrics["overhead_within_budget"] is True, (
+        f"SQLite overhead {metrics['overhead_pct']:.1f}% exceeds the "
+        f"{STORE_OVERHEAD_BUDGET_PCT:.0f}% budget")

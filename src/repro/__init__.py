@@ -36,9 +36,12 @@ __all__ = [
     "BrokerDenied",
     "CertificateError",
     "Deployment",
+    "EventStore",
     "IntegrityError",
     "KernelError",
+    "MemoryStore",
     "ReproError",
+    "SQLiteStore",
     "ServiceConfig",
     "Session",
     "SessionTerminated",
@@ -56,6 +59,9 @@ _LAZY_EXPORTS = {
     "TicketResult": "repro.api",
     "TicketService": "repro.service",
     "ServiceConfig": "repro.service",
+    "EventStore": "repro.store",
+    "MemoryStore": "repro.store",
+    "SQLiteStore": "repro.store",
 }
 
 

@@ -28,9 +28,10 @@ Usage::
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import asdict, dataclass
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.framework.orchestrator import (
     DEFAULT_MACHINES,
@@ -40,8 +41,16 @@ from repro.framework.orchestrator import (
 )
 from repro.framework.tickets import Ticket
 
-__all__ = ["ControlPlane", "Deployment", "ServiceConfig", "Session",
-           "TicketResult", "TicketService"]
+if TYPE_CHECKING:
+    from repro.store.protocol import (
+        EventStore,
+        SessionRow,
+        SessionTrail,
+    )
+
+__all__ = ["ControlPlane", "Deployment", "EventStore", "MemoryStore",
+           "SQLiteStore", "ServiceConfig", "Session", "TicketResult",
+           "TicketService"]
 
 #: concurrent-tier names re-exported lazily — those packages import this
 #: module (for TicketResult), so an eager import here would cycle
@@ -49,6 +58,9 @@ _LAZY_EXPORTS = {
     "TicketService": "repro.service",
     "ServiceConfig": "repro.service",
     "ControlPlane": "repro.controlplane",
+    "EventStore": "repro.store",
+    "MemoryStore": "repro.store",
+    "SQLiteStore": "repro.store",
 }
 
 
@@ -82,6 +94,9 @@ class TicketResult:
         shard: serving shard index (control plane only).
         pool_hit: the session reused a pre-warmed container (control
             plane only).
+        session_id: durable-store key for the session's persisted trail
+            (``repro replay <session_id>``); embeds the store's boot
+            epoch so it never collides across restarts.
     """
 
     ticket_id: int
@@ -95,6 +110,7 @@ class TicketResult:
     latency_s: float = 0.0
     shard: Optional[int] = None
     pool_hit: Optional[bool] = None
+    session_id: Optional[str] = None
 
     def to_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -118,6 +134,8 @@ class Session:
         self._handled: Optional[HandledSession] = None
         self._started = 0.0
         self.result: Optional[TicketResult] = None
+        #: durable-store key; minted on enter, persisted on exit
+        self.session_id: Optional[str] = None
 
     # -- the live-session surface (valid between enter and exit) ----------
 
@@ -150,6 +168,7 @@ class Session:
 
     def __enter__(self) -> "Session":
         self._started = time.perf_counter()
+        self.session_id = self._deployment._mint_session_id()
         self._handled = self._deployment.orchestrator.handle(
             self.ticket, admin=self.admin, ttl=self.ttl)
         return self
@@ -157,11 +176,24 @@ class Session:
     def __exit__(self, exc_type, exc, _tb) -> bool:
         handled, self._handled = self._handled, None
         audit_records = 0
+        events: List[object] = []
+        certificate = None
         if handled is not None:
             container = handled.deployment.container
             broker = handled.deployment.broker
             audit_records = (len(container.fs_audit) + len(container.net_audit)
                              + len(broker.audit))
+            # the audit streams must be captured *before* resolve tears
+            # the deployment down — this is the durable copy of the trail
+            if self.session_id is not None:
+                from repro.store.protocol import event_row_from_record
+                for stream, log in (("fs", container.fs_audit),
+                                    ("net", container.net_audit),
+                                    ("broker", broker.audit)):
+                    events.extend(
+                        event_row_from_record(self.session_id, stream, rec)
+                        for rec in log.records)
+            certificate = handled.certificate
             # teardown must run even when the session body raised — the
             # paper's "revoked once the ticket time expires" posture means
             # an erroring admin session never lingers
@@ -175,7 +207,11 @@ class Session:
             resolved=exc_type is None,
             error=None if exc is None else f"{type(exc).__name__}: {exc}",
             audit_records=audit_records,
-            duration_s=elapsed, latency_s=elapsed)
+            duration_s=elapsed, latency_s=elapsed,
+            session_id=self.session_id)
+        if self.session_id is not None:
+            self._deployment._persist_session(
+                self.result, self.ticket, certificate, events)
         return False  # never swallow the body's exception
 
 
@@ -185,19 +221,53 @@ class Deployment:
     Wraps :class:`~repro.framework.orchestrator.WatchITDeployment`; the
     underlying orchestrator stays reachable via :attr:`orchestrator` for
     advanced use (anomaly detection, LDA training, the cluster manager).
+
+    Every handled session's full trail — session row, ticket, revoked
+    certificate, every audit event — lands in :attr:`store` (a
+    :class:`~repro.store.MemoryStore` unless one is injected), so
+    :meth:`sessions` and :meth:`session_trail` work identically whether
+    history lives in memory or in the SQLite file behind :meth:`open`.
     """
 
-    def __init__(self, orchestrator: WatchITDeployment):
+    def __init__(self, orchestrator: WatchITDeployment,
+                 store: Optional["EventStore"] = None,
+                 org: str = "default"):
+        from repro.store.memory import MemoryStore
+
         self.orchestrator = orchestrator
+        self.store: "EventStore" = store if store is not None else MemoryStore()
+        self.org = org
+        #: store boot epoch: facade session ids stay unique across
+        #: restarts over the same database
+        self.boot = self.store.begin_boot()
+        self._session_seq = itertools.count(1)
 
     @classmethod
     def create(cls, machines: Tuple[str, ...] = DEFAULT_MACHINES,
                users: Tuple[str, ...] = DEFAULT_USERS,
-               classifier=None, broker_policy=None) -> "Deployment":
+               classifier=None, broker_policy=None,
+               store: Optional["EventStore"] = None,
+               org: str = "default") -> "Deployment":
         """Bootstrap a complete organization (hosts, services, TCB boot)."""
         return cls(WatchITDeployment.bootstrap(
             machines=tuple(machines), users=tuple(users),
-            classifier=classifier, broker_policy=broker_policy))
+            classifier=classifier, broker_policy=broker_policy),
+            store=store, org=org)
+
+    @classmethod
+    def open(cls, path: str, machines: Tuple[str, ...] = DEFAULT_MACHINES,
+             users: Tuple[str, ...] = DEFAULT_USERS,
+             classifier=None, broker_policy=None,
+             org: str = "default") -> "Deployment":
+        """Bootstrap an organization persisting into the SQLite file at
+        ``path`` (created on first open). History written by earlier
+        lives of the deployment is immediately queryable via
+        :meth:`sessions` / :meth:`session_trail`."""
+        from repro.store.sqlite import SQLiteStore
+
+        return cls.create(machines=machines, users=users,
+                          classifier=classifier, broker_policy=broker_policy,
+                          store=SQLiteStore(path), org=org)
 
     @staticmethod
     def control_plane(machines: Tuple[str, ...] = DEFAULT_MACHINES,
@@ -250,6 +320,60 @@ class Deployment:
         assert session.result is not None
         return session.result
 
+    # -- the durable history -----------------------------------------------
+
+    def _mint_session_id(self) -> str:
+        return f"{self.org}-b{self.boot}-s{next(self._session_seq)}"
+
+    def _persist_session(self, result: TicketResult, ticket: Ticket,
+                         certificate, events) -> None:
+        """Write one handled session's full trail into the store."""
+        from repro.store.protocol import (
+            CertificateRow,
+            SessionRow,
+            SessionTrail,
+            TicketRow,
+        )
+
+        assert result.session_id is not None
+        certificates = ()
+        if certificate is not None:
+            certificates = (CertificateRow(
+                session_id=result.session_id, serial=certificate.serial,
+                admin=result.admin, ticket_id=ticket.ticket_id,
+                machine=result.machine, ticket_class=result.ticket_class,
+                issued_at=certificate.issued_at,
+                expires_at=certificate.expires_at,
+                signature=certificate.signature, revoked=True),)
+        trail = SessionTrail(
+            session=SessionRow(
+                session_id=result.session_id, org=self.org, boot=self.boot,
+                shard=None, ticket_id=ticket.ticket_id,
+                ticket_class=result.ticket_class, machine=result.machine,
+                admin=result.admin, reporter=ticket.reporter,
+                resolved=result.resolved, error=result.error,
+                audit_records=result.audit_records,
+                duration_s=result.duration_s, latency_s=result.latency_s,
+                pool_hit=None, created_at=time.time()),
+            ticket=TicketRow(
+                session_id=result.session_id, ticket_id=ticket.ticket_id,
+                org=self.org, reporter=ticket.reporter, text=ticket.text,
+                machine=result.machine, ticket_class=result.ticket_class,
+                status=ticket.status.name),
+            certificates=certificates,
+            events=tuple(events))
+        self.store.put_trail(trail)
+
+    def sessions(self, limit: Optional[int] = None,
+                 ticket_class: Optional[str] = None) -> List["SessionRow"]:
+        """This org's persisted sessions, newest first."""
+        return list(self.store.sessions(org=self.org, limit=limit,
+                                        ticket_class=ticket_class))
+
+    def session_trail(self, session_id: str) -> Optional["SessionTrail"]:
+        """The full persisted trail of one session (None when unknown)."""
+        return self.store.get_trail(session_id)
+
     # -- introspection -----------------------------------------------------
 
     @property
@@ -261,4 +385,16 @@ class Deployment:
         return self.orchestrator.audit_summary()
 
     def detect_anomalies(self, threshold: float = 6.0):
-        return self.orchestrator.detect_anomalies(threshold=threshold)
+        """Score sessions; anomalous ones are persisted as store alerts."""
+        scores = self.orchestrator.detect_anomalies(threshold=threshold)
+        if scores:
+            from repro.store.protocol import AlertRow
+            for score in scores:
+                self.store.put_alert(AlertRow(
+                    rule="anomaly-detector",
+                    severity="warning",
+                    message=(f"session {score.session_id} scored "
+                             f"{score.score:.2f} (threshold {threshold})"),
+                    created_at=time.time(),
+                    session_id=None))
+        return scores

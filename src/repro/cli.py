@@ -11,7 +11,12 @@ Commands:
     mine                 mine least-privilege specs from benign traces,
                          prove them, and diff against the catalog
     serve                serve a synthetic ticket storm on the concurrent
-                         control plane (sharded kernels + warm pools)
+                         control plane (sharded kernels + warm pools);
+                         --db persists every session into SQLite
+    replay SESSION-ID    reconstruct one session's full decision trail
+                         from the durable store alone (chain-verified)
+    history              render the persisted benchmark trajectory as a
+                         time series (imports BENCH_*.json files)
     anomaly              run the audit-log anomaly-detection extension
     metrics [TARGET]     run a workload, dump the shared metrics registry
     trace [TARGET]       run a workload, print the structured span tree
@@ -20,6 +25,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -501,10 +507,15 @@ def _run_daemon(args) -> int:
 
     classifier = (train_storm_classifier(seed=args.seed)
                   if args.classifier == "lda" else None)
+    store = None
+    if args.db:
+        from repro.store import SQLiteStore
+        store = SQLiteStore(args.db)
     plane = ControlPlane(machines=STORM_MACHINES, users=STORM_USERS,
                          shards=args.shards, pool_size=args.pool_size,
                          queue_depth=args.queue_depth,
-                         classifier=classifier, workers=args.workers)
+                         classifier=classifier, workers=args.workers,
+                         store=store, org=args.org)
     config = ServiceConfig(host=args.host, port=args.port,
                            rate_limit=args.rate_limit,
                            max_inflight=args.max_inflight,
@@ -530,6 +541,11 @@ def _run_daemon(args) -> int:
     print(f"repro service: drained {'cleanly' if clean else 'DIRTY'} "
           f"({stats['completed']}/{stats['submitted']} tickets served)",
           file=sys.stderr)
+    if store is not None:
+        counts = store.counts()
+        print(f"repro service: {counts['sessions']} sessions persisted "
+              f"to {args.db}", file=sys.stderr)
+        store.close()
     return 0 if clean else 1
 
 
@@ -576,13 +592,17 @@ def _cmd_serve(args) -> int:
         classifier = None  # the orchestrator's keyword default
     storm = generate_storm(n=args.tickets, seed=args.seed,
                            duplicate_rate=args.duplicates)
+    store = None
+    if args.db:
+        from repro.store import SQLiteStore
+        store = SQLiteStore(args.db)
     reports = {}
     if args.serial_baseline:
         reports["serial"] = run_storm_serial(storm, classifier=classifier)
     reports["sharded"] = run_storm_sharded(
         storm, classifier=classifier, shards=args.shards,
         pool_size=args.pool_size, queue_depth=args.queue_depth,
-        workers=args.workers)
+        workers=args.workers, store=store, org=args.org)
 
     sharded = reports["sharded"]
     metrics = {
@@ -606,9 +626,9 @@ def _cmd_serve(args) -> int:
             sharded.tickets_per_s / serial.tickets_per_s, 2)
         metrics["errors"] += serial.errors
 
-    if args.bench_out:
+    if args.bench_out or store is not None:
         from repro.experiments.schema import ExperimentReport
-        ExperimentReport(
+        report_doc = ExperimentReport(
             name="controlplane-throughput",
             params={"tickets": args.tickets, "shards": args.shards,
                     "pool_size": args.pool_size,
@@ -619,9 +639,19 @@ def _cmd_serve(args) -> int:
             metrics=metrics,
             artifacts={mode: rep.to_dict()
                        for mode, rep in reports.items()},
-        ).write(args.bench_out)
-        print(f"benchmark report written to {args.bench_out}",
-              file=sys.stderr)
+        )
+        if args.bench_out:
+            report_doc.write(args.bench_out)
+            print(f"benchmark report written to {args.bench_out}",
+                  file=sys.stderr)
+        if store is not None:
+            from repro.store import report_to_row
+            store.put_bench_run(report_to_row(report_doc))
+            counts = store.counts()
+            print(f"{counts['sessions']} sessions persisted to {args.db}; "
+                  f"replay one with: repro replay --db {args.db} --latest",
+                  file=sys.stderr)
+            store.close()
     if args.json:
         import json as _json
         print(_json.dumps(metrics, indent=2, sort_keys=True))
@@ -637,6 +667,142 @@ def _cmd_serve(args) -> int:
         if "speedup" in metrics:
             print(f"speedup: {metrics['speedup']}x")
     return 0 if metrics["errors"] == 0 else 1
+
+
+def _cmd_replay(args) -> int:
+    """``repro replay``: forensic reconstruction from the store alone.
+
+    Exit status 2 for usage errors (no database, no session selector),
+    1 when the session is unknown or its hash chain fails verification.
+    """
+    import json as _json
+    # os imported at module level
+
+    from repro.errors import IntegrityError
+    from repro.store import SQLiteStore, format_trail, trail_to_dict, \
+        verify_trail
+
+    if not args.db:
+        print("repro replay: --db PATH is required", file=sys.stderr)
+        return 2
+    if not os.path.exists(args.db):
+        # opening would create an empty database; refuse instead
+        print(f"repro replay: no database at {args.db}", file=sys.stderr)
+        return 2
+    if not args.session_id and not args.latest:
+        print("repro replay: give a SESSION-ID or --latest",
+              file=sys.stderr)
+        return 2
+    store = SQLiteStore(args.db)
+    try:
+        session_id = args.session_id
+        if session_id is None:
+            rows = store.sessions(org=args.org, limit=1)
+            if not rows:
+                print("repro replay: the store has no sessions"
+                      + (f" for org {args.org!r}" if args.org else ""),
+                      file=sys.stderr)
+                return 1
+            session_id = rows[0].session_id
+        trail = store.get_trail(session_id)
+        if trail is None:
+            print(f"repro replay: no session {session_id!r}",
+                  file=sys.stderr)
+            return 1
+        try:
+            counts = verify_trail(trail)
+        except IntegrityError as exc:
+            print(f"repro replay: CHAIN VERIFICATION FAILED for "
+                  f"{session_id}: {exc}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(_json.dumps(trail_to_dict(trail, verified=True),
+                              indent=2, sort_keys=True))
+        else:
+            print(format_trail(trail, chain_counts=counts))
+        return 0
+    finally:
+        store.close()
+
+
+def _format_history_row(row) -> str:
+    import datetime
+
+    when = datetime.datetime.fromtimestamp(
+        row.created_at).strftime("%Y-%m-%d %H:%M:%S")
+    numbers = {k: v for k, v in row.metrics.items()
+               if isinstance(v, (int, float)) and not isinstance(v, bool)}
+    # throughput-style series first, then whatever else fits
+    preferred = [k for k in ("sharded_tickets_per_s", "tickets_per_s",
+                             "sqlite_tickets_per_s", "overhead_pct",
+                             "latency_p99_ms", "completed") if k in numbers]
+    rest = [k for k in sorted(numbers) if k not in preferred]
+    shown = ", ".join(f"{k}={numbers[k]}" for k in (preferred + rest)[:4])
+    return f"  {when}  {row.name:<28} {shown}"
+
+
+def _cmd_history(args) -> int:
+    """``repro history``: the BENCH_* trajectory as a stored time series.
+
+    ``--import`` globs ``BENCH_*.json`` experiment reports into the
+    store (stamped with each file's mtime) before rendering, so the
+    scattered artifacts CI uploads become one queryable history.
+    """
+    import glob as _glob
+    import json as _json
+    # os imported at module level
+
+    from repro.store import SQLiteStore, report_to_row
+
+    if not args.db:
+        print("repro history: --db PATH is required", file=sys.stderr)
+        return 2
+    if args.limit is not None and args.limit < 1:
+        print(f"repro history: --limit must be >= 1, got {args.limit}",
+              file=sys.stderr)
+        return 2
+    if not args.imports and not os.path.exists(args.db):
+        print(f"repro history: no database at {args.db}", file=sys.stderr)
+        return 2
+    store = SQLiteStore(args.db)
+    try:
+        if args.imports:
+            from repro.experiments.schema import ExperimentReport
+            imported = 0
+            for pattern in args.imports:
+                paths = sorted(_glob.glob(pattern)) or [pattern]
+                for path in paths:
+                    if not os.path.exists(path):
+                        print(f"repro history: no such file {path}",
+                              file=sys.stderr)
+                        return 2
+                    try:
+                        report = ExperimentReport.read(path)
+                    except (ValueError, OSError) as exc:
+                        print(f"repro history: {path}: {exc}",
+                              file=sys.stderr)
+                        return 2
+                    store.put_bench_run(report_to_row(
+                        report, created_at=os.path.getmtime(path)))
+                    imported += 1
+            print(f"imported {imported} report(s) into {args.db}",
+                  file=sys.stderr)
+        rows = store.bench_runs(name=args.name, limit=args.limit)
+        if args.json:
+            print(_json.dumps([row.to_dict() for row in rows],
+                              indent=2, sort_keys=True))
+            return 0
+        if not rows:
+            print("no bench runs recorded"
+                  + (f" under name {args.name!r}" if args.name else "")
+                  + f" in {args.db}")
+            return 0
+        print(f"bench history ({len(rows)} runs, oldest first):")
+        for row in rows:
+            print(_format_history_row(row))
+        return 0
+    finally:
+        store.close()
 
 
 def _cmd_anomaly(args) -> int:
@@ -847,6 +1013,47 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="ticket class to prewarm before going ready "
                             "(repeatable, e.g. --prewarm T-1)")
+    p_srv.add_argument("--db", metavar="PATH", default=None,
+                       help="persist every served session (full forensic "
+                            "trail) into the SQLite event store at PATH; "
+                            "inspect later with 'repro replay'")
+    p_srv.add_argument("--org", default="default",
+                       help="tenant label stamped on persisted sessions")
+
+    p_rep = sub.add_parser(
+        "replay",
+        help="reconstruct one session's full decision trail — ticket, "
+             "classification, confining spec, every allow/deny — from "
+             "the durable store alone, hash chains re-verified")
+    p_rep.add_argument("session_id", nargs="?", default=None,
+                       help="session id (e.g. default-b1-17); omit with "
+                            "--latest for the most recent session")
+    p_rep.add_argument("--db", metavar="PATH", default=None,
+                       help="SQLite event store written by serve --db")
+    p_rep.add_argument("--latest", action="store_true",
+                       help="replay the most recently persisted session")
+    p_rep.add_argument("--org", default=None,
+                       help="with --latest: restrict to one tenant")
+    p_rep.add_argument("--json", action="store_true",
+                       help="machine-readable trail instead of the "
+                            "rendered timeline")
+
+    p_hist = sub.add_parser(
+        "history",
+        help="render the persisted benchmark trajectory as a time "
+             "series; --import ingests BENCH_*.json report files")
+    p_hist.add_argument("--db", metavar="PATH", default=None,
+                        help="SQLite event store holding bench runs")
+    p_hist.add_argument("--import", dest="imports", metavar="GLOB",
+                        action="append", default=None,
+                        help="experiment-report JSON file(s) to ingest "
+                             "before rendering (repeatable; glob ok)")
+    p_hist.add_argument("--name", default=None,
+                        help="only show runs with this benchmark name")
+    p_hist.add_argument("--limit", type=int, default=None,
+                        help="most recent N runs")
+    p_hist.add_argument("--json", action="store_true",
+                        help="machine-readable rows")
 
     p_anom = sub.add_parser("anomaly", help="audit-log anomaly detection")
     p_anom.add_argument("--benign", type=int, default=40)
@@ -885,8 +1092,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "verify-model": _cmd_verify_model,
                 "mine": _cmd_mine,
                 "anomaly": _cmd_anomaly, "serve": _cmd_serve,
+                "replay": _cmd_replay, "history": _cmd_history,
                 "metrics": _cmd_metrics, "trace": _cmd_trace}
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # `repro replay | head` closes stdout early; that is not an error.
+        # Detach stdout so the interpreter's shutdown flush cannot raise.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

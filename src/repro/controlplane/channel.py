@@ -66,6 +66,12 @@ class TicketEnvelope:
     admission — one ``perf_counter`` call per ticket, never one shared
     per chunk, so end-to-end latency percentiles are not skewed by
     chunked admission.
+
+    ``org``/``session_id`` thread the durable-store identity through to
+    the worker: the parent mints the session id at admission (it embeds
+    the store's boot epoch, so ids never collide across restarts) and
+    the worker stamps it on the result and its persisted trail. Both
+    default for pickle-compatibility with pre-store envelopes.
     """
 
     seq: int
@@ -75,6 +81,8 @@ class TicketEnvelope:
     admin: str
     ops: Optional[Callable[[object, object], None]]
     enqueued_at: float
+    org: str = "default"
+    session_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -123,12 +131,20 @@ def unmarshal_error(marshalled: MarshalledError) -> errors.ReproError:
 
 @dataclass(frozen=True)
 class ResultEnvelope:
-    """One served ticket on the result channel: a result XOR an error."""
+    """One served ticket on the result channel: a result XOR an error.
+
+    ``trail`` is the session's :class:`~repro.store.SessionTrail` when
+    the worker captured one — the store itself never crosses the process
+    boundary; the parent persists the trail on fold-back (after
+    re-stamping latency on its own clock), which is what makes process
+    workers' store writes atomic and single-writer.
+    """
 
     seq: int
     shard: int
     result: Optional[object] = None          # TicketResult when served
     error: Optional[MarshalledError] = None  # marshalled when it raised
+    trail: Optional[object] = None           # SessionTrail when captured
 
 
 @dataclass(frozen=True)

@@ -82,6 +82,8 @@ from repro.errors import (
 from repro.framework.classifier import KeywordClassifier
 from repro.framework.orchestrator import DEFAULT_MACHINES, DEFAULT_USERS
 from repro.framework.tickets import Role
+from repro.store.memory import MemoryStore
+from repro.store.protocol import EventStore, SessionTrail
 
 __all__ = ["ControlPlane", "SessionOps", "WORKER_MODES",
            "default_session_ops"]
@@ -133,7 +135,9 @@ class ControlPlane:
                  queue_depth: int = 64,
                  classifier: Optional[ClassifierLike] = None,
                  broker_policy: Optional[BrokerPolicy] = None,
-                 workers: str = "thread") -> None:
+                 workers: str = "thread",
+                 store: Optional[EventStore] = None,
+                 org: str = "default") -> None:
         if queue_depth < 1:
             raise InvalidArgument(
                 f"queue depth must be >= 1, got {queue_depth}")
@@ -142,6 +146,15 @@ class ControlPlane:
                 f"workers must be one of {WORKER_MODES}, got {workers!r}")
         #: worker mode: "thread" or "process"
         self.workers = workers
+        #: durable event store; every served ticket's trail lands here.
+        #: The default MemoryStore keeps pre-store semantics (history dies
+        #: with the process) while making every plane uniformly queryable.
+        self.store: EventStore = store if store is not None else MemoryStore()
+        #: tenant label stamped on every session/ticket row
+        self.org = org
+        #: store boot epoch (minted in start()); part of every session id
+        #: so ids never collide across restarts on the same database
+        self.boot = 0
         #: unique per-instance metric scope (the ``plane`` label)
         self.plane_id = f"plane-{next(_PLANE_SEQ)}"
         self.metrics = obs.registry().scoped(plane=self.plane_id)
@@ -195,7 +208,7 @@ class ControlPlane:
             for shard in self.router.shards:
                 self._queues[shard.index] = queue.Queue(maxsize=queue_depth)
                 self._servers[shard.index] = ShardServer(
-                    shard, self.classifier, self.metrics)
+                    shard, self.classifier, self.metrics, store=self.store)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -205,6 +218,9 @@ class ControlPlane:
         if self._started:
             return self
         self._started = True
+        # a fresh boot epoch per start: session ids minted by this plane
+        # are unique across every restart against the same store
+        self.boot = self.store.begin_boot()
         if self.workers == "thread":
             # shorter GIL slices keep the producer responsive while
             # workers grind through CPU-bound sessions; restored on close
@@ -234,7 +250,7 @@ class ControlPlane:
                 target=worker_main,
                 args=(plan, self._users, self._pool_size,
                       self._base_classifier, self._broker_policy,
-                      self.plane_id, submit_q, result_q),
+                      self.plane_id, submit_q, result_q, True),
                 name=f"{self.plane_id}-shard-{plan.index}", daemon=True)
             wp = _WorkerProc(plan, process, submit_q, result_q)
             self._proc[plan.index] = wp
@@ -303,6 +319,9 @@ class ControlPlane:
             else:
                 self._close_processes()
         self.router.close()
+        # checkpoint (not close) the store: callers routinely query the
+        # trail history after the plane itself has shut down
+        self.store.flush()
 
     def _close_processes(self) -> None:
         for wp in self._proc.values():
@@ -460,21 +479,32 @@ class ControlPlane:
                 self._quiesced.notify_all()
 
     def _envelope(self, reporter: str, text: str, machine: str, admin: str,
-                  ops: Optional[SessionOps]) -> TicketEnvelope:
+                  ops: Optional[SessionOps],
+                  org: Optional[str] = None) -> TicketEnvelope:
         """One envelope, with its own admission clock read (never shared
-        per chunk — chunked admission must not skew latency percentiles)."""
-        return TicketEnvelope(seq=next(self._seq), reporter=reporter,
+        per chunk — chunked admission must not skew latency percentiles).
+
+        The session id is minted here, at admission: it embeds the store's
+        boot epoch, so a restarted plane over the same database can never
+        collide with sessions persisted by an earlier life.
+        """
+        seq = next(self._seq)
+        org = org if org is not None else self.org
+        return TicketEnvelope(seq=seq, reporter=reporter,
                               text=text, machine=machine, admin=admin,
-                              ops=ops, enqueued_at=time.perf_counter())
+                              ops=ops, enqueued_at=time.perf_counter(),
+                              org=org,
+                              session_id=f"{org}-b{self.boot}-{seq}")
 
     def submit(self, reporter: str, text: str, machine: str, admin: str,
-               ops: Optional[SessionOps] = None) -> "Future[TicketResult]":
+               ops: Optional[SessionOps] = None,
+               org: Optional[str] = None) -> "Future[TicketResult]":
         """Route + enqueue one ticket; blocks when the shard is backlogged."""
         self._begin_admission()
         accepted = 0
         try:
             index = self.router.route_index(machine)
-            env = self._envelope(reporter, text, machine, admin, ops)
+            env = self._envelope(reporter, text, machine, admin, ops, org=org)
             future: "Future[TicketResult]" = Future()
             if self.workers == "thread":
                 self._queues[index].put([(env, future)])
@@ -489,7 +519,8 @@ class ControlPlane:
 
     def submit_many(self, tickets: Sequence[Tuple[str, str, str]], admin: str,
                     ops: Optional[SessionOps] = None,
-                    chunk_size: int = 32) -> List["Future[TicketResult]"]:
+                    chunk_size: int = 32,
+                    org: Optional[str] = None) -> List["Future[TicketResult]"]:
         """Bulk admission: route, pre-classify, and enqueue a whole storm.
 
         ``tickets`` is a sequence of ``(reporter, text, machine)``. Tickets
@@ -511,7 +542,8 @@ class ControlPlane:
             chunks: Dict[int, List[Tuple[TicketEnvelope, "Future[TicketResult]"]]] = {}
             for reporter, text, machine in tickets:
                 index = self.router.route_index(machine)
-                env = self._envelope(reporter, text, machine, admin, ops)
+                env = self._envelope(reporter, text, machine, admin, ops,
+                                     org=org)
                 future: "Future[TicketResult]" = Future()
                 futures.append(future)
                 chunk = chunks.setdefault(index, [])
@@ -536,14 +568,15 @@ class ControlPlane:
         return self._process_enqueue(index, chunk, block=True)
 
     def try_submit(self, reporter: str, text: str, machine: str, admin: str,
-                   ops: Optional[SessionOps] = None
+                   ops: Optional[SessionOps] = None,
+                   org: Optional[str] = None
                    ) -> Optional["Future[TicketResult]"]:
         """Non-blocking submit: None when the shard queue is full."""
         self._begin_admission()
         accepted = 0
         try:
             index = self.router.route_index(machine)
-            env = self._envelope(reporter, text, machine, admin, ops)
+            env = self._envelope(reporter, text, machine, admin, ops, org=org)
             future: "Future[TicketResult]" = Future()
             if self.workers == "thread":
                 try:
@@ -599,7 +632,10 @@ class ControlPlane:
                         result = server.serve(env.reporter, env.text,
                                               env.machine, env.admin,
                                               env.ops,
-                                              enqueued_at=env.enqueued_at)
+                                              enqueued_at=env.enqueued_at,
+                                              session_id=env.session_id,
+                                              org_name=env.org,
+                                              boot=self.boot)
                         future.set_result(result)
                     except BaseException as exc:  # noqa: BLE001 - boundary
                         future.set_exception(exc)
@@ -708,12 +744,32 @@ class ControlPlane:
             latency = time.perf_counter() - enqueued_at
             result = dataclasses.replace(result, latency_s=latency)
             self._fold_ticket(result, index)
+            if envelope.trail is not None:
+                self._persist_trail(envelope.trail, latency)
             if not future.done():
                 future.set_result(result)
         with self._drained:
             self.completed += 1
             if not self._pending:
                 self._drained.notify_all()
+
+    def _persist_trail(self, trail: object, latency: float) -> None:
+        """Persist a worker-captured trail (process-mode fold-back).
+
+        The parent owns the single store connection, so process workers'
+        writes are single-writer by construction. Boot and latency are
+        re-stamped parent-side: the worker knows neither the store's boot
+        epoch nor the parent's admission clock. A store failure must
+        never kill the collector thread — it is counted, not raised.
+        """
+        assert isinstance(trail, SessionTrail)
+        stamped = dataclasses.replace(
+            trail, session=dataclasses.replace(
+                trail.session, boot=self.boot, latency_s=latency))
+        try:
+            self.store.put_trail(stamped)
+        except Exception:  # noqa: BLE001 - collector must survive
+            self.metrics.counter("controlplane_store_errors_total").inc()
 
     def _fold_ticket(self, result: TicketResult, index: int) -> None:
         """Fold one served ticket's metrics into the plane scope."""

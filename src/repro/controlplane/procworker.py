@@ -71,13 +71,19 @@ def worker_main(plan: ShardPlan, users: Sequence[str], pool_capacity: int,
                 classifier: Optional[ClassifierLike],
                 broker_policy: Optional[BrokerPolicy], plane_id: str,
                 submit_q: "MpQueue[object]",
-                result_q: "MpQueue[object]") -> None:
+                result_q: "MpQueue[object]",
+                capture: bool = False) -> None:
     """Entry point of one shard worker process.
 
     Builds the shard organization, then serves the submit queue until the
     ``None`` shutdown sentinel arrives; every dequeued chunk is answered
     envelope-for-envelope on the result queue, so the parent can account
     for every admitted ticket even across a crash.
+
+    With ``capture=True`` every served session's trail rides back on its
+    :class:`ResultEnvelope` — the durable store never crosses the process
+    boundary; the parent persists trails on fold-back, which keeps store
+    writes single-writer even with N worker processes.
     """
     from repro.controlplane.batching import BatchingClassifier
     from repro.controlplane.serving import ShardServer
@@ -95,7 +101,7 @@ def worker_main(plan: ShardPlan, users: Sequence[str], pool_capacity: int,
                             pool_capacity=pool_capacity,
                             classifier=batching,
                             broker_policy=broker_policy, registry=scoped)
-        server = ShardServer(shard, batching, scoped)
+        server = ShardServer(shard, batching, scoped, capture=capture)
         while True:
             item = submit_q.get()
             if item is None:
@@ -128,9 +134,11 @@ def _serve_envelope(server: ShardServer, shard_index: int,
                     env: TicketEnvelope) -> ResultEnvelope:
     """Serve one envelope; exceptions become typed error envelopes."""
     try:
-        result = server.serve(env.reporter, env.text, env.machine,
-                              env.admin, env.ops)
-        return ResultEnvelope(seq=env.seq, shard=shard_index, result=result)
+        result, trail = server.serve_traced(
+            env.reporter, env.text, env.machine, env.admin, env.ops,
+            session_id=env.session_id, org_name=env.org)
+        return ResultEnvelope(seq=env.seq, shard=shard_index, result=result,
+                              trail=trail)
     except BaseException as exc:  # noqa: BLE001 - marshalling boundary
         return ResultEnvelope(seq=env.seq, shard=shard_index,
                               error=marshal_error(exc))

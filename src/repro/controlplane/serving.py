@@ -11,7 +11,7 @@ modes can never drift apart behaviourally.
 from __future__ import annotations
 
 import time
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 from repro.api import TicketResult
 from repro.broker import BrokerClient
@@ -19,6 +19,14 @@ from repro.containit.container import AdminShell
 from repro.controlplane._types import ClassifierLike, MetricScope
 from repro.controlplane.sharding import KernelShard
 from repro.errors import ReproError
+from repro.store.protocol import (
+    CertificateRow,
+    EventStore,
+    SessionRow,
+    SessionTrail,
+    TicketRow,
+    TrailBuffer,
+)
 
 __all__ = ["ShardServer", "LATENCY_BUCKETS", "default_session_ops"]
 
@@ -48,12 +56,29 @@ class ShardServer:
     ``registry`` is the worker's metric scope: the plane-scoped registry
     in thread mode, the worker's private fold-back registry in process
     mode — the series names and labels are identical either way.
+
+    ``store``/``capture`` wire the durable event store in. With a store
+    (thread mode) each served session's full trail — session row, ticket
+    row, revoked certificate, every audit event — is persisted directly.
+    With ``capture=True`` but no store (process mode) the trail is
+    assembled and *returned* instead, to ride the result envelope back to
+    the parent, which owns the single-writer store connection.
     """
 
     def __init__(self, shard: KernelShard, classifier: ClassifierLike,
-                 registry: MetricScope) -> None:
+                 registry: MetricScope,
+                 store: Optional[EventStore] = None,
+                 capture: bool = False) -> None:
         self.shard = shard
         self.classifier = classifier
+        self.store = store
+        self.capture = capture or store is not None
+        self.trails: Optional[TrailBuffer] = None
+        if self.capture:
+            # the pool flushes every rotated-out (and discarded) audit
+            # epoch here; trail assembly pops the session's records
+            self.trails = TrailBuffer()
+            shard.pool.sink = self.trails
         self.m_latency = registry.histogram(
             "controlplane_session_seconds", shard=shard.index)
         self.m_e2e = registry.histogram(
@@ -65,16 +90,45 @@ class ShardServer:
         self.m_errored = registry.counter(
             "controlplane_tickets_served", shard=shard.index,
             outcome="errored")
+        self.m_store_errors = registry.counter(
+            "controlplane_store_errors_total")
 
     def serve(self, reporter: str, text: str, machine: str, admin: str,
               ops: Optional[Callable[[AdminShell, BrokerClient], None]],
-              enqueued_at: Optional[float] = None) -> TicketResult:
+              enqueued_at: Optional[float] = None,
+              session_id: Optional[str] = None, org_name: str = "default",
+              boot: int = 0) -> TicketResult:
+        """One full Figure 3 session; persists the trail when storing."""
+        result, trail = self.serve_traced(
+            reporter, text, machine, admin, ops, enqueued_at=enqueued_at,
+            session_id=session_id, org_name=org_name, boot=boot)
+        if self.store is not None and trail is not None:
+            # a sick store must degrade forensics, never ticket serving
+            try:
+                self.store.put_trail(trail)
+            except Exception:  # noqa: BLE001 - worker must survive
+                self.m_store_errors.inc()
+        return result
+
+    def serve_traced(
+            self, reporter: str, text: str, machine: str, admin: str,
+            ops: Optional[Callable[[AdminShell, BrokerClient], None]],
+            enqueued_at: Optional[float] = None,
+            session_id: Optional[str] = None, org_name: str = "default",
+            boot: int = 0,
+    ) -> Tuple[TicketResult, Optional[SessionTrail]]:
         """One full Figure 3 session on a pooled container.
 
         ``enqueued_at`` (the producer's per-ticket admission clock read)
         turns into ``latency_s`` on the result — meaningful in-process;
         process mode overwrites it parent-side so the measurement never
         mixes clocks across processes.
+
+        When capturing, the second return value is the session's full
+        :class:`SessionTrail` — assembled *after* release, at which point
+        the pool has flushed every audit epoch the session produced into
+        the trail buffer. The caller decides what to do with it: thread
+        mode persists in-process, process mode ships it to the parent.
         """
         shard = self.shard
         org = shard.org
@@ -82,9 +136,14 @@ class ShardServer:
         ticket = org.submit_ticket(reporter, text, machine=machine)
         ticket.classify_as(self.classifier.classify(text))
         ticket.assign_to(admin)
+        if self.capture and session_id is None:
+            # direct serve() callers (no plane minting boot-scoped ids)
+            # still get a per-run-unique key: org ticket ids are monotonic
+            session_id = f"{org_name}-shard{shard.index}-t{ticket.ticket_id}"
         spec = org.images.get(ticket.predicted_class)
         pooled = shard.pool.acquire(spec, machine, user=reporter,
                                     ticket_class=ticket.predicted_class)
+        pooled.session_id = session_id
         pool_hit = pooled.pool_hit
         certificate = org.certificates.issue(
             admin, ticket.ticket_id, machine, ticket.predicted_class)
@@ -118,9 +177,38 @@ class ShardServer:
         (self.m_resolved if error is None else self.m_errored).inc()
         self.m_latency.observe(duration)
         self.m_e2e.observe(latency)
-        return TicketResult(
+        result = TicketResult(
             ticket_id=ticket.ticket_id,
             ticket_class=ticket.predicted_class or "?",
             machine=machine, admin=admin, resolved=error is None,
             error=error, audit_records=audit_records, duration_s=duration,
-            latency_s=latency, shard=shard.index, pool_hit=pool_hit)
+            latency_s=latency, shard=shard.index, pool_hit=pool_hit,
+            session_id=session_id)
+        trail: Optional[SessionTrail] = None
+        if self.capture and session_id is not None and self.trails is not None:
+            trail = SessionTrail(
+                session=SessionRow(
+                    session_id=session_id, org=org_name, boot=boot,
+                    shard=shard.index, ticket_id=ticket.ticket_id,
+                    ticket_class=ticket.predicted_class or "?",
+                    machine=machine, admin=admin, reporter=reporter,
+                    resolved=error is None, error=error,
+                    audit_records=audit_records, duration_s=duration,
+                    latency_s=latency, pool_hit=pool_hit,
+                    created_at=time.time()),
+                ticket=TicketRow(
+                    session_id=session_id, ticket_id=ticket.ticket_id,
+                    org=org_name, reporter=reporter, text=text,
+                    machine=machine,
+                    ticket_class=ticket.predicted_class or "?",
+                    status=ticket.status.name),
+                certificates=(CertificateRow(
+                    session_id=session_id, serial=certificate.serial,
+                    admin=admin, ticket_id=ticket.ticket_id,
+                    machine=machine,
+                    ticket_class=ticket.predicted_class or "?",
+                    issued_at=certificate.issued_at,
+                    expires_at=certificate.expires_at,
+                    signature=certificate.signature, revoked=True),),
+                events=self.trails.pop(session_id))
+        return result, trail

@@ -43,6 +43,10 @@ from repro.experiments.policy_mining import (
 )
 from repro.experiments.report import generate_report, write_report
 from repro.experiments.schema import SCHEMA, ExperimentReport
+from repro.experiments.store_bench import (
+    STORE_OVERHEAD_BUDGET_PCT,
+    run_store_benchmark,
+)
 from repro.experiments.table1_threats import run_table1
 from repro.experiments.table2_lda import run_table2
 from repro.experiments.table3_permissions import run_table3
@@ -66,6 +70,7 @@ __all__ = [
     "PAPER_TABLE4",
     "PolicyMiningResult",
     "STANDARD_ADDRESS_BOOK",
+    "STORE_OVERHEAD_BUDGET_PCT",
     "build_case_study_rig",
     "generate_report",
     "run_figure7",
@@ -78,6 +83,7 @@ __all__ = [
     "run_table1",
     "run_table2",
     "run_table3",
+    "run_store_benchmark",
     "run_table4",
     "run_with_metrics",
     "write_report",

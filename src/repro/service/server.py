@@ -18,6 +18,14 @@ long-lived, threaded stdlib HTTP server:
   before liveness fails.
 * ``GET /metrics`` — the shared :mod:`repro.obs` registry in Prometheus
   text exposition format.
+* ``GET /sessions`` (``?org=&limit=``) — persisted session rows from the
+  plane's event store, newest first.
+* ``GET /sessions/<id>`` — one session's full forensic trail (ticket,
+  certificates, every audit decision) with its hash chains re-verified.
+
+Ticket submission speaks the versioned ``watchit-ticket/v1`` wire format
+(:mod:`repro.service.wire`); pre-v1 ad-hoc bodies still parse through
+the compat shim there.
 
 Shutdown is graceful by construction: :meth:`TicketService.close` stops
 admitting (``503`` + ``Retry-After``), drains every accepted ticket
@@ -40,6 +48,12 @@ from repro.controlplane.executor import ControlPlane, SessionOps
 from repro.errors import InvalidArgument
 from repro.service.admission import AdmissionController
 from repro.service.exposition import CONTENT_TYPE, render_exposition
+from repro.service.wire import (
+    TicketRequest,
+    TicketResponse,
+    WireError,
+    parse_ticket_request,
+)
 
 __all__ = ["ServiceConfig", "TicketService"]
 
@@ -181,13 +195,20 @@ class TicketService:
         self.plane.drain()
 
     def close(self, drain: bool = True) -> None:
-        """Graceful shutdown: drain, stop the listener, close the plane."""
+        """Graceful shutdown: drain, stop the listener, close the plane.
+
+        After the drain, the final metrics snapshot is persisted into the
+        store's ``bench_runs`` table — previously it evaporated with the
+        process, so a gracefully stopped daemon left no record of what it
+        served. ``repro history`` renders it alongside benchmark runs.
+        """
         if self._closed:
             return
         self._closed = True
         self._draining = True
         if self._started and drain:
             self.plane.drain()
+            self._persist_final_metrics()
         if self._httpd is not None:
             self._httpd.shutdown()
             if self._thread is not None:
@@ -196,6 +217,28 @@ class TicketService:
         if self._started_plane:
             self.plane.close()
         self._started = False
+
+    def _persist_final_metrics(self) -> None:
+        """Write the drained service's last metrics into ``bench_runs``."""
+        import time
+
+        from repro import obs
+        from repro.store.protocol import BenchRunRow
+
+        try:
+            stats = self.plane.stats()
+            self.plane.store.put_bench_run(BenchRunRow(
+                name="service-final-metrics",
+                created_at=time.time(),
+                params={"plane": self.plane.plane_id,
+                        "workers": self.plane.workers,
+                        "org": self.plane.org},
+                metrics={"submitted": stats["submitted"],
+                         "completed": stats["completed"],
+                         "inflight": stats["inflight"]},
+                artifacts={"metrics_snapshot": obs.registry().snapshot()}))
+        except Exception:  # noqa: BLE001 - shutdown must not fail on this
+            pass
 
     def __enter__(self) -> "TicketService":
         return self.start()
@@ -241,7 +284,8 @@ class TicketService:
         outcome = _SubmitOutcome()
         for reporter, text, machine in tickets:
             future = self.plane.try_submit(
-                reporter, text, machine, admin, ops=self.default_ops)
+                reporter, text, machine, admin, ops=self.default_ops,
+                org=org)
             if future is None:
                 outcome.rejected += 1
                 outcome.statuses.append("rejected")
@@ -315,8 +359,42 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(200, body, CONTENT_TYPE)
         elif parsed.path == "/statz":
             self._send_json(200, dict(self.service.plane.stats()))
+        elif parsed.path == "/sessions":
+            self._get_sessions(parse_qs(parsed.query))
+        elif parsed.path.startswith("/sessions/"):
+            self._get_session_trail(parsed.path[len("/sessions/"):])
         else:
             self._send_json(404, {"error": f"no route {parsed.path}"})
+
+    def _get_sessions(self, query: Dict[str, List[str]]) -> None:
+        """GET /sessions — persisted session rows, newest first."""
+        org = query.get("org", [None])[0]
+        raw_limit = query.get("limit", [None])[0]
+        limit: Optional[int] = None
+        if raw_limit is not None:
+            try:
+                limit = int(raw_limit)
+            except ValueError:
+                self._send_json(400, {"error": "limit must be an integer"})
+                return
+        rows = self.service.plane.store.sessions(org=org, limit=limit)
+        self._send_json(200, {"sessions": [row.to_dict() for row in rows]})
+
+    def _get_session_trail(self, session_id: str) -> None:
+        """GET /sessions/<id> — the full trail, hash chains re-verified."""
+        from repro.errors import IntegrityError
+        from repro.store.replay import trail_to_dict, verify_trail
+
+        trail = self.service.plane.store.get_trail(session_id)
+        if trail is None:
+            self._send_json(404, {"error": f"no session {session_id!r}"})
+            return
+        try:
+            verify_trail(trail)
+            verified = True
+        except IntegrityError:
+            verified = False
+        self._send_json(200, trail_to_dict(trail, verified=verified))
 
     # -- POST /tickets -------------------------------------------------
 
@@ -328,29 +406,6 @@ class _Handler(BaseHTTPRequestHandler):
         except (ValueError, UnicodeDecodeError):
             return None
         return parsed if isinstance(parsed, dict) else None
-
-    def _parse_tickets(self, body: JsonDict
-                       ) -> Optional[List[Tuple[str, str, str]]]:
-        """One or many ``(reporter, text, machine)`` rows, validated."""
-        rows = body.get("tickets", [body])
-        if not isinstance(rows, list) or not rows:
-            return None
-        if len(rows) > MAX_BULK_TICKETS:
-            return None
-        machines = set(self.service.plane.router.machines)
-        parsed: List[Tuple[str, str, str]] = []
-        for row in rows:
-            if not isinstance(row, dict):
-                return None
-            reporter = row.get("reporter")
-            text = row.get("text")
-            machine = row.get("machine")
-            if not (isinstance(reporter, str) and reporter
-                    and isinstance(text, str) and text.strip()
-                    and isinstance(machine, str) and machine in machines):
-                return None
-            parsed.append((reporter, text, machine))
-        return parsed
 
     def do_POST(self) -> None:  # noqa: N802 - http.server contract
         service = self.service
@@ -366,22 +421,25 @@ class _Handler(BaseHTTPRequestHandler):
         if body is None:
             self._send_json(400, {"error": "body must be a JSON object"})
             return
-        tickets = self._parse_tickets(body)
-        if tickets is None:
+        try:
+            request = parse_ticket_request(
+                body, set(service.plane.router.machines),
+                max_tickets=MAX_BULK_TICKETS)
+        except WireError as exc:
             self._send_json(400, {
-                "error": "each ticket needs reporter, text, and a known "
-                         "machine",
-                "machines": sorted(self.service.plane.router.machines)})
+                "error": str(exc),
+                "machines": sorted(service.plane.router.machines)})
             return
-        admin = body.get("admin")
-        if admin is not None and not isinstance(admin, str):
-            self._send_json(400, {"error": "admin must be a string"})
-            return
-        org = self.headers.get("X-Org") or str(body.get("org", "default"))
+        # the X-Org header wins over the body field (proxy-injectable)
+        org = self.headers.get("X-Org") or request.org
+        if org != request.org:
+            request = TicketRequest(
+                tickets=request.tickets, admin=request.admin, org=org,
+                wait=request.wait, single=request.single)
 
-        decision = service.admission.admit(org, len(tickets))
+        decision = service.admission.admit(org, len(request.tickets))
         if not decision.admitted:
-            service._record_rejection(decision.reason, len(tickets))
+            service._record_rejection(decision.reason, len(request.tickets))
             self._send_retry(429, {
                 "error": "admission rejected",
                 "reason": decision.reason,
@@ -389,15 +447,15 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             outcome = service.submit_batch(
-                tickets, admin or service.config.default_admin, org)
+                request.rows(),
+                request.admin or service.config.default_admin, org)
         except InvalidArgument as exc:
             # the plane closed between the draining check and the enqueue
-            service.admission.complete(len(tickets))
-            service._record_rejection("draining", len(tickets))
+            service.admission.complete(len(request.tickets))
+            service._record_rejection("draining", len(request.tickets))
             self._send_retry(503, {"error": str(exc)}, retry_after=1.0)
             return
 
-        single = "tickets" not in body
         if outcome.rejected and not outcome.accepted:
             self._send_retry(429, {
                 "error": "queue full",
@@ -406,25 +464,24 @@ class _Handler(BaseHTTPRequestHandler):
                 retry_after=BACKPRESSURE_RETRY_AFTER)
             return
 
-        payload: JsonDict = {
-            "accepted": outcome.accepted,
-            "rejected": outcome.rejected,
-            "statuses": outcome.statuses,
-        }
-        if bool(body.get("wait")):
-            results: List[JsonDict] = []
+        results: Optional[object] = None
+        if request.wait:
+            rendered: List[JsonDict] = []
             for future in outcome.futures:
                 try:
                     result = future.result(
                         timeout=service.config.wait_timeout)
-                    results.append(result.to_dict())
+                    rendered.append(result.to_dict())
                 except Exception as exc:  # noqa: BLE001 - rendered to client
-                    results.append({
+                    rendered.append({
                         "error": f"{type(exc).__name__}: {exc}"})
-            payload["results"] = results[0] if single else results
+            results = rendered[0] if request.single else rendered
             status = 200
         else:
             status = 202
+        payload = TicketResponse(
+            accepted=outcome.accepted, rejected=outcome.rejected,
+            statuses=tuple(outcome.statuses), results=results).to_dict()
         if outcome.rejected:
             # partial acceptance still pushes back on the client
             self._send_retry(429, payload,

@@ -1,0 +1,41 @@
+"""Bridge between ``ExperimentReport`` artifacts and the bench_runs table.
+
+Every ``BENCH_*.json`` file this repo emits is a
+:class:`~repro.experiments.schema.ExperimentReport`; persisting them into
+the store's ``bench_runs`` table is what turns scattered JSON files into
+the queryable trajectory ``repro history`` renders.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Dict, Optional, cast
+
+from repro.store.protocol import BenchRunRow
+
+if TYPE_CHECKING:
+    from repro.experiments.schema import ExperimentReport
+
+__all__ = ["report_to_row", "row_to_report"]
+
+
+def report_to_row(report: "ExperimentReport",
+                  created_at: Optional[float] = None) -> BenchRunRow:
+    """Flatten one experiment report for the ``bench_runs`` table."""
+    return BenchRunRow(
+        name=report.name,
+        created_at=time.time() if created_at is None else created_at,
+        params=dict(cast(Dict[str, object], report.params)),
+        metrics=dict(cast(Dict[str, object], report.metrics)),
+        artifacts=dict(report.artifacts))
+
+
+def row_to_report(row: BenchRunRow) -> "ExperimentReport":
+    """Rebuild the :class:`ExperimentReport` a row was flattened from."""
+    from repro.experiments.schema import ExperimentReport
+
+    return ExperimentReport(
+        name=row.name,
+        params=dict(row.params),  # type: ignore[arg-type]
+        metrics=dict(row.metrics),  # type: ignore[arg-type]
+        artifacts=dict(row.artifacts))

@@ -1,0 +1,163 @@
+"""The zero-dependency in-memory backend (the default).
+
+Keeps exactly the pre-store behaviour — history lives and dies with the
+process — while speaking the full :class:`~repro.store.protocol.EventStore`
+protocol, so every caller is written against the repository API and
+swapping in :class:`~repro.store.sqlite.SQLiteStore` is a constructor
+argument, not a refactor.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Dict, List, Optional
+
+from repro.errors import InvalidArgument
+from repro.store.protocol import (
+    AlertRow,
+    AuditEventRow,
+    BenchRunRow,
+    CertificateRow,
+    SessionRow,
+    SessionTrail,
+)
+
+__all__ = ["MemoryStore"]
+
+
+class MemoryStore:
+    """Thread-safe in-memory :class:`EventStore` implementation."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._boots = itertools.count(1)
+        self._trails: Dict[str, SessionTrail] = {}
+        #: insertion order doubles as created_at order for queries
+        self._order: List[str] = []
+        self._bench: List[BenchRunRow] = []
+        self._alerts: List[AlertRow] = []
+        self._run_seq = itertools.count(1)
+        self._alert_seq = itertools.count(1)
+
+    # -- append --------------------------------------------------------
+
+    def begin_boot(self) -> int:
+        with self._lock:
+            return next(self._boots)
+
+    def put_trail(self, trail: SessionTrail) -> None:
+        sid = trail.session.session_id
+        with self._lock:
+            if sid in self._trails:
+                raise InvalidArgument(
+                    f"duplicate session id {sid!r} in the event store")
+            self._trails[sid] = trail
+            self._order.append(sid)
+
+    def put_bench_run(self, row: BenchRunRow) -> int:
+        with self._lock:
+            run_id = next(self._run_seq)
+            self._bench.append(BenchRunRow(
+                name=row.name, created_at=row.created_at,
+                params=dict(row.params), metrics=dict(row.metrics),
+                artifacts=dict(row.artifacts), run_id=run_id))
+            return run_id
+
+    def put_alert(self, row: AlertRow) -> int:
+        with self._lock:
+            alert_id = next(self._alert_seq)
+            self._alerts.append(AlertRow(
+                rule=row.rule, severity=row.severity, message=row.message,
+                created_at=row.created_at, session_id=row.session_id,
+                alert_id=alert_id))
+            return alert_id
+
+    # -- query ---------------------------------------------------------
+
+    def get_session(self, session_id: str) -> Optional[SessionRow]:
+        with self._lock:
+            trail = self._trails.get(session_id)
+        return None if trail is None else trail.session
+
+    def get_trail(self, session_id: str) -> Optional[SessionTrail]:
+        with self._lock:
+            return self._trails.get(session_id)
+
+    def sessions(self, org: Optional[str] = None,
+                 ticket_class: Optional[str] = None,
+                 machine: Optional[str] = None,
+                 admin: Optional[str] = None,
+                 limit: Optional[int] = None) -> List[SessionRow]:
+        with self._lock:
+            rows = [self._trails[sid].session for sid in reversed(self._order)]
+        out: List[SessionRow] = []
+        for row in rows:
+            if org is not None and row.org != org:
+                continue
+            if ticket_class is not None and row.ticket_class != ticket_class:
+                continue
+            if machine is not None and row.machine != machine:
+                continue
+            if admin is not None and row.admin != admin:
+                continue
+            out.append(row)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    def audit_events(self, session_id: str,
+                     stream: Optional[str] = None) -> List[AuditEventRow]:
+        with self._lock:
+            trail = self._trails.get(session_id)
+        if trail is None:
+            return []
+        events = [e for e in trail.events
+                  if stream is None or e.stream == stream]
+        return sorted(events, key=lambda e: (e.stream, e.seq))
+
+    def certificates(self, session_id: Optional[str] = None,
+                     admin: Optional[str] = None) -> List[CertificateRow]:
+        with self._lock:
+            trails = [self._trails[sid] for sid in self._order
+                      if session_id is None or sid == session_id]
+        return [c for trail in trails for c in trail.certificates
+                if admin is None or c.admin == admin]
+
+    def bench_runs(self, name: Optional[str] = None,
+                   limit: Optional[int] = None) -> List[BenchRunRow]:
+        with self._lock:
+            rows = [r for r in self._bench
+                    if name is None or r.name == name]
+        if limit is not None:
+            rows = rows[-limit:]
+        return rows
+
+    def alerts(self, limit: Optional[int] = None) -> List[AlertRow]:
+        with self._lock:
+            rows = list(self._alerts)
+        if limit is not None:
+            rows = rows[-limit:]
+        return rows
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "sessions": len(self._trails),
+                "tickets": sum(1 for t in self._trails.values()
+                               if t.ticket is not None),
+                "certificates": sum(len(t.certificates)
+                                    for t in self._trails.values()),
+                "audit_events": sum(len(t.events)
+                                    for t in self._trails.values()),
+                "bench_runs": len(self._bench),
+                "alerts": len(self._alerts),
+            }
+
+    # -- lifecycle -----------------------------------------------------
+
+    def flush(self) -> None:
+        """Nothing to flush: memory is as durable as it gets here."""
+
+    def close(self) -> None:
+        """No resources to release; history stays readable."""

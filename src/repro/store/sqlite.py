@@ -1,0 +1,503 @@
+"""The durable backend: WAL-mode SQLite with versioned migrations.
+
+Design points:
+
+* **WAL journal, ``synchronous=NORMAL``** — concurrent readers never
+  block the single writer, and a crashed process can never tear a
+  committed transaction (WAL replay restores the last commit point).
+* **Group commit, whole trails only** — :meth:`SQLiteStore.put_trail`
+  buffers the session row, ticket row, certificates, and every audit
+  event as one indivisible unit; up to ``batch`` buffered trails are
+  written inside one ``BEGIN IMMEDIATE`` … ``COMMIT``. A transaction
+  only ever contains *complete* trails, so a SIGKILL at any instant
+  leaves each session either wholly committed or wholly absent:
+  committed sessions replay bit-for-bit, torn writes are impossible by
+  construction. The buffer drains on reaching ``batch``, before any
+  read (read-your-writes), on :meth:`flush`, and on :meth:`close`; a
+  hard kill can lose at most the uncommitted tail, never tear a
+  session. ``batch=1`` restores strict per-session commits.
+* **Schema versioning** — a ``schema_migrations`` table records every
+  applied migration; opening an older database applies the missing
+  migrations in order, opening a newer one fails loudly instead of
+  corrupting it.
+* **Chain preservation** — audit events keep their ``prev_digest`` /
+  ``digest`` columns verbatim; each ``(session, stream)`` epoch chain
+  starts at the genesis digest, so
+  :class:`~repro.itfs.audit.AppendOnlyLog` verification holds from the
+  persisted rows alone, across restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union, cast
+
+from repro.errors import InvalidArgument
+from repro.store.protocol import (
+    AlertRow,
+    AuditEventRow,
+    BenchRunRow,
+    CertificateRow,
+    SessionRow,
+    SessionTrail,
+    TicketRow,
+)
+
+__all__ = ["MIGRATIONS", "SCHEMA_VERSION", "SQLiteStore"]
+
+#: Ordered, append-only migration history. Never edit a shipped entry —
+#: add a new version; ``schema_migrations`` records what each database
+#: has already applied.
+MIGRATIONS: Tuple[Tuple[int, Tuple[str, ...]], ...] = (
+    (1, (
+        """CREATE TABLE boots (
+            boot_id INTEGER PRIMARY KEY AUTOINCREMENT,
+            started_at REAL NOT NULL)""",
+        """CREATE TABLE sessions (
+            session_id TEXT PRIMARY KEY,
+            org TEXT NOT NULL,
+            boot INTEGER NOT NULL,
+            shard INTEGER,
+            ticket_id INTEGER NOT NULL,
+            ticket_class TEXT NOT NULL,
+            machine TEXT NOT NULL,
+            admin TEXT NOT NULL,
+            reporter TEXT NOT NULL,
+            resolved INTEGER NOT NULL,
+            error TEXT,
+            audit_records INTEGER NOT NULL,
+            duration_s REAL NOT NULL,
+            latency_s REAL NOT NULL,
+            pool_hit INTEGER,
+            created_at REAL NOT NULL)""",
+        "CREATE INDEX idx_sessions_org ON sessions(org, created_at)",
+        "CREATE INDEX idx_sessions_class ON sessions(ticket_class)",
+        """CREATE TABLE tickets (
+            session_id TEXT PRIMARY KEY
+                REFERENCES sessions(session_id),
+            ticket_id INTEGER NOT NULL,
+            org TEXT NOT NULL,
+            reporter TEXT NOT NULL,
+            text TEXT NOT NULL,
+            machine TEXT NOT NULL,
+            ticket_class TEXT NOT NULL,
+            status TEXT NOT NULL)""",
+        """CREATE TABLE certificates (
+            session_id TEXT NOT NULL
+                REFERENCES sessions(session_id),
+            serial INTEGER NOT NULL,
+            admin TEXT NOT NULL,
+            ticket_id INTEGER NOT NULL,
+            machine TEXT NOT NULL,
+            ticket_class TEXT NOT NULL,
+            issued_at INTEGER NOT NULL,
+            expires_at INTEGER NOT NULL,
+            signature TEXT NOT NULL,
+            revoked INTEGER NOT NULL,
+            PRIMARY KEY (session_id, serial))""",
+        """CREATE TABLE audit_events (
+            session_id TEXT NOT NULL
+                REFERENCES sessions(session_id),
+            stream TEXT NOT NULL,
+            seq INTEGER NOT NULL,
+            time INTEGER NOT NULL,
+            actor TEXT NOT NULL,
+            op TEXT NOT NULL,
+            path TEXT NOT NULL,
+            decision TEXT NOT NULL,
+            rule TEXT NOT NULL,
+            details TEXT NOT NULL,
+            prev_digest TEXT NOT NULL,
+            digest TEXT NOT NULL,
+            PRIMARY KEY (session_id, stream, seq))""",
+        """CREATE TABLE alerts (
+            alert_id INTEGER PRIMARY KEY AUTOINCREMENT,
+            session_id TEXT,
+            rule TEXT NOT NULL,
+            severity TEXT NOT NULL,
+            message TEXT NOT NULL,
+            created_at REAL NOT NULL)""",
+        """CREATE TABLE bench_runs (
+            run_id INTEGER PRIMARY KEY AUTOINCREMENT,
+            name TEXT NOT NULL,
+            created_at REAL NOT NULL,
+            params TEXT NOT NULL,
+            metrics TEXT NOT NULL,
+            artifacts TEXT NOT NULL)""",
+        "CREATE INDEX idx_bench_name ON bench_runs(name, created_at)",
+    )),
+)
+
+SCHEMA_VERSION = MIGRATIONS[-1][0]
+
+
+def _dumps(payload: Dict[str, object]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _loads(blob: str) -> Dict[str, object]:
+    return cast(Dict[str, object], json.loads(blob))
+
+
+class SQLiteStore:
+    """Durable :class:`~repro.store.protocol.EventStore` over one file.
+
+    A single connection (``check_same_thread=False``) guarded by an
+    RLock serializes writes — thread-mode shard workers and HTTP handler
+    threads share the instance safely. Reads go through the same lock
+    (and drain the group-commit buffer first, so they always see every
+    accepted trail); WAL keeps them cheap.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 timeout: float = 30.0, batch: int = 64) -> None:
+        if batch < 1:
+            raise InvalidArgument(f"batch must be >= 1, got {batch}")
+        self.path = str(path)
+        self.batch = int(batch)
+        self._lock = threading.RLock()
+        #: autocommit connection; transactions are explicit BEGIN/COMMIT
+        self._conn = sqlite3.connect(
+            self.path, timeout=timeout, check_same_thread=False,
+            isolation_level=None)
+        self._closed = False
+        #: group-commit buffer: pre-marshalled row tuples per trail —
+        #: (session, ticket | None, certificates, audit events)
+        self._pending: List[Tuple[Tuple[object, ...],
+                                  Optional[Tuple[object, ...]],
+                                  List[Tuple[object, ...]],
+                                  List[Tuple[object, ...]]]] = []
+        self._pending_ids: Set[str] = set()
+        with self._lock:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA foreign_keys=ON")
+            self._migrate()
+
+    # -- migrations ----------------------------------------------------
+
+    def _migrate(self) -> None:
+        self._conn.execute(
+            """CREATE TABLE IF NOT EXISTS schema_migrations (
+                version INTEGER PRIMARY KEY,
+                applied_at REAL NOT NULL)""")
+        applied = {int(row[0]) for row in self._conn.execute(
+            "SELECT version FROM schema_migrations")}
+        newest_known = max(applied, default=0)
+        if newest_known > SCHEMA_VERSION:
+            raise InvalidArgument(
+                f"{self.path} has schema version {newest_known}, newer "
+                f"than this build understands ({SCHEMA_VERSION}); "
+                f"refusing to open")
+        for version, statements in MIGRATIONS:
+            if version in applied:
+                continue
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                for statement in statements:
+                    self._conn.execute(statement)
+                self._conn.execute(
+                    "INSERT INTO schema_migrations(version, applied_at) "
+                    "VALUES (?, ?)", (version, time.time()))
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+            self._conn.execute("COMMIT")
+
+    def schema_version(self) -> int:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT MAX(version) FROM schema_migrations").fetchone()
+        return int(row[0] or 0)
+
+    # -- append --------------------------------------------------------
+
+    def begin_boot(self) -> int:
+        with self._lock:
+            cur = self._conn.execute(
+                "INSERT INTO boots(started_at) VALUES (?)", (time.time(),))
+            boot_id = cur.lastrowid
+        assert boot_id is not None
+        return int(boot_id)
+
+    def put_trail(self, trail: SessionTrail) -> None:
+        """Accept one complete trail into the group-commit buffer.
+
+        Duplicate session ids are rejected here, against both the
+        buffer and the committed rows, so the later batch commit can
+        never fail an integrity check halfway through.
+        """
+        s = trail.session
+        session_row = (
+            s.session_id, s.org, s.boot, s.shard, s.ticket_id,
+            s.ticket_class, s.machine, s.admin, s.reporter,
+            int(s.resolved), s.error, s.audit_records,
+            s.duration_s, s.latency_s,
+            None if s.pool_hit is None else int(s.pool_hit),
+            s.created_at)
+        ticket_row = None
+        if trail.ticket is not None:
+            t = trail.ticket
+            ticket_row = (t.session_id, t.ticket_id, t.org, t.reporter,
+                          t.text, t.machine, t.ticket_class, t.status)
+        cert_rows = [(c.session_id, c.serial, c.admin, c.ticket_id,
+                      c.machine, c.ticket_class, c.issued_at, c.expires_at,
+                      c.signature, int(c.revoked))
+                     for c in trail.certificates]
+        event_rows = [(e.session_id, e.stream, e.seq, e.time, e.actor,
+                       e.op, e.path, e.decision, e.rule, _dumps(e.details),
+                       e.prev_digest, e.digest)
+                      for e in trail.events]
+        with self._lock:
+            if (s.session_id in self._pending_ids
+                    or self._conn.execute(
+                        "SELECT 1 FROM sessions WHERE session_id = ?",
+                        (s.session_id,)).fetchone() is not None):
+                raise InvalidArgument(
+                    f"duplicate session id {s.session_id!r} in the event "
+                    f"store")
+            self._pending.append(
+                (session_row, ticket_row, cert_rows, event_rows))
+            self._pending_ids.add(s.session_id)
+            if len(self._pending) >= self.batch:
+                self._drain_pending()
+
+    def _drain_pending(self) -> None:
+        """Commit every buffered trail in one transaction (lock held).
+
+        The transaction holds only *whole* trails, so atomicity per
+        session survives batching: a crash commits all of them or none.
+        """
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        self._pending_ids = set()
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            self._conn.executemany(
+                "INSERT INTO sessions VALUES "
+                "(?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                [rows[0] for rows in batch])
+            self._conn.executemany(
+                "INSERT INTO tickets VALUES (?,?,?,?,?,?,?,?)",
+                [rows[1] for rows in batch if rows[1] is not None])
+            self._conn.executemany(
+                "INSERT INTO certificates VALUES (?,?,?,?,?,?,?,?,?,?)",
+                [row for rows in batch for row in rows[2]])
+            self._conn.executemany(
+                "INSERT INTO audit_events VALUES (?,?,?,?,?,?,?,?,?,?,?,?)",
+                [row for rows in batch for row in rows[3]])
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        self._conn.execute("COMMIT")
+
+    def put_bench_run(self, row: BenchRunRow) -> int:
+        with self._lock:
+            cur = self._conn.execute(
+                "INSERT INTO bench_runs(name, created_at, params, metrics, "
+                "artifacts) VALUES (?,?,?,?,?)",
+                (row.name, row.created_at, _dumps(row.params),
+                 _dumps(row.metrics), _dumps(row.artifacts)))
+            run_id = cur.lastrowid
+        assert run_id is not None
+        return int(run_id)
+
+    def put_alert(self, row: AlertRow) -> int:
+        with self._lock:
+            cur = self._conn.execute(
+                "INSERT INTO alerts(session_id, rule, severity, message, "
+                "created_at) VALUES (?,?,?,?,?)",
+                (row.session_id, row.rule, row.severity, row.message,
+                 row.created_at))
+            alert_id = cur.lastrowid
+        assert alert_id is not None
+        return int(alert_id)
+
+    # -- query ---------------------------------------------------------
+
+    @staticmethod
+    def _session_row(raw: Sequence[object]) -> SessionRow:
+        return SessionRow(
+            session_id=str(raw[0]), org=str(raw[1]), boot=int(cast(int, raw[2])),
+            shard=None if raw[3] is None else int(cast(int, raw[3])),
+            ticket_id=int(cast(int, raw[4])), ticket_class=str(raw[5]),
+            machine=str(raw[6]), admin=str(raw[7]), reporter=str(raw[8]),
+            resolved=bool(raw[9]),
+            error=None if raw[10] is None else str(raw[10]),
+            audit_records=int(cast(int, raw[11])),
+            duration_s=float(cast(float, raw[12])),
+            latency_s=float(cast(float, raw[13])),
+            pool_hit=None if raw[14] is None else bool(raw[14]),
+            created_at=float(cast(float, raw[15])))
+
+    def get_session(self, session_id: str) -> Optional[SessionRow]:
+        with self._lock:
+            self._drain_pending()
+            raw = self._conn.execute(
+                "SELECT * FROM sessions WHERE session_id = ?",
+                (session_id,)).fetchone()
+        return None if raw is None else self._session_row(raw)
+
+    def get_trail(self, session_id: str) -> Optional[SessionTrail]:
+        session = self.get_session(session_id)
+        if session is None:
+            return None
+        with self._lock:
+            t = self._conn.execute(
+                "SELECT * FROM tickets WHERE session_id = ?",
+                (session_id,)).fetchone()
+            certs = self._conn.execute(
+                "SELECT * FROM certificates WHERE session_id = ? "
+                "ORDER BY serial", (session_id,)).fetchall()
+        ticket = None if t is None else TicketRow(
+            session_id=str(t[0]), ticket_id=int(t[1]), org=str(t[2]),
+            reporter=str(t[3]), text=str(t[4]), machine=str(t[5]),
+            ticket_class=str(t[6]), status=str(t[7]))
+        certificates = tuple(CertificateRow(
+            session_id=str(c[0]), serial=int(c[1]), admin=str(c[2]),
+            ticket_id=int(c[3]), machine=str(c[4]), ticket_class=str(c[5]),
+            issued_at=int(c[6]), expires_at=int(c[7]), signature=str(c[8]),
+            revoked=bool(c[9])) for c in certs)
+        return SessionTrail(session=session, ticket=ticket,
+                            certificates=certificates,
+                            events=tuple(self.audit_events(session_id)))
+
+    def sessions(self, org: Optional[str] = None,
+                 ticket_class: Optional[str] = None,
+                 machine: Optional[str] = None,
+                 admin: Optional[str] = None,
+                 limit: Optional[int] = None) -> List[SessionRow]:
+        clauses: List[str] = []
+        params: List[object] = []
+        for column, value in (("org", org), ("ticket_class", ticket_class),
+                              ("machine", machine), ("admin", admin)):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        sql = "SELECT * FROM sessions"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY created_at DESC, rowid DESC"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        with self._lock:
+            self._drain_pending()
+            rows = self._conn.execute(sql, params).fetchall()
+        return [self._session_row(raw) for raw in rows]
+
+    def audit_events(self, session_id: str,
+                     stream: Optional[str] = None) -> List[AuditEventRow]:
+        sql = "SELECT * FROM audit_events WHERE session_id = ?"
+        params: List[object] = [session_id]
+        if stream is not None:
+            sql += " AND stream = ?"
+            params.append(stream)
+        sql += " ORDER BY stream, seq"
+        with self._lock:
+            self._drain_pending()
+            rows = self._conn.execute(sql, params).fetchall()
+        return [AuditEventRow(
+            session_id=str(e[0]), stream=str(e[1]), seq=int(e[2]),
+            time=int(e[3]), actor=str(e[4]), op=str(e[5]), path=str(e[6]),
+            decision=str(e[7]), rule=str(e[8]), details=_loads(str(e[9])),
+            prev_digest=str(e[10]), digest=str(e[11])) for e in rows]
+
+    def certificates(self, session_id: Optional[str] = None,
+                     admin: Optional[str] = None) -> List[CertificateRow]:
+        clauses: List[str] = []
+        params: List[object] = []
+        if session_id is not None:
+            clauses.append("session_id = ?")
+            params.append(session_id)
+        if admin is not None:
+            clauses.append("admin = ?")
+            params.append(admin)
+        sql = "SELECT * FROM certificates"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY serial"
+        with self._lock:
+            self._drain_pending()
+            rows = self._conn.execute(sql, params).fetchall()
+        return [CertificateRow(
+            session_id=str(c[0]), serial=int(c[1]), admin=str(c[2]),
+            ticket_id=int(c[3]), machine=str(c[4]), ticket_class=str(c[5]),
+            issued_at=int(c[6]), expires_at=int(c[7]), signature=str(c[8]),
+            revoked=bool(c[9])) for c in rows]
+
+    def bench_runs(self, name: Optional[str] = None,
+                   limit: Optional[int] = None) -> List[BenchRunRow]:
+        sql = "SELECT run_id, name, created_at, params, metrics, artifacts " \
+              "FROM bench_runs"
+        params: List[object] = []
+        if name is not None:
+            sql += " WHERE name = ?"
+            params.append(name)
+        sql += " ORDER BY created_at DESC, run_id DESC"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        with self._lock:
+            rows = self._conn.execute(sql, params).fetchall()
+        out = [BenchRunRow(
+            run_id=int(r[0]), name=str(r[1]), created_at=float(r[2]),
+            params=_loads(str(r[3])), metrics=_loads(str(r[4])),
+            artifacts=_loads(str(r[5]))) for r in rows]
+        out.reverse()  # oldest-first: bench runs read as a time series
+        return out
+
+    def alerts(self, limit: Optional[int] = None) -> List[AlertRow]:
+        sql = ("SELECT alert_id, session_id, rule, severity, message, "
+               "created_at FROM alerts ORDER BY alert_id DESC")
+        params: List[object] = []
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        with self._lock:
+            rows = self._conn.execute(sql, params).fetchall()
+        out = [AlertRow(
+            alert_id=int(r[0]),
+            session_id=None if r[1] is None else str(r[1]),
+            rule=str(r[2]), severity=str(r[3]), message=str(r[4]),
+            created_at=float(r[5])) for r in rows]
+        out.reverse()
+        return out
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        with self._lock:
+            self._drain_pending()
+            for table in ("sessions", "tickets", "certificates",
+                          "audit_events", "bench_runs", "alerts"):
+                row = self._conn.execute(
+                    f"SELECT COUNT(*) FROM {table}").fetchone()
+                out[table] = int(row[0])
+        return out
+
+    # -- lifecycle -----------------------------------------------------
+
+    def flush(self) -> None:
+        """Commit buffered trails, then checkpoint the WAL so the main
+        file alone is current."""
+        with self._lock:
+            if not self._closed:
+                self._drain_pending()
+                self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._drain_pending()
+                self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            except sqlite3.Error:
+                pass
+            self._conn.close()

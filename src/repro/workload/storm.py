@@ -210,7 +210,8 @@ def run_storm_sharded(storm: Sequence[StormTicket], classifier=None,
                       queue_depth: int = 64, admin: str = "it-duty",
                       prewarm: bool = True, warmup: int = 0,
                       workers: str = "thread",
-                      plane: Optional[ControlPlane] = None) -> StormReport:
+                      plane: Optional[ControlPlane] = None,
+                      store=None, org: str = "default") -> StormReport:
     """The concurrent control plane serving the same storm.
 
     ``workers`` picks the shard worker mode (``"thread"`` or
@@ -226,7 +227,8 @@ def run_storm_sharded(storm: Sequence[StormTicket], classifier=None,
     if own_plane:
         plane = ControlPlane(machines=machines, users=users, shards=shards,
                              pool_size=pool_size, queue_depth=queue_depth,
-                             classifier=classifier, workers=workers)
+                             classifier=classifier, workers=workers,
+                             store=store, org=org)
     plane.register_admin(admin)
     plane.start()
     if prewarm:

@@ -298,6 +298,104 @@ class TestServe:
         capsys.readouterr()
 
 
+class TestReplayHistory:
+    """``repro serve --db`` persists, ``repro replay``/``history`` read
+    it back — the full forensic loop from the SQLite file alone."""
+
+    @pytest.fixture()
+    def served_db(self, tmp_path, capsys):
+        db = tmp_path / "storm.db"
+        assert main(["serve", "--shards", "1", "--tickets", "4",
+                     "--duplicates", "0.5", "--pool-size", "1",
+                     "--db", str(db)]) == 0
+        err = capsys.readouterr().err
+        assert "4 sessions persisted" in err
+        assert "repro replay" in err  # the hint points at the next verb
+        return db
+
+    def test_replay_latest_renders_the_decision_trail(self, served_db,
+                                                      capsys):
+        assert main(["replay", "--db", str(served_db), "--latest"]) == 0
+        out = capsys.readouterr().out
+        assert "session default-b1-" in out
+        assert "resolved" in out and "decision trail" in out
+        assert "chains verified" in out
+
+    def test_replay_json_parses_and_is_verified(self, served_db, capsys):
+        import json
+        assert main(["replay", "--db", str(served_db), "--latest",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["chain_verified"] is True
+        assert payload["session"]["session_id"].startswith("default-b1-")
+
+    def test_replay_by_explicit_session_id(self, served_db, capsys):
+        import json
+        main(["replay", "--db", str(served_db), "--latest", "--json"])
+        session_id = json.loads(
+            capsys.readouterr().out)["session"]["session_id"]
+        assert main(["replay", "--db", str(served_db), session_id]) == 0
+        assert session_id in capsys.readouterr().out
+
+    def test_replay_unknown_session_exits_1(self, served_db, capsys):
+        assert main(["replay", "--db", str(served_db),
+                     "default-b99-0"]) == 1
+        assert "no session" in capsys.readouterr().err
+
+    def test_replay_detects_tampering(self, served_db, capsys):
+        import json
+        import sqlite3
+        main(["replay", "--db", str(served_db), "--latest", "--json"])
+        session_id = json.loads(
+            capsys.readouterr().out)["session"]["session_id"]
+        conn = sqlite3.connect(served_db)
+        conn.execute("UPDATE audit_events SET path = '/etc/shadow' "
+                     "WHERE session_id = ?", (session_id,))
+        conn.commit()
+        conn.close()
+        assert main(["replay", "--db", str(served_db), session_id]) == 1
+        assert "CHAIN VERIFICATION FAILED" in capsys.readouterr().err
+
+    def test_replay_without_a_selector_exits_2(self, served_db, capsys):
+        assert main(["replay", "--db", str(served_db)]) == 2
+        assert "--latest" in capsys.readouterr().err
+
+    def test_replay_empty_org_filter_exits_1(self, served_db, capsys):
+        assert main(["replay", "--db", str(served_db), "--latest",
+                     "--org", "ghost"]) == 1
+        assert "no sessions" in capsys.readouterr().err
+
+    def test_history_lists_the_serve_run(self, served_db, capsys):
+        assert main(["history", "--db", str(served_db)]) == 0
+        out = capsys.readouterr().out
+        assert "bench history" in out
+        assert "controlplane-throughput" in out
+        assert "sharded_tickets_per_s" in out
+
+    def test_history_imports_bench_reports(self, tmp_path, capsys):
+        import json
+        db = tmp_path / "hist.db"
+        report = tmp_path / "BENCH_x.json"
+        report.write_text(json.dumps({
+            "schema": "watchit-experiment-report/v1",
+            "name": "store-overhead", "params": {},
+            "metrics": {"overhead_pct": 3.8}, "artifacts": {}}))
+        assert main(["history", "--db", str(db),
+                     "--import", str(report)]) == 0
+        captured = capsys.readouterr()
+        assert "imported 1 report(s)" in captured.err
+        assert "store-overhead" in captured.out
+        # the import is durable: a second invocation reads it back
+        assert main(["history", "--db", str(db), "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [r["name"] for r in rows] == ["store-overhead"]
+
+    def test_history_missing_import_file_exits_2(self, tmp_path, capsys):
+        assert main(["history", "--db", str(tmp_path / "h.db"),
+                     "--import", str(tmp_path / "nope.json")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+
 class TestExitCodeConvention:
     """Usage errors exit 2 with a diagnostic on stderr — every command."""
 
@@ -315,6 +413,10 @@ class TestExitCodeConvention:
         ["serve", "--queue-depth", "0"],
         ["lint", "--fail-on", "bogus"],
         ["verify-model", "--class", "T-99"],
+        ["replay"],
+        ["replay", "--db", "/nonexistent/watchit.db", "--latest"],
+        ["history"],
+        ["history", "--db", "ignored.db", "--limit", "0"],
     ], ids=lambda argv: " ".join(argv))
     def test_usage_errors_exit_2(self, argv, capsys):
         assert main(argv) == 2

@@ -68,6 +68,89 @@ class TestSessionLifecycle:
         assert seen["hostname"]
 
 
+class TestDurableFacade:
+    """Deployment.open / create(store=) — the persistent-history API."""
+
+    def test_sessions_are_persisted_and_queryable(self, deployment):
+        ticket = deployment.submit("alice", "my matlab license expired",
+                                   machine="ws-01")
+
+        def body(session):
+            session.shell.hostname()
+            session.client.pb("ps -a")
+
+        result = deployment.handle(ticket, admin=ADMIN, run=body)
+        assert result.session_id is not None
+        rows = deployment.sessions()
+        assert result.session_id in [s.session_id for s in rows]
+        trail = deployment.session_trail(result.session_id)
+        assert trail.ticket.ticket_id == ticket.ticket_id
+        assert trail.session.resolved
+        assert trail.events  # the audit trail rode along
+
+    def test_unknown_session_trail_is_none(self, deployment):
+        assert deployment.session_trail("nope-b1-s0") is None
+
+    def test_open_survives_restart_with_verified_chains(self, tmp_path):
+        from repro.store import verify_trail
+
+        path = str(tmp_path / "org.db")
+        first = Deployment.open(path, machines=("ws-01",),
+                                users=("alice",), org="acme")
+        first.register_admin(ADMIN)
+        ticket = first.submit("alice", "my matlab license expired",
+                              machine="ws-01")
+        result = first.handle(ticket, admin=ADMIN)
+        first.store.close()
+
+        second = Deployment.open(path, machines=("ws-01",),
+                                 users=("alice",), org="acme")
+        try:
+            # the earlier life's history is immediately queryable
+            trail = second.session_trail(result.session_id)
+            assert trail is not None
+            assert trail.session.resolved
+            verify_trail(trail)
+            # and the new life's boot epoch keeps ids collision-free
+            assert second.boot > trail.session.boot
+            next_ticket = second.submit("alice", "vpn is down",
+                                        machine="ws-01")
+            next_result = second.handle(next_ticket, admin=ADMIN)
+            assert next_result.session_id != result.session_id
+            assert len(second.sessions()) == 2
+        finally:
+            second.store.close()
+
+    def test_orgs_are_isolated_in_the_listing(self, tmp_path):
+        from repro.store import SQLiteStore
+
+        store = SQLiteStore(tmp_path / "multi.db")
+        acme = Deployment.create(machines=("ws-01",), users=("alice",),
+                                 store=store, org="acme")
+        acme.register_admin(ADMIN)
+        ticket = acme.submit("alice", "my matlab license expired",
+                             machine="ws-01")
+        acme.handle(ticket, admin=ADMIN)
+        beta = Deployment.create(machines=("ws-01",), users=("alice",),
+                                 store=store, org="beta")
+        try:
+            assert len(acme.sessions()) == 1
+            assert beta.sessions() == []
+        finally:
+            store.close()
+
+    def test_failed_session_persists_unresolved(self, deployment):
+        ticket = deployment.submit("alice", "my matlab license expired",
+                                   machine="ws-01")
+        with pytest.raises(RuntimeError):
+            with deployment.session(ticket, admin=ADMIN) as session:
+                raise RuntimeError("mid-session failure")
+        trail = deployment.session_trail(session.result.session_id)
+        assert trail is not None
+        assert not trail.session.resolved
+        assert "RuntimeError" in trail.session.error
+
+
 class TestDeploymentSurface:
     def test_machines_listing(self, deployment):
         assert deployment.machines == ("ws-01", "ws-02")
@@ -105,7 +188,7 @@ class TestTicketResult:
         assert set(row) == {
             "ticket_id", "ticket_class", "machine", "admin", "resolved",
             "error", "audit_records", "duration_s", "latency_s", "shard",
-            "pool_hit"}
+            "pool_hit", "session_id"}
 
     def test_frozen(self):
         result = TicketResult(ticket_id=1, ticket_class="T-1",

@@ -329,3 +329,95 @@ class TestProcessWorkerService:
             assert _get(svc.url + "/healthz")[0] == 200
         finally:
             svc.close()
+
+
+class TestWireSchemaOverHTTP:
+    """The versioned wire format at the HTTP boundary."""
+
+    def test_responses_are_schema_stamped(self, service):
+        status, _, body = _post(service.url + "/tickets", {
+            "reporter": "alice", "text": TEXT, "machine": "ws-01",
+            "wait": True})
+        assert status == 200
+        assert json.loads(body)["schema"] == "watchit-ticket/v1"
+
+    def test_v1_request_shape_is_accepted(self, service):
+        status, _, body = _post(service.url + "/tickets", {
+            "schema": "watchit-ticket/v1",
+            "tickets": [{"reporter": "alice", "text": TEXT,
+                         "machine": "ws-01"}],
+            "wait": True})
+        payload = json.loads(body)
+        assert status == 200 and payload["accepted"] == 1
+        assert payload["results"][0]["resolved"]
+
+    def test_unknown_schema_version_is_400(self, service):
+        status, _, body = _post(service.url + "/tickets", {
+            "schema": "watchit-ticket/v2",
+            "tickets": [{"reporter": "alice", "text": TEXT,
+                         "machine": "ws-01"}]})
+        payload = json.loads(body)
+        assert status == 400
+        assert "watchit-ticket/v1" in payload["error"]
+
+
+class TestSessionsOverHTTP:
+    """GET /sessions and /sessions/<id> read the plane's event store."""
+
+    def _served_session_id(self, service, org=None):
+        headers = {"X-Org": org} if org else None
+        _, _, body = _post(service.url + "/tickets", {
+            "reporter": "alice", "text": TEXT, "machine": "ws-01",
+            "wait": True}, headers=headers)
+        return json.loads(body)["results"]["session_id"]
+
+    def test_sessions_listing_contains_served_sessions(self, service):
+        session_id = self._served_session_id(service)
+        status, _, body = _get(service.url + "/sessions?limit=100")
+        payload = json.loads(body)
+        assert status == 200
+        assert session_id in [s["session_id"]
+                              for s in payload["sessions"]]
+
+    def test_session_trail_replays_with_verified_chains(self, service):
+        session_id = self._served_session_id(service)
+        status, _, body = _get(service.url + "/sessions/" + session_id)
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["chain_verified"] is True
+        assert payload["session"]["session_id"] == session_id
+        assert payload["ticket"]["text"] == TEXT
+        assert payload["certificates"][0]["revoked"] is True
+
+    def test_unknown_session_is_404(self, service):
+        assert _get(service.url + "/sessions/nope-b1-0")[0] == 404
+
+    def test_bad_limit_is_400(self, service):
+        assert _get(service.url + "/sessions?limit=ten")[0] == 400
+
+    def test_x_org_header_labels_the_persisted_session(self, service):
+        session_id = self._served_session_id(service, org="tenant-7")
+        status, _, body = _get(service.url + "/sessions?org=tenant-7")
+        payload = json.loads(body)
+        assert status == 200
+        rows = payload["sessions"]
+        assert session_id in [s["session_id"] for s in rows]
+        assert all(s["org"] == "tenant-7" for s in rows)
+
+
+class TestFinalMetricsSnapshot:
+    """Regression: a gracefully drained service left no record of what
+    it served — close() now persists the last snapshot to bench_runs."""
+
+    def test_graceful_drain_persists_final_metrics(self):
+        svc = make_service().start()
+        status, _, _ = _post(svc.url + "/tickets", {
+            "reporter": "alice", "text": TEXT, "machine": "ws-01",
+            "wait": True})
+        assert status == 200
+        svc.close(drain=True)
+        runs = svc.plane.store.bench_runs(name="service-final-metrics")
+        assert len(runs) == 1
+        assert runs[0].metrics["completed"] >= 1
+        assert runs[0].metrics["submitted"] == runs[0].metrics["completed"]
+        assert "metrics_snapshot" in runs[0].artifacts

@@ -1,0 +1,57 @@
+"""Shared trail factory: realistic, chain-valid session trails."""
+
+import pytest
+
+from repro.itfs.audit import AppendOnlyLog
+from repro.store import (
+    CertificateRow,
+    SessionRow,
+    SessionTrail,
+    TicketRow,
+    event_row_from_record,
+)
+
+
+def make_trail(session_id="acme-b1-1", org="acme", boot=1, ticket_id=7,
+               ticket_class="T-1", machine="ws-01", admin="it-bob",
+               reporter="alice", resolved=True, error=None,
+               fs_ops=3, net_ops=2, created_at=100.0):
+    """One complete trail whose audit chains genuinely verify.
+
+    Events come from real :class:`AppendOnlyLog` appends — seq, time,
+    prev_digest, and digest are sealed exactly as the container would
+    have sealed them, so tamper tests exercise the true chain.
+    """
+    events = []
+    fs = AppendOnlyLog(name="fs")
+    for i in range(fs_ops):
+        record = fs.append(reporter, "open", f"/home/{reporter}/f{i}",
+                           "allow", rule="share:home", flags="O_RDONLY")
+        events.append(event_row_from_record(session_id, "fs", record))
+    net = AppendOnlyLog(name="net")
+    for i in range(net_ops):
+        record = net.append(reporter, "connect", f"10.0.1.{10 + i}:27000",
+                            "allow", rule="endpoint:license-server")
+        events.append(event_row_from_record(session_id, "net", record))
+    session = SessionRow(
+        session_id=session_id, org=org, boot=boot, shard=0,
+        ticket_id=ticket_id, ticket_class=ticket_class, machine=machine,
+        admin=admin, reporter=reporter, resolved=resolved, error=error,
+        audit_records=len(events), duration_s=0.05, latency_s=0.08,
+        pool_hit=True, created_at=created_at)
+    ticket = TicketRow(
+        session_id=session_id, ticket_id=ticket_id, org=org,
+        reporter=reporter, text="my matlab license expired",
+        machine=machine, ticket_class=ticket_class, status="RESOLVED")
+    certificate = CertificateRow(
+        session_id=session_id, serial=ticket_id, admin=admin,
+        ticket_id=ticket_id, machine=machine, ticket_class=ticket_class,
+        issued_at=0, expires_at=600, signature="sig-" + session_id,
+        revoked=True)
+    return SessionTrail(session=session, ticket=ticket,
+                        certificates=(certificate,), events=tuple(events))
+
+
+@pytest.fixture()
+def trail():
+    return make_trail()

@@ -1,0 +1,163 @@
+"""Backend parity: MemoryStore and SQLiteStore honor one contract.
+
+Every test runs against both backends — the repository protocol is only
+worth its indirection if callers truly cannot tell them apart.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import InvalidArgument
+from repro.store import AlertRow, BenchRunRow, MemoryStore, SQLiteStore
+from tests.store.conftest import make_trail
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        backend = MemoryStore()
+    else:
+        backend = SQLiteStore(tmp_path / "store.db")
+    yield backend
+    backend.close()
+
+
+class TestTrailRoundtrip:
+    def test_put_then_get_is_identity(self, store, trail):
+        store.put_trail(trail)
+        assert store.get_trail(trail.session.session_id) == trail
+
+    def test_get_session_returns_the_row(self, store, trail):
+        store.put_trail(trail)
+        assert store.get_session(trail.session.session_id) == trail.session
+
+    def test_unknown_session_is_none_not_an_error(self, store):
+        assert store.get_session("nope-b1-1") is None
+        assert store.get_trail("nope-b1-1") is None
+
+    def test_duplicate_session_id_is_rejected(self, store, trail):
+        store.put_trail(trail)
+        with pytest.raises(InvalidArgument, match="duplicate session id"):
+            store.put_trail(trail)
+
+    def test_trail_without_ticket_or_events(self, store):
+        bare = make_trail(session_id="acme-b1-9", fs_ops=0, net_ops=0)
+        bare = type(bare)(session=bare.session, ticket=None,
+                          certificates=(), events=())
+        store.put_trail(bare)
+        loaded = store.get_trail("acme-b1-9")
+        assert loaded.ticket is None
+        assert loaded.certificates == () and loaded.events == ()
+
+
+class TestSessionQueries:
+    def _seed(self, store):
+        store.put_trail(make_trail(session_id="acme-b1-1", org="acme",
+                                   ticket_class="T-1", machine="ws-01",
+                                   created_at=10.0))
+        store.put_trail(make_trail(session_id="acme-b1-2", org="acme",
+                                   ticket_class="T-2", machine="ws-02",
+                                   admin="it-eve", created_at=20.0))
+        store.put_trail(make_trail(session_id="beta-b1-1", org="beta",
+                                   ticket_class="T-1", machine="ws-01",
+                                   created_at=30.0))
+
+    def test_sessions_are_newest_first(self, store):
+        self._seed(store)
+        ids = [s.session_id for s in store.sessions()]
+        assert ids == ["beta-b1-1", "acme-b1-2", "acme-b1-1"]
+
+    def test_org_filter(self, store):
+        self._seed(store)
+        assert all(s.org == "acme" for s in store.sessions(org="acme"))
+        assert len(store.sessions(org="acme")) == 2
+
+    def test_filters_compose(self, store):
+        self._seed(store)
+        rows = store.sessions(org="acme", ticket_class="T-2",
+                              machine="ws-02", admin="it-eve")
+        assert [s.session_id for s in rows] == ["acme-b1-2"]
+
+    def test_limit(self, store):
+        self._seed(store)
+        assert len(store.sessions(limit=1)) == 1
+
+    def test_audit_events_ordered_by_stream_then_seq(self, store, trail):
+        store.put_trail(trail)
+        events = store.audit_events(trail.session.session_id)
+        assert [(e.stream, e.seq) for e in events] == sorted(
+            (e.stream, e.seq) for e in trail.events)
+
+    def test_audit_events_stream_filter(self, store, trail):
+        store.put_trail(trail)
+        net = store.audit_events(trail.session.session_id, stream="net")
+        assert net and all(e.stream == "net" for e in net)
+
+    def test_certificates_by_admin(self, store):
+        self._seed(store)
+        certs = store.certificates(admin="it-eve")
+        assert [c.session_id for c in certs] == ["acme-b1-2"]
+
+    def test_counts(self, store, trail):
+        store.put_trail(trail)
+        counts = store.counts()
+        assert counts["sessions"] == 1
+        assert counts["audit_events"] == len(trail.events)
+
+
+class TestBenchRunsAndAlerts:
+    def test_bench_runs_read_oldest_first(self, store):
+        for i in range(3):
+            store.put_bench_run(BenchRunRow(
+                name="storm", created_at=float(i),
+                metrics={"tickets_per_s": 100.0 + i}))
+        runs = store.bench_runs(name="storm")
+        assert [r.created_at for r in runs] == [0.0, 1.0, 2.0]
+        assert all(r.run_id is not None for r in runs)
+
+    def test_bench_run_name_filter_and_limit(self, store):
+        store.put_bench_run(BenchRunRow(name="a", created_at=1.0))
+        store.put_bench_run(BenchRunRow(name="b", created_at=2.0))
+        assert [r.name for r in store.bench_runs(name="a")] == ["a"]
+        assert len(store.bench_runs(limit=1)) == 1
+
+    def test_alerts_roundtrip(self, store):
+        store.put_alert(AlertRow(rule="anomaly-detector",
+                                 severity="warning",
+                                 message="alice looks odd",
+                                 created_at=5.0))
+        alerts = store.alerts()
+        assert len(alerts) == 1
+        assert alerts[0].rule == "anomaly-detector"
+        assert alerts[0].alert_id is not None
+
+
+class TestBoots:
+    def test_boot_epochs_are_monotonic(self, store):
+        first = store.begin_boot()
+        second = store.begin_boot()
+        assert second > first
+
+
+class TestThreadSafety:
+    def test_concurrent_writers_never_lose_a_trail(self, store):
+        n_threads, per_thread = 4, 25
+        errors = []
+
+        def writer(worker):
+            try:
+                for i in range(per_thread):
+                    store.put_trail(make_trail(
+                        session_id=f"acme-b1-w{worker}-{i}"))
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(w,))
+                   for w in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert store.counts()["sessions"] == n_threads * per_thread

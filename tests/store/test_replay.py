@@ -1,0 +1,81 @@
+"""Forensic replay: rebuild, verify, and render trails from rows."""
+
+import json
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.store import (
+    format_trail,
+    rebuild_log,
+    trail_to_dict,
+    verify_and_format,
+    verify_trail,
+)
+from tests.store.conftest import make_trail
+
+
+class TestRebuildLog:
+    def test_rebuilt_log_verifies(self, trail):
+        log = rebuild_log(trail.stream_events("fs"))
+        assert log.verify()
+        assert len(log.records) == 3
+
+    def test_rebuilt_records_equal_the_originals(self, trail):
+        log = rebuild_log(trail.stream_events("net"))
+        assert [r.digest for r in log.records] == [
+            e.digest for e in trail.stream_events("net")]
+
+
+class TestVerifyTrail:
+    def test_counts_per_stream(self, trail):
+        assert verify_trail(trail) == {"fs": 3, "net": 2}
+
+    def test_empty_trail_verifies_vacuously(self):
+        bare = make_trail(session_id="acme-b1-0", fs_ops=0, net_ops=0)
+        assert verify_trail(bare) == {}
+
+    def test_reordered_events_raise(self, trail):
+        fs = list(trail.stream_events("fs"))
+        swapped = (fs[1], fs[0], fs[2]) + trail.stream_events("net")
+        tampered = type(trail)(session=trail.session, ticket=trail.ticket,
+                               certificates=trail.certificates,
+                               events=swapped)
+        with pytest.raises(IntegrityError):
+            verify_trail(tampered)
+
+
+class TestFormatTrail:
+    def test_renders_ticket_chain_and_decisions(self, trail):
+        text = verify_and_format(trail)
+        assert trail.session.session_id in text
+        assert "ticket #7 from alice" in text
+        assert "classified T-1" in text
+        assert "fs 3 records OK" in text and "net 2 records OK" in text
+        assert "certificate serial 7 for it-bob" in text
+        assert "revoked" in text
+        assert "itfs" in text and "netmon" in text
+        assert "rule share:home" in text
+
+    def test_unresolved_session_renders_the_error(self):
+        broken = make_trail(session_id="acme-b1-3", resolved=False,
+                            error="IntegrityError: boom")
+        text = format_trail(broken)
+        assert "NOT resolved" in text and "IntegrityError: boom" in text
+
+    def test_eventless_trail_says_so(self):
+        bare = make_trail(session_id="acme-b1-4", fs_ops=0, net_ops=0)
+        assert "(no audit events recorded)" in format_trail(bare)
+
+
+class TestTrailToDict:
+    def test_payload_is_json_serializable_and_complete(self, trail):
+        payload = trail_to_dict(trail, verified=True)
+        blob = json.loads(json.dumps(payload))
+        assert blob["chain_verified"] is True
+        assert blob["session"]["session_id"] == trail.session.session_id
+        assert len(blob["events"]) == 5
+        assert blob["ticket"]["status"] == "RESOLVED"
+
+    def test_verified_flag_is_optional(self, trail):
+        assert "chain_verified" not in trail_to_dict(trail)

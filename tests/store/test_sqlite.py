@@ -1,0 +1,198 @@
+"""SQLiteStore specifics: migrations, restart survival, group commit,
+and tamper detection straight off the disk rows."""
+
+import sqlite3
+
+import pytest
+
+from repro.errors import IntegrityError, InvalidArgument
+from repro.store import SCHEMA_VERSION, SQLiteStore, verify_trail
+from tests.store.conftest import make_trail
+
+
+class TestMigrations:
+    def test_fresh_database_is_at_current_version(self, tmp_path):
+        store = SQLiteStore(tmp_path / "fresh.db")
+        try:
+            assert store.schema_version() == SCHEMA_VERSION
+        finally:
+            store.close()
+
+    def test_reopen_applies_nothing_and_keeps_data(self, tmp_path, trail):
+        path = tmp_path / "reopen.db"
+        first = SQLiteStore(path)
+        first.put_trail(trail)
+        first.close()
+        second = SQLiteStore(path)
+        try:
+            assert second.schema_version() == SCHEMA_VERSION
+            assert second.get_trail(trail.session.session_id) == trail
+        finally:
+            second.close()
+
+    def test_newer_schema_refuses_to_open(self, tmp_path):
+        path = tmp_path / "future.db"
+        SQLiteStore(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "INSERT INTO schema_migrations(version, applied_at) "
+            "VALUES (?, 0)", (SCHEMA_VERSION + 1,))
+        conn.commit()
+        conn.close()
+        with pytest.raises(InvalidArgument, match="newer"):
+            SQLiteStore(path)
+
+    def test_bad_batch_rejected(self, tmp_path):
+        with pytest.raises(InvalidArgument, match="batch"):
+            SQLiteStore(tmp_path / "bad.db", batch=0)
+
+
+class TestRestartDurability:
+    def test_trail_survives_close_and_reopen_bit_for_bit(self, tmp_path,
+                                                         trail):
+        path = tmp_path / "durable.db"
+        writer = SQLiteStore(path)
+        writer.put_trail(trail)
+        writer.close()
+        reader = SQLiteStore(path)
+        try:
+            loaded = reader.get_trail(trail.session.session_id)
+            assert loaded == trail
+            # the hash chains must verify from the persisted rows alone
+            counts = verify_trail(loaded)
+            assert counts == {"fs": 3, "net": 2}
+        finally:
+            reader.close()
+
+    def test_boot_epochs_continue_across_restarts(self, tmp_path):
+        path = tmp_path / "boots.db"
+        first = SQLiteStore(path)
+        boot_a = first.begin_boot()
+        first.close()
+        second = SQLiteStore(path)
+        try:
+            assert second.begin_boot() > boot_a
+        finally:
+            second.close()
+
+
+class TestGroupCommit:
+    """put_trail buffers whole trails; a batch commits in one
+    transaction — reads always drain the buffer first."""
+
+    def test_reads_see_buffered_trails(self, tmp_path):
+        store = SQLiteStore(tmp_path / "buffered.db", batch=1000)
+        try:
+            store.put_trail(make_trail(session_id="acme-b1-1"))
+            # nothing committed yet, but read-your-writes must hold
+            assert store.get_session("acme-b1-1") is not None
+            assert store.counts()["sessions"] == 1
+        finally:
+            store.close()
+
+    def test_flush_commits_for_other_connections(self, tmp_path, trail):
+        path = tmp_path / "flush.db"
+        store = SQLiteStore(path, batch=1000)
+        try:
+            store.put_trail(trail)
+            store.flush()
+            other = sqlite3.connect(path)
+            try:
+                count = other.execute(
+                    "SELECT COUNT(*) FROM sessions").fetchone()[0]
+            finally:
+                other.close()
+            assert count == 1
+        finally:
+            store.close()
+
+    def test_close_commits_the_tail(self, tmp_path):
+        path = tmp_path / "tail.db"
+        store = SQLiteStore(path, batch=1000)
+        for i in range(5):
+            store.put_trail(make_trail(session_id=f"acme-b1-{i}"))
+        store.close()
+        reader = SQLiteStore(path)
+        try:
+            assert reader.counts()["sessions"] == 5
+        finally:
+            reader.close()
+
+    def test_batch_boundary_drains_automatically(self, tmp_path):
+        path = tmp_path / "boundary.db"
+        store = SQLiteStore(path, batch=3)
+        try:
+            for i in range(3):
+                store.put_trail(make_trail(session_id=f"acme-b1-{i}"))
+            # the third put crossed the batch: rows are committed, so a
+            # second connection sees them without any flush
+            other = sqlite3.connect(path)
+            try:
+                count = other.execute(
+                    "SELECT COUNT(*) FROM sessions").fetchone()[0]
+            finally:
+                other.close()
+            assert count == 3
+        finally:
+            store.close()
+
+    def test_duplicate_detected_against_the_buffer(self, tmp_path, trail):
+        store = SQLiteStore(tmp_path / "dup.db", batch=1000)
+        try:
+            store.put_trail(trail)
+            with pytest.raises(InvalidArgument, match="duplicate"):
+                store.put_trail(trail)
+        finally:
+            store.close()
+
+
+class TestTamperDetection:
+    def _tamper(self, path, sql, params=()):
+        conn = sqlite3.connect(path)
+        conn.execute(sql, params)
+        conn.commit()
+        conn.close()
+
+    def test_modified_event_fails_chain_verification(self, tmp_path, trail):
+        path = tmp_path / "tampered.db"
+        store = SQLiteStore(path)
+        store.put_trail(trail)
+        store.close()
+        # an attacker with the DB file rewrites one record at rest
+        self._tamper(path,
+                     "UPDATE audit_events SET path = '/etc/shadow' "
+                     "WHERE stream = 'fs' AND seq = 1")
+        reader = SQLiteStore(path)
+        try:
+            loaded = reader.get_trail(trail.session.session_id)
+            with pytest.raises(IntegrityError):
+                verify_trail(loaded)
+        finally:
+            reader.close()
+
+    def test_deleted_event_fails_chain_verification(self, tmp_path, trail):
+        path = tmp_path / "dropped.db"
+        store = SQLiteStore(path)
+        store.put_trail(trail)
+        store.close()
+        self._tamper(path,
+                     "DELETE FROM audit_events "
+                     "WHERE stream = 'fs' AND seq = 1")
+        reader = SQLiteStore(path)
+        try:
+            loaded = reader.get_trail(trail.session.session_id)
+            with pytest.raises(IntegrityError):
+                verify_trail(loaded)
+        finally:
+            reader.close()
+
+    def test_untampered_database_verifies(self, tmp_path, trail):
+        path = tmp_path / "clean.db"
+        store = SQLiteStore(path)
+        store.put_trail(trail)
+        store.close()
+        reader = SQLiteStore(path)
+        try:
+            assert verify_trail(reader.get_trail(trail.session.session_id))
+        finally:
+            reader.close()

@@ -11,7 +11,7 @@ PACKAGES = [
     "repro.kernel", "repro.itfs", "repro.netmon", "repro.containit",
     "repro.broker", "repro.framework", "repro.tcb", "repro.threats",
     "repro.workload", "repro.experiments", "repro.anomaly",
-    "repro.api", "repro.controlplane",
+    "repro.api", "repro.controlplane", "repro.store", "repro.service",
 ]
 
 
@@ -30,6 +30,10 @@ class TestExports:
 
     def test_facade_exported_at_top_level(self):
         for name in ("Deployment", "Session", "TicketResult"):
+            assert getattr(repro, name) is not None
+
+    def test_store_exported_at_top_level(self):
+        for name in ("EventStore", "MemoryStore", "SQLiteStore"):
             assert getattr(repro, name) is not None
 
     def test_version_string(self):
